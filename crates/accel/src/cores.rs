@@ -1,0 +1,200 @@
+//! The Softmax core and the Layer-Norm core (paper §III-B).
+//!
+//! Both cores wrap the functional, integer-only implementations from
+//! `fqbert-quant` ([`SoftmaxLut`] and [`QuantizedLayerNorm`]) and add the
+//! cycle accounting of the hardware units:
+//!
+//! * the **Softmax core** streams one score row at a time: a max reduction,
+//!   one table lookup + accumulate per element, then one divide per element,
+//!   processed `lanes` elements per cycle;
+//! * the **LN core** is the coarse-grained 3-stage SIMD pipeline described in
+//!   the paper (consume two scaled vectors and produce the mean; subtract the
+//!   mean and produce the variance; apply the element-wise scale/shift),
+//!   processing `simd_width` elements per cycle per stage.
+
+use fqbert_quant::{QuantError, QuantizedLayerNorm, SoftmaxLut};
+use serde::{Deserialize, Serialize};
+
+/// The accelerator's softmax unit: LUT-based exponentials with
+/// max-subtraction, `lanes` elements processed per cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoftmaxCore {
+    lut: SoftmaxLut,
+    lanes: usize,
+}
+
+impl SoftmaxCore {
+    /// Creates a softmax core for scores quantized at `input_scale` levels
+    /// per unit, with `lanes` parallel lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid scales or zero lanes.
+    pub fn new(input_scale: f32, out_levels: u32, lanes: usize) -> Result<Self, QuantError> {
+        if lanes == 0 {
+            return Err(QuantError::InvalidArgument(
+                "softmax core needs at least one lane".to_string(),
+            ));
+        }
+        Ok(Self {
+            lut: SoftmaxLut::new(input_scale, out_levels)?,
+            lanes,
+        })
+    }
+
+    /// The underlying lookup table (loaded into the parameter buffer at
+    /// initialisation time, per §III-A).
+    pub fn lut(&self) -> &SoftmaxLut {
+        &self.lut
+    }
+
+    /// Number of parallel lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Applies softmax to one row of quantized scores, returning the
+    /// quantized probabilities and the cycles consumed.
+    pub fn apply_row(&self, scores: &[i32]) -> (Vec<i32>, u64) {
+        let out = self.lut.apply_row(scores);
+        (out, self.row_cycles(scores.len()))
+    }
+
+    /// Cycle cost of one row of `len` elements: max reduction, exp-lookup +
+    /// accumulate, and normalise, each streamed over the lanes.
+    pub fn row_cycles(&self, len: usize) -> u64 {
+        let passes = 3u64; // max, exp+sum, divide
+        passes * (len as u64).div_ceil(self.lanes as u64)
+    }
+
+    /// Cycle cost of the full attention-probability computation for one
+    /// encoder layer: `heads · seq` rows of length `seq`.
+    pub fn attention_cycles(&self, heads: usize, seq_len: usize) -> u64 {
+        (heads as u64) * (seq_len as u64) * self.row_cycles(seq_len)
+    }
+}
+
+/// The accelerator's layer-normalization unit: a 3-stage SIMD pipeline over
+/// fixed-point values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LnCore {
+    ln: QuantizedLayerNorm,
+    simd_width: usize,
+}
+
+impl LnCore {
+    /// Creates an LN core for the given quantized parameters and SIMD width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a zero SIMD width.
+    pub fn new(ln: QuantizedLayerNorm, simd_width: usize) -> Result<Self, QuantError> {
+        if simd_width == 0 {
+            return Err(QuantError::InvalidArgument(
+                "LN core needs a positive SIMD width".to_string(),
+            ));
+        }
+        Ok(Self { ln, simd_width })
+    }
+
+    /// The functional layer-norm unit.
+    pub fn layer_norm(&self) -> &QuantizedLayerNorm {
+        &self.ln
+    }
+
+    /// SIMD width of each pipeline stage.
+    pub fn simd_width(&self) -> usize {
+        self.simd_width
+    }
+
+    /// Runs the `Add & LN` operation on two quantized rows, returning the
+    /// output codes and the cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the functional layer norm.
+    pub fn apply_residual(
+        &self,
+        a: &[i8],
+        scale_a: f32,
+        b: &[i8],
+        scale_b: f32,
+        out_scale: f32,
+    ) -> Result<(Vec<i8>, u64), QuantError> {
+        let out = self.ln.apply_residual(a, scale_a, b, scale_b, out_scale)?;
+        Ok((out, self.row_cycles(a.len())))
+    }
+
+    /// Cycle cost of normalising one row of `hidden` elements: three pipeline
+    /// stages, each streaming `simd_width` elements per cycle, plus the
+    /// pipeline fill.
+    pub fn row_cycles(&self, hidden: usize) -> u64 {
+        let per_stage = (hidden as u64).div_ceil(self.simd_width as u64);
+        3 * per_stage + 2
+    }
+
+    /// Cycle cost of the two `Add & LN` blocks of one encoder layer
+    /// (`2 · seq` rows).
+    pub fn layer_cycles(&self, seq_len: usize, hidden: usize) -> u64 {
+        2 * (seq_len as u64) * self.row_cycles(hidden)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ln_core(hidden: usize, simd: usize) -> LnCore {
+        let ln = QuantizedLayerNorm::from_float(&vec![1.0; hidden], &vec![0.0; hidden], 1e-5)
+            .expect("valid parameters");
+        LnCore::new(ln, simd).expect("valid core")
+    }
+
+    #[test]
+    fn softmax_core_matches_functional_lut() {
+        let core = SoftmaxCore::new(4.0, 127, 8).unwrap();
+        let scores = [12, 3, -5, 0, 7, 2, -1, 9, 4, -3];
+        let (probs, cycles) = core.apply_row(&scores);
+        assert_eq!(probs, core.lut().apply_row(&scores));
+        assert_eq!(cycles, 3 * 2); // 10 elements over 8 lanes = 2 per pass
+    }
+
+    #[test]
+    fn softmax_attention_cycles_scale_quadratically() {
+        let core = SoftmaxCore::new(4.0, 127, 8).unwrap();
+        let short = core.attention_cycles(12, 64);
+        let long = core.attention_cycles(12, 128);
+        assert!(long > 3 * short && long < 5 * short);
+    }
+
+    #[test]
+    fn softmax_rejects_zero_lanes() {
+        assert!(SoftmaxCore::new(4.0, 127, 0).is_err());
+    }
+
+    #[test]
+    fn ln_core_matches_functional_layer_norm() {
+        let core = ln_core(32, 16);
+        let a: Vec<i8> = (0..32).map(|i| (i * 3 - 48) as i8).collect();
+        let b: Vec<i8> = (0..32).map(|i| (40 - i * 2) as i8).collect();
+        let (out, cycles) = core.apply_residual(&a, 32.0, &b, 16.0, 24.0).unwrap();
+        let reference = core
+            .layer_norm()
+            .apply_residual(&a, 32.0, &b, 16.0, 24.0)
+            .unwrap();
+        assert_eq!(out, reference);
+        assert_eq!(cycles, 3 * 2 + 2);
+    }
+
+    #[test]
+    fn ln_layer_cycles_count_both_add_ln_blocks() {
+        let core = ln_core(64, 16);
+        assert_eq!(core.layer_cycles(10, 64), 2 * 10 * core.row_cycles(64));
+    }
+
+    #[test]
+    fn ln_rejects_zero_simd_width() {
+        let ln = QuantizedLayerNorm::from_float(&[1.0, 1.0], &[0.0, 0.0], 1e-5).unwrap();
+        assert!(LnCore::new(ln, 0).is_err());
+    }
+}

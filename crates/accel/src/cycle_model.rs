@@ -1,0 +1,180 @@
+//! End-to-end latency model of the accelerator (Tables III and IV).
+//!
+//! Combines the per-layer schedule from [`crate::scheduler`] with the number
+//! of encoder layers and the fixed per-inference overheads (activation
+//! transfer between the CPU and the FPGA, initial weight prefetch of the
+//! first tile) to produce the latency figures the paper reports.
+
+use crate::config::AcceleratorConfig;
+use crate::dataflow::EncoderShape;
+use crate::memory::DdrModel;
+use crate::scheduler::{ScheduleTrace, Scheduler};
+use serde::{Deserialize, Serialize};
+
+/// Per-component cycle breakdown of one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Cycles the PE array is busy across all layers.
+    pub pe_cycles: u64,
+    /// Cycles spent by the softmax core (overlapped).
+    pub softmax_cycles: u64,
+    /// Cycles spent by the LN core (overlapped).
+    pub ln_cycles: u64,
+    /// DMA cycles streaming weights (overlapped).
+    pub dma_cycles: u64,
+    /// PE stall cycles waiting for weights.
+    pub dma_stall_cycles: u64,
+    /// Cycles moving activations between host and FPGA.
+    pub host_io_cycles: u64,
+}
+
+/// Latency estimate for one full inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Critical-path cycles of the whole inference.
+    pub total_cycles: u64,
+    /// Latency in milliseconds at the configured clock.
+    pub latency_ms: f64,
+    /// Per-layer critical path cycles.
+    pub cycles_per_layer: u64,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Component breakdown.
+    pub breakdown: LatencyBreakdown,
+    /// Schedule trace of a single representative layer (for Fig. 5).
+    pub layer_trace: ScheduleTrace,
+    /// Effective throughput in giga-MACs per second.
+    pub effective_gmacs_per_sec: f64,
+}
+
+impl LatencyReport {
+    /// Frames (inferences) per second implied by the latency.
+    pub fn fps(&self) -> f64 {
+        1e3 / self.latency_ms
+    }
+}
+
+/// Estimates the inference latency of a BERT encoder stack of `layers` layers
+/// of the given shape on the accelerator configuration.
+pub fn estimate_latency(
+    config: &AcceleratorConfig,
+    shape: &EncoderShape,
+    layers: usize,
+) -> LatencyReport {
+    let scheduler = Scheduler::new(config.clone());
+    let trace = scheduler.schedule_layer(shape);
+    let ddr = DdrModel::from_config(config);
+
+    // Host ↔ FPGA activation transfer: the embedding output goes in once and
+    // the final hidden state comes back once (int8 activations).
+    let act_bytes = (shape.seq_len * shape.hidden) as u64;
+    let host_io_cycles = 2 * ddr.transfer_cycles(act_bytes, 1);
+
+    // In steady state consecutive layers overlap their trailing softmax/LN
+    // work with the next layer's matrix stages, so the per-layer period is
+    // the PE critical path; the trailing non-PE work is paid once at the end.
+    let cycles_per_layer = trace.pe_critical_cycles;
+    let trailing_cycles = trace.total_cycles - trace.pe_critical_cycles;
+    let total_cycles = cycles_per_layer * layers as u64 + trailing_cycles + host_io_cycles;
+    let latency_ms = total_cycles as f64 / config.frequency_hz * 1e3;
+
+    let macs_per_layer: u64 = crate::dataflow::layer_macs(shape);
+    let effective_gmacs_per_sec =
+        (macs_per_layer * layers as u64) as f64 / (latency_ms / 1e3) / 1e9;
+
+    LatencyReport {
+        total_cycles,
+        latency_ms,
+        cycles_per_layer,
+        layers,
+        breakdown: LatencyBreakdown {
+            pe_cycles: trace.pe_busy_cycles * layers as u64,
+            softmax_cycles: trace.softmax_cycles * layers as u64,
+            ln_cycles: trace.ln_cycles * layers as u64,
+            dma_cycles: trace.dma_cycles * layers as u64,
+            dma_stall_cycles: trace.dma_stall_cycles * layers as u64,
+            host_io_cycles,
+        },
+        layer_trace: trace,
+        effective_gmacs_per_sec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bert_base_latency(config: &AcceleratorConfig) -> f64 {
+        estimate_latency(config, &EncoderShape::bert_base(), 12).latency_ms
+    }
+
+    #[test]
+    fn zcu102_n8_m16_latency_matches_table_iii() {
+        let ms = bert_base_latency(&AcceleratorConfig::zcu102_n8_m16());
+        assert!(
+            (ms - 43.89).abs() / 43.89 < 0.05,
+            "ZCU102 (8,16) latency {ms} ms deviates from 43.89 ms"
+        );
+    }
+
+    #[test]
+    fn zcu102_n16_m8_latency_matches_table_iii() {
+        let ms = bert_base_latency(&AcceleratorConfig::zcu102_n16_m8());
+        assert!(
+            (ms - 45.35).abs() / 45.35 < 0.05,
+            "ZCU102 (16,8) latency {ms} ms deviates from 45.35 ms"
+        );
+    }
+
+    #[test]
+    fn zcu111_latency_matches_table_iii() {
+        let ms = bert_base_latency(&AcceleratorConfig::zcu111_n16_m16());
+        assert!(
+            (ms - 23.79).abs() / 23.79 < 0.05,
+            "ZCU111 latency {ms} ms deviates from 23.79 ms"
+        );
+    }
+
+    #[test]
+    fn ordering_of_configurations_is_preserved() {
+        let a = bert_base_latency(&AcceleratorConfig::zcu102_n8_m16());
+        let b = bert_base_latency(&AcceleratorConfig::zcu102_n16_m8());
+        let c = bert_base_latency(&AcceleratorConfig::zcu111_n16_m16());
+        assert!(a < b, "(8,16) must beat (16,8): {a} vs {b}");
+        assert!(c < a, "ZCU111 must beat ZCU102: {c} vs {a}");
+    }
+
+    #[test]
+    fn latency_scales_linearly_with_layers() {
+        let cfg = AcceleratorConfig::zcu102_n8_m16();
+        let shape = EncoderShape::bert_base();
+        let six = estimate_latency(&cfg, &shape, 6);
+        let twelve = estimate_latency(&cfg, &shape, 12);
+        let ratio = twelve.latency_ms / six.latency_ms;
+        assert!((1.9..2.1).contains(&ratio));
+    }
+
+    #[test]
+    fn report_breakdown_is_consistent() {
+        let report = estimate_latency(
+            &AcceleratorConfig::zcu111_n16_m16(),
+            &EncoderShape::bert_base(),
+            12,
+        );
+        assert_eq!(report.layers, 12);
+        assert!(report.fps() > 0.0);
+        assert!(report.effective_gmacs_per_sec > 100.0);
+        assert!(report.breakdown.pe_cycles <= report.total_cycles);
+        assert_eq!(report.breakdown.dma_stall_cycles, 0);
+    }
+
+    #[test]
+    fn shorter_sequences_are_faster() {
+        let cfg = AcceleratorConfig::zcu102_n8_m16();
+        let mut short_shape = EncoderShape::bert_base();
+        short_shape.seq_len = 64;
+        let short = estimate_latency(&cfg, &short_shape, 12);
+        let long = estimate_latency(&cfg, &EncoderShape::bert_base(), 12);
+        assert!(short.latency_ms < long.latency_ms);
+    }
+}

@@ -1,0 +1,232 @@
+//! The encoder-layer dataflow (paper Fig. 5).
+//!
+//! One encoder layer is executed as a sequence of stages, each using a
+//! specific compute unit and a specific weight tensor:
+//!
+//! `X·Wq → X·Wk → X·Wv → Q·Kᵀ → Softmax → Attn·V → (+O-proj) Add&LN →
+//! FFN1 → FFN2 → Add&LN`
+//!
+//! Each stage is further divided into sub-stages so that only the weights of
+//! the next sub-stage have to be resident on chip — this is what makes the
+//! double-buffered weight streaming of the scheduler possible.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of the encoder layer being scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncoderShape {
+    /// Sequence length (number of tokens).
+    pub seq_len: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// FFN intermediate dimension.
+    pub intermediate: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+}
+
+impl EncoderShape {
+    /// The BERT-base shape at the paper's sequence length of 128.
+    pub fn bert_base() -> Self {
+        Self {
+            seq_len: 128,
+            hidden: 768,
+            intermediate: 3072,
+            heads: 12,
+        }
+    }
+}
+
+/// Which unit executes a stage and at which operand width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Matrix multiply on the PE array with 8-bit activations × 4-bit weights.
+    MatmulAct8Weight4,
+    /// Matrix multiply on the PE array with 8-bit × 8-bit operands.
+    MatmulAct8Act8,
+    /// Softmax core.
+    Softmax,
+    /// Layer-norm core (`Add & LN`).
+    LayerNorm,
+}
+
+/// One stage of the Fig. 5 dataflow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncoderStage {
+    /// Human-readable name matching the labels of Fig. 5.
+    pub name: String,
+    /// Which unit runs the stage.
+    pub kind: StageKind,
+    /// Multiply–accumulate operations in the stage (zero for softmax / LN).
+    pub macs: u64,
+    /// Weight bytes that must be streamed from DDR before the stage can
+    /// finish (zero for stages without weights).
+    pub weight_bytes: u64,
+    /// Output elements produced (activations written back to on-chip
+    /// buffers).
+    pub output_elements: u64,
+}
+
+impl EncoderStage {
+    fn matmul(name: &str, kind: StageKind, macs: u64, weight_bytes: u64, outputs: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            kind,
+            macs,
+            weight_bytes,
+            output_elements: outputs,
+        }
+    }
+}
+
+/// Decomposes one encoder layer into the stages of Fig. 5.
+///
+/// `weight_bits` is the storage width of the streamed weights (4 for
+/// FQ-BERT).
+pub fn encoder_layer_stages(shape: &EncoderShape, weight_bits: u32) -> Vec<EncoderStage> {
+    let s = shape.seq_len as u64;
+    let h = shape.hidden as u64;
+    let i = shape.intermediate as u64;
+    let wb = |params: u64| (params * u64::from(weight_bits)).div_ceil(8);
+
+    let mut stages = Vec::new();
+    for name in ["X·Wq", "X·Wk", "X·Wv"] {
+        stages.push(EncoderStage::matmul(
+            name,
+            StageKind::MatmulAct8Weight4,
+            s * h * h,
+            wb(h * h),
+            s * h,
+        ));
+    }
+    stages.push(EncoderStage::matmul(
+        "Q·Kᵀ",
+        StageKind::MatmulAct8Act8,
+        s * s * h,
+        0,
+        (shape.heads as u64) * s * s,
+    ));
+    stages.push(EncoderStage {
+        name: "Softmax".to_string(),
+        kind: StageKind::Softmax,
+        macs: 0,
+        weight_bytes: 0,
+        output_elements: (shape.heads as u64) * s * s,
+    });
+    stages.push(EncoderStage::matmul(
+        "Attn·V",
+        StageKind::MatmulAct8Act8,
+        s * s * h,
+        0,
+        s * h,
+    ));
+    stages.push(EncoderStage::matmul(
+        "O-proj",
+        StageKind::MatmulAct8Weight4,
+        s * h * h,
+        wb(h * h),
+        s * h,
+    ));
+    stages.push(EncoderStage {
+        name: "Add&LN".to_string(),
+        kind: StageKind::LayerNorm,
+        macs: 0,
+        weight_bytes: 0,
+        output_elements: s * h,
+    });
+    stages.push(EncoderStage::matmul(
+        "FFN1",
+        StageKind::MatmulAct8Weight4,
+        s * h * i,
+        wb(h * i),
+        s * i,
+    ));
+    stages.push(EncoderStage::matmul(
+        "FFN2",
+        StageKind::MatmulAct8Weight4,
+        s * i * h,
+        wb(i * h),
+        s * h,
+    ));
+    stages.push(EncoderStage {
+        name: "Add&LN (FFN)".to_string(),
+        kind: StageKind::LayerNorm,
+        macs: 0,
+        weight_bytes: 0,
+        output_elements: s * h,
+    });
+    stages
+}
+
+/// Total MACs of one encoder layer (consistency helper).
+pub fn layer_macs(shape: &EncoderShape) -> u64 {
+    encoder_layer_stages(shape, 4).iter().map(|s| s.macs).sum()
+}
+
+/// Total weight bytes streamed per encoder layer at the given bit-width.
+pub fn layer_weight_bytes(shape: &EncoderShape, weight_bits: u32) -> u64 {
+    encoder_layer_stages(shape, weight_bits)
+        .iter()
+        .map(|s| s.weight_bytes)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_list_matches_figure_five() {
+        let stages = encoder_layer_stages(&EncoderShape::bert_base(), 4);
+        let names: Vec<&str> = stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "X·Wq", "X·Wk", "X·Wv", "Q·Kᵀ", "Softmax", "Attn·V", "O-proj", "Add&LN", "FFN1",
+                "FFN2", "Add&LN (FFN)"
+            ]
+        );
+    }
+
+    #[test]
+    fn layer_macs_match_analytic_formula() {
+        let shape = EncoderShape::bert_base();
+        let expected = 4 * 128 * 768 * 768 + 2 * 128 * 128 * 768 + 2 * 128 * 768 * 3072;
+        assert_eq!(layer_macs(&shape), expected as u64);
+    }
+
+    #[test]
+    fn weight_bytes_match_parameter_count() {
+        let shape = EncoderShape::bert_base();
+        let params = 4 * 768 * 768 + 2 * 768 * 3072;
+        assert_eq!(layer_weight_bytes(&shape, 4), (params / 2) as u64);
+        assert_eq!(layer_weight_bytes(&shape, 8), params as u64);
+    }
+
+    #[test]
+    fn attention_stages_use_wide_operands_and_no_weights() {
+        let stages = encoder_layer_stages(&EncoderShape::bert_base(), 4);
+        for stage in &stages {
+            match stage.name.as_str() {
+                "Q·Kᵀ" | "Attn·V" => {
+                    assert_eq!(stage.kind, StageKind::MatmulAct8Act8);
+                    assert_eq!(stage.weight_bytes, 0);
+                }
+                "Softmax" => assert_eq!(stage.kind, StageKind::Softmax),
+                "Add&LN" | "Add&LN (FFN)" => assert_eq!(stage.kind, StageKind::LayerNorm),
+                _ => assert_eq!(stage.kind, StageKind::MatmulAct8Weight4),
+            }
+        }
+    }
+
+    #[test]
+    fn ffn_dominates_the_mac_count() {
+        let stages = encoder_layer_stages(&EncoderShape::bert_base(), 4);
+        let ffn: u64 = stages
+            .iter()
+            .filter(|s| s.name.starts_with("FFN"))
+            .map(|s| s.macs)
+            .sum();
+        assert!(ffn * 2 > layer_macs(&EncoderShape::bert_base()));
+    }
+}

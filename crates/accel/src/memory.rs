@@ -1,0 +1,178 @@
+//! Off-chip memory model and on-chip buffer plan (paper §III-A).
+//!
+//! Weights live in off-chip DDR and stream in over AXI; the weight buffer is
+//! double-buffered so transfers overlap with compute. The on-chip buffers
+//! (input/output, weight, parameter, intermediate Q/K/V/attention, psum) are
+//! sized from the model shape and mapped to BRAM18K blocks for the resource
+//! model.
+
+use crate::config::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// Simple bandwidth/latency model of the DDR + AXI path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DdrModel {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed per-burst latency in cycles (address setup, AXI handshake).
+    pub burst_latency_cycles: u64,
+    /// Accelerator clock frequency in Hz (to convert bytes to cycles).
+    pub frequency_hz: f64,
+}
+
+impl DdrModel {
+    /// Builds the DDR model implied by an accelerator configuration.
+    pub fn from_config(config: &AcceleratorConfig) -> Self {
+        Self {
+            bandwidth_bytes_per_sec: config.device.ddr_bandwidth_bytes_per_sec(),
+            burst_latency_cycles: 64,
+            frequency_hz: config.frequency_hz,
+        }
+    }
+
+    /// Bytes transferable per accelerator cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bandwidth_bytes_per_sec / self.frequency_hz
+    }
+
+    /// Cycles needed to stream `bytes` bytes in `bursts` bursts.
+    pub fn transfer_cycles(&self, bytes: u64, bursts: u64) -> u64 {
+        let streaming = (bytes as f64 / self.bytes_per_cycle()).ceil() as u64;
+        streaming + bursts * self.burst_latency_cycles
+    }
+
+    /// Transfer time in milliseconds.
+    pub fn transfer_ms(&self, bytes: u64, bursts: u64) -> f64 {
+        self.transfer_cycles(bytes, bursts) as f64 / self.frequency_hz * 1e3
+    }
+}
+
+/// Capacities of the on-chip buffers in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferPlan {
+    /// Input/output activation buffer.
+    pub io_buffer_bytes: u64,
+    /// Weight buffer (double-buffered: the figure is the total of both banks).
+    pub weight_buffer_bytes: u64,
+    /// Intermediate buffer holding Q, K, V and the attention matrix.
+    pub intermediate_buffer_bytes: u64,
+    /// Parameter buffer (scale factors, softmax LUT, LN parameters).
+    pub parameter_buffer_bytes: u64,
+    /// Partial-sum buffer (double-buffered int32 accumulators).
+    pub psum_buffer_bytes: u64,
+}
+
+impl BufferPlan {
+    /// Sizes the buffers for an encoder of the given shape on the given
+    /// accelerator configuration.
+    ///
+    /// `seq_len`, `hidden` and `intermediate` describe the encoder layer; the
+    /// weight buffer holds one tile of weights per PE bank (double-buffered).
+    pub fn for_shape(
+        config: &AcceleratorConfig,
+        seq_len: usize,
+        hidden: usize,
+        intermediate: usize,
+    ) -> Self {
+        let act_bytes = |elements: usize| (elements * config.activation_bits as usize / 8) as u64;
+        let io_buffer_bytes = 2 * act_bytes(seq_len * hidden);
+        // One weight tile: every PE holds `hidden` 4-bit weights per bank,
+        // two banks for double buffering.
+        let pes = (config.num_pus * config.pes_per_pu) as u64;
+        let weight_tile = (hidden.max(intermediate) * config.weight_bits as usize / 8) as u64;
+        let weight_buffer_bytes = 2 * pes * weight_tile;
+        // Q, K, V plus one head's attention matrix.
+        let intermediate_buffer_bytes =
+            act_bytes(3 * seq_len * hidden) + act_bytes(seq_len * seq_len);
+        // Softmax LUT (256 B) + LN parameters + per-tensor scales.
+        let parameter_buffer_bytes = 256 + (4 * hidden) as u64 + 4 * 64;
+        // Double-buffered int32 partial sums, one per PE.
+        let psum_buffer_bytes = 2 * pes * 4;
+        Self {
+            io_buffer_bytes,
+            weight_buffer_bytes,
+            intermediate_buffer_bytes,
+            parameter_buffer_bytes,
+            psum_buffer_bytes,
+        }
+    }
+
+    /// Total on-chip storage in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.io_buffer_bytes
+            + self.weight_buffer_bytes
+            + self.intermediate_buffer_bytes
+            + self.parameter_buffer_bytes
+            + self.psum_buffer_bytes
+    }
+
+    /// Number of BRAM18K blocks needed (2 KiB usable per block at the byte
+    /// granularity used here, with each logical buffer rounded up separately
+    /// because buffers cannot share a block).
+    pub fn bram18k_blocks(&self) -> u64 {
+        const BRAM_BYTES: u64 = 2 * 1024;
+        [
+            self.io_buffer_bytes,
+            self.weight_buffer_bytes,
+            self.intermediate_buffer_bytes,
+            self.parameter_buffer_bytes,
+            self.psum_buffer_bytes,
+        ]
+        .iter()
+        .map(|&b| b.div_ceil(BRAM_BYTES))
+        .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr_transfer_scales_with_bytes() {
+        let ddr = DdrModel {
+            bandwidth_bytes_per_sec: 10.0e9,
+            burst_latency_cycles: 10,
+            frequency_hz: 200.0e6,
+        };
+        assert_eq!(ddr.bytes_per_cycle(), 50.0);
+        let small = ddr.transfer_cycles(1_000, 1);
+        let large = ddr.transfer_cycles(10_000, 1);
+        assert!(large > 9 * small / 2);
+        assert!(ddr.transfer_ms(1_000_000, 1) > 0.0);
+    }
+
+    #[test]
+    fn ddr_from_config_uses_device_bandwidth() {
+        let a = DdrModel::from_config(&AcceleratorConfig::zcu102_n8_m16());
+        let b = DdrModel::from_config(&AcceleratorConfig::zcu111_n16_m16());
+        assert!(b.bandwidth_bytes_per_sec > a.bandwidth_bytes_per_sec);
+    }
+
+    #[test]
+    fn buffer_plan_totals_and_bram() {
+        let cfg = AcceleratorConfig::zcu102_n8_m16();
+        let plan = BufferPlan::for_shape(&cfg, 128, 768, 3072);
+        assert_eq!(
+            plan.total_bytes(),
+            plan.io_buffer_bytes
+                + plan.weight_buffer_bytes
+                + plan.intermediate_buffer_bytes
+                + plan.parameter_buffer_bytes
+                + plan.psum_buffer_bytes
+        );
+        assert!(plan.bram18k_blocks() > 0);
+        // The double-buffered weight buffer must dominate an activation-sized
+        // buffer for BERT-base shapes.
+        assert!(plan.weight_buffer_bytes > plan.psum_buffer_bytes);
+    }
+
+    #[test]
+    fn larger_sequence_needs_more_intermediate_storage() {
+        let cfg = AcceleratorConfig::zcu102_n8_m16();
+        let short = BufferPlan::for_shape(&cfg, 64, 768, 3072);
+        let long = BufferPlan::for_shape(&cfg, 128, 768, 3072);
+        assert!(long.intermediate_buffer_bytes > short.intermediate_buffer_bytes);
+        assert!(long.io_buffer_bytes > short.io_buffer_bytes);
+    }
+}

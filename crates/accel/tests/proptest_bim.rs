@@ -1,0 +1,91 @@
+//! Property tests proving the BIM datapath and PE pipeline bit-exact.
+
+use fqbert_accel::bim::{exact_dot, Bim};
+use fqbert_accel::config::BimVariant;
+use fqbert_accel::pe::{OperandMode, ProcessingElement, ProcessingUnit};
+use fqbert_quant::Requantizer;
+use proptest::prelude::*;
+
+fn i4() -> impl Strategy<Value = i8> {
+    -8i8..=7
+}
+
+fn i8_full() -> impl Strategy<Value = i8> {
+    -128i8..=127
+}
+
+proptest! {
+    #[test]
+    fn bim_8x4_is_exact(
+        len in 1usize..200,
+        m_half in 1usize..16,
+        seed_a in proptest::collection::vec(i8_full(), 1..200),
+        seed_w in proptest::collection::vec(i4(), 1..200),
+    ) {
+        let a: Vec<i8> = (0..len).map(|i| seed_a[i % seed_a.len()]).collect();
+        let w: Vec<i8> = (0..len).map(|i| seed_w[i % seed_w.len()]).collect();
+        for variant in [BimVariant::TypeA, BimVariant::TypeB] {
+            let bim = Bim::new(2 * m_half, variant);
+            let (sum, cycles) = bim.dot_8x4(&a, &w);
+            prop_assert_eq!(sum, exact_dot(&a, &w));
+            prop_assert_eq!(cycles, (len as u64).div_ceil(2 * m_half as u64));
+        }
+    }
+
+    #[test]
+    fn bim_8x8_both_variants_are_exact_and_identical(
+        len in 1usize..200,
+        m_half in 1usize..16,
+        seed_a in proptest::collection::vec(i8_full(), 1..200),
+        seed_w in proptest::collection::vec(i8_full(), 1..200),
+    ) {
+        let a: Vec<i8> = (0..len).map(|i| seed_a[i % seed_a.len()]).collect();
+        let w: Vec<i8> = (0..len).map(|i| seed_w[i % seed_w.len()]).collect();
+        let type_a = Bim::new(2 * m_half, BimVariant::TypeA).dot_8x8(&a, &w);
+        let type_b = Bim::new(2 * m_half, BimVariant::TypeB).dot_8x8(&a, &w);
+        prop_assert_eq!(type_a.0, exact_dot(&a, &w));
+        prop_assert_eq!(type_b.0, type_a.0);
+        prop_assert_eq!(type_a.1, type_b.1);
+    }
+
+    #[test]
+    fn pe_requantized_output_matches_reference(
+        scale_milli in 1u32..2000,
+        bias in -10_000i32..10_000,
+        a in proptest::collection::vec(i8_full(), 1..128),
+        w in proptest::collection::vec(i4(), 1..128),
+    ) {
+        let len = a.len().min(w.len());
+        let a = &a[..len];
+        let w = &w[..len];
+        let scale = scale_milli as f64 / 1000.0;
+        let requant = Requantizer::from_scale(scale, 8).unwrap();
+        let pe = ProcessingElement::new(8, BimVariant::TypeA);
+        let out = pe.dot(a, w, bias, &requant, OperandMode::Act8Weight4);
+        let reference = requant.apply(exact_dot(a, w) + i64::from(bias)).clamp(-127, 127) as i8;
+        prop_assert_eq!(out.code, reference);
+    }
+
+    #[test]
+    fn pu_matvec_matches_reference_engine(
+        rows in 1usize..12,
+        cols in 1usize..64,
+        n_pes in 1usize..8,
+        seed in proptest::collection::vec(i8_full(), 1..64),
+    ) {
+        let x: Vec<i8> = (0..cols).map(|i| seed[i % seed.len()]).collect();
+        let weights: Vec<Vec<i8>> = (0..rows)
+            .map(|r| (0..cols).map(|c| ((r * 5 + c * 3) % 15) as i8 - 7).collect())
+            .collect();
+        let biases: Vec<i32> = (0..rows as i32).map(|r| r * 11 - 20).collect();
+        let requant = Requantizer::from_scale(0.03, 8).unwrap();
+        let pu = ProcessingUnit::new(n_pes, 8, BimVariant::TypeA);
+        let (codes, _cycles) = pu.matvec(&x, &weights, &biases, &requant, OperandMode::Act8Weight4);
+        for (r, row) in weights.iter().enumerate() {
+            let expected = requant
+                .apply(exact_dot(&x, row) + i64::from(biases[r]))
+                .clamp(-127, 127) as i8;
+            prop_assert_eq!(codes[r], expected);
+        }
+    }
+}

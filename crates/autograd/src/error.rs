@@ -1,0 +1,73 @@
+//! Error type for autograd operations.
+
+use fqbert_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by graph construction and backward passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutogradError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The variable id does not belong to this graph.
+    UnknownVariable(usize),
+    /// `backward` was called on a node that is not a scalar.
+    NonScalarLoss {
+        /// Shape of the offending node.
+        shape: Vec<usize>,
+    },
+    /// An operation received arguments it cannot handle.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for AutogradError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutogradError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AutogradError::UnknownVariable(id) => write!(f, "unknown variable id {id}"),
+            AutogradError::NonScalarLoss { shape } => {
+                write!(f, "backward requires a scalar loss, got shape {shape:?}")
+            }
+            AutogradError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AutogradError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AutogradError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for AutogradError {
+    fn from(e: TensorError) -> Self {
+        AutogradError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let errs: Vec<AutogradError> = vec![
+            TensorError::EmptyTensor("max").into(),
+            AutogradError::UnknownVariable(3),
+            AutogradError::NonScalarLoss { shape: vec![2, 2] },
+            AutogradError::InvalidArgument("bad".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn tensor_error_is_source() {
+        use std::error::Error;
+        let e: AutogradError = TensorError::EmptyTensor("mean").into();
+        assert!(e.source().is_some());
+    }
+}

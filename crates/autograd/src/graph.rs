@@ -1,0 +1,249 @@
+//! The autograd tape: node storage, gradient accumulation and the backward
+//! driver.
+
+use crate::{AutogradError, Result};
+use fqbert_tensor::Tensor;
+
+/// Identifier of a node (variable) on a [`Graph`] tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Returns the raw index of this variable on its tape.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A backward closure maps the gradient flowing into a node to gradient
+/// contributions for each parent.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<(VarId, Tensor)>>;
+
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) grad: Option<Tensor>,
+    pub(crate) backward: Option<BackwardFn>,
+    pub(crate) is_param: bool,
+}
+
+/// A define-by-run autograd tape.
+///
+/// Operations append nodes; [`Graph::backward`] runs the tape in reverse and
+/// accumulates gradients into every node that contributed to the loss.
+///
+/// A fresh graph is built for every training step: model parameters live
+/// outside the graph (plain [`Tensor`]s) and are registered as leaves with
+/// [`Graph::param`].
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no node has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Registers an input (non-trainable leaf) and returns its id.
+    pub fn input(&mut self, value: Tensor) -> VarId {
+        self.push(value, None, false)
+    }
+
+    /// Registers a trainable parameter leaf and returns its id.
+    pub fn param(&mut self, value: Tensor) -> VarId {
+        self.push(value, None, true)
+    }
+
+    /// Appends a node produced by an operation.
+    pub(crate) fn push(
+        &mut self,
+        value: Tensor,
+        backward: Option<BackwardFn>,
+        is_param: bool,
+    ) -> VarId {
+        let id = VarId(self.nodes.len());
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            backward,
+            is_param,
+        });
+        id
+    }
+
+    /// Returns the forward value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Returns the accumulated gradient of a variable, if `backward` has been
+    /// run and the variable participated in the loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn grad(&self, id: VarId) -> Option<&Tensor> {
+        self.nodes[id.0].grad.as_ref()
+    }
+
+    /// Returns `true` if the variable was registered with [`Graph::param`].
+    pub fn is_param(&self, id: VarId) -> bool {
+        self.nodes[id.0].is_param
+    }
+
+    /// Checks that a variable id belongs to this tape.
+    pub(crate) fn check(&self, id: VarId) -> Result<()> {
+        if id.0 < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(AutogradError::UnknownVariable(id.0))
+        }
+    }
+
+    /// Accumulates `contribution` into the gradient slot of `id`.
+    fn accumulate(&mut self, id: VarId, contribution: Tensor) -> Result<()> {
+        let node = &mut self.nodes[id.0];
+        node.grad = Some(match node.grad.take() {
+            Some(existing) => existing.add(&contribution)?,
+            None => contribution,
+        });
+        Ok(())
+    }
+
+    /// Runs reverse-mode differentiation from the scalar node `loss`.
+    ///
+    /// Gradients are accumulated into every ancestor node; parameters can then
+    /// be read back with [`Graph::grad`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutogradError::NonScalarLoss`] if `loss` does not hold exactly
+    /// one element, or [`AutogradError::UnknownVariable`] for a foreign id.
+    pub fn backward(&mut self, loss: VarId) -> Result<()> {
+        self.check(loss)?;
+        let loss_node = &self.nodes[loss.0];
+        if loss_node.value.numel() != 1 {
+            return Err(AutogradError::NonScalarLoss {
+                shape: loss_node.value.dims().to_vec(),
+            });
+        }
+        let seed = Tensor::from_vec(vec![1.0], loss_node.value.dims())?;
+        self.accumulate(loss, seed)?;
+
+        // The tape is appended in topological order, so visiting ids in
+        // reverse order guarantees every node's gradient is complete before
+        // it is propagated to its parents.
+        for i in (0..=loss.0).rev() {
+            let Some(grad) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            let Some(backward) = self.nodes[i].backward.take() else {
+                continue;
+            };
+            let contributions = backward(&grad);
+            // Restore the closure so backward() could in principle be re-run
+            // after zero_grad (useful for gradient-checking tests).
+            self.nodes[i].backward = Some(backward);
+            for (pid, contribution) in contributions {
+                debug_assert!(pid.0 < i, "backward edge must point to an earlier node");
+                self.accumulate(pid, contribution)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+    }
+
+    /// Returns the ids of all parameter leaves on the tape, in registration
+    /// order.
+    pub fn param_ids(&self) -> Vec<VarId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_param)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_registration_and_values() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::scalar(2.0));
+        let w = g.param(Tensor::scalar(3.0));
+        assert_eq!(g.value(x).as_slice(), &[2.0]);
+        assert!(!g.is_param(x));
+        assert!(g.is_param(w));
+        assert_eq!(g.param_ids(), vec![w]);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 2]));
+        assert!(matches!(
+            g.backward(x),
+            Err(AutogradError::NonScalarLoss { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_rejects_unknown_id() {
+        let mut g = Graph::new();
+        let _ = g.input(Tensor::scalar(1.0));
+        assert!(matches!(
+            g.backward(VarId(99)),
+            Err(AutogradError::UnknownVariable(99))
+        ));
+    }
+
+    #[test]
+    fn zero_grad_clears_gradients() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::scalar(2.0));
+        let y = g.scale(x, 3.0).unwrap();
+        g.backward(y).unwrap();
+        assert!(g.grad(x).is_some());
+        g.zero_grad();
+        assert!(g.grad(x).is_none());
+    }
+}

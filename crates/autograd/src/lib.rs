@@ -1,0 +1,49 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! The FQ-BERT paper fine-tunes BERT *with the quantization function in the
+//! loop* (quantization-aware training). Reproducing that requires gradients,
+//! so this crate provides a small define-by-run autograd engine over
+//! [`fqbert_tensor::Tensor`]:
+//!
+//! * [`Graph`] is an append-only tape. Every operation records the forward
+//!   value and a backward closure that maps the output gradient to parent
+//!   gradient contributions.
+//! * [`VarId`] identifies a node on the tape.
+//! * [`optim`] contains the SGD and Adam optimizers used by the trainer.
+//!
+//! The operation set is exactly what a BERT encoder needs: matmul, bias add,
+//! residual add, GELU, row softmax, layer norm, embedding lookup, head
+//! split/concat, cross-entropy-from-logits, and the straight-through fake
+//! quantizer used for QAT.
+//!
+//! # Examples
+//!
+//! ```
+//! use fqbert_autograd::Graph;
+//! use fqbert_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::from_vec(vec![1.0, 2.0], &[1, 2])?);
+//! let w = g.param(Tensor::from_vec(vec![3.0, 4.0], &[2, 1])?);
+//! let y = g.matmul(x, w)?;
+//! let loss = g.sum_all(y)?;
+//! g.backward(loss)?;
+//! let grad_w = g.grad(w).expect("parameter gradient");
+//! assert_eq!(grad_w.as_slice(), &[1.0, 2.0]);
+//! # Ok::<(), fqbert_autograd::AutogradError>(())
+//! ```
+
+pub mod error;
+pub mod graph;
+pub mod ops_basic;
+pub mod ops_nn;
+pub mod ops_quant;
+pub mod optim;
+
+pub use error::AutogradError;
+pub use graph::{Graph, VarId};
+pub use ops_quant::FakeQuantSpec;
+pub use optim::{Adam, Optimizer, Sgd};
+
+/// Convenience result alias for autograd operations.
+pub type Result<T> = std::result::Result<T, AutogradError>;

@@ -1,0 +1,427 @@
+//! Arithmetic and shape operations on the autograd tape.
+
+use crate::graph::{Graph, VarId};
+use crate::Result;
+use fqbert_tensor::Tensor;
+
+impl Graph {
+    /// Element-wise addition `lhs + rhs` (used for residual connections).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ids or mismatched shapes.
+    pub fn add(&mut self, lhs: VarId, rhs: VarId) -> Result<VarId> {
+        self.check(lhs)?;
+        self.check(rhs)?;
+        let value = self.value(lhs).add(self.value(rhs))?;
+        let backward = Box::new(move |grad: &Tensor| {
+            vec![(lhs, grad.clone()), (rhs, grad.clone())]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Element-wise subtraction `lhs - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ids or mismatched shapes.
+    pub fn sub(&mut self, lhs: VarId, rhs: VarId) -> Result<VarId> {
+        self.check(lhs)?;
+        self.check(rhs)?;
+        let value = self.value(lhs).sub(self.value(rhs))?;
+        let backward = Box::new(move |grad: &Tensor| {
+            vec![(lhs, grad.clone()), (rhs, grad.scale(-1.0))]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Element-wise (Hadamard) product `lhs * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ids or mismatched shapes.
+    pub fn mul(&mut self, lhs: VarId, rhs: VarId) -> Result<VarId> {
+        self.check(lhs)?;
+        self.check(rhs)?;
+        let a = self.value(lhs).clone();
+        let b = self.value(rhs).clone();
+        let value = a.mul(&b)?;
+        let backward = Box::new(move |grad: &Tensor| {
+            vec![
+                (lhs, grad.mul(&b).expect("shape checked in forward")),
+                (rhs, grad.mul(&a).expect("shape checked in forward")),
+            ]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Multiplication by a compile-time scalar (e.g. `1/sqrt(d_k)` attention
+    /// scaling).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id.
+    pub fn scale(&mut self, x: VarId, s: f32) -> Result<VarId> {
+        self.check(x)?;
+        let value = self.value(x).scale(s);
+        let backward = Box::new(move |grad: &Tensor| vec![(x, grad.scale(s))]);
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Adds a bias row-vector to every row of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ids or a bias length that does not match
+    /// the number of columns.
+    pub fn add_bias(&mut self, x: VarId, bias: VarId) -> Result<VarId> {
+        self.check(x)?;
+        self.check(bias)?;
+        let value = self.value(x).add_bias(self.value(bias))?;
+        let bias_dims = self.value(bias).dims().to_vec();
+        let backward = Box::new(move |grad: &Tensor| {
+            let (rows, cols) = grad.as_matrix_dims().expect("rank checked in forward");
+            let mut bias_grad = vec![0.0f32; cols];
+            for i in 0..rows {
+                for (j, bg) in bias_grad.iter_mut().enumerate() {
+                    *bg += grad.row(i)[j];
+                }
+            }
+            let bias_grad =
+                Tensor::from_vec(bias_grad, &bias_dims).expect("bias shape preserved");
+            vec![(x, grad.clone()), (bias, bias_grad)]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Matrix–matrix product of two rank-2 variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ids or incompatible shapes.
+    pub fn matmul(&mut self, lhs: VarId, rhs: VarId) -> Result<VarId> {
+        self.check(lhs)?;
+        self.check(rhs)?;
+        let a = self.value(lhs).clone();
+        let b = self.value(rhs).clone();
+        let value = a.matmul(&b)?;
+        let backward = Box::new(move |grad: &Tensor| {
+            // dL/dA = dL/dY · Bᵀ ; dL/dB = Aᵀ · dL/dY
+            let da = grad
+                .matmul_transposed(&b)
+                .expect("shapes checked in forward");
+            let db = a
+                .transpose2()
+                .and_then(|at| at.matmul(grad))
+                .expect("shapes checked in forward");
+            vec![(lhs, da), (rhs, db)]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Matrix product with the right-hand side transposed, `lhs · rhsᵀ`
+    /// (used for the attention score matrix `Q · Kᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ids or incompatible shapes.
+    pub fn matmul_transposed(&mut self, lhs: VarId, rhs: VarId) -> Result<VarId> {
+        self.check(lhs)?;
+        self.check(rhs)?;
+        let a = self.value(lhs).clone();
+        let b = self.value(rhs).clone();
+        let value = a.matmul_transposed(&b)?;
+        let backward = Box::new(move |grad: &Tensor| {
+            // Y = A·Bᵀ: dA = dY·B ; dB = dYᵀ·A
+            let da = grad.matmul(&b).expect("shapes checked in forward");
+            let db = grad
+                .transpose2()
+                .and_then(|gt| gt.matmul(&a))
+                .expect("shapes checked in forward");
+            vec![(lhs, da), (rhs, db)]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Transposes a rank-2 variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id or a non-matrix operand.
+    pub fn transpose2(&mut self, x: VarId) -> Result<VarId> {
+        self.check(x)?;
+        let value = self.value(x).transpose2()?;
+        let backward = Box::new(move |grad: &Tensor| {
+            vec![(x, grad.transpose2().expect("gradient is rank 2"))]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Reshapes a variable without changing its data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id or mismatched element counts.
+    pub fn reshape(&mut self, x: VarId, dims: &[usize]) -> Result<VarId> {
+        self.check(x)?;
+        let original = self.value(x).dims().to_vec();
+        let value = self.value(x).reshape(dims)?;
+        let backward = Box::new(move |grad: &Tensor| {
+            vec![(x, grad.reshape(&original).expect("element count preserved"))]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Extracts columns `[start, end)` of a rank-2 variable (head split).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id or an out-of-range column window.
+    pub fn slice_cols(&mut self, x: VarId, start: usize, end: usize) -> Result<VarId> {
+        self.check(x)?;
+        let full_dims = self.value(x).dims().to_vec();
+        let value = self.value(x).slice_cols(start, end)?;
+        let backward = Box::new(move |grad: &Tensor| {
+            let rows = full_dims[0];
+            let cols = full_dims[1];
+            let mut padded = Tensor::zeros(&[rows, cols]);
+            let width = end - start;
+            for i in 0..rows {
+                padded.row_mut(i)[start..end].copy_from_slice(&grad.row(i)[..width]);
+            }
+            vec![(x, padded)]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Concatenates rank-2 variables with equal row counts along columns
+    /// (multi-head attention concat).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ids, an empty part list, or mismatched
+    /// row counts.
+    pub fn concat_cols(&mut self, parts: &[VarId]) -> Result<VarId> {
+        for &p in parts {
+            self.check(p)?;
+        }
+        let tensors: Vec<Tensor> = parts.iter().map(|&p| self.value(p).clone()).collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let value = Tensor::hstack(&refs)?;
+        let widths: Vec<usize> = tensors.iter().map(|t| t.dims()[1]).collect();
+        let parts_owned = parts.to_vec();
+        let backward = Box::new(move |grad: &Tensor| {
+            let mut out = Vec::with_capacity(parts_owned.len());
+            let mut offset = 0usize;
+            for (&pid, &w) in parts_owned.iter().zip(widths.iter()) {
+                let slice = grad
+                    .slice_cols(offset, offset + w)
+                    .expect("column window within gradient");
+                out.push((pid, slice));
+                offset += w;
+            }
+            out
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Sum of all elements, producing a scalar node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id.
+    pub fn sum_all(&mut self, x: VarId) -> Result<VarId> {
+        self.check(x)?;
+        let dims = self.value(x).dims().to_vec();
+        let value = Tensor::scalar(self.value(x).sum());
+        let backward = Box::new(move |grad: &Tensor| {
+            let g = grad.as_slice()[0];
+            vec![(x, Tensor::full(&dims, g))]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Mean of all elements, producing a scalar node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id or an empty operand.
+    pub fn mean_all(&mut self, x: VarId) -> Result<VarId> {
+        self.check(x)?;
+        let dims = self.value(x).dims().to_vec();
+        let n = self.value(x).numel() as f32;
+        let value = Tensor::scalar(self.value(x).mean()?);
+        let backward = Box::new(move |grad: &Tensor| {
+            let g = grad.as_slice()[0] / n;
+            vec![(x, Tensor::full(&dims, g))]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    /// Central-difference gradient check for a scalar-valued builder.
+    fn grad_check<F>(param: Tensor, build: F, tol: f32)
+    where
+        F: Fn(&mut Graph, VarId) -> VarId,
+    {
+        let mut g = Graph::new();
+        let p = g.param(param.clone());
+        let loss = build(&mut g, p);
+        g.backward(loss).unwrap();
+        let analytic = g.grad(p).unwrap().clone();
+
+        let eps = 1e-3f32;
+        for i in 0..param.numel() {
+            let mut plus = param.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = param.clone();
+            minus.as_mut_slice()[i] -= eps;
+
+            let mut gp = Graph::new();
+            let pp = gp.param(plus);
+            let lp = build(&mut gp, pp);
+            let fp = gp.value(lp).as_slice()[0];
+
+            let mut gm = Graph::new();
+            let pm = gm.param(minus);
+            let lm = build(&mut gm, pm);
+            let fm = gm.value(lm).as_slice()[0];
+
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            assert!(
+                (numeric - a).abs() < tol,
+                "grad mismatch at {i}: numeric {numeric} vs analytic {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_backward_passes_gradient_to_both() {
+        let mut g = Graph::new();
+        let a = g.param(t(&[1.0, 2.0], &[1, 2]));
+        let b = g.param(t(&[3.0, 4.0], &[1, 2]));
+        let c = g.add(a, b).unwrap();
+        let loss = g.sum_all(c).unwrap();
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn matmul_gradients_match_finite_differences() {
+        let x = t(&[0.5, -1.0, 2.0, 0.25, 1.5, -0.75], &[2, 3]);
+        grad_check(
+            t(&[0.1, -0.2, 0.3, 0.4, -0.5, 0.6], &[3, 2]),
+            move |g, w| {
+                let xin = g.input(x.clone());
+                let y = g.matmul(xin, w).unwrap();
+                g.sum_all(y).unwrap()
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn matmul_transposed_gradients_match_finite_differences() {
+        let x = t(&[0.5, -1.0, 2.0, 0.25], &[2, 2]);
+        grad_check(
+            t(&[0.1, -0.2, 0.3, 0.4, -0.5, 0.6], &[3, 2]),
+            move |g, w| {
+                let xin = g.input(x.clone());
+                let y = g.matmul_transposed(xin, w).unwrap();
+                g.sum_all(y).unwrap()
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn mul_and_scale_gradients() {
+        grad_check(
+            t(&[1.0, -2.0, 0.5, 3.0], &[2, 2]),
+            |g, p| {
+                let s = g.scale(p, 2.5).unwrap();
+                let sq = g.mul(s, p).unwrap();
+                g.sum_all(sq).unwrap()
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn add_bias_accumulates_over_rows() {
+        let mut g = Graph::new();
+        let x = g.input(t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.param(t(&[0.5, -0.5], &[2]));
+        let y = g.add_bias(x, b).unwrap();
+        let loss = g.sum_all(y).unwrap();
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn slice_concat_round_trip_gradient() {
+        let mut g = Graph::new();
+        let x = g.param(t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]));
+        let left = g.slice_cols(x, 0, 1).unwrap();
+        let right = g.slice_cols(x, 1, 3).unwrap();
+        let joined = g.concat_cols(&[left, right]).unwrap();
+        assert_eq!(g.value(joined).as_slice(), g.value(x).as_slice());
+        let loss = g.sum_all(joined).unwrap();
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[1.0; 6]);
+    }
+
+    #[test]
+    fn transpose_and_reshape_gradients_are_ones_for_sum() {
+        let mut g = Graph::new();
+        let x = g.param(t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]));
+        let xt = g.transpose2(x).unwrap();
+        let xr = g.reshape(xt, &[6]).unwrap();
+        let xr2 = g.reshape(xr, &[6, 1]).unwrap();
+        let loss = g.sum_all(xr2).unwrap();
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[1.0; 6]);
+    }
+
+    #[test]
+    fn mean_all_divides_gradient() {
+        let mut g = Graph::new();
+        let x = g.param(t(&[2.0, 4.0, 6.0, 8.0], &[2, 2]));
+        let loss = g.mean_all(x).unwrap();
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn sub_gradient_signs() {
+        let mut g = Graph::new();
+        let a = g.param(t(&[1.0, 2.0], &[1, 2]));
+        let b = g.param(t(&[5.0, 5.0], &[1, 2]));
+        let d = g.sub(a, b).unwrap();
+        let loss = g.sum_all(d).unwrap();
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    fn gradient_accumulates_when_variable_used_twice() {
+        let mut g = Graph::new();
+        let x = g.param(t(&[3.0], &[1, 1]));
+        let y = g.add(x, x).unwrap();
+        let loss = g.sum_all(y).unwrap();
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[2.0]);
+    }
+}

@@ -1,0 +1,416 @@
+//! Neural-network operations on the autograd tape: activations, softmax,
+//! layer normalization, embedding lookup and the classification loss.
+
+use crate::graph::{Graph, VarId};
+use crate::{AutogradError, Result};
+use fqbert_tensor::Tensor;
+
+/// Derivative of the tanh-approximated GELU at `x`.
+fn gelu_grad_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_56; // sqrt(2/pi)
+    const A: f32 = 0.044_715;
+    let u = C * (x + A * x * x * x);
+    let t = u.tanh();
+    let du_dx = C * (1.0 + 3.0 * A * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du_dx
+}
+
+impl Graph {
+    /// GELU activation (tanh approximation, as used by BERT's FFN).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id.
+    pub fn gelu(&mut self, x: VarId) -> Result<VarId> {
+        self.check(x)?;
+        let input = self.value(x).clone();
+        let value = input.gelu();
+        let backward = Box::new(move |grad: &Tensor| {
+            let local = input.map(gelu_grad_scalar);
+            vec![(x, grad.mul(&local).expect("same shape as forward"))]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// ReLU activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id.
+    pub fn relu(&mut self, x: VarId) -> Result<VarId> {
+        self.check(x)?;
+        let input = self.value(x).clone();
+        let value = input.relu();
+        let backward = Box::new(move |grad: &Tensor| {
+            let mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+            vec![(x, grad.mul(&mask).expect("same shape as forward"))]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Numerically stable softmax over each row of a rank-2 variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id or a non-matrix operand.
+    pub fn softmax_rows(&mut self, x: VarId) -> Result<VarId> {
+        self.check(x)?;
+        let value = self.value(x).softmax_rows()?;
+        let softmax = value.clone();
+        let backward = Box::new(move |grad: &Tensor| {
+            // dL/dx_i = s_i * (dL/ds_i - Σ_j dL/ds_j s_j), per row.
+            let (rows, cols) = softmax.as_matrix_dims().expect("rank checked in forward");
+            let mut out = Tensor::zeros(&[rows, cols]);
+            for r in 0..rows {
+                let s = softmax.row(r);
+                let gy = grad.row(r);
+                let dot: f32 = s.iter().zip(gy.iter()).map(|(&a, &b)| a * b).sum();
+                for c in 0..cols {
+                    out.row_mut(r)[c] = s[c] * (gy[c] - dot);
+                }
+            }
+            vec![(x, out)]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Layer normalization over the last dimension of a rank-2 variable with
+    /// learnable `gamma` and `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ids or inconsistent shapes.
+    pub fn layer_norm(
+        &mut self,
+        x: VarId,
+        gamma: VarId,
+        beta: VarId,
+        eps: f32,
+    ) -> Result<VarId> {
+        self.check(x)?;
+        self.check(gamma)?;
+        self.check(beta)?;
+        let input = self.value(x).clone();
+        let g = self.value(gamma).clone();
+        let b = self.value(beta).clone();
+        let value = input.layer_norm(&g, &b, eps)?;
+        let backward = Box::new(move |grad: &Tensor| {
+            let (rows, cols) = input.as_matrix_dims().expect("rank checked in forward");
+            let n = cols as f32;
+            let mut dx = Tensor::zeros(&[rows, cols]);
+            let mut dgamma = vec![0.0f32; cols];
+            let mut dbeta = vec![0.0f32; cols];
+            let gs = g.as_slice();
+            for r in 0..rows {
+                let row = input.row(r);
+                let gy = grad.row(r);
+                let mean = row.iter().sum::<f32>() / n;
+                let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                let inv_std = 1.0 / (var + eps).sqrt();
+                // Normalised activations and the two reduction terms of the
+                // standard layer-norm backward formula.
+                let xhat: Vec<f32> = row.iter().map(|&v| (v - mean) * inv_std).collect();
+                let dy_g: Vec<f32> = gy.iter().zip(gs.iter()).map(|(&a, &w)| a * w).collect();
+                let sum_dy_g: f32 = dy_g.iter().sum();
+                let sum_dy_g_xhat: f32 =
+                    dy_g.iter().zip(xhat.iter()).map(|(&a, &h)| a * h).sum();
+                for c in 0..cols {
+                    dgamma[c] += gy[c] * xhat[c];
+                    dbeta[c] += gy[c];
+                    dx.row_mut(r)[c] = inv_std / n
+                        * (n * dy_g[c] - sum_dy_g - xhat[c] * sum_dy_g_xhat);
+                }
+            }
+            let gamma_dims = g.dims().to_vec();
+            let beta_dims = b.dims().to_vec();
+            vec![
+                (x, dx),
+                (
+                    gamma,
+                    Tensor::from_vec(dgamma, &gamma_dims).expect("gamma shape preserved"),
+                ),
+                (
+                    beta,
+                    Tensor::from_vec(dbeta, &beta_dims).expect("beta shape preserved"),
+                ),
+            ]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+
+    /// Embedding lookup: gathers rows of `table` (shape `[vocab, hidden]`) for
+    /// every id in `ids`, producing a `[ids.len(), hidden]` variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id, a non-matrix table, or an
+    /// out-of-vocabulary token id.
+    pub fn embedding(&mut self, table: VarId, ids: &[usize]) -> Result<VarId> {
+        self.check(table)?;
+        let tbl = self.value(table).clone();
+        let (vocab, hidden) = tbl.as_matrix_dims()?;
+        for &id in ids {
+            if id >= vocab {
+                return Err(AutogradError::InvalidArgument(format!(
+                    "token id {id} out of range for vocabulary of {vocab}"
+                )));
+            }
+        }
+        let mut out = Tensor::zeros(&[ids.len(), hidden]);
+        for (row, &id) in ids.iter().enumerate() {
+            out.row_mut(row).copy_from_slice(tbl.row(id));
+        }
+        let ids_owned = ids.to_vec();
+        let backward = Box::new(move |grad: &Tensor| {
+            let mut dtable = Tensor::zeros(&[vocab, hidden]);
+            for (row, &id) in ids_owned.iter().enumerate() {
+                let src = grad.row(row);
+                let dst = dtable.row_mut(id);
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    *d += s;
+                }
+            }
+            vec![(table, dtable)]
+        });
+        Ok(self.push(out, Some(backward), false))
+    }
+
+    /// Mean cross-entropy between row logits and integer class labels,
+    /// computed from logits for numerical stability.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id, a non-matrix operand, a label list
+    /// whose length differs from the number of rows, or an out-of-range label.
+    pub fn cross_entropy_logits(&mut self, logits: VarId, labels: &[usize]) -> Result<VarId> {
+        self.check(logits)?;
+        let z = self.value(logits).clone();
+        let (rows, cols) = z.as_matrix_dims()?;
+        if labels.len() != rows {
+            return Err(AutogradError::InvalidArgument(format!(
+                "{} labels supplied for {rows} logit rows",
+                labels.len()
+            )));
+        }
+        for &l in labels {
+            if l >= cols {
+                return Err(AutogradError::InvalidArgument(format!(
+                    "label {l} out of range for {cols} classes"
+                )));
+            }
+        }
+        let probs = z.softmax_rows()?;
+        let mut loss = 0.0f32;
+        for (r, &label) in labels.iter().enumerate() {
+            loss -= probs.row(r)[label].max(1e-12).ln();
+        }
+        loss /= rows as f32;
+        let labels_owned = labels.to_vec();
+        let backward = Box::new(move |grad: &Tensor| {
+            let scale = grad.as_slice()[0] / rows as f32;
+            let mut dz = probs.clone();
+            for (r, &label) in labels_owned.iter().enumerate() {
+                dz.row_mut(r)[label] -= 1.0;
+            }
+            vec![(logits, dz.scale(scale))]
+        });
+        Ok(self.push(Tensor::scalar(loss), Some(backward), false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    fn numeric_grad<F>(param: &Tensor, build: &F, i: usize) -> f32
+    where
+        F: Fn(&mut Graph, VarId) -> VarId,
+    {
+        let eps = 1e-3f32;
+        let eval = |p: Tensor| {
+            let mut g = Graph::new();
+            let pid = g.param(p);
+            let loss = build(&mut g, pid);
+            g.value(loss).as_slice()[0]
+        };
+        let mut plus = param.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = param.clone();
+        minus.as_mut_slice()[i] -= eps;
+        (eval(plus) - eval(minus)) / (2.0 * eps)
+    }
+
+    fn grad_check<F>(param: Tensor, build: F, tol: f32)
+    where
+        F: Fn(&mut Graph, VarId) -> VarId,
+    {
+        let mut g = Graph::new();
+        let pid = g.param(param.clone());
+        let loss = build(&mut g, pid);
+        g.backward(loss).unwrap();
+        let analytic = g.grad(pid).unwrap().clone();
+        for i in 0..param.numel() {
+            let numeric = numeric_grad(&param, &build, i);
+            let a = analytic.as_slice()[i];
+            assert!(
+                (numeric - a).abs() < tol,
+                "grad mismatch at {i}: numeric {numeric} vs analytic {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn gelu_gradient_matches_finite_differences() {
+        grad_check(
+            t(&[-2.0, -0.5, 0.0, 0.5, 2.0, 4.0], &[2, 3]),
+            |g, p| {
+                let y = g.gelu(p).unwrap();
+                g.sum_all(y).unwrap()
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn relu_gradient_is_step() {
+        let mut g = Graph::new();
+        let x = g.param(t(&[-1.0, 2.0, -3.0, 4.0], &[2, 2]));
+        let y = g.relu(x).unwrap();
+        let loss = g.sum_all(y).unwrap();
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_gradient_matches_finite_differences() {
+        // Weighted sum of softmax outputs gives a non-trivial upstream grad.
+        let weights = t(&[0.3, -0.7, 1.3, 0.1, 0.9, -0.2], &[2, 3]);
+        grad_check(
+            t(&[0.5, -1.0, 0.25, 2.0, 0.0, -0.5], &[2, 3]),
+            move |g, p| {
+                let s = g.softmax_rows(p).unwrap();
+                let w = g.input(weights.clone());
+                let prod = g.mul(s, w).unwrap();
+                g.sum_all(prod).unwrap()
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn layer_norm_gradient_matches_finite_differences() {
+        let gamma = t(&[1.2, 0.8, 1.0], &[3]);
+        let beta = t(&[0.1, -0.1, 0.0], &[3]);
+        let weights = t(&[0.3, -0.7, 1.3, 0.1, 0.9, -0.2], &[2, 3]);
+        grad_check(
+            t(&[0.5, -1.0, 0.25, 2.0, 0.1, -0.5], &[2, 3]),
+            move |g, p| {
+                let ga = g.param(gamma.clone());
+                let be = g.param(beta.clone());
+                let y = g.layer_norm(p, ga, be, 1e-5).unwrap();
+                let w = g.input(weights.clone());
+                let prod = g.mul(y, w).unwrap();
+                g.sum_all(prod).unwrap()
+            },
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn layer_norm_gamma_beta_gradients() {
+        let x = t(&[0.5, -1.0, 0.25, 2.0, 0.1, -0.5], &[2, 3]);
+        let weights = t(&[0.3, -0.7, 1.3, 0.1, 0.9, -0.2], &[2, 3]);
+        grad_check(
+            t(&[1.0, 1.0, 1.0, 0.0, 0.0, 0.0], &[6]),
+            move |g, p| {
+                let wide = g.reshape(p, &[1, 6]).unwrap();
+                let gamma = g.slice_cols(wide, 0, 3).unwrap();
+                let gamma = g.reshape(gamma, &[3]).unwrap();
+                let beta = g.slice_cols(wide, 3, 6).unwrap();
+                let beta = g.reshape(beta, &[3]).unwrap();
+                let xin = g.input(x.clone());
+                let y = g.layer_norm(xin, gamma, beta, 1e-5).unwrap();
+                let w = g.input(weights.clone());
+                let prod = g.mul(y, w).unwrap();
+                g.sum_all(prod).unwrap()
+            },
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn embedding_forward_and_scatter_backward() {
+        let mut g = Graph::new();
+        let table = g.param(t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]));
+        let out = g.embedding(table, &[2, 0, 2]).unwrap();
+        assert_eq!(g.value(out).as_slice(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let loss = g.sum_all(out).unwrap();
+        g.backward(loss).unwrap();
+        // Row 2 is used twice, row 1 never.
+        assert_eq!(
+            g.grad(table).unwrap().as_slice(),
+            &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn embedding_rejects_out_of_vocab() {
+        let mut g = Graph::new();
+        let table = g.param(Tensor::zeros(&[3, 2]));
+        assert!(g.embedding(table, &[3]).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual_value() {
+        let mut g = Graph::new();
+        // Uniform logits: loss must equal ln(num_classes).
+        let logits = g.input(Tensor::zeros(&[2, 4]));
+        let loss = g.cross_entropy_logits(logits, &[0, 3]).unwrap();
+        assert!((g.value(loss).as_slice()[0] - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        grad_check(
+            t(&[0.5, -1.0, 0.25, 2.0, 0.1, -0.5], &[2, 3]),
+            |g, p| g.cross_entropy_logits(p, &[2, 0]).unwrap(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_validates_labels() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::zeros(&[2, 3]));
+        assert!(g.cross_entropy_logits(logits, &[0]).is_err());
+        assert!(g.cross_entropy_logits(logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn training_loss_decreases_with_gradient_steps() {
+        // A tiny logistic-regression sanity check: loss must strictly
+        // decrease over a few manual SGD steps.
+        let x = t(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.2, 0.1], &[4, 2]);
+        let labels = [0usize, 1, 1, 0];
+        let mut w = t(&[0.01, -0.02, 0.03, 0.01], &[2, 2]);
+        let mut prev = f32::INFINITY;
+        for _ in 0..20 {
+            let mut g = Graph::new();
+            let xin = g.input(x.clone());
+            let wid = g.param(w.clone());
+            let logits = g.matmul(xin, wid).unwrap();
+            let loss = g.cross_entropy_logits(logits, &labels).unwrap();
+            let lv = g.value(loss).as_slice()[0];
+            assert!(lv <= prev + 1e-4, "loss must not increase: {lv} > {prev}");
+            prev = lv;
+            g.backward(loss).unwrap();
+            let grad = g.grad(wid).unwrap();
+            w = w.sub(&grad.scale(0.5)).unwrap();
+        }
+        assert!(prev < 0.6, "loss should have decreased substantially: {prev}");
+    }
+}

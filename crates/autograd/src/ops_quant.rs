@@ -1,0 +1,169 @@
+//! Quantization-aware-training operations: the straight-through fake
+//! quantizer used to fine-tune FQ-BERT (paper §II).
+//!
+//! The forward pass performs the paper's symmetric linear quantization
+//! (Eq. 1): clamp to `[-clip, clip]`, scale by `s = (2^(k-1) - 1) / clip`,
+//! round to the integer grid and immediately dequantize. The backward pass is
+//! the standard straight-through estimator: gradients pass unchanged where
+//! the input fell inside the clip range and are zeroed where it was clamped.
+
+use crate::graph::{Graph, VarId};
+use crate::{AutogradError, Result};
+use fqbert_tensor::Tensor;
+
+/// Fake-quantization settings for one tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FakeQuantSpec {
+    /// Quantization bit-width `k` (2–8 in the paper's experiments).
+    pub bits: u32,
+    /// Symmetric clip threshold `MAX` (with `MIN = -MAX`). `None` uses the
+    /// tensor's own max-absolute value, i.e. the NO_CLIP setting of Fig. 3.
+    pub clip: Option<f32>,
+}
+
+impl FakeQuantSpec {
+    /// Creates a spec with an explicit clip threshold (the CLIP setting).
+    pub fn with_clip(bits: u32, clip: f32) -> Self {
+        Self {
+            bits,
+            clip: Some(clip),
+        }
+    }
+
+    /// Creates a spec without clipping (scale from the observed max).
+    pub fn no_clip(bits: u32) -> Self {
+        Self { bits, clip: None }
+    }
+
+    /// Largest representable integer level, `2^(k-1) - 1`.
+    pub fn qmax(&self) -> f32 {
+        ((1u32 << (self.bits - 1)) - 1) as f32
+    }
+}
+
+/// Quantize-dequantize a tensor according to `spec`, returning the fake
+/// quantized tensor and the clip threshold actually used.
+pub(crate) fn fake_quantize(input: &Tensor, spec: &FakeQuantSpec) -> (Tensor, f32) {
+    let max_abs = input.abs_max().unwrap_or(0.0);
+    let clip = spec.clip.unwrap_or(max_abs).max(1e-8);
+    let qmax = spec.qmax();
+    let scale = qmax / clip;
+    let out = input.map(|x| {
+        let clamped = x.clamp(-clip, clip);
+        (clamped * scale).round() / scale
+    });
+    (out, clip)
+}
+
+impl Graph {
+    /// Applies fake quantization (quantize–dequantize) with a
+    /// straight-through-estimator backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id or a bit-width outside `2..=32`.
+    pub fn fake_quant(&mut self, x: VarId, spec: FakeQuantSpec) -> Result<VarId> {
+        self.check(x)?;
+        if !(2..=32).contains(&spec.bits) {
+            return Err(AutogradError::InvalidArgument(format!(
+                "unsupported fake-quant bit-width {}",
+                spec.bits
+            )));
+        }
+        let input = self.value(x).clone();
+        let (value, clip) = fake_quantize(&input, &spec);
+        let backward = Box::new(move |grad: &Tensor| {
+            // Straight-through estimator: pass the gradient where the input
+            // was inside the clip range, block it where it was clamped.
+            let mask = input.map(|v| if v.abs() <= clip { 1.0 } else { 0.0 });
+            vec![(x, grad.mul(&mask).expect("same shape as forward"))]
+        });
+        Ok(self.push(value, Some(backward), false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn qmax_values() {
+        assert_eq!(FakeQuantSpec::no_clip(8).qmax(), 127.0);
+        assert_eq!(FakeQuantSpec::no_clip(4).qmax(), 7.0);
+        assert_eq!(FakeQuantSpec::no_clip(2).qmax(), 1.0);
+    }
+
+    #[test]
+    fn fake_quant_is_idempotent() {
+        let x = t(&[0.11, -0.53, 0.74, -0.99], &[2, 2]);
+        let spec = FakeQuantSpec::no_clip(4);
+        let (once, _) = fake_quantize(&x, &spec);
+        let (twice, _) = fake_quantize(&once, &spec);
+        assert!(once.allclose(&twice, 1e-6));
+    }
+
+    #[test]
+    fn fake_quant_error_bounded_by_half_step() {
+        let x = t(&[0.3, -0.8, 0.05, 1.0, -1.0, 0.61], &[2, 3]);
+        let spec = FakeQuantSpec::no_clip(6);
+        let (q, clip) = fake_quantize(&x, &spec);
+        let step = clip / spec.qmax();
+        for (a, b) in x.as_slice().iter().zip(q.as_slice()) {
+            assert!((a - b).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn clipping_clamps_outliers() {
+        let x = t(&[10.0, -10.0, 0.5], &[3]);
+        let spec = FakeQuantSpec::with_clip(8, 1.0);
+        let (q, _) = fake_quantize(&x, &spec);
+        assert!((q.as_slice()[0] - 1.0).abs() < 1e-6);
+        assert!((q.as_slice()[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn high_bitwidth_quantization_is_nearly_lossless() {
+        let x = t(&[0.123, -0.456, 0.789, -0.999], &[4]);
+        let spec = FakeQuantSpec::no_clip(16);
+        let (q, _) = fake_quantize(&x, &spec);
+        assert!(x.allclose(&q, 1e-4));
+    }
+
+    #[test]
+    fn ste_passes_gradient_inside_clip_and_blocks_outside() {
+        let mut g = Graph::new();
+        let x = g.param(t(&[0.2, 5.0, -0.7, -9.0], &[2, 2]));
+        let y = g
+            .fake_quant(x, FakeQuantSpec::with_clip(8, 1.0))
+            .unwrap();
+        let loss = g.sum_all(y).unwrap();
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn invalid_bitwidth_is_rejected() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::zeros(&[2]));
+        assert!(g.fake_quant(x, FakeQuantSpec::no_clip(1)).is_err());
+        assert!(g.fake_quant(x, FakeQuantSpec::no_clip(33)).is_err());
+    }
+
+    #[test]
+    fn two_bit_quantization_has_three_levels() {
+        let x = t(&[0.9, -0.9, 0.1, 0.4, -0.2, -0.6], &[6]);
+        let (q, clip) = fake_quantize(&x, &FakeQuantSpec::no_clip(2));
+        // With k = 2, the only representable values are {-clip, 0, clip}.
+        for &v in q.as_slice() {
+            assert!(
+                (v.abs() - clip).abs() < 1e-6 || v.abs() < 1e-6,
+                "unexpected 2-bit level {v}"
+            );
+        }
+    }
+}

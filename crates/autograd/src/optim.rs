@@ -1,0 +1,221 @@
+//! Optimizers for the quantization-aware fine-tuning loop.
+//!
+//! Parameters live outside the [`crate::Graph`] (as plain tensors owned by
+//! the model), so the optimizers here operate on `(parameter, gradient)`
+//! pairs indexed by position: the trainer must present parameters in the same
+//! order on every step.
+
+use fqbert_tensor::Tensor;
+
+/// Common interface of the optimizers used by the BERT trainer.
+pub trait Optimizer {
+    /// Applies one update step. `params` and `grads` are matched by index and
+    /// must be presented in the same order on every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` have different lengths, or if the shape
+    /// of any parameter changes between steps.
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]);
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used for warm-up / decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate and no momentum.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// Creates an SGD optimizer with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.dims())).collect();
+        }
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(self.velocity.iter_mut()) {
+            assert_eq!(p.dims(), g.dims(), "parameter/gradient shape mismatch");
+            if self.momentum > 0.0 {
+                *v = v
+                    .scale(self.momentum)
+                    .add(g)
+                    .expect("velocity shape matches gradient");
+                **p = p.sub(&v.scale(self.lr)).expect("same shape");
+            } else {
+                **p = p.sub(&g.scale(self.lr)).expect("same shape");
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba), the optimizer used for BERT fine-tuning.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard defaults
+    /// (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of update steps performed so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.dims())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.dims())).collect();
+        }
+        self.step += 1;
+        let t = self.step as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (i, (p, g)) in params.iter_mut().zip(grads).enumerate() {
+            assert_eq!(p.dims(), g.dims(), "parameter/gradient shape mismatch");
+            self.m[i] = self.m[i]
+                .scale(self.beta1)
+                .add(&g.scale(1.0 - self.beta1))
+                .expect("same shape");
+            let g_sq = g.mul(g).expect("same shape");
+            self.v[i] = self.v[i]
+                .scale(self.beta2)
+                .add(&g_sq.scale(1.0 - self.beta2))
+                .expect("same shape");
+            let m_hat = self.m[i].scale(1.0 / bias1);
+            let v_hat = self.v[i].scale(1.0 / bias2);
+            let eps = self.eps;
+            let update = m_hat
+                .zip_with(&v_hat, "adam_update", |m, v| m / (v.sqrt() + eps))
+                .expect("same shape");
+            **p = p.sub(&update.scale(self.lr)).expect("same shape");
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 with the given optimizer and returns the
+    /// final parameter value.
+    fn minimize(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut x = Tensor::scalar(0.0);
+        for _ in 0..steps {
+            let grad = Tensor::scalar(2.0 * (x.as_slice()[0] - 3.0));
+            opt.step(&mut [&mut x], &[&grad]);
+        }
+        x.as_slice()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = minimize(&mut opt, 100);
+        assert!((x - 3.0).abs() < 1e-3, "sgd did not converge: {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let x = minimize(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-2, "sgd+momentum did not converge: {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        let x = minimize(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-2, "adam did not converge: {x}");
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn learning_rate_can_be_adjusted() {
+        let mut opt = Adam::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Sgd::new(0.1);
+        let mut x = Tensor::scalar(0.0);
+        opt.step(&mut [&mut x], &[]);
+    }
+
+    #[test]
+    fn multi_parameter_update() {
+        let mut opt = Adam::new(0.3);
+        let mut a = Tensor::scalar(-2.0);
+        let mut b = Tensor::full(&[2], 5.0);
+        for _ in 0..400 {
+            let ga = Tensor::scalar(2.0 * (a.as_slice()[0] - 1.0));
+            let gb = b.map(|x| 2.0 * (x + 1.0));
+            opt.step(&mut [&mut a, &mut b], &[&ga, &gb]);
+        }
+        assert!((a.as_slice()[0] - 1.0).abs() < 0.05);
+        assert!(b.as_slice().iter().all(|&x| (x + 1.0).abs() < 0.05));
+    }
+}

@@ -1,0 +1,42 @@
+//! Criterion benchmark of the accelerator cycle model itself (it is evaluated
+//! thousands of times by design-space sweeps, so its own cost matters), plus
+//! the scheduler over the three published configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fqbert_accel::dataflow::EncoderShape;
+use fqbert_accel::{cycle_model, AcceleratorConfig, ResourceModel, Scheduler};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let shape = EncoderShape::bert_base();
+    let mut group = c.benchmark_group("accelerator_models");
+    for config in AcceleratorConfig::table_iii_configs() {
+        let label = format!(
+            "{}_{}x{}",
+            config.device.name(),
+            config.pes_per_pu,
+            config.multipliers_per_bim
+        );
+        group.bench_with_input(
+            BenchmarkId::new("latency_estimate", &label),
+            &config,
+            |b, cfg| b.iter(|| cycle_model::estimate_latency(black_box(cfg), &shape, 12)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("layer_schedule", &label),
+            &config,
+            |b, cfg| {
+                let scheduler = Scheduler::new(cfg.clone());
+                b.iter(|| scheduler.schedule_layer(black_box(&shape)))
+            },
+        );
+    }
+    let resource_model = ResourceModel::new();
+    group.bench_function("resource_estimate", |b| {
+        b.iter(|| resource_model.estimate(black_box(&AcceleratorConfig::zcu111_n16_m16())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmark of one encoder layer: float forward pass vs the
+//! integer-only FQ-BERT engine on the same (tiny) model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fqbert_autograd::Graph;
+use fqbert_bert::{BertConfig, BertModel, NoopHook};
+use fqbert_core::{convert, IntBertModel, QatHook};
+use fqbert_nlp::Example;
+use fqbert_quant::QuantConfig;
+use std::hint::black_box;
+
+fn setup() -> (BertModel, IntBertModel, Example) {
+    let model = BertModel::new(BertConfig::tiny(60, 32, 2), 17);
+    let tokens: Vec<usize> = (0..24).map(|i| 2 + (i * 3) % 50).collect();
+    let example = Example {
+        segment_ids: vec![0; tokens.len()],
+        attention_mask: vec![1; tokens.len()],
+        token_ids: tokens,
+        label: 0,
+    };
+    let mut hook = QatHook::calibration_only(QuantConfig::fq_bert());
+    for _ in 0..3 {
+        let mut graph = Graph::new();
+        let bound = model.bind(&mut graph);
+        bound
+            .forward(&mut graph, &example, &mut hook)
+            .expect("calibration forward");
+    }
+    let int_model = convert(&model, &hook).expect("conversion");
+    (model, int_model, example)
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let (model, int_model, example) = setup();
+    let mut group = c.benchmark_group("tiny_bert_seq24");
+    group.bench_function("float_forward", |b| {
+        b.iter(|| {
+            let mut graph = Graph::new();
+            let bound = model.bind(&mut graph);
+            bound
+                .forward(&mut graph, black_box(&example), &mut NoopHook)
+                .expect("forward")
+        })
+    });
+    group.bench_function("integer_engine_forward", |b| {
+        b.iter(|| {
+            int_model
+                .forward_logits(
+                    black_box(&example.token_ids),
+                    black_box(&example.segment_ids),
+                )
+                .expect("forward")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoder);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark comparing the float GEMM used by the FP32 baseline
+//! against the integer GEMM used by the FQ-BERT engine (the kernel-level view
+//! of Table IV's CPU column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fqbert_tensor::{IntTensor, RngSource};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = RngSource::seed_from_u64(n as u64);
+        let a_f = rng.uniform_tensor(&[n, n], -1.0, 1.0);
+        let b_f = rng.uniform_tensor(&[n, n], -1.0, 1.0);
+        let a_i = IntTensor::<i8>::from_vec(
+            a_f.as_slice().iter().map(|&x| (x * 127.0) as i8).collect(),
+            &[n, n],
+        )
+        .expect("shape");
+        let b_i = IntTensor::<i8>::from_vec(
+            b_f.as_slice().iter().map(|&x| (x * 7.0) as i8).collect(),
+            &[n, n],
+        )
+        .expect("shape");
+
+        group.bench_with_input(BenchmarkId::new("f32", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a_f).matmul(black_box(&b_f)).expect("matmul"))
+        });
+        group.bench_with_input(BenchmarkId::new("int8_acc32", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a_i).matmul_i32(black_box(&b_i)).expect("matmul"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmark of the quantized special-function kernels: LUT softmax
+//! and fixed-point layer norm against their float references.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fqbert_quant::{QuantizedLayerNorm, SoftmaxLut};
+use fqbert_tensor::{RngSource, Tensor};
+use std::hint::black_box;
+
+fn bench_softmax(c: &mut Criterion) {
+    let seq = 128usize;
+    let scores_f: Vec<f32> = (0..seq).map(|i| (i as f32 * 0.37).sin() * 8.0).collect();
+    let scores_i: Vec<i32> = scores_f.iter().map(|&x| (x * 8.0) as i32).collect();
+    let float_row = Tensor::from_vec(scores_f, &[1, seq]).expect("shape");
+    let lut = SoftmaxLut::new(8.0, 255).expect("valid lut");
+
+    let mut group = c.benchmark_group("softmax_row_128");
+    group.bench_function("float_reference", |b| {
+        b.iter(|| black_box(&float_row).softmax_rows().expect("softmax"))
+    });
+    group.bench_function("lut_integer", |b| {
+        b.iter(|| lut.apply_row(black_box(&scores_i)))
+    });
+    group.finish();
+}
+
+fn bench_layernorm(c: &mut Criterion) {
+    let hidden = 768usize;
+    let mut rng = RngSource::seed_from_u64(1);
+    let x = rng.normal_tensor(&[1, hidden], 0.0, 1.0);
+    let gamma = Tensor::ones(&[hidden]);
+    let beta = Tensor::zeros(&[hidden]);
+    let ln_q = QuantizedLayerNorm::from_float(gamma.as_slice(), beta.as_slice(), 1e-5)
+        .expect("valid params");
+    let x_q: Vec<i8> = x.as_slice().iter().map(|&v| (v * 32.0) as i8).collect();
+    let zeros = vec![0i8; hidden];
+
+    let mut group = c.benchmark_group("layer_norm_768");
+    group.bench_function("float_reference", |b| {
+        b.iter(|| black_box(&x).layer_norm(&gamma, &beta, 1e-5).expect("ln"))
+    });
+    group.bench_function("fixed_point", |b| {
+        b.iter(|| {
+            ln_q.apply_residual(black_box(&x_q), 32.0, &zeros, 1.0, 32.0)
+                .expect("quantized ln")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_softmax, bench_layernorm);
+criterion_main!(benches);

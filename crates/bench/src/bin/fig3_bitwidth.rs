@@ -1,0 +1,92 @@
+//! Figure 3: impact of the weight-quantization bit-width (32/8/6/4/2) on
+//! accuracy, with tuned clipping (CLIP) and without (NO_CLIP), on the
+//! synthetic SST-2 and MNLI tasks.
+//!
+//! Run with `cargo run -p fqbert-bench --bin fig3_bitwidth --release`
+//! (set `FQBERT_QUICK=1` for a fast smoke run).
+
+use fqbert_autograd::{FakeQuantSpec, Graph, VarId};
+use fqbert_bench::{markdown_table, save_json, ExperimentConfig};
+use fqbert_bert::{ForwardHook, Site, SiteKind, Trainer};
+use fqbert_quant::tune_clip_threshold;
+use serde::Serialize;
+
+/// Post-training weight-only quantization hook used for the bit-width sweep.
+struct WeightPtqHook {
+    bits: u32,
+    tuned_clip: bool,
+}
+
+impl ForwardHook for WeightPtqHook {
+    fn on_weight(&mut self, graph: &mut Graph, id: VarId, site: Site) -> VarId {
+        if self.bits >= 32 || site.kind == SiteKind::EmbeddingTable {
+            return id;
+        }
+        let spec = if self.tuned_clip {
+            match tune_clip_threshold(graph.value(id), self.bits, 40) {
+                Ok(result) => FakeQuantSpec::with_clip(self.bits, result.clip),
+                Err(_) => FakeQuantSpec::no_clip(self.bits),
+            }
+        } else {
+            FakeQuantSpec::no_clip(self.bits)
+        };
+        graph.fake_quant(id, spec).unwrap_or(id)
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct SweepPoint {
+    task: String,
+    bits: u32,
+    clip: bool,
+    accuracy: f64,
+}
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!("== Fig. 3 reproduction: weight bit-width vs accuracy ==\n");
+    println!("training float baselines on synthetic SST-2 and MNLI ...");
+    let sst2 = config.train_sst2();
+    let (mnli, _splits) = config.train_mnli();
+    println!(
+        "float dev accuracy: SST-2 {:.2}%, MNLI {:.2}%\n",
+        sst2.float_accuracy, mnli.float_accuracy
+    );
+
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for (task_name, task) in [("SST-2", &sst2), ("MNLI", &mnli)] {
+        for &bits in &[32u32, 8, 6, 4, 2] {
+            let mut row = vec![task_name.to_string(), bits.to_string()];
+            for clip in [true, false] {
+                let mut hook = WeightPtqHook {
+                    bits,
+                    tuned_clip: clip,
+                };
+                let accuracy = Trainer::evaluate(&task.model, &task.dataset.dev, &mut hook)
+                    .expect("evaluation failed")
+                    .accuracy;
+                row.push(format!("{accuracy:.2}"));
+                points.push(SweepPoint {
+                    task: task_name.to_string(),
+                    bits,
+                    clip,
+                    accuracy,
+                });
+            }
+            rows.push(row);
+        }
+    }
+
+    let table = markdown_table(&["task", "weight bits", "CLIP acc %", "NO_CLIP acc %"], &rows);
+    println!("{table}");
+    match save_json("fig3_bitwidth", &points) {
+        Ok(path) => println!("saved raw sweep data to {}", path.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+    println!(
+        "\nExpected shape (paper Fig. 3): accuracy is stable down to 4-bit weights,\n\
+         collapses at 2 bits, and tuned clipping (CLIP) degrades more gracefully\n\
+         than NO_CLIP at low bit-widths."
+    );
+}

@@ -1,0 +1,74 @@
+//! Table III: resource consumption and latency of the accelerator for the
+//! published (N, M) configurations on ZCU102 and ZCU111.
+//!
+//! Run with `cargo run -p fqbert-bench --bin table3_resource --release`.
+
+use fqbert_accel::dataflow::EncoderShape;
+use fqbert_accel::{cycle_model, AcceleratorConfig, ResourceModel};
+use fqbert_bench::{markdown_table, save_json};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Table3Row {
+    device: String,
+    n: usize,
+    m: usize,
+    bram18k: u64,
+    uram: u64,
+    dsp48: u64,
+    ff: u64,
+    lut: u64,
+    latency_ms: f64,
+}
+
+fn main() {
+    println!("== Table III reproduction: resources and latency (12 PUs, BERT-base, seq 128) ==\n");
+    let model = ResourceModel::new();
+    let shape = EncoderShape::bert_base();
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for config in AcceleratorConfig::table_iii_configs() {
+        let est = model.estimate(&config);
+        let latency = cycle_model::estimate_latency(&config, &shape, 12);
+        let row = Table3Row {
+            device: config.device.name().to_string(),
+            n: config.pes_per_pu,
+            m: config.multipliers_per_bim,
+            bram18k: est.bram18k,
+            uram: est.uram,
+            dsp48: est.dsp48,
+            ff: est.ff,
+            lut: est.lut,
+            latency_ms: latency.latency_ms,
+        };
+        rows.push(vec![
+            row.device.clone(),
+            format!("({}, {})", row.n, row.m),
+            row.bram18k.to_string(),
+            row.dsp48.to_string(),
+            row.ff.to_string(),
+            row.lut.to_string(),
+            format!("{:.2}", row.latency_ms),
+        ]);
+        results.push(row);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["device", "(N, M)", "BRAM18K", "DSP48E", "FF", "LUT", "latency (ms)"],
+            &rows
+        )
+    );
+    println!("\nDevice capacities:  ZCU102: 1824 BRAM / 2520 DSP / 548160 FF / 274080 LUT");
+    println!("                    ZCU111: 2160 BRAM / 4272 DSP / 850560 FF / 425280 LUT");
+    println!("(ZCU111 row offloads part of its buffers to URAM, as in the paper's footnote.)");
+    match save_json("table3_resource", &results) {
+        Ok(path) => println!("\nsaved raw results to {}", path.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+    println!(
+        "\nPaper reference: (8,16) 838/1751/124433/123157 @ 43.89 ms, (16,8) 877/1671/151010/154192 @ 45.35 ms,\n\
+         ZCU111 (16,16) 679/3287/201469/189724 @ 23.79 ms."
+    );
+}

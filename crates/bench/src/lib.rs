@@ -1,0 +1,16 @@
+//! Shared experiment pipeline for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper;
+//! the common machinery (synthetic-data generation, float training, QAT
+//! fine-tuning, report formatting) lives here so the binaries stay thin and
+//! the experiments stay consistent with each other.
+//!
+//! Set the environment variable `FQBERT_QUICK=1` to run every experiment in a
+//! reduced configuration (smaller datasets, fewer epochs) — useful for smoke
+//! tests and CI.
+
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{ExperimentConfig, TrainedTask};
+pub use report::{markdown_table, save_json};

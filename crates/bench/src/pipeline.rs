@@ -1,0 +1,193 @@
+//! Training / fine-tuning pipeline shared by the experiment binaries.
+
+use fqbert_bert::{BertConfig, BertModel, NoopHook, Trainer, TrainerConfig};
+use fqbert_core::QatHook;
+use fqbert_nlp::{MnliConfig, MnliGenerator, MnliSplits, Sst2Config, Sst2Generator, TaskDataset};
+use fqbert_quant::QuantConfig;
+
+/// Sizes and hyper-parameters of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Synthetic SST-2 generator configuration.
+    pub sst2: Sst2Config,
+    /// Synthetic MNLI generator configuration.
+    pub mnli: MnliConfig,
+    /// Float-training hyper-parameters (the paper trains 3 epochs).
+    pub float_trainer: TrainerConfig,
+    /// QAT fine-tuning hyper-parameters.
+    pub qat_trainer: TrainerConfig,
+    /// Seed used for dataset generation.
+    pub data_seed: u64,
+    /// Seed used for model initialisation.
+    pub model_seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The standard configuration used for the numbers in EXPERIMENTS.md.
+    pub fn standard() -> Self {
+        Self {
+            sst2: Sst2Config::default(),
+            mnli: MnliConfig::default(),
+            float_trainer: TrainerConfig {
+                epochs: 4,
+                batch_size: 16,
+                learning_rate: 3e-3,
+                seed: 11,
+                max_train_examples: None,
+            },
+            qat_trainer: TrainerConfig {
+                epochs: 2,
+                batch_size: 16,
+                learning_rate: 1e-3,
+                seed: 13,
+                max_train_examples: None,
+            },
+            data_seed: 2021,
+            model_seed: 7,
+        }
+    }
+
+    /// A reduced configuration for smoke tests (`FQBERT_QUICK=1`).
+    pub fn quick() -> Self {
+        let mut cfg = Self::standard();
+        cfg.sst2.train_size = 500;
+        cfg.sst2.dev_size = 120;
+        cfg.sst2.sentiment_words = 10;
+        cfg.sst2.neutral_words = 20;
+        cfg.sst2.max_words = 8;
+        cfg.mnli.train_size = 800;
+        cfg.mnli.dev_size = 120;
+        cfg.mnli.attribute_pairs = 12;
+        cfg.float_trainer.epochs = 3;
+        cfg.float_trainer.batch_size = 8;
+        cfg.qat_trainer.epochs = 1;
+        cfg.qat_trainer.batch_size = 8;
+        cfg
+    }
+
+    /// Picks [`ExperimentConfig::quick`] when `FQBERT_QUICK` is set in the
+    /// environment, otherwise [`ExperimentConfig::standard`].
+    pub fn from_env() -> Self {
+        if std::env::var("FQBERT_QUICK").is_ok_and(|v| !v.is_empty() && v != "0") {
+            Self::quick()
+        } else {
+            Self::standard()
+        }
+    }
+
+    /// The BERT architecture used for the accuracy experiments.
+    pub fn model_config(&self, vocab_size: usize, max_len: usize, num_classes: usize) -> BertConfig {
+        BertConfig::tiny(vocab_size, max_len, num_classes)
+    }
+}
+
+/// A trained float model together with its task data.
+#[derive(Debug)]
+pub struct TrainedTask {
+    /// The trained float model.
+    pub model: BertModel,
+    /// The task dataset it was trained on.
+    pub dataset: TaskDataset,
+    /// Float (FP32) dev accuracy after training.
+    pub float_accuracy: f64,
+}
+
+impl ExperimentConfig {
+    /// Generates synthetic SST-2 and trains the float baseline on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if training fails (indicates an internal inconsistency).
+    pub fn train_sst2(&self) -> TrainedTask {
+        let dataset = Sst2Generator::new(self.sst2.clone()).generate(self.data_seed);
+        let mut model = BertModel::new(
+            self.model_config(dataset.vocab_size, dataset.max_len, dataset.num_classes),
+            self.model_seed,
+        );
+        let trainer = Trainer::new(self.float_trainer.clone());
+        trainer
+            .train(&mut model, &dataset, &mut NoopHook)
+            .expect("float SST-2 training failed");
+        let float_accuracy = Trainer::evaluate_float(&model, &dataset.dev)
+            .expect("evaluation failed")
+            .accuracy;
+        TrainedTask {
+            model,
+            dataset,
+            float_accuracy,
+        }
+    }
+
+    /// Generates synthetic MNLI and trains the float baseline on the matched
+    /// split; returns the model and both evaluation splits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if training fails.
+    pub fn train_mnli(&self) -> (TrainedTask, MnliSplits) {
+        let splits = MnliGenerator::new(self.mnli.clone()).generate(self.data_seed + 1);
+        let mut model = BertModel::new(
+            self.model_config(
+                splits.matched.vocab_size,
+                splits.matched.max_len,
+                splits.matched.num_classes,
+            ),
+            self.model_seed + 1,
+        );
+        let trainer = Trainer::new(self.float_trainer.clone());
+        trainer
+            .train(&mut model, &splits.matched, &mut NoopHook)
+            .expect("float MNLI training failed");
+        let float_accuracy = Trainer::evaluate_float(&model, &splits.matched.dev)
+            .expect("evaluation failed")
+            .accuracy;
+        (
+            TrainedTask {
+                model,
+                dataset: splits.matched.clone(),
+                float_accuracy,
+            },
+            splits,
+        )
+    }
+
+    /// Fine-tunes a trained model with the quantization function in the loop
+    /// (paper §IV-A) and returns the calibrated hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fine-tuning fails.
+    pub fn qat_finetune(
+        &self,
+        task: &mut TrainedTask,
+        quant: QuantConfig,
+    ) -> QatHook {
+        let mut hook = QatHook::new(quant);
+        let trainer = Trainer::new(self.qat_trainer.clone());
+        trainer
+            .train(&mut task.model, &task.dataset, &mut hook)
+            .expect("QAT fine-tuning failed");
+        hook
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_smaller_than_standard() {
+        let quick = ExperimentConfig::quick();
+        let standard = ExperimentConfig::standard();
+        assert!(quick.sst2.train_size < standard.sst2.train_size);
+        assert!(quick.float_trainer.epochs <= standard.float_trainer.epochs);
+    }
+
+    #[test]
+    fn from_env_respects_quick_flag() {
+        // Can't mutate the process environment safely in parallel tests, so
+        // just check both constructors are reachable and consistent.
+        let cfg = ExperimentConfig::from_env();
+        assert!(cfg.sst2.train_size > 0);
+    }
+}

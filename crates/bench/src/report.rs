@@ -1,0 +1,92 @@
+//! Report formatting and result persistence for the experiment binaries.
+
+use serde::Serialize;
+use std::path::Path;
+
+/// Renders a GitHub-flavoured markdown table.
+///
+/// # Panics
+///
+/// Panics if any row has a different number of cells than the header.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "every row must have {} cells",
+            headers.len()
+        );
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths.iter()) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&render_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Serialises `value` as pretty JSON under `results/<name>.json` (creating
+/// the directory if needed) and returns the path written.
+///
+/// # Errors
+///
+/// Returns an I/O error if the directory or file cannot be written.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_is_well_formed() {
+        let table = markdown_table(
+            &["config", "accuracy"],
+            &[
+                vec!["fp32".to_string(), "92.3".to_string()],
+                vec!["w4/a8".to_string(), "91.5".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("config"));
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[3].contains("w4/a8"));
+    }
+
+    #[test]
+    #[should_panic(expected = "every row must have")]
+    fn ragged_rows_panic() {
+        let _ = markdown_table(&["a", "b"], &[vec!["only one".to_string()]]);
+    }
+}

@@ -1,0 +1,169 @@
+//! BERT architecture configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a BERT encoder stack.
+///
+/// The accuracy experiments use the small presets (trainable from scratch on
+/// a laptop-scale budget); the accelerator latency and resource experiments
+/// use [`BertConfig::bert_base`], which matches the 12-layer, 768-hidden,
+/// 12-head model the paper deploys (only its *shapes* are needed there).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BertConfig {
+    /// Vocabulary size (word-piece vocabulary in the paper, synthetic word
+    /// vocabulary here).
+    pub vocab_size: usize,
+    /// Hidden (embedding) dimension.
+    pub hidden: usize,
+    /// Number of stacked encoder layers.
+    pub layers: usize,
+    /// Number of self-attention heads. Must divide `hidden`.
+    pub heads: usize,
+    /// FFN intermediate dimension (4 × hidden in standard BERT).
+    pub intermediate: usize,
+    /// Maximum sequence length (positional-embedding table size).
+    pub max_len: usize,
+    /// Number of token-type (segment) embeddings.
+    pub type_vocab_size: usize,
+    /// Number of output classes of the task head.
+    pub num_classes: usize,
+    /// Layer-norm epsilon.
+    pub layer_norm_eps: f32,
+}
+
+impl BertConfig {
+    /// A 2-layer, 64-hidden model: the workhorse for the quantization
+    /// accuracy experiments (trainable in seconds).
+    pub fn tiny(vocab_size: usize, max_len: usize, num_classes: usize) -> Self {
+        Self {
+            vocab_size,
+            hidden: 64,
+            layers: 2,
+            heads: 2,
+            intermediate: 128,
+            max_len,
+            type_vocab_size: 2,
+            num_classes,
+            layer_norm_eps: 1e-5,
+        }
+    }
+
+    /// A 4-layer, 128-hidden model (between tiny and base) used for ablation
+    /// and robustness checks.
+    pub fn mini(vocab_size: usize, max_len: usize, num_classes: usize) -> Self {
+        Self {
+            vocab_size,
+            hidden: 128,
+            layers: 4,
+            heads: 4,
+            intermediate: 256,
+            max_len,
+            type_vocab_size: 2,
+            num_classes,
+            layer_norm_eps: 1e-5,
+        }
+    }
+
+    /// The BERT-base shape used by the paper's deployment experiments:
+    /// 12 layers, 768 hidden, 12 heads, 3072 intermediate, 30 522 word
+    /// pieces, sequence length 128 and a 2-class task head (SST-2).
+    pub fn bert_base() -> Self {
+        Self {
+            vocab_size: 30_522,
+            hidden: 768,
+            layers: 12,
+            heads: 12,
+            intermediate: 3_072,
+            max_len: 128,
+            type_vocab_size: 2,
+            num_classes: 2,
+            layer_norm_eps: 1e-12,
+        }
+    }
+
+    /// Head dimension `hidden / heads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `hidden`.
+    pub fn head_dim(&self) -> usize {
+        assert!(
+            self.heads > 0 && self.hidden % self.heads == 0,
+            "hidden ({}) must be divisible by heads ({})",
+            self.hidden,
+            self.heads
+        );
+        self.hidden / self.heads
+    }
+
+    /// Validates internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hidden == 0 || self.layers == 0 || self.heads == 0 {
+            return Err("hidden, layers and heads must be non-zero".to_string());
+        }
+        if self.hidden % self.heads != 0 {
+            return Err(format!(
+                "hidden ({}) must be divisible by heads ({})",
+                self.hidden, self.heads
+            ));
+        }
+        if self.vocab_size < 5 {
+            return Err("vocabulary must contain at least the special tokens".to_string());
+        }
+        if self.max_len < 3 {
+            return Err("max_len must be at least 3".to_string());
+        }
+        if self.num_classes < 2 {
+            return Err("a classification head needs at least 2 classes".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(BertConfig::tiny(100, 32, 2).validate().is_ok());
+        assert!(BertConfig::mini(100, 32, 3).validate().is_ok());
+        assert!(BertConfig::bert_base().validate().is_ok());
+    }
+
+    #[test]
+    fn bert_base_matches_published_shape() {
+        let cfg = BertConfig::bert_base();
+        assert_eq!(cfg.hidden, 768);
+        assert_eq!(cfg.layers, 12);
+        assert_eq!(cfg.heads, 12);
+        assert_eq!(cfg.intermediate, 3072);
+        assert_eq!(cfg.head_dim(), 64);
+        assert_eq!(cfg.max_len, 128);
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut cfg = BertConfig::tiny(100, 32, 2);
+        cfg.heads = 3;
+        assert!(cfg.validate().is_err());
+        let mut cfg = BertConfig::tiny(100, 32, 2);
+        cfg.num_classes = 1;
+        assert!(cfg.validate().is_err());
+        let mut cfg = BertConfig::tiny(100, 32, 2);
+        cfg.vocab_size = 2;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn head_dim_panics_on_mismatch() {
+        let mut cfg = BertConfig::tiny(100, 32, 2);
+        cfg.heads = 7;
+        let _ = cfg.head_dim();
+    }
+}

@@ -1,0 +1,144 @@
+//! Forward-pass hook points used to inject quantization behaviour.
+//!
+//! The float model and the quantization-aware-training wrapper are decoupled:
+//! [`crate::BertModel`] calls [`ForwardHook::on_weight`] on every weight
+//! right before it is used and [`ForwardHook::on_activation`] on every
+//! activation right after it is produced, identifying the location with a
+//! [`Site`]. The QAT wrapper in `fqbert-core` implements the hook with fake
+//! quantization and EMA observers; the plain float model uses [`NoopHook`].
+
+use fqbert_autograd::{Graph, VarId};
+
+/// What kind of tensor a hook site refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SiteKind {
+    /// The token / position / segment embedding tables.
+    EmbeddingTable,
+    /// Output of the embedding block (after layer norm).
+    EmbeddingOutput,
+    /// Weight of the query projection.
+    QueryWeight,
+    /// Weight of the key projection.
+    KeyWeight,
+    /// Weight of the value projection.
+    ValueWeight,
+    /// Weight of the attention output projection.
+    AttentionOutputWeight,
+    /// Weight of the first FFN matrix.
+    Ffn1Weight,
+    /// Weight of the second FFN matrix.
+    Ffn2Weight,
+    /// Weight of the classifier head.
+    ClassifierWeight,
+    /// Activation entering an encoder layer.
+    LayerInput,
+    /// Q/K/V projections (activation).
+    QkvActivation,
+    /// Attention score matrix `QKᵀ/√d` before softmax.
+    AttentionScores,
+    /// Attention probabilities after softmax.
+    AttentionProbs,
+    /// Attention context (`probs · V`, after the output projection).
+    AttentionOutput,
+    /// FFN hidden activation (after GELU).
+    FfnHidden,
+    /// FFN output activation.
+    FfnOutput,
+    /// Output of an `Add & LN` block.
+    LayerNormOutput,
+    /// Classifier logits.
+    Logits,
+}
+
+/// Identifies one hook site: the tensor kind plus the encoder layer it
+/// belongs to (`None` for embeddings and the classifier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Site {
+    /// Encoder layer index, or `None` outside the encoder stack.
+    pub layer: Option<usize>,
+    /// Which tensor within that layer.
+    pub kind: SiteKind,
+}
+
+impl Site {
+    /// A site inside encoder layer `layer`.
+    pub fn layer(layer: usize, kind: SiteKind) -> Self {
+        Self {
+            layer: Some(layer),
+            kind,
+        }
+    }
+
+    /// A site outside the encoder stack (embeddings, classifier).
+    pub fn global(kind: SiteKind) -> Self {
+        Self { layer: None, kind }
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.layer {
+            Some(l) => write!(f, "layer{l}/{:?}", self.kind),
+            None => write!(f, "global/{:?}", self.kind),
+        }
+    }
+}
+
+/// Hook invoked by the model's forward pass.
+///
+/// Both methods receive the graph, the variable holding the tensor and the
+/// site, and return the variable to use downstream (possibly a new node, e.g.
+/// a fake-quantized copy). The default implementations are identity.
+pub trait ForwardHook {
+    /// Called on every weight (and embedding table) right before use.
+    fn on_weight(&mut self, _graph: &mut Graph, id: VarId, _site: Site) -> VarId {
+        id
+    }
+
+    /// Called on every intermediate activation right after it is produced.
+    fn on_activation(&mut self, _graph: &mut Graph, id: VarId, _site: Site) -> VarId {
+        id
+    }
+
+    /// Whether the model should use the hook at all (lets expensive hooks be
+    /// disabled wholesale); defaults to `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The identity hook used by the float baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopHook;
+
+impl ForwardHook for NoopHook {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqbert_tensor::Tensor;
+
+    #[test]
+    fn site_display_and_equality() {
+        let a = Site::layer(3, SiteKind::QueryWeight);
+        let b = Site::layer(3, SiteKind::QueryWeight);
+        let c = Site::global(SiteKind::Logits);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.to_string().contains("layer3"));
+        assert!(c.to_string().contains("global"));
+    }
+
+    #[test]
+    fn noop_hook_is_identity() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::scalar(1.0));
+        let mut hook = NoopHook;
+        assert_eq!(hook.on_weight(&mut g, x, Site::global(SiteKind::Logits)), x);
+        assert_eq!(
+            hook.on_activation(&mut g, x, Site::global(SiteKind::Logits)),
+            x
+        );
+        assert!(hook.enabled());
+    }
+}

@@ -1,0 +1,157 @@
+//! Parameter containers for the building blocks of the encoder.
+
+use fqbert_tensor::{xavier_uniform, RngSource, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// A dense (fully connected) layer's parameters: `y = x · W + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix of shape `[in_features, out_features]`.
+    pub weight: Tensor,
+    /// Bias vector of shape `[out_features]`.
+    pub bias: Tensor,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialised linear layer.
+    pub fn new(rng: &mut RngSource, in_features: usize, out_features: usize) -> Self {
+        Self {
+            weight: xavier_uniform(rng, in_features, out_features),
+            bias: Tensor::zeros(&[out_features]),
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Number of scalar parameters (weights plus bias).
+    pub fn num_params(&self) -> usize {
+        self.weight.numel() + self.bias.numel()
+    }
+}
+
+/// Learnable layer-normalization parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerNormParams {
+    /// Per-feature scale, initialised to 1.
+    pub gamma: Tensor,
+    /// Per-feature shift, initialised to 0.
+    pub beta: Tensor,
+}
+
+impl LayerNormParams {
+    /// Creates identity layer-norm parameters for `features` features.
+    pub fn new(features: usize) -> Self {
+        Self {
+            gamma: Tensor::ones(&[features]),
+            beta: Tensor::zeros(&[features]),
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.gamma.numel() + self.beta.numel()
+    }
+}
+
+/// Parameters of one encoder layer (multi-head self-attention + FFN, each
+/// followed by an `Add & LN` block) — the structure in the middle panel of
+/// Fig. 1 of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncoderLayerParams {
+    /// Query projection.
+    pub query: Linear,
+    /// Key projection.
+    pub key: Linear,
+    /// Value projection.
+    pub value: Linear,
+    /// Attention output projection.
+    pub attn_output: Linear,
+    /// Layer norm after the attention residual.
+    pub attn_layer_norm: LayerNormParams,
+    /// First FFN projection (hidden → intermediate).
+    pub ffn1: Linear,
+    /// Second FFN projection (intermediate → hidden).
+    pub ffn2: Linear,
+    /// Layer norm after the FFN residual.
+    pub ffn_layer_norm: LayerNormParams,
+}
+
+impl EncoderLayerParams {
+    /// Creates a randomly initialised encoder layer.
+    pub fn new(rng: &mut RngSource, hidden: usize, intermediate: usize) -> Self {
+        Self {
+            query: Linear::new(rng, hidden, hidden),
+            key: Linear::new(rng, hidden, hidden),
+            value: Linear::new(rng, hidden, hidden),
+            attn_output: Linear::new(rng, hidden, hidden),
+            attn_layer_norm: LayerNormParams::new(hidden),
+            ffn1: Linear::new(rng, hidden, intermediate),
+            ffn2: Linear::new(rng, intermediate, hidden),
+            ffn_layer_norm: LayerNormParams::new(hidden),
+        }
+    }
+
+    /// Number of scalar parameters in the layer.
+    pub fn num_params(&self) -> usize {
+        self.query.num_params()
+            + self.key.num_params()
+            + self.value.num_params()
+            + self.attn_output.num_params()
+            + self.attn_layer_norm.num_params()
+            + self.ffn1.num_params()
+            + self.ffn2.num_params()
+            + self.ffn_layer_norm.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shapes_and_params() {
+        let mut rng = RngSource::seed_from_u64(0);
+        let l = Linear::new(&mut rng, 8, 16);
+        assert_eq!(l.in_features(), 8);
+        assert_eq!(l.out_features(), 16);
+        assert_eq!(l.num_params(), 8 * 16 + 16);
+        assert!(l.bias.as_slice().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn layer_norm_initialised_to_identity() {
+        let ln = LayerNormParams::new(4);
+        assert!(ln.gamma.as_slice().iter().all(|&g| g == 1.0));
+        assert!(ln.beta.as_slice().iter().all(|&b| b == 0.0));
+        assert_eq!(ln.num_params(), 8);
+    }
+
+    #[test]
+    fn encoder_layer_parameter_count() {
+        let mut rng = RngSource::seed_from_u64(1);
+        let hidden = 64;
+        let inter = 128;
+        let layer = EncoderLayerParams::new(&mut rng, hidden, inter);
+        // 4 hidden×hidden projections + 2 FFN matrices + biases + 2 layer norms.
+        let expected = 4 * (hidden * hidden + hidden)
+            + (hidden * inter + inter)
+            + (inter * hidden + hidden)
+            + 2 * 2 * hidden;
+        assert_eq!(layer.num_params(), expected);
+    }
+
+    #[test]
+    fn initialisation_is_seeded() {
+        let a = EncoderLayerParams::new(&mut RngSource::seed_from_u64(7), 16, 32);
+        let b = EncoderLayerParams::new(&mut RngSource::seed_from_u64(7), 16, 32);
+        assert_eq!(a, b);
+    }
+}

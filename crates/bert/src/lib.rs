@@ -1,0 +1,33 @@
+//! Floating-point BERT baseline: model, trainer and workload profile.
+//!
+//! This crate implements the BERT encoder architecture of Fig. 1 of the paper
+//! (embeddings → N encoder layers of multi-head self-attention + FFN with
+//! residual `Add & LN` → task classifier) on top of the `fqbert-autograd`
+//! tape, so it can be both *trained from scratch* on the synthetic GLUE-like
+//! tasks and *fine-tuned with the quantization function in the loop* (QAT,
+//! implemented in `fqbert-core`).
+//!
+//! The crate deliberately exposes three things:
+//!
+//! * [`BertConfig`] — architecture hyper-parameters, with presets ranging
+//!   from the `tiny` model used for the accuracy experiments to the
+//!   `bert_base` shape used by the accelerator latency/resource experiments.
+//! * [`BertModel`] / [`hooks::ForwardHook`] — the model itself plus the hook
+//!   interface that lets the QAT wrapper fake-quantize weights and observe
+//!   activations without this crate knowing anything about quantization.
+//! * [`profile::ModelProfile`] — parameter and FLOP accounting for a config,
+//!   used by the CPU/GPU/FPGA performance models.
+
+pub mod config;
+pub mod hooks;
+pub mod layers;
+pub mod model;
+pub mod profile;
+pub mod trainer;
+
+pub use config::BertConfig;
+pub use hooks::{ForwardHook, NoopHook, Site, SiteKind};
+pub use layers::{LayerNormParams, Linear};
+pub use model::{BertModel, BoundBert};
+pub use profile::ModelProfile;
+pub use trainer::{EvalReport, Trainer, TrainerConfig, TrainingHistory};

@@ -1,0 +1,606 @@
+//! The BERT encoder model and its graph-bound forward pass.
+
+use crate::config::BertConfig;
+use crate::hooks::{ForwardHook, Site, SiteKind};
+use crate::layers::{EncoderLayerParams, LayerNormParams, Linear};
+use fqbert_autograd::{AutogradError, Graph, VarId};
+use fqbert_nlp::Example;
+use fqbert_tensor::{RngSource, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// The full BERT classification model (Fig. 1 of the paper): embeddings,
+/// a stack of encoder layers and a task classifier operating on the `[CLS]`
+/// position.
+///
+/// Parameters are plain tensors owned by the model; every training step binds
+/// them onto a fresh autograd [`Graph`] with [`BertModel::bind`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BertModel {
+    config: BertConfig,
+    /// Word-embedding table `[vocab, hidden]`.
+    pub word_embeddings: Tensor,
+    /// Positional-embedding table `[max_len, hidden]`.
+    pub position_embeddings: Tensor,
+    /// Segment (token-type) embedding table `[type_vocab, hidden]`.
+    pub segment_embeddings: Tensor,
+    /// Layer norm applied to the embedding sum.
+    pub embedding_layer_norm: LayerNormParams,
+    /// Encoder layers.
+    pub encoder_layers: Vec<EncoderLayerParams>,
+    /// Classification head applied to the `[CLS]` representation.
+    pub classifier: Linear,
+}
+
+impl BertModel {
+    /// Creates a randomly initialised model for `config`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`BertConfig::validate`]).
+    pub fn new(config: BertConfig, seed: u64) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid BERT configuration: {e}"));
+        let mut rng = RngSource::seed_from_u64(seed);
+        let emb_std = 0.02;
+        let word_embeddings = rng.normal_tensor(&[config.vocab_size, config.hidden], 0.0, emb_std);
+        let position_embeddings =
+            rng.normal_tensor(&[config.max_len, config.hidden], 0.0, emb_std);
+        let segment_embeddings =
+            rng.normal_tensor(&[config.type_vocab_size, config.hidden], 0.0, emb_std);
+        let embedding_layer_norm = LayerNormParams::new(config.hidden);
+        let encoder_layers = (0..config.layers)
+            .map(|_| EncoderLayerParams::new(&mut rng, config.hidden, config.intermediate))
+            .collect();
+        let classifier = Linear::new(&mut rng, config.hidden, config.num_classes);
+        Self {
+            config,
+            word_embeddings,
+            position_embeddings,
+            segment_embeddings,
+            embedding_layer_norm,
+            encoder_layers,
+            classifier,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &BertConfig {
+        &self.config
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.params().iter().map(|t| t.numel()).sum()
+    }
+
+    /// All parameters in a fixed, documented order (embeddings, embedding
+    /// layer norm, encoder layers in order, classifier).
+    pub fn params(&self) -> Vec<&Tensor> {
+        let mut out: Vec<&Tensor> = vec![
+            &self.word_embeddings,
+            &self.position_embeddings,
+            &self.segment_embeddings,
+            &self.embedding_layer_norm.gamma,
+            &self.embedding_layer_norm.beta,
+        ];
+        for layer in &self.encoder_layers {
+            out.extend([
+                &layer.query.weight,
+                &layer.query.bias,
+                &layer.key.weight,
+                &layer.key.bias,
+                &layer.value.weight,
+                &layer.value.bias,
+                &layer.attn_output.weight,
+                &layer.attn_output.bias,
+                &layer.attn_layer_norm.gamma,
+                &layer.attn_layer_norm.beta,
+                &layer.ffn1.weight,
+                &layer.ffn1.bias,
+                &layer.ffn2.weight,
+                &layer.ffn2.bias,
+                &layer.ffn_layer_norm.gamma,
+                &layer.ffn_layer_norm.beta,
+            ]);
+        }
+        out.push(&self.classifier.weight);
+        out.push(&self.classifier.bias);
+        out
+    }
+
+    /// Mutable access to all parameters, in the same order as
+    /// [`BertModel::params`].
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut out: Vec<&mut Tensor> = vec![
+            &mut self.word_embeddings,
+            &mut self.position_embeddings,
+            &mut self.segment_embeddings,
+            &mut self.embedding_layer_norm.gamma,
+            &mut self.embedding_layer_norm.beta,
+        ];
+        for layer in &mut self.encoder_layers {
+            out.extend([
+                &mut layer.query.weight,
+                &mut layer.query.bias,
+                &mut layer.key.weight,
+                &mut layer.key.bias,
+                &mut layer.value.weight,
+                &mut layer.value.bias,
+                &mut layer.attn_output.weight,
+                &mut layer.attn_output.bias,
+                &mut layer.attn_layer_norm.gamma,
+                &mut layer.attn_layer_norm.beta,
+                &mut layer.ffn1.weight,
+                &mut layer.ffn1.bias,
+                &mut layer.ffn2.weight,
+                &mut layer.ffn2.bias,
+                &mut layer.ffn_layer_norm.gamma,
+                &mut layer.ffn_layer_norm.beta,
+            ]);
+        }
+        out.push(&mut self.classifier.weight);
+        out.push(&mut self.classifier.bias);
+        out
+    }
+
+    /// Human-readable names of the parameters, aligned with
+    /// [`BertModel::params`]. Used by the QAT exporter and the compression
+    /// accounting.
+    pub fn param_names(&self) -> Vec<String> {
+        let mut out = vec![
+            "embeddings.word".to_string(),
+            "embeddings.position".to_string(),
+            "embeddings.segment".to_string(),
+            "embeddings.layer_norm.gamma".to_string(),
+            "embeddings.layer_norm.beta".to_string(),
+        ];
+        for i in 0..self.encoder_layers.len() {
+            for name in [
+                "attention.query.weight",
+                "attention.query.bias",
+                "attention.key.weight",
+                "attention.key.bias",
+                "attention.value.weight",
+                "attention.value.bias",
+                "attention.output.weight",
+                "attention.output.bias",
+                "attention.layer_norm.gamma",
+                "attention.layer_norm.beta",
+                "ffn.intermediate.weight",
+                "ffn.intermediate.bias",
+                "ffn.output.weight",
+                "ffn.output.bias",
+                "ffn.layer_norm.gamma",
+                "ffn.layer_norm.beta",
+            ] {
+                out.push(format!("encoder.{i}.{name}"));
+            }
+        }
+        out.push("classifier.weight".to_string());
+        out.push("classifier.bias".to_string());
+        out
+    }
+
+    /// Registers every parameter on `graph` and returns the bound model that
+    /// can run forward passes on that graph.
+    pub fn bind(&self, graph: &mut Graph) -> BoundBert {
+        let param_ids: Vec<VarId> = self
+            .params()
+            .into_iter()
+            .map(|p| graph.param(p.clone()))
+            .collect();
+        BoundBert {
+            config: self.config.clone(),
+            param_ids,
+        }
+    }
+}
+
+/// A [`BertModel`] whose parameters have been registered on a specific
+/// autograd graph. Layout of `param_ids` matches [`BertModel::params`].
+#[derive(Debug)]
+pub struct BoundBert {
+    config: BertConfig,
+    param_ids: Vec<VarId>,
+}
+
+/// Number of parameter tensors per encoder layer in the flattened ordering.
+const PARAMS_PER_LAYER: usize = 16;
+/// Number of parameter tensors before the first encoder layer.
+const EMBEDDING_PARAMS: usize = 5;
+
+impl BoundBert {
+    /// Variable ids of all parameters, aligned with [`BertModel::params`].
+    pub fn param_ids(&self) -> &[VarId] {
+        &self.param_ids
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &BertConfig {
+        &self.config
+    }
+
+    fn layer_param(&self, layer: usize, offset: usize) -> VarId {
+        self.param_ids[EMBEDDING_PARAMS + layer * PARAMS_PER_LAYER + offset]
+    }
+
+    /// Runs the forward pass for one encoded example, returning the logits
+    /// node of shape `[1, num_classes]`.
+    ///
+    /// Padding tokens are stripped using the example's attention mask, so no
+    /// attention masking is required inside the encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the example is empty or longer than the model's
+    /// maximum sequence length, or if a graph operation fails.
+    pub fn forward(
+        &self,
+        graph: &mut Graph,
+        example: &Example,
+        hook: &mut dyn ForwardHook,
+    ) -> Result<VarId, AutogradError> {
+        let real_len = example
+            .attention_mask
+            .iter()
+            .take_while(|&&m| m == 1)
+            .count();
+        let token_ids = &example.token_ids[..real_len];
+        let segment_ids = &example.segment_ids[..real_len];
+        self.forward_tokens(graph, token_ids, segment_ids, hook)
+    }
+
+    /// Runs the forward pass on raw (unpadded) token and segment ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sequence is empty or longer than the model's
+    /// maximum length, or if a graph operation fails.
+    pub fn forward_tokens(
+        &self,
+        graph: &mut Graph,
+        token_ids: &[usize],
+        segment_ids: &[usize],
+        hook: &mut dyn ForwardHook,
+    ) -> Result<VarId, AutogradError> {
+        if token_ids.is_empty() {
+            return Err(AutogradError::InvalidArgument(
+                "cannot run BERT on an empty token sequence".to_string(),
+            ));
+        }
+        if token_ids.len() > self.config.max_len {
+            return Err(AutogradError::InvalidArgument(format!(
+                "sequence of {} tokens exceeds max_len {}",
+                token_ids.len(),
+                self.config.max_len
+            )));
+        }
+        if segment_ids.len() != token_ids.len() {
+            return Err(AutogradError::InvalidArgument(format!(
+                "{} segment ids for {} tokens",
+                segment_ids.len(),
+                token_ids.len()
+            )));
+        }
+        let seq_len = token_ids.len();
+        let eps = self.config.layer_norm_eps;
+
+        // --- Embeddings -----------------------------------------------------
+        let word_table = hook.on_weight(
+            graph,
+            self.param_ids[0],
+            Site::global(SiteKind::EmbeddingTable),
+        );
+        let pos_table = hook.on_weight(
+            graph,
+            self.param_ids[1],
+            Site::global(SiteKind::EmbeddingTable),
+        );
+        let seg_table = hook.on_weight(
+            graph,
+            self.param_ids[2],
+            Site::global(SiteKind::EmbeddingTable),
+        );
+        let word = graph.embedding(word_table, token_ids)?;
+        let positions: Vec<usize> = (0..seq_len).collect();
+        let pos = graph.embedding(pos_table, &positions)?;
+        let seg = graph.embedding(seg_table, segment_ids)?;
+        let sum = graph.add(word, pos)?;
+        let sum = graph.add(sum, seg)?;
+        let emb = graph.layer_norm(sum, self.param_ids[3], self.param_ids[4], eps)?;
+        let mut hidden = hook.on_activation(graph, emb, Site::global(SiteKind::EmbeddingOutput));
+
+        // --- Encoder stack ---------------------------------------------------
+        for layer in 0..self.config.layers {
+            hidden = self.encoder_layer(graph, hidden, layer, seq_len, hook)?;
+        }
+
+        // --- Classifier on the [CLS] position --------------------------------
+        let transposed = graph.transpose2(hidden)?;
+        let cls_col = graph.slice_cols(transposed, 0, 1)?;
+        let cls = graph.transpose2(cls_col)?;
+        let w = hook.on_weight(
+            graph,
+            self.param_ids[self.param_ids.len() - 2],
+            Site::global(SiteKind::ClassifierWeight),
+        );
+        let b = self.param_ids[self.param_ids.len() - 1];
+        let logits = graph.matmul(cls, w)?;
+        let logits = graph.add_bias(logits, b)?;
+        Ok(hook.on_activation(graph, logits, Site::global(SiteKind::Logits)))
+    }
+
+    /// One encoder layer: multi-head self-attention, `Add & LN`, FFN,
+    /// `Add & LN`.
+    fn encoder_layer(
+        &self,
+        graph: &mut Graph,
+        input: VarId,
+        layer: usize,
+        seq_len: usize,
+        hook: &mut dyn ForwardHook,
+    ) -> Result<VarId, AutogradError> {
+        let cfg = &self.config;
+        let head_dim = cfg.head_dim();
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let eps = cfg.layer_norm_eps;
+        let input = hook.on_activation(graph, input, Site::layer(layer, SiteKind::LayerInput));
+
+        // Projections.
+        let wq = hook.on_weight(
+            graph,
+            self.layer_param(layer, 0),
+            Site::layer(layer, SiteKind::QueryWeight),
+        );
+        let bq = self.layer_param(layer, 1);
+        let wk = hook.on_weight(
+            graph,
+            self.layer_param(layer, 2),
+            Site::layer(layer, SiteKind::KeyWeight),
+        );
+        let bk = self.layer_param(layer, 3);
+        let wv = hook.on_weight(
+            graph,
+            self.layer_param(layer, 4),
+            Site::layer(layer, SiteKind::ValueWeight),
+        );
+        let bv = self.layer_param(layer, 5);
+
+        let q = graph.matmul(input, wq)?;
+        let q = graph.add_bias(q, bq)?;
+        let q = hook.on_activation(graph, q, Site::layer(layer, SiteKind::QkvActivation));
+        let k = graph.matmul(input, wk)?;
+        let k = graph.add_bias(k, bk)?;
+        let k = hook.on_activation(graph, k, Site::layer(layer, SiteKind::QkvActivation));
+        let v = graph.matmul(input, wv)?;
+        let v = graph.add_bias(v, bv)?;
+        let v = hook.on_activation(graph, v, Site::layer(layer, SiteKind::QkvActivation));
+
+        // Scaled dot-product attention per head (Fig. 1, right panel).
+        let mut head_contexts = Vec::with_capacity(cfg.heads);
+        for h in 0..cfg.heads {
+            let lo = h * head_dim;
+            let hi = lo + head_dim;
+            let qh = graph.slice_cols(q, lo, hi)?;
+            let kh = graph.slice_cols(k, lo, hi)?;
+            let vh = graph.slice_cols(v, lo, hi)?;
+            let scores = graph.matmul_transposed(qh, kh)?;
+            let scores = graph.scale(scores, scale)?;
+            let scores =
+                hook.on_activation(graph, scores, Site::layer(layer, SiteKind::AttentionScores));
+            let probs = graph.softmax_rows(scores)?;
+            let probs =
+                hook.on_activation(graph, probs, Site::layer(layer, SiteKind::AttentionProbs));
+            let context = graph.matmul(probs, vh)?;
+            debug_assert_eq!(graph.value(context).dims(), &[seq_len, head_dim]);
+            head_contexts.push(context);
+        }
+        let context = graph.concat_cols(&head_contexts)?;
+
+        // Attention output projection + Add & LN.
+        let wo = hook.on_weight(
+            graph,
+            self.layer_param(layer, 6),
+            Site::layer(layer, SiteKind::AttentionOutputWeight),
+        );
+        let bo = self.layer_param(layer, 7);
+        let attn_out = graph.matmul(context, wo)?;
+        let attn_out = graph.add_bias(attn_out, bo)?;
+        let attn_out =
+            hook.on_activation(graph, attn_out, Site::layer(layer, SiteKind::AttentionOutput));
+        let residual = graph.add(input, attn_out)?;
+        let normed = graph.layer_norm(
+            residual,
+            self.layer_param(layer, 8),
+            self.layer_param(layer, 9),
+            eps,
+        )?;
+        let normed =
+            hook.on_activation(graph, normed, Site::layer(layer, SiteKind::LayerNormOutput));
+
+        // Feed-forward network + Add & LN.
+        let w1 = hook.on_weight(
+            graph,
+            self.layer_param(layer, 10),
+            Site::layer(layer, SiteKind::Ffn1Weight),
+        );
+        let b1 = self.layer_param(layer, 11);
+        let w2 = hook.on_weight(
+            graph,
+            self.layer_param(layer, 12),
+            Site::layer(layer, SiteKind::Ffn2Weight),
+        );
+        let b2 = self.layer_param(layer, 13);
+        let ffn_hidden = graph.matmul(normed, w1)?;
+        let ffn_hidden = graph.add_bias(ffn_hidden, b1)?;
+        let ffn_hidden = graph.gelu(ffn_hidden)?;
+        let ffn_hidden =
+            hook.on_activation(graph, ffn_hidden, Site::layer(layer, SiteKind::FfnHidden));
+        let ffn_out = graph.matmul(ffn_hidden, w2)?;
+        let ffn_out = graph.add_bias(ffn_out, b2)?;
+        let ffn_out = hook.on_activation(graph, ffn_out, Site::layer(layer, SiteKind::FfnOutput));
+        let residual = graph.add(normed, ffn_out)?;
+        let out = graph.layer_norm(
+            residual,
+            self.layer_param(layer, 14),
+            self.layer_param(layer, 15),
+            eps,
+        )?;
+        Ok(hook.on_activation(graph, out, Site::layer(layer, SiteKind::LayerNormOutput)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoopHook;
+
+    fn example(tokens: &[usize], label: usize, max_len: usize) -> Example {
+        let mut token_ids = tokens.to_vec();
+        let real = token_ids.len();
+        token_ids.resize(max_len, 0);
+        let mut mask = vec![1usize; real];
+        mask.resize(max_len, 0);
+        Example {
+            token_ids,
+            segment_ids: vec![0; max_len],
+            attention_mask: mask,
+            label,
+        }
+    }
+
+    fn tiny_model() -> BertModel {
+        BertModel::new(BertConfig::tiny(50, 16, 2), 42)
+    }
+
+    #[test]
+    fn parameter_count_matches_structure() {
+        let model = tiny_model();
+        let cfg = model.config().clone();
+        let emb = (cfg.vocab_size + cfg.max_len + cfg.type_vocab_size) * cfg.hidden
+            + 2 * cfg.hidden;
+        let per_layer = 4 * (cfg.hidden * cfg.hidden + cfg.hidden)
+            + (cfg.hidden * cfg.intermediate + cfg.intermediate)
+            + (cfg.intermediate * cfg.hidden + cfg.hidden)
+            + 4 * cfg.hidden;
+        let head = cfg.hidden * cfg.num_classes + cfg.num_classes;
+        assert_eq!(model.num_params(), emb + cfg.layers * per_layer + head);
+        assert_eq!(model.params().len(), model.param_names().len());
+        assert_eq!(model.params().len(), 5 + cfg.layers * 16 + 2);
+    }
+
+    #[test]
+    fn forward_produces_logits_of_right_shape() {
+        let model = tiny_model();
+        let mut graph = Graph::new();
+        let bound = model.bind(&mut graph);
+        let ex = example(&[2, 7, 9, 3], 1, 16);
+        let logits = bound.forward(&mut graph, &ex, &mut NoopHook).unwrap();
+        assert_eq!(graph.value(logits).dims(), &[1, 2]);
+        assert!(graph.value(logits).as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let model = tiny_model();
+        let ex = example(&[2, 5, 6, 8, 3], 0, 16);
+        let run = || {
+            let mut graph = Graph::new();
+            let bound = model.bind(&mut graph);
+            let logits = bound.forward(&mut graph, &ex, &mut NoopHook).unwrap();
+            graph.value(logits).clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn padding_does_not_change_logits() {
+        // Because padding is stripped via the attention mask, adding extra
+        // [PAD] tokens must not change the output.
+        let model = tiny_model();
+        let short = example(&[2, 5, 6, 3], 0, 8);
+        let long = example(&[2, 5, 6, 3], 0, 16);
+        let run = |ex: &Example| {
+            let mut graph = Graph::new();
+            let bound = model.bind(&mut graph);
+            let logits = bound.forward(&mut graph, ex, &mut NoopHook).unwrap();
+            graph.value(logits).clone()
+        };
+        assert!(run(&short).allclose(&run(&long), 1e-5));
+    }
+
+    #[test]
+    fn rejects_empty_and_overlong_sequences() {
+        let model = tiny_model();
+        let mut graph = Graph::new();
+        let bound = model.bind(&mut graph);
+        assert!(bound
+            .forward_tokens(&mut graph, &[], &[], &mut NoopHook)
+            .is_err());
+        let too_long: Vec<usize> = vec![2; 17];
+        let segs = vec![0usize; 17];
+        assert!(bound
+            .forward_tokens(&mut graph, &too_long, &segs, &mut NoopHook)
+            .is_err());
+        assert!(bound
+            .forward_tokens(&mut graph, &[2, 3], &[0], &mut NoopHook)
+            .is_err());
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let model = tiny_model();
+        let mut graph = Graph::new();
+        let bound = model.bind(&mut graph);
+        let ex = example(&[2, 7, 9, 11, 3], 1, 16);
+        let logits = bound.forward(&mut graph, &ex, &mut NoopHook).unwrap();
+        let loss = graph.cross_entropy_logits(logits, &[ex.label]).unwrap();
+        graph.backward(loss).unwrap();
+        // Every weight matrix must receive a gradient (embedding tables only
+        // receive gradients at used rows, which still counts).
+        let names = model.param_names();
+        for (i, &pid) in bound.param_ids().iter().enumerate() {
+            // The segment table only gets a gradient if segment 1 appears;
+            // position/word tables always do. Skip segment embeddings.
+            if names[i].contains("segment") {
+                continue;
+            }
+            assert!(
+                graph.grad(pid).is_some(),
+                "parameter {} received no gradient",
+                names[i]
+            );
+        }
+    }
+
+    #[test]
+    fn hooks_see_weights_and_activations() {
+        #[derive(Default)]
+        struct CountingHook {
+            weights: usize,
+            activations: usize,
+        }
+        impl ForwardHook for CountingHook {
+            fn on_weight(&mut self, _g: &mut Graph, id: VarId, _s: Site) -> VarId {
+                self.weights += 1;
+                id
+            }
+            fn on_activation(&mut self, _g: &mut Graph, id: VarId, _s: Site) -> VarId {
+                self.activations += 1;
+                id
+            }
+        }
+        let model = tiny_model();
+        let mut graph = Graph::new();
+        let bound = model.bind(&mut graph);
+        let ex = example(&[2, 4, 3], 0, 16);
+        let mut hook = CountingHook::default();
+        bound.forward(&mut graph, &ex, &mut hook).unwrap();
+        // 3 embedding tables + per layer (q,k,v,o,ffn1,ffn2) + classifier.
+        assert_eq!(hook.weights, 3 + model.config().layers * 6 + 1);
+        assert!(hook.activations > 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Parameter and FLOP accounting for a BERT configuration.
+//!
+//! The deployment experiments (Tables III and IV) need the *workload*, not
+//! the weights: how many multiply–accumulate operations and how many weight
+//! bytes one inference of a given BERT shape requires. [`ModelProfile`]
+//! derives both from a [`BertConfig`] and a sequence length.
+
+use crate::config::BertConfig;
+use serde::{Deserialize, Serialize};
+
+/// Static workload profile of one BERT inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// The architecture profiled.
+    pub config: BertConfig,
+    /// Sequence length assumed for the activation-dependent terms.
+    pub seq_len: usize,
+    /// Parameters in the embedding tables.
+    pub embedding_params: usize,
+    /// Parameters in the encoder stack (weights + biases + layer norms).
+    pub encoder_params: usize,
+    /// Parameters in the classifier head.
+    pub classifier_params: usize,
+    /// Multiply–accumulate operations in one inference of the encoder stack.
+    pub encoder_macs: u64,
+    /// Multiply–accumulate operations in the task head.
+    pub classifier_macs: u64,
+}
+
+impl ModelProfile {
+    /// Profiles `config` at sequence length `seq_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq_len` is zero or exceeds the configuration's `max_len`.
+    pub fn new(config: &BertConfig, seq_len: usize) -> Self {
+        assert!(
+            seq_len > 0 && seq_len <= config.max_len,
+            "sequence length {seq_len} out of range 1..={}",
+            config.max_len
+        );
+        let h = config.hidden;
+        let i = config.intermediate;
+        let s = seq_len;
+        let embedding_params =
+            (config.vocab_size + config.max_len + config.type_vocab_size) * h + 2 * h;
+        let per_layer_params =
+            4 * (h * h + h) + (h * i + i) + (i * h + h) + 4 * h;
+        let encoder_params = config.layers * per_layer_params;
+        let classifier_params = h * config.num_classes + config.num_classes;
+
+        // MACs per encoder layer: Q/K/V/output projections, the two attention
+        // matrix products, and the two FFN projections.
+        let proj = 4 * s * h * h;
+        let attention = 2 * s * s * h;
+        let ffn = 2 * s * h * i;
+        let per_layer_macs = (proj + attention + ffn) as u64;
+        let encoder_macs = config.layers as u64 * per_layer_macs;
+        let classifier_macs = (h * config.num_classes) as u64;
+
+        Self {
+            config: config.clone(),
+            seq_len,
+            embedding_params,
+            encoder_params,
+            classifier_params,
+            encoder_macs,
+            classifier_macs,
+        }
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> usize {
+        self.embedding_params + self.encoder_params + self.classifier_params
+    }
+
+    /// Total multiply–accumulate operations for one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.encoder_macs + self.classifier_macs
+    }
+
+    /// Total floating-point operations (2 × MACs) for one inference.
+    pub fn total_flops(&self) -> u64 {
+        2 * self.total_macs()
+    }
+
+    /// Bytes of FP32 weights.
+    pub fn weight_bytes_fp32(&self) -> u64 {
+        4 * self.total_params() as u64
+    }
+
+    /// Bytes of encoder weights when linear-layer weights are stored at
+    /// `weight_bits` bits (biases and layer norms kept at 32-bit, matching
+    /// the FQ-BERT storage format).
+    pub fn encoder_weight_bytes_quantized(&self, weight_bits: u32) -> u64 {
+        let h = self.config.hidden;
+        let i = self.config.intermediate;
+        let matrix_params = self.config.layers * (4 * h * h + h * i + i * h);
+        let other_params = self.encoder_params - matrix_params;
+        (matrix_params as u64 * u64::from(weight_bits)).div_ceil(8) + 4 * other_params as u64
+    }
+
+    /// Weight bytes that must stream from off-chip memory per inference when
+    /// the encoder weights are stored at `weight_bits` bits (the embeddings
+    /// and task head stay on the CPU in the paper's system partitioning).
+    pub fn streamed_weight_bytes(&self, weight_bits: u32) -> u64 {
+        self.encoder_weight_bytes_quantized(weight_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_matches_published_scale() {
+        let profile = ModelProfile::new(&BertConfig::bert_base(), 128);
+        // ~110 M parameters and > 20 GFLOPs at sequence length 128 — the
+        // figures quoted in the paper's introduction.
+        let params = profile.total_params();
+        assert!(
+            (100_000_000..125_000_000).contains(&params),
+            "BERT-base parameter count {params} outside the expected range"
+        );
+        assert!(
+            profile.total_flops() > 20_000_000_000,
+            "BERT-base at seq 128 should exceed 20 GFLOPs, got {}",
+            profile.total_flops()
+        );
+        // > 320 MB of FP32 parameters.
+        assert!(profile.weight_bytes_fp32() > 320 * 1024 * 1024);
+    }
+
+    #[test]
+    fn quantized_encoder_weights_shrink_by_roughly_8x() {
+        let profile = ModelProfile::new(&BertConfig::bert_base(), 128);
+        let fp32 = 4 * profile.encoder_params as u64;
+        let int4 = profile.encoder_weight_bytes_quantized(4);
+        let ratio = fp32 as f64 / int4 as f64;
+        assert!(
+            (7.0..8.0).contains(&ratio),
+            "4-bit encoder compression ratio {ratio} not in the expected band"
+        );
+    }
+
+    #[test]
+    fn macs_scale_linearly_with_layers() {
+        let base = BertConfig::bert_base();
+        let mut half = base.clone();
+        half.layers = 6;
+        let p_full = ModelProfile::new(&base, 128);
+        let p_half = ModelProfile::new(&half, 128);
+        assert_eq!(p_full.encoder_macs, 2 * p_half.encoder_macs);
+    }
+
+    #[test]
+    fn attention_term_grows_quadratically_with_sequence() {
+        let cfg = BertConfig::bert_base();
+        let short = ModelProfile::new(&cfg, 32);
+        let long = ModelProfile::new(&cfg, 64);
+        // The projection/FFN part scales linearly; the attention part
+        // quadratically — so doubling the sequence more than doubles MACs.
+        assert!(long.encoder_macs > 2 * short.encoder_macs);
+        assert!(long.encoder_macs < 3 * short.encoder_macs);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_sequence_length_panics() {
+        let _ = ModelProfile::new(&BertConfig::bert_base(), 0);
+    }
+
+    #[test]
+    fn tiny_profile_consistency() {
+        let cfg = BertConfig::tiny(100, 32, 2);
+        let p = ModelProfile::new(&cfg, 16);
+        assert_eq!(
+            p.total_params(),
+            p.embedding_params + p.encoder_params + p.classifier_params
+        );
+        assert_eq!(p.total_flops(), 2 * p.total_macs());
+        assert!(p.streamed_weight_bytes(4) < p.weight_bytes_fp32());
+    }
+}

@@ -1,0 +1,317 @@
+//! Mini-batch trainer and evaluator for the BERT classifier.
+//!
+//! The paper first trains the task model for 3 epochs, then fine-tunes it
+//! with the quantization function in the loop. Both phases use this trainer;
+//! the only difference is the [`ForwardHook`] supplied (identity vs. the QAT
+//! hook from `fqbert-core`).
+
+use crate::hooks::{ForwardHook, NoopHook};
+use crate::model::BertModel;
+use fqbert_autograd::{Adam, AutogradError, Graph, Optimizer};
+use fqbert_nlp::{accuracy, Example, TaskDataset};
+use fqbert_tensor::{RngSource, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the training loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Number of passes over the training split.
+    pub epochs: usize,
+    /// Mini-batch size (examples per optimizer step).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Optional cap on the number of training examples used per epoch
+    /// (useful for quick experiments); `None` uses the whole split.
+    pub max_train_examples: Option<usize>,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 3,
+            batch_size: 16,
+            learning_rate: 1e-3,
+            seed: 0,
+            max_train_examples: None,
+        }
+    }
+}
+
+/// Per-epoch record of the training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrainingHistory {
+    /// Mean training loss per epoch.
+    pub epoch_loss: Vec<f32>,
+    /// Development-set accuracy (percent) measured after each epoch.
+    pub dev_accuracy: Vec<f64>,
+}
+
+impl TrainingHistory {
+    /// Accuracy after the final epoch, if any epoch completed.
+    pub fn final_dev_accuracy(&self) -> Option<f64> {
+        self.dev_accuracy.last().copied()
+    }
+}
+
+/// Result of evaluating a model on a set of examples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Classification accuracy in percent.
+    pub accuracy: f64,
+    /// Mean cross-entropy loss.
+    pub loss: f32,
+    /// Number of examples evaluated.
+    pub num_examples: usize,
+}
+
+/// Mini-batch trainer driving a [`BertModel`] with Adam.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The trainer configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Trains `model` on the dataset's training split, evaluating on the dev
+    /// split after every epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph construction errors (which indicate a configuration
+    /// inconsistency between the model and the dataset).
+    pub fn train(
+        &self,
+        model: &mut BertModel,
+        dataset: &TaskDataset,
+        hook: &mut dyn ForwardHook,
+    ) -> Result<TrainingHistory, AutogradError> {
+        let mut optimizer = Adam::new(self.config.learning_rate);
+        let mut rng = RngSource::seed_from_u64(self.config.seed);
+        let mut history = TrainingHistory::default();
+        let limit = self
+            .config
+            .max_train_examples
+            .unwrap_or(dataset.train.len())
+            .min(dataset.train.len());
+
+        for _epoch in 0..self.config.epochs {
+            let mut order: Vec<usize> = (0..dataset.train.len()).collect();
+            rng.shuffle(&mut order);
+            order.truncate(limit);
+
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                let batch: Vec<&Example> = chunk.iter().map(|&i| &dataset.train[i]).collect();
+                let loss = self.train_step(model, &mut optimizer, &batch, hook)?;
+                epoch_loss += loss;
+                batches += 1;
+            }
+            history
+                .epoch_loss
+                .push(epoch_loss / batches.max(1) as f32);
+            let eval = Self::evaluate(model, &dataset.dev, hook)?;
+            history.dev_accuracy.push(eval.accuracy);
+        }
+        Ok(history)
+    }
+
+    /// Runs one optimizer step over a mini-batch and returns the batch loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph construction errors.
+    pub fn train_step(
+        &self,
+        model: &mut BertModel,
+        optimizer: &mut dyn Optimizer,
+        batch: &[&Example],
+        hook: &mut dyn ForwardHook,
+    ) -> Result<f32, AutogradError> {
+        if batch.is_empty() {
+            return Ok(0.0);
+        }
+        let mut graph = Graph::new();
+        let bound = model.bind(&mut graph);
+        let mut total_loss: Option<fqbert_autograd::VarId> = None;
+        for example in batch {
+            let logits = bound.forward(&mut graph, example, hook)?;
+            let loss = graph.cross_entropy_logits(logits, &[example.label])?;
+            total_loss = Some(match total_loss {
+                Some(acc) => graph.add(acc, loss)?,
+                None => loss,
+            });
+        }
+        let total = total_loss.expect("batch is non-empty");
+        let mean_loss = graph.scale(total, 1.0 / batch.len() as f32)?;
+        let loss_value = graph.value(mean_loss).as_slice()[0];
+        graph.backward(mean_loss)?;
+
+        // Collect gradients in parameter order, substituting zeros for
+        // parameters that did not participate (e.g. unused embedding tables).
+        let grads: Vec<Tensor> = bound
+            .param_ids()
+            .iter()
+            .enumerate()
+            .map(|(i, &pid)| match graph.grad(pid) {
+                Some(g) => g.clone(),
+                None => Tensor::zeros(model.params()[i].dims()),
+            })
+            .collect();
+        let grad_refs: Vec<&Tensor> = grads.iter().collect();
+        let mut params = model.params_mut();
+        optimizer.step(&mut params, &grad_refs);
+        Ok(loss_value)
+    }
+
+    /// Evaluates a model on a set of examples with the given hook.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph construction errors.
+    pub fn evaluate(
+        model: &BertModel,
+        examples: &[Example],
+        hook: &mut dyn ForwardHook,
+    ) -> Result<EvalReport, AutogradError> {
+        if examples.is_empty() {
+            return Ok(EvalReport {
+                accuracy: 0.0,
+                loss: 0.0,
+                num_examples: 0,
+            });
+        }
+        let mut predictions = Vec::with_capacity(examples.len());
+        let mut labels = Vec::with_capacity(examples.len());
+        let mut total_loss = 0.0f32;
+        for example in examples {
+            let mut graph = Graph::new();
+            let bound = model.bind(&mut graph);
+            let logits = bound.forward(&mut graph, example, hook)?;
+            let loss = graph.cross_entropy_logits(logits, &[example.label])?;
+            total_loss += graph.value(loss).as_slice()[0];
+            let pred = graph.value(logits).argmax()?;
+            predictions.push(pred);
+            labels.push(example.label);
+        }
+        Ok(EvalReport {
+            accuracy: accuracy(&predictions, &labels),
+            loss: total_loss / examples.len() as f32,
+            num_examples: examples.len(),
+        })
+    }
+
+    /// Convenience wrapper evaluating with the identity hook (float model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph construction errors.
+    pub fn evaluate_float(
+        model: &BertModel,
+        examples: &[Example],
+    ) -> Result<EvalReport, AutogradError> {
+        Self::evaluate(model, examples, &mut NoopHook)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BertConfig;
+    use fqbert_nlp::{Sst2Config, Sst2Generator};
+
+    fn quick_dataset() -> TaskDataset {
+        Sst2Generator::new(Sst2Config {
+            train_size: 240,
+            dev_size: 60,
+            sentiment_words: 6,
+            neutral_words: 10,
+            min_words: 3,
+            max_words: 6,
+            negation_prob: 0.0,
+            label_noise: 0.0,
+            max_len: 12,
+            ..Sst2Config::tiny()
+        })
+        .generate(1)
+    }
+
+    #[test]
+    fn training_improves_over_chance() {
+        let dataset = quick_dataset();
+        let mut model = BertModel::new(
+            BertConfig {
+                hidden: 32,
+                layers: 1,
+                heads: 2,
+                intermediate: 64,
+                ..BertConfig::tiny(dataset.vocab_size, dataset.max_len, dataset.num_classes)
+            },
+            7,
+        );
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 6,
+            batch_size: 8,
+            learning_rate: 3e-3,
+            seed: 3,
+            max_train_examples: None,
+        });
+        let history = trainer
+            .train(&mut model, &dataset, &mut NoopHook)
+            .expect("training should succeed");
+        assert_eq!(history.epoch_loss.len(), 6);
+        assert_eq!(history.dev_accuracy.len(), 6);
+        let final_acc = history.final_dev_accuracy().unwrap();
+        assert!(
+            final_acc > 65.0,
+            "expected the tiny model to beat chance clearly, got {final_acc}%"
+        );
+        assert!(
+            history.epoch_loss.last().unwrap() < history.epoch_loss.first().unwrap(),
+            "loss should decrease across epochs"
+        );
+    }
+
+    #[test]
+    fn evaluate_handles_empty_set() {
+        let model = BertModel::new(BertConfig::tiny(20, 8, 2), 0);
+        let report = Trainer::evaluate_float(&model, &[]).unwrap();
+        assert_eq!(report.num_examples, 0);
+        assert_eq!(report.accuracy, 0.0);
+    }
+
+    #[test]
+    fn untrained_model_is_near_chance() {
+        let dataset = quick_dataset();
+        let model = BertModel::new(
+            BertConfig::tiny(dataset.vocab_size, dataset.max_len, dataset.num_classes),
+            11,
+        );
+        let report = Trainer::evaluate_float(&model, &dataset.dev).unwrap();
+        assert!(report.accuracy >= 20.0 && report.accuracy <= 80.0);
+        assert!(report.loss > 0.3);
+    }
+
+    #[test]
+    fn train_step_on_empty_batch_is_noop() {
+        let mut model = BertModel::new(BertConfig::tiny(20, 8, 2), 0);
+        let trainer = Trainer::new(TrainerConfig::default());
+        let mut opt = Adam::new(1e-3);
+        let loss = trainer
+            .train_step(&mut model, &mut opt, &[], &mut NoopHook)
+            .unwrap();
+        assert_eq!(loss, 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the FQ-BERT pipeline.
+
+use fqbert_autograd::AutogradError;
+use fqbert_quant::QuantError;
+use fqbert_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by quantization-aware training, conversion and integer
+/// inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FqBertError {
+    /// An autograd operation failed.
+    Autograd(AutogradError),
+    /// A quantization primitive failed.
+    Quant(QuantError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// The model has not been calibrated for a required activation site.
+    MissingCalibration(String),
+    /// An argument is outside its valid domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FqBertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FqBertError::Autograd(e) => write!(f, "autograd error: {e}"),
+            FqBertError::Quant(e) => write!(f, "quantization error: {e}"),
+            FqBertError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FqBertError::MissingCalibration(site) => {
+                write!(f, "no activation calibration recorded for site {site}")
+            }
+            FqBertError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FqBertError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FqBertError::Autograd(e) => Some(e),
+            FqBertError::Quant(e) => Some(e),
+            FqBertError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AutogradError> for FqBertError {
+    fn from(e: AutogradError) -> Self {
+        FqBertError::Autograd(e)
+    }
+}
+
+impl From<QuantError> for FqBertError {
+    fn from(e: QuantError) -> Self {
+        FqBertError::Quant(e)
+    }
+}
+
+impl From<TensorError> for FqBertError {
+    fn from(e: TensorError) -> Self {
+        FqBertError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let errs: Vec<FqBertError> = vec![
+            AutogradError::UnknownVariable(1).into(),
+            QuantError::UnsupportedBitWidth(1).into(),
+            TensorError::EmptyTensor("max").into(),
+            FqBertError::MissingCalibration("layer0/QkvActivation".into()),
+            FqBertError::InvalidArgument("bad".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

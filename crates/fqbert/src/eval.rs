@@ -1,0 +1,112 @@
+//! Accuracy evaluation helpers for the quantization experiments.
+
+use crate::int_model::IntBertModel;
+use crate::Result;
+use fqbert_bert::{BertModel, ForwardHook, Trainer};
+use fqbert_nlp::{accuracy, Example};
+use serde::{Deserialize, Serialize};
+
+/// Accuracy of a model variant on one evaluation split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Classification accuracy in percent.
+    pub accuracy: f64,
+    /// Number of evaluated examples.
+    pub num_examples: usize,
+}
+
+/// Evaluates the integer-only FQ-BERT engine on a set of examples.
+///
+/// # Errors
+///
+/// Propagates integer-engine errors (invalid examples).
+pub fn evaluate_int_model(model: &IntBertModel, examples: &[Example]) -> Result<AccuracyReport> {
+    if examples.is_empty() {
+        return Ok(AccuracyReport {
+            accuracy: 0.0,
+            num_examples: 0,
+        });
+    }
+    let mut predictions = Vec::with_capacity(examples.len());
+    let mut labels = Vec::with_capacity(examples.len());
+    for ex in examples {
+        predictions.push(model.predict(ex)?);
+        labels.push(ex.label);
+    }
+    Ok(AccuracyReport {
+        accuracy: accuracy(&predictions, &labels),
+        num_examples: examples.len(),
+    })
+}
+
+/// Evaluates the float model under an arbitrary forward hook (used for the
+/// fake-quantized ablations of Table II and the bit-width sweep of Fig. 3).
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn evaluate_with_hook(
+    model: &BertModel,
+    examples: &[Example],
+    hook: &mut dyn ForwardHook,
+) -> Result<AccuracyReport> {
+    let report = Trainer::evaluate(model, examples, hook)?;
+    Ok(AccuracyReport {
+        accuracy: report.accuracy,
+        num_examples: report.num_examples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert;
+    use crate::qat::QatHook;
+    use fqbert_autograd::Graph;
+    use fqbert_bert::{BertConfig, NoopHook};
+    use fqbert_quant::QuantConfig;
+
+    fn example(tokens: &[usize], label: usize) -> Example {
+        Example {
+            token_ids: tokens.to_vec(),
+            segment_ids: vec![0; tokens.len()],
+            attention_mask: vec![1; tokens.len()],
+            label,
+        }
+    }
+
+    #[test]
+    fn int_and_hook_evaluations_run_end_to_end() {
+        let model = BertModel::new(BertConfig::tiny(30, 12, 2), 8);
+        let examples: Vec<Example> = (0..6)
+            .map(|i| example(&[2, 4 + i, 6, 3], i % 2))
+            .collect();
+        let mut hook = QatHook::calibration_only(QuantConfig::w8a8());
+        for ex in &examples {
+            let mut graph = Graph::new();
+            let bound = model.bind(&mut graph);
+            bound.forward(&mut graph, ex, &mut hook).unwrap();
+        }
+        let int_model = convert(&model, &hook).unwrap();
+        let int_report = evaluate_int_model(&int_model, &examples).unwrap();
+        assert_eq!(int_report.num_examples, examples.len());
+        assert!((0.0..=100.0).contains(&int_report.accuracy));
+
+        let float_report = evaluate_with_hook(&model, &examples, &mut NoopHook).unwrap();
+        assert_eq!(float_report.num_examples, examples.len());
+    }
+
+    #[test]
+    fn empty_evaluation_is_zero() {
+        let model = BertModel::new(BertConfig::tiny(30, 12, 2), 8);
+        let mut hook = QatHook::calibration_only(QuantConfig::w8a8());
+        let mut graph = Graph::new();
+        let bound = model.bind(&mut graph);
+        bound
+            .forward(&mut graph, &example(&[2, 4, 3], 0), &mut hook)
+            .unwrap();
+        let int_model = convert(&model, &hook).unwrap();
+        let report = evaluate_int_model(&int_model, &[]).unwrap();
+        assert_eq!(report.num_examples, 0);
+    }
+}

@@ -1,0 +1,710 @@
+//! The integer-only FQ-BERT inference engine.
+//!
+//! Following the paper's system partitioning (§III-A), the embedding lookup
+//! and the small task head run in floating point "on the CPU", while the
+//! whole encoder stack runs on integers only — the part the FPGA accelerator
+//! executes:
+//!
+//! * weights are int4/int8 codes, activations int8 codes, biases int32;
+//! * every matrix multiply accumulates in int32 and is requantized back to
+//!   int8 with a fixed-point [`Requantizer`] (Eq. 5);
+//! * softmax uses the 256-entry [`SoftmaxLut`] with max-subtraction;
+//! * `Add & LN` uses the fixed-point [`QuantizedLayerNorm`];
+//! * GELU uses a 256-entry int8→int8 lookup table (the paper fuses it with
+//!   FFN1; a table is the standard HLS realisation).
+//!
+//! The engine is the functional reference executed by the accelerator
+//! simulator in `fqbert-accel`.
+
+use crate::{FqBertError, Result};
+use fqbert_bert::BertConfig;
+use fqbert_quant::{quantize_bias, QuantParams, QuantizedLayerNorm, Requantizer, SoftmaxLut};
+use fqbert_tensor::ops::gelu_scalar;
+use fqbert_tensor::{IntTensor, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Output levels used for quantized attention probabilities.
+const PROB_LEVELS: u32 = 255;
+
+/// A fully quantized dense layer: int8 weight codes, int32 bias, fixed-point
+/// requantization to int8 outputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntLinear {
+    weight: IntTensor<i8>,
+    bias: IntTensor<i32>,
+    weight_scale: f32,
+    input_scale: f32,
+    output_scale: f32,
+    weight_bits: u32,
+    requant: Requantizer,
+}
+
+impl IntLinear {
+    /// Quantizes a float linear layer.
+    ///
+    /// `input_scale` and `output_scale` are the activation scales (levels per
+    /// unit) of the layer's input and output, taken from QAT calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the weight tensor has no dynamic range or a scale
+    /// is invalid.
+    pub fn from_float(
+        weight: &Tensor,
+        bias: &Tensor,
+        weight_bits: u32,
+        weight_clip: Option<f32>,
+        input_scale: f32,
+        output_scale: f32,
+    ) -> Result<Self> {
+        let wp = QuantParams::for_weights(weight, weight_bits, weight_clip)?;
+        let ap = QuantParams::new(8, input_scale)?;
+        let weight_q = wp.quantize_tensor_i8(weight);
+        let bias_q = quantize_bias(bias, &ap, &wp)?;
+        let effective = f64::from(output_scale) / (f64::from(input_scale) * f64::from(wp.scale()));
+        let requant = Requantizer::from_scale(effective, 8)?;
+        Ok(Self {
+            weight: weight_q,
+            bias: bias_q,
+            weight_scale: wp.scale(),
+            input_scale,
+            output_scale,
+            weight_bits,
+            requant,
+        })
+    }
+
+    /// Weight codes (row-major `[in, out]`).
+    pub fn weight_codes(&self) -> &IntTensor<i8> {
+        &self.weight
+    }
+
+    /// Bias codes.
+    pub fn bias_codes(&self) -> &IntTensor<i32> {
+        &self.bias
+    }
+
+    /// Weight bit-width used for storage accounting.
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// Activation scale expected at the input.
+    pub fn input_scale(&self) -> f32 {
+        self.input_scale
+    }
+
+    /// Activation scale produced at the output.
+    pub fn output_scale(&self) -> f32 {
+        self.output_scale
+    }
+
+    /// Weight scale (levels per unit).
+    pub fn weight_scale(&self) -> f32 {
+        self.weight_scale
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Integer forward pass: `requant(x · W + b)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input width does not match the layer.
+    pub fn forward(&self, x: &IntTensor<i8>) -> Result<IntTensor<i8>> {
+        let acc = x.matmul_i32(&self.weight)?;
+        let (rows, cols) = acc.as_matrix_dims()?;
+        let mut out = IntTensor::<i8>::zeros(&[rows, cols]);
+        for r in 0..rows {
+            for c in 0..cols {
+                let with_bias =
+                    i64::from(acc.row(r)[c]) + i64::from(self.bias.as_slice()[c]);
+                let code = self.requant.apply(with_bias);
+                out.as_mut_slice()[r * cols + c] = code.clamp(-127, 127) as i8;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// 256-entry int8→int8 GELU lookup table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntGelu {
+    table: Vec<i8>,
+    input_scale: f32,
+    output_scale: f32,
+}
+
+impl IntGelu {
+    /// Builds a GELU table mapping int8 codes at `input_scale` to int8 codes
+    /// at `output_scale`.
+    pub fn new(input_scale: f32, output_scale: f32) -> Self {
+        let table = (-128i32..=127)
+            .map(|code| {
+                let x = code as f32 / input_scale;
+                (gelu_scalar(x) * output_scale)
+                    .round()
+                    .clamp(-127.0, 127.0) as i8
+            })
+            .collect();
+        Self {
+            table,
+            input_scale,
+            output_scale,
+        }
+    }
+
+    /// Applies the table to one code.
+    pub fn apply(&self, code: i8) -> i8 {
+        self.table[(code as i32 + 128) as usize]
+    }
+
+    /// Applies the table element-wise.
+    pub fn apply_tensor(&self, x: &IntTensor<i8>) -> IntTensor<i8> {
+        let data = x.as_slice().iter().map(|&c| self.apply(c)).collect();
+        IntTensor::from_vec(data, x.dims()).expect("shape preserved")
+    }
+
+    /// Output activation scale.
+    pub fn output_scale(&self) -> f32 {
+        self.output_scale
+    }
+}
+
+/// One fully quantized encoder layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntEncoderLayer {
+    /// Query projection (8×4-bit matrix–vector work on the accelerator).
+    pub query: IntLinear,
+    /// Key projection.
+    pub key: IntLinear,
+    /// Value projection.
+    pub value: IntLinear,
+    /// Attention output projection.
+    pub attn_output: IntLinear,
+    /// First FFN projection.
+    pub ffn1: IntLinear,
+    /// Second FFN projection.
+    pub ffn2: IntLinear,
+    gelu: IntGelu,
+    score_requant: Requantizer,
+    score_scale: f32,
+    softmax: SoftmaxLut,
+    context_requant: Requantizer,
+    attn_layer_norm: QuantizedLayerNorm,
+    ffn_layer_norm: QuantizedLayerNorm,
+    heads: usize,
+    input_scale: f32,
+    qkv_scale: f32,
+    attn_out_scale: f32,
+    ln_out_scale: f32,
+    ffn_out_scale: f32,
+}
+
+/// Scales needed to build one integer encoder layer (taken from QAT
+/// calibration by the converter).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerScales {
+    /// Scale of the activations entering the layer.
+    pub input: f32,
+    /// Shared scale of the Q/K/V projections.
+    pub qkv: f32,
+    /// Scale of the attention scores (`QKᵀ/√d`).
+    pub scores: f32,
+    /// Scale of the attention output projection.
+    pub attn_output: f32,
+    /// Scale of the `Add & LN` outputs.
+    pub layer_norm: f32,
+    /// Scale of the FFN hidden activation (post-GELU).
+    pub ffn_hidden: f32,
+    /// Scale of the FFN output projection.
+    pub ffn_output: f32,
+}
+
+impl IntEncoderLayer {
+    /// Quantizes one float encoder layer using calibrated activation scales.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any scale is invalid or a weight has no range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_float(
+        layer: &fqbert_bert::layers::EncoderLayerParams,
+        heads: usize,
+        head_dim: usize,
+        weight_bits: u32,
+        tune_clip: bool,
+        scales: &LayerScales,
+        layer_norm_eps: f32,
+    ) -> Result<Self> {
+        let clip = |w: &Tensor| -> Result<Option<f32>> {
+            if tune_clip {
+                Ok(Some(
+                    fqbert_quant::tune_clip_threshold(w, weight_bits, 40)?.clip,
+                ))
+            } else {
+                Ok(None)
+            }
+        };
+        let query = IntLinear::from_float(
+            &layer.query.weight,
+            &layer.query.bias,
+            weight_bits,
+            clip(&layer.query.weight)?,
+            scales.input,
+            scales.qkv,
+        )?;
+        let key = IntLinear::from_float(
+            &layer.key.weight,
+            &layer.key.bias,
+            weight_bits,
+            clip(&layer.key.weight)?,
+            scales.input,
+            scales.qkv,
+        )?;
+        let value = IntLinear::from_float(
+            &layer.value.weight,
+            &layer.value.bias,
+            weight_bits,
+            clip(&layer.value.weight)?,
+            scales.input,
+            scales.qkv,
+        )?;
+        // The attention context is a convex combination of V rows, so reusing
+        // the V scale for the context keeps the code range sound.
+        let attn_output = IntLinear::from_float(
+            &layer.attn_output.weight,
+            &layer.attn_output.bias,
+            weight_bits,
+            clip(&layer.attn_output.weight)?,
+            scales.qkv,
+            scales.attn_output,
+        )?;
+        let ffn1 = IntLinear::from_float(
+            &layer.ffn1.weight,
+            &layer.ffn1.bias,
+            weight_bits,
+            clip(&layer.ffn1.weight)?,
+            scales.layer_norm,
+            scales.ffn_hidden,
+        )?;
+        let ffn2 = IntLinear::from_float(
+            &layer.ffn2.weight,
+            &layer.ffn2.bias,
+            weight_bits,
+            clip(&layer.ffn2.weight)?,
+            scales.ffn_hidden,
+            scales.ffn_output,
+        )?;
+        let gelu = IntGelu::new(scales.ffn_hidden, scales.ffn_hidden);
+
+        // Attention scores: real = acc / (s_qkv² · √d); codes at s_scores.
+        let score_effective = f64::from(scales.scores)
+            / (f64::from(scales.qkv) * f64::from(scales.qkv) * (head_dim as f64).sqrt());
+        let score_requant = Requantizer::from_scale(score_effective, 8)?;
+        let softmax = SoftmaxLut::new(scales.scores, PROB_LEVELS)?;
+        // Attention context: real = acc / (PROB_LEVELS · s_qkv); codes at s_qkv.
+        let context_requant = Requantizer::from_scale(1.0 / f64::from(PROB_LEVELS), 8)?;
+
+        let attn_layer_norm = QuantizedLayerNorm::from_float(
+            layer.attn_layer_norm.gamma.as_slice(),
+            layer.attn_layer_norm.beta.as_slice(),
+            layer_norm_eps,
+        )?;
+        let ffn_layer_norm = QuantizedLayerNorm::from_float(
+            layer.ffn_layer_norm.gamma.as_slice(),
+            layer.ffn_layer_norm.beta.as_slice(),
+            layer_norm_eps,
+        )?;
+        Ok(Self {
+            query,
+            key,
+            value,
+            attn_output,
+            ffn1,
+            ffn2,
+            gelu,
+            score_requant,
+            score_scale: scales.scores,
+            softmax,
+            context_requant,
+            attn_layer_norm,
+            ffn_layer_norm,
+            heads,
+            input_scale: scales.input,
+            qkv_scale: scales.qkv,
+            attn_out_scale: scales.attn_output,
+            ln_out_scale: scales.layer_norm,
+            ffn_out_scale: scales.ffn_output,
+        })
+    }
+
+    /// Scale of the activations produced by this layer.
+    pub fn output_scale(&self) -> f32 {
+        self.ln_out_scale
+    }
+
+    /// Scale of the activations expected at the input of this layer.
+    pub fn input_scale(&self) -> f32 {
+        self.input_scale
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Integer forward pass over a `[seq, hidden]` tensor of int8 codes at
+    /// this layer's input scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape inconsistencies.
+    pub fn forward(&self, x: &IntTensor<i8>) -> Result<IntTensor<i8>> {
+        let (seq, hidden) = x.as_matrix_dims()?;
+        let head_dim = hidden / self.heads;
+
+        let q = self.query.forward(x)?;
+        let k = self.key.forward(x)?;
+        let v = self.value.forward(x)?;
+
+        // Per-head scaled dot-product attention.
+        let mut context = IntTensor::<i8>::zeros(&[seq, hidden]);
+        for h in 0..self.heads {
+            let lo = h * head_dim;
+            let hi = lo + head_dim;
+            let qh = slice_cols_i8(&q, lo, hi);
+            let kh = slice_cols_i8(&k, lo, hi);
+            let vh = slice_cols_i8(&v, lo, hi);
+            // scores[i][j] = Σ_d q[i][d]·k[j][d], then requantize.
+            let score_acc = qh.matmul_transposed_i32(&kh)?;
+            let mut scores = vec![0i32; seq * seq];
+            for (idx, &acc) in score_acc.as_slice().iter().enumerate() {
+                scores[idx] = self.score_requant.apply(i64::from(acc));
+            }
+            let probs = self.softmax.apply_matrix(&scores, seq);
+            // context_h = probs · V_h, requantized back to the V scale.
+            for i in 0..seq {
+                for d in 0..head_dim {
+                    let mut acc: i64 = 0;
+                    for j in 0..seq {
+                        acc += i64::from(probs[i * seq + j]) * i64::from(vh.row(j)[d]);
+                    }
+                    let code = self.context_requant.apply(acc).clamp(-127, 127) as i8;
+                    context.as_mut_slice()[i * hidden + lo + d] = code;
+                }
+            }
+        }
+
+        let attn_out = self.attn_output.forward(&context)?;
+
+        // Add & LN (attention residual).
+        let mut normed = IntTensor::<i8>::zeros(&[seq, hidden]);
+        for i in 0..seq {
+            let row = self.attn_layer_norm.apply_residual(
+                x.row(i),
+                self.input_scale,
+                attn_out.row(i),
+                self.attn_out_scale,
+                self.ln_out_scale,
+            )?;
+            normed.as_mut_slice()[i * hidden..(i + 1) * hidden].copy_from_slice(&row);
+        }
+
+        // FFN with LUT GELU.
+        let ffn_pre = self.ffn1.forward(&normed)?;
+        let ffn_hidden = self.gelu.apply_tensor(&ffn_pre);
+        let ffn_out = self.ffn2.forward(&ffn_hidden)?;
+
+        // Add & LN (FFN residual).
+        let mut out = IntTensor::<i8>::zeros(&[seq, hidden]);
+        for i in 0..seq {
+            let row = self.ffn_layer_norm.apply_residual(
+                normed.row(i),
+                self.ln_out_scale,
+                ffn_out.row(i),
+                self.ffn_out_scale,
+                self.ln_out_scale,
+            )?;
+            out.as_mut_slice()[i * hidden..(i + 1) * hidden].copy_from_slice(&row);
+        }
+        Ok(out)
+    }
+}
+
+/// Extracts columns `[lo, hi)` of an int8 matrix.
+fn slice_cols_i8(x: &IntTensor<i8>, lo: usize, hi: usize) -> IntTensor<i8> {
+    let (rows, _cols) = x.as_matrix_dims().expect("rank-2 tensor");
+    let width = hi - lo;
+    let mut out = IntTensor::<i8>::zeros(&[rows, width]);
+    for r in 0..rows {
+        out.as_mut_slice()[r * width..(r + 1) * width].copy_from_slice(&x.row(r)[lo..hi]);
+    }
+    out
+}
+
+/// The complete integer FQ-BERT model: float CPU-side embedding/classifier
+/// plus the integer encoder stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntBertModel {
+    config: BertConfig,
+    word_embeddings: Tensor,
+    position_embeddings: Tensor,
+    segment_embeddings: Tensor,
+    embedding_gamma: Tensor,
+    embedding_beta: Tensor,
+    classifier_weight: Tensor,
+    classifier_bias: Tensor,
+    embedding_out_scale: f32,
+    /// Quantized encoder layers.
+    pub layers: Vec<IntEncoderLayer>,
+    weight_bits: u32,
+}
+
+impl IntBertModel {
+    /// Assembles an integer model from its parts (used by the converter).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        config: BertConfig,
+        word_embeddings: Tensor,
+        position_embeddings: Tensor,
+        segment_embeddings: Tensor,
+        embedding_gamma: Tensor,
+        embedding_beta: Tensor,
+        classifier_weight: Tensor,
+        classifier_bias: Tensor,
+        embedding_out_scale: f32,
+        layers: Vec<IntEncoderLayer>,
+        weight_bits: u32,
+    ) -> Self {
+        Self {
+            config,
+            word_embeddings,
+            position_embeddings,
+            segment_embeddings,
+            embedding_gamma,
+            embedding_beta,
+            classifier_weight,
+            classifier_bias,
+            embedding_out_scale,
+            layers,
+            weight_bits,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &BertConfig {
+        &self.config
+    }
+
+    /// Weight bit-width of the encoder matrices.
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// Scale at which the embedding output is handed to the encoder.
+    pub fn embedding_out_scale(&self) -> f32 {
+        self.embedding_out_scale
+    }
+
+    /// Computes the float (CPU-side) embeddings and quantizes them to int8
+    /// codes for the encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty or overlong sequences or out-of-vocabulary
+    /// ids.
+    pub fn embed(&self, token_ids: &[usize], segment_ids: &[usize]) -> Result<IntTensor<i8>> {
+        if token_ids.is_empty() || token_ids.len() > self.config.max_len {
+            return Err(FqBertError::InvalidArgument(format!(
+                "sequence length {} out of range 1..={}",
+                token_ids.len(),
+                self.config.max_len
+            )));
+        }
+        if segment_ids.len() != token_ids.len() {
+            return Err(FqBertError::InvalidArgument(
+                "segment ids must match token ids in length".to_string(),
+            ));
+        }
+        let hidden = self.config.hidden;
+        let seq = token_ids.len();
+        let mut emb = Tensor::zeros(&[seq, hidden]);
+        for (i, (&tok, &seg)) in token_ids.iter().zip(segment_ids.iter()).enumerate() {
+            if tok >= self.config.vocab_size || seg >= self.config.type_vocab_size {
+                return Err(FqBertError::InvalidArgument(format!(
+                    "token id {tok} or segment id {seg} out of range"
+                )));
+            }
+            for d in 0..hidden {
+                emb.row_mut(i)[d] = self.word_embeddings.row(tok)[d]
+                    + self.position_embeddings.row(i)[d]
+                    + self.segment_embeddings.row(seg)[d];
+            }
+        }
+        let normed = emb.layer_norm(
+            &self.embedding_gamma,
+            &self.embedding_beta,
+            self.config.layer_norm_eps,
+        )?;
+        let data: Vec<i8> = normed
+            .as_slice()
+            .iter()
+            .map(|&v| {
+                (v * self.embedding_out_scale)
+                    .round()
+                    .clamp(-127.0, 127.0) as i8
+            })
+            .collect();
+        Ok(IntTensor::from_vec(data, &[seq, hidden])?)
+    }
+
+    /// Runs the full integer encoder and float classifier, returning the
+    /// class logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid inputs.
+    pub fn forward_logits(&self, token_ids: &[usize], segment_ids: &[usize]) -> Result<Vec<f32>> {
+        let mut hidden = self.embed(token_ids, segment_ids)?;
+        for layer in &self.layers {
+            hidden = layer.forward(&hidden)?;
+        }
+        let out_scale = self
+            .layers
+            .last()
+            .map(|l| l.output_scale())
+            .unwrap_or(self.embedding_out_scale);
+        // CPU-side classifier on the dequantized [CLS] representation.
+        let cls: Vec<f32> = hidden
+            .row(0)
+            .iter()
+            .map(|&c| c as f32 / out_scale)
+            .collect();
+        let cls = Tensor::from_vec(cls, &[1, self.config.hidden])?;
+        let logits = cls
+            .matmul(&self.classifier_weight)?
+            .add_bias(&self.classifier_bias)?;
+        Ok(logits.into_vec())
+    }
+
+    /// Predicts the class of one encoded example.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid inputs.
+    pub fn predict(&self, example: &fqbert_nlp::Example) -> Result<usize> {
+        let real_len = example
+            .attention_mask
+            .iter()
+            .take_while(|&&m| m == 1)
+            .count();
+        let logits = self.forward_logits(
+            &example.token_ids[..real_len],
+            &example.segment_ids[..real_len],
+        )?;
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in logits.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqbert_tensor::RngSource;
+
+    #[test]
+    fn int_linear_matches_float_reference() {
+        let mut rng = RngSource::seed_from_u64(1);
+        let weight = rng.normal_tensor(&[16, 8], 0.0, 0.3);
+        let bias = rng.normal_tensor(&[8], 0.0, 0.1);
+        let x_f = rng.normal_tensor(&[4, 16], 0.0, 1.0);
+
+        let in_scale = 127.0 / x_f.abs_max().unwrap();
+        let float_out = x_f.matmul(&weight).unwrap().add_bias(&bias).unwrap();
+        let out_scale = 127.0 / float_out.abs_max().unwrap();
+
+        let layer =
+            IntLinear::from_float(&weight, &bias, 8, None, in_scale, out_scale).unwrap();
+        let x_q = IntTensor::from_vec(
+            x_f.as_slice().iter().map(|&v| (v * in_scale).round() as i8).collect(),
+            &[4, 16],
+        )
+        .unwrap();
+        let out_q = layer.forward(&x_q).unwrap();
+        let back = out_q.dequantize(1.0 / out_scale);
+        assert!(
+            back.allclose(&float_out, 0.08),
+            "int8 linear deviates from float reference"
+        );
+    }
+
+    #[test]
+    fn int_linear_four_bit_weights_are_coarser_but_close() {
+        let mut rng = RngSource::seed_from_u64(2);
+        let weight = rng.normal_tensor(&[32, 16], 0.0, 0.2);
+        let bias = Tensor::zeros(&[16]);
+        let x_f = rng.normal_tensor(&[2, 32], 0.0, 1.0);
+        let in_scale = 127.0 / x_f.abs_max().unwrap();
+        let float_out = x_f.matmul(&weight).unwrap();
+        let out_scale = 127.0 / float_out.abs_max().unwrap().max(1e-6);
+
+        let l8 = IntLinear::from_float(&weight, &bias, 8, None, in_scale, out_scale).unwrap();
+        let l4 = IntLinear::from_float(&weight, &bias, 4, None, in_scale, out_scale).unwrap();
+        let x_q = IntTensor::from_vec(
+            x_f.as_slice().iter().map(|&v| (v * in_scale).round() as i8).collect(),
+            &[2, 32],
+        )
+        .unwrap();
+        let e8 = l8.forward(&x_q).unwrap().dequantize(1.0 / out_scale).mse(&float_out).unwrap();
+        let e4 = l4.forward(&x_q).unwrap().dequantize(1.0 / out_scale).mse(&float_out).unwrap();
+        assert!(e4 >= e8, "4-bit error {e4} should not beat 8-bit error {e8}");
+        assert!(e4 < 0.05, "4-bit error {e4} unexpectedly large");
+    }
+
+    #[test]
+    fn gelu_lut_matches_float_gelu() {
+        let lut = IntGelu::new(32.0, 32.0);
+        for code in -127i8..=127 {
+            let x = code as f32 / 32.0;
+            let expected = gelu_scalar(x);
+            let got = lut.apply(code) as f32 / 32.0;
+            assert!((got - expected).abs() < 0.05, "gelu({x}): {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn gelu_lut_zero_is_zero_and_monotone_positive() {
+        let lut = IntGelu::new(16.0, 16.0);
+        assert_eq!(lut.apply(0), 0);
+        let mut prev = lut.apply(0);
+        for code in 1..=127i8 {
+            let cur = lut.apply(code);
+            assert!(cur >= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn slice_cols_helper() {
+        let x = IntTensor::<i8>::from_vec((0..12).map(|v| v as i8).collect(), &[3, 4]).unwrap();
+        let s = slice_cols_i8(&x, 1, 3);
+        assert_eq!(s.dims(), &[3, 2]);
+        assert_eq!(s.as_slice(), &[1, 2, 5, 6, 9, 10]);
+    }
+}

@@ -1,0 +1,35 @@
+//! FQ-BERT: the fully quantized BERT of the paper (its primary algorithmic
+//! contribution).
+//!
+//! The pipeline mirrors the paper's §II and §IV-A:
+//!
+//! 1. Train the float BERT baseline (`fqbert-bert`) on a task.
+//! 2. Fine-tune it **with the quantization function in the loop** using
+//!    [`qat::QatHook`], which fake-quantizes every weight, observes every
+//!    activation with an EMA, and honours the per-part ablation switches of
+//!    Table II.
+//! 3. [`convert::convert`] the calibrated model into an [`IntBertModel`]
+//!    whose encoder runs on integers only: int4/int8 weights, int8
+//!    activations, int32 biases and accumulators, fixed-point requantization,
+//!    a 256-entry LUT softmax and a fixed-point layer norm.
+//! 4. Evaluate accuracy ([`eval`]) and model size ([`compression`]).
+//!
+//! The integer engine is also the functional reference for the accelerator
+//! simulator in `fqbert-accel`: both consume the same [`IntBertModel`].
+
+pub mod compression;
+pub mod convert;
+pub mod error;
+pub mod eval;
+pub mod int_model;
+pub mod qat;
+
+pub use compression::CompressionReport;
+pub use convert::convert;
+pub use error::FqBertError;
+pub use eval::{evaluate_int_model, evaluate_with_hook};
+pub use int_model::{IntBertModel, IntEncoderLayer, IntLinear};
+pub use qat::QatHook;
+
+/// Convenience result alias for FQ-BERT operations.
+pub type Result<T> = std::result::Result<T, FqBertError>;

@@ -1,0 +1,170 @@
+//! GLUE-style task plumbing: examples, datasets, splits and metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Which GLUE task an example or dataset belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Binary sentiment classification (Stanford Sentiment Treebank v2).
+    Sst2,
+    /// 3-way natural-language inference, matched genre split.
+    MnliMatched,
+    /// 3-way natural-language inference, mismatched (held-out genre) split.
+    MnliMismatched,
+}
+
+impl TaskKind {
+    /// Number of output classes for the task.
+    pub fn num_classes(self) -> usize {
+        match self {
+            TaskKind::Sst2 => 2,
+            TaskKind::MnliMatched | TaskKind::MnliMismatched => 3,
+        }
+    }
+
+    /// Human-readable task name used in the experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskKind::Sst2 => "SST-2",
+            TaskKind::MnliMatched => "MNLI",
+            TaskKind::MnliMismatched => "MNLI-m",
+        }
+    }
+}
+
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One encoded classification example.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Example {
+    /// Fixed-length token ids (already padded/truncated).
+    pub token_ids: Vec<usize>,
+    /// Segment ids (0/1) aligned with `token_ids`.
+    pub segment_ids: Vec<usize>,
+    /// Attention mask aligned with `token_ids`.
+    pub attention_mask: Vec<usize>,
+    /// Gold label index.
+    pub label: usize,
+}
+
+/// Identifies a train or evaluation split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Split {
+    /// Training split.
+    Train,
+    /// Development / evaluation split.
+    Dev,
+}
+
+/// A dataset for one task: a train split and a dev split over a shared
+/// vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskDataset {
+    /// Which task this dataset realises.
+    pub task: TaskKind,
+    /// Number of label classes.
+    pub num_classes: usize,
+    /// Vocabulary size (including special tokens).
+    pub vocab_size: usize,
+    /// Maximum (padded) sequence length.
+    pub max_len: usize,
+    /// Training examples.
+    pub train: Vec<Example>,
+    /// Evaluation examples.
+    pub dev: Vec<Example>,
+}
+
+impl TaskDataset {
+    /// Returns the requested split.
+    pub fn split(&self, split: Split) -> &[Example] {
+        match split {
+            Split::Train => &self.train,
+            Split::Dev => &self.dev,
+        }
+    }
+
+    /// Returns `(token id matrix rows, labels)` for a batch of examples,
+    /// useful when driving the model directly.
+    pub fn labels(&self, split: Split) -> Vec<usize> {
+        self.split(split).iter().map(|e| e.label).collect()
+    }
+}
+
+/// Classification accuracy in percent, the metric reported by the paper for
+/// both SST-2 and MNLI.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths or are empty.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must have equal length"
+    );
+    assert!(!labels.is_empty(), "accuracy of an empty set is undefined");
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    100.0 * correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_metadata() {
+        assert_eq!(TaskKind::Sst2.num_classes(), 2);
+        assert_eq!(TaskKind::MnliMatched.num_classes(), 3);
+        assert_eq!(TaskKind::MnliMismatched.num_classes(), 3);
+        assert_eq!(TaskKind::Sst2.to_string(), "SST-2");
+        assert_eq!(TaskKind::MnliMismatched.to_string(), "MNLI-m");
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 75.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 100.0);
+        assert_eq!(accuracy(&[0, 0], &[1, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn accuracy_empty_panics() {
+        accuracy(&[], &[]);
+    }
+
+    #[test]
+    fn dataset_split_access() {
+        let ex = Example {
+            token_ids: vec![2, 5, 3],
+            segment_ids: vec![0, 0, 0],
+            attention_mask: vec![1, 1, 1],
+            label: 1,
+        };
+        let ds = TaskDataset {
+            task: TaskKind::Sst2,
+            num_classes: 2,
+            vocab_size: 10,
+            max_len: 3,
+            train: vec![ex.clone(), ex.clone()],
+            dev: vec![ex],
+        };
+        assert_eq!(ds.split(Split::Train).len(), 2);
+        assert_eq!(ds.split(Split::Dev).len(), 1);
+        assert_eq!(ds.labels(Split::Dev), vec![1]);
+    }
+}

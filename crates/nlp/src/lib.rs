@@ -1,0 +1,42 @@
+//! Synthetic GLUE-like data pipeline for the FQ-BERT reproduction.
+//!
+//! The paper evaluates FQ-BERT on the SST-2 (binary sentiment) and MNLI
+//! (3-way natural-language inference) tasks of the GLUE benchmark. Those
+//! corpora cannot be redistributed here and a 110 M-parameter pretrained
+//! model cannot be shipped, so this crate provides **synthetic** stand-ins
+//! that preserve the properties the quantization experiments depend on:
+//!
+//! * [`sst2`] generates sentences from sentiment-bearing word distributions
+//!   (with negation, so the task is not purely bag-of-words) labelled
+//!   positive/negative.
+//! * [`mnli`] generates premise/hypothesis pairs over entity–attribute
+//!   "genres" labelled entailment / neutral / contradiction, with a held-out
+//!   genre providing the *mismatched* evaluation split.
+//! * [`vocab`] and [`tokenizer`] provide the word-level vocabulary and the
+//!   `[CLS] … [SEP] …` encoding used by the BERT model.
+//! * [`glue`] defines the task/dataset/metric plumbing shared by the
+//!   experiments.
+//!
+//! Everything is seeded and fully deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use fqbert_nlp::{Sst2Config, Sst2Generator};
+//!
+//! let dataset = Sst2Generator::new(Sst2Config::default()).generate(42);
+//! assert!(dataset.train.len() > 0);
+//! assert_eq!(dataset.num_classes, 2);
+//! ```
+
+pub mod glue;
+pub mod mnli;
+pub mod sst2;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use glue::{accuracy, Example, Split, TaskDataset, TaskKind};
+pub use mnli::{MnliConfig, MnliGenerator, MnliSplits};
+pub use sst2::{Sst2Config, Sst2Generator};
+pub use tokenizer::Tokenizer;
+pub use vocab::{Vocab, CLS_TOKEN, PAD_TOKEN, SEP_TOKEN, UNK_TOKEN};

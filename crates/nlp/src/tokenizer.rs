@@ -1,0 +1,188 @@
+//! Whitespace tokenizer producing fixed-length `[CLS] … [SEP]` encodings.
+
+use crate::vocab::Vocab;
+use serde::{Deserialize, Serialize};
+
+/// Encodes whitespace-separated text into fixed-length token-id sequences in
+/// the BERT input format.
+///
+/// Single sentences are encoded as `[CLS] tokens… [SEP] [PAD]…`; sentence
+/// pairs as `[CLS] premise… [SEP] hypothesis… [SEP] [PAD]…` with segment ids
+/// 0 for the first segment (including `[CLS]` and the first `[SEP]`) and 1
+/// for the second.
+///
+/// # Examples
+///
+/// ```
+/// use fqbert_nlp::{Tokenizer, Vocab};
+///
+/// let vocab = Vocab::from_tokens(["good", "movie"]);
+/// let tok = Tokenizer::new(vocab, 8);
+/// let enc = tok.encode_single("good movie");
+/// assert_eq!(enc.token_ids.len(), 8);
+/// assert_eq!(enc.token_ids[0], 2); // [CLS]
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tokenizer {
+    vocab: Vocab,
+    max_len: usize,
+}
+
+/// A fixed-length encoded sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Encoding {
+    /// Token ids, padded/truncated to the tokenizer's maximum length.
+    pub token_ids: Vec<usize>,
+    /// Segment ids (0 = first sentence, 1 = second sentence).
+    pub segment_ids: Vec<usize>,
+    /// Attention mask (1 = real token, 0 = padding).
+    pub attention_mask: Vec<usize>,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer over `vocab` that emits sequences of exactly
+    /// `max_len` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len < 3` (there must be room for `[CLS]`, one token and
+    /// `[SEP]`).
+    pub fn new(vocab: Vocab, max_len: usize) -> Self {
+        assert!(max_len >= 3, "max_len must be at least 3, got {max_len}");
+        Self { vocab, max_len }
+    }
+
+    /// Returns the underlying vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Maximum sequence length produced by this tokenizer.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    fn word_ids(&self, text: &str) -> Vec<usize> {
+        text.split_whitespace()
+            .map(|w| self.vocab.id_or_unk(&w.to_lowercase()))
+            .collect()
+    }
+
+    /// Encodes a single sentence.
+    pub fn encode_single(&self, text: &str) -> Encoding {
+        let words = self.word_ids(text);
+        let budget = self.max_len - 2; // [CLS] and [SEP]
+        let words = &words[..words.len().min(budget)];
+        let mut token_ids = Vec::with_capacity(self.max_len);
+        token_ids.push(self.vocab.cls_id());
+        token_ids.extend_from_slice(words);
+        token_ids.push(self.vocab.sep_id());
+        self.finish(token_ids, None)
+    }
+
+    /// Encodes a sentence pair (premise, hypothesis).
+    pub fn encode_pair(&self, first: &str, second: &str) -> Encoding {
+        let a = self.word_ids(first);
+        let b = self.word_ids(second);
+        let budget = self.max_len - 3; // [CLS] and two [SEP]
+        // Give each segment half the budget, handing unused room to the other.
+        let half = budget / 2;
+        let a_take = a.len().min(budget.saturating_sub(b.len().min(half)).max(half));
+        let b_take = b.len().min(budget - a.len().min(a_take));
+        let mut token_ids = Vec::with_capacity(self.max_len);
+        token_ids.push(self.vocab.cls_id());
+        token_ids.extend_from_slice(&a[..a_take]);
+        token_ids.push(self.vocab.sep_id());
+        let first_len = token_ids.len();
+        token_ids.extend_from_slice(&b[..b_take]);
+        token_ids.push(self.vocab.sep_id());
+        self.finish(token_ids, Some(first_len))
+    }
+
+    fn finish(&self, mut token_ids: Vec<usize>, first_segment_len: Option<usize>) -> Encoding {
+        token_ids.truncate(self.max_len);
+        let real_len = token_ids.len();
+        token_ids.resize(self.max_len, self.vocab.pad_id());
+        let mut segment_ids = vec![0usize; self.max_len];
+        if let Some(first_len) = first_segment_len {
+            for s in segment_ids.iter_mut().take(real_len).skip(first_len) {
+                *s = 1;
+            }
+        }
+        let mut attention_mask = vec![0usize; self.max_len];
+        for m in attention_mask.iter_mut().take(real_len) {
+            *m = 1;
+        }
+        Encoding {
+            token_ids,
+            segment_ids,
+            attention_mask,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokenizer(max_len: usize) -> Tokenizer {
+        let vocab = Vocab::from_tokens(["the", "cat", "sat", "good", "bad", "dog"]);
+        Tokenizer::new(vocab, max_len)
+    }
+
+    #[test]
+    fn single_sentence_layout() {
+        let tok = tokenizer(8);
+        let enc = tok.encode_single("the cat sat");
+        assert_eq!(enc.token_ids.len(), 8);
+        assert_eq!(enc.token_ids[0], tok.vocab().cls_id());
+        assert_eq!(enc.token_ids[4], tok.vocab().sep_id());
+        assert_eq!(enc.token_ids[5], tok.vocab().pad_id());
+        assert_eq!(enc.attention_mask, vec![1, 1, 1, 1, 1, 0, 0, 0]);
+        assert!(enc.segment_ids.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let tok = tokenizer(6);
+        let enc = tok.encode_single("the zebra");
+        assert_eq!(enc.token_ids[2], tok.vocab().unk_id());
+    }
+
+    #[test]
+    fn long_sentence_is_truncated() {
+        let tok = tokenizer(5);
+        let enc = tok.encode_single("the cat sat the cat sat the cat");
+        assert_eq!(enc.token_ids.len(), 5);
+        assert_eq!(enc.token_ids[4], tok.vocab().sep_id());
+        assert!(enc.attention_mask.iter().all(|&m| m == 1));
+    }
+
+    #[test]
+    fn pair_encoding_segments() {
+        let tok = tokenizer(10);
+        let enc = tok.encode_pair("the cat", "good dog");
+        // Layout: [CLS] the cat [SEP] good dog [SEP] [PAD]…
+        assert_eq!(enc.token_ids[0], tok.vocab().cls_id());
+        assert_eq!(enc.token_ids[3], tok.vocab().sep_id());
+        assert_eq!(enc.token_ids[6], tok.vocab().sep_id());
+        assert_eq!(enc.segment_ids[..4], [0, 0, 0, 0]);
+        assert_eq!(enc.segment_ids[4..7], [1, 1, 1]);
+        assert_eq!(enc.attention_mask[..7], [1; 7]);
+        assert_eq!(enc.attention_mask[7..], [0, 0, 0]);
+    }
+
+    #[test]
+    fn casing_is_normalised() {
+        let tok = tokenizer(6);
+        let a = tok.encode_single("GOOD");
+        let b = tok.encode_single("good");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_len must be at least 3")]
+    fn tiny_max_len_panics() {
+        let _ = Tokenizer::new(Vocab::new(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Word-level vocabulary with the special tokens used by BERT.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Padding token string.
+pub const PAD_TOKEN: &str = "[PAD]";
+/// Unknown-word token string.
+pub const UNK_TOKEN: &str = "[UNK]";
+/// Classification token prepended to every sequence.
+pub const CLS_TOKEN: &str = "[CLS]";
+/// Separator token between sentence pairs.
+pub const SEP_TOKEN: &str = "[SEP]";
+
+/// A word-level vocabulary mapping tokens to contiguous ids.
+///
+/// Ids 0–3 are always the special tokens `[PAD]`, `[UNK]`, `[CLS]`, `[SEP]`,
+/// in that order, matching the conventions of the BERT embedding layer in
+/// `fqbert-bert`.
+///
+/// # Examples
+///
+/// ```
+/// use fqbert_nlp::Vocab;
+///
+/// let mut v = Vocab::new();
+/// let id = v.add_token("good");
+/// assert_eq!(v.token_to_id("good"), Some(id));
+/// assert_eq!(v.id_to_token(id), Some("good"));
+/// assert_eq!(v.pad_id(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocab {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocab {
+    /// Creates a vocabulary containing only the four special tokens.
+    pub fn new() -> Self {
+        let mut vocab = Self {
+            token_to_id: HashMap::new(),
+            id_to_token: Vec::new(),
+        };
+        for tok in [PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, SEP_TOKEN] {
+            vocab.add_token(tok);
+        }
+        vocab
+    }
+
+    /// Creates a vocabulary from an iterator of word tokens (special tokens
+    /// are inserted first automatically).
+    pub fn from_tokens<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut vocab = Self::new();
+        for t in tokens {
+            vocab.add_token(t.as_ref());
+        }
+        vocab
+    }
+
+    /// Adds a token if absent and returns its id.
+    pub fn add_token(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len();
+        self.id_to_token.push(token.to_string());
+        self.token_to_id.insert(token.to_string(), id);
+        id
+    }
+
+    /// Returns the id of a token, if present.
+    pub fn token_to_id(&self, token: &str) -> Option<usize> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Returns the token string for an id, if present.
+    pub fn id_to_token(&self, id: usize) -> Option<&str> {
+        self.id_to_token.get(id).map(String::as_str)
+    }
+
+    /// Returns the id of a token, or the `[UNK]` id for unknown words.
+    pub fn id_or_unk(&self, token: &str) -> usize {
+        self.token_to_id(token).unwrap_or_else(|| self.unk_id())
+    }
+
+    /// Number of tokens (including the special tokens).
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Returns `true` when only the special tokens are present.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.len() <= 4
+    }
+
+    /// Id of `[PAD]` (always 0).
+    pub fn pad_id(&self) -> usize {
+        0
+    }
+
+    /// Id of `[UNK]` (always 1).
+    pub fn unk_id(&self) -> usize {
+        1
+    }
+
+    /// Id of `[CLS]` (always 2).
+    pub fn cls_id(&self) -> usize {
+        2
+    }
+
+    /// Id of `[SEP]` (always 3).
+    pub fn sep_id(&self) -> usize {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_tokens_have_fixed_ids() {
+        let v = Vocab::new();
+        assert_eq!(v.token_to_id(PAD_TOKEN), Some(0));
+        assert_eq!(v.token_to_id(UNK_TOKEN), Some(1));
+        assert_eq!(v.token_to_id(CLS_TOKEN), Some(2));
+        assert_eq!(v.token_to_id(SEP_TOKEN), Some(3));
+        assert_eq!(v.len(), 4);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn add_token_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.add_token("hello");
+        let b = v.add_token("hello");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn id_or_unk_falls_back() {
+        let v = Vocab::from_tokens(["cat"]);
+        assert_eq!(v.id_or_unk("cat"), 4);
+        assert_eq!(v.id_or_unk("dog"), v.unk_id());
+    }
+
+    #[test]
+    fn round_trip_token_id() {
+        let v = Vocab::from_tokens(["a", "b", "c"]);
+        for id in 0..v.len() {
+            let tok = v.id_to_token(id).unwrap();
+            assert_eq!(v.token_to_id(tok), Some(id));
+        }
+        assert!(v.id_to_token(99).is_none());
+    }
+}

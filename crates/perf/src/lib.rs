@@ -1,0 +1,17 @@
+//! Platform performance models and the CPU/GPU/FPGA comparison (Table IV).
+//!
+//! The paper compares its accelerator against an Intel Core i7-8700 CPU and
+//! an NVIDIA K80 GPU running the float model with batch size 1 at sequence
+//! length 128. Neither device is available here, so both are modelled with
+//! roofline-style analytical models whose effective-efficiency constants are
+//! calibrated to the published latencies (see DESIGN.md); their power figures
+//! are taken directly from the paper. The FPGA column comes from the
+//! cycle-level simulator in `fqbert-accel`.
+
+pub mod baseline;
+pub mod compare;
+pub mod fpga;
+
+pub use baseline::{cpu_i7_8700, gpu_k80, DeviceModel};
+pub use compare::{comparison_table, PlatformResult};
+pub use fpga::FpgaPlatform;

@@ -1,0 +1,97 @@
+//! Bias quantization to 32-bit integers (paper Eq. 4).
+//!
+//! Biases are quantized with the product of the activation and weight scales,
+//! `s_bias = s_a · s_w`, so that the integer bias can be added directly to
+//! the int32 accumulator of `Σ a_I · w_I` without any rescaling.
+
+use crate::{QuantParams, Result};
+use fqbert_tensor::{IntTensor, Tensor};
+
+/// Quantizes a bias vector to `i32` codes using `s_bias = s_a · s_w`
+/// (Eq. 4).
+///
+/// # Errors
+///
+/// Returns an error if the combined scale is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use fqbert_quant::{quantize_bias, QuantParams};
+/// use fqbert_tensor::Tensor;
+///
+/// let bias = Tensor::from_vec(vec![0.1, -0.2], &[2])?;
+/// let a = QuantParams::for_activations(2.0, 8)?;
+/// let w = QuantParams::for_weights(&Tensor::from_vec(vec![0.5, -1.0], &[2])?, 4, None)?;
+/// let q = quantize_bias(&bias, &a, &w)?;
+/// assert_eq!(q.dims(), &[2]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn quantize_bias(
+    bias: &Tensor,
+    activation: &QuantParams,
+    weight: &QuantParams,
+) -> Result<IntTensor<i32>> {
+    let s_bias = bias_scale(activation, weight);
+    let params = QuantParams::new(32, s_bias)?;
+    Ok(params.quantize_tensor_i32(bias))
+}
+
+/// The combined bias scale `s_bias = s_a · s_w`.
+pub fn bias_scale(activation: &QuantParams, weight: &QuantParams) -> f32 {
+    activation.scale() * weight.scale()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bias_scale_is_product_of_scales() {
+        let a = QuantParams::for_activations(2.0, 8).unwrap();
+        let w = QuantParams::new(4, 3.5).unwrap();
+        assert!((bias_scale(&a, &w) - (127.0 / 2.0) * 3.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantized_bias_roundtrips_within_one_step() {
+        let bias = Tensor::from_vec(vec![0.37, -0.21, 0.0, 1.5], &[4]).unwrap();
+        let a = QuantParams::for_activations(4.0, 8).unwrap();
+        let w = QuantParams::new(4, 7.0 / 0.8).unwrap();
+        let q = quantize_bias(&bias, &a, &w).unwrap();
+        let s = bias_scale(&a, &w);
+        for (i, &b) in bias.as_slice().iter().enumerate() {
+            let back = q.as_slice()[i] as f32 / s;
+            assert!((back - b).abs() <= 0.5 / s + 1e-6);
+        }
+    }
+
+    #[test]
+    fn int_bias_adds_directly_to_accumulator() {
+        // End-to-end check of Eq. 4/5 consistency: computing in integers with
+        // the int32 bias must match the float computation after dequantizing
+        // by s_a * s_w.
+        let x = Tensor::from_vec(vec![1.0, -0.5, 0.25], &[1, 3]).unwrap();
+        let w = Tensor::from_vec(vec![0.5, -0.25, 0.75, 0.1, 0.6, -0.4], &[3, 2]).unwrap();
+        let bias = Tensor::from_vec(vec![0.3, -0.7], &[2]).unwrap();
+
+        let ap = QuantParams::for_activations(x.abs_max().unwrap(), 8).unwrap();
+        let wp = QuantParams::for_weights(&w, 8, None).unwrap();
+        let xq = ap.quantize_tensor_i8(&x);
+        let wq = wp.quantize_tensor_i8(&w);
+        let bq = quantize_bias(&bias, &ap, &wp).unwrap();
+
+        let acc = xq.matmul_i32(&wq).unwrap();
+        let s = bias_scale(&ap, &wp);
+        let float_ref = x.matmul(&w).unwrap().add_bias(&bias).unwrap();
+        for j in 0..2 {
+            let int_result = acc.as_slice()[j] + bq.as_slice()[j];
+            let approx = int_result as f32 / s;
+            assert!(
+                (approx - float_ref.as_slice()[j]).abs() < 0.02,
+                "integer pipeline deviates: {approx} vs {}",
+                float_ref.as_slice()[j]
+            );
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-part bit-width configuration of FQ-BERT.
+//!
+//! Table II of the paper ablates which parts of BERT are quantized
+//! (weights/activations, scale factors, softmax, layer norm); Fig. 3 sweeps
+//! the weight bit-width. [`QuantConfig`] captures both axes: the bit-width of
+//! every part and a set of switches controlling which parts are quantized at
+//! all.
+
+use serde::{Deserialize, Serialize};
+
+/// The parts of the model that FQ-BERT quantizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartBits {
+    /// Linear-layer and embedding weights.
+    Weights,
+    /// Activations flowing between layers.
+    Activations,
+    /// Bias vectors (always 32-bit integers when quantized).
+    Biases,
+    /// Requantization scale factors.
+    Scales,
+    /// Softmax numerator and output.
+    Softmax,
+    /// Layer-normalization parameters and arithmetic.
+    LayerNorm,
+}
+
+/// Bit-width and enablement configuration for fully quantized BERT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantConfig {
+    /// Weight bit-width (4 in the paper's final configuration).
+    pub weight_bits: u32,
+    /// Activation bit-width (8 in the paper).
+    pub activation_bits: u32,
+    /// Bias bit-width (32 in the paper).
+    pub bias_bits: u32,
+    /// Softmax numerator/output bit-width (8 in the paper).
+    pub softmax_bits: u32,
+    /// Layer-norm parameter bit-width (8 in the paper).
+    pub layer_norm_bits: u32,
+    /// Whether weight clip thresholds are tuned (CLIP vs NO_CLIP in Fig. 3).
+    pub tune_weight_clip: bool,
+    /// Quantize weights and activations (first row of Table II).
+    pub quantize_weights_activations: bool,
+    /// Quantize the requantization scale factors (second row of Table II).
+    pub quantize_scales: bool,
+    /// Quantize softmax (third row of Table II).
+    pub quantize_softmax: bool,
+    /// Quantize layer normalization (fourth row of Table II).
+    pub quantize_layer_norm: bool,
+}
+
+impl QuantConfig {
+    /// The paper's final FQ-BERT configuration: 4-bit weights, 8-bit
+    /// activations, everything quantized, tuned clipping.
+    pub fn fq_bert() -> Self {
+        Self {
+            weight_bits: 4,
+            activation_bits: 8,
+            bias_bits: 32,
+            softmax_bits: 8,
+            layer_norm_bits: 8,
+            tune_weight_clip: true,
+            quantize_weights_activations: true,
+            quantize_scales: true,
+            quantize_softmax: true,
+            quantize_layer_norm: true,
+        }
+    }
+
+    /// An 8/8 configuration (Q8BERT-like), used for comparison experiments.
+    pub fn w8a8() -> Self {
+        Self {
+            weight_bits: 8,
+            ..Self::fq_bert()
+        }
+    }
+
+    /// The unquantized FP32 baseline.
+    pub fn float_baseline() -> Self {
+        Self {
+            weight_bits: 32,
+            activation_bits: 32,
+            bias_bits: 32,
+            softmax_bits: 32,
+            layer_norm_bits: 32,
+            tune_weight_clip: false,
+            quantize_weights_activations: false,
+            quantize_scales: false,
+            quantize_softmax: false,
+            quantize_layer_norm: false,
+        }
+    }
+
+    /// Returns a copy with a different weight bit-width (Fig. 3 sweeps).
+    pub fn with_weight_bits(mut self, bits: u32) -> Self {
+        self.weight_bits = bits;
+        self
+    }
+
+    /// Returns a copy with weight-clip tuning switched on or off.
+    pub fn with_clip(mut self, tune: bool) -> Self {
+        self.tune_weight_clip = tune;
+        self
+    }
+
+    /// The bit-width assigned to a given part under this configuration.
+    pub fn bits(&self, part: PartBits) -> u32 {
+        match part {
+            PartBits::Weights => self.weight_bits,
+            PartBits::Activations => self.activation_bits,
+            PartBits::Biases => self.bias_bits,
+            PartBits::Scales => 32,
+            PartBits::Softmax => self.softmax_bits,
+            PartBits::LayerNorm => self.layer_norm_bits,
+        }
+    }
+
+    /// Whether a given part is quantized at all under this configuration.
+    pub fn is_quantized(&self, part: PartBits) -> bool {
+        match part {
+            PartBits::Weights | PartBits::Activations | PartBits::Biases => {
+                self.quantize_weights_activations
+            }
+            PartBits::Scales => self.quantize_scales,
+            PartBits::Softmax => self.quantize_softmax,
+            PartBits::LayerNorm => self.quantize_layer_norm,
+        }
+    }
+
+    /// Weight compression ratio relative to FP32 storage, ignoring metadata
+    /// (the paper reports 7.94× for the full model including the parts kept
+    /// at higher precision; the exact model-level accounting lives in
+    /// `fqbert-core`).
+    pub fn raw_weight_compression(&self) -> f64 {
+        if self.quantize_weights_activations {
+            32.0 / self.weight_bits as f64
+        } else {
+            1.0
+        }
+    }
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        Self::fq_bert()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fq_bert_defaults_match_paper() {
+        let cfg = QuantConfig::fq_bert();
+        assert_eq!(cfg.weight_bits, 4);
+        assert_eq!(cfg.activation_bits, 8);
+        assert_eq!(cfg.bias_bits, 32);
+        assert_eq!(cfg.softmax_bits, 8);
+        assert_eq!(cfg.layer_norm_bits, 8);
+        assert!(cfg.tune_weight_clip);
+        assert!(cfg.is_quantized(PartBits::Softmax));
+        assert_eq!(QuantConfig::default(), cfg);
+    }
+
+    #[test]
+    fn float_baseline_disables_everything() {
+        let cfg = QuantConfig::float_baseline();
+        for part in [
+            PartBits::Weights,
+            PartBits::Activations,
+            PartBits::Biases,
+            PartBits::Scales,
+            PartBits::Softmax,
+            PartBits::LayerNorm,
+        ] {
+            assert!(!cfg.is_quantized(part));
+        }
+        assert_eq!(cfg.raw_weight_compression(), 1.0);
+    }
+
+    #[test]
+    fn bit_width_sweep_builder() {
+        let cfg = QuantConfig::fq_bert().with_weight_bits(2).with_clip(false);
+        assert_eq!(cfg.bits(PartBits::Weights), 2);
+        assert!(!cfg.tune_weight_clip);
+        assert_eq!(cfg.raw_weight_compression(), 16.0);
+    }
+
+    #[test]
+    fn w8a8_profile() {
+        let cfg = QuantConfig::w8a8();
+        assert_eq!(cfg.weight_bits, 8);
+        assert_eq!(cfg.activation_bits, 8);
+        assert_eq!(cfg.raw_weight_compression(), 4.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for quantization operations.
+
+use fqbert_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by quantization primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The requested bit-width is outside the supported range.
+    UnsupportedBitWidth(u32),
+    /// The tensor to be quantized contains no finite, non-zero dynamic range.
+    DegenerateRange {
+        /// Largest absolute value observed.
+        abs_max: f32,
+    },
+    /// A scale factor is non-positive or non-finite.
+    InvalidScale(f32),
+    /// An argument is outside its valid domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
+            QuantError::UnsupportedBitWidth(bits) => {
+                write!(f, "unsupported quantization bit-width {bits}")
+            }
+            QuantError::DegenerateRange { abs_max } => {
+                write!(f, "cannot derive a scale from a degenerate range (|x|max = {abs_max})")
+            }
+            QuantError::InvalidScale(s) => write!(f, "invalid scale factor {s}"),
+            QuantError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuantError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for QuantError {
+    fn from(e: TensorError) -> Self {
+        QuantError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let errs: Vec<QuantError> = vec![
+            TensorError::EmptyTensor("max").into(),
+            QuantError::UnsupportedBitWidth(1),
+            QuantError::DegenerateRange { abs_max: 0.0 },
+            QuantError::InvalidScale(-1.0),
+            QuantError::InvalidArgument("x".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Signed fixed-point arithmetic shared by the softmax and layer-norm cores.
+//!
+//! The paper quantizes the softmax numerator/output and the layer-norm
+//! parameters to 8-bit fixed point. [`Fixed`] models a signed fixed-point
+//! value with a configurable number of fractional bits and saturating
+//! arithmetic, which is how the HLS implementation behaves.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A signed fixed-point number: `value = raw / 2^frac_bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fixed {
+    raw: i32,
+    frac_bits: u32,
+}
+
+impl Fixed {
+    /// Creates a fixed-point value from its raw integer representation.
+    pub fn from_raw(raw: i32, frac_bits: u32) -> Self {
+        Self { raw, frac_bits }
+    }
+
+    /// Converts a real number, rounding to the nearest representable value
+    /// and saturating at the `i32` raw range.
+    pub fn from_f32(value: f32, frac_bits: u32) -> Self {
+        let scaled = (value as f64 * f64::powi(2.0, frac_bits as i32)).round();
+        let raw = scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32;
+        Self { raw, frac_bits }
+    }
+
+    /// Converts back to `f32`.
+    pub fn to_f32(self) -> f32 {
+        self.raw as f32 / f32::powi(2.0, self.frac_bits as i32)
+    }
+
+    /// Raw integer representation.
+    pub fn raw(self) -> i32 {
+        self.raw
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Saturating addition. Both operands must share the same format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractional bit counts differ.
+    pub fn saturating_add(self, other: Fixed) -> Fixed {
+        assert_eq!(
+            self.frac_bits, other.frac_bits,
+            "fixed-point formats must match for addition"
+        );
+        Fixed {
+            raw: self.raw.saturating_add(other.raw),
+            frac_bits: self.frac_bits,
+        }
+    }
+
+    /// Saturating subtraction. Both operands must share the same format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractional bit counts differ.
+    pub fn saturating_sub(self, other: Fixed) -> Fixed {
+        assert_eq!(
+            self.frac_bits, other.frac_bits,
+            "fixed-point formats must match for subtraction"
+        );
+        Fixed {
+            raw: self.raw.saturating_sub(other.raw),
+            frac_bits: self.frac_bits,
+        }
+    }
+
+    /// Fixed-point multiplication, keeping the left operand's format and
+    /// rounding the dropped fraction bits.
+    pub fn mul(self, other: Fixed) -> Fixed {
+        let wide = self.raw as i64 * other.raw as i64;
+        let shift = other.frac_bits;
+        let half = if shift > 0 { 1i64 << (shift - 1) } else { 0 };
+        let rounded = if wide >= 0 {
+            (wide + half) >> shift
+        } else {
+            -((-wide + half) >> shift)
+        };
+        Fixed {
+            raw: rounded.clamp(i32::MIN as i64, i32::MAX as i64) as i32,
+            frac_bits: self.frac_bits,
+        }
+    }
+
+    /// Re-encodes the value with a different number of fractional bits.
+    pub fn rescale(self, frac_bits: u32) -> Fixed {
+        if frac_bits >= self.frac_bits {
+            let shift = frac_bits - self.frac_bits;
+            Fixed {
+                raw: self.raw.saturating_mul(1 << shift),
+                frac_bits,
+            }
+        } else {
+            let shift = self.frac_bits - frac_bits;
+            let half = 1i32 << (shift - 1);
+            let raw = if self.raw >= 0 {
+                (self.raw.saturating_add(half)) >> shift
+            } else {
+                -((-self.raw).saturating_add(half) >> shift)
+            };
+            Fixed { raw, frac_bits }
+        }
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (Q.{})", self.to_f32(), self.frac_bits)
+    }
+}
+
+/// Integer inverse square root via Newton–Raphson on fixed-point values,
+/// used by the quantized layer-norm core. Returns `1/sqrt(x)` for `x > 0`
+/// encoded with `frac_bits` fractional bits.
+///
+/// # Panics
+///
+/// Panics if `x` is not strictly positive.
+pub fn fixed_inv_sqrt(x: Fixed, iterations: u32) -> Fixed {
+    assert!(x.raw() > 0, "inverse square root requires a positive input");
+    // Start from a floating-point-free initial guess: 2^(-floor(log2(x))/2).
+    let value_log2 = 31 - x.raw().leading_zeros() as i32 - x.frac_bits() as i32;
+    let guess_log2 = -(value_log2 / 2);
+    let frac = x.frac_bits();
+    let mut y = if guess_log2 >= 0 {
+        Fixed::from_raw(1i32 << (frac as i32 + guess_log2).min(30), frac)
+    } else {
+        Fixed::from_raw(1i32 << (frac as i32 + guess_log2).max(0), frac)
+    };
+    let three_halves = Fixed::from_f32(1.5, frac);
+    let half_x = Fixed::from_raw(x.raw() / 2, frac);
+    for _ in 0..iterations {
+        // y = y * (1.5 - 0.5 * x * y * y)
+        let y2 = y.mul(y);
+        let term = half_x.mul(y2);
+        let correction = three_halves.saturating_sub(term);
+        y = y.mul(correction);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_conversion() {
+        for &v in &[0.0f32, 1.5, -2.25, 0.125, 100.0, -0.0625] {
+            let f = Fixed::from_f32(v, 12);
+            assert!((f.to_f32() - v).abs() < 1.0 / 4096.0);
+        }
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = Fixed::from_f32(1.25, 8);
+        let b = Fixed::from_f32(0.5, 8);
+        assert!((a.saturating_add(b).to_f32() - 1.75).abs() < 1e-3);
+        assert!((a.saturating_sub(b).to_f32() - 0.75).abs() < 1e-3);
+    }
+
+    #[test]
+    fn multiplication_accuracy() {
+        let a = Fixed::from_f32(1.5, 12);
+        let b = Fixed::from_f32(-2.25, 12);
+        assert!((a.mul(b).to_f32() + 3.375).abs() < 1e-2);
+    }
+
+    #[test]
+    fn saturation_does_not_wrap() {
+        let a = Fixed::from_raw(i32::MAX, 8);
+        let b = Fixed::from_raw(1, 8);
+        assert_eq!(a.saturating_add(b).raw(), i32::MAX);
+        let c = Fixed::from_raw(i32::MIN, 8);
+        assert_eq!(c.saturating_sub(b).raw(), i32::MIN);
+    }
+
+    #[test]
+    fn rescale_preserves_value() {
+        let a = Fixed::from_f32(3.75, 8);
+        let b = a.rescale(12);
+        assert!((b.to_f32() - 3.75).abs() < 1e-3);
+        let c = b.rescale(4);
+        assert!((c.to_f32() - 3.75).abs() < 0.07);
+    }
+
+    #[test]
+    #[should_panic(expected = "formats must match")]
+    fn mismatched_formats_panic_on_add() {
+        let _ = Fixed::from_f32(1.0, 8).saturating_add(Fixed::from_f32(1.0, 10));
+    }
+
+    #[test]
+    fn inv_sqrt_matches_float_reference() {
+        for &v in &[0.25f32, 1.0, 2.0, 4.0, 9.0, 16.0, 100.0] {
+            let x = Fixed::from_f32(v, 16);
+            let y = fixed_inv_sqrt(x, 12);
+            let expected = 1.0 / v.sqrt();
+            let rel = (y.to_f32() - expected).abs() / expected;
+            assert!(rel < 0.02, "1/sqrt({v}): got {} want {expected}", y.to_f32());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive input")]
+    fn inv_sqrt_rejects_non_positive() {
+        let _ = fixed_inv_sqrt(Fixed::from_f32(0.0, 16), 4);
+    }
+
+    #[test]
+    fn display_contains_format() {
+        let s = Fixed::from_f32(1.5, 8).to_string();
+        assert!(s.contains("Q.8"));
+    }
+}

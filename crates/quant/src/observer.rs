@@ -1,0 +1,219 @@
+//! Activation-range observers.
+//!
+//! The paper derives activation scales from an exponential moving average of
+//! the per-batch maximum absolute activation (Eq. 3). [`EmaObserver`]
+//! implements exactly that; [`MinMaxObserver`] keeps the global min/max and
+//! is used for one-shot post-training calibration.
+
+use crate::{QuantError, QuantParams, Result};
+use fqbert_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Exponential-moving-average observer of the maximum absolute activation.
+///
+/// # Examples
+///
+/// ```
+/// use fqbert_quant::EmaObserver;
+/// use fqbert_tensor::Tensor;
+///
+/// let mut obs = EmaObserver::new(0.9);
+/// obs.observe(&Tensor::from_vec(vec![1.0, -2.0], &[2])?);
+/// obs.observe(&Tensor::from_vec(vec![0.5, -1.0], &[2])?);
+/// assert!(obs.running_max() > 1.0 && obs.running_max() <= 2.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmaObserver {
+    decay: f32,
+    running_max: f32,
+    observations: u64,
+}
+
+impl EmaObserver {
+    /// Creates an observer with the given EMA decay (typically 0.9–0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is not in `(0, 1)`.
+    pub fn new(decay: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&decay) && decay > 0.0,
+            "EMA decay must be in (0, 1), got {decay}"
+        );
+        Self {
+            decay,
+            running_max: 0.0,
+            observations: 0,
+        }
+    }
+
+    /// Updates the running maximum with one batch of activations.
+    pub fn observe(&mut self, activations: &Tensor) {
+        let batch_max = activations.abs_max().unwrap_or(0.0);
+        self.observe_value(batch_max);
+    }
+
+    /// Updates the running maximum with a precomputed batch maximum.
+    pub fn observe_value(&mut self, batch_max: f32) {
+        if self.observations == 0 {
+            self.running_max = batch_max;
+        } else {
+            self.running_max = self.decay * self.running_max + (1.0 - self.decay) * batch_max;
+        }
+        self.observations += 1;
+    }
+
+    /// Current EMA of the maximum absolute activation.
+    pub fn running_max(&self) -> f32 {
+        self.running_max
+    }
+
+    /// Number of batches observed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Derives activation quantization parameters at the given bit-width
+    /// (Eq. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if nothing has been observed yet or the bit-width is
+    /// unsupported.
+    pub fn quant_params(&self, bits: u32) -> Result<QuantParams> {
+        if self.observations == 0 || self.running_max <= 0.0 {
+            return Err(QuantError::DegenerateRange {
+                abs_max: self.running_max,
+            });
+        }
+        QuantParams::for_activations(self.running_max, bits)
+    }
+}
+
+/// Observer tracking the global minimum and maximum values seen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MinMaxObserver {
+    min: f32,
+    max: f32,
+    observations: u64,
+}
+
+impl MinMaxObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        Self {
+            min: f32::INFINITY,
+            max: f32::NEG_INFINITY,
+            observations: 0,
+        }
+    }
+
+    /// Updates the range with one batch of values.
+    pub fn observe(&mut self, values: &Tensor) {
+        if values.numel() == 0 {
+            return;
+        }
+        self.min = self.min.min(values.min().expect("non-empty"));
+        self.max = self.max.max(values.max().expect("non-empty"));
+        self.observations += 1;
+    }
+
+    /// Observed minimum.
+    pub fn min(&self) -> f32 {
+        self.min
+    }
+
+    /// Observed maximum.
+    pub fn max(&self) -> f32 {
+        self.max
+    }
+
+    /// Largest absolute value observed.
+    pub fn abs_max(&self) -> f32 {
+        self.min.abs().max(self.max.abs())
+    }
+
+    /// Derives symmetric quantization parameters from the observed range.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if nothing has been observed or the range is zero.
+    pub fn quant_params(&self, bits: u32) -> Result<QuantParams> {
+        if self.observations == 0 || self.abs_max() <= 0.0 {
+            return Err(QuantError::DegenerateRange {
+                abs_max: if self.observations == 0 { 0.0 } else { self.abs_max() },
+            });
+        }
+        QuantParams::for_activations(self.abs_max(), bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[data.len()]).unwrap()
+    }
+
+    #[test]
+    fn ema_first_observation_initialises_directly() {
+        let mut obs = EmaObserver::new(0.9);
+        obs.observe(&t(&[3.0, -1.0]));
+        assert_eq!(obs.running_max(), 3.0);
+        assert_eq!(obs.observations(), 1);
+    }
+
+    #[test]
+    fn ema_smooths_subsequent_observations() {
+        let mut obs = EmaObserver::new(0.5);
+        obs.observe_value(4.0);
+        obs.observe_value(2.0);
+        assert!((obs.running_max() - 3.0).abs() < 1e-6);
+        obs.observe_value(2.0);
+        assert!((obs.running_max() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ema_converges_to_stationary_max() {
+        let mut obs = EmaObserver::new(0.9);
+        for _ in 0..200 {
+            obs.observe_value(5.0);
+        }
+        assert!((obs.running_max() - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ema_quant_params_requires_observations() {
+        let obs = EmaObserver::new(0.9);
+        assert!(obs.quant_params(8).is_err());
+        let mut obs = obs;
+        obs.observe(&t(&[1.0]));
+        assert!(obs.quant_params(8).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "EMA decay")]
+    fn invalid_decay_panics() {
+        let _ = EmaObserver::new(1.5);
+    }
+
+    #[test]
+    fn minmax_tracks_extremes() {
+        let mut obs = MinMaxObserver::new();
+        obs.observe(&t(&[1.0, -3.0]));
+        obs.observe(&t(&[2.0, 0.5]));
+        assert_eq!(obs.min(), -3.0);
+        assert_eq!(obs.max(), 2.0);
+        assert_eq!(obs.abs_max(), 3.0);
+        let p = obs.quant_params(8).unwrap();
+        assert!((p.scale() - 127.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn minmax_empty_is_error() {
+        let obs = MinMaxObserver::new();
+        assert!(obs.quant_params(8).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Integer-only requantization of accumulator values (paper Eq. 5).
+//!
+//! After the integer matrix multiply, the int32 accumulator (plus int32 bias)
+//! must be rescaled to the next layer's 8-bit activation grid:
+//!
+//! ```text
+//! y_I = round((Σ a_I·w_I + b_I) · s_f),   s_f = s_y / (s_a · s_w)
+//! ```
+//!
+//! On the accelerator this is done without floating point: `s_f` is encoded
+//! as a 32-bit fixed-point multiplier and a right shift. [`Requantizer`]
+//! reproduces that datapath bit-exactly and is what both the integer
+//! inference engine and the accelerator simulator use.
+
+use crate::{QuantError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Number of fractional bits used for the fixed-point requantization
+/// multiplier (the paper stores `s_f` as a 32-bit integer; we use a Q1.30
+/// normalised-mantissa encoding, the common HLS implementation).
+const MULTIPLIER_FRAC_BITS: u32 = 30;
+
+/// Fixed-point requantizer implementing Eq. 5 with integer arithmetic only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Requantizer {
+    /// Normalised multiplier in Q1.30 (in `[2^29, 2^30)` for non-zero scales).
+    multiplier: i64,
+    /// Total right shift applied after the multiplication.
+    shift: i32,
+    /// Output saturation bound (`2^(bits-1) - 1`).
+    out_max: i32,
+}
+
+impl Requantizer {
+    /// Builds a requantizer for the effective scale
+    /// `s_f = s_y / (s_a · s_w)` and an output bit-width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidScale`] if `effective_scale` is not a
+    /// positive finite number, or [`QuantError::UnsupportedBitWidth`] for an
+    /// output width outside `2..=16`.
+    pub fn from_scale(effective_scale: f64, out_bits: u32) -> Result<Self> {
+        if !(effective_scale.is_finite() && effective_scale > 0.0) {
+            return Err(QuantError::InvalidScale(effective_scale as f32));
+        }
+        if !(2..=16).contains(&out_bits) {
+            return Err(QuantError::UnsupportedBitWidth(out_bits));
+        }
+        // Normalise the scale into [0.5, 1.0) × 2^exp.
+        let mut scale = effective_scale;
+        let mut exp = 0i32;
+        while scale >= 1.0 {
+            scale /= 2.0;
+            exp += 1;
+        }
+        while scale < 0.5 {
+            scale *= 2.0;
+            exp -= 1;
+        }
+        let multiplier = (scale * f64::from(1u32 << MULTIPLIER_FRAC_BITS)).round() as i64;
+        let shift = MULTIPLIER_FRAC_BITS as i32 - exp;
+        Ok(Self {
+            multiplier,
+            shift,
+            out_max: (1i32 << (out_bits - 1)) - 1,
+        })
+    }
+
+    /// Effective scale represented by this requantizer (for inspection).
+    pub fn effective_scale(&self) -> f64 {
+        self.multiplier as f64 / f64::powi(2.0, self.shift)
+    }
+
+    /// Requantizes one accumulator value to the output grid, using only
+    /// integer multiply, add and shift (round-half-away-from-zero, saturating).
+    pub fn apply(&self, accumulator: i64) -> i32 {
+        let product = accumulator * self.multiplier;
+        let rounded = if self.shift > 0 {
+            let half = 1i64 << (self.shift - 1);
+            if product >= 0 {
+                (product + half) >> self.shift
+            } else {
+                -((-product + half) >> self.shift)
+            }
+        } else {
+            product << (-self.shift)
+        };
+        rounded.clamp(-(self.out_max as i64), self.out_max as i64) as i32
+    }
+
+    /// Requantizes a slice of accumulator values.
+    pub fn apply_slice(&self, accumulators: &[i64]) -> Vec<i32> {
+        accumulators.iter().map(|&a| self.apply(a)).collect()
+    }
+
+    /// Output saturation bound.
+    pub fn out_max(&self) -> i32 {
+        self.out_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_float_reference_within_one_lsb() {
+        for &scale in &[0.0123f64, 0.37, 0.0009, 1.7, 5.3e-4] {
+            let rq = Requantizer::from_scale(scale, 8).unwrap();
+            for acc in [-100_000i64, -1234, -1, 0, 1, 999, 54_321, 1_000_000] {
+                let float_ref = (acc as f64 * scale).round();
+                let clamped = float_ref.clamp(-127.0, 127.0) as i32;
+                let got = rq.apply(acc);
+                assert!(
+                    (got - clamped).abs() <= 1,
+                    "scale {scale}, acc {acc}: {got} vs {clamped}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturates_at_output_bounds() {
+        let rq = Requantizer::from_scale(1.0, 8).unwrap();
+        assert_eq!(rq.apply(1_000_000), 127);
+        assert_eq!(rq.apply(-1_000_000), -127);
+        assert_eq!(rq.out_max(), 127);
+    }
+
+    #[test]
+    fn effective_scale_is_close_to_requested() {
+        for &scale in &[0.01f64, 0.5, 2.0, 1e-4] {
+            let rq = Requantizer::from_scale(scale, 8).unwrap();
+            let rel_err = (rq.effective_scale() - scale).abs() / scale;
+            assert!(rel_err < 1e-6, "scale {scale}: rel err {rel_err}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(Requantizer::from_scale(0.0, 8).is_err());
+        assert!(Requantizer::from_scale(-1.0, 8).is_err());
+        assert!(Requantizer::from_scale(f64::NAN, 8).is_err());
+        assert!(Requantizer::from_scale(0.5, 1).is_err());
+        assert!(Requantizer::from_scale(0.5, 32).is_err());
+    }
+
+    #[test]
+    fn rounding_is_symmetric_around_zero() {
+        let rq = Requantizer::from_scale(0.1, 8).unwrap();
+        for acc in 1..500i64 {
+            assert_eq!(rq.apply(acc), -rq.apply(-acc), "asymmetric at {acc}");
+        }
+    }
+
+    #[test]
+    fn four_bit_output_range() {
+        let rq = Requantizer::from_scale(0.05, 4).unwrap();
+        for acc in [-10_000i64, -500, 0, 500, 10_000] {
+            let out = rq.apply(acc);
+            assert!((-7..=7).contains(&out));
+        }
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        let rq = Requantizer::from_scale(0.02, 8).unwrap();
+        let accs = vec![-3000i64, -1, 0, 17, 2500];
+        let out = rq.apply_slice(&accs);
+        for (i, &a) in accs.iter().enumerate() {
+            assert_eq!(out[i], rq.apply(a));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Symmetric linear quantization (paper Eq. 1–3).
+//!
+//! For a clip threshold `MAX` (with `MIN = -MAX`, symmetric) and bit-width
+//! `k`, the quantizer is
+//!
+//! ```text
+//! x_c = clamp(x, -MAX, MAX)
+//! s   = (2^(k-1) - 1) / MAX
+//! x_I = round(x_c * s)          (integer code)
+//! x_q = x_I / s                 (dequantized value)
+//! ```
+//!
+//! Weight scales come from the (optionally tuned) clip threshold (Eq. 2);
+//! activation scales come from an EMA of the running max (Eq. 3), provided by
+//! [`crate::observer::EmaObserver`].
+
+use crate::{QuantError, Result};
+use fqbert_tensor::{IntTensor, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Per-tensor symmetric quantization parameters: a bit-width and a scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    bits: u32,
+    scale: f32,
+}
+
+impl QuantParams {
+    /// Creates parameters from an explicit scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBitWidth`] for `bits` outside `2..=32`
+    /// or [`QuantError::InvalidScale`] for a non-positive / non-finite scale.
+    pub fn new(bits: u32, scale: f32) -> Result<Self> {
+        if !(2..=32).contains(&bits) {
+            return Err(QuantError::UnsupportedBitWidth(bits));
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(QuantError::InvalidScale(scale));
+        }
+        Ok(Self { bits, scale })
+    }
+
+    /// Derives weight-quantization parameters from a weight tensor (Eq. 2).
+    ///
+    /// With `clip = None` the scale uses `max|W|` (the NO_CLIP configuration
+    /// of Fig. 3); with `clip = Some(c)` the weights are clamped to `[-c, c]`
+    /// first (the CLIP configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unsupported bit-width or an all-zero tensor.
+    pub fn for_weights(weights: &Tensor, bits: u32, clip: Option<f32>) -> Result<Self> {
+        let abs_max = weights.abs_max()?;
+        let range = clip.unwrap_or(abs_max);
+        if range <= 0.0 || !range.is_finite() {
+            return Err(QuantError::DegenerateRange { abs_max });
+        }
+        let qmax = Self::level_max(bits)?;
+        Self::new(bits, qmax / range)
+    }
+
+    /// Derives activation-quantization parameters from an observed running
+    /// maximum (Eq. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unsupported bit-width or a non-positive range.
+    pub fn for_activations(observed_max: f32, bits: u32) -> Result<Self> {
+        if observed_max <= 0.0 || !observed_max.is_finite() {
+            return Err(QuantError::DegenerateRange {
+                abs_max: observed_max,
+            });
+        }
+        let qmax = Self::level_max(bits)?;
+        Self::new(bits, qmax / observed_max)
+    }
+
+    /// Largest representable level `2^(k-1) - 1` for a bit-width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBitWidth`] outside `2..=32`.
+    pub fn level_max(bits: u32) -> Result<f32> {
+        if !(2..=32).contains(&bits) {
+            return Err(QuantError::UnsupportedBitWidth(bits));
+        }
+        Ok(((1u64 << (bits - 1)) - 1) as f32)
+    }
+
+    /// Bit-width `k`.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Scale factor `s` (integer levels per unit of real value).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Clip threshold implied by the scale, `MAX = (2^(k-1)-1)/s`.
+    pub fn clip(&self) -> f32 {
+        Self::level_max(self.bits).expect("bits validated at construction") / self.scale
+    }
+
+    /// Quantizes a single value to its integer code (Eq. 1).
+    pub fn quantize_value(&self, x: f32) -> i32 {
+        let clip = self.clip();
+        let clamped = x.clamp(-clip, clip);
+        (clamped * self.scale).round() as i32
+    }
+
+    /// Dequantizes an integer code back to a real value.
+    pub fn dequantize_value(&self, code: i32) -> f32 {
+        code as f32 / self.scale
+    }
+
+    /// Quantize-dequantize a single value (the "fake quant" path).
+    pub fn fake_quantize_value(&self, x: f32) -> f32 {
+        self.dequantize_value(self.quantize_value(x))
+    }
+
+    /// Quantizes a tensor to `i8` codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the bit-width exceeds 8 (codes would not fit
+    /// in `i8`); in release builds values saturate.
+    pub fn quantize_tensor_i8(&self, x: &Tensor) -> IntTensor<i8> {
+        debug_assert!(self.bits <= 8, "i8 codes require a bit-width of at most 8");
+        let data: Vec<i8> = x
+            .as_slice()
+            .iter()
+            .map(|&v| self.quantize_value(v).clamp(i8::MIN as i32, i8::MAX as i32) as i8)
+            .collect();
+        IntTensor::from_vec(data, x.dims()).expect("shape preserved")
+    }
+
+    /// Quantizes a tensor to `i32` codes (used for wide intermediates).
+    pub fn quantize_tensor_i32(&self, x: &Tensor) -> IntTensor<i32> {
+        let data: Vec<i32> = x.as_slice().iter().map(|&v| self.quantize_value(v)).collect();
+        IntTensor::from_vec(data, x.dims()).expect("shape preserved")
+    }
+
+    /// Quantize-dequantize a whole tensor.
+    pub fn fake_quantize_tensor(&self, x: &Tensor) -> Tensor {
+        x.map(|v| self.fake_quantize_value(v))
+    }
+
+    /// Mean squared quantization error over a tensor.
+    pub fn quantization_mse(&self, x: &Tensor) -> f32 {
+        let q = self.fake_quantize_tensor(x);
+        x.mse(&q).unwrap_or(f32::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[data.len()]).unwrap()
+    }
+
+    #[test]
+    fn level_max_values() {
+        assert_eq!(QuantParams::level_max(2).unwrap(), 1.0);
+        assert_eq!(QuantParams::level_max(4).unwrap(), 7.0);
+        assert_eq!(QuantParams::level_max(8).unwrap(), 127.0);
+        assert_eq!(QuantParams::level_max(32).unwrap(), (i32::MAX as f32));
+        assert!(QuantParams::level_max(1).is_err());
+        assert!(QuantParams::level_max(33).is_err());
+    }
+
+    #[test]
+    fn weight_scale_matches_eq2() {
+        let w = t(&[0.5, -2.0, 1.0]);
+        let p = QuantParams::for_weights(&w, 4, None).unwrap();
+        assert!((p.scale() - 7.0 / 2.0).abs() < 1e-6);
+        assert!((p.clip() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activation_scale_matches_eq3() {
+        let p = QuantParams::for_activations(4.0, 8).unwrap();
+        assert!((p.scale() - 127.0 / 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_is_bounded() {
+        let w = t(&[0.31, -0.77, 0.05, 0.99, -0.42]);
+        for bits in [4, 6, 8] {
+            let p = QuantParams::for_weights(&w, bits, None).unwrap();
+            let step = 1.0 / p.scale();
+            for &x in w.as_slice() {
+                let err = (x - p.fake_quantize_value(x)).abs();
+                assert!(err <= step / 2.0 + 1e-6, "error {err} exceeds half step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn codes_stay_within_level_range() {
+        let w = t(&[0.9, -0.9, 0.1, -0.1, 0.5]);
+        let p = QuantParams::for_weights(&w, 4, None).unwrap();
+        let q = p.quantize_tensor_i8(&w);
+        assert!(q.as_slice().iter().all(|&c| (-7..=7).contains(&c)));
+    }
+
+    #[test]
+    fn clipping_saturates_outliers() {
+        let p = QuantParams::for_weights(&t(&[10.0, -0.5, 0.5]), 8, Some(1.0)).unwrap();
+        assert_eq!(p.quantize_value(10.0), 127);
+        assert_eq!(p.quantize_value(-10.0), -127);
+    }
+
+    #[test]
+    fn degenerate_and_invalid_inputs() {
+        assert!(QuantParams::for_weights(&t(&[0.0, 0.0]), 4, None).is_err());
+        assert!(QuantParams::for_activations(0.0, 8).is_err());
+        assert!(QuantParams::for_activations(f32::NAN, 8).is_err());
+        assert!(QuantParams::new(8, -1.0).is_err());
+        assert!(QuantParams::new(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn higher_bitwidth_has_lower_mse() {
+        let mut rng = fqbert_tensor::RngSource::seed_from_u64(1);
+        let w = rng.normal_tensor(&[256], 0.0, 1.0);
+        let mse2 = QuantParams::for_weights(&w, 2, None).unwrap().quantization_mse(&w);
+        let mse4 = QuantParams::for_weights(&w, 4, None).unwrap().quantization_mse(&w);
+        let mse8 = QuantParams::for_weights(&w, 8, None).unwrap().quantization_mse(&w);
+        assert!(mse2 > mse4, "2-bit MSE should exceed 4-bit MSE");
+        assert!(mse4 > mse8, "4-bit MSE should exceed 8-bit MSE");
+    }
+
+    #[test]
+    fn quantize_i32_matches_value_quantizer() {
+        let w = t(&[0.2, -0.4, 0.6]);
+        let p = QuantParams::for_weights(&w, 8, None).unwrap();
+        let q = p.quantize_tensor_i32(&w);
+        for (i, &x) in w.as_slice().iter().enumerate() {
+            assert_eq!(q.as_slice()[i], p.quantize_value(x));
+        }
+    }
+}

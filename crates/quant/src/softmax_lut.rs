@@ -1,0 +1,238 @@
+//! Lookup-table softmax with max-subtraction (paper §III-B, Softmax Core).
+//!
+//! The accelerator replaces the exponential with a 256-entry lookup table.
+//! Because softmax is invariant to subtracting a constant, every element is
+//! first reduced by the row maximum; the argument of `exp` is then confined
+//! to `(-∞, 0]` and its value to `(0, 1]`, so an 8-bit table indexed by the
+//! (integer) difference from the maximum suffices. The numerator and the
+//! softmax output are both quantized to 8 bits, exactly as in the paper.
+
+use crate::{QuantError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Number of entries in the exponential lookup table.
+pub const LUT_ENTRIES: usize = 256;
+
+/// An integer-only softmax evaluator backed by a 256-entry exponential LUT.
+///
+/// # Examples
+///
+/// ```
+/// use fqbert_quant::SoftmaxLut;
+///
+/// // Scores quantized with 4 levels per unit.
+/// let lut = SoftmaxLut::new(4.0, 127)?;
+/// let probs = lut.apply_row(&[8, 4, 0, -4]);
+/// assert_eq!(probs.len(), 4);
+/// assert!(probs[0] > probs[1] && probs[1] > probs[2]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoftmaxLut {
+    /// `table[d] ≈ exp(-d / input_scale) · 255`, for the integer difference
+    /// `d` between an element and its row maximum.
+    table: Vec<u8>,
+    /// Scale (levels per unit) of the integer input scores.
+    input_scale_bits: u32,
+    input_scale: f32,
+    /// Maximum output level (e.g. 127 for signed 8-bit probabilities).
+    out_levels: u32,
+}
+
+impl SoftmaxLut {
+    /// Builds the lookup table for input scores quantized with
+    /// `input_scale` levels per unit, producing probabilities quantized to
+    /// `out_levels` levels (so an output code `c` represents `c / out_levels`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidScale`] for a non-positive input scale or
+    /// [`QuantError::InvalidArgument`] for `out_levels` outside `1..=255`.
+    pub fn new(input_scale: f32, out_levels: u32) -> Result<Self> {
+        if !(input_scale.is_finite() && input_scale > 0.0) {
+            return Err(QuantError::InvalidScale(input_scale));
+        }
+        if !(1..=255).contains(&out_levels) {
+            return Err(QuantError::InvalidArgument(format!(
+                "out_levels must be in 1..=255, got {out_levels}"
+            )));
+        }
+        let table = (0..LUT_ENTRIES)
+            .map(|d| {
+                let x = -(d as f32) / input_scale;
+                (x.exp() * 255.0).round().clamp(0.0, 255.0) as u8
+            })
+            .collect();
+        Ok(Self {
+            table,
+            input_scale_bits: 8,
+            input_scale,
+            out_levels,
+        })
+    }
+
+    /// The 256-entry exponential table (for the accelerator's parameter
+    /// buffer initialisation).
+    pub fn table(&self) -> &[u8] {
+        &self.table
+    }
+
+    /// Scale of the integer input scores.
+    pub fn input_scale(&self) -> f32 {
+        self.input_scale
+    }
+
+    /// Maximum output level (the quantized value representing probability 1).
+    pub fn out_levels(&self) -> u32 {
+        self.out_levels
+    }
+
+    /// Looks up `exp(-(d)/s)` for an integer difference `d ≥ 0`, saturating
+    /// to the last entry for differences beyond the table.
+    pub fn exp_lookup(&self, diff: i64) -> u32 {
+        debug_assert!(diff >= 0, "difference from the row maximum must be non-negative");
+        let idx = diff.clamp(0, (LUT_ENTRIES - 1) as i64) as usize;
+        u32::from(self.table[idx])
+    }
+
+    /// Applies the integer softmax to one row of quantized scores, returning
+    /// probabilities quantized to `out_levels` levels.
+    ///
+    /// The computation uses only integer comparisons, table lookups, adds and
+    /// one integer division per element — the same operations as the
+    /// accelerator's Softmax Core.
+    pub fn apply_row(&self, scores: &[i32]) -> Vec<i32> {
+        if scores.is_empty() {
+            return Vec::new();
+        }
+        let max = scores.iter().copied().max().expect("non-empty row");
+        let numerators: Vec<u32> = scores
+            .iter()
+            .map(|&s| self.exp_lookup(i64::from(max) - i64::from(s)))
+            .collect();
+        let denom: u64 = numerators.iter().map(|&n| u64::from(n)).sum();
+        let denom = denom.max(1);
+        numerators
+            .iter()
+            .map(|&n| {
+                // Rounded integer division: (n * out_levels + denom/2) / denom.
+                ((u64::from(n) * u64::from(self.out_levels) + denom / 2) / denom) as i32
+            })
+            .collect()
+    }
+
+    /// Applies the integer softmax to every row of a matrix stored row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `cols`.
+    pub fn apply_matrix(&self, data: &[i32], cols: usize) -> Vec<i32> {
+        assert!(cols > 0 && data.len() % cols == 0, "data must be rectangular");
+        data.chunks(cols).flat_map(|row| self.apply_row(row)).collect()
+    }
+
+    /// Dequantizes an output code back to a probability in `[0, 1]`.
+    pub fn dequantize_output(&self, code: i32) -> f32 {
+        code as f32 / self.out_levels as f32
+    }
+
+    /// Number of bits used to index the table (always 8).
+    pub fn index_bits(&self) -> u32 {
+        self.input_scale_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn float_softmax(scores: &[f32]) -> Vec<f32> {
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = scores.iter().map(|&s| (s - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        exps.iter().map(|&e| e / sum).collect()
+    }
+
+    #[test]
+    fn table_is_monotonically_decreasing() {
+        let lut = SoftmaxLut::new(8.0, 127).unwrap();
+        let t = lut.table();
+        assert_eq!(t.len(), LUT_ENTRIES);
+        assert_eq!(t[0], 255);
+        for w in t.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn outputs_approximately_sum_to_one() {
+        let lut = SoftmaxLut::new(4.0, 255).unwrap();
+        let probs = lut.apply_row(&[12, 7, 3, -5, 0, 2]);
+        let sum: i32 = probs.iter().sum();
+        // Rounding can move the sum slightly away from out_levels.
+        assert!((sum - 255).abs() <= 6, "sum of quantized probs = {sum}");
+    }
+
+    #[test]
+    fn matches_float_softmax_closely() {
+        let lut = SoftmaxLut::new(8.0, 255).unwrap();
+        let scores = [20i32, 10, 0, -10, -30, 5];
+        let quantized = lut.apply_row(&scores);
+        let float_scores: Vec<f32> = scores.iter().map(|&s| s as f32 / 8.0).collect();
+        let reference = float_softmax(&float_scores);
+        for (q, r) in quantized.iter().zip(reference.iter()) {
+            let approx = lut.dequantize_output(*q);
+            assert!(
+                (approx - r).abs() < 0.02,
+                "quantized softmax {approx} deviates from float {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn shift_invariance_is_exact_in_integer_domain() {
+        let lut = SoftmaxLut::new(4.0, 127).unwrap();
+        let a = lut.apply_row(&[5, 2, -3, 7]);
+        let b = lut.apply_row(&[105, 102, 97, 107]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn saturates_for_very_negative_scores() {
+        let lut = SoftmaxLut::new(2.0, 127).unwrap();
+        let probs = lut.apply_row(&[0, -10_000]);
+        assert_eq!(probs[1], 0);
+        assert_eq!(probs[0], 127);
+    }
+
+    #[test]
+    fn apply_matrix_processes_each_row_independently() {
+        let lut = SoftmaxLut::new(4.0, 127).unwrap();
+        let data = vec![1, 2, 3, 4, 10, 0, -10, 5];
+        let out = lut.apply_matrix(&data, 4);
+        assert_eq!(out.len(), 8);
+        assert_eq!(&out[..4], lut.apply_row(&data[..4]).as_slice());
+        assert_eq!(&out[4..], lut.apply_row(&data[4..]).as_slice());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(SoftmaxLut::new(0.0, 127).is_err());
+        assert!(SoftmaxLut::new(-1.0, 127).is_err());
+        assert!(SoftmaxLut::new(4.0, 0).is_err());
+        assert!(SoftmaxLut::new(4.0, 256).is_err());
+    }
+
+    #[test]
+    fn empty_row_yields_empty_output() {
+        let lut = SoftmaxLut::new(4.0, 127).unwrap();
+        assert!(lut.apply_row(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn ragged_matrix_panics() {
+        let lut = SoftmaxLut::new(4.0, 127).unwrap();
+        let _ = lut.apply_matrix(&[1, 2, 3], 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements does not match the requested shape.
+    ShapeDataMismatch {
+        /// Number of elements provided.
+        elements: usize,
+        /// Shape requested.
+        shape: Vec<usize>,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The tensor does not have the rank required by the operation.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// An index is out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: Vec<usize>,
+        /// Tensor shape.
+        shape: Vec<usize>,
+    },
+    /// The operation is undefined for an empty tensor.
+    EmptyTensor(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { elements, shape } => write!(
+                f,
+                "data of {elements} elements cannot be reshaped to {shape:?}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op} expects rank {expected}, got rank {actual}"),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::EmptyTensor(op) => write!(f, "{op} is undefined for an empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            TensorError::ShapeDataMismatch {
+                elements: 3,
+                shape: vec![2, 2],
+            },
+            TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: vec![2, 3],
+                rhs: vec![4, 5],
+            },
+            TensorError::RankMismatch {
+                op: "transpose",
+                expected: 2,
+                actual: 3,
+            },
+            TensorError::IndexOutOfBounds {
+                index: vec![9],
+                shape: vec![3],
+            },
+            TensorError::EmptyTensor("max"),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

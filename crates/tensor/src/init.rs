@@ -1,0 +1,178 @@
+//! Deterministic random initialisation helpers.
+//!
+//! All experiments in the reproduction are seeded so that every table and
+//! figure can be regenerated bit-for-bit. [`RngSource`] wraps a ChaCha RNG
+//! seeded from a `u64` and is the only RNG constructor the rest of the
+//! workspace uses.
+
+use crate::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic random number source used throughout the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use fqbert_tensor::RngSource;
+///
+/// let mut a = RngSource::seed_from_u64(42);
+/// let mut b = RngSource::seed_from_u64(42);
+/// assert_eq!(a.uniform(-1.0, 1.0), b.uniform(-1.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngSource {
+    rng: ChaCha8Rng,
+}
+
+impl RngSource {
+    /// Creates a source seeded from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws a uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        Uniform::new(lo, hi).sample(&mut self.rng)
+    }
+
+    /// Draws a standard-normal sample (Box–Muller).
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        // Box–Muller transform; avoids a dependency on rand_distr.
+        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        mean + std * z
+    }
+
+    /// Draws an integer uniformly from `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Draws a boolean with probability `p` of being `true`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// Returns a tensor of the given shape filled with uniform samples.
+    pub fn uniform_tensor(&mut self, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+        let n: usize = dims.iter().product();
+        let dist = Uniform::new(lo, hi);
+        let data: Vec<f32> = (0..n).map(|_| dist.sample(&mut self.rng)).collect();
+        Tensor::from_vec(data, dims).expect("shape consistent by construction")
+    }
+
+    /// Returns a tensor of the given shape filled with normal samples.
+    pub fn normal_tensor(&mut self, dims: &[usize], mean: f32, std: f32) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| self.normal(mean, std)).collect();
+        Tensor::from_vec(data, dims).expect("shape consistent by construction")
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Gives mutable access to the underlying RNG for callers that need the
+    /// full `rand::Rng` interface.
+    pub fn rng_mut(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+}
+
+/// Xavier/Glorot uniform initialisation for a `fan_in × fan_out` weight
+/// matrix, the initialisation used by the BERT baseline.
+///
+/// # Examples
+///
+/// ```
+/// use fqbert_tensor::{xavier_uniform, RngSource};
+///
+/// let mut rng = RngSource::seed_from_u64(0);
+/// let w = xavier_uniform(&mut rng, 64, 32);
+/// assert_eq!(w.dims(), &[64, 32]);
+/// ```
+pub fn xavier_uniform(rng: &mut RngSource, fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    rng.uniform_tensor(&[fan_in, fan_out], -limit, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_reproducibility() {
+        let mut a = RngSource::seed_from_u64(7);
+        let mut b = RngSource::seed_from_u64(7);
+        let ta = a.normal_tensor(&[4, 4], 0.0, 1.0);
+        let tb = b.normal_tensor(&[4, 4], 0.0, 1.0);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RngSource::seed_from_u64(1);
+        let mut b = RngSource::seed_from_u64(2);
+        assert_ne!(
+            a.uniform_tensor(&[8], 0.0, 1.0),
+            b.uniform_tensor(&[8], 0.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = RngSource::seed_from_u64(3);
+        let t = rng.uniform_tensor(&[1000], -0.5, 0.5);
+        assert!(t.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = RngSource::seed_from_u64(4);
+        let t = rng.normal_tensor(&[20_000], 1.0, 2.0);
+        let mean = t.mean().unwrap();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean().unwrap();
+        assert!((mean - 1.0).abs() < 0.1);
+        assert!((var - 4.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn xavier_limit_scales_with_fan() {
+        let mut rng = RngSource::seed_from_u64(5);
+        let w = xavier_uniform(&mut rng, 128, 128);
+        let limit = (6.0f32 / 256.0).sqrt();
+        assert!(w.abs_max().unwrap() <= limit);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = RngSource::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn usize_in_and_bool_with() {
+        let mut rng = RngSource::seed_from_u64(8);
+        for _ in 0..100 {
+            let x = rng.usize_in(3, 10);
+            assert!((3..10).contains(&x));
+        }
+        let trues = (0..1000).filter(|_| rng.bool_with(0.7)).count();
+        assert!((600..800).contains(&trues));
+    }
+}

@@ -1,0 +1,364 @@
+//! Dense integer tensors used by the integer-only inference engine and the
+//! accelerator simulator.
+
+use crate::{Result, Shape, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt::Debug;
+
+/// Marker trait for the integer element types supported by [`IntTensor`].
+///
+/// The trait is sealed in spirit: it is implemented for the signed integer
+/// widths that appear in the FQ-BERT datapath (`i8` activations/weights,
+/// `i16` intermediate fixed-point values, `i32` biases and accumulators,
+/// `i64` wide accumulators used by the cycle model).
+pub trait IntElement:
+    Copy + Clone + Debug + Default + PartialEq + Eq + PartialOrd + Ord + Send + Sync + 'static
+{
+    /// Converts the element to `i64` for wide accumulation.
+    fn to_i64(self) -> i64;
+    /// Converts from `i64`, saturating at the type bounds.
+    fn from_i64_saturating(v: i64) -> Self;
+}
+
+macro_rules! impl_int_element {
+    ($($t:ty),*) => {
+        $(
+            impl IntElement for $t {
+                fn to_i64(self) -> i64 {
+                    self as i64
+                }
+                fn from_i64_saturating(v: i64) -> Self {
+                    if v > <$t>::MAX as i64 {
+                        <$t>::MAX
+                    } else if v < <$t>::MIN as i64 {
+                        <$t>::MIN
+                    } else {
+                        v as $t
+                    }
+                }
+            }
+        )*
+    };
+}
+
+impl_int_element!(i8, i16, i32, i64);
+
+/// A dense, row-major integer tensor.
+///
+/// # Examples
+///
+/// ```
+/// use fqbert_tensor::IntTensor;
+///
+/// let w = IntTensor::<i8>::from_vec(vec![1, -2, 3, -4], &[2, 2])?;
+/// let x = IntTensor::<i8>::from_vec(vec![1, 0, 0, 1], &[2, 2])?;
+/// let y = w.matmul_i32(&x)?;
+/// assert_eq!(y.as_slice(), &[1, -2, 3, -4]);
+/// # Ok::<(), fqbert_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct IntTensor<T: IntElement> {
+    data: Vec<T>,
+    shape: Shape,
+}
+
+impl<T: IntElement> IntTensor<T> {
+    /// Creates an integer tensor filled with the default value (zero).
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Self {
+            data: vec![T::default(); shape.numel()],
+            shape,
+        }
+    }
+
+    /// Creates an integer tensor from raw row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the element count does
+    /// not match the shape.
+    pub fn from_vec(data: Vec<T>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        shape.check_numel(data.len())?;
+        Ok(Self { data, shape })
+    }
+
+    /// Returns the shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Returns the dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Returns the number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Returns the underlying data as a flat slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Returns the underlying data as a mutable flat slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying data vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Returns the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index is invalid.
+    pub fn get(&self, index: &[usize]) -> Result<T> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index is invalid.
+    pub fn set(&mut self, index: &[usize], value: T) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Interprets the tensor as a 2-D matrix and returns `(rows, cols)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+    pub fn as_matrix_dims(&self) -> Result<(usize, usize)> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "as_matrix_dims",
+                expected: 2,
+                actual: self.shape.rank(),
+            });
+        }
+        Ok((self.shape.dim(0), self.shape.dim(1)))
+    }
+
+    /// Returns row `i` of a rank-2 tensor as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `i` is out of range.
+    pub fn row(&self, i: usize) -> &[T] {
+        let (r, c) = self
+            .as_matrix_dims()
+            .expect("row() requires a rank-2 tensor");
+        assert!(i < r, "row index {i} out of bounds for {r} rows");
+        &self.data[i * c..(i + 1) * c]
+    }
+
+    /// Converts every element to `f32` after multiplying by `scale`
+    /// (dequantization).
+    pub fn dequantize(&self, scale: f32) -> crate::Tensor {
+        let data = self
+            .data
+            .iter()
+            .map(|&x| x.to_i64() as f32 * scale)
+            .collect();
+        crate::Tensor::from_vec(data, self.dims()).expect("shape preserved by construction")
+    }
+
+    /// Reshapes the tensor, preserving element order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        shape.check_numel(self.data.len())?;
+        Ok(Self {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// Transposes a rank-2 integer tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+    pub fn transpose2(&self) -> Result<Self> {
+        let (r, c) = self.as_matrix_dims()?;
+        let mut out = Self::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Integer matrix–matrix product with an `i32` accumulator,
+    /// `self (m×k) · rhs (k×n)`.
+    ///
+    /// This mirrors the arithmetic performed by the accelerator's PE array:
+    /// narrow operands, wide accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+    pub fn matmul_i32(&self, rhs: &IntTensor<T>) -> Result<IntTensor<i32>> {
+        let (m, k) = self.as_matrix_dims()?;
+        let (k2, n) = rhs.as_matrix_dims()?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_i32",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        let mut out = IntTensor::<i32>::zeros(&[m, n]);
+        for i in 0..m {
+            for kk in 0..k {
+                let a = self.data[i * k + kk].to_i64();
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let b = rhs.data[kk * n + j].to_i64();
+                    let cur = out.data[i * n + j] as i64;
+                    out.data[i * n + j] = i32::from_i64_saturating(cur + a * b);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Integer matrix product where the right-hand side is transposed:
+    /// `self (m×k) · rhs (n×k)ᵀ` with an `i32` accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+    pub fn matmul_transposed_i32(&self, rhs: &IntTensor<T>) -> Result<IntTensor<i32>> {
+        let (m, k) = self.as_matrix_dims()?;
+        let (n, k2) = rhs.as_matrix_dims()?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_transposed_i32",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        let mut out = IntTensor::<i32>::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc: i64 = 0;
+                for kk in 0..k {
+                    acc += self.data[i * k + kk].to_i64() * rhs.data[j * k + kk].to_i64();
+                }
+                out.data[i * n + j] = i32::from_i64_saturating(acc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute value of the elements, as `i64`.
+    pub fn abs_max(&self) -> i64 {
+        self.data
+            .iter()
+            .map(|&x| x.to_i64().abs())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl IntTensor<i8> {
+    /// Size in bytes when packed at `bits` bits per element (used by the
+    /// compression-ratio accounting of Table I).
+    pub fn packed_bytes(&self, bits: u32) -> usize {
+        (self.numel() * bits as usize).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_from_vec() {
+        let z = IntTensor::<i8>::zeros(&[2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.as_slice().iter().all(|&x| x == 0));
+        assert!(IntTensor::<i8>::from_vec(vec![1, 2, 3], &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn get_set() {
+        let mut t = IntTensor::<i32>::zeros(&[2, 2]);
+        t.set(&[1, 1], -7).unwrap();
+        assert_eq!(t.get(&[1, 1]).unwrap(), -7);
+        assert!(t.get(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn matmul_i32_known_values() {
+        let a = IntTensor::<i8>::from_vec(vec![1, 2, 3, 4, 5, 6], &[2, 3]).unwrap();
+        let b = IntTensor::<i8>::from_vec(vec![7, 8, 9, 10, 11, 12], &[3, 2]).unwrap();
+        let c = a.matmul_i32(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58, 64, 139, 154]);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_transpose() {
+        let a = IntTensor::<i8>::from_vec((0..6).map(|x| x as i8).collect(), &[2, 3]).unwrap();
+        let b = IntTensor::<i8>::from_vec((0..12).map(|x| x as i8 - 6).collect(), &[4, 3]).unwrap();
+        let direct = a.matmul_transposed_i32(&b).unwrap();
+        let reference = a.matmul_i32(&b.transpose2().unwrap()).unwrap();
+        assert_eq!(direct, reference);
+    }
+
+    #[test]
+    fn saturating_accumulation_does_not_wrap() {
+        let a = IntTensor::<i32>::from_vec(vec![i32::MAX, i32::MAX], &[1, 2]).unwrap();
+        let b = IntTensor::<i32>::from_vec(vec![1, 1], &[2, 1]).unwrap();
+        let c = a.matmul_i32(&b).unwrap();
+        assert_eq!(c.as_slice(), &[i32::MAX]);
+    }
+
+    #[test]
+    fn dequantize_scales_values() {
+        let t = IntTensor::<i8>::from_vec(vec![-2, 0, 4], &[3]).unwrap();
+        let f = t.dequantize(0.5);
+        assert_eq!(f.as_slice(), &[-1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn abs_max_and_packed_bytes() {
+        let t = IntTensor::<i8>::from_vec(vec![-8, 3, 7], &[3]).unwrap();
+        assert_eq!(t.abs_max(), 8);
+        assert_eq!(t.packed_bytes(4), 2);
+        assert_eq!(t.packed_bytes(8), 3);
+    }
+
+    #[test]
+    fn saturating_conversion() {
+        assert_eq!(i8::from_i64_saturating(1000), i8::MAX);
+        assert_eq!(i8::from_i64_saturating(-1000), i8::MIN);
+        assert_eq!(i8::from_i64_saturating(5), 5);
+        assert_eq!(i16::from_i64_saturating(40000), i16::MAX);
+        assert_eq!(i32::from_i64_saturating(i64::MIN), i32::MIN);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let t = IntTensor::<i16>::from_vec((0..6).collect(), &[2, 3]).unwrap();
+        assert_eq!(t.transpose2().unwrap().transpose2().unwrap(), t);
+    }
+}

@@ -1,0 +1,433 @@
+//! Element-wise operations, reductions and neural-network primitives on
+//! [`Tensor`].
+//!
+//! These are the floating-point reference implementations: the quantized
+//! kernels in `fqbert-quant` and the accelerator datapath in `fqbert-accel`
+//! are validated against the functions defined here.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "mul", |a, b| a * b)
+    }
+
+    /// Element-wise division.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn div(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "div", |a, b| a / b)
+    }
+
+    /// Adds a 1-D bias vector to every row of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `bias` does not have exactly
+    /// one element per column.
+    pub fn add_bias(&self, bias: &Tensor) -> Result<Tensor> {
+        let (_, cols) = self.as_matrix_dims()?;
+        if bias.numel() != cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_bias",
+                lhs: self.dims().to_vec(),
+                rhs: bias.dims().to_vec(),
+            });
+        }
+        let mut out = self.clone();
+        let b = bias.as_slice();
+        for row in out.as_mut_slice().chunks_mut(cols) {
+            for (x, &bb) in row.iter_mut().zip(b.iter()) {
+                *x += bb;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        let mut out = self.clone();
+        for x in out.as_mut_slice() {
+            *x = f(*x);
+        }
+        out
+    }
+
+    /// Combines two same-shaped tensors element-wise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_with<F: Fn(f32, f32) -> f32>(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: F,
+    ) -> Result<Tensor> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(rhs.as_slice().iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(data, self.dims())
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] if the tensor has no elements.
+    pub fn mean(&self) -> Result<f32> {
+        if self.numel() == 0 {
+            return Err(TensorError::EmptyTensor("mean"));
+        }
+        Ok(self.sum() / self.numel() as f32)
+    }
+
+    /// Maximum element value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] if the tensor has no elements.
+    pub fn max(&self) -> Result<f32> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |a| a.max(x)))
+            })
+            .ok_or(TensorError::EmptyTensor("max"))
+    }
+
+    /// Minimum element value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] if the tensor has no elements.
+    pub fn min(&self) -> Result<f32> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |a| a.min(x)))
+            })
+            .ok_or(TensorError::EmptyTensor("min"))
+    }
+
+    /// Maximum absolute element value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] if the tensor has no elements.
+    pub fn abs_max(&self) -> Result<f32> {
+        if self.numel() == 0 {
+            return Err(TensorError::EmptyTensor("abs_max"));
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |acc, &x| acc.max(x.abs())))
+    }
+
+    /// Index of the maximum element of a 1-D tensor or row slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] if the tensor has no elements.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.numel() == 0 {
+            return Err(TensorError::EmptyTensor("argmax"));
+        }
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &x) in self.as_slice().iter().enumerate() {
+            if x > best_v {
+                best_v = x;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Per-row argmax of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        let (rows, cols) = self.as_matrix_dims()?;
+        let mut out = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let row = self.row(i);
+            let mut best = 0usize;
+            let mut best_v = f32::NEG_INFINITY;
+            for (j, &x) in row.iter().enumerate() {
+                if x > best_v {
+                    best_v = x;
+                    best = j;
+                }
+            }
+            debug_assert!(best < cols);
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Numerically stable softmax applied independently to each row of a
+    /// rank-2 tensor (the float reference for the accelerator's Softmax core).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+    pub fn softmax_rows(&self) -> Result<Tensor> {
+        let (rows, cols) = self.as_matrix_dims()?;
+        let mut out = self.clone();
+        for i in 0..rows {
+            let row = &mut out.as_mut_slice()[i * cols..(i + 1) * cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                denom += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= denom;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Layer normalization over the last dimension of a rank-2 tensor.
+    ///
+    /// `gamma` and `beta` must each hold one value per column.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if operand shapes are inconsistent.
+    pub fn layer_norm(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<Tensor> {
+        let (rows, cols) = self.as_matrix_dims()?;
+        if gamma.numel() != cols || beta.numel() != cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "layer_norm",
+                lhs: self.dims().to_vec(),
+                rhs: gamma.dims().to_vec(),
+            });
+        }
+        let mut out = self.clone();
+        let g = gamma.as_slice();
+        let b = beta.as_slice();
+        for i in 0..rows {
+            let row = &mut out.as_mut_slice()[i * cols..(i + 1) * cols];
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / cols as f32;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = (*x - mean) * inv_std * g[j] + b[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// GELU activation (tanh approximation, as used by BERT).
+    pub fn gelu(&self) -> Tensor {
+        self.map(gelu_scalar)
+    }
+
+    /// ReLU activation.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Returns `true` when every element differs from `other` by at most
+    /// `tol`.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .as_slice()
+                .iter()
+                .zip(other.as_slice().iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// Frobenius norm (square root of the sum of squared elements).
+    pub fn frobenius_norm(&self) -> f32 {
+        self.as_slice().iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Mean squared error against another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mse(&self, other: &Tensor) -> Result<f32> {
+        let diff = self.sub(other)?;
+        diff.map(|x| x * x).mean()
+    }
+}
+
+/// GELU activation on a single value (tanh approximation used by BERT).
+///
+/// # Examples
+///
+/// ```
+/// let y = fqbert_tensor::ops::gelu_scalar(0.0);
+/// assert_eq!(y, 0.0);
+/// ```
+pub fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[4.0, 3.0, 2.0, 1.0], &[2, 2]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(a.sub(&b).unwrap().as_slice(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(a.div(&b).unwrap().as_slice(), &[0.25, 2.0 / 3.0, 1.5, 4.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.add(&b).is_err());
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn add_bias_broadcasts_over_rows() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[10.0, 20.0], &[2]);
+        assert_eq!(a.add_bias(&b).unwrap().as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+        assert!(a.add_bias(&t(&[1.0], &[1])).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[-1.0, 2.0, -3.0, 4.0], &[2, 2]);
+        assert_eq!(a.sum(), 2.0);
+        assert_eq!(a.mean().unwrap(), 0.5);
+        assert_eq!(a.max().unwrap(), 4.0);
+        assert_eq!(a.min().unwrap(), -3.0);
+        assert_eq!(a.abs_max().unwrap(), 4.0);
+        assert_eq!(a.argmax().unwrap(), 3);
+    }
+
+    #[test]
+    fn argmax_rows_per_row() {
+        let a = t(&[0.0, 5.0, 1.0, 9.0, 2.0, 3.0], &[2, 3]);
+        assert_eq!(a.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_shift_invariant() {
+        let a = t(&[1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = a.softmax_rows().unwrap();
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Softmax invariance to a constant shift: the property the paper's
+        // max-subtraction LUT trick relies on.
+        let shifted = a.map(|x| x + 100.0).softmax_rows().unwrap();
+        assert!(s.allclose(&shifted, 1e-5));
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_variance() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4]);
+        let gamma = Tensor::ones(&[4]);
+        let beta = Tensor::zeros(&[4]);
+        let y = a.layer_norm(&gamma, &beta, 1e-6).unwrap();
+        for i in 0..2 {
+            let row = y.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        assert_eq!(gelu_scalar(0.0), 0.0);
+        assert!((gelu_scalar(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu_scalar(-1.0) + 0.1588).abs() < 1e-3);
+        // GELU approaches identity for large positive inputs.
+        assert!((gelu_scalar(6.0) - 6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let a = t(&[-2.0, 0.0, 3.0], &[3]);
+        assert_eq!(a.relu().as_slice(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn allclose_and_mse() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0, 2.001], &[2]);
+        assert!(a.allclose(&b, 0.01));
+        assert!(!a.allclose(&b, 0.0001));
+        assert!(a.mse(&b).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let a = t(&[3.0, 4.0], &[2]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+    }
+}

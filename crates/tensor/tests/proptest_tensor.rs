@@ -1,0 +1,109 @@
+//! Property-based tests for the tensor substrate.
+
+use fqbert_tensor::{IntTensor, RngSource, Tensor};
+use proptest::prelude::*;
+
+/// Strategy producing a random rank-2 tensor together with its dimensions.
+fn matrix(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        (
+            Just(r),
+            Just(c),
+            proptest::collection::vec(-100.0f32..100.0, r * c),
+        )
+    })
+}
+
+fn imatrix(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<i8>)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        (
+            Just(r),
+            Just(c),
+            proptest::collection::vec(-127i8..=127, r * c),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_involution((r, c, data) in matrix(12)) {
+        let t = Tensor::from_vec(data, &[r, c]).unwrap();
+        prop_assert_eq!(t.transpose2().unwrap().transpose2().unwrap(), t);
+    }
+
+    #[test]
+    fn matmul_identity_left((r, c, data) in matrix(12)) {
+        let t = Tensor::from_vec(data, &[r, c]).unwrap();
+        let out = Tensor::eye(r).matmul(&t).unwrap();
+        prop_assert!(out.allclose(&t, 1e-4));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (r, c, a) in matrix(8),
+        seed in 0u64..1000,
+    ) {
+        let a = Tensor::from_vec(a, &[r, c]).unwrap();
+        let mut rng = RngSource::seed_from_u64(seed);
+        let b = rng.uniform_tensor(&[r, c], -1.0, 1.0);
+        let w = rng.uniform_tensor(&[c, 3], -1.0, 1.0);
+        let lhs = a.add(&b).unwrap().matmul(&w).unwrap();
+        let rhs = a.matmul(&w).unwrap().add(&b.matmul(&w).unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_distributions((r, c, data) in matrix(10)) {
+        let t = Tensor::from_vec(data, &[r, c]).unwrap();
+        let s = t.softmax_rows().unwrap();
+        for i in 0..r {
+            let row = s.row(i);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariance((r, c, data) in matrix(8), shift in -50.0f32..50.0) {
+        let t = Tensor::from_vec(data, &[r, c]).unwrap();
+        let a = t.softmax_rows().unwrap();
+        let b = t.map(|x| x + shift).softmax_rows().unwrap();
+        prop_assert!(a.allclose(&b, 1e-4));
+    }
+
+    #[test]
+    fn int_matmul_matches_float((r, c, data) in imatrix(10), seed in 0u64..1000) {
+        let a = IntTensor::<i8>::from_vec(data, &[r, c]).unwrap();
+        let mut rng = RngSource::seed_from_u64(seed);
+        let b_f: Vec<i8> = (0..c * 4).map(|_| rng.usize_in(0, 31) as i8 - 15).collect();
+        let b = IntTensor::<i8>::from_vec(b_f, &[c, 4]).unwrap();
+        let int_out = a.matmul_i32(&b).unwrap();
+        let float_out = a.dequantize(1.0).matmul(&b.dequantize(1.0)).unwrap();
+        for (i, &v) in int_out.as_slice().iter().enumerate() {
+            prop_assert!((v as f32 - float_out.as_slice()[i]).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn layer_norm_output_statistics((r, c, data) in matrix(10)) {
+        prop_assume!(c >= 2);
+        let t = Tensor::from_vec(data, &[r, c]).unwrap();
+        let y = t
+            .layer_norm(&Tensor::ones(&[c]), &Tensor::zeros(&[c]), 1e-5)
+            .unwrap();
+        for i in 0..r {
+            let row = y.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / c as f32;
+            prop_assert!(mean.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn reshape_round_trip((r, c, data) in matrix(12)) {
+        let t = Tensor::from_vec(data, &[r, c]).unwrap();
+        let flat = t.reshape(&[r * c]).unwrap();
+        let back = flat.reshape(&[r, c]).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}

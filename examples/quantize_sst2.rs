@@ -1,0 +1,69 @@
+//! Full quantization workflow on the synthetic SST-2 task: float training,
+//! clip-threshold analysis, QAT fine-tuning at several bit-widths, integer
+//! conversion, and a per-bit-width accuracy/compression summary.
+//!
+//! Run with `cargo run -p fqbert-bench --example quantize_sst2 --release`.
+
+use fqbert_bert::{BertConfig, BertModel, NoopHook, Trainer, TrainerConfig};
+use fqbert_core::{convert, evaluate_int_model, CompressionReport, QatHook};
+use fqbert_nlp::{Sst2Config, Sst2Generator};
+use fqbert_quant::{tune_clip_threshold, QuantConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = Sst2Generator::new(Sst2Config::default()).generate(7);
+    let mut model = BertModel::new(
+        BertConfig::tiny(dataset.vocab_size, dataset.max_len, dataset.num_classes),
+        3,
+    );
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 3,
+        batch_size: 16,
+        learning_rate: 2e-3,
+        ..TrainerConfig::default()
+    });
+    println!("training the float baseline on synthetic SST-2 ...");
+    let history = trainer.train(&mut model, &dataset, &mut NoopHook)?;
+    println!(
+        "per-epoch dev accuracy: {:?}",
+        history
+            .dev_accuracy
+            .iter()
+            .map(|a| format!("{a:.1}%"))
+            .collect::<Vec<_>>()
+    );
+
+    // Show what the MSE-optimal clip search does to one weight matrix.
+    let example_weight = &model.encoder_layers[0].query.weight;
+    for bits in [4, 2] {
+        let result = tune_clip_threshold(example_weight, bits, 64)?;
+        println!(
+            "layer-0 query weight, {bits}-bit: tuned clip {:.4} (max |w| {:.4}), MSE {:.2e} vs {:.2e} without clipping",
+            result.clip,
+            example_weight.abs_max()?,
+            result.mse,
+            result.mse_no_clip
+        );
+    }
+
+    // QAT at several weight bit-widths, evaluated with the integer engine.
+    for weight_bits in [8u32, 4, 2] {
+        let mut qat_model = model.clone();
+        let quant = QuantConfig::fq_bert().with_weight_bits(weight_bits);
+        let mut hook = QatHook::new(quant);
+        let finetune = Trainer::new(TrainerConfig {
+            epochs: 1,
+            batch_size: 16,
+            learning_rate: 5e-4,
+            ..TrainerConfig::default()
+        });
+        finetune.train(&mut qat_model, &dataset, &mut hook)?;
+        let int_model = convert(&qat_model, &hook)?;
+        let acc = evaluate_int_model(&int_model, &dataset.dev)?.accuracy;
+        let compression = CompressionReport::for_model(&qat_model, &quant);
+        println!(
+            "w{weight_bits}/a8 integer engine: dev accuracy {acc:.2}%, encoder compression {:.2}x",
+            compression.encoder_ratio(&qat_model)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Quickstart: train a tiny BERT on synthetic SST-2, quantize it to FQ-BERT
+//! (4-bit weights / 8-bit activations), run the integer-only engine, and ask
+//! the accelerator model what the deployment would cost.
+//!
+//! Run with `cargo run -p fqbert-bench --example quickstart --release`.
+
+use fqbert_bert::{BertConfig, BertModel, NoopHook, Trainer, TrainerConfig};
+use fqbert_core::{convert, evaluate_int_model, CompressionReport, QatHook};
+use fqbert_nlp::{Sst2Config, Sst2Generator};
+use fqbert_perf::FpgaPlatform;
+use fqbert_quant::QuantConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthetic data: a small SST-2-like sentiment task.
+    let dataset = Sst2Generator::new(Sst2Config {
+        train_size: 600,
+        dev_size: 150,
+        ..Sst2Config::default()
+    })
+    .generate(42);
+    println!(
+        "generated {} training / {} dev sentences over a {}-word vocabulary",
+        dataset.train.len(),
+        dataset.dev.len(),
+        dataset.vocab_size
+    );
+
+    // 2. Train the float baseline for a few epochs.
+    let mut model = BertModel::new(
+        BertConfig::tiny(dataset.vocab_size, dataset.max_len, dataset.num_classes),
+        7,
+    );
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 3,
+        batch_size: 16,
+        learning_rate: 2e-3,
+        ..TrainerConfig::default()
+    });
+    trainer.train(&mut model, &dataset, &mut NoopHook)?;
+    let float_acc = Trainer::evaluate_float(&model, &dataset.dev)?.accuracy;
+    println!("float (FP32) dev accuracy: {float_acc:.2}%");
+
+    // 3. Fine-tune with the quantization function in the loop (w4/a8).
+    let quant = QuantConfig::fq_bert();
+    let mut hook = QatHook::new(quant);
+    let finetune = Trainer::new(TrainerConfig {
+        epochs: 1,
+        batch_size: 16,
+        learning_rate: 5e-4,
+        ..TrainerConfig::default()
+    });
+    finetune.train(&mut model, &dataset, &mut hook)?;
+
+    // 4. Convert to the integer-only FQ-BERT engine and evaluate it.
+    let int_model = convert(&model, &hook)?;
+    let int_acc = evaluate_int_model(&int_model, &dataset.dev)?.accuracy;
+    let compression = CompressionReport::for_model(&model, &quant);
+    println!(
+        "FQ-BERT (4-bit weights, 8-bit activations, integer-only) dev accuracy: {int_acc:.2}%"
+    );
+    println!(
+        "encoder weight compression: {:.2}x (whole model {:.2}x)",
+        compression.encoder_ratio(&model),
+        compression.ratio()
+    );
+
+    // 5. What would deploying BERT-base on the FPGA cost?
+    let fpga = FpgaPlatform::zcu111();
+    let bert_base = BertConfig::bert_base();
+    println!(
+        "accelerator model (ZCU111, 12 PUs, N=16, M=16): BERT-base seq-128 latency {:.2} ms, {:.1} W, {:.2} fps/W",
+        fpga.latency_ms(&bert_base, 128),
+        fpga.power_watts(),
+        fpga.fps_per_watt(&bert_base, 128)
+    );
+    Ok(())
+}
