@@ -20,13 +20,12 @@
 //! exactly the trade-off Fig. 4 illustrates.
 
 use crate::config::BimVariant;
-use serde::{Deserialize, Serialize};
 
 /// Re-export of the BIM variant selector.
 pub type BimType = BimVariant;
 
 /// Resource cost of one BIM instance (used by Fig. 4 and the resource model).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BimResources {
     /// Number of 8b×4b multipliers.
     pub multipliers: usize,
@@ -40,7 +39,7 @@ pub struct BimResources {
 }
 
 /// A bit-accurate model of one BIM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Bim {
     m_total: usize,
     variant: BimVariant,
@@ -55,7 +54,7 @@ impl Bim {
     /// pairs).
     pub fn new(m_total: usize, variant: BimVariant) -> Self {
         assert!(
-            m_total > 0 && m_total % 2 == 0,
+            m_total > 0 && m_total.is_multiple_of(2),
             "BIM needs a positive, even multiplier count, got {m_total}"
         );
         Self { m_total, variant }

@@ -1,10 +1,8 @@
 //! Accelerator and FPGA-device configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// The FPGA devices the paper evaluates on, with their available resources
 /// (from Table III's device rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FpgaDevice {
     /// Xilinx ZCU102 MPSoC board.
     Zcu102,
@@ -76,7 +74,7 @@ impl std::fmt::Display for FpgaDevice {
 }
 
 /// The variant of the Bit-split Inner-product Module (Fig. 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BimVariant {
     /// Type A: the shift-add sits after the adder tree (cheaper, requires
     /// rearranged input data).
@@ -87,7 +85,7 @@ pub enum BimVariant {
 }
 
 /// Full configuration of one accelerator instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcceleratorConfig {
     /// Target device.
     pub device: FpgaDevice,
@@ -186,8 +184,9 @@ impl AcceleratorConfig {
             return Err("PU/PE/multiplier counts must be non-zero".to_string());
         }
         if !self.multipliers_per_bim.is_multiple_of(2) {
-            return Err("the BIM needs an even number of multipliers to fuse 8b×8b products"
-                .to_string());
+            return Err(
+                "the BIM needs an even number of multipliers to fuse 8b×8b products".to_string(),
+            );
         }
         if self.frequency_hz <= 0.0 {
             return Err("frequency must be positive".to_string());
@@ -224,7 +223,10 @@ mod tests {
     fn multiplier_counts_match_table_iii() {
         assert_eq!(AcceleratorConfig::zcu102_n8_m16().total_multipliers(), 1536);
         assert_eq!(AcceleratorConfig::zcu102_n16_m8().total_multipliers(), 1536);
-        assert_eq!(AcceleratorConfig::zcu111_n16_m16().total_multipliers(), 3072);
+        assert_eq!(
+            AcceleratorConfig::zcu111_n16_m16().total_multipliers(),
+            3072
+        );
     }
 
     #[test]
@@ -246,14 +248,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut cfg = AcceleratorConfig::default();
-        cfg.multipliers_per_bim = 7;
+        let cfg = AcceleratorConfig {
+            multipliers_per_bim: 7,
+            ..AcceleratorConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = AcceleratorConfig::default();
-        cfg.num_pus = 0;
+        let cfg = AcceleratorConfig {
+            num_pus: 0,
+            ..AcceleratorConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = AcceleratorConfig::default();
-        cfg.weight_bits = 16;
+        let cfg = AcceleratorConfig {
+            weight_bits: 16,
+            ..AcceleratorConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

@@ -13,11 +13,10 @@
 //!   processing `simd_width` elements per cycle per stage.
 
 use fqbert_quant::{QuantError, QuantizedLayerNorm, SoftmaxLut};
-use serde::{Deserialize, Serialize};
 
 /// The accelerator's softmax unit: LUT-based exponentials with
 /// max-subtraction, `lanes` elements processed per cycle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SoftmaxCore {
     lut: SoftmaxLut,
     lanes: usize,
@@ -76,7 +75,7 @@ impl SoftmaxCore {
 
 /// The accelerator's layer-normalization unit: a 3-stage SIMD pipeline over
 /// fixed-point values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LnCore {
     ln: QuantizedLayerNorm,
     simd_width: usize,

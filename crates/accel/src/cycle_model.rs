@@ -9,10 +9,9 @@ use crate::config::AcceleratorConfig;
 use crate::dataflow::EncoderShape;
 use crate::memory::DdrModel;
 use crate::scheduler::{ScheduleTrace, Scheduler};
-use serde::{Deserialize, Serialize};
 
 /// Per-component cycle breakdown of one inference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyBreakdown {
     /// Cycles the PE array is busy across all layers.
     pub pe_cycles: u64,
@@ -29,7 +28,7 @@ pub struct LatencyBreakdown {
 }
 
 /// Latency estimate for one full inference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyReport {
     /// Critical-path cycles of the whole inference.
     pub total_cycles: u64,

@@ -10,10 +10,8 @@
 //! the next sub-stage have to be resident on chip — this is what makes the
 //! double-buffered weight streaming of the scheduler possible.
 
-use serde::{Deserialize, Serialize};
-
 /// Shape of the encoder layer being scheduled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EncoderShape {
     /// Sequence length (number of tokens).
     pub seq_len: usize,
@@ -38,7 +36,7 @@ impl EncoderShape {
 }
 
 /// Which unit executes a stage and at which operand width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StageKind {
     /// Matrix multiply on the PE array with 8-bit activations × 4-bit weights.
     MatmulAct8Weight4,
@@ -51,7 +49,7 @@ pub enum StageKind {
 }
 
 /// One stage of the Fig. 5 dataflow.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncoderStage {
     /// Human-readable name matching the labels of Fig. 5.
     pub name: String,
@@ -182,8 +180,17 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "X·Wq", "X·Wk", "X·Wv", "Q·Kᵀ", "Softmax", "Attn·V", "O-proj", "Add&LN", "FFN1",
-                "FFN2", "Add&LN (FFN)"
+                "X·Wq",
+                "X·Wk",
+                "X·Wv",
+                "Q·Kᵀ",
+                "Softmax",
+                "Attn·V",
+                "O-proj",
+                "Add&LN",
+                "FFN1",
+                "FFN2",
+                "Add&LN (FFN)"
             ]
         );
     }

@@ -7,10 +7,9 @@
 //! model.
 
 use crate::config::AcceleratorConfig;
-use serde::{Deserialize, Serialize};
 
 /// Simple bandwidth/latency model of the DDR + AXI path.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DdrModel {
     /// Sustained bandwidth in bytes per second.
     pub bandwidth_bytes_per_sec: f64,
@@ -48,7 +47,7 @@ impl DdrModel {
 }
 
 /// Capacities of the on-chip buffers in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufferPlan {
     /// Input/output activation buffer.
     pub io_buffer_bytes: u64,

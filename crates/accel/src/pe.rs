@@ -15,10 +15,9 @@
 use crate::bim::Bim;
 use crate::config::BimVariant;
 use fqbert_quant::Requantizer;
-use serde::{Deserialize, Serialize};
 
 /// Operand bit-width mode of a matrix–vector operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperandMode {
     /// 8-bit activations × 4-bit weights.
     Act8Weight4,
@@ -28,7 +27,7 @@ pub enum OperandMode {
 
 /// One dot-product Processing Element: a BIM, an accumulator and the output
 /// quantization stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProcessingElement {
     bim: Bim,
     /// Pipeline latency (cycles) of the quantization module; the psum buffer
@@ -38,7 +37,7 @@ pub struct ProcessingElement {
 
 /// Result of one PE dot-product: the requantized output code and the cycles
 /// spent in the multiply–accumulate loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PeOutput {
     /// Requantized int8 output code.
     pub code: i8,
@@ -97,7 +96,7 @@ impl ProcessingElement {
 }
 
 /// A Processing Unit: `N` PEs sharing the same input vector.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessingUnit {
     pes: Vec<ProcessingElement>,
 }

@@ -7,10 +7,9 @@
 //! points and documented as such.
 
 use crate::config::AcceleratorConfig;
-use serde::{Deserialize, Serialize};
 
 /// Calibrated board power model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Static (workload-independent) board power in watts.
     pub static_watts: f64,

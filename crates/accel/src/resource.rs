@@ -9,10 +9,9 @@
 //! (see DESIGN.md for the substitution argument).
 
 use crate::config::{AcceleratorConfig, FpgaDevice};
-use serde::{Deserialize, Serialize};
 
 /// Estimated FPGA resource usage of one accelerator instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceEstimate {
     /// BRAM18K blocks.
     pub bram18k: u64,
@@ -42,7 +41,7 @@ impl ResourceEstimate {
 }
 
 /// The resource model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ResourceModel;
 
 impl ResourceModel {
@@ -149,7 +148,11 @@ mod tests {
         let model = ResourceModel::new();
         for cfg in AcceleratorConfig::table_iii_configs() {
             let est = model.estimate(&cfg);
-            assert!(est.fits(cfg.device), "{cfg:?} does not fit {:?}", cfg.device);
+            assert!(
+                est.fits(cfg.device),
+                "{cfg:?} does not fit {:?}",
+                cfg.device
+            );
             // DSP utilisation is reported as "very high" in the paper.
             assert!(est.dsp_utilisation(cfg.device) > 0.6);
         }

@@ -14,10 +14,9 @@
 use crate::config::AcceleratorConfig;
 use crate::dataflow::{encoder_layer_stages, EncoderShape, EncoderStage, StageKind};
 use crate::memory::DdrModel;
-use serde::{Deserialize, Serialize};
 
 /// Per-stage timing produced by the scheduler.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageTiming {
     /// Stage name (matches Fig. 5 labels).
     pub name: String,
@@ -36,7 +35,7 @@ pub struct StageTiming {
 }
 
 /// The schedule of one encoder layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleTrace {
     /// Per-stage timings in dataflow order.
     pub stages: Vec<StageTiming>,
@@ -74,8 +73,7 @@ impl ScheduleTrace {
         let mut out = String::new();
         for stage in &self.stages {
             let start = ((stage.compute_start as f64 / total) * columns as f64) as usize;
-            let end =
-                (((stage.compute_end as f64) / total) * columns as f64).ceil() as usize;
+            let end = (((stage.compute_end as f64) / total) * columns as f64).ceil() as usize;
             let end = end.clamp(start + 1, columns);
             let mut row = vec![' '; columns];
             for cell in row.iter_mut().take(end).skip(start) {
@@ -99,7 +97,7 @@ impl ScheduleTrace {
 
 /// The stage scheduler: maps dataflow stages to cycles on the PE array, the
 /// softmax core, the LN core and the DMA engine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scheduler {
     config: AcceleratorConfig,
     ddr: DdrModel,
@@ -139,12 +137,17 @@ impl Scheduler {
     /// Cycles of the softmax core for one stage.
     fn softmax_cycles(&self, stage: &EncoderStage) -> u64 {
         // Three streaming passes (max, exp+sum, normalise) over every element.
-        3 * stage.output_elements.div_ceil(self.config.softmax_lanes as u64)
+        3 * stage
+            .output_elements
+            .div_ceil(self.config.softmax_lanes as u64)
     }
 
     /// Cycles of the LN core for one stage.
     fn ln_cycles(&self, stage: &EncoderStage) -> u64 {
-        3 * stage.output_elements.div_ceil(self.config.ln_simd_width as u64) + 2
+        3 * stage
+            .output_elements
+            .div_ceil(self.config.ln_simd_width as u64)
+            + 2
     }
 
     /// Schedules one encoder layer and returns the trace.
@@ -333,11 +336,12 @@ mod tests {
         let scheduler = Scheduler::new(AcceleratorConfig::zcu102_n16_m8());
         let trace = scheduler.schedule_layer(&EncoderShape::bert_base());
         let mut prev_end = 0;
-        for stage in trace
-            .stages
-            .iter()
-            .filter(|s| matches!(s.kind, StageKind::MatmulAct8Weight4 | StageKind::MatmulAct8Act8))
-        {
+        for stage in trace.stages.iter().filter(|s| {
+            matches!(
+                s.kind,
+                StageKind::MatmulAct8Weight4 | StageKind::MatmulAct8Act8
+            )
+        }) {
             assert!(stage.compute_start >= prev_end);
             assert!(stage.compute_end >= stage.compute_start);
             prev_end = stage.compute_end;

@@ -14,9 +14,8 @@ impl Graph {
         self.check(lhs)?;
         self.check(rhs)?;
         let value = self.value(lhs).add(self.value(rhs))?;
-        let backward = Box::new(move |grad: &Tensor| {
-            vec![(lhs, grad.clone()), (rhs, grad.clone())]
-        });
+        let backward =
+            Box::new(move |grad: &Tensor| vec![(lhs, grad.clone()), (rhs, grad.clone())]);
         Ok(self.push(value, Some(backward), false))
     }
 
@@ -29,9 +28,8 @@ impl Graph {
         self.check(lhs)?;
         self.check(rhs)?;
         let value = self.value(lhs).sub(self.value(rhs))?;
-        let backward = Box::new(move |grad: &Tensor| {
-            vec![(lhs, grad.clone()), (rhs, grad.scale(-1.0))]
-        });
+        let backward =
+            Box::new(move |grad: &Tensor| vec![(lhs, grad.clone()), (rhs, grad.scale(-1.0))]);
         Ok(self.push(value, Some(backward), false))
     }
 
@@ -87,8 +85,7 @@ impl Graph {
                     *bg += grad.row(i)[j];
                 }
             }
-            let bias_grad =
-                Tensor::from_vec(bias_grad, &bias_dims).expect("bias shape preserved");
+            let bias_grad = Tensor::from_vec(bias_grad, &bias_dims).expect("bias shape preserved");
             vec![(x, grad.clone()), (bias, bias_grad)]
         });
         Ok(self.push(value, Some(backward), false))

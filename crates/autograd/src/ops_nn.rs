@@ -7,7 +7,7 @@ use fqbert_tensor::Tensor;
 
 /// Derivative of the tanh-approximated GELU at `x`.
 fn gelu_grad_scalar(x: f32) -> f32 {
-    const C: f32 = 0.797_884_56; // sqrt(2/pi)
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
     const A: f32 = 0.044_715;
     let u = C * (x + A * x * x * x);
     let t = u.tanh();
@@ -80,13 +80,7 @@ impl Graph {
     /// # Errors
     ///
     /// Returns an error for unknown ids or inconsistent shapes.
-    pub fn layer_norm(
-        &mut self,
-        x: VarId,
-        gamma: VarId,
-        beta: VarId,
-        eps: f32,
-    ) -> Result<VarId> {
+    pub fn layer_norm(&mut self, x: VarId, gamma: VarId, beta: VarId, eps: f32) -> Result<VarId> {
         self.check(x)?;
         self.check(gamma)?;
         self.check(beta)?;
@@ -112,13 +106,12 @@ impl Graph {
                 let xhat: Vec<f32> = row.iter().map(|&v| (v - mean) * inv_std).collect();
                 let dy_g: Vec<f32> = gy.iter().zip(gs.iter()).map(|(&a, &w)| a * w).collect();
                 let sum_dy_g: f32 = dy_g.iter().sum();
-                let sum_dy_g_xhat: f32 =
-                    dy_g.iter().zip(xhat.iter()).map(|(&a, &h)| a * h).sum();
+                let sum_dy_g_xhat: f32 = dy_g.iter().zip(xhat.iter()).map(|(&a, &h)| a * h).sum();
                 for c in 0..cols {
                     dgamma[c] += gy[c] * xhat[c];
                     dbeta[c] += gy[c];
-                    dx.row_mut(r)[c] = inv_std / n
-                        * (n * dy_g[c] - sum_dy_g - xhat[c] * sum_dy_g_xhat);
+                    dx.row_mut(r)[c] =
+                        inv_std / n * (n * dy_g[c] - sum_dy_g - xhat[c] * sum_dy_g_xhat);
                 }
             }
             let gamma_dims = g.dims().to_vec();
@@ -411,6 +404,9 @@ mod tests {
             let grad = g.grad(wid).unwrap();
             w = w.sub(&grad.scale(0.5)).unwrap();
         }
-        assert!(prev < 0.6, "loss should have decreased substantially: {prev}");
+        assert!(
+            prev < 0.6,
+            "loss should have decreased substantially: {prev}"
+        );
     }
 }

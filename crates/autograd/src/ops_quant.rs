@@ -138,9 +138,7 @@ mod tests {
     fn ste_passes_gradient_inside_clip_and_blocks_outside() {
         let mut g = Graph::new();
         let x = g.param(t(&[0.2, 5.0, -0.7, -9.0], &[2, 2]));
-        let y = g
-            .fake_quant(x, FakeQuantSpec::with_clip(8, 1.0))
-            .unwrap();
+        let y = g.fake_quant(x, FakeQuantSpec::with_clip(8, 1.0)).unwrap();
         let loss = g.sum_all(y).unwrap();
         g.backward(loss).unwrap();
         assert_eq!(g.grad(x).unwrap().as_slice(), &[1.0, 0.0, 1.0, 0.0]);

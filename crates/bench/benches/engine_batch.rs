@@ -1,0 +1,114 @@
+//! Criterion benchmark of the unified runtime's batched inference: one
+//! `classify_batch` call over N sequences versus N batch-of-one calls on
+//! the integer backend (first entry of the engine perf trajectory), plus
+//! the float backend for reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fqbert_autograd::Graph;
+use fqbert_bert::{BertConfig, BertModel};
+use fqbert_core::QatHook;
+use fqbert_nlp::{Example, TaskKind, Vocab};
+use fqbert_quant::QuantConfig;
+use fqbert_runtime::{BackendKind, EncodedBatch, Engine, EngineBuilder};
+use std::hint::black_box;
+
+const MAX_LEN: usize = 24;
+const SEQ_LEN: usize = 16;
+
+fn example(i: usize) -> Example {
+    let mut tokens = vec![2usize];
+    tokens.extend((0..SEQ_LEN - 2).map(|d| 4 + (i * 7 + d * 3) % 40));
+    tokens.push(3);
+    Example {
+        segment_ids: vec![0; tokens.len()],
+        attention_mask: vec![1; tokens.len()],
+        token_ids: tokens,
+        label: 0,
+    }
+}
+
+fn engines() -> (Engine, Engine) {
+    let words: Vec<String> = (0..40).map(|i| format!("w{i}")).collect();
+    let vocab = Vocab::from_tokens(&words);
+    let model = BertModel::new(BertConfig::tiny(vocab.len(), MAX_LEN, 2), 3);
+    let mut hook = QatHook::calibration_only(QuantConfig::fq_bert());
+    for i in 0..8 {
+        let mut graph = Graph::new();
+        let bound = model.bind(&mut graph);
+        bound
+            .forward(&mut graph, &example(i), &mut hook)
+            .expect("calibration");
+    }
+    let builder = || {
+        EngineBuilder::new(TaskKind::Sst2)
+            .vocab(vocab.clone(), MAX_LEN)
+            .batch_size(64)
+    };
+    let int = builder()
+        .backend(BackendKind::Int)
+        .build_with_hook(&model, &hook)
+        .expect("int engine");
+    let float = builder()
+        .backend(BackendKind::Float)
+        .build(&model)
+        .expect("float engine");
+    (int, float)
+}
+
+fn bench_engine_batching(c: &mut Criterion) {
+    let (int_engine, float_engine) = engines();
+    let mut group = c.benchmark_group("engine_batch");
+    for &batch in &[4usize, 16, 32] {
+        let examples: Vec<Example> = (0..batch).map(example).collect();
+        let encoded = EncodedBatch::from_examples(examples.clone());
+        let singles: Vec<EncodedBatch> = examples
+            .iter()
+            .map(|e| EncodedBatch::from_examples(vec![e.clone()]))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("int_batched", batch), &batch, |b, _| {
+            b.iter(|| {
+                int_engine
+                    .classify_batch(black_box(&encoded))
+                    .expect("batched")
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("int_one_at_a_time", batch),
+            &batch,
+            |b, _| {
+                b.iter(|| {
+                    for single in &singles {
+                        int_engine
+                            .classify_batch(black_box(single))
+                            .expect("single");
+                    }
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("float_batched", batch), &batch, |b, _| {
+            b.iter(|| {
+                float_engine
+                    .classify_batch(black_box(&encoded))
+                    .expect("batched")
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("float_one_at_a_time", batch),
+            &batch,
+            |b, _| {
+                b.iter(|| {
+                    for single in &singles {
+                        float_engine
+                            .classify_batch(black_box(single))
+                            .expect("single");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_batching);
+criterion_main!(benches);

@@ -9,7 +9,6 @@ use fqbert_autograd::{FakeQuantSpec, Graph, VarId};
 use fqbert_bench::{markdown_table, save_json, ExperimentConfig};
 use fqbert_bert::{ForwardHook, Site, SiteKind, Trainer};
 use fqbert_quant::tune_clip_threshold;
-use serde::Serialize;
 
 /// Post-training weight-only quantization hook used for the bit-width sweep.
 struct WeightPtqHook {
@@ -34,13 +33,20 @@ impl ForwardHook for WeightPtqHook {
     }
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct SweepPoint {
     task: String,
     bits: u32,
     clip: bool,
     accuracy: f64,
 }
+
+fqbert_bench::impl_to_json!(SweepPoint {
+    task,
+    bits,
+    clip,
+    accuracy
+});
 
 fn main() {
     let config = ExperimentConfig::from_env();
@@ -78,7 +84,10 @@ fn main() {
         }
     }
 
-    let table = markdown_table(&["task", "weight bits", "CLIP acc %", "NO_CLIP acc %"], &rows);
+    let table = markdown_table(
+        &["task", "weight bits", "CLIP acc %", "NO_CLIP acc %"],
+        &rows,
+    );
     println!("{table}");
     match save_json("fig3_bitwidth", &points) {
         Ok(path) => println!("saved raw sweep data to {}", path.display()),

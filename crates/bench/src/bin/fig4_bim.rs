@@ -7,9 +7,8 @@ use fqbert_accel::bim::{exact_dot, Bim};
 use fqbert_accel::config::BimVariant;
 use fqbert_bench::{markdown_table, save_json};
 use fqbert_tensor::RngSource;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct BimRow {
     m: usize,
     variant: String,
@@ -18,6 +17,15 @@ struct BimRow {
     adder_bits: usize,
     exact_8x8: bool,
 }
+
+fqbert_bench::impl_to_json!(BimRow {
+    m,
+    variant,
+    adders,
+    shifters,
+    adder_bits,
+    exact_8x8
+});
 
 fn main() {
     println!("== Fig. 4 reproduction: BIM Type A vs Type B ==\n");
@@ -55,7 +63,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["M", "variant", "adders", "shifters", "adder bits", "8x8 exact"],
+            &[
+                "M",
+                "variant",
+                "adders",
+                "shifters",
+                "adder bits",
+                "8x8 exact"
+            ],
             &rows
         )
     );

@@ -6,11 +6,11 @@
 //! (set `FQBERT_QUICK=1` for a fast smoke run).
 
 use fqbert_bench::{markdown_table, save_json, ExperimentConfig};
-use fqbert_core::{convert, evaluate_int_model, CompressionReport};
+use fqbert_core::CompressionReport;
 use fqbert_quant::QuantConfig;
-use serde::Serialize;
+use fqbert_runtime::BackendKind;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Table1Row {
     model: String,
     bits: String,
@@ -19,6 +19,15 @@ struct Table1Row {
     mnli_m: f64,
     compression: f64,
 }
+
+fqbert_bench::impl_to_json!(Table1Row {
+    model,
+    bits,
+    sst2,
+    mnli,
+    mnli_m,
+    compression
+});
 
 fn main() {
     let config = ExperimentConfig::from_env();
@@ -37,16 +46,23 @@ fn main() {
     let sst2_hook = config.qat_finetune(&mut sst2, quant);
     let mnli_hook = config.qat_finetune(&mut mnli, quant);
 
-    println!("converting to the integer-only engine and evaluating ...\n");
-    let sst2_int = convert(&sst2.model, &sst2_hook).expect("conversion failed");
-    let mnli_int = convert(&mnli.model, &mnli_hook).expect("conversion failed");
-    let sst2_acc = evaluate_int_model(&sst2_int, &sst2.dataset.dev)
+    println!("building integer engines and evaluating through the unified runtime ...\n");
+    let sst2_engine = sst2
+        .engine_with_hook(BackendKind::Int, &sst2_hook)
+        .expect("sst2 engine");
+    let mnli_engine = mnli
+        .engine_with_hook(BackendKind::Int, &mnli_hook)
+        .expect("mnli engine");
+    let sst2_acc = sst2_engine
+        .evaluate(&sst2.dataset.dev)
         .expect("int evaluation failed")
         .accuracy;
-    let mnli_acc = evaluate_int_model(&mnli_int, &splits.matched.dev)
+    let mnli_acc = mnli_engine
+        .evaluate(&splits.matched.dev)
         .expect("int evaluation failed")
         .accuracy;
-    let mnli_m_acc = evaluate_int_model(&mnli_int, &splits.mismatched.dev)
+    let mnli_m_acc = mnli_engine
+        .evaluate(&splits.mismatched.dev)
         .expect("int evaluation failed")
         .accuracy;
 

@@ -9,9 +9,8 @@ use fqbert_bench::{markdown_table, save_json, ExperimentConfig};
 use fqbert_bert::Trainer;
 use fqbert_core::QatHook;
 use fqbert_quant::QuantConfig;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct AblationRow {
     weights_activations: bool,
     scales: bool,
@@ -19,6 +18,14 @@ struct AblationRow {
     layer_norm: bool,
     accuracy: f64,
 }
+
+fqbert_bench::impl_to_json!(AblationRow {
+    weights_activations,
+    scales,
+    softmax,
+    layer_norm,
+    accuracy
+});
 
 fn ablation_config(wa: bool, scales: bool, softmax: bool, layer_norm: bool) -> QuantConfig {
     let mut cfg = QuantConfig::fq_bert();

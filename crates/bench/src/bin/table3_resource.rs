@@ -6,9 +6,8 @@
 use fqbert_accel::dataflow::EncoderShape;
 use fqbert_accel::{cycle_model, AcceleratorConfig, ResourceModel};
 use fqbert_bench::{markdown_table, save_json};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Table3Row {
     device: String,
     n: usize,
@@ -20,6 +19,18 @@ struct Table3Row {
     lut: u64,
     latency_ms: f64,
 }
+
+fqbert_bench::impl_to_json!(Table3Row {
+    device,
+    n,
+    m,
+    bram18k,
+    uram,
+    dsp48,
+    ff,
+    lut,
+    latency_ms
+});
 
 fn main() {
     println!("== Table III reproduction: resources and latency (12 PUs, BERT-base, seq 128) ==\n");
@@ -56,7 +67,15 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["device", "(N, M)", "BRAM18K", "DSP48E", "FF", "LUT", "latency (ms)"],
+            &[
+                "device",
+                "(N, M)",
+                "BRAM18K",
+                "DSP48E",
+                "FF",
+                "LUT",
+                "latency (ms)"
+            ],
             &rows
         )
     );

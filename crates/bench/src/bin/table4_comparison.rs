@@ -8,7 +8,9 @@ use fqbert_bert::BertConfig;
 use fqbert_perf::comparison_table;
 
 fn main() {
-    println!("== Table IV reproduction: CPU / GPU / FPGA comparison (BERT-base, batch 1, seq 128) ==\n");
+    println!(
+        "== Table IV reproduction: CPU / GPU / FPGA comparison (BERT-base, batch 1, seq 128) ==\n"
+    );
     let rows_data = comparison_table(&BertConfig::bert_base(), 128);
     let rows: Vec<Vec<String>> = rows_data
         .iter()

@@ -4,6 +4,12 @@ use fqbert_bert::{BertConfig, BertModel, NoopHook, Trainer, TrainerConfig};
 use fqbert_core::QatHook;
 use fqbert_nlp::{MnliConfig, MnliGenerator, MnliSplits, Sst2Config, Sst2Generator, TaskDataset};
 use fqbert_quant::QuantConfig;
+use fqbert_runtime::{BackendKind, Engine, EngineBuilder};
+
+/// Sequences per engine call used by the experiment binaries.
+const ENGINE_BATCH_SIZE: usize = 16;
+/// Dev examples used for post-training calibration of engine backends.
+const CALIBRATION_EXAMPLES: usize = 16;
 
 /// Sizes and hyper-parameters of one experiment run.
 #[derive(Debug, Clone)]
@@ -76,7 +82,12 @@ impl ExperimentConfig {
     }
 
     /// The BERT architecture used for the accuracy experiments.
-    pub fn model_config(&self, vocab_size: usize, max_len: usize, num_classes: usize) -> BertConfig {
+    pub fn model_config(
+        &self,
+        vocab_size: usize,
+        max_len: usize,
+        num_classes: usize,
+    ) -> BertConfig {
         BertConfig::tiny(vocab_size, max_len, num_classes)
     }
 }
@@ -90,6 +101,46 @@ pub struct TrainedTask {
     pub dataset: TaskDataset,
     /// Float (FP32) dev accuracy after training.
     pub float_accuracy: f64,
+}
+
+impl TrainedTask {
+    /// Starts an [`EngineBuilder`] pre-wired for this task: tokenizer from
+    /// the dataset vocabulary, dev-set calibration examples, and the
+    /// experiment batch size.
+    pub fn engine_builder(&self) -> EngineBuilder {
+        let calib = self.dataset.dev.len().min(CALIBRATION_EXAMPLES);
+        EngineBuilder::new(self.dataset.task)
+            .vocab(self.dataset.vocab.clone(), self.dataset.max_len)
+            .batch_size(ENGINE_BATCH_SIZE)
+            .calibrate_with(&self.dataset.dev[..calib])
+    }
+
+    /// Builds a serving engine over the trained model with post-training
+    /// calibration (for QAT-calibrated scales use
+    /// [`TrainedTask::engine_with_hook`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-construction errors.
+    pub fn engine(&self, kind: BackendKind) -> fqbert_runtime::Result<Engine> {
+        self.engine_builder().backend(kind).build(&self.model)
+    }
+
+    /// Builds a serving engine using a QAT hook's calibrated scales (the
+    /// hook also supplies the quantization configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-construction errors.
+    pub fn engine_with_hook(
+        &self,
+        kind: BackendKind,
+        hook: &QatHook,
+    ) -> fqbert_runtime::Result<Engine> {
+        self.engine_builder()
+            .backend(kind)
+            .build_with_hook(&self.model, hook)
+    }
 }
 
 impl ExperimentConfig {
@@ -157,11 +208,7 @@ impl ExperimentConfig {
     /// # Panics
     ///
     /// Panics if fine-tuning fails.
-    pub fn qat_finetune(
-        &self,
-        task: &mut TrainedTask,
-        quant: QuantConfig,
-    ) -> QatHook {
+    pub fn qat_finetune(&self, task: &mut TrainedTask, quant: QuantConfig) -> QatHook {
         let mut hook = QatHook::new(quant);
         let trainer = Trainer::new(self.qat_trainer.clone());
         trainer

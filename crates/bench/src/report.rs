@@ -1,7 +1,155 @@
 //! Report formatting and result persistence for the experiment binaries.
+//!
+//! Serialization is hand-rolled ([`ToJson`] plus the [`impl_to_json!`]
+//! macro) because the repository builds without network access and therefore
+//! without `serde`; the emitted files are plain JSON either way.
 
-use serde::Serialize;
 use std::path::Path;
+
+/// Minimal JSON serialization used by [`save_json`].
+///
+/// Implement via [`impl_to_json!`] for plain field structs; enums can
+/// implement it manually (usually as a string of the variant name).
+pub trait ToJson {
+    /// Renders the value as a JSON document fragment.
+    fn to_json(&self) -> String;
+}
+
+macro_rules! to_json_display {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> String {
+                self.to_string()
+            }
+        }
+    )+};
+}
+
+to_json_display!(bool, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! to_json_float {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> String {
+                if self.is_finite() {
+                    self.to_string()
+                } else {
+                    "null".to_string()
+                }
+            }
+        }
+    )+};
+}
+
+to_json_float!(f32, f64);
+
+impl ToJson for str {
+    fn to_json(&self) -> String {
+        // Proper JSON escaping — Rust's `{:?}` uses `\u{..}` for control
+        // characters, which JSON parsers reject.
+        let mut out = String::with_capacity(self.len() + 2);
+        out.push('"');
+        for ch in self.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> String {
+        self.as_str().to_json()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> String {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> String {
+        let items: Vec<String> = self.iter().map(ToJson::to_json).collect();
+        format!("[\n  {}\n]", items.join(",\n  "))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> String {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> String {
+        match self {
+            Some(v) => v.to_json(),
+            None => "null".to_string(),
+        }
+    }
+}
+
+/// Implements [`ToJson`] for a struct by listing its fields:
+/// `impl_to_json!(Row { name, accuracy });`
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> String {
+                let fields: Vec<String> = vec![$(
+                    format!("{:?}: {}", stringify!($field), $crate::ToJson::to_json(&self.$field)),
+                )+];
+                format!("{{{}}}", fields.join(", "))
+            }
+        }
+    };
+}
+
+impl ToJson for fqbert_accel::dataflow::StageKind {
+    fn to_json(&self) -> String {
+        format!("{self:?}").to_json()
+    }
+}
+
+impl_to_json!(fqbert_accel::StageTiming {
+    name,
+    kind,
+    load_cycles,
+    compute_cycles,
+    load_start,
+    compute_start,
+    compute_end,
+});
+
+impl_to_json!(fqbert_accel::ScheduleTrace {
+    stages,
+    total_cycles,
+    pe_busy_cycles,
+    softmax_cycles,
+    ln_cycles,
+    dma_cycles,
+    dma_stall_cycles,
+    pe_critical_cycles,
+});
+
+impl_to_json!(fqbert_perf::PlatformResult {
+    platform,
+    latency_ms,
+    power_watts,
+    fps_per_watt,
+});
 
 /// Renders a GitHub-flavoured markdown table.
 ///
@@ -54,13 +202,11 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// # Errors
 ///
 /// Returns an I/O error if the directory or file cannot be written.
-pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+pub fn save_json<T: ToJson + ?Sized>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
     let dir = Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(&path, json)?;
+    std::fs::write(&path, value.to_json())?;
     Ok(path)
 }
 
@@ -88,5 +234,23 @@ mod tests {
     #[should_panic(expected = "every row must have")]
     fn ragged_rows_panic() {
         let _ = markdown_table(&["a", "b"], &[vec!["only one".to_string()]]);
+    }
+
+    #[test]
+    fn json_strings_are_escaped_with_valid_json_sequences() {
+        assert_eq!("plain".to_json(), "\"plain\"");
+        assert_eq!("say \"hi\"\\".to_json(), "\"say \\\"hi\\\"\\\\\"");
+        assert_eq!("line\nbreak\ttab".to_json(), "\"line\\nbreak\\ttab\"");
+        // Control characters must use JSON \u00XX, not Rust's \u{..}.
+        assert_eq!("bell\u{7}".to_json(), "\"bell\\u0007\"");
+        assert_eq!("esc\u{1b}[0m".to_json(), "\"esc\\u001b[0m\"");
+    }
+
+    #[test]
+    fn json_composites_render() {
+        assert_eq!(Some(1u32).to_json(), "1");
+        assert_eq!(Option::<u32>::None.to_json(), "null");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(vec![1u32, 2].to_json(), "[\n  1,\n  2\n]");
     }
 }

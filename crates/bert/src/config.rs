@@ -1,14 +1,12 @@
 //! BERT architecture configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Hyper-parameters of a BERT encoder stack.
 ///
 /// The accuracy experiments use the small presets (trainable from scratch on
 /// a laptop-scale budget); the accelerator latency and resource experiments
 /// use [`BertConfig::bert_base`], which matches the 12-layer, 768-hidden,
 /// 12-head model the paper deploys (only its *shapes* are needed there).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BertConfig {
     /// Vocabulary size (word-piece vocabulary in the paper, synthetic word
     /// vocabulary here).
@@ -88,7 +86,7 @@ impl BertConfig {
     /// Panics if `heads` does not divide `hidden`.
     pub fn head_dim(&self) -> usize {
         assert!(
-            self.heads > 0 && self.hidden % self.heads == 0,
+            self.heads > 0 && self.hidden.is_multiple_of(self.heads),
             "hidden ({}) must be divisible by heads ({})",
             self.hidden,
             self.heads
@@ -105,7 +103,7 @@ impl BertConfig {
         if self.hidden == 0 || self.layers == 0 || self.heads == 0 {
             return Err("hidden, layers and heads must be non-zero".to_string());
         }
-        if self.hidden % self.heads != 0 {
+        if !self.hidden.is_multiple_of(self.heads) {
             return Err(format!(
                 "hidden ({}) must be divisible by heads ({})",
                 self.hidden, self.heads

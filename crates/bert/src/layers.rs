@@ -1,10 +1,9 @@
 //! Parameter containers for the building blocks of the encoder.
 
 use fqbert_tensor::{xavier_uniform, RngSource, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// A dense (fully connected) layer's parameters: `y = x · W + b`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Linear {
     /// Weight matrix of shape `[in_features, out_features]`.
     pub weight: Tensor,
@@ -38,7 +37,7 @@ impl Linear {
 }
 
 /// Learnable layer-normalization parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerNormParams {
     /// Per-feature scale, initialised to 1.
     pub gamma: Tensor,
@@ -64,7 +63,7 @@ impl LayerNormParams {
 /// Parameters of one encoder layer (multi-head self-attention + FFN, each
 /// followed by an `Add & LN` block) — the structure in the middle panel of
 /// Fig. 1 of the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EncoderLayerParams {
     /// Query projection.
     pub query: Linear,

@@ -6,7 +6,6 @@ use crate::layers::{EncoderLayerParams, LayerNormParams, Linear};
 use fqbert_autograd::{AutogradError, Graph, VarId};
 use fqbert_nlp::Example;
 use fqbert_tensor::{RngSource, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// The full BERT classification model (Fig. 1 of the paper): embeddings,
 /// a stack of encoder layers and a task classifier operating on the `[CLS]`
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Parameters are plain tensors owned by the model; every training step binds
 /// them onto a fresh autograd [`Graph`] with [`BertModel::bind`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BertModel {
     config: BertConfig,
     /// Word-embedding table `[vocab, hidden]`.
@@ -46,8 +45,7 @@ impl BertModel {
         let mut rng = RngSource::seed_from_u64(seed);
         let emb_std = 0.02;
         let word_embeddings = rng.normal_tensor(&[config.vocab_size, config.hidden], 0.0, emb_std);
-        let position_embeddings =
-            rng.normal_tensor(&[config.max_len, config.hidden], 0.0, emb_std);
+        let position_embeddings = rng.normal_tensor(&[config.max_len, config.hidden], 0.0, emb_std);
         let segment_embeddings =
             rng.normal_tensor(&[config.type_vocab_size, config.hidden], 0.0, emb_std);
         let embedding_layer_norm = LayerNormParams::new(config.hidden);
@@ -409,8 +407,11 @@ impl BoundBert {
         let bo = self.layer_param(layer, 7);
         let attn_out = graph.matmul(context, wo)?;
         let attn_out = graph.add_bias(attn_out, bo)?;
-        let attn_out =
-            hook.on_activation(graph, attn_out, Site::layer(layer, SiteKind::AttentionOutput));
+        let attn_out = hook.on_activation(
+            graph,
+            attn_out,
+            Site::layer(layer, SiteKind::AttentionOutput),
+        );
         let residual = graph.add(input, attn_out)?;
         let normed = graph.layer_norm(
             residual,
@@ -480,8 +481,8 @@ mod tests {
     fn parameter_count_matches_structure() {
         let model = tiny_model();
         let cfg = model.config().clone();
-        let emb = (cfg.vocab_size + cfg.max_len + cfg.type_vocab_size) * cfg.hidden
-            + 2 * cfg.hidden;
+        let emb =
+            (cfg.vocab_size + cfg.max_len + cfg.type_vocab_size) * cfg.hidden + 2 * cfg.hidden;
         let per_layer = 4 * (cfg.hidden * cfg.hidden + cfg.hidden)
             + (cfg.hidden * cfg.intermediate + cfg.intermediate)
             + (cfg.intermediate * cfg.hidden + cfg.hidden)

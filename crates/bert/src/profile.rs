@@ -6,10 +6,9 @@
 //! derives both from a [`BertConfig`] and a sequence length.
 
 use crate::config::BertConfig;
-use serde::{Deserialize, Serialize};
 
 /// Static workload profile of one BERT inference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelProfile {
     /// The architecture profiled.
     pub config: BertConfig,
@@ -44,8 +43,7 @@ impl ModelProfile {
         let s = seq_len;
         let embedding_params =
             (config.vocab_size + config.max_len + config.type_vocab_size) * h + 2 * h;
-        let per_layer_params =
-            4 * (h * h + h) + (h * i + i) + (i * h + h) + 4 * h;
+        let per_layer_params = 4 * (h * h + h) + (h * i + i) + (i * h + h) + 4 * h;
         let encoder_params = config.layers * per_layer_params;
         let classifier_params = h * config.num_classes + config.num_classes;
 

@@ -10,10 +10,9 @@ use crate::model::BertModel;
 use fqbert_autograd::{Adam, AutogradError, Graph, Optimizer};
 use fqbert_nlp::{accuracy, Example, TaskDataset};
 use fqbert_tensor::{RngSource, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of the training loop.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainerConfig {
     /// Number of passes over the training split.
     pub epochs: usize,
@@ -41,7 +40,7 @@ impl Default for TrainerConfig {
 }
 
 /// Per-epoch record of the training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TrainingHistory {
     /// Mean training loss per epoch.
     pub epoch_loss: Vec<f32>,
@@ -57,7 +56,7 @@ impl TrainingHistory {
 }
 
 /// Result of evaluating a model on a set of examples.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalReport {
     /// Classification accuracy in percent.
     pub accuracy: f64,
@@ -119,9 +118,7 @@ impl Trainer {
                 epoch_loss += loss;
                 batches += 1;
             }
-            history
-                .epoch_loss
-                .push(epoch_loss / batches.max(1) as f32);
+            history.epoch_loss.push(epoch_loss / batches.max(1) as f32);
             let eval = Self::evaluate(model, &dataset.dev, hook)?;
             history.dev_accuracy.push(eval.accuracy);
         }
@@ -243,7 +240,6 @@ mod tests {
             negation_prob: 0.0,
             label_noise: 0.0,
             max_len: 12,
-            ..Sst2Config::tiny()
         })
         .generate(1)
     }

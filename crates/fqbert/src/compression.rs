@@ -8,10 +8,9 @@
 
 use fqbert_bert::BertModel;
 use fqbert_quant::QuantConfig;
-use serde::{Deserialize, Serialize};
 
 /// Byte-level size accounting of a BERT model before and after quantization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompressionReport {
     /// Weight bit-width applied to the linear-layer matrices.
     pub weight_bits: u32,
@@ -101,7 +100,8 @@ impl CompressionReport {
     /// the paper's 7.94× refers to (weights only, excluding the CPU-side
     /// embeddings).
     pub fn encoder_weight_ratio(&self) -> f64 {
-        let matrix_params_fp32 = self.quantized_matrix_bytes as f64 * 32.0 / self.weight_bits as f64;
+        let matrix_params_fp32 =
+            self.quantized_matrix_bytes as f64 * 32.0 / self.weight_bits as f64;
         matrix_params_fp32 / self.quantized_matrix_bytes as f64
     }
 

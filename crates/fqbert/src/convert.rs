@@ -144,9 +144,7 @@ mod tests {
     #[test]
     fn int_logits_track_float_logits() {
         let model = BertModel::new(BertConfig::tiny(30, 12, 2), 6);
-        let examples: Vec<Example> = (0..6)
-            .map(|i| example(&[2, 4 + i, 6 + i, 3]))
-            .collect();
+        let examples: Vec<Example> = (0..6).map(|i| example(&[2, 4 + i, 6 + i, 3])).collect();
         let hook = calibrated(&model, QuantConfig::w8a8(), &examples);
         let int_model = convert(&model, &hook).unwrap();
         for ex in &examples {

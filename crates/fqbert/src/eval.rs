@@ -4,10 +4,9 @@ use crate::int_model::IntBertModel;
 use crate::Result;
 use fqbert_bert::{BertModel, ForwardHook, Trainer};
 use fqbert_nlp::{accuracy, Example};
-use serde::{Deserialize, Serialize};
 
 /// Accuracy of a model variant on one evaluation split.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccuracyReport {
     /// Classification accuracy in percent.
     pub accuracy: f64,
@@ -27,12 +26,8 @@ pub fn evaluate_int_model(model: &IntBertModel, examples: &[Example]) -> Result<
             num_examples: 0,
         });
     }
-    let mut predictions = Vec::with_capacity(examples.len());
-    let mut labels = Vec::with_capacity(examples.len());
-    for ex in examples {
-        predictions.push(model.predict(ex)?);
-        labels.push(ex.label);
-    }
+    let predictions = model.predict_batch(examples)?;
+    let labels: Vec<usize> = examples.iter().map(|e| e.label).collect();
     Ok(AccuracyReport {
         accuracy: accuracy(&predictions, &labels),
         num_examples: examples.len(),
@@ -78,9 +73,7 @@ mod tests {
     #[test]
     fn int_and_hook_evaluations_run_end_to_end() {
         let model = BertModel::new(BertConfig::tiny(30, 12, 2), 8);
-        let examples: Vec<Example> = (0..6)
-            .map(|i| example(&[2, 4 + i, 6, 3], i % 2))
-            .collect();
+        let examples: Vec<Example> = (0..6).map(|i| example(&[2, 4 + i, 6, 3], i % 2)).collect();
         let mut hook = QatHook::calibration_only(QuantConfig::w8a8());
         for ex in &examples {
             let mut graph = Graph::new();

@@ -19,16 +19,15 @@
 use crate::{FqBertError, Result};
 use fqbert_bert::BertConfig;
 use fqbert_quant::{quantize_bias, QuantParams, QuantizedLayerNorm, Requantizer, SoftmaxLut};
-use fqbert_tensor::ops::gelu_scalar;
+use fqbert_tensor::ops::{argmax_slice, gelu_scalar};
 use fqbert_tensor::{IntTensor, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// Output levels used for quantized attention probabilities.
 const PROB_LEVELS: u32 = 255;
 
 /// A fully quantized dense layer: int8 weight codes, int32 bias, fixed-point
 /// requantization to int8 outputs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntLinear {
     weight: IntTensor<i8>,
     bias: IntTensor<i32>,
@@ -67,6 +66,43 @@ impl IntLinear {
             weight: weight_q,
             bias: bias_q,
             weight_scale: wp.scale(),
+            input_scale,
+            output_scale,
+            weight_bits,
+            requant,
+        })
+    }
+
+    /// Reassembles a quantized layer from stored parts (the inverse of the
+    /// accessors below), used when loading model artifacts. The requantizer
+    /// is rebuilt deterministically from the three scales, so a layer
+    /// reconstructed from its own accessors is bit-identical to the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes are inconsistent or a scale is invalid.
+    pub fn from_quantized(
+        weight: IntTensor<i8>,
+        bias: IntTensor<i32>,
+        weight_scale: f32,
+        input_scale: f32,
+        output_scale: f32,
+        weight_bits: u32,
+    ) -> Result<Self> {
+        if weight.dims().len() != 2 || bias.numel() != weight.dims()[1] {
+            return Err(FqBertError::InvalidArgument(format!(
+                "weight {:?} and bias {:?} shapes are inconsistent",
+                weight.dims(),
+                bias.dims()
+            )));
+        }
+        let effective =
+            f64::from(output_scale) / (f64::from(input_scale) * f64::from(weight_scale));
+        let requant = Requantizer::from_scale(effective, 8)?;
+        Ok(Self {
+            weight,
+            bias,
+            weight_scale,
             input_scale,
             output_scale,
             weight_bits,
@@ -125,8 +161,7 @@ impl IntLinear {
         let mut out = IntTensor::<i8>::zeros(&[rows, cols]);
         for r in 0..rows {
             for c in 0..cols {
-                let with_bias =
-                    i64::from(acc.row(r)[c]) + i64::from(self.bias.as_slice()[c]);
+                let with_bias = i64::from(acc.row(r)[c]) + i64::from(self.bias.as_slice()[c]);
                 let code = self.requant.apply(with_bias);
                 out.as_mut_slice()[r * cols + c] = code.clamp(-127, 127) as i8;
             }
@@ -136,7 +171,7 @@ impl IntLinear {
 }
 
 /// 256-entry int8→int8 GELU lookup table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntGelu {
     table: Vec<i8>,
     input_scale: f32,
@@ -150,9 +185,7 @@ impl IntGelu {
         let table = (-128i32..=127)
             .map(|code| {
                 let x = code as f32 / input_scale;
-                (gelu_scalar(x) * output_scale)
-                    .round()
-                    .clamp(-127.0, 127.0) as i8
+                (gelu_scalar(x) * output_scale).round().clamp(-127.0, 127.0) as i8
             })
             .collect();
         Self {
@@ -180,7 +213,7 @@ impl IntGelu {
 }
 
 /// One fully quantized encoder layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntEncoderLayer {
     /// Query projection (8×4-bit matrix–vector work on the accelerator).
     pub query: IntLinear,
@@ -211,7 +244,7 @@ pub struct IntEncoderLayer {
 
 /// Scales needed to build one integer encoder layer (taken from QAT
 /// calibration by the converter).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerScales {
     /// Scale of the activations entering the layer.
     pub input: f32,
@@ -347,6 +380,88 @@ impl IntEncoderLayer {
         })
     }
 
+    /// Reassembles an encoder layer from quantized parts (the inverse of the
+    /// accessors on this type), used when loading model artifacts.
+    ///
+    /// All derived state (GELU table, softmax LUT, requantizers) is rebuilt
+    /// deterministically from `scales`, exactly as
+    /// [`IntEncoderLayer::from_float`] builds it, so a layer reconstructed
+    /// from its own accessors computes bit-identical outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a scale is invalid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_quantized_parts(
+        query: IntLinear,
+        key: IntLinear,
+        value: IntLinear,
+        attn_output: IntLinear,
+        ffn1: IntLinear,
+        ffn2: IntLinear,
+        heads: usize,
+        head_dim: usize,
+        scales: &LayerScales,
+        attn_layer_norm: QuantizedLayerNorm,
+        ffn_layer_norm: QuantizedLayerNorm,
+    ) -> Result<Self> {
+        if heads == 0 || head_dim == 0 {
+            return Err(FqBertError::InvalidArgument(
+                "heads and head_dim must be non-zero".to_string(),
+            ));
+        }
+        let gelu = IntGelu::new(scales.ffn_hidden, scales.ffn_hidden);
+        let score_effective = f64::from(scales.scores)
+            / (f64::from(scales.qkv) * f64::from(scales.qkv) * (head_dim as f64).sqrt());
+        let score_requant = Requantizer::from_scale(score_effective, 8)?;
+        let softmax = SoftmaxLut::new(scales.scores, PROB_LEVELS)?;
+        let context_requant = Requantizer::from_scale(1.0 / f64::from(PROB_LEVELS), 8)?;
+        Ok(Self {
+            query,
+            key,
+            value,
+            attn_output,
+            ffn1,
+            ffn2,
+            gelu,
+            score_requant,
+            score_scale: scales.scores,
+            softmax,
+            context_requant,
+            attn_layer_norm,
+            ffn_layer_norm,
+            heads,
+            input_scale: scales.input,
+            qkv_scale: scales.qkv,
+            attn_out_scale: scales.attn_output,
+            ln_out_scale: scales.layer_norm,
+            ffn_out_scale: scales.ffn_output,
+        })
+    }
+
+    /// The calibrated activation scales this layer was built from.
+    pub fn scales(&self) -> LayerScales {
+        LayerScales {
+            input: self.input_scale,
+            qkv: self.qkv_scale,
+            scores: self.score_scale,
+            attn_output: self.attn_out_scale,
+            layer_norm: self.ln_out_scale,
+            ffn_hidden: self.gelu.output_scale(),
+            ffn_output: self.ffn_out_scale,
+        }
+    }
+
+    /// The `Add & LN` parameters of the attention residual.
+    pub fn attn_layer_norm(&self) -> &QuantizedLayerNorm {
+        &self.attn_layer_norm
+    }
+
+    /// The `Add & LN` parameters of the FFN residual.
+    pub fn ffn_layer_norm(&self) -> &QuantizedLayerNorm {
+        &self.ffn_layer_norm
+    }
+
     /// Scale of the activations produced by this layer.
     pub fn output_scale(&self) -> f32 {
         self.ln_out_scale
@@ -369,46 +484,75 @@ impl IntEncoderLayer {
     ///
     /// Returns an error on shape inconsistencies.
     pub fn forward(&self, x: &IntTensor<i8>) -> Result<IntTensor<i8>> {
-        let (seq, hidden) = x.as_matrix_dims()?;
+        let (seq, _hidden) = x.as_matrix_dims()?;
+        self.forward_batch(x, &[seq])
+    }
+
+    /// Integer forward pass over a batch of sequences packed row-wise into a
+    /// `[Σ seq_lens, hidden]` tensor.
+    ///
+    /// The linear projections (Q/K/V, attention output, both FFN matrices)
+    /// run as single integer GEMMs over the whole pack — the batching win —
+    /// while attention and `Add & LN` are applied per sequence. For a single
+    /// segment this is bit-identical to [`IntEncoderLayer::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `seq_lens` does not sum to the number of rows or
+    /// on shape inconsistencies.
+    pub fn forward_batch(&self, x: &IntTensor<i8>, seq_lens: &[usize]) -> Result<IntTensor<i8>> {
+        let (total, hidden) = x.as_matrix_dims()?;
+        if seq_lens.iter().sum::<usize>() != total {
+            return Err(FqBertError::InvalidArgument(format!(
+                "seq_lens sum to {} but the input has {total} rows",
+                seq_lens.iter().sum::<usize>()
+            )));
+        }
         let head_dim = hidden / self.heads;
 
+        // One packed GEMM each for Q, K and V across the whole batch.
         let q = self.query.forward(x)?;
         let k = self.key.forward(x)?;
         let v = self.value.forward(x)?;
 
-        // Per-head scaled dot-product attention.
-        let mut context = IntTensor::<i8>::zeros(&[seq, hidden]);
-        for h in 0..self.heads {
-            let lo = h * head_dim;
-            let hi = lo + head_dim;
-            let qh = slice_cols_i8(&q, lo, hi);
-            let kh = slice_cols_i8(&k, lo, hi);
-            let vh = slice_cols_i8(&v, lo, hi);
-            // scores[i][j] = Σ_d q[i][d]·k[j][d], then requantize.
-            let score_acc = qh.matmul_transposed_i32(&kh)?;
-            let mut scores = vec![0i32; seq * seq];
-            for (idx, &acc) in score_acc.as_slice().iter().enumerate() {
-                scores[idx] = self.score_requant.apply(i64::from(acc));
-            }
-            let probs = self.softmax.apply_matrix(&scores, seq);
-            // context_h = probs · V_h, requantized back to the V scale.
-            for i in 0..seq {
-                for d in 0..head_dim {
-                    let mut acc: i64 = 0;
-                    for j in 0..seq {
-                        acc += i64::from(probs[i * seq + j]) * i64::from(vh.row(j)[d]);
+        // Per-sequence, per-head scaled dot-product attention.
+        let mut context = IntTensor::<i8>::zeros(&[total, hidden]);
+        let mut start = 0usize;
+        for &seq in seq_lens {
+            let end = start + seq;
+            for h in 0..self.heads {
+                let lo = h * head_dim;
+                let hi = lo + head_dim;
+                let qh = slice_block_i8(&q, start, end, lo, hi);
+                let kh = slice_block_i8(&k, start, end, lo, hi);
+                let vh = slice_block_i8(&v, start, end, lo, hi);
+                // scores[i][j] = Σ_d q[i][d]·k[j][d], then requantize.
+                let score_acc = qh.matmul_transposed_i32(&kh)?;
+                let mut scores = vec![0i32; seq * seq];
+                for (idx, &acc) in score_acc.as_slice().iter().enumerate() {
+                    scores[idx] = self.score_requant.apply(i64::from(acc));
+                }
+                let probs = self.softmax.apply_matrix(&scores, seq);
+                // context_h = probs · V_h, requantized back to the V scale.
+                for i in 0..seq {
+                    for d in 0..head_dim {
+                        let mut acc: i64 = 0;
+                        for j in 0..seq {
+                            acc += i64::from(probs[i * seq + j]) * i64::from(vh.row(j)[d]);
+                        }
+                        let code = self.context_requant.apply(acc).clamp(-127, 127) as i8;
+                        context.as_mut_slice()[(start + i) * hidden + lo + d] = code;
                     }
-                    let code = self.context_requant.apply(acc).clamp(-127, 127) as i8;
-                    context.as_mut_slice()[i * hidden + lo + d] = code;
                 }
             }
+            start = end;
         }
 
         let attn_out = self.attn_output.forward(&context)?;
 
-        // Add & LN (attention residual).
-        let mut normed = IntTensor::<i8>::zeros(&[seq, hidden]);
-        for i in 0..seq {
+        // Add & LN (attention residual) — row-wise, so batch-oblivious.
+        let mut normed = IntTensor::<i8>::zeros(&[total, hidden]);
+        for i in 0..total {
             let row = self.attn_layer_norm.apply_residual(
                 x.row(i),
                 self.input_scale,
@@ -419,14 +563,14 @@ impl IntEncoderLayer {
             normed.as_mut_slice()[i * hidden..(i + 1) * hidden].copy_from_slice(&row);
         }
 
-        // FFN with LUT GELU.
+        // FFN with LUT GELU, again as packed GEMMs.
         let ffn_pre = self.ffn1.forward(&normed)?;
         let ffn_hidden = self.gelu.apply_tensor(&ffn_pre);
         let ffn_out = self.ffn2.forward(&ffn_hidden)?;
 
         // Add & LN (FFN residual).
-        let mut out = IntTensor::<i8>::zeros(&[seq, hidden]);
-        for i in 0..seq {
+        let mut out = IntTensor::<i8>::zeros(&[total, hidden]);
+        for i in 0..total {
             let row = self.ffn_layer_norm.apply_residual(
                 normed.row(i),
                 self.ln_out_scale,
@@ -440,20 +584,21 @@ impl IntEncoderLayer {
     }
 }
 
-/// Extracts columns `[lo, hi)` of an int8 matrix.
-fn slice_cols_i8(x: &IntTensor<i8>, lo: usize, hi: usize) -> IntTensor<i8> {
-    let (rows, _cols) = x.as_matrix_dims().expect("rank-2 tensor");
-    let width = hi - lo;
-    let mut out = IntTensor::<i8>::zeros(&[rows, width]);
-    for r in 0..rows {
-        out.as_mut_slice()[r * width..(r + 1) * width].copy_from_slice(&x.row(r)[lo..hi]);
+/// Extracts the sub-matrix of rows `[r0, r1)` × columns `[c0, c1)` of an
+/// int8 matrix.
+fn slice_block_i8(x: &IntTensor<i8>, r0: usize, r1: usize, c0: usize, c1: usize) -> IntTensor<i8> {
+    let width = c1 - c0;
+    let mut out = IntTensor::<i8>::zeros(&[r1 - r0, width]);
+    for r in r0..r1 {
+        out.as_mut_slice()[(r - r0) * width..(r - r0 + 1) * width]
+            .copy_from_slice(&x.row(r)[c0..c1]);
     }
     out
 }
 
 /// The complete integer FQ-BERT model: float CPU-side embedding/classifier
 /// plus the integer encoder stack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntBertModel {
     config: BertConfig,
     word_embeddings: Tensor,
@@ -470,9 +615,10 @@ pub struct IntBertModel {
 }
 
 impl IntBertModel {
-    /// Assembles an integer model from its parts (used by the converter).
+    /// Assembles an integer model from its parts (used by the converter and
+    /// by artifact loading).
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn from_parts(
+    pub fn from_parts(
         config: BertConfig,
         word_embeddings: Tensor,
         position_embeddings: Tensor,
@@ -513,6 +659,41 @@ impl IntBertModel {
     /// Scale at which the embedding output is handed to the encoder.
     pub fn embedding_out_scale(&self) -> f32 {
         self.embedding_out_scale
+    }
+
+    /// Word-embedding table `[vocab, hidden]` (float, CPU-side).
+    pub fn word_embeddings(&self) -> &Tensor {
+        &self.word_embeddings
+    }
+
+    /// Positional-embedding table `[max_len, hidden]`.
+    pub fn position_embeddings(&self) -> &Tensor {
+        &self.position_embeddings
+    }
+
+    /// Segment-embedding table `[type_vocab, hidden]`.
+    pub fn segment_embeddings(&self) -> &Tensor {
+        &self.segment_embeddings
+    }
+
+    /// Gamma of the embedding layer norm.
+    pub fn embedding_gamma(&self) -> &Tensor {
+        &self.embedding_gamma
+    }
+
+    /// Beta of the embedding layer norm.
+    pub fn embedding_beta(&self) -> &Tensor {
+        &self.embedding_beta
+    }
+
+    /// Classifier weight `[hidden, classes]` (float, CPU-side).
+    pub fn classifier_weight(&self) -> &Tensor {
+        &self.classifier_weight
+    }
+
+    /// Classifier bias `[classes]`.
+    pub fn classifier_bias(&self) -> &Tensor {
+        &self.classifier_bias
     }
 
     /// Computes the float (CPU-side) embeddings and quantizes them to int8
@@ -558,11 +739,7 @@ impl IntBertModel {
         let data: Vec<i8> = normed
             .as_slice()
             .iter()
-            .map(|&v| {
-                (v * self.embedding_out_scale)
-                    .round()
-                    .clamp(-127.0, 127.0) as i8
-            })
+            .map(|&v| (v * self.embedding_out_scale).round().clamp(-127.0, 127.0) as i8)
             .collect();
         Ok(IntTensor::from_vec(data, &[seq, hidden])?)
     }
@@ -596,31 +773,98 @@ impl IntBertModel {
         Ok(logits.into_vec())
     }
 
+    /// Runs the integer encoder over a batch of encoded examples at once,
+    /// returning per-example class logits.
+    ///
+    /// Sequences are trimmed to their attention mask, packed row-wise into
+    /// one matrix and pushed through [`IntEncoderLayer::forward_batch`], so
+    /// every linear projection runs as a single integer GEMM over the whole
+    /// batch. Logits are bit-identical to running
+    /// [`IntBertModel::forward_logits`] example by example.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid inputs (empty batch is fine and returns
+    /// an empty vector).
+    pub fn logits_batch(&self, examples: &[fqbert_nlp::Example]) -> Result<Vec<Vec<f32>>> {
+        if examples.is_empty() {
+            return Ok(Vec::new());
+        }
+        let hidden = self.config.hidden;
+        let mut seq_lens = Vec::with_capacity(examples.len());
+        let mut packed: Vec<i8> = Vec::new();
+        for ex in examples {
+            let real_len = real_length(ex);
+            let emb = self.embed(&ex.token_ids[..real_len], &ex.segment_ids[..real_len])?;
+            packed.extend_from_slice(emb.as_slice());
+            seq_lens.push(real_len);
+        }
+        let total: usize = seq_lens.iter().sum();
+        let mut hidden_states = IntTensor::from_vec(packed, &[total, hidden])?;
+        for layer in &self.layers {
+            hidden_states = layer.forward_batch(&hidden_states, &seq_lens)?;
+        }
+        let out_scale = self
+            .layers
+            .last()
+            .map(|l| l.output_scale())
+            .unwrap_or(self.embedding_out_scale);
+
+        // CPU-side classifier over the [CLS] row of every sequence.
+        let mut logits = Vec::with_capacity(examples.len());
+        let mut start = 0usize;
+        for &seq in &seq_lens {
+            let cls: Vec<f32> = hidden_states
+                .row(start)
+                .iter()
+                .map(|&c| c as f32 / out_scale)
+                .collect();
+            let cls = Tensor::from_vec(cls, &[1, hidden])?;
+            let row = cls
+                .matmul(&self.classifier_weight)?
+                .add_bias(&self.classifier_bias)?;
+            logits.push(row.into_vec());
+            start += seq;
+        }
+        Ok(logits)
+    }
+
     /// Predicts the class of one encoded example.
     ///
     /// # Errors
     ///
     /// Returns an error for invalid inputs.
     pub fn predict(&self, example: &fqbert_nlp::Example) -> Result<usize> {
-        let real_len = example
-            .attention_mask
-            .iter()
-            .take_while(|&&m| m == 1)
-            .count();
+        let real_len = real_length(example);
         let logits = self.forward_logits(
             &example.token_ids[..real_len],
             &example.segment_ids[..real_len],
         )?;
-        let mut best = 0usize;
-        let mut best_v = f32::NEG_INFINITY;
-        for (i, &v) in logits.iter().enumerate() {
-            if v > best_v {
-                best_v = v;
-                best = i;
-            }
-        }
-        Ok(best)
+        Ok(argmax_slice(&logits))
     }
+
+    /// Predicts classes for a batch of encoded examples via
+    /// [`IntBertModel::logits_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid inputs.
+    pub fn predict_batch(&self, examples: &[fqbert_nlp::Example]) -> Result<Vec<usize>> {
+        Ok(self
+            .logits_batch(examples)?
+            .iter()
+            .map(|l| argmax_slice(l))
+            .collect())
+    }
+}
+
+/// Number of non-padding tokens of an encoded example.
+fn real_length(example: &fqbert_nlp::Example) -> usize {
+    example
+        .attention_mask
+        .iter()
+        .take_while(|&&m| m == 1)
+        .count()
 }
 
 #[cfg(test)]
@@ -639,10 +883,12 @@ mod tests {
         let float_out = x_f.matmul(&weight).unwrap().add_bias(&bias).unwrap();
         let out_scale = 127.0 / float_out.abs_max().unwrap();
 
-        let layer =
-            IntLinear::from_float(&weight, &bias, 8, None, in_scale, out_scale).unwrap();
+        let layer = IntLinear::from_float(&weight, &bias, 8, None, in_scale, out_scale).unwrap();
         let x_q = IntTensor::from_vec(
-            x_f.as_slice().iter().map(|&v| (v * in_scale).round() as i8).collect(),
+            x_f.as_slice()
+                .iter()
+                .map(|&v| (v * in_scale).round() as i8)
+                .collect(),
             &[4, 16],
         )
         .unwrap();
@@ -667,13 +913,29 @@ mod tests {
         let l8 = IntLinear::from_float(&weight, &bias, 8, None, in_scale, out_scale).unwrap();
         let l4 = IntLinear::from_float(&weight, &bias, 4, None, in_scale, out_scale).unwrap();
         let x_q = IntTensor::from_vec(
-            x_f.as_slice().iter().map(|&v| (v * in_scale).round() as i8).collect(),
+            x_f.as_slice()
+                .iter()
+                .map(|&v| (v * in_scale).round() as i8)
+                .collect(),
             &[2, 32],
         )
         .unwrap();
-        let e8 = l8.forward(&x_q).unwrap().dequantize(1.0 / out_scale).mse(&float_out).unwrap();
-        let e4 = l4.forward(&x_q).unwrap().dequantize(1.0 / out_scale).mse(&float_out).unwrap();
-        assert!(e4 >= e8, "4-bit error {e4} should not beat 8-bit error {e8}");
+        let e8 = l8
+            .forward(&x_q)
+            .unwrap()
+            .dequantize(1.0 / out_scale)
+            .mse(&float_out)
+            .unwrap();
+        let e4 = l4
+            .forward(&x_q)
+            .unwrap()
+            .dequantize(1.0 / out_scale)
+            .mse(&float_out)
+            .unwrap();
+        assert!(
+            e4 >= e8,
+            "4-bit error {e4} should not beat 8-bit error {e8}"
+        );
         assert!(e4 < 0.05, "4-bit error {e4} unexpectedly large");
     }
 
@@ -684,7 +946,10 @@ mod tests {
             let x = code as f32 / 32.0;
             let expected = gelu_scalar(x);
             let got = lut.apply(code) as f32 / 32.0;
-            assert!((got - expected).abs() < 0.05, "gelu({x}): {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 0.05,
+                "gelu({x}): {got} vs {expected}"
+            );
         }
     }
 
@@ -701,10 +966,13 @@ mod tests {
     }
 
     #[test]
-    fn slice_cols_helper() {
+    fn slice_block_helper() {
         let x = IntTensor::<i8>::from_vec((0..12).map(|v| v as i8).collect(), &[3, 4]).unwrap();
-        let s = slice_cols_i8(&x, 1, 3);
+        let s = slice_block_i8(&x, 0, 3, 1, 3);
         assert_eq!(s.dims(), &[3, 2]);
         assert_eq!(s.as_slice(), &[1, 2, 5, 6, 9, 10]);
+        let b = slice_block_i8(&x, 1, 3, 0, 2);
+        assert_eq!(b.dims(), &[2, 2]);
+        assert_eq!(b.as_slice(), &[4, 5, 8, 9]);
     }
 }

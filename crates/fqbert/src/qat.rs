@@ -316,7 +316,6 @@ mod tests {
             negation_prob: 0.0,
             label_noise: 0.0,
             max_len: 12,
-            ..Sst2Config::tiny()
         })
         .generate(5);
         let mut model = BertModel::new(
@@ -337,7 +336,9 @@ mod tests {
             max_train_examples: None,
         });
         trainer.train(&mut model, &dataset, &mut NoopHook).unwrap();
-        let float_acc = Trainer::evaluate_float(&model, &dataset.dev).unwrap().accuracy;
+        let float_acc = Trainer::evaluate_float(&model, &dataset.dev)
+            .unwrap()
+            .accuracy;
 
         let mut qat_hook = QatHook::new(QuantConfig::fq_bert());
         let finetune = Trainer::new(fqbert_bert::TrainerConfig {

@@ -1,9 +1,7 @@
 //! GLUE-style task plumbing: examples, datasets, splits and metrics.
 
-use serde::{Deserialize, Serialize};
-
 /// Which GLUE task an example or dataset belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskKind {
     /// Binary sentiment classification (Stanford Sentiment Treebank v2).
     Sst2,
@@ -39,7 +37,7 @@ impl std::fmt::Display for TaskKind {
 }
 
 /// One encoded classification example.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Example {
     /// Fixed-length token ids (already padded/truncated).
     pub token_ids: Vec<usize>,
@@ -52,7 +50,7 @@ pub struct Example {
 }
 
 /// Identifies a train or evaluation split.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Split {
     /// Training split.
     Train,
@@ -62,10 +60,13 @@ pub enum Split {
 
 /// A dataset for one task: a train split and a dev split over a shared
 /// vocabulary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TaskDataset {
     /// Which task this dataset realises.
     pub task: TaskKind,
+    /// The word vocabulary the examples were encoded with (needed to build
+    /// a serving tokenizer for raw text).
+    pub vocab: crate::Vocab,
     /// Number of label classes.
     pub num_classes: usize,
     /// Vocabulary size (including special tokens).
@@ -157,6 +158,7 @@ mod tests {
         };
         let ds = TaskDataset {
             task: TaskKind::Sst2,
+            vocab: crate::Vocab::new(),
             num_classes: 2,
             vocab_size: 10,
             max_len: 3,

@@ -15,10 +15,9 @@ use crate::glue::{Example, TaskDataset, TaskKind};
 use crate::tokenizer::Tokenizer;
 use crate::vocab::Vocab;
 use fqbert_tensor::RngSource;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the synthetic MNLI generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MnliConfig {
     /// Number of training pairs.
     pub train_size: usize,
@@ -75,7 +74,7 @@ impl MnliConfig {
 
 /// Output of [`MnliGenerator::generate`]: the training task plus the two
 /// evaluation flavours of the paper's Table I.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MnliSplits {
     /// Training set together with the matched development split.
     pub matched: TaskDataset,
@@ -183,7 +182,7 @@ impl MnliGenerator {
         let vocab = self.build_vocab();
         let tokenizer = Tokenizer::new(vocab, cfg.max_len);
         let mut rng = RngSource::seed_from_u64(seed);
-        let mut make = |n: usize, lo: usize, hi: usize, rng: &mut RngSource| -> Vec<Example> {
+        let make = |n: usize, lo: usize, hi: usize, rng: &mut RngSource| -> Vec<Example> {
             (0..n)
                 .map(|_| {
                     let (premise, hypothesis, label) = self.generate_pair(rng, lo, hi);
@@ -209,6 +208,7 @@ impl MnliGenerator {
         MnliSplits {
             matched: TaskDataset {
                 task: TaskKind::MnliMatched,
+                vocab: tokenizer.vocab().clone(),
                 num_classes: 3,
                 vocab_size,
                 max_len: cfg.max_len,
@@ -217,6 +217,7 @@ impl MnliGenerator {
             },
             mismatched: TaskDataset {
                 task: TaskKind::MnliMismatched,
+                vocab: tokenizer.vocab().clone(),
                 num_classes: 3,
                 vocab_size,
                 max_len: cfg.max_len,
@@ -269,7 +270,8 @@ mod tests {
         let vocab = gen.build_vocab();
         let splits = gen.generate(3);
         // Entity tokens of the held-out genres must not appear in training.
-        let heldout_prefixes: Vec<String> = (cfg.train_genres..cfg.train_genres + cfg.heldout_genres)
+        let heldout_prefixes: Vec<String> = (cfg.train_genres
+            ..cfg.train_genres + cfg.heldout_genres)
             .map(|g| format!("ent{g}x"))
             .collect();
         for ex in &splits.matched.train {

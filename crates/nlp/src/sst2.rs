@@ -12,10 +12,9 @@ use crate::glue::{Example, TaskDataset, TaskKind};
 use crate::tokenizer::Tokenizer;
 use crate::vocab::Vocab;
 use fqbert_tensor::RngSource;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the synthetic SST-2 generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sst2Config {
     /// Number of training sentences.
     pub train_size: usize,
@@ -83,7 +82,7 @@ impl Sst2Generator {
     }
 
     /// Builds the word vocabulary used by the generator.
-    fn build_vocab(&self) -> Vocab {
+    pub fn build_vocab(&self) -> Vocab {
         let mut words = vec!["not".to_string()];
         for i in 0..self.config.sentiment_words {
             words.push(format!("pos{i}"));
@@ -145,7 +144,7 @@ impl Sst2Generator {
         let vocab = self.build_vocab();
         let tokenizer = Tokenizer::new(vocab, self.config.max_len);
         let mut rng = RngSource::seed_from_u64(seed);
-        let mut make = |n: usize, rng: &mut RngSource| -> Vec<Example> {
+        let make = |n: usize, rng: &mut RngSource| -> Vec<Example> {
             (0..n)
                 .map(|_| {
                     let (text, label) = self.generate_sentence(rng);
@@ -162,6 +161,7 @@ impl Sst2Generator {
         let train = make(self.config.train_size, &mut rng);
         let dev = make(self.config.dev_size, &mut rng);
         TaskDataset {
+            vocab: tokenizer.vocab().clone(),
             task: TaskKind::Sst2,
             num_classes: 2,
             vocab_size: tokenizer.vocab().len(),

@@ -1,7 +1,6 @@
 //! Whitespace tokenizer producing fixed-length `[CLS] … [SEP]` encodings.
 
 use crate::vocab::Vocab;
-use serde::{Deserialize, Serialize};
 
 /// Encodes whitespace-separated text into fixed-length token-id sequences in
 /// the BERT input format.
@@ -22,14 +21,14 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(enc.token_ids.len(), 8);
 /// assert_eq!(enc.token_ids[0], 2); // [CLS]
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Tokenizer {
     vocab: Vocab,
     max_len: usize,
 }
 
 /// A fixed-length encoded sequence.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Encoding {
     /// Token ids, padded/truncated to the tokenizer's maximum length.
     pub token_ids: Vec<usize>,
@@ -85,9 +84,11 @@ impl Tokenizer {
         let a = self.word_ids(first);
         let b = self.word_ids(second);
         let budget = self.max_len - 3; // [CLS] and two [SEP]
-        // Give each segment half the budget, handing unused room to the other.
+                                       // Give each segment half the budget, handing unused room to the other.
         let half = budget / 2;
-        let a_take = a.len().min(budget.saturating_sub(b.len().min(half)).max(half));
+        let a_take = a
+            .len()
+            .min(budget.saturating_sub(b.len().min(half)).max(half));
         let b_take = b.len().min(budget - a.len().min(a_take));
         let mut token_ids = Vec::with_capacity(self.max_len);
         token_ids.push(self.vocab.cls_id());

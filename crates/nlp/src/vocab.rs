@@ -1,6 +1,5 @@
 //! Word-level vocabulary with the special tokens used by BERT.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Padding token string.
@@ -29,7 +28,7 @@ pub const SEP_TOKEN: &str = "[SEP]";
 /// assert_eq!(v.id_to_token(id), Some("good"));
 /// assert_eq!(v.pad_id(), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Vocab {
     token_to_id: HashMap<String, usize>,
     id_to_token: Vec<String>,

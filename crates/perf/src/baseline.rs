@@ -1,7 +1,6 @@
 //! Roofline-style CPU and GPU baseline models.
 
 use fqbert_bert::ModelProfile;
-use serde::{Deserialize, Serialize};
 
 /// An analytical model of a general-purpose device running the float BERT.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// time (weight bytes over the sustained bandwidth). The efficiency constants
 /// are calibrated against the latencies reported in Table IV and documented
 /// as such.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceModel {
     /// Device name as it appears in the comparison table.
     pub name: String,

@@ -3,10 +3,9 @@
 use crate::baseline::{cpu_i7_8700, gpu_k80};
 use crate::fpga::FpgaPlatform;
 use fqbert_bert::{BertConfig, ModelProfile};
-use serde::{Deserialize, Serialize};
 
 /// One row of the Table IV comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformResult {
     /// Platform name.
     pub platform: String,
@@ -92,8 +91,14 @@ mod tests {
         // Paper: 6.10× latency improvement over the CPU and 1.17× over the GPU.
         let speed_cpu = zcu111.speedup_over(cpu);
         let speed_gpu = zcu111.speedup_over(gpu);
-        assert!((speed_cpu - 6.10).abs() / 6.10 < 0.10, "speed-up {speed_cpu}");
-        assert!((speed_gpu - 1.17).abs() / 1.17 < 0.10, "speed-up {speed_gpu}");
+        assert!(
+            (speed_cpu - 6.10).abs() / 6.10 < 0.10,
+            "speed-up {speed_cpu}"
+        );
+        assert!(
+            (speed_gpu - 1.17).abs() / 1.17 < 0.10,
+            "speed-up {speed_gpu}"
+        );
     }
 
     #[test]

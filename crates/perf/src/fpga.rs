@@ -4,10 +4,9 @@
 use fqbert_accel::dataflow::EncoderShape;
 use fqbert_accel::{cycle_model, AcceleratorConfig, PowerModel};
 use fqbert_bert::BertConfig;
-use serde::{Deserialize, Serialize};
 
 /// One FPGA deployment of the FQ-BERT accelerator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FpgaPlatform {
     /// Accelerator configuration (device, PU/PE/BIM dimensions, clock).
     pub config: AcceleratorConfig,

@@ -6,10 +6,8 @@
 //! every part and a set of switches controlling which parts are quantized at
 //! all.
 
-use serde::{Deserialize, Serialize};
-
 /// The parts of the model that FQ-BERT quantizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PartBits {
     /// Linear-layer and embedding weights.
     Weights,
@@ -26,7 +24,7 @@ pub enum PartBits {
 }
 
 /// Bit-width and enablement configuration for fully quantized BERT.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantConfig {
     /// Weight bit-width (4 in the paper's final configuration).
     pub weight_bits: u32,

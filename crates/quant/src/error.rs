@@ -29,7 +29,10 @@ impl fmt::Display for QuantError {
                 write!(f, "unsupported quantization bit-width {bits}")
             }
             QuantError::DegenerateRange { abs_max } => {
-                write!(f, "cannot derive a scale from a degenerate range (|x|max = {abs_max})")
+                write!(
+                    f,
+                    "cannot derive a scale from a degenerate range (|x|max = {abs_max})"
+                )
             }
             QuantError::InvalidScale(s) => write!(f, "invalid scale factor {s}"),
             QuantError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),

@@ -5,11 +5,10 @@
 //! value with a configurable number of fractional bits and saturating
 //! arithmetic, which is how the HLS implementation behaves.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A signed fixed-point number: `value = raw / 2^frac_bits`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fixed {
     raw: i32,
     frac_bits: u32,
@@ -78,6 +77,7 @@ impl Fixed {
 
     /// Fixed-point multiplication, keeping the left operand's format and
     /// rounding the dropped fraction bits.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Fixed) -> Fixed {
         let wide = self.raw as i64 * other.raw as i64;
         let shift = other.frac_bits;
@@ -129,15 +129,18 @@ impl fmt::Display for Fixed {
 /// Panics if `x` is not strictly positive.
 pub fn fixed_inv_sqrt(x: Fixed, iterations: u32) -> Fixed {
     assert!(x.raw() > 0, "inverse square root requires a positive input");
-    // Start from a floating-point-free initial guess: 2^(-floor(log2(x))/2).
+    // Start from a floating-point-free initial guess y0 = 2^(-ceil(log2(x)/2)).
+    //
+    // The ceiling matters: with x = 2^e·m (m in [1, 2)) this guarantees
+    // 0.5·x·y0² < 1, so the first Newton correction `1.5 - 0.5·x·y0²` stays
+    // positive, and every later iterate lands in (0, 1/sqrt(x)] — the basin
+    // of the positive root. A truncating `e/2` guess overshoots for odd
+    // positive e (e.g. x in [3,4) or [12,16)) and Newton then converges to
+    // the *negative* root -1/sqrt(x), sign-flipping the caller's output.
     let value_log2 = 31 - x.raw().leading_zeros() as i32 - x.frac_bits() as i32;
-    let guess_log2 = -(value_log2 / 2);
+    let guess_log2 = -(value_log2 + 1).div_euclid(2);
     let frac = x.frac_bits();
-    let mut y = if guess_log2 >= 0 {
-        Fixed::from_raw(1i32 << (frac as i32 + guess_log2).min(30), frac)
-    } else {
-        Fixed::from_raw(1i32 << (frac as i32 + guess_log2).max(0), frac)
-    };
+    let mut y = Fixed::from_raw(1i32 << (frac as i32 + guess_log2).clamp(0, 30), frac);
     let three_halves = Fixed::from_f32(1.5, frac);
     let half_x = Fixed::from_raw(x.raw() / 2, frac);
     for _ in 0..iterations {
@@ -145,6 +148,12 @@ pub fn fixed_inv_sqrt(x: Fixed, iterations: u32) -> Fixed {
         let y2 = y.mul(y);
         let term = half_x.mul(y2);
         let correction = three_halves.saturating_sub(term);
+        if correction.raw() <= 0 {
+            // Defensive guard (unreachable with the guess above): back off
+            // towards zero rather than crossing into the negative basin.
+            y = Fixed::from_raw(y.raw() / 2, frac);
+            continue;
+        }
         y = y.mul(correction);
     }
     y
@@ -208,7 +217,11 @@ mod tests {
             let y = fixed_inv_sqrt(x, 12);
             let expected = 1.0 / v.sqrt();
             let rel = (y.to_f32() - expected).abs() / expected;
-            assert!(rel < 0.02, "1/sqrt({v}): got {} want {expected}", y.to_f32());
+            assert!(
+                rel < 0.02,
+                "1/sqrt({v}): got {} want {expected}",
+                y.to_f32()
+            );
         }
     }
 

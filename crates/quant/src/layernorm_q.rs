@@ -16,7 +16,6 @@
 
 use crate::fixedpoint::{fixed_inv_sqrt, Fixed};
 use crate::{QuantError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Fractional bits used for the internal fixed-point pipeline.
 const INTERNAL_FRAC_BITS: u32 = 16;
@@ -24,7 +23,7 @@ const INTERNAL_FRAC_BITS: u32 = 16;
 const PARAM_FRAC_BITS: u32 = 6;
 
 /// A layer-norm layer whose parameters and arithmetic are fully quantized.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedLayerNorm {
     gamma: Vec<i8>,
     beta: Vec<i8>,
@@ -57,6 +56,30 @@ impl QuantizedLayerNorm {
             beta: beta.iter().copied().map(quantize).collect(),
             eps,
         })
+    }
+
+    /// Reassembles a layer norm from stored parameter codes (the inverse of
+    /// [`QuantizedLayerNorm::gamma_codes`]/[`QuantizedLayerNorm::beta_codes`]
+    /// plus [`QuantizedLayerNorm::eps`]), used when loading model artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidArgument`] if the code vectors have
+    /// different lengths or are empty.
+    pub fn from_codes(gamma: Vec<i8>, beta: Vec<i8>, eps: f32) -> Result<Self> {
+        if gamma.len() != beta.len() || gamma.is_empty() {
+            return Err(QuantError::InvalidArgument(format!(
+                "gamma ({}) and beta ({}) codes must be equal-length and non-empty",
+                gamma.len(),
+                beta.len()
+            )));
+        }
+        Ok(Self { gamma, beta, eps })
+    }
+
+    /// The epsilon added to the variance.
+    pub fn eps(&self) -> f32 {
+        self.eps
     }
 
     /// Hidden size normalised over.
@@ -131,8 +154,12 @@ impl QuantizedLayerNorm {
         let mut summed: Vec<Fixed> = Vec::with_capacity(self.hidden());
         let mut total: i64 = 0;
         for (&xa, &xb) in a.iter().zip(b.iter()) {
-            let va = Fixed::from_raw(i32::from(xa), 0).rescale(INTERNAL_FRAC_BITS).mul(inv_a);
-            let vb = Fixed::from_raw(i32::from(xb), 0).rescale(INTERNAL_FRAC_BITS).mul(inv_b);
+            let va = Fixed::from_raw(i32::from(xa), 0)
+                .rescale(INTERNAL_FRAC_BITS)
+                .mul(inv_a);
+            let vb = Fixed::from_raw(i32::from(xb), 0)
+                .rescale(INTERNAL_FRAC_BITS)
+                .mul(inv_b);
             let v = va.saturating_add(vb);
             total += i64::from(v.raw());
             summed.push(v);
@@ -150,8 +177,14 @@ impl QuantizedLayerNorm {
             centered.push(c);
         }
         let var_raw = (var_acc / n) >> INTERNAL_FRAC_BITS;
-        let var = Fixed::from_raw(var_raw.clamp(0, i64::from(i32::MAX)) as i32, INTERNAL_FRAC_BITS);
-        let eps_fixed = Fixed::from_f32(self.eps.max(1.0 / (1 << INTERNAL_FRAC_BITS) as f32), INTERNAL_FRAC_BITS);
+        let var = Fixed::from_raw(
+            var_raw.clamp(0, i64::from(i32::MAX)) as i32,
+            INTERNAL_FRAC_BITS,
+        );
+        let eps_fixed = Fixed::from_f32(
+            self.eps.max(1.0 / (1 << INTERNAL_FRAC_BITS) as f32),
+            INTERNAL_FRAC_BITS,
+        );
         let inv_std = fixed_inv_sqrt(var.saturating_add(eps_fixed), 20);
 
         // Stage 3: element-wise gamma/beta and output requantization.
@@ -165,7 +198,10 @@ impl QuantizedLayerNorm {
             let normalised = c.mul(inv_std).mul(gamma).saturating_add(beta);
             let scaled = normalised.mul(out_scale_fixed);
             // Round the fixed-point value to the nearest integer code.
-            let code = scaled.rescale(0).raw().clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+            let code = scaled
+                .rescale(0)
+                .raw()
+                .clamp(i8::MIN as i32, i8::MAX as i32) as i8;
             out.push(code);
         }
         Ok(out)
@@ -224,8 +260,16 @@ mod tests {
         // Quantize the inputs to int8.
         let scale_a = 127.0 / a_f.abs_max().unwrap();
         let scale_b = 127.0 / b_f.abs_max().unwrap();
-        let a_q: Vec<i8> = a_f.as_slice().iter().map(|&v| (v * scale_a).round() as i8).collect();
-        let b_q: Vec<i8> = b_f.as_slice().iter().map(|&v| (v * scale_b).round() as i8).collect();
+        let a_q: Vec<i8> = a_f
+            .as_slice()
+            .iter()
+            .map(|&v| (v * scale_a).round() as i8)
+            .collect();
+        let b_q: Vec<i8> = b_f
+            .as_slice()
+            .iter()
+            .map(|&v| (v * scale_b).round() as i8)
+            .collect();
 
         let out_scale = 32.0;
         let out = ln
@@ -259,9 +303,14 @@ mod tests {
         let beta = vec![0.0f32; hidden];
         let ln = QuantizedLayerNorm::from_float(&gamma, &beta, 1e-5).unwrap();
         let scale_x = 127.0 / x_f.abs_max().unwrap();
-        let x_q: Vec<i8> = x_f.as_slice().iter().map(|&v| (v * scale_x).round() as i8).collect();
+        let x_q: Vec<i8> = x_f
+            .as_slice()
+            .iter()
+            .map(|&v| (v * scale_x).round() as i8)
+            .collect();
         let out = ln.apply(&x_q, scale_x, 32.0).unwrap();
-        let vals = Tensor::from_vec(out.iter().map(|&c| c as f32 / 32.0).collect(), &[hidden]).unwrap();
+        let vals =
+            Tensor::from_vec(out.iter().map(|&c| c as f32 / 32.0).collect(), &[hidden]).unwrap();
         assert!(vals.mean().unwrap().abs() < 0.1);
         let var = vals.map(|v| v * v).mean().unwrap();
         assert!((var - 1.0).abs() < 0.2, "variance {var} should be near 1");

@@ -7,7 +7,6 @@
 
 use crate::{QuantError, QuantParams, Result};
 use fqbert_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Exponential-moving-average observer of the maximum absolute activation.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(obs.running_max() > 1.0 && obs.running_max() <= 2.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmaObserver {
     decay: f32,
     running_max: f32,
@@ -92,7 +91,7 @@ impl EmaObserver {
 }
 
 /// Observer tracking the global minimum and maximum values seen.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MinMaxObserver {
     min: f32,
     max: f32,
@@ -142,7 +141,11 @@ impl MinMaxObserver {
     pub fn quant_params(&self, bits: u32) -> Result<QuantParams> {
         if self.observations == 0 || self.abs_max() <= 0.0 {
             return Err(QuantError::DegenerateRange {
-                abs_max: if self.observations == 0 { 0.0 } else { self.abs_max() },
+                abs_max: if self.observations == 0 {
+                    0.0
+                } else {
+                    self.abs_max()
+                },
             });
         }
         QuantParams::for_activations(self.abs_max(), bits)

@@ -13,7 +13,6 @@
 //! inference engine and the accelerator simulator use.
 
 use crate::{QuantError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Number of fractional bits used for the fixed-point requantization
 /// multiplier (the paper stores `s_f` as a 32-bit integer; we use a Q1.30
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 const MULTIPLIER_FRAC_BITS: u32 = 30;
 
 /// Fixed-point requantizer implementing Eq. 5 with integer arithmetic only.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Requantizer {
     /// Normalised multiplier in Q1.30 (in `[2^29, 2^30)` for non-zero scales).
     multiplier: i64,

@@ -16,10 +16,9 @@
 
 use crate::{QuantError, Result};
 use fqbert_tensor::{IntTensor, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// Per-tensor symmetric quantization parameters: a bit-width and a scale.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantParams {
     bits: u32,
     scale: f32,
@@ -139,7 +138,11 @@ impl QuantParams {
 
     /// Quantizes a tensor to `i32` codes (used for wide intermediates).
     pub fn quantize_tensor_i32(&self, x: &Tensor) -> IntTensor<i32> {
-        let data: Vec<i32> = x.as_slice().iter().map(|&v| self.quantize_value(v)).collect();
+        let data: Vec<i32> = x
+            .as_slice()
+            .iter()
+            .map(|&v| self.quantize_value(v))
+            .collect();
         IntTensor::from_vec(data, x.dims()).expect("shape preserved")
     }
 
@@ -195,7 +198,10 @@ mod tests {
             let step = 1.0 / p.scale();
             for &x in w.as_slice() {
                 let err = (x - p.fake_quantize_value(x)).abs();
-                assert!(err <= step / 2.0 + 1e-6, "error {err} exceeds half step {step}");
+                assert!(
+                    err <= step / 2.0 + 1e-6,
+                    "error {err} exceeds half step {step}"
+                );
             }
         }
     }
@@ -228,9 +234,15 @@ mod tests {
     fn higher_bitwidth_has_lower_mse() {
         let mut rng = fqbert_tensor::RngSource::seed_from_u64(1);
         let w = rng.normal_tensor(&[256], 0.0, 1.0);
-        let mse2 = QuantParams::for_weights(&w, 2, None).unwrap().quantization_mse(&w);
-        let mse4 = QuantParams::for_weights(&w, 4, None).unwrap().quantization_mse(&w);
-        let mse8 = QuantParams::for_weights(&w, 8, None).unwrap().quantization_mse(&w);
+        let mse2 = QuantParams::for_weights(&w, 2, None)
+            .unwrap()
+            .quantization_mse(&w);
+        let mse4 = QuantParams::for_weights(&w, 4, None)
+            .unwrap()
+            .quantization_mse(&w);
+        let mse8 = QuantParams::for_weights(&w, 8, None)
+            .unwrap()
+            .quantization_mse(&w);
         assert!(mse2 > mse4, "2-bit MSE should exceed 4-bit MSE");
         assert!(mse4 > mse8, "4-bit MSE should exceed 8-bit MSE");
     }

@@ -8,7 +8,6 @@
 //! softmax output are both quantized to 8 bits, exactly as in the paper.
 
 use crate::{QuantError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Number of entries in the exponential lookup table.
 pub const LUT_ENTRIES: usize = 256;
@@ -27,7 +26,7 @@ pub const LUT_ENTRIES: usize = 256;
 /// assert!(probs[0] > probs[1] && probs[1] > probs[2]);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SoftmaxLut {
     /// `table[d] ≈ exp(-d / input_scale) · 255`, for the integer difference
     /// `d` between an element and its row maximum.
@@ -90,7 +89,10 @@ impl SoftmaxLut {
     /// Looks up `exp(-(d)/s)` for an integer difference `d ≥ 0`, saturating
     /// to the last entry for differences beyond the table.
     pub fn exp_lookup(&self, diff: i64) -> u32 {
-        debug_assert!(diff >= 0, "difference from the row maximum must be non-negative");
+        debug_assert!(
+            diff >= 0,
+            "difference from the row maximum must be non-negative"
+        );
         let idx = diff.clamp(0, (LUT_ENTRIES - 1) as i64) as usize;
         u32::from(self.table[idx])
     }
@@ -127,8 +129,13 @@ impl SoftmaxLut {
     ///
     /// Panics if `data.len()` is not a multiple of `cols`.
     pub fn apply_matrix(&self, data: &[i32], cols: usize) -> Vec<i32> {
-        assert!(cols > 0 && data.len() % cols == 0, "data must be rectangular");
-        data.chunks(cols).flat_map(|row| self.apply_row(row)).collect()
+        assert!(
+            cols > 0 && data.len().is_multiple_of(cols),
+            "data must be rectangular"
+        );
+        data.chunks(cols)
+            .flat_map(|row| self.apply_row(row))
+            .collect()
     }
 
     /// Dequantizes an output code back to a probability in `[0, 1]`.

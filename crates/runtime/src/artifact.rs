@@ -1,0 +1,667 @@
+//! Versioned binary model artifacts: `quantize once → serve many`.
+//!
+//! An artifact captures everything needed to serve a quantized model without
+//! retraining or recalibrating: the integer encoder (weight codes, bias
+//! codes, per-layer activation scales, layer-norm parameter codes), the
+//! float CPU-side tensors (embedding tables, classifier head), the task,
+//! and the tokenizer vocabulary. Loading reconstructs an
+//! [`IntBertModel`] whose outputs are **bit-identical** to the saved model:
+//! all derived state (requantizers, softmax LUT, GELU table) is a
+//! deterministic function of the stored scales and is rebuilt by the same
+//! constructors the converter uses.
+//!
+//! # Format
+//!
+//! Little-endian throughout:
+//!
+//! ```text
+//! magic      b"FQBT"
+//! version    u32              (currently 1)
+//! payload    ...              (task, config, tensors, layers, vocab)
+//! checksum   u32              CRC-32 (IEEE) of the payload bytes
+//! ```
+//!
+//! Scalars are `u64`/`u32`/`f32-as-bits`; tensors are a rank-prefixed dim
+//! list followed by raw element data; strings are length-prefixed UTF-8.
+//! Any truncation, bit flip or version bump is rejected at load time
+//! ([`RuntimeError::Artifact`]).
+
+use crate::{Result, RuntimeError};
+use fqbert_bert::BertConfig;
+use fqbert_core::int_model::LayerScales;
+use fqbert_core::{IntBertModel, IntEncoderLayer, IntLinear};
+use fqbert_nlp::{TaskKind, Tokenizer, Vocab};
+use fqbert_quant::QuantizedLayerNorm;
+use fqbert_tensor::{IntTensor, Tensor};
+use std::path::Path;
+
+/// Artifact magic bytes.
+pub const MAGIC: &[u8; 4] = b"FQBT";
+/// Current artifact format version.
+pub const VERSION: u32 = 1;
+
+/// A deserialized model artifact: the quantized model plus everything needed
+/// to serve it.
+#[derive(Debug, Clone)]
+pub struct ModelArtifact {
+    /// The task the model was trained for.
+    pub task: TaskKind,
+    /// The reconstructed integer model.
+    pub model: IntBertModel,
+    /// Tokenizer over the training vocabulary, padded to the model's
+    /// maximum sequence length.
+    pub tokenizer: Tokenizer,
+}
+
+impl ModelArtifact {
+    /// Bundles a quantized model with its tokenizer and task.
+    pub fn new(task: TaskKind, model: IntBertModel, tokenizer: Tokenizer) -> Self {
+        Self {
+            task,
+            model,
+            tokenizer,
+        }
+    }
+
+    /// Serialises the artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Artifact`] for wrong magic, unsupported
+    /// version, corruption (checksum mismatch) or truncation, and an I/O
+    /// error if the file cannot be read.
+    pub fn load(path: &Path) -> Result<Self> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Serialises the artifact into a byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Writer::default();
+        payload.u8(task_tag(self.task));
+        write_config(&mut payload, self.model.config());
+        payload.f32(self.model.embedding_out_scale());
+        payload.u32(self.model.weight_bits());
+        for t in [
+            self.model.word_embeddings(),
+            self.model.position_embeddings(),
+            self.model.segment_embeddings(),
+            self.model.embedding_gamma(),
+            self.model.embedding_beta(),
+            self.model.classifier_weight(),
+            self.model.classifier_bias(),
+        ] {
+            write_tensor(&mut payload, t);
+        }
+        payload.u64(self.model.layers.len() as u64);
+        for layer in &self.model.layers {
+            write_layer(&mut payload, layer);
+        }
+        write_vocab(&mut payload, self.tokenizer.vocab());
+        payload.u64(self.tokenizer.max_len() as u64);
+
+        let mut out = Vec::with_capacity(payload.buf.len() + 12);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&payload.buf);
+        out.extend_from_slice(&crc32(&payload.buf).to_le_bytes());
+        out
+    }
+
+    /// Deserialises an artifact from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Artifact`] on any structural problem.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 12 {
+            return Err(RuntimeError::Artifact("file too short".to_string()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(RuntimeError::Artifact(format!(
+                "bad magic {:02x?} (expected {MAGIC:02x?})",
+                &bytes[..4]
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(RuntimeError::Artifact(format!(
+                "unsupported artifact version {version} (this build reads {VERSION})"
+            )));
+        }
+        let payload = &bytes[8..bytes.len() - 4];
+        let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        let actual_crc = crc32(payload);
+        if stored_crc != actual_crc {
+            return Err(RuntimeError::Artifact(format!(
+                "checksum mismatch: stored {stored_crc:08x}, computed {actual_crc:08x}"
+            )));
+        }
+
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let task = parse_task(r.u8()?)?;
+        let config = read_config(&mut r)?;
+        let embedding_out_scale = r.f32()?;
+        let weight_bits = r.u32()?;
+        let word = read_tensor(&mut r)?;
+        let pos = read_tensor(&mut r)?;
+        let seg = read_tensor(&mut r)?;
+        let gamma = read_tensor(&mut r)?;
+        let beta = read_tensor(&mut r)?;
+        let cls_w = read_tensor(&mut r)?;
+        let cls_b = read_tensor(&mut r)?;
+        // Shape-check every CPU-side tensor against the config so a
+        // CRC-valid but structurally inconsistent artifact is rejected here
+        // instead of panicking later inside the inference engine.
+        let (v, h, c) = (config.vocab_size, config.hidden, config.num_classes);
+        for (name, tensor, expected) in [
+            ("word embeddings", &word, vec![v, h]),
+            ("position embeddings", &pos, vec![config.max_len, h]),
+            ("segment embeddings", &seg, vec![config.type_vocab_size, h]),
+            ("embedding gamma", &gamma, vec![h]),
+            ("embedding beta", &beta, vec![h]),
+            ("classifier weight", &cls_w, vec![h, c]),
+            ("classifier bias", &cls_b, vec![c]),
+        ] {
+            if tensor.dims() != expected.as_slice() {
+                return Err(RuntimeError::Artifact(format!(
+                    "{name} shape {:?} disagrees with config (expected {expected:?})",
+                    tensor.dims()
+                )));
+            }
+        }
+        let num_layers = r.u64()? as usize;
+        if num_layers != config.layers {
+            return Err(RuntimeError::Artifact(format!(
+                "layer count {num_layers} disagrees with config ({})",
+                config.layers
+            )));
+        }
+        let mut layers = Vec::with_capacity(num_layers);
+        for _ in 0..num_layers {
+            layers.push(read_layer(&mut r, &config)?);
+        }
+        let vocab = read_vocab(&mut r)?;
+        let max_len = r.u64()? as usize;
+        if !(3..=config.max_len).contains(&max_len) {
+            return Err(RuntimeError::Artifact(format!(
+                "tokenizer max_len {max_len} outside 3..={} (position table size)",
+                config.max_len
+            )));
+        }
+        if !r.at_end() {
+            return Err(RuntimeError::Artifact(format!(
+                "{} trailing payload bytes",
+                r.buf.len() - r.pos
+            )));
+        }
+        if vocab.len() != config.vocab_size {
+            return Err(RuntimeError::Artifact(format!(
+                "vocabulary size {} disagrees with config ({})",
+                vocab.len(),
+                config.vocab_size
+            )));
+        }
+
+        let model = IntBertModel::from_parts(
+            config,
+            word,
+            pos,
+            seg,
+            gamma,
+            beta,
+            cls_w,
+            cls_b,
+            embedding_out_scale,
+            layers,
+            weight_bits,
+        );
+        let tokenizer = Tokenizer::new(vocab, max_len);
+        Ok(Self {
+            task,
+            model,
+            tokenizer,
+        })
+    }
+}
+
+fn task_tag(task: TaskKind) -> u8 {
+    match task {
+        TaskKind::Sst2 => 0,
+        TaskKind::MnliMatched => 1,
+        TaskKind::MnliMismatched => 2,
+    }
+}
+
+fn parse_task(tag: u8) -> Result<TaskKind> {
+    match tag {
+        0 => Ok(TaskKind::Sst2),
+        1 => Ok(TaskKind::MnliMatched),
+        2 => Ok(TaskKind::MnliMismatched),
+        other => Err(RuntimeError::Artifact(format!("unknown task tag {other}"))),
+    }
+}
+
+// --- primitive writer / reader ---------------------------------------------
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        // Compare against the remaining length rather than computing
+        // `pos + n`, which a crafted u64 length prefix could overflow.
+        if n > self.buf.len() - self.pos {
+            return Err(RuntimeError::Artifact(format!(
+                "truncated payload: wanted {n} bytes at offset {}, {} available",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn len_prefixed(&mut self) -> Result<&'a [u8]> {
+        let n = self.u64()? as usize;
+        self.take(n)
+    }
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// --- compound encodings -----------------------------------------------------
+
+fn write_config(w: &mut Writer, cfg: &BertConfig) {
+    for v in [
+        cfg.vocab_size,
+        cfg.hidden,
+        cfg.layers,
+        cfg.heads,
+        cfg.intermediate,
+        cfg.max_len,
+        cfg.type_vocab_size,
+        cfg.num_classes,
+    ] {
+        w.u64(v as u64);
+    }
+    w.f32(cfg.layer_norm_eps);
+}
+
+fn read_config(r: &mut Reader<'_>) -> Result<BertConfig> {
+    let cfg = BertConfig {
+        vocab_size: r.u64()? as usize,
+        hidden: r.u64()? as usize,
+        layers: r.u64()? as usize,
+        heads: r.u64()? as usize,
+        intermediate: r.u64()? as usize,
+        max_len: r.u64()? as usize,
+        type_vocab_size: r.u64()? as usize,
+        num_classes: r.u64()? as usize,
+        layer_norm_eps: r.f32()?,
+    };
+    cfg.validate().map_err(RuntimeError::Artifact)?;
+    Ok(cfg)
+}
+
+fn write_tensor(w: &mut Writer, t: &Tensor) {
+    w.u32(t.dims().len() as u32);
+    for &d in t.dims() {
+        w.u64(d as u64);
+    }
+    for &v in t.as_slice() {
+        w.f32(v);
+    }
+}
+
+/// Reads a rank-prefixed dim list and validates that `numel * elem_bytes`
+/// neither overflows nor exceeds the remaining payload.
+fn read_dims(r: &mut Reader<'_>, elem_bytes: usize) -> Result<(Vec<usize>, usize)> {
+    let rank = r.u32()? as usize;
+    if rank > 8 {
+        return Err(RuntimeError::Artifact(format!(
+            "implausible tensor rank {rank}"
+        )));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(r.u64()? as usize);
+    }
+    let numel = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| RuntimeError::Artifact(format!("tensor dims {dims:?} overflow usize")))?;
+    let bytes = numel
+        .checked_mul(elem_bytes)
+        .ok_or_else(|| RuntimeError::Artifact(format!("tensor dims {dims:?} overflow usize")))?;
+    if bytes > r.buf.len() - r.pos {
+        return Err(RuntimeError::Artifact(format!(
+            "tensor of {numel} elements ({bytes} bytes) cannot fit the {} remaining payload bytes",
+            r.buf.len() - r.pos
+        )));
+    }
+    Ok((dims, numel))
+}
+
+fn read_tensor(r: &mut Reader<'_>) -> Result<Tensor> {
+    let (dims, numel) = read_dims(r, 4)?;
+    let mut data = Vec::with_capacity(numel);
+    for _ in 0..numel {
+        data.push(r.f32()?);
+    }
+    Tensor::from_vec(data, &dims)
+        .map_err(|e| RuntimeError::Artifact(format!("inconsistent tensor: {e}")))
+}
+
+fn write_i8_tensor(w: &mut Writer, t: &IntTensor<i8>) {
+    w.u32(t.dims().len() as u32);
+    for &d in t.dims() {
+        w.u64(d as u64);
+    }
+    let raw: Vec<u8> = t.as_slice().iter().map(|&v| v as u8).collect();
+    w.buf.extend_from_slice(&raw);
+}
+
+fn read_i8_tensor(r: &mut Reader<'_>) -> Result<IntTensor<i8>> {
+    let (dims, numel) = read_dims(r, 1)?;
+    let raw = r.take(numel)?;
+    let data: Vec<i8> = raw.iter().map(|&b| b as i8).collect();
+    IntTensor::from_vec(data, &dims)
+        .map_err(|e| RuntimeError::Artifact(format!("inconsistent int8 tensor: {e}")))
+}
+
+fn write_i32_tensor(w: &mut Writer, t: &IntTensor<i32>) {
+    w.u32(t.dims().len() as u32);
+    for &d in t.dims() {
+        w.u64(d as u64);
+    }
+    for &v in t.as_slice() {
+        w.u32(v as u32);
+    }
+}
+
+fn read_i32_tensor(r: &mut Reader<'_>) -> Result<IntTensor<i32>> {
+    let (dims, numel) = read_dims(r, 4)?;
+    let mut data = Vec::with_capacity(numel);
+    for _ in 0..numel {
+        data.push(r.u32()? as i32);
+    }
+    IntTensor::from_vec(data, &dims)
+        .map_err(|e| RuntimeError::Artifact(format!("inconsistent int32 tensor: {e}")))
+}
+
+fn write_linear(w: &mut Writer, l: &IntLinear) {
+    write_i8_tensor(w, l.weight_codes());
+    write_i32_tensor(w, l.bias_codes());
+    w.f32(l.weight_scale());
+    w.f32(l.input_scale());
+    w.f32(l.output_scale());
+    w.u32(l.weight_bits());
+}
+
+fn read_linear(r: &mut Reader<'_>) -> Result<IntLinear> {
+    let weight = read_i8_tensor(r)?;
+    let bias = read_i32_tensor(r)?;
+    let weight_scale = r.f32()?;
+    let input_scale = r.f32()?;
+    let output_scale = r.f32()?;
+    let weight_bits = r.u32()?;
+    IntLinear::from_quantized(
+        weight,
+        bias,
+        weight_scale,
+        input_scale,
+        output_scale,
+        weight_bits,
+    )
+    .map_err(|e| RuntimeError::Artifact(format!("invalid quantized linear: {e}")))
+}
+
+fn write_layer_norm(w: &mut Writer, ln: &QuantizedLayerNorm) {
+    let gamma: Vec<u8> = ln.gamma_codes().iter().map(|&v| v as u8).collect();
+    let beta: Vec<u8> = ln.beta_codes().iter().map(|&v| v as u8).collect();
+    w.bytes(&gamma);
+    w.bytes(&beta);
+    w.f32(ln.eps());
+}
+
+fn read_layer_norm(r: &mut Reader<'_>) -> Result<QuantizedLayerNorm> {
+    let gamma: Vec<i8> = r.len_prefixed()?.iter().map(|&b| b as i8).collect();
+    let beta: Vec<i8> = r.len_prefixed()?.iter().map(|&b| b as i8).collect();
+    let eps = r.f32()?;
+    QuantizedLayerNorm::from_codes(gamma, beta, eps)
+        .map_err(|e| RuntimeError::Artifact(format!("invalid layer norm: {e}")))
+}
+
+fn write_layer(w: &mut Writer, layer: &IntEncoderLayer) {
+    let scales = layer.scales();
+    w.u64(layer.heads() as u64);
+    for s in [
+        scales.input,
+        scales.qkv,
+        scales.scores,
+        scales.attn_output,
+        scales.layer_norm,
+        scales.ffn_hidden,
+        scales.ffn_output,
+    ] {
+        w.f32(s);
+    }
+    for linear in [
+        &layer.query,
+        &layer.key,
+        &layer.value,
+        &layer.attn_output,
+        &layer.ffn1,
+        &layer.ffn2,
+    ] {
+        write_linear(w, linear);
+    }
+    write_layer_norm(w, layer.attn_layer_norm());
+    write_layer_norm(w, layer.ffn_layer_norm());
+}
+
+fn read_layer(r: &mut Reader<'_>, cfg: &BertConfig) -> Result<IntEncoderLayer> {
+    let heads = r.u64()? as usize;
+    let scales = LayerScales {
+        input: r.f32()?,
+        qkv: r.f32()?,
+        scores: r.f32()?,
+        attn_output: r.f32()?,
+        layer_norm: r.f32()?,
+        ffn_hidden: r.f32()?,
+        ffn_output: r.f32()?,
+    };
+    let query = read_linear(r)?;
+    let key = read_linear(r)?;
+    let value = read_linear(r)?;
+    let attn_output = read_linear(r)?;
+    let ffn1 = read_linear(r)?;
+    let ffn2 = read_linear(r)?;
+    let attn_ln = read_layer_norm(r)?;
+    let ffn_ln = read_layer_norm(r)?;
+    if heads == 0 || !cfg.hidden.is_multiple_of(heads) {
+        return Err(RuntimeError::Artifact(format!(
+            "heads {heads} does not divide hidden {}",
+            cfg.hidden
+        )));
+    }
+    // Shape-check the quantized parts against the config before assembling
+    // the layer, so inconsistency surfaces as an artifact error.
+    let (h, i) = (cfg.hidden, cfg.intermediate);
+    for (name, linear, expected) in [
+        ("query", &query, [h, h]),
+        ("key", &key, [h, h]),
+        ("value", &value, [h, h]),
+        ("attention output", &attn_output, [h, h]),
+        ("ffn1", &ffn1, [h, i]),
+        ("ffn2", &ffn2, [i, h]),
+    ] {
+        if linear.weight_codes().dims() != expected {
+            return Err(RuntimeError::Artifact(format!(
+                "{name} weight shape {:?} disagrees with config (expected {expected:?})",
+                linear.weight_codes().dims()
+            )));
+        }
+    }
+    for (name, ln) in [("attention", &attn_ln), ("ffn", &ffn_ln)] {
+        if ln.hidden() != h {
+            return Err(RuntimeError::Artifact(format!(
+                "{name} layer norm width {} disagrees with hidden {h}",
+                ln.hidden()
+            )));
+        }
+    }
+    IntEncoderLayer::from_quantized_parts(
+        query,
+        key,
+        value,
+        attn_output,
+        ffn1,
+        ffn2,
+        heads,
+        cfg.hidden / heads,
+        &scales,
+        attn_ln,
+        ffn_ln,
+    )
+    .map_err(|e| RuntimeError::Artifact(format!("invalid encoder layer: {e}")))
+}
+
+fn write_vocab(w: &mut Writer, vocab: &Vocab) {
+    // Skip the four special tokens; `Vocab::from_tokens` re-inserts them
+    // with the same ids.
+    let words: Vec<&str> = (4..vocab.len())
+        .map(|id| vocab.id_to_token(id).expect("dense vocabulary"))
+        .collect();
+    w.u64(words.len() as u64);
+    for word in words {
+        w.bytes(word.as_bytes());
+    }
+}
+
+fn read_vocab(r: &mut Reader<'_>) -> Result<Vocab> {
+    let n = r.u64()? as usize;
+    if n > r.buf.len() {
+        return Err(RuntimeError::Artifact(format!(
+            "vocabulary of {n} words cannot fit the remaining payload"
+        )));
+    }
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        let raw = r.len_prefixed()?;
+        words.push(
+            std::str::from_utf8(raw)
+                .map_err(|e| RuntimeError::Artifact(format!("non-UTF-8 vocab entry: {e}")))?
+                .to_string(),
+        );
+    }
+    Ok(Vocab::from_tokens(words))
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte slice,
+/// table-driven: artifacts are dominated by float embedding tables, so the
+/// checksum runs over megabytes on the serving startup path.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+            }
+            *entry = crc;
+        }
+        table
+    });
+    let mut crc = 0xffff_ffffu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn reader_rejects_truncation() {
+        let mut r = Reader {
+            buf: &[1, 2, 3],
+            pos: 0,
+        };
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn task_tags_round_trip() {
+        for task in [
+            TaskKind::Sst2,
+            TaskKind::MnliMatched,
+            TaskKind::MnliMismatched,
+        ] {
+            assert_eq!(parse_task(task_tag(task)).unwrap(), task);
+        }
+        assert!(parse_task(9).is_err());
+    }
+}

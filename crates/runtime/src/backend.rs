@@ -1,0 +1,279 @@
+//! The backend-agnostic inference abstraction and its three first-class
+//! implementations: float, integer-only, and accelerator-simulated.
+
+use crate::batch::{BatchCost, BatchOutput, EncodedBatch};
+use crate::{Result, RuntimeError};
+use fqbert_accel::dataflow::EncoderShape;
+use fqbert_accel::{cycle_model, AcceleratorConfig};
+use fqbert_autograd::Graph;
+use fqbert_bert::{BertConfig, BertModel, NoopHook};
+use fqbert_core::IntBertModel;
+
+/// Numeric precision a backend computes at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// IEEE-754 single precision (the float baseline).
+    Float32,
+    /// Integer-only: quantized weights and 8-bit activations.
+    Integer {
+        /// Encoder weight bit-width (4 for FQ-BERT, 8 for the W8/A8 variant).
+        weight_bits: u32,
+    },
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::Float32 => write!(f, "fp32"),
+            Precision::Integer { weight_bits } => write!(f, "w{weight_bits}/a8"),
+        }
+    }
+}
+
+/// Static description of the hardware cost model a backend charges latency
+/// through (only the simulated backend has one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Target platform name (e.g. `ZCU102`).
+    pub platform: String,
+    /// Accelerator clock in MHz.
+    pub clock_mhz: f64,
+    /// Number of processing units.
+    pub processing_units: usize,
+    /// PEs per processing unit (the paper's `N`).
+    pub pes_per_pu: usize,
+    /// Multipliers per BIM (the paper's `M`).
+    pub multipliers_per_bim: usize,
+}
+
+/// A deployable inference backend over a classification BERT.
+///
+/// This is the single entry point every workload goes through: the float
+/// baseline, the integer-only FQ-BERT engine and the accelerator-simulated
+/// engine all classify the same [`EncodedBatch`] and return the same
+/// [`BatchOutput`], so callers can swap backends without touching their
+/// pipeline.
+pub trait InferenceBackend {
+    /// Classifies every sequence in the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a sequence is invalid for the underlying model
+    /// (empty, overlong, out-of-vocabulary ids).
+    fn classify_batch(&self, batch: &EncodedBatch) -> Result<BatchOutput>;
+
+    /// Short human-readable backend name (`float`, `int`, `sim`).
+    fn name(&self) -> &str;
+
+    /// The numeric precision this backend computes at.
+    fn precision(&self) -> Precision;
+
+    /// The hardware cost model charged by this backend, if any.
+    fn cost_model(&self) -> Option<CostModel> {
+        None
+    }
+
+    /// The architecture configuration of the underlying model.
+    fn config(&self) -> &BertConfig;
+
+    /// The quantized model, for backends that own one (used to persist
+    /// artifacts).
+    fn int_model(&self) -> Option<&IntBertModel> {
+        None
+    }
+}
+
+/// The float (FP32) baseline backend wrapping `fqbert-bert`.
+///
+/// Batching amortizes graph construction: the model's parameters are bound
+/// onto one autograd tape per batch and every sequence's forward pass reuses
+/// those nodes, instead of re-registering all parameters per example as the
+/// old per-crate entry points did.
+#[derive(Debug, Clone)]
+pub struct FloatBackend {
+    model: BertModel,
+}
+
+impl FloatBackend {
+    /// Wraps a trained float model.
+    pub fn new(model: BertModel) -> Self {
+        Self { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &BertModel {
+        &self.model
+    }
+}
+
+impl InferenceBackend for FloatBackend {
+    fn classify_batch(&self, batch: &EncodedBatch) -> Result<BatchOutput> {
+        if batch.is_empty() {
+            return Ok(BatchOutput::from_logits(Vec::new(), None));
+        }
+        // One parameter binding for the whole batch.
+        let mut graph = Graph::new();
+        let bound = self.model.bind(&mut graph);
+        let mut logits = Vec::with_capacity(batch.len());
+        for example in batch.examples() {
+            let id = bound.forward(&mut graph, example, &mut NoopHook)?;
+            logits.push(graph.value(id).clone().into_vec());
+        }
+        Ok(BatchOutput::from_logits(logits, None))
+    }
+
+    fn name(&self) -> &str {
+        "float"
+    }
+
+    fn precision(&self) -> Precision {
+        Precision::Float32
+    }
+
+    fn config(&self) -> &BertConfig {
+        self.model.config()
+    }
+}
+
+/// The integer-only FQ-BERT backend wrapping `fqbert-core`'s
+/// [`IntBertModel`].
+///
+/// Batching packs all sequences into one matrix so every linear projection
+/// runs as a single integer GEMM (see `IntEncoderLayer::forward_batch`).
+#[derive(Debug, Clone)]
+pub struct IntBackend {
+    model: IntBertModel,
+}
+
+impl IntBackend {
+    /// Wraps a converted integer model.
+    pub fn new(model: IntBertModel) -> Self {
+        Self { model }
+    }
+
+    /// The wrapped integer model.
+    pub fn model(&self) -> &IntBertModel {
+        &self.model
+    }
+}
+
+impl InferenceBackend for IntBackend {
+    fn classify_batch(&self, batch: &EncodedBatch) -> Result<BatchOutput> {
+        let logits = self.model.logits_batch(batch.examples())?;
+        Ok(BatchOutput::from_logits(logits, None))
+    }
+
+    fn name(&self) -> &str {
+        "int"
+    }
+
+    fn precision(&self) -> Precision {
+        Precision::Integer {
+            weight_bits: self.model.weight_bits(),
+        }
+    }
+
+    fn config(&self) -> &BertConfig {
+        self.model.config()
+    }
+
+    fn int_model(&self) -> Option<&IntBertModel> {
+        Some(&self.model)
+    }
+}
+
+/// The accelerator-simulated backend: functionally identical to
+/// [`IntBackend`] (it runs the same integer engine, which the bit-accurate
+/// datapath tests prove equal to the hardware), while charging latency
+/// through the `fqbert-accel` cycle model.
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    int: IntBackend,
+    accel: AcceleratorConfig,
+}
+
+impl SimBackend {
+    /// Wraps an integer model together with an accelerator configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if the accelerator
+    /// configuration is internally inconsistent.
+    pub fn new(model: IntBertModel, accel: AcceleratorConfig) -> Result<Self> {
+        accel.validate().map_err(RuntimeError::InvalidConfig)?;
+        Ok(Self {
+            int: IntBackend::new(model),
+            accel,
+        })
+    }
+
+    /// The accelerator configuration charged for latency.
+    pub fn accelerator(&self) -> &AcceleratorConfig {
+        &self.accel
+    }
+
+    /// Cycle-model latency of one sequence of `seq_len` tokens.
+    pub fn latency_of(&self, seq_len: usize) -> cycle_model::LatencyReport {
+        let cfg = self.int.config();
+        let shape = EncoderShape {
+            seq_len,
+            hidden: cfg.hidden,
+            intermediate: cfg.intermediate,
+            heads: cfg.heads,
+        };
+        cycle_model::estimate_latency(&self.accel, &shape, cfg.layers)
+    }
+}
+
+impl InferenceBackend for SimBackend {
+    fn classify_batch(&self, batch: &EncodedBatch) -> Result<BatchOutput> {
+        let mut out = self.int.classify_batch(batch)?;
+        // Charge the cycle model once per distinct sequence length.
+        let mut total_cycles = 0u64;
+        let mut latency_ms = 0.0f64;
+        let mut cached: Vec<(usize, u64, f64)> = Vec::new();
+        for seq_len in batch.seq_lens() {
+            let (cycles, ms) = match cached.iter().find(|(s, _, _)| *s == seq_len) {
+                Some(&(_, cycles, ms)) => (cycles, ms),
+                None => {
+                    let report = self.latency_of(seq_len);
+                    cached.push((seq_len, report.total_cycles, report.latency_ms));
+                    (report.total_cycles, report.latency_ms)
+                }
+            };
+            total_cycles += cycles;
+            latency_ms += ms;
+        }
+        out.cost = Some(BatchCost {
+            total_cycles,
+            latency_ms,
+        });
+        Ok(out)
+    }
+
+    fn name(&self) -> &str {
+        "sim"
+    }
+
+    fn precision(&self) -> Precision {
+        self.int.precision()
+    }
+
+    fn cost_model(&self) -> Option<CostModel> {
+        Some(CostModel {
+            platform: self.accel.device.name().to_string(),
+            clock_mhz: self.accel.frequency_hz / 1e6,
+            processing_units: self.accel.num_pus,
+            pes_per_pu: self.accel.pes_per_pu,
+            multipliers_per_bim: self.accel.multipliers_per_bim,
+        })
+    }
+
+    fn config(&self) -> &BertConfig {
+        self.int.config()
+    }
+
+    fn int_model(&self) -> Option<&IntBertModel> {
+        self.int.int_model()
+    }
+}

@@ -1,0 +1,155 @@
+//! Batched inputs and outputs of the inference engine.
+
+use fqbert_nlp::{Example, Tokenizer};
+
+/// A batch of encoded sequences ready for any [`crate::InferenceBackend`].
+///
+/// Construction amortizes tokenization across the batch: texts are encoded
+/// once, padded to the tokenizer's fixed length, and reused across backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedBatch {
+    examples: Vec<Example>,
+}
+
+impl EncodedBatch {
+    /// Encodes a batch of single sentences.
+    pub fn from_texts(tokenizer: &Tokenizer, texts: &[&str]) -> Self {
+        let examples = texts
+            .iter()
+            .map(|t| {
+                let enc = tokenizer.encode_single(t);
+                Example {
+                    token_ids: enc.token_ids,
+                    segment_ids: enc.segment_ids,
+                    attention_mask: enc.attention_mask,
+                    label: 0,
+                }
+            })
+            .collect();
+        Self { examples }
+    }
+
+    /// Encodes a batch of sentence pairs (premise, hypothesis).
+    pub fn from_pairs(tokenizer: &Tokenizer, pairs: &[(&str, &str)]) -> Self {
+        let examples = pairs
+            .iter()
+            .map(|(a, b)| {
+                let enc = tokenizer.encode_pair(a, b);
+                Example {
+                    token_ids: enc.token_ids,
+                    segment_ids: enc.segment_ids,
+                    attention_mask: enc.attention_mask,
+                    label: 0,
+                }
+            })
+            .collect();
+        Self { examples }
+    }
+
+    /// Wraps already-encoded examples (e.g. a dataset split).
+    pub fn from_examples(examples: Vec<Example>) -> Self {
+        Self { examples }
+    }
+
+    /// The encoded examples.
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    /// Number of sequences in the batch.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Gold labels of the batch (zero for text-constructed batches).
+    pub fn labels(&self) -> Vec<usize> {
+        self.examples.iter().map(|e| e.label).collect()
+    }
+
+    /// Non-padding token count of every sequence.
+    pub fn seq_lens(&self) -> Vec<usize> {
+        self.examples
+            .iter()
+            .map(|e| e.attention_mask.iter().take_while(|&&m| m == 1).count())
+            .collect()
+    }
+}
+
+/// Simulated accelerator cost of running a batch (produced by the simulated
+/// backend; `None` elsewhere).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchCost {
+    /// Total accelerator cycles charged for the batch.
+    pub total_cycles: u64,
+    /// Total latency in milliseconds at the accelerator clock (sequences are
+    /// processed back to back at batch size 1, as in the paper).
+    pub latency_ms: f64,
+}
+
+/// Result of classifying one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutput {
+    /// Per-sequence class logits.
+    pub logits: Vec<Vec<f32>>,
+    /// Per-sequence argmax predictions.
+    pub predictions: Vec<usize>,
+    /// Simulated hardware cost, if the backend charges one.
+    pub cost: Option<BatchCost>,
+}
+
+impl BatchOutput {
+    /// Assembles an output from logits, deriving predictions.
+    pub fn from_logits(logits: Vec<Vec<f32>>, cost: Option<BatchCost>) -> Self {
+        let predictions = logits
+            .iter()
+            .map(|l| fqbert_tensor::ops::argmax_slice(l))
+            .collect();
+        Self {
+            logits,
+            predictions,
+            cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqbert_nlp::Vocab;
+
+    fn tokenizer() -> Tokenizer {
+        Tokenizer::new(Vocab::from_tokens(["good", "bad", "movie"]), 8)
+    }
+
+    #[test]
+    fn text_batch_is_padded_and_masked() {
+        let batch = EncodedBatch::from_texts(&tokenizer(), &["good movie", "bad"]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.examples()[0].token_ids.len(), 8);
+        assert_eq!(batch.seq_lens(), vec![4, 3]);
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn pair_batch_sets_segments() {
+        let batch = EncodedBatch::from_pairs(&tokenizer(), &[("good", "bad movie")]);
+        assert!(batch.examples()[0].segment_ids.contains(&1));
+    }
+
+    #[test]
+    fn output_derives_predictions() {
+        let out = BatchOutput::from_logits(vec![vec![0.1, 0.9], vec![2.0, -1.0]], None);
+        assert_eq!(out.predictions, vec![1, 0]);
+        assert!(out.cost.is_none());
+    }
+
+    #[test]
+    fn argmax_first_wins_on_ties() {
+        assert_eq!(fqbert_tensor::ops::argmax_slice(&[1.0, 1.0, 0.0]), 0);
+    }
+}

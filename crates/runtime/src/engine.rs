@@ -1,0 +1,396 @@
+//! The unified inference engine and its builder.
+
+use crate::artifact::ModelArtifact;
+use crate::backend::{FloatBackend, InferenceBackend, IntBackend, SimBackend};
+use crate::batch::{BatchOutput, EncodedBatch};
+use crate::{Result, RuntimeError};
+use fqbert_accel::AcceleratorConfig;
+use fqbert_autograd::Graph;
+use fqbert_bert::BertModel;
+use fqbert_core::{convert, QatHook};
+use fqbert_nlp::{accuracy, Example, TaskKind, Tokenizer, Vocab};
+use fqbert_quant::QuantConfig;
+use std::path::Path;
+
+/// Which backend an [`EngineBuilder`] should construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The FP32 float baseline.
+    Float,
+    /// The integer-only FQ-BERT engine (default).
+    #[default]
+    Int,
+    /// The integer engine with latency charged through the accelerator
+    /// cycle model.
+    Sim,
+}
+
+/// Classification result for one input text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// Predicted class index.
+    pub prediction: usize,
+    /// Class logits.
+    pub logits: Vec<f32>,
+}
+
+/// Accuracy summary of an evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalSummary {
+    /// Classification accuracy in percent.
+    pub accuracy: f64,
+    /// Number of evaluated examples.
+    pub num_examples: usize,
+    /// Simulated accelerator latency charged for the run, if the backend
+    /// has a cost model.
+    pub simulated_latency_ms: Option<f64>,
+}
+
+/// A task-aware serving engine: tokenizer + backend + batch size.
+///
+/// Built by [`EngineBuilder`]; every workload (examples, experiment
+/// binaries, the future server) funnels through [`Engine::classify_texts`] /
+/// [`Engine::classify_batch`] regardless of which backend is loaded.
+pub struct Engine {
+    task: TaskKind,
+    tokenizer: Tokenizer,
+    backend: Box<dyn InferenceBackend>,
+    batch_size: usize,
+}
+
+impl Engine {
+    /// The task this engine serves.
+    pub fn task(&self) -> TaskKind {
+        self.task
+    }
+
+    /// The tokenizer used to encode inputs.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// The backend in use.
+    pub fn backend(&self) -> &dyn InferenceBackend {
+        self.backend.as_ref()
+    }
+
+    /// Sequences per backend call.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Classifies raw texts, batching them `batch_size` at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn classify_texts(&self, texts: &[&str]) -> Result<Vec<Classification>> {
+        let mut out = Vec::with_capacity(texts.len());
+        for chunk in texts.chunks(self.batch_size.max(1)) {
+            let batch = EncodedBatch::from_texts(&self.tokenizer, chunk);
+            let result = self.backend.classify_batch(&batch)?;
+            for (prediction, logits) in result.predictions.into_iter().zip(result.logits) {
+                out.push(Classification { prediction, logits });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Classifies sentence pairs (premise, hypothesis), batching them
+    /// `batch_size` at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn classify_pairs(&self, pairs: &[(&str, &str)]) -> Result<Vec<Classification>> {
+        let mut out = Vec::with_capacity(pairs.len());
+        for chunk in pairs.chunks(self.batch_size.max(1)) {
+            let batch = EncodedBatch::from_pairs(&self.tokenizer, chunk);
+            let result = self.backend.classify_batch(&batch)?;
+            for (prediction, logits) in result.predictions.into_iter().zip(result.logits) {
+                out.push(Classification { prediction, logits });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Classifies one pre-encoded batch in a single backend call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn classify_batch(&self, batch: &EncodedBatch) -> Result<BatchOutput> {
+        self.backend.classify_batch(batch)
+    }
+
+    /// Evaluates accuracy over pre-encoded examples, batching internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn evaluate(&self, examples: &[Example]) -> Result<EvalSummary> {
+        if examples.is_empty() {
+            return Ok(EvalSummary {
+                accuracy: 0.0,
+                num_examples: 0,
+                simulated_latency_ms: None,
+            });
+        }
+        let mut predictions = Vec::with_capacity(examples.len());
+        let mut simulated_ms: Option<f64> = None;
+        for chunk in examples.chunks(self.batch_size.max(1)) {
+            let batch = EncodedBatch::from_examples(chunk.to_vec());
+            let result = self.backend.classify_batch(&batch)?;
+            predictions.extend(result.predictions);
+            if let Some(cost) = result.cost {
+                *simulated_ms.get_or_insert(0.0) += cost.latency_ms;
+            }
+        }
+        let labels: Vec<usize> = examples.iter().map(|e| e.label).collect();
+        Ok(EvalSummary {
+            accuracy: accuracy(&predictions, &labels),
+            num_examples: examples.len(),
+            simulated_latency_ms: simulated_ms,
+        })
+    }
+
+    /// Persists the engine's quantized model (plus tokenizer and task) as a
+    /// versioned binary artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for the float backend (there
+    /// is no quantized model to save) and I/O errors from writing.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let model = self.backend.int_model().ok_or_else(|| {
+            RuntimeError::InvalidConfig(format!(
+                "the `{}` backend holds no quantized model to save",
+                self.backend.name()
+            ))
+        })?;
+        ModelArtifact::new(self.task, model.clone(), self.tokenizer.clone()).save(path)
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("task", &self.task)
+            .field("backend", &self.backend.name())
+            .field("precision", &self.backend.precision().to_string())
+            .field("batch_size", &self.batch_size)
+            .finish()
+    }
+}
+
+/// Fluent constructor for [`Engine`]: task → tokenizer → backend →
+/// batch size → calibration options.
+///
+/// Replaces the hand-rolled wiring the examples and the bench pipeline used
+/// to duplicate (train → build hook → calibrate → convert → evaluate, each
+/// slightly differently).
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    task: TaskKind,
+    tokenizer: Option<Tokenizer>,
+    backend: BackendKind,
+    batch_size: usize,
+    quant: QuantConfig,
+    calibration: Vec<Example>,
+    accel: AcceleratorConfig,
+}
+
+/// Default sequences per backend call.
+pub const DEFAULT_BATCH_SIZE: usize = 8;
+
+impl EngineBuilder {
+    /// Starts a builder for `task` with the FQ-BERT defaults (integer
+    /// backend, w4/a8 quantization, ZCU111 accelerator, batch size
+    /// [`DEFAULT_BATCH_SIZE`]).
+    pub fn new(task: TaskKind) -> Self {
+        Self {
+            task,
+            tokenizer: None,
+            backend: BackendKind::Int,
+            batch_size: DEFAULT_BATCH_SIZE,
+            quant: QuantConfig::fq_bert(),
+            calibration: Vec::new(),
+            accel: AcceleratorConfig::zcu111_n16_m16(),
+        }
+    }
+
+    /// Uses an existing tokenizer.
+    pub fn tokenizer(mut self, tokenizer: Tokenizer) -> Self {
+        self.tokenizer = Some(tokenizer);
+        self
+    }
+
+    /// Builds a tokenizer from a vocabulary and maximum sequence length.
+    pub fn vocab(self, vocab: Vocab, max_len: usize) -> Self {
+        self.tokenizer(Tokenizer::new(vocab, max_len))
+    }
+
+    /// Selects which backend to construct.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    /// Sets the number of sequences per backend call.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Sets the quantization configuration used when converting a float
+    /// model (ignored by the float backend).
+    pub fn quant(mut self, quant: QuantConfig) -> Self {
+        self.quant = quant;
+        self
+    }
+
+    /// Provides calibration examples: when building an integer backend
+    /// without a QAT hook, the engine runs these through the float model in
+    /// calibration-only mode to derive activation scales.
+    pub fn calibrate_with(mut self, examples: &[Example]) -> Self {
+        self.calibration = examples.to_vec();
+        self
+    }
+
+    /// Sets the accelerator configuration charged by the simulated backend.
+    pub fn accelerator(mut self, accel: AcceleratorConfig) -> Self {
+        self.accel = accel;
+        self
+    }
+
+    fn take_tokenizer(&mut self) -> Result<Tokenizer> {
+        self.tokenizer.take().ok_or_else(|| {
+            RuntimeError::InvalidConfig("a tokenizer (or vocab + max_len) is required".to_string())
+        })
+    }
+
+    fn check_classes(&self, num_classes: usize) -> Result<()> {
+        if num_classes != self.task.num_classes() {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "model has {num_classes} classes but task {} needs {}",
+                self.task,
+                self.task.num_classes()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Builds the engine from a trained float model.
+    ///
+    /// For the integer and simulated backends the model is calibrated with
+    /// the examples from [`EngineBuilder::calibrate_with`] (in
+    /// calibration-only mode — the model itself is never perturbed) and then
+    /// converted with this builder's quantization configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if no tokenizer was supplied,
+    /// the model's head does not match the task, or (for integer backends)
+    /// no calibration examples were provided; propagates conversion errors.
+    pub fn build(mut self, model: &BertModel) -> Result<Engine> {
+        self.check_classes(model.config().num_classes)?;
+        let tokenizer = self.take_tokenizer()?;
+        let backend: Box<dyn InferenceBackend> = match self.backend {
+            BackendKind::Float => Box::new(FloatBackend::new(model.clone())),
+            BackendKind::Int | BackendKind::Sim => {
+                if self.calibration.is_empty() {
+                    return Err(RuntimeError::InvalidConfig(
+                        "integer backends need calibration examples \
+                         (EngineBuilder::calibrate_with) or a QAT hook \
+                         (EngineBuilder::build_with_hook)"
+                            .to_string(),
+                    ));
+                }
+                let mut hook = QatHook::calibration_only(self.quant);
+                for example in &self.calibration {
+                    let mut graph = Graph::new();
+                    let bound = model.bind(&mut graph);
+                    bound.forward(&mut graph, example, &mut hook)?;
+                }
+                let int_model = convert(model, &hook)?;
+                match self.backend {
+                    BackendKind::Sim => Box::new(SimBackend::new(int_model, self.accel.clone())?),
+                    _ => Box::new(IntBackend::new(int_model)),
+                }
+            }
+        };
+        Ok(Engine {
+            task: self.task,
+            tokenizer,
+            backend,
+            batch_size: self.batch_size,
+        })
+    }
+
+    /// Builds the engine from a float model plus an already-calibrated QAT
+    /// hook (the fine-tuning path: scales come from the hook's EMA
+    /// observers instead of fresh calibration passes).
+    ///
+    /// # Errors
+    ///
+    /// As for [`EngineBuilder::build`]; additionally propagates
+    /// missing-calibration errors from the converter.
+    pub fn build_with_hook(mut self, model: &BertModel, hook: &QatHook) -> Result<Engine> {
+        self.check_classes(model.config().num_classes)?;
+        let tokenizer = self.take_tokenizer()?;
+        let backend: Box<dyn InferenceBackend> = match self.backend {
+            BackendKind::Float => Box::new(FloatBackend::new(model.clone())),
+            BackendKind::Int => Box::new(IntBackend::new(convert(model, hook)?)),
+            BackendKind::Sim => {
+                Box::new(SimBackend::new(convert(model, hook)?, self.accel.clone())?)
+            }
+        };
+        Ok(Engine {
+            task: self.task,
+            tokenizer,
+            backend,
+            batch_size: self.batch_size,
+        })
+    }
+
+    /// Builds the engine by loading a saved artifact (`quantize once →
+    /// serve many`): no float model, no retraining, no recalibration.
+    ///
+    /// The artifact supplies the task and tokenizer; the builder's task is
+    /// overridden by the artifact's. The float backend cannot be built from
+    /// an artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates artifact I/O and validation errors; returns
+    /// [`RuntimeError::InvalidConfig`] for [`BackendKind::Float`].
+    pub fn load(self, path: &Path) -> Result<Engine> {
+        let artifact = ModelArtifact::load(path)?;
+        self.from_artifact(artifact)
+    }
+
+    /// Builds the engine from an in-memory artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for [`BackendKind::Float`].
+    pub fn from_artifact(self, artifact: ModelArtifact) -> Result<Engine> {
+        let backend: Box<dyn InferenceBackend> = match self.backend {
+            BackendKind::Float => {
+                return Err(RuntimeError::InvalidConfig(
+                    "artifacts store quantized models; the float backend \
+                     must be built from a float model"
+                        .to_string(),
+                ))
+            }
+            BackendKind::Int => Box::new(IntBackend::new(artifact.model)),
+            BackendKind::Sim => Box::new(SimBackend::new(artifact.model, self.accel.clone())?),
+        };
+        Ok(Engine {
+            task: artifact.task,
+            tokenizer: artifact.tokenizer,
+            backend,
+            batch_size: self.batch_size,
+        })
+    }
+}

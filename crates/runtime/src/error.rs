@@ -1,0 +1,106 @@
+//! Error type for the unified inference engine.
+
+use fqbert_autograd::AutogradError;
+use fqbert_core::FqBertError;
+use fqbert_quant::QuantError;
+use fqbert_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by engine construction, inference and artifact I/O.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The FQ-BERT pipeline (calibration, conversion, integer inference)
+    /// failed.
+    Core(FqBertError),
+    /// The float model's autograd forward pass failed.
+    Autograd(AutogradError),
+    /// A quantization primitive failed.
+    Quant(QuantError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// Reading or writing an artifact file failed.
+    Io(std::io::Error),
+    /// An artifact was rejected: wrong magic, unsupported version, truncated
+    /// payload or checksum mismatch.
+    Artifact(String),
+    /// The engine was configured inconsistently.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Core(e) => write!(f, "fq-bert pipeline error: {e}"),
+            RuntimeError::Autograd(e) => write!(f, "autograd error: {e}"),
+            RuntimeError::Quant(e) => write!(f, "quantization error: {e}"),
+            RuntimeError::Tensor(e) => write!(f, "tensor error: {e}"),
+            RuntimeError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            RuntimeError::Artifact(msg) => write!(f, "invalid artifact: {msg}"),
+            RuntimeError::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Core(e) => Some(e),
+            RuntimeError::Autograd(e) => Some(e),
+            RuntimeError::Quant(e) => Some(e),
+            RuntimeError::Tensor(e) => Some(e),
+            RuntimeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FqBertError> for RuntimeError {
+    fn from(e: FqBertError) -> Self {
+        RuntimeError::Core(e)
+    }
+}
+
+impl From<AutogradError> for RuntimeError {
+    fn from(e: AutogradError) -> Self {
+        RuntimeError::Autograd(e)
+    }
+}
+
+impl From<QuantError> for RuntimeError {
+    fn from(e: QuantError) -> Self {
+        RuntimeError::Quant(e)
+    }
+}
+
+impl From<TensorError> for RuntimeError {
+    fn from(e: TensorError) -> Self {
+        RuntimeError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for RuntimeError {
+    fn from(e: std::io::Error) -> Self {
+        RuntimeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let errs: Vec<RuntimeError> = vec![
+            FqBertError::InvalidArgument("x".into()).into(),
+            AutogradError::UnknownVariable(0).into(),
+            QuantError::UnsupportedBitWidth(1).into(),
+            TensorError::EmptyTensor("max").into(),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into(),
+            RuntimeError::Artifact("bad magic".into()),
+            RuntimeError::InvalidConfig("no tokenizer".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

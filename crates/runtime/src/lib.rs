@@ -1,0 +1,85 @@
+//! `fqbert-runtime` — the unified inference engine over every FQ-BERT
+//! execution substrate.
+//!
+//! The paper's central claim is that *the same model* runs as a float
+//! baseline, as an integer-only engine, and on the FPGA accelerator. This
+//! crate turns that claim into an API: one [`InferenceBackend`] trait with
+//! three first-class implementations, one [`EngineBuilder`] that wires
+//! task → tokenizer → backend → batch size → calibration, and one binary
+//! [`ModelArtifact`] format so a model is quantized once and served many
+//! times.
+//!
+//! # The backend trait
+//!
+//! [`InferenceBackend::classify_batch`] maps an [`EncodedBatch`] to a
+//! [`BatchOutput`] (logits + predictions + optional simulated hardware
+//! cost). The accessors [`InferenceBackend::name`],
+//! [`InferenceBackend::precision`] and [`InferenceBackend::cost_model`]
+//! describe the backend without running it:
+//!
+//! | backend | wraps | precision | cost model |
+//! |---|---|---|---|
+//! | [`FloatBackend`] | `fqbert-bert` [`BertModel`](fqbert_bert::BertModel) | fp32 | — |
+//! | [`IntBackend`] | `fqbert-core` [`IntBertModel`](fqbert_core::IntBertModel) | w4–w8 / a8 | — |
+//! | [`SimBackend`] | the integer engine + `fqbert-accel` | w4–w8 / a8 | FPGA cycle model |
+//!
+//! [`SimBackend`] is *functionally* the integer engine (the bit-accurate
+//! datapath tests prove the accelerator equal to it), so it returns the same
+//! logits while charging latency through the cycle model — deploy-time
+//! numbers from a laptop.
+//!
+//! # Batching
+//!
+//! [`EncodedBatch`] tokenizes once per batch. The float backend binds model
+//! parameters onto a single autograd tape per batch; the integer backends
+//! pack all sequences into one matrix so each linear projection runs as a
+//! single integer GEMM (`IntEncoderLayer::forward_batch`). Batched and
+//! one-at-a-time execution are bit-identical.
+//!
+//! # Artifacts
+//!
+//! [`ModelArtifact`] persists the quantized model (weight/bias codes,
+//! activation scales, layer-norm codes, bit-widths), the task and the
+//! vocabulary in a versioned, checksummed binary format (see
+//! [`artifact`]). Loading rebuilds all derived state (requantizers, LUTs)
+//! deterministically, so a reloaded model produces bit-identical logits —
+//! guaranteed by a property test.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use fqbert_runtime::{BackendKind, EngineBuilder};
+//! use fqbert_bert::{BertConfig, BertModel};
+//! use fqbert_nlp::{Sst2Config, Sst2Generator, TaskKind};
+//!
+//! let dataset = Sst2Generator::new(Sst2Config::tiny()).generate(1);
+//! let model = BertModel::new(
+//!     BertConfig::tiny(dataset.vocab_size, dataset.max_len, dataset.num_classes),
+//!     7,
+//! );
+//! // (train `model` here)
+//! let engine = EngineBuilder::new(TaskKind::Sst2)
+//!     .vocab(dataset.vocab.clone(), dataset.max_len)
+//!     .backend(BackendKind::Int)
+//!     .batch_size(16)
+//!     .calibrate_with(&dataset.dev[..8])
+//!     .build(&model)?;
+//! engine.save(std::path::Path::new("sst2.fqbt"))?;
+//! let answers = engine.classify_texts(&["a good movie", "a bad movie"])?;
+//! # Ok::<(), fqbert_runtime::RuntimeError>(())
+//! ```
+
+pub mod artifact;
+pub mod backend;
+pub mod batch;
+pub mod engine;
+pub mod error;
+
+pub use artifact::ModelArtifact;
+pub use backend::{CostModel, FloatBackend, InferenceBackend, IntBackend, Precision, SimBackend};
+pub use batch::{BatchCost, BatchOutput, EncodedBatch};
+pub use engine::{BackendKind, Classification, Engine, EngineBuilder, EvalSummary};
+pub use error::RuntimeError;
+
+/// Convenience result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,149 @@
+//! Property tests of the model-artifact format: `save → load` must
+//! reproduce bit-identical logits, and any tampering must be rejected.
+
+use fqbert_autograd::Graph;
+use fqbert_bert::{BertConfig, BertModel};
+use fqbert_core::{convert, QatHook};
+use fqbert_nlp::{Example, TaskKind, Tokenizer, Vocab};
+use fqbert_quant::QuantConfig;
+use fqbert_runtime::{EncodedBatch, InferenceBackend, IntBackend, ModelArtifact};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const MAX_LEN: usize = 12;
+
+/// A calibrated quantized model, built once and shared across cases.
+fn artifact() -> &'static (ModelArtifact, Vec<u8>) {
+    static CELL: OnceLock<(ModelArtifact, Vec<u8>)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let words: Vec<String> = (0..24).map(|i| format!("w{i}")).collect();
+        let vocab = Vocab::from_tokens(&words);
+        let model = BertModel::new(BertConfig::tiny(vocab.len(), MAX_LEN, 2), 11);
+        let mut hook = QatHook::calibration_only(QuantConfig::fq_bert());
+        for i in 0..8usize {
+            let tokens = vec![2, 4 + i, 9 + (i * 3) % 12, 6, 3];
+            let example = Example {
+                segment_ids: vec![0; tokens.len()],
+                attention_mask: vec![1; tokens.len()],
+                token_ids: tokens,
+                label: 0,
+            };
+            let mut graph = Graph::new();
+            let bound = model.bind(&mut graph);
+            bound
+                .forward(&mut graph, &example, &mut hook)
+                .expect("calibration forward");
+        }
+        let int_model = convert(&model, &hook).expect("conversion");
+        let artifact =
+            ModelArtifact::new(TaskKind::Sst2, int_model, Tokenizer::new(vocab, MAX_LEN));
+        let bytes = artifact.to_bytes();
+        (artifact, bytes)
+    })
+}
+
+/// A random batch of encoded examples valid for the test model.
+fn batch_strategy() -> impl Strategy<Value = Vec<Example>> {
+    proptest::collection::vec(
+        (1usize..=MAX_LEN - 2, 0u64..u64::MAX).prop_map(|(len, seed)| {
+            let mut ids = vec![2usize]; // [CLS]
+            let mut s = seed;
+            for _ in 0..len {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ids.push(4 + (s >> 33) as usize % 24);
+            }
+            ids.push(3); // [SEP]
+            Example {
+                segment_ids: vec![0; ids.len()],
+                attention_mask: vec![1; ids.len()],
+                token_ids: ids,
+                label: 0,
+            }
+        }),
+        1..6,
+    )
+}
+
+proptest! {
+    #[test]
+    fn reloaded_model_is_bit_identical(examples in batch_strategy()) {
+        let (original, bytes) = artifact();
+        let reloaded = ModelArtifact::from_bytes(bytes).expect("round trip");
+        let a = original.model.logits_batch(&examples).expect("original logits");
+        let b = reloaded.model.logits_batch(&examples).expect("reloaded logits");
+        prop_assert_eq!(a.len(), b.len());
+        for (la, lb) in a.iter().zip(b.iter()) {
+            for (x, y) in la.iter().zip(lb.iter()) {
+                // Bitwise, not approximate: the artifact must reconstruct
+                // the exact integer engine.
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // The backends built from both models agree prediction-for-prediction.
+        let batch = EncodedBatch::from_examples(examples);
+        let pa = IntBackend::new(original.model.clone()).classify_batch(&batch).unwrap();
+        let pb = IntBackend::new(reloaded.model.clone()).classify_batch(&batch).unwrap();
+        prop_assert_eq!(pa.predictions, pb.predictions);
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected(offset_seed in 0u64..u64::MAX, flip in 1u8..=255) {
+        let (_, bytes) = artifact();
+        // Corrupt one payload byte (past magic+version, before the stored
+        // CRC so the mismatch is detectable).
+        let lo = 8usize;
+        let hi = bytes.len() - 4;
+        let offset = lo + (offset_seed as usize) % (hi - lo);
+        let mut corrupted = bytes.clone();
+        corrupted[offset] ^= flip;
+        let err = ModelArtifact::from_bytes(&corrupted).err();
+        prop_assert!(err.is_some(), "corruption at offset {} went undetected", offset);
+    }
+}
+
+#[test]
+fn version_mismatch_is_rejected_with_versions_named() {
+    let (_, bytes) = artifact();
+    let mut wrong = bytes.clone();
+    let future = (fqbert_runtime::artifact::VERSION + 1).to_le_bytes();
+    wrong[4..8].copy_from_slice(&future);
+    // Version is outside the checksummed payload, so this specifically
+    // exercises the version gate rather than the CRC.
+    let msg = ModelArtifact::from_bytes(&wrong)
+        .expect_err("future version must be rejected")
+        .to_string();
+    assert!(msg.contains("version"), "unhelpful error: {msg}");
+}
+
+#[test]
+fn bad_magic_and_truncation_are_rejected() {
+    let (_, bytes) = artifact();
+    let mut wrong = bytes.clone();
+    wrong[0] = b'X';
+    assert!(ModelArtifact::from_bytes(&wrong).is_err());
+    assert!(ModelArtifact::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    assert!(ModelArtifact::from_bytes(&[]).is_err());
+}
+
+#[test]
+fn file_round_trip_via_engine() {
+    use fqbert_runtime::{BackendKind, EngineBuilder};
+    let (original, _) = artifact();
+    let dir = std::env::temp_dir().join("fqbert_runtime_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("roundtrip.fqbt");
+    original.save(&path).expect("save");
+    let engine = EngineBuilder::new(TaskKind::Sst2)
+        .backend(BackendKind::Int)
+        .load(&path)
+        .expect("load");
+    assert_eq!(engine.task(), TaskKind::Sst2);
+    assert_eq!(engine.backend().name(), "int");
+    let out = engine
+        .classify_texts(&["w0 w1 w2", "w3"])
+        .expect("classify");
+    assert_eq!(out.len(), 2);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,15 +1,12 @@
 //! Deterministic random initialisation helpers.
 //!
 //! All experiments in the reproduction are seeded so that every table and
-//! figure can be regenerated bit-for-bit. [`RngSource`] wraps a ChaCha RNG
-//! seeded from a `u64` and is the only RNG constructor the rest of the
-//! workspace uses.
+//! figure can be regenerated bit-for-bit. [`RngSource`] wraps a xoshiro256++
+//! generator (implemented in-repo so the workspace builds without network
+//! access) seeded from a `u64` via splitmix64, and is the only RNG
+//! constructor the rest of the workspace uses.
 
 use crate::Tensor;
-use rand::distributions::{Distribution, Uniform};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Deterministic random number source used throughout the workspace.
 ///
@@ -24,46 +21,84 @@ use rand_chacha::ChaCha8Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct RngSource {
-    rng: ChaCha8Rng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl RngSource {
     /// Creates a source seeded from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed with splitmix64 as recommended by the xoshiro
+        // authors so that low-entropy seeds produce unrelated streams.
+        let mut s = seed;
         Self {
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2n = s2 ^ s0;
+        let mut s3n = s3 ^ s1;
+        let s1n = s1 ^ s2n;
+        let s0n = s0 ^ s3n;
+        s2n ^= t;
+        s3n = s3n.rotate_left(45);
+        self.state = [s0n, s1n, s2n, s3n];
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Draws a uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        Uniform::new(lo, hi).sample(&mut self.rng)
+        assert!(lo < hi, "uniform range must be non-empty");
+        let v = (f64::from(lo) + self.unit_f64() * (f64::from(hi) - f64::from(lo))) as f32;
+        // Guard against f64→f32 rounding landing exactly on the open bound.
+        v.min(hi.next_down()).max(lo)
     }
 
     /// Draws a standard-normal sample (Box–Muller).
     pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
-        // Box–Muller transform; avoids a dependency on rand_distr.
-        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        let u1 = (self.unit_f64() as f32).max(f32::EPSILON);
+        let u2 = self.unit_f64() as f32;
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
         mean + std * z
     }
 
     /// Draws an integer uniformly from `[lo, hi)`.
     pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
-        self.rng.gen_range(lo..hi)
+        assert!(lo < hi, "usize_in range must be non-empty");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
     }
 
     /// Draws a boolean with probability `p` of being `true`.
     pub fn bool_with(&mut self, p: f64) -> bool {
-        self.rng.gen_bool(p)
+        self.unit_f64() < p
     }
 
     /// Returns a tensor of the given shape filled with uniform samples.
     pub fn uniform_tensor(&mut self, dims: &[usize], lo: f32, hi: f32) -> Tensor {
         let n: usize = dims.iter().product();
-        let dist = Uniform::new(lo, hi);
-        let data: Vec<f32> = (0..n).map(|_| dist.sample(&mut self.rng)).collect();
+        let data: Vec<f32> = (0..n).map(|_| self.uniform(lo, hi)).collect();
         Tensor::from_vec(data, dims).expect("shape consistent by construction")
     }
 
@@ -77,15 +112,9 @@ impl RngSource {
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
             items.swap(i, j);
         }
-    }
-
-    /// Gives mutable access to the underlying RNG for callers that need the
-    /// full `rand::Rng` interface.
-    pub fn rng_mut(&mut self) -> &mut impl Rng {
-        &mut self.rng
     }
 }
 

@@ -2,7 +2,6 @@
 //! accelerator simulator.
 
 use crate::{Result, Shape, TensorError};
-use serde::{Deserialize, Serialize};
 use std::fmt::Debug;
 
 /// Marker trait for the integer element types supported by [`IntTensor`].
@@ -56,7 +55,7 @@ impl_int_element!(i8, i16, i32, i64);
 /// assert_eq!(y.as_slice(), &[1, -2, 3, -4]);
 /// # Ok::<(), fqbert_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct IntTensor<T: IntElement> {
     data: Vec<T>,
     shape: Shape,

@@ -307,6 +307,25 @@ impl Tensor {
         diff.map(|x| x * x).mean()
     }
 }
+/// Index of the largest value of a slice (first wins on ties; 0 for an
+/// empty slice). Shared by the logit argmax paths of the integer engine and
+/// the runtime.
+///
+/// ```
+/// assert_eq!(fqbert_tensor::ops::argmax_slice(&[0.1, 0.9, 0.9]), 1);
+/// assert_eq!(fqbert_tensor::ops::argmax_slice(&[]), 0);
+/// ```
+pub fn argmax_slice(values: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
 
 /// GELU activation on a single value (tanh approximation used by BERT).
 ///
@@ -317,7 +336,7 @@ impl Tensor {
 /// assert_eq!(y, 0.0);
 /// ```
 pub fn gelu_scalar(x: f32) -> f32 {
-    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
 }
 
@@ -351,7 +370,10 @@ mod tests {
     fn add_bias_broadcasts_over_rows() {
         let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
         let b = t(&[10.0, 20.0], &[2]);
-        assert_eq!(a.add_bias(&b).unwrap().as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(
+            a.add_bias(&b).unwrap().as_slice(),
+            &[11.0, 22.0, 13.0, 24.0]
+        );
         assert!(a.add_bias(&t(&[1.0], &[1])).is_err());
     }
 

@@ -1,7 +1,6 @@
 //! Shape handling for dense row-major tensors.
 
 use crate::{Result, TensorError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The shape (dimension sizes) of a dense row-major tensor.
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert_eq!(s.numel(), 24);
 /// assert_eq!(s.dims(), &[2, 3, 4]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape {
     dims: Vec<usize>,
 }

@@ -1,7 +1,6 @@
 //! Dense row-major `f32` tensor.
 
 use crate::{Result, Shape, TensorError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense, row-major tensor of `f32` values.
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(y.get(&[2, 1])?, 6.0);
 /// # Ok::<(), fqbert_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
@@ -295,9 +294,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if column counts differ, or
     /// [`TensorError::EmptyTensor`] when `parts` is empty.
     pub fn vstack(parts: &[&Tensor]) -> Result<Self> {
-        let first = parts
-            .first()
-            .ok_or(TensorError::EmptyTensor("vstack"))?;
+        let first = parts.first().ok_or(TensorError::EmptyTensor("vstack"))?;
         let (_, cols) = first.as_matrix_dims()?;
         let mut data = Vec::new();
         let mut rows = 0usize;
@@ -323,9 +320,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if row counts differ, or
     /// [`TensorError::EmptyTensor`] when `parts` is empty.
     pub fn hstack(parts: &[&Tensor]) -> Result<Self> {
-        let first = parts
-            .first()
-            .ok_or(TensorError::EmptyTensor("hstack"))?;
+        let first = parts.first().ok_or(TensorError::EmptyTensor("hstack"))?;
         let (rows, _) = first.as_matrix_dims()?;
         let mut cols_total = 0usize;
         for p in parts {
@@ -344,8 +339,7 @@ impl Tensor {
             let mut off = 0usize;
             for p in parts {
                 let c = p.shape.dim(1);
-                out.data[i * cols_total + off..i * cols_total + off + c]
-                    .copy_from_slice(p.row(i));
+                out.data[i * cols_total + off..i * cols_total + off + c].copy_from_slice(p.row(i));
                 off += c;
             }
         }

@@ -14,7 +14,11 @@ use fqbert_tensor::IntTensor;
 
 /// Runs an [`IntLinear`] matrix–vector product through the PU datapath and
 /// checks it against the integer reference engine.
-fn run_layer_on_pu(layer: &IntLinear, x_row: &[i8], pu: &ProcessingUnit) -> (Vec<i8>, Vec<i8>, u64) {
+fn run_layer_on_pu(
+    layer: &IntLinear,
+    x_row: &[i8],
+    pu: &ProcessingUnit,
+) -> (Vec<i8>, Vec<i8>, u64) {
     // Reference: the integer engine.
     let x = IntTensor::from_vec(x_row.to_vec(), &[1, x_row.len()]).expect("valid shape");
     let reference = layer.forward(&x).expect("reference forward");
@@ -73,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reference.len(),
         cycles
     );
-    assert!(matches, "accelerator datapath deviated from the reference engine");
+    assert!(
+        matches,
+        "accelerator datapath deviated from the reference engine"
+    );
 
     // Deployment estimates for BERT-base on both boards.
     println!("\nBERT-base (12 layers, seq 128) deployment estimates:");

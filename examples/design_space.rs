@@ -32,8 +32,16 @@ fn main() {
                 report.latency_ms,
                 watts,
                 power_model.fps_per_watt(&config, report.latency_ms),
-                if resources.fits(FpgaDevice::Zcu102) { "yes" } else { "no" },
-                if resources.fits(FpgaDevice::Zcu111) { "yes" } else { "no" },
+                if resources.fits(FpgaDevice::Zcu102) {
+                    "yes"
+                } else {
+                    "no"
+                },
+                if resources.fits(FpgaDevice::Zcu111) {
+                    "yes"
+                } else {
+                    "no"
+                },
             );
         }
     }

@@ -5,9 +5,10 @@
 //! Run with `cargo run -p fqbert-bench --example quantize_sst2 --release`.
 
 use fqbert_bert::{BertConfig, BertModel, NoopHook, Trainer, TrainerConfig};
-use fqbert_core::{convert, evaluate_int_model, CompressionReport, QatHook};
-use fqbert_nlp::{Sst2Config, Sst2Generator};
+use fqbert_core::{CompressionReport, QatHook};
+use fqbert_nlp::{Sst2Config, Sst2Generator, TaskKind};
 use fqbert_quant::{tune_clip_threshold, QuantConfig};
+use fqbert_runtime::{BackendKind, EngineBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = Sst2Generator::new(Sst2Config::default()).generate(7);
@@ -57,8 +58,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..TrainerConfig::default()
         });
         finetune.train(&mut qat_model, &dataset, &mut hook)?;
-        let int_model = convert(&qat_model, &hook)?;
-        let acc = evaluate_int_model(&int_model, &dataset.dev)?.accuracy;
+        // Serve through the unified runtime: the hook's EMA scales feed the
+        // integer backend directly.
+        let engine = EngineBuilder::new(TaskKind::Sst2)
+            .vocab(dataset.vocab.clone(), dataset.max_len)
+            .backend(BackendKind::Int)
+            .batch_size(16)
+            .build_with_hook(&qat_model, &hook)?;
+        let acc = engine.evaluate(&dataset.dev)?.accuracy;
         let compression = CompressionReport::for_model(&qat_model, &quant);
         println!(
             "w{weight_bits}/a8 integer engine: dev accuracy {acc:.2}%, encoder compression {:.2}x",

@@ -1,0 +1,118 @@
+//! Batched serving across every backend behind the unified runtime API:
+//! build one quantized model, persist it as an artifact, reload it with no
+//! float model in sight, and classify batches through the float, integer and
+//! accelerator-simulated backends — with a latency/accuracy comparison.
+//!
+//! Run with `cargo run -p fqbert-bench --example serve_batch --release`
+//! (set `FQBERT_QUICK=1` for a fast smoke run).
+
+use fqbert_bench::{markdown_table, ExperimentConfig};
+use fqbert_quant::QuantConfig;
+use fqbert_runtime::{BackendKind, EncodedBatch, EngineBuilder};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ExperimentConfig::from_env();
+    println!("== fqbert-runtime: one API, three backends, one artifact ==\n");
+
+    // Train + QAT-fine-tune once.
+    println!("training float baseline on synthetic SST-2 ...");
+    let mut task = config.train_sst2();
+    println!("quantization-aware fine-tuning (w4/a8) ...");
+    let hook = config.qat_finetune(&mut task, QuantConfig::fq_bert());
+
+    // The same builder wiring produces all three backends.
+    let float_engine = task.engine_with_hook(BackendKind::Float, &hook)?;
+    let int_engine = task.engine_with_hook(BackendKind::Int, &hook)?;
+    let sim_engine = task.engine_with_hook(BackendKind::Sim, &hook)?;
+
+    // Quantize once → serve many: save the artifact, reload it cold.
+    let path = std::env::temp_dir().join("fqbert_serve_batch.fqbt");
+    int_engine.save(&path)?;
+    let served = EngineBuilder::new(task.dataset.task)
+        .backend(BackendKind::Int)
+        .batch_size(int_engine.batch_size())
+        .load(&path)?;
+    println!(
+        "saved + reloaded artifact: {} ({} KiB)\n",
+        path.display(),
+        std::fs::metadata(&path)?.len() / 1024
+    );
+
+    // The reloaded engine must agree bit-for-bit with the in-memory one.
+    let probe =
+        EncodedBatch::from_examples(task.dataset.dev[..task.dataset.dev.len().min(32)].to_vec());
+    let in_memory = int_engine.classify_batch(&probe)?;
+    let reloaded = served.classify_batch(&probe)?;
+    assert_eq!(
+        in_memory.logits, reloaded.logits,
+        "artifact round trip must be bit-identical"
+    );
+    println!(
+        "reloaded engine reproduces the in-memory engine bit-for-bit on {} sequences\n",
+        probe.len()
+    );
+
+    // Batched classification across every backend, with timings.
+    let dev = &task.dataset.dev;
+    let mut rows = Vec::new();
+    for (label, engine) in [
+        ("float (in memory)", &float_engine),
+        ("int (in memory)", &int_engine),
+        ("int (from artifact)", &served),
+        ("sim (in memory)", &sim_engine),
+    ] {
+        let start = Instant::now();
+        let summary = engine.evaluate(dev)?;
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        rows.push(vec![
+            label.to_string(),
+            engine.backend().name().to_string(),
+            engine.backend().precision().to_string(),
+            format!("{:.2}", summary.accuracy),
+            format!("{:.1}", wall_ms),
+            match summary.simulated_latency_ms {
+                Some(ms) => format!("{ms:.3}"),
+                None => "-".to_string(),
+            },
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "engine",
+                "backend",
+                "w/a",
+                "accuracy %",
+                "wall ms",
+                "sim ms"
+            ],
+            &rows
+        )
+    );
+    let cost = sim_engine.backend().cost_model().expect("sim cost model");
+    println!(
+        "simulated platform: {} @ {:.0} MHz ({} PUs x {} PEs, M={})",
+        cost.platform,
+        cost.clock_mhz,
+        cost.processing_units,
+        cost.pes_per_pu,
+        cost.multipliers_per_bim
+    );
+
+    // Raw-text serving through the reloaded artifact.
+    let texts = ["pos0 pos1 filler2", "neg0 filler1 neg3", "pos2 neg0 pos4"];
+    let verdicts = served.classify_texts(&texts)?;
+    println!("\nraw-text serving through the artifact engine:");
+    for (text, c) in texts.iter().zip(&verdicts) {
+        println!(
+            "  {:>28} -> class {} (logits {:?})",
+            format!("{text:?}"),
+            c.prediction,
+            c.logits
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -109,7 +109,10 @@ fn deployment_models_reproduce_the_published_numbers() {
 fn weight_streaming_is_overlapped_at_published_bandwidths() {
     for config in AcceleratorConfig::table_iii_configs() {
         let trace = Scheduler::new(config).schedule_layer(&EncoderShape::bert_base());
-        assert_eq!(trace.dma_stall_cycles, 0, "DMA must be hidden behind compute");
+        assert_eq!(
+            trace.dma_stall_cycles, 0,
+            "DMA must be hidden behind compute"
+        );
         assert!(trace.pe_utilization() > 0.9);
     }
 }

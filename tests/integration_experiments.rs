@@ -31,7 +31,11 @@ fn quick_experiment_config_trains_and_quantizes() {
     config.qat_trainer.epochs = 1;
 
     let mut task = config.train_sst2();
-    assert!(task.float_accuracy > 55.0, "float accuracy {}", task.float_accuracy);
+    assert!(
+        task.float_accuracy > 55.0,
+        "float accuracy {}",
+        task.float_accuracy
+    );
 
     let hook = config.qat_finetune(&mut task, QuantConfig::fq_bert());
     assert!(hook.observed_sites() > 10);
@@ -90,7 +94,10 @@ fn bitwidth_sweep_shape_matches_figure_three() {
     let acc8 = eval_at(8);
     let acc2 = eval_at(2);
     assert!(acc32 > 65.0, "float accuracy {acc32}");
-    assert!(acc8 > acc32 - 10.0, "8-bit accuracy {acc8} vs float {acc32}");
+    assert!(
+        acc8 > acc32 - 10.0,
+        "8-bit accuracy {acc8} vs float {acc32}"
+    );
     // On this miniature smoke-test task 2-bit accuracy can survive by luck,
     // so the monotone degradation is asserted on the weight reconstruction
     // error instead (the full-scale accuracy sweep is produced by the
@@ -155,8 +162,7 @@ fn calibration_only_hook_does_not_perturb_the_model() {
     );
     let float_report = Trainer::evaluate_float(&model, &dataset.dev).expect("evaluation");
     let mut hook = QatHook::calibration_only(QuantConfig::fq_bert());
-    let calib_report =
-        Trainer::evaluate(&model, &dataset.dev, &mut hook).expect("evaluation");
+    let calib_report = Trainer::evaluate(&model, &dataset.dev, &mut hook).expect("evaluation");
     assert_eq!(float_report.accuracy, calib_report.accuracy);
     assert!((float_report.loss - calib_report.loss).abs() < 1e-6);
 }

@@ -31,7 +31,6 @@ fn full_fq_bert_pipeline_preserves_accuracy() {
         negation_prob: 0.1,
         label_noise: 0.0,
         max_len: 14,
-        ..Sst2Config::tiny()
     })
     .generate(3);
 
@@ -76,7 +75,10 @@ fn full_fq_bert_pipeline_preserves_accuracy() {
         int_acc >= float_acc - 35.0,
         "integer-engine accuracy {int_acc}% collapsed relative to float {float_acc}%"
     );
-    assert!(int_acc > 55.0, "integer-engine accuracy too low: {int_acc}%");
+    assert!(
+        int_acc > 55.0,
+        "integer-engine accuracy too low: {int_acc}%"
+    );
 
     // 4. Compression accounting: 4-bit encoder weights give close to 8x.
     let report = CompressionReport::for_model(&model, &quant);

@@ -1,0 +1,190 @@
+//! Integration tests of the unified runtime: one `InferenceBackend` trait
+//! over the float, integer and accelerator-simulated engines, batched
+//! inference equal to one-at-a-time inference, and artifact round trips.
+
+use fqbert_bench::ExperimentConfig;
+use fqbert_quant::QuantConfig;
+use fqbert_runtime::{BackendKind, EncodedBatch, EngineBuilder, InferenceBackend};
+
+fn quick_task() -> (fqbert_bench::TrainedTask, fqbert_core::QatHook) {
+    let mut config = ExperimentConfig::quick();
+    config.sst2.train_size = 280;
+    config.sst2.dev_size = 80;
+    config.sst2.sentiment_words = 6;
+    config.sst2.neutral_words = 10;
+    config.sst2.min_words = 3;
+    config.sst2.max_words = 6;
+    config.sst2.negation_prob = 0.0;
+    config.sst2.label_noise = 0.0;
+    config.sst2.max_len = 12;
+    config.float_trainer.epochs = 4;
+    config.float_trainer.batch_size = 8;
+    config.float_trainer.learning_rate = 3e-3;
+    config.qat_trainer.epochs = 1;
+    let mut task = config.train_sst2();
+    let hook = config.qat_finetune(&mut task, QuantConfig::fq_bert());
+    (task, hook)
+}
+
+#[test]
+fn all_three_backends_serve_through_one_trait() {
+    let (task, hook) = quick_task();
+    let dev = &task.dataset.dev;
+
+    let float_engine = task
+        .engine_with_hook(BackendKind::Float, &hook)
+        .expect("float engine");
+    let int_engine = task
+        .engine_with_hook(BackendKind::Int, &hook)
+        .expect("int engine");
+    let sim_engine = task
+        .engine_with_hook(BackendKind::Sim, &hook)
+        .expect("sim engine");
+
+    // Trait-object access: every backend is driven identically.
+    let backends: Vec<&dyn InferenceBackend> = vec![
+        float_engine.backend(),
+        int_engine.backend(),
+        sim_engine.backend(),
+    ];
+    assert_eq!(backends[0].name(), "float");
+    assert_eq!(backends[1].name(), "int");
+    assert_eq!(backends[2].name(), "sim");
+    assert_eq!(backends[0].precision().to_string(), "fp32");
+    assert_eq!(backends[1].precision().to_string(), "w4/a8");
+    assert!(backends[0].cost_model().is_none());
+    assert!(backends[2].cost_model().is_some());
+
+    let batch = EncodedBatch::from_examples(dev[..40.min(dev.len())].to_vec());
+    let float_out = backends[0].classify_batch(&batch).expect("float batch");
+    let int_out = backends[1].classify_batch(&batch).expect("int batch");
+    let sim_out = backends[2].classify_batch(&batch).expect("sim batch");
+
+    // The simulated backend IS the integer engine functionally...
+    assert_eq!(int_out.logits, sim_out.logits);
+    assert_eq!(int_out.predictions, sim_out.predictions);
+    // ...but it charges an accelerator cost.
+    assert!(int_out.cost.is_none());
+    let cost = sim_out.cost.expect("sim cost");
+    assert!(cost.total_cycles > 0);
+    assert!(cost.latency_ms > 0.0);
+
+    // Quantization preserves most decisions of the float baseline.
+    let agree = float_out
+        .predictions
+        .iter()
+        .zip(&int_out.predictions)
+        .filter(|(a, b)| a == b)
+        .count();
+    assert!(
+        agree * 10 >= batch.len() * 7,
+        "int backend agrees with float on only {agree}/{} predictions",
+        batch.len()
+    );
+
+    // Accuracy through the engine wrapper, all above chance.
+    for engine in [&float_engine, &int_engine, &sim_engine] {
+        let summary = engine.evaluate(dev).expect("evaluate");
+        assert_eq!(summary.num_examples, dev.len());
+        assert!(
+            summary.accuracy > 55.0,
+            "{} accuracy {}",
+            engine.backend().name(),
+            summary.accuracy
+        );
+    }
+}
+
+#[test]
+fn batched_inference_is_bit_identical_to_one_at_a_time() {
+    let (task, hook) = quick_task();
+    let dev = &task.dataset.dev[..24];
+    for kind in [BackendKind::Float, BackendKind::Int] {
+        let engine = task.engine_with_hook(kind, &hook).expect("engine");
+        let batched = engine
+            .classify_batch(&EncodedBatch::from_examples(dev.to_vec()))
+            .expect("batched");
+        let mut singly = Vec::new();
+        for ex in dev {
+            let out = engine
+                .classify_batch(&EncodedBatch::from_examples(vec![ex.clone()]))
+                .expect("single");
+            singly.extend(out.logits);
+        }
+        for (i, (a, b)) in batched.logits.iter().zip(&singly).enumerate() {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "batched and single logits diverge on example {i} ({:?} backend)",
+                    engine.backend().name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn artifact_round_trip_preserves_predictions_exactly() {
+    let (task, hook) = quick_task();
+    let dev = &task.dataset.dev;
+    let int_engine = task
+        .engine_with_hook(BackendKind::Int, &hook)
+        .expect("int engine");
+
+    let path = std::env::temp_dir().join("fqbert_integration_runtime.fqbt");
+    int_engine.save(&path).expect("save");
+    let served = EngineBuilder::new(task.dataset.task)
+        .backend(BackendKind::Int)
+        .load(&path)
+        .expect("load");
+    std::fs::remove_file(&path).ok();
+
+    let batch = EncodedBatch::from_examples(dev.to_vec());
+    let a = int_engine.classify_batch(&batch).expect("in-memory");
+    let b = served.classify_batch(&batch).expect("reloaded");
+    assert_eq!(
+        a.logits, b.logits,
+        "artifact round trip must be bit-identical"
+    );
+    assert_eq!(a.predictions, b.predictions);
+
+    // The reloaded engine serves raw text with the persisted vocabulary.
+    let texts = ["pos0 filler1", "neg0 neg1"];
+    let in_mem = int_engine.classify_texts(&texts).expect("in-memory text");
+    let from_disk = served.classify_texts(&texts).expect("artifact text");
+    assert_eq!(
+        in_mem.iter().map(|c| c.prediction).collect::<Vec<_>>(),
+        from_disk.iter().map(|c| c.prediction).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn builder_rejects_inconsistent_configurations() {
+    let (task, hook) = quick_task();
+    // Missing tokenizer.
+    let err = EngineBuilder::new(task.dataset.task)
+        .build_with_hook(&task.model, &hook)
+        .expect_err("missing tokenizer must fail");
+    assert!(err.to_string().contains("tokenizer"), "{err}");
+    // Integer backend without calibration or hook.
+    let err = EngineBuilder::new(task.dataset.task)
+        .vocab(task.dataset.vocab.clone(), task.dataset.max_len)
+        .backend(BackendKind::Int)
+        .build(&task.model)
+        .expect_err("missing calibration must fail");
+    assert!(err.to_string().contains("calibration"), "{err}");
+    // Task/head mismatch.
+    let err = EngineBuilder::new(fqbert_nlp::TaskKind::MnliMatched)
+        .vocab(task.dataset.vocab.clone(), task.dataset.max_len)
+        .backend(BackendKind::Float)
+        .build(&task.model)
+        .expect_err("class mismatch must fail");
+    assert!(err.to_string().contains("classes"), "{err}");
+    // Float backend from an artifact.
+    let err = EngineBuilder::new(task.dataset.task)
+        .backend(BackendKind::Float)
+        .load(std::path::Path::new("/nonexistent.fqbt"))
+        .expect_err("float-from-artifact must fail");
+    assert!(!err.to_string().is_empty());
+}
