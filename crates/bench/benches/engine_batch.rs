@@ -1,16 +1,25 @@
-//! Criterion benchmark of the unified runtime's batched inference: one
+//! Benchmark of the unified runtime's batched inference: one
 //! `classify_batch` call over N sequences versus N batch-of-one calls on
-//! the integer backend (first entry of the engine perf trajectory), plus
-//! the float backend for reference.
+//! the integer backend, the float backend for reference, and the blocked
+//! packed-weight GEMM kernel against the naive `matmul_i32` + scalar
+//! requantize path it replaced.
+//!
+//! Besides the console output, the run emits a machine-readable
+//! `results/BENCH_engine_batch.json` (via the fqbert-bench JSON emitter) so
+//! the integer-path perf trajectory is tracked across PRs; CI runs this in
+//! quick mode (`FQBERT_BENCH_MS`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use fqbert_autograd::Graph;
+use fqbert_bench::impl_to_json;
 use fqbert_bert::{BertConfig, BertModel};
-use fqbert_core::QatHook;
+use fqbert_core::{IntLinear, QatHook};
 use fqbert_nlp::{Example, TaskKind, Vocab};
 use fqbert_quant::QuantConfig;
 use fqbert_runtime::{BackendKind, EncodedBatch, Engine, EngineBuilder};
+use fqbert_tensor::{GemmScratch, IntTensor, RngSource};
 use std::hint::black_box;
+use std::path::Path;
 
 const MAX_LEN: usize = 24;
 const SEQ_LEN: usize = 16;
@@ -110,5 +119,99 @@ fn bench_engine_batching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_batching);
-criterion_main!(benches);
+/// The blocked packed-weight kernel against the naive
+/// `matmul_i32` + scalar-requantize path it replaced, on BERT-shaped
+/// projections (rows = packed batch tokens, in/out = hidden/intermediate).
+fn bench_blocked_vs_naive(c: &mut Criterion) {
+    let mut rng = RngSource::seed_from_u64(42);
+    let mut group = c.benchmark_group("int_linear_kernel");
+    for &(rows, inf, outf) in &[
+        (64usize, 128usize, 128usize),
+        (64, 128, 512),
+        (128, 256, 256),
+    ] {
+        let weight = rng.normal_tensor(&[inf, outf], 0.0, 0.3);
+        let bias = rng.normal_tensor(&[outf], 0.0, 0.1);
+        let layer = IntLinear::from_float(&weight, &bias, 8, None, 16.0, 16.0).expect("layer");
+        let x = IntTensor::<i8>::from_vec(
+            (0..rows * inf)
+                .map(|i| ((i * 37 + 5) % 255) as i8)
+                .collect(),
+            &[rows, inf],
+        )
+        .expect("activations");
+        assert_eq!(
+            layer.forward(&x).expect("blocked"),
+            layer.forward_naive(&x).expect("naive"),
+            "kernels must stay bit-identical"
+        );
+
+        let shape = format!("{rows}x{inf}x{outf}");
+        let mut scratch = GemmScratch::new();
+        group.bench_with_input(BenchmarkId::new("blocked", &shape), &rows, |b, _| {
+            b.iter(|| {
+                layer
+                    .forward_with_scratch(black_box(&x), &mut scratch)
+                    .expect("blocked")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", &shape), &rows, |b, _| {
+            b.iter(|| layer.forward_naive(black_box(&x)).expect("naive"))
+        });
+    }
+    group.finish();
+}
+
+struct BenchRow {
+    group: String,
+    id: String,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl_to_json!(BenchRow {
+    group,
+    id,
+    mean_ns,
+    iterations
+});
+
+struct BenchReport {
+    bench: String,
+    budget_ms: u64,
+    results: Vec<BenchRow>,
+}
+
+impl_to_json!(BenchReport {
+    bench,
+    budget_ms,
+    results
+});
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_engine_batching(&mut criterion);
+    bench_blocked_vs_naive(&mut criterion);
+
+    let results: Vec<BenchRow> = criterion
+        .take_results()
+        .into_iter()
+        .map(|r| BenchRow {
+            group: r.group,
+            id: r.id,
+            mean_ns: r.mean_ns,
+            iterations: r.iterations,
+        })
+        .collect();
+    let report = BenchReport {
+        bench: "engine_batch".to_string(),
+        budget_ms: criterion::budget_ms(),
+        results,
+    };
+    // Benches run with the package directory as CWD; aim at the workspace
+    // results/ directory so the perf trajectory lives next to the tables.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let path = fqbert_bench::save_json_in(&dir, "BENCH_engine_batch", &report)
+        .expect("write BENCH_engine_batch.json");
+    println!("wrote {}", path.display());
+}

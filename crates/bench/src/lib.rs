@@ -13,4 +13,4 @@ pub mod pipeline;
 pub mod report;
 
 pub use pipeline::{ExperimentConfig, TrainedTask};
-pub use report::{markdown_table, save_json, ToJson};
+pub use report::{markdown_table, save_json, save_json_in, ToJson};

@@ -203,7 +203,22 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 ///
 /// Returns an I/O error if the directory or file cannot be written.
 pub fn save_json<T: ToJson + ?Sized>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
-    let dir = Path::new("results");
+    save_json_in(Path::new("results"), name, value)
+}
+
+/// Serialises `value` as JSON to `<dir>/<name>.json` (creating the
+/// directory if needed) and returns the path written. Used by bench
+/// harnesses, which run with the package directory as CWD and therefore
+/// resolve the workspace `results/` directory explicitly.
+///
+/// # Errors
+///
+/// Returns an I/O error if the directory or file cannot be written.
+pub fn save_json_in<T: ToJson + ?Sized>(
+    dir: &Path,
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
     std::fs::write(&path, value.to_json())?;

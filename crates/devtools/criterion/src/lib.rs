@@ -20,12 +20,19 @@ pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
 
-fn budget() -> Duration {
-    let ms = std::env::var("FQBERT_BENCH_MS")
+/// Per-benchmark measurement budget in milliseconds (the `FQBERT_BENCH_MS`
+/// override, clamped to at least 1ms). Public so bench harnesses can record
+/// the budget their numbers were measured under.
+pub fn budget_ms() -> u64 {
+    std::env::var("FQBERT_BENCH_MS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(250u64);
-    Duration::from_millis(ms.max(1))
+        .unwrap_or(250u64)
+        .max(1)
+}
+
+fn budget() -> Duration {
+    Duration::from_millis(budget_ms())
 }
 
 /// Identifies one parameterised benchmark (`function_id/parameter`).
@@ -103,10 +110,28 @@ fn human_time(ns: f64) -> String {
     }
 }
 
+/// One measured benchmark: its group, id and mean time per iteration.
+///
+/// Recorded by [`Criterion`] for every benchmark run, so harnesses can emit
+/// machine-readable reports (the real criterion writes `target/criterion/`;
+/// this shim leaves persistence to the caller via
+/// [`Criterion::take_results`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Group name passed to [`Criterion::benchmark_group`].
+    pub group: String,
+    /// Benchmark id within the group (`function_id/parameter`).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of timed iterations behind the mean.
+    pub iterations: u64,
+}
+
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -123,6 +148,12 @@ impl BenchmarkGroup<'_> {
             human_time(bencher.last_ns),
             bencher.iters
         );
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            id: id.to_string(),
+            mean_ns: bencher.last_ns,
+            iterations: bencher.iters,
+        });
     }
 
     /// Benchmarks `f` under `id`.
@@ -146,15 +177,28 @@ impl BenchmarkGroup<'_> {
 
 /// Benchmark harness entry point, mirroring `criterion::Criterion`.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
     /// Starts a named benchmark group.
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
-            _criterion: self,
+            criterion: self,
         }
+    }
+
+    /// Results of every benchmark run so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Drains the recorded results (shim extension: lets a bench `main`
+    /// persist a machine-readable report after running its groups).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
     }
 
     /// Benchmarks a single function outside a group.
@@ -202,6 +246,13 @@ mod tests {
             b.iter(|| black_box(n) * 2)
         });
         group.finish();
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].group, "smoke");
+        assert_eq!(results[0].id, "add");
+        assert_eq!(results[1].id, "with_input/3");
+        assert!(results.iter().all(|r| r.mean_ns > 0.0 && r.iterations > 0));
+        assert!(c.take_results().is_empty());
     }
 
     #[test]

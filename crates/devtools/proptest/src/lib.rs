@@ -293,6 +293,40 @@ pub mod collection {
     }
 }
 
+/// Mirror of `proptest::num`: full-range `ANY` strategies for the integer
+/// widths the property tests draw from.
+pub mod num {
+    macro_rules! any_int_module {
+        ($($m:ident => $t:ty),+ $(,)?) => {$(
+            /// Full-range strategies for this integer width.
+            pub mod $m {
+                use crate::{Strategy, TestRng};
+
+                /// Strategy type of [`ANY`].
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+
+                /// Uniform over the whole value range
+                /// (`proptest::num::*::ANY`).
+                pub const ANY: Any = Any;
+            }
+        )+};
+    }
+
+    any_int_module!(
+        i8 => i8, i16 => i16, i32 => i32, i64 => i64,
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64,
+    );
+}
+
 /// Property assertion: behaves like `assert!` (no shrinking to report).
 #[macro_export]
 macro_rules! prop_assert {

@@ -19,6 +19,7 @@
 use crate::{FqBertError, Result};
 use fqbert_bert::BertConfig;
 use fqbert_quant::{quantize_bias, QuantParams, QuantizedLayerNorm, Requantizer, SoftmaxLut};
+use fqbert_tensor::gemm::{gemm_i8_fused, GemmScratch, PackedWeights};
 use fqbert_tensor::ops::{argmax_slice, gelu_scalar};
 use fqbert_tensor::{IntTensor, Tensor};
 
@@ -27,9 +28,15 @@ const PROB_LEVELS: u32 = 255;
 
 /// A fully quantized dense layer: int8 weight codes, int32 bias, fixed-point
 /// requantization to int8 outputs.
+///
+/// The weight matrix is additionally packed once, at construction (and
+/// therefore also at artifact-load time), into the blocked panel layout of
+/// [`fqbert_tensor::gemm`], so every forward pass runs the cache-friendly
+/// kernel with the bias add and requantization fused into its epilogue.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IntLinear {
     weight: IntTensor<i8>,
+    packed: PackedWeights,
     bias: IntTensor<i32>,
     weight_scale: f32,
     input_scale: f32,
@@ -62,8 +69,10 @@ impl IntLinear {
         let bias_q = quantize_bias(bias, &ap, &wp)?;
         let effective = f64::from(output_scale) / (f64::from(input_scale) * f64::from(wp.scale()));
         let requant = Requantizer::from_scale(effective, 8)?;
+        let packed = PackedWeights::pack(&weight_q)?;
         Ok(Self {
             weight: weight_q,
+            packed,
             bias: bias_q,
             weight_scale: wp.scale(),
             input_scale,
@@ -99,8 +108,10 @@ impl IntLinear {
         let effective =
             f64::from(output_scale) / (f64::from(input_scale) * f64::from(weight_scale));
         let requant = Requantizer::from_scale(effective, 8)?;
+        let packed = PackedWeights::pack(&weight)?;
         Ok(Self {
             weight,
+            packed,
             bias,
             weight_scale,
             input_scale,
@@ -150,12 +161,49 @@ impl IntLinear {
         self.weight.dims()[1]
     }
 
-    /// Integer forward pass: `requant(x · W + b)`.
+    /// Integer forward pass: `requant(x · W + b)`, via the blocked kernel
+    /// with a one-shot scratch buffer. Prefer
+    /// [`IntLinear::forward_with_scratch`] when running many projections so
+    /// the packing buffer is reused.
     ///
     /// # Errors
     ///
     /// Returns an error if the input width does not match the layer.
     pub fn forward(&self, x: &IntTensor<i8>) -> Result<IntTensor<i8>> {
+        self.forward_with_scratch(x, &mut GemmScratch::new())
+    }
+
+    /// Integer forward pass through the blocked GEMM kernel: the packed
+    /// weight panels built at construction, activations packed into
+    /// `scratch`, and the bias add + fixed-point requantization fused into
+    /// the kernel epilogue. Bit-identical to [`IntLinear::forward_naive`]
+    /// (the property tests pin this).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input width does not match the layer.
+    pub fn forward_with_scratch(
+        &self,
+        x: &IntTensor<i8>,
+        scratch: &mut GemmScratch,
+    ) -> Result<IntTensor<i8>> {
+        let bias = self.bias.as_slice();
+        let out = gemm_i8_fused(x, &self.packed, scratch, |acc, c| {
+            let with_bias = i64::from(acc) + i64::from(bias[c]);
+            self.requant.apply(with_bias).clamp(-127, 127) as i8
+        })?;
+        Ok(out)
+    }
+
+    /// The naive reference datapath this layer used before the blocked
+    /// kernel: `matmul_i32` followed by a scalar per-element requantize.
+    /// Kept as the bit-exactness oracle for tests and benchmarks — the
+    /// blocked [`IntLinear::forward`] must produce identical codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input width does not match the layer.
+    pub fn forward_naive(&self, x: &IntTensor<i8>) -> Result<IntTensor<i8>> {
         let acc = x.matmul_i32(&self.weight)?;
         let (rows, cols) = acc.as_matrix_dims()?;
         let mut out = IntTensor::<i8>::zeros(&[rows, cols]);
@@ -489,18 +537,37 @@ impl IntEncoderLayer {
     }
 
     /// Integer forward pass over a batch of sequences packed row-wise into a
+    /// `[Σ seq_lens, hidden]` tensor, with a one-shot GEMM scratch buffer.
+    ///
+    /// # Errors
+    ///
+    /// As for [`IntEncoderLayer::forward_batch_with_scratch`].
+    pub fn forward_batch(&self, x: &IntTensor<i8>, seq_lens: &[usize]) -> Result<IntTensor<i8>> {
+        self.forward_batch_with_scratch(x, seq_lens, &mut GemmScratch::new())
+    }
+
+    /// Integer forward pass over a batch of sequences packed row-wise into a
     /// `[Σ seq_lens, hidden]` tensor.
     ///
     /// The linear projections (Q/K/V, attention output, both FFN matrices)
-    /// run as single integer GEMMs over the whole pack — the batching win —
-    /// while attention and `Add & LN` are applied per sequence. For a single
+    /// run as single blocked integer GEMMs over the whole pack — the
+    /// batching win — while attention and `Add & LN` are applied per
+    /// sequence. All six projections share `scratch`, which the engine also
+    /// reuses across every encoder layer of a forward pass. For a single
     /// segment this is bit-identical to [`IntEncoderLayer::forward`].
     ///
     /// # Errors
     ///
-    /// Returns an error if `seq_lens` does not sum to the number of rows or
-    /// on shape inconsistencies.
-    pub fn forward_batch(&self, x: &IntTensor<i8>, seq_lens: &[usize]) -> Result<IntTensor<i8>> {
+    /// Returns an error if `seq_lens` does not sum to the number of rows,
+    /// contains a zero-length sequence (an all-padding attention mask must
+    /// be rejected before attention, which is undefined over zero tokens),
+    /// or on shape inconsistencies.
+    pub fn forward_batch_with_scratch(
+        &self,
+        x: &IntTensor<i8>,
+        seq_lens: &[usize],
+        scratch: &mut GemmScratch,
+    ) -> Result<IntTensor<i8>> {
         let (total, hidden) = x.as_matrix_dims()?;
         if seq_lens.iter().sum::<usize>() != total {
             return Err(FqBertError::InvalidArgument(format!(
@@ -508,12 +575,19 @@ impl IntEncoderLayer {
                 seq_lens.iter().sum::<usize>()
             )));
         }
+        if seq_lens.contains(&0) {
+            return Err(FqBertError::InvalidArgument(
+                "zero-length sequence in batch: attention is undefined over \
+                 zero tokens (all-padding attention mask?)"
+                    .to_string(),
+            ));
+        }
         let head_dim = hidden / self.heads;
 
         // One packed GEMM each for Q, K and V across the whole batch.
-        let q = self.query.forward(x)?;
-        let k = self.key.forward(x)?;
-        let v = self.value.forward(x)?;
+        let q = self.query.forward_with_scratch(x, scratch)?;
+        let k = self.key.forward_with_scratch(x, scratch)?;
+        let v = self.value.forward_with_scratch(x, scratch)?;
 
         // Per-sequence, per-head scaled dot-product attention.
         let mut context = IntTensor::<i8>::zeros(&[total, hidden]);
@@ -548,7 +622,7 @@ impl IntEncoderLayer {
             start = end;
         }
 
-        let attn_out = self.attn_output.forward(&context)?;
+        let attn_out = self.attn_output.forward_with_scratch(&context, scratch)?;
 
         // Add & LN (attention residual) — row-wise, so batch-oblivious.
         let mut normed = IntTensor::<i8>::zeros(&[total, hidden]);
@@ -564,9 +638,9 @@ impl IntEncoderLayer {
         }
 
         // FFN with LUT GELU, again as packed GEMMs.
-        let ffn_pre = self.ffn1.forward(&normed)?;
+        let ffn_pre = self.ffn1.forward_with_scratch(&normed, scratch)?;
         let ffn_hidden = self.gelu.apply_tensor(&ffn_pre);
-        let ffn_out = self.ffn2.forward(&ffn_hidden)?;
+        let ffn_out = self.ffn2.forward_with_scratch(&ffn_hidden, scratch)?;
 
         // Add & LN (FFN residual).
         let mut out = IntTensor::<i8>::zeros(&[total, hidden]);
@@ -784,8 +858,9 @@ impl IntBertModel {
     ///
     /// # Errors
     ///
-    /// Returns an error for invalid inputs (empty batch is fine and returns
-    /// an empty vector).
+    /// Returns an error for invalid inputs, including examples whose
+    /// attention mask is all padding — a zero-length sequence has no tokens
+    /// to attend over (empty batch is fine and returns an empty vector).
     pub fn logits_batch(&self, examples: &[fqbert_nlp::Example]) -> Result<Vec<Vec<f32>>> {
         if examples.is_empty() {
             return Ok(Vec::new());
@@ -793,16 +868,25 @@ impl IntBertModel {
         let hidden = self.config.hidden;
         let mut seq_lens = Vec::with_capacity(examples.len());
         let mut packed: Vec<i8> = Vec::new();
-        for ex in examples {
+        for (i, ex) in examples.iter().enumerate() {
             let real_len = real_length(ex);
+            if real_len == 0 {
+                return Err(FqBertError::InvalidArgument(format!(
+                    "example {i} has an all-padding attention mask \
+                     (zero-length sequence)"
+                )));
+            }
             let emb = self.embed(&ex.token_ids[..real_len], &ex.segment_ids[..real_len])?;
             packed.extend_from_slice(emb.as_slice());
             seq_lens.push(real_len);
         }
         let total: usize = seq_lens.iter().sum();
         let mut hidden_states = IntTensor::from_vec(packed, &[total, hidden])?;
+        // One GEMM scratch serves all six projections of all encoder layers.
+        let mut scratch = GemmScratch::new();
         for layer in &self.layers {
-            hidden_states = layer.forward_batch(&hidden_states, &seq_lens)?;
+            hidden_states =
+                layer.forward_batch_with_scratch(&hidden_states, &seq_lens, &mut scratch)?;
         }
         let out_scale = self
             .layers
@@ -962,6 +1046,64 @@ mod tests {
             let cur = lut.apply(code);
             assert!(cur >= prev);
             prev = cur;
+        }
+    }
+
+    #[test]
+    fn blocked_forward_is_bit_identical_to_naive_reference() {
+        let mut rng = RngSource::seed_from_u64(7);
+        // Deliberately non-multiple-of-block shapes, both bit-widths.
+        for &(inf, outf, rows, bits) in &[(19usize, 23usize, 5usize, 8u32), (33, 17, 9, 4)] {
+            let weight = rng.normal_tensor(&[inf, outf], 0.0, 0.3);
+            let bias = rng.normal_tensor(&[outf], 0.0, 0.2);
+            let layer = IntLinear::from_float(&weight, &bias, bits, None, 9.0, 11.0).unwrap();
+            let x = IntTensor::from_vec(
+                (0..rows * inf)
+                    .map(|i| ((i * 37 + 11) % 255) as i8)
+                    .collect(),
+                &[rows, inf],
+            )
+            .unwrap();
+            let blocked = layer.forward(&x).unwrap();
+            let naive = layer.forward_naive(&x).unwrap();
+            assert_eq!(blocked, naive, "({inf},{outf},{rows},{bits})");
+
+            let mut scratch = fqbert_tensor::gemm::GemmScratch::new();
+            assert_eq!(layer.forward_with_scratch(&x, &mut scratch).unwrap(), naive);
+        }
+    }
+
+    #[test]
+    fn zero_length_sequence_is_rejected_not_panicking() {
+        let mut rng = RngSource::seed_from_u64(3);
+        let layer = {
+            let params = fqbert_bert::layers::EncoderLayerParams::new(&mut rng, 8, 16);
+            IntEncoderLayer::from_float(
+                &params,
+                2,
+                4,
+                8,
+                false,
+                &LayerScales {
+                    input: 16.0,
+                    qkv: 16.0,
+                    scores: 8.0,
+                    attn_output: 16.0,
+                    layer_norm: 16.0,
+                    ffn_hidden: 16.0,
+                    ffn_output: 16.0,
+                },
+                1e-5,
+            )
+            .unwrap()
+        };
+        let x = IntTensor::<i8>::from_vec(vec![1; 3 * 8], &[3, 8]).unwrap();
+        let err = layer.forward_batch(&x, &[3, 0]).unwrap_err();
+        match err {
+            FqBertError::InvalidArgument(msg) => {
+                assert!(msg.contains("zero-length"), "unexpected message: {msg}")
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
         }
     }
 

@@ -19,12 +19,21 @@ use crate::{QuantError, Result};
 /// normalised-mantissa encoding, the common HLS implementation).
 const MULTIPLIER_FRAC_BITS: u32 = 30;
 
+/// Largest representable right shift. Capped below 63 so that the rounding
+/// term `1 << (shift - 1)` and the shift itself always stay inside the
+/// product's integer width; scales too small for this shift fold the excess
+/// into the multiplier instead (see [`Requantizer::from_scale`]).
+const MAX_SHIFT: i32 = 62;
+
 /// Fixed-point requantizer implementing Eq. 5 with integer arithmetic only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Requantizer {
-    /// Normalised multiplier in Q1.30 (in `[2^29, 2^30)` for non-zero scales).
+    /// Normalised multiplier in Q1.30 (in `[2^29, 2^30]` for scales inside
+    /// the normalised range; denormalised — possibly zero — for scales below
+    /// `2^-32`, where the excess shift is folded in).
     multiplier: i64,
-    /// Total right shift applied after the multiplication.
+    /// Total right shift applied after the multiplication, always in
+    /// `0..=MAX_SHIFT`.
     shift: i32,
     /// Output saturation bound (`2^(bits-1) - 1`).
     out_max: i32,
@@ -33,6 +42,16 @@ pub struct Requantizer {
 impl Requantizer {
     /// Builds a requantizer for the effective scale
     /// `s_f = s_y / (s_a · s_w)` and an output bit-width.
+    ///
+    /// Every positive finite scale is representable: for scales so small
+    /// that the normalised shift would exceed [`MAX_SHIFT`] (below roughly
+    /// `2^-32`) the excess is folded into the multiplier with rounded
+    /// halving — down to a zero multiplier for scales under `~2^-63`, where
+    /// rounding every representable accumulator to zero *is* the correct
+    /// result. For huge scales whose normalised shift would go negative
+    /// (scale ≥ `2^30`), the shift is clamped to zero; the multiplier alone
+    /// then already exceeds every supported output bound, so all non-zero
+    /// accumulators saturate exactly as they would with the true scale.
     ///
     /// # Errors
     ///
@@ -57,8 +76,26 @@ impl Requantizer {
             scale *= 2.0;
             exp -= 1;
         }
-        let multiplier = (scale * f64::from(1u32 << MULTIPLIER_FRAC_BITS)).round() as i64;
-        let shift = MULTIPLIER_FRAC_BITS as i32 - exp;
+        let mut multiplier = (scale * f64::from(1u32 << MULTIPLIER_FRAC_BITS)).round() as i64;
+        let mut shift = MULTIPLIER_FRAC_BITS as i32 - exp;
+        if shift > MAX_SHIFT {
+            // Tiny scale: fold the unrepresentable part of the shift into
+            // the multiplier (rounded halving; underflows to 0 for scales
+            // below ~2^-63, which maps every accumulator to the correctly
+            // rounded output 0).
+            let excess = shift - MAX_SHIFT;
+            multiplier = if excess >= 63 {
+                0
+            } else {
+                (multiplier + (1i64 << (excess - 1))) >> excess
+            };
+            shift = MAX_SHIFT;
+        } else if shift < 0 {
+            // Huge scale: with the Q1.30 multiplier ≥ 2^29 > out_max, every
+            // non-zero accumulator saturates whether the product is shifted
+            // left or not, so clamping the shift to 0 changes no output.
+            shift = 0;
+        }
         Ok(Self {
             multiplier,
             shift,
@@ -67,25 +104,39 @@ impl Requantizer {
     }
 
     /// Effective scale represented by this requantizer (for inspection).
+    ///
+    /// For scales inside the representable band (roughly `2^-63` to `2^30`)
+    /// this closely tracks the scale passed to
+    /// [`Requantizer::from_scale`]. Outside it, the clamped encoding is
+    /// reported: huge scales read as `~2^29..2^30` (every non-zero
+    /// accumulator saturates either way) and fully underflowed tiny scales
+    /// read as `0` (every accumulator requantizes to zero).
     pub fn effective_scale(&self) -> f64 {
         self.multiplier as f64 / f64::powi(2.0, self.shift)
     }
 
     /// Requantizes one accumulator value to the output grid, using only
     /// integer multiply, add and shift (round-half-away-from-zero, saturating).
+    ///
+    /// The `accumulator · multiplier` product is formed in 128-bit integer
+    /// arithmetic (a 64×33-bit product cannot overflow i128), so the full
+    /// `i64` accumulator range is handled exactly — the previous 64-bit
+    /// product overflowed for `|accumulator| ≳ 2^33` with a Q1.30 multiplier.
     pub fn apply(&self, accumulator: i64) -> i32 {
-        let product = accumulator * self.multiplier;
+        let product = i128::from(accumulator) * i128::from(self.multiplier);
+        // `shift` is clamped to 0..=MAX_SHIFT at construction, so both the
+        // rounding term and the shift are always in range.
         let rounded = if self.shift > 0 {
-            let half = 1i64 << (self.shift - 1);
+            let half = 1i128 << (self.shift - 1);
             if product >= 0 {
                 (product + half) >> self.shift
             } else {
                 -((-product + half) >> self.shift)
             }
         } else {
-            product << (-self.shift)
+            product
         };
-        rounded.clamp(-(self.out_max as i64), self.out_max as i64) as i32
+        rounded.clamp(-i128::from(self.out_max), i128::from(self.out_max)) as i32
     }
 
     /// Requantizes a slice of accumulator values.
@@ -159,6 +210,77 @@ mod tests {
         for acc in [-10_000i64, -500, 0, 500, 10_000] {
             let out = rq.apply(acc);
             assert!((-7..=7).contains(&out));
+        }
+    }
+
+    #[test]
+    fn tiny_scales_at_the_shift_boundary_do_not_panic() {
+        // shift = 30 - exp; exp = -32 puts shift exactly at MAX_SHIFT = 62,
+        // one octave below crosses the old panic threshold (shift > 63).
+        for &scale in &[
+            2.0f64.powi(-32),
+            2.0f64.powi(-33),
+            2.0f64.powi(-34),
+            2.0f64.powi(-40),
+            2.0f64.powi(-63),
+            2.0f64.powi(-64),
+            1e-300,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest positive subnormal
+        ] {
+            let rq = Requantizer::from_scale(scale, 8).unwrap();
+            for acc in [i64::MIN, -(1 << 40), -1, 0, 1, 1 << 40, i64::MAX] {
+                let got = rq.apply(acc);
+                let expected = (acc as f64 * scale).round().clamp(-127.0, 127.0) as i32;
+                assert!(
+                    (got - expected).abs() <= 1,
+                    "scale {scale:e}, acc {acc}: {got} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_scale_still_requantizes_large_accumulators_accurately() {
+        // 2^-40 · 2^48 = 256 → saturates at 127; 2^-40 · 3·2^45 = 96.
+        let rq = Requantizer::from_scale(2.0f64.powi(-40), 8).unwrap();
+        assert_eq!(rq.apply(1 << 48), 127);
+        assert_eq!(rq.apply(3 << 45), 96);
+        assert_eq!(rq.apply(-(3 << 45)), -96);
+        assert_eq!(rq.apply(0), 0);
+    }
+
+    #[test]
+    fn huge_scales_saturate_instead_of_overflowing_the_left_shift() {
+        for &scale in &[2.0f64.powi(31), 1e30, 1e300, f64::MAX] {
+            let rq = Requantizer::from_scale(scale, 8).unwrap();
+            assert_eq!(rq.apply(1), 127, "scale {scale:e}");
+            assert_eq!(rq.apply(-1), -127, "scale {scale:e}");
+            assert_eq!(rq.apply(i64::MAX), 127);
+            assert_eq!(rq.apply(0), 0);
+        }
+    }
+
+    #[test]
+    fn wide_accumulators_no_longer_overflow_the_product() {
+        // With a Q1.30 multiplier the old i64 product overflowed for
+        // |acc| ≳ 2^33; these must saturate cleanly instead.
+        let rq = Requantizer::from_scale(0.5, 8).unwrap();
+        for acc in [1i64 << 33, 1 << 40, i64::MAX, -(1 << 33), i64::MIN] {
+            let expected = if acc > 0 { 127 } else { -127 };
+            assert_eq!(rq.apply(acc), expected, "acc {acc}");
+        }
+        // Full int32-accumulator range at a scale small enough not to
+        // saturate: compare against the float reference.
+        let rq = Requantizer::from_scale(2.0f64.powi(-26), 8).unwrap();
+        for acc in [
+            i64::from(i32::MAX),
+            i64::from(i32::MIN),
+            1 << 30,
+            -(1 << 30),
+        ] {
+            let expected = (acc as f64 * 2.0f64.powi(-26)).round().clamp(-127.0, 127.0) as i32;
+            assert!((rq.apply(acc) - expected).abs() <= 1, "acc {acc}");
         }
     }
 

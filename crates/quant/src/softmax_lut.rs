@@ -125,14 +125,20 @@ impl SoftmaxLut {
 
     /// Applies the integer softmax to every row of a matrix stored row-major.
     ///
+    /// A `0 × 0` matrix (`cols == 0` with empty data) is valid and yields an
+    /// empty output, so zero-length attention segments can flow through
+    /// without a special case upstream.
+    ///
     /// # Panics
     ///
-    /// Panics if `data.len()` is not a multiple of `cols`.
+    /// Panics if `data.len()` is not a multiple of `cols` (including any
+    /// non-empty `data` with `cols == 0`).
     pub fn apply_matrix(&self, data: &[i32], cols: usize) -> Vec<i32> {
-        assert!(
-            cols > 0 && data.len().is_multiple_of(cols),
-            "data must be rectangular"
-        );
+        if cols == 0 {
+            assert!(data.is_empty(), "data must be rectangular");
+            return Vec::new();
+        }
+        assert!(data.len().is_multiple_of(cols), "data must be rectangular");
         data.chunks(cols)
             .flat_map(|row| self.apply_row(row))
             .collect()
@@ -241,5 +247,18 @@ mod tests {
     fn ragged_matrix_panics() {
         let lut = SoftmaxLut::new(4.0, 127).unwrap();
         let _ = lut.apply_matrix(&[1, 2, 3], 2);
+    }
+
+    #[test]
+    fn empty_matrix_with_zero_cols_is_valid() {
+        let lut = SoftmaxLut::new(4.0, 127).unwrap();
+        assert!(lut.apply_matrix(&[], 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn zero_cols_with_data_panics() {
+        let lut = SoftmaxLut::new(4.0, 127).unwrap();
+        let _ = lut.apply_matrix(&[1], 0);
     }
 }

@@ -1,0 +1,83 @@
+//! Property tests pinning the fixed-point requantizer to the float
+//! reference across the full int32 accumulator range and a wide band of
+//! effective scales — including the tiny-scale region that used to panic on
+//! shift overflow and the wide-accumulator region that used to overflow the
+//! 64-bit product.
+
+use fqbert_quant::Requantizer;
+use proptest::prelude::*;
+
+/// Float reference for Eq. 5: round-half-away-from-zero, saturating.
+fn float_reference(acc: i64, scale: f64, out_max: i32) -> i32 {
+    let exact = acc as f64 * scale;
+    let rounded = if exact >= 0.0 {
+        (exact + 0.5).floor()
+    } else {
+        (exact - 0.5).ceil()
+    };
+    rounded.clamp(-f64::from(out_max), f64::from(out_max)) as i32
+}
+
+proptest! {
+    #[test]
+    fn matches_float_reference_over_full_i32_accumulator_range(
+        acc in i32::MIN..=i32::MAX,
+        scale_exp in -40i32..8,
+        mantissa in 0.5f64..1.0,
+    ) {
+        let scale = mantissa * 2.0f64.powi(scale_exp);
+        let rq = Requantizer::from_scale(scale, 8).expect("valid scale");
+        let got = rq.apply(i64::from(acc));
+        let expected = float_reference(i64::from(acc), scale, 127);
+        // The Q1.30 multiplier carries ~2^-30 relative error, so allow one
+        // output LSB of slack around the float reference.
+        prop_assert!(
+            (got - expected).abs() <= 1,
+            "scale {} acc {}: {} vs {}", scale, acc, got, expected
+        );
+    }
+
+    #[test]
+    fn any_positive_finite_scale_is_accepted_and_panic_free(
+        scale_exp in -1080i32..1020,
+        mantissa in 0.5f64..1.0,
+        acc in proptest::num::i64::ANY,
+    ) {
+        let scale = mantissa * 2.0f64.powi(scale_exp);
+        prop_assume!(scale.is_finite() && scale > 0.0);
+        let rq = Requantizer::from_scale(scale, 8).expect("valid scale");
+        let out = rq.apply(acc);
+        prop_assert!((-127..=127).contains(&out));
+        // Sign discipline survives the clamped encodings.
+        if acc == 0 {
+            prop_assert_eq!(out, 0);
+        } else if acc != i64::MIN {
+            prop_assert_eq!(out, -rq.apply(-acc));
+        }
+    }
+
+    #[test]
+    fn wide_accumulators_match_reference_at_moderate_scales(
+        acc_shifted in -(1i64 << 44)..(1i64 << 44),
+        scale_exp in -44i32..-20,
+    ) {
+        let scale = 2.0f64.powi(scale_exp);
+        let rq = Requantizer::from_scale(scale, 8).expect("valid scale");
+        let got = rq.apply(acc_shifted);
+        let expected = float_reference(acc_shifted, scale, 127);
+        prop_assert!(
+            (got - expected).abs() <= 1,
+            "scale 2^{} acc {}: {} vs {}", scale_exp, acc_shifted, got, expected
+        );
+    }
+
+    #[test]
+    fn sixteen_bit_outputs_respect_their_bound(
+        acc in proptest::num::i64::ANY,
+        scale_exp in -60i32..20,
+    ) {
+        let rq = Requantizer::from_scale(2.0f64.powi(scale_exp), 16).expect("valid scale");
+        let out = rq.apply(acc);
+        prop_assert!((-32767..=32767).contains(&out));
+    }
+}

@@ -139,7 +139,12 @@ impl InferenceBackend for FloatBackend {
 /// [`IntBertModel`].
 ///
 /// Batching packs all sequences into one matrix so every linear projection
-/// runs as a single integer GEMM (see `IntEncoderLayer::forward_batch`).
+/// runs as a single blocked integer GEMM over panel-packed weights with the
+/// requantize fused into the kernel epilogue (see
+/// `IntEncoderLayer::forward_batch` and `fqbert_tensor::gemm`); one packing
+/// scratch buffer is reused across all encoder layers of a batch. Batches
+/// containing an all-padding (zero-length) sequence are rejected with an
+/// `InvalidArgument` error rather than panicking.
 #[derive(Debug, Clone)]
 pub struct IntBackend {
     model: IntBertModel,

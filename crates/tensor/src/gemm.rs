@@ -1,0 +1,370 @@
+//! Blocked, cache-friendly int8 GEMM with packed weights and a fused
+//! epilogue — the software hot path behind every integer linear projection
+//! (Q/K/V, attention output, FFN1/FFN2).
+//!
+//! # Packed layout
+//!
+//! A weight matrix `W` of shape `[k, n]` (row-major `[in, out]`, as stored by
+//! `IntLinear`) is packed **once**, at layer construction or artifact-load
+//! time, into column panels of width [`NR`]:
+//!
+//! ```text
+//! panel p  (columns p·NR .. p·NR+NR, zero-padded past n):
+//!     data[(p·k + kk)·NR + j] = W[kk][p·NR + j]
+//! ```
+//!
+//! i.e. each panel is k-major, so the micro-kernel streams both the packed
+//! activations and the packed weights sequentially. Both sides are stored
+//! pre-widened to `i16` — the kernel's multiply operand width — so no
+//! sign-extension happens in the hot loop (weights pay the 2× memory once
+//! per layer; the activation block lives in the reused scratch). Activations are packed
+//! per call into row blocks of height [`MR`], interleaved k-major
+//! (`a_panel[kk·MR + r] = X[r0 + r][kk]`), inside a caller-provided
+//! [`GemmScratch`] that is reused across layers instead of re-allocated per
+//! projection. The micro-kernel keeps an `MR × NR` tile of `i32`
+//! accumulators in registers and hands each finished accumulator to the
+//! epilogue (bias add + requantization, fused — no `i32` intermediate tensor
+//! is ever materialised).
+//!
+//! # Bit-exactness contract
+//!
+//! For every output element the reduction runs over `kk = 0, 1, …, k-1` in
+//! ascending order, exactly like the naive
+//! [`IntTensor::matmul_i32`] triple loop. The naive loop saturates the `i32`
+//! accumulator after every partial product while this kernel accumulates
+//! without saturation; for `i8` operands the two are nevertheless
+//! bit-identical because `|a·w| ≤ 128²` bounds every partial sum by
+//! `k · 128²`, which stays inside `i32` for all `k ≤` [`MAX_K`] — packing
+//! rejects larger `k`. The property tests in `tests/proptest_gemm.rs` pin
+//! this equivalence across random shapes (including empty matrices,
+//! non-multiple-of-block dimensions and int4-range weights).
+
+use crate::{IntTensor, Result, TensorError};
+
+/// Width (output columns) of one packed weight panel and of the micro-kernel
+/// accumulator tile.
+pub const NR: usize = 32;
+
+/// Height (input rows) of one packed activation block and of the
+/// micro-kernel accumulator tile.
+pub const MR: usize = 4;
+
+/// Largest reduction depth for which unsaturated `i32` accumulation of
+/// int8×int8 products cannot overflow (`k · 128² ≤ 2³¹ - 1`, using the
+/// worst-case product `(-128)·(-128)`), and therefore the largest `k`
+/// [`PackedWeights::pack`] accepts.
+pub const MAX_K: usize = i32::MAX as usize / (128 * 128);
+
+/// An int8 weight matrix re-laid-out into [`NR`]-wide, k-major column panels
+/// (see the module docs). Built once per layer; read-only afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedWeights {
+    /// Panel-major data, `panels · k · NR` elements, zero-padded past `n`.
+    /// Stored pre-widened to `i16` — the micro-kernel's multiply operand
+    /// width — so the hot loop never re-widens weight bytes.
+    data: Vec<i16>,
+    k: usize,
+    n: usize,
+}
+
+impl PackedWeights {
+    /// Packs a `[k, n]` row-major weight matrix into column panels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `weight` is not rank 2 and
+    /// [`TensorError::ShapeMismatch`] if `k` exceeds [`MAX_K`] (the depth
+    /// beyond which unsaturated `i32` accumulation could overflow and the
+    /// bit-exactness contract with `matmul_i32` would break).
+    pub fn pack(weight: &IntTensor<i8>) -> Result<Self> {
+        let (k, n) = weight.as_matrix_dims()?;
+        if k > MAX_K {
+            return Err(TensorError::ShapeMismatch {
+                op: "gemm_pack (k exceeds MAX_K)",
+                lhs: weight.dims().to_vec(),
+                rhs: vec![MAX_K, n],
+            });
+        }
+        let panels = n.div_ceil(NR);
+        let mut data = vec![0i16; panels * k * NR];
+        let src = weight.as_slice();
+        for p in 0..panels {
+            let c0 = p * NR;
+            let width = NR.min(n - c0);
+            let panel = &mut data[p * k * NR..(p + 1) * k * NR];
+            for (kk, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                for (d, &s) in dst[..width].iter_mut().zip(&src[kk * n + c0..]) {
+                    *d = i16::from(s);
+                }
+            }
+        }
+        Ok(Self { data, k, n })
+    }
+
+    /// Reduction depth (input features) of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output columns of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The k-major data of panel `p`.
+    fn panel(&self, p: usize) -> &[i16] {
+        &self.data[p * self.k * NR..(p + 1) * self.k * NR]
+    }
+}
+
+/// Reusable packing buffer for the activation side of the GEMM.
+///
+/// One scratch serves every projection of every encoder layer in a forward
+/// pass; reusing it avoids an allocation per GEMM (12 layers × 6 projections
+/// per batch).
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    a_block: Vec<i16>,
+}
+
+impl GemmScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packs rows `r0 .. r0+rows` of `x` (row-major, `k` columns) into the
+    /// interleaved `[kk][r]` layout, widening to the kernel's `i16` operand
+    /// width and zero-padding missing rows up to [`MR`].
+    fn pack_rows(&mut self, x: &[i8], k: usize, r0: usize, rows: usize) -> &[i16] {
+        self.a_block.clear();
+        self.a_block.resize(k * MR, 0);
+        for r in 0..rows {
+            let src = &x[(r0 + r) * k..(r0 + r + 1) * k];
+            for (kk, &v) in src.iter().enumerate() {
+                self.a_block[kk * MR + r] = i16::from(v);
+            }
+        }
+        &self.a_block
+    }
+}
+
+/// Computes the `MR × NR` accumulator tile for one (row block, panel) pair.
+///
+/// `a_block` is `[kk][r]` interleaved, `b_panel` is `[kk][j]` interleaved;
+/// both are pre-widened to `i16` at pack time and streamed sequentially,
+/// the tile stays in registers. The reduction steps over `k` two at a time
+/// with 16-bit products (`|i8·i8| ≤ 128²` fits `i16`, and a pair of such
+/// products fits `i32`), the exact shape of the SSE2 `pmaddwd` / NEON
+/// `smlal` multiply-accumulate idiom, so the compiler can vectorize it on
+/// the baseline target; viewing the weight pair through fixed-size `[i16;
+/// NR]` array refs gives the auto-vectorizer constant trip counts. Absent
+/// `i32` overflow — guaranteed by the [`MAX_K`] bound — the pairing leaves
+/// every accumulator bit-identical to the strictly sequential reduction.
+#[inline]
+fn micro_kernel(a_block: &[i16], b_panel: &[i16], acc: &mut [[i32; NR]; MR]) {
+    let mut a_pairs = a_block.chunks_exact(2 * MR);
+    let mut b_pairs = b_panel.chunks_exact(2 * NR);
+    for (a, b) in (&mut a_pairs).zip(&mut b_pairs) {
+        let (b0, b1) = b.split_at(NR);
+        let bw0: &[i16; NR] = b0.try_into().expect("split_at(NR) is NR wide");
+        let bw1: &[i16; NR] = b1.try_into().expect("chunk is 2*NR wide");
+        let (a0, a1) = a.split_at(MR);
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av0 = a0[r];
+            let av1 = a1[r];
+            for (j, dst) in row.iter_mut().enumerate() {
+                *dst += i32::from(av0 * bw0[j]) + i32::from(av1 * bw1[j]);
+            }
+        }
+    }
+    // Odd-k tail: at most one remaining depth step.
+    for (a, b) in a_pairs
+        .remainder()
+        .chunks_exact(MR)
+        .zip(b_pairs.remainder().chunks_exact(NR))
+    {
+        let bw: &[i16; NR] = b.try_into().expect("chunk is NR wide");
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = a[r];
+            for (j, dst) in row.iter_mut().enumerate() {
+                *dst += i32::from(av * bw[j]);
+            }
+        }
+    }
+}
+
+/// Drives the blocked GEMM `x (m×k) · W (k×n)` and feeds every finished
+/// accumulator to `sink(row, col, acc)` in row-block/panel order.
+fn gemm_drive<F: FnMut(usize, usize, i32)>(
+    x: &IntTensor<i8>,
+    weights: &PackedWeights,
+    scratch: &mut GemmScratch,
+    mut sink: F,
+) -> Result<(usize, usize)> {
+    let (m, k) = x.as_matrix_dims()?;
+    if k != weights.k {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_i8",
+            lhs: x.dims().to_vec(),
+            rhs: vec![weights.k, weights.n],
+        });
+    }
+    let n = weights.n;
+    let panels = n.div_ceil(NR);
+    let xs = x.as_slice();
+    for r0 in (0..m).step_by(MR) {
+        let rows = MR.min(m - r0);
+        scratch.pack_rows(xs, k, r0, rows);
+        for p in 0..panels {
+            let c0 = p * NR;
+            let cols = NR.min(n - c0);
+            let mut acc = [[0i32; NR]; MR];
+            micro_kernel(&scratch.a_block, weights.panel(p), &mut acc);
+            for (r, row) in acc.iter().enumerate().take(rows) {
+                for (j, &v) in row.iter().enumerate().take(cols) {
+                    sink(r0 + r, c0 + j, v);
+                }
+            }
+        }
+    }
+    Ok((m, n))
+}
+
+/// Blocked GEMM returning the raw `i32` accumulators,
+/// bit-identical to [`IntTensor::matmul_i32`] (see the module docs for the
+/// contract). Mostly useful for tests and diagnostics — the engine uses the
+/// fused [`gemm_i8_fused`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x`'s width differs from the
+/// packed `k`, or a rank error for non-matrix inputs.
+pub fn gemm_i8_i32(
+    x: &IntTensor<i8>,
+    weights: &PackedWeights,
+    scratch: &mut GemmScratch,
+) -> Result<IntTensor<i32>> {
+    let mut out = IntTensor::<i32>::zeros(&[x.as_matrix_dims()?.0, weights.n]);
+    let n = weights.n;
+    {
+        let slice = out.as_mut_slice();
+        gemm_drive(x, weights, scratch, |r, c, acc| slice[r * n + c] = acc)?;
+    }
+    Ok(out)
+}
+
+/// Blocked GEMM with a fused epilogue: every `i32` accumulator is mapped to
+/// an output `i8` code by `epilogue(acc, col)` — typically bias add plus
+/// fixed-point requantization — without materialising an intermediate `i32`
+/// tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x`'s width differs from the
+/// packed `k`, or a rank error for non-matrix inputs.
+pub fn gemm_i8_fused<F: Fn(i32, usize) -> i8>(
+    x: &IntTensor<i8>,
+    weights: &PackedWeights,
+    scratch: &mut GemmScratch,
+    epilogue: F,
+) -> Result<IntTensor<i8>> {
+    let mut out = IntTensor::<i8>::zeros(&[x.as_matrix_dims()?.0, weights.n]);
+    let n = weights.n;
+    {
+        let slice = out.as_mut_slice();
+        gemm_drive(x, weights, scratch, |r, c, acc| {
+            slice[r * n + c] = epilogue(acc, c);
+        })?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_i8(data: Vec<i8>, dims: &[usize]) -> IntTensor<i8> {
+        IntTensor::from_vec(data, dims).expect("shape")
+    }
+
+    fn pseudo(i: usize) -> i8 {
+        (((i as i64 * 2654435761) >> 7) % 255 - 127) as i8
+    }
+
+    #[test]
+    fn matches_naive_matmul_on_non_block_multiple_shapes() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 16, 16),
+            (9, 33, 21),
+        ] {
+            let x = tensor_i8((0..m * k).map(pseudo).collect(), &[m, k]);
+            let w = tensor_i8((0..k * n).map(|i| pseudo(i + 99)).collect(), &[k, n]);
+            let packed = PackedWeights::pack(&w).unwrap();
+            let mut scratch = GemmScratch::new();
+            let blocked = gemm_i8_i32(&x, &packed, &mut scratch).unwrap();
+            let naive = x.matmul_i32(&w).unwrap();
+            assert_eq!(blocked, naive, "mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn empty_matrices_produce_empty_outputs() {
+        let mut scratch = GemmScratch::new();
+        for &(m, k, n) in &[(0usize, 4usize, 4usize), (4, 0, 4), (4, 4, 0), (0, 0, 0)] {
+            let x = tensor_i8(vec![0; m * k], &[m, k]);
+            let w = tensor_i8(vec![0; k * n], &[k, n]);
+            let packed = PackedWeights::pack(&w).unwrap();
+            let blocked = gemm_i8_i32(&x, &packed, &mut scratch).unwrap();
+            assert_eq!(blocked, x.matmul_i32(&w).unwrap(), "({m},{k},{n})");
+            assert_eq!(blocked.dims(), &[m, n]);
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_sees_column_indices() {
+        let x = tensor_i8(vec![1, 2, 3, 4], &[2, 2]);
+        let w = tensor_i8(vec![1, 0, 0, 0, 1, 0], &[2, 3]);
+        let packed = PackedWeights::pack(&w).unwrap();
+        let mut scratch = GemmScratch::new();
+        let out = gemm_i8_fused(&x, &packed, &mut scratch, |acc, c| {
+            (acc + c as i32).clamp(-128, 127) as i8
+        })
+        .unwrap();
+        // x·w = [[1,2,0],[3,4,0]]; epilogue adds the column index.
+        assert_eq!(out.as_slice(), &[1, 3, 2, 3, 5, 2]);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_shapes() {
+        let mut scratch = GemmScratch::new();
+        for &(m, k, n) in &[(5usize, 40usize, 12usize), (2, 3, 2), (7, 19, 31)] {
+            let x = tensor_i8((0..m * k).map(pseudo).collect(), &[m, k]);
+            let w = tensor_i8((0..k * n).map(|i| pseudo(i + 7)).collect(), &[k, n]);
+            let packed = PackedWeights::pack(&w).unwrap();
+            assert_eq!(
+                gemm_i8_i32(&x, &packed, &mut scratch).unwrap(),
+                x.matmul_i32(&w).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_k_and_oversized_k() {
+        let x = tensor_i8(vec![0; 6], &[2, 3]);
+        let w = tensor_i8(vec![0; 8], &[4, 2]);
+        let packed = PackedWeights::pack(&w).unwrap();
+        assert!(gemm_i8_i32(&x, &packed, &mut GemmScratch::new()).is_err());
+        assert!(PackedWeights::pack(&tensor_i8(vec![0; 3], &[3])).is_err());
+    }
+
+    #[test]
+    fn packed_accessors_report_shape() {
+        let w = tensor_i8((0..6).map(|i| i as i8).collect(), &[2, 3]);
+        let packed = PackedWeights::pack(&w).unwrap();
+        assert_eq!(packed.k(), 2);
+        assert_eq!(packed.n(), 3);
+    }
+}

@@ -11,7 +11,10 @@
 //! The implementation is deliberately simple (no SIMD, no views with strides
 //! beyond row-major contiguity) so that the numerical behaviour is easy to
 //! audit; the accelerator simulator depends on bit-exact integer arithmetic
-//! rather than on raw speed.
+//! rather than on raw speed. The one performance-tuned exception is the
+//! [`gemm`] module: a blocked int8 GEMM with packed weights and a fused
+//! requantize epilogue that is proven bit-identical to the naive
+//! [`IntTensor::matmul_i32`] reduction order.
 //!
 //! # Examples
 //!
@@ -26,6 +29,7 @@
 //! ```
 
 pub mod error;
+pub mod gemm;
 pub mod init;
 pub mod itensor;
 pub mod ops;
@@ -33,6 +37,7 @@ pub mod shape;
 pub mod tensor;
 
 pub use error::TensorError;
+pub use gemm::{GemmScratch, PackedWeights};
 pub use init::{xavier_uniform, RngSource};
 pub use itensor::IntTensor;
 pub use shape::Shape;

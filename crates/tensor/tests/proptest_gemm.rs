@@ -1,0 +1,111 @@
+//! Property tests pinning the blocked int8 GEMM kernel to the naive
+//! `matmul_i32` + scalar epilogue path: same shapes, same accumulators, same
+//! fused outputs, across random shapes including non-multiple-of-block
+//! dimensions, empty matrices and int4-range weights.
+
+use fqbert_tensor::gemm::{gemm_i8_fused, gemm_i8_i32, GemmScratch, PackedWeights, MR, NR};
+use fqbert_tensor::IntTensor;
+use proptest::prelude::*;
+
+fn i8_full() -> impl Strategy<Value = i8> {
+    -128i8..=127
+}
+
+fn i4() -> impl Strategy<Value = i8> {
+    -8i8..=7
+}
+
+fn build(seed: &[i8], rows: usize, cols: usize) -> IntTensor<i8> {
+    let data: Vec<i8> = (0..rows * cols)
+        .map(|i| {
+            if seed.is_empty() {
+                0
+            } else {
+                seed[i % seed.len()]
+            }
+        })
+        .collect();
+    IntTensor::from_vec(data, &[rows, cols]).expect("shape")
+}
+
+proptest! {
+    #[test]
+    fn blocked_accumulators_match_naive_matmul(
+        m in 0usize..33,
+        k in 0usize..70,
+        n in 0usize..50,
+        seed_x in proptest::collection::vec(i8_full(), 1..64),
+        seed_w in proptest::collection::vec(i8_full(), 1..64),
+    ) {
+        let x = build(&seed_x, m, k);
+        let w = build(&seed_w, k, n);
+        let packed = PackedWeights::pack(&w).expect("pack");
+        let mut scratch = GemmScratch::new();
+        let blocked = gemm_i8_i32(&x, &packed, &mut scratch).expect("blocked");
+        let naive = x.matmul_i32(&w).expect("naive");
+        prop_assert_eq!(blocked, naive);
+    }
+
+    #[test]
+    fn blocked_kernel_is_exact_for_int4_weights(
+        m in 1usize..20,
+        k in 1usize..120,
+        n in 1usize..40,
+        seed_x in proptest::collection::vec(i8_full(), 1..64),
+        seed_w in proptest::collection::vec(i4(), 1..64),
+    ) {
+        let x = build(&seed_x, m, k);
+        let w = build(&seed_w, k, n);
+        let packed = PackedWeights::pack(&w).expect("pack");
+        let mut scratch = GemmScratch::new();
+        let blocked = gemm_i8_i32(&x, &packed, &mut scratch).expect("blocked");
+        let naive = x.matmul_i32(&w).expect("naive");
+        prop_assert_eq!(blocked, naive);
+    }
+
+    #[test]
+    fn fused_epilogue_matches_scalar_postprocessing(
+        m in 1usize..16,
+        k in 1usize..48,
+        n in 1usize..32,
+        seed_x in proptest::collection::vec(i8_full(), 1..64),
+        seed_w in proptest::collection::vec(i8_full(), 1..64),
+        seed_b in proptest::collection::vec(-20_000i32..20_000, 1..64),
+    ) {
+        let x = build(&seed_x, m, k);
+        let w = build(&seed_w, k, n);
+        let bias: Vec<i32> = (0..n).map(|i| seed_b[i % seed_b.len()]).collect();
+        let packed = PackedWeights::pack(&w).expect("pack");
+        let mut scratch = GemmScratch::new();
+        // Epilogue mirroring IntLinear: bias add + divide + clamp to int8.
+        let epilogue = |acc: i32, c: usize| -> i8 {
+            ((i64::from(acc) + i64::from(bias[c])) / 37).clamp(-127, 127) as i8
+        };
+        let fused = gemm_i8_fused(&x, &packed, &mut scratch, epilogue).expect("fused");
+        let naive = x.matmul_i32(&w).expect("naive");
+        for r in 0..m {
+            for c in 0..n {
+                prop_assert_eq!(fused.row(r)[c], epilogue(naive.row(r)[c], c));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_block_multiples_are_also_exact(
+        mb in 1usize..5,
+        kb in 1usize..4,
+        nb in 1usize..4,
+        seed in proptest::collection::vec(i8_full(), 1..64),
+    ) {
+        // Shapes that are exact multiples of the MR × NR tile.
+        let (m, k, n) = (mb * MR, kb * 32, nb * NR);
+        let x = build(&seed, m, k);
+        let w = build(&seed, k, n);
+        let packed = PackedWeights::pack(&w).expect("pack");
+        let mut scratch = GemmScratch::new();
+        prop_assert_eq!(
+            gemm_i8_i32(&x, &packed, &mut scratch).expect("blocked"),
+            x.matmul_i32(&w).expect("naive")
+        );
+    }
+}
