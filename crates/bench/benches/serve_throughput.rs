@@ -1,0 +1,257 @@
+//! Serving-throughput benchmark: dynamic batching (`BatchQueue` merging
+//! concurrent requests into one engine call) against the batch-size-1
+//! baseline (every request flushed alone), both on the integer backend
+//! with the same closed-loop producer traffic.
+//!
+//! Emits `results/BENCH_serve_throughput.json` with requests/second for
+//! both policies and the dynamic-over-batch1 speedup; CI runs it in quick
+//! mode (`FQBERT_BENCH_MS`) and uploads the artifact.
+
+use fqbert_autograd::Graph;
+use fqbert_bench::impl_to_json;
+use fqbert_bert::{BertConfig, BertModel};
+use fqbert_core::QatHook;
+use fqbert_nlp::{Example, TaskKind, Vocab};
+use fqbert_quant::QuantConfig;
+use fqbert_runtime::{BackendKind, Engine, EngineBuilder};
+use fqbert_serve::{BatchPolicy, BatchQueue};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MAX_LEN: usize = 24;
+const SEQ_LEN: usize = 6;
+/// Concurrent closed-loop producers (clients with one request in flight).
+const PRODUCERS: usize = 32;
+
+fn example(i: usize) -> Example {
+    let mut tokens = vec![2usize];
+    tokens.extend((0..SEQ_LEN - 2).map(|d| 4 + (i * 7 + d * 3) % 40));
+    tokens.push(3);
+    Example {
+        segment_ids: vec![0; tokens.len()],
+        attention_mask: vec![1; tokens.len()],
+        token_ids: tokens,
+        label: 0,
+    }
+}
+
+fn int_engine() -> Arc<Engine> {
+    let words: Vec<String> = (0..40).map(|i| format!("w{i}")).collect();
+    let vocab = Vocab::from_tokens(&words);
+    let model = BertModel::new(BertConfig::tiny(vocab.len(), MAX_LEN, 2), 3);
+    let mut hook = QatHook::calibration_only(QuantConfig::fq_bert());
+    for i in 0..8 {
+        let mut graph = Graph::new();
+        let bound = model.bind(&mut graph);
+        bound
+            .forward(&mut graph, &example(i), &mut hook)
+            .expect("calibration");
+    }
+    Arc::new(
+        EngineBuilder::new(TaskKind::Sst2)
+            .vocab(vocab, MAX_LEN)
+            .backend(BackendKind::Int)
+            .batch_size(64)
+            .build_with_hook(&model, &hook)
+            .expect("int engine"),
+    )
+}
+
+/// Interleaved measurement rounds per mode (A/B/A/B/… cancels slow drift
+/// like thermal throttling out of the comparison).
+const ROUNDS: usize = 3;
+
+#[derive(Default)]
+struct RunResult {
+    requests: u64,
+    seconds: f64,
+    flushes: u64,
+    flushed_sequences: u64,
+    largest_flush: u64,
+}
+
+impl RunResult {
+    fn accumulate(&mut self, other: &RunResult) {
+        self.requests += other.requests;
+        self.seconds += other.seconds;
+        self.flushes += other.flushes;
+        self.flushed_sequences += other.flushed_sequences;
+        self.largest_flush = self.largest_flush.max(other.largest_flush);
+    }
+
+    fn mean_flush(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.flushed_sequences as f64 / self.flushes as f64
+        }
+    }
+}
+
+/// Drives `PRODUCERS` closed-loop clients against one queue for roughly
+/// `duration` and reports completed requests.
+fn run_mode(engine: &Arc<Engine>, policy: BatchPolicy, duration: Duration) -> RunResult {
+    let queue = Arc::new(BatchQueue::start(Arc::clone(engine), policy));
+    // Warm up packing scratch and branch predictors outside the window.
+    queue
+        .classify((0..4).map(example).collect())
+        .expect("warmup");
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let mut producers = Vec::new();
+    for producer in 0..PRODUCERS {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        producers.push(std::thread::spawn(move || {
+            let mut completed = 0u64;
+            let mut i = producer;
+            while !stop.load(Ordering::Relaxed) {
+                queue.classify(vec![example(i)]).expect("benchmark request");
+                completed += 1;
+                i += PRODUCERS;
+            }
+            completed
+        }));
+    }
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let requests: u64 = producers
+        .into_iter()
+        .map(|p| p.join().expect("producer"))
+        .sum();
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = queue.stats();
+    queue.shutdown();
+    RunResult {
+        requests,
+        seconds,
+        // Includes the single four-sequence warmup flush — noise at any
+        // realistic budget.
+        flushes: stats.flushes,
+        flushed_sequences: stats.sequences,
+        largest_flush: stats.largest_flush,
+    }
+}
+
+struct ModeRow {
+    id: String,
+    policy: String,
+    producers: usize,
+    requests: u64,
+    seconds: f64,
+    requests_per_sec: f64,
+    mean_flush: f64,
+    largest_flush: u64,
+}
+
+impl_to_json!(ModeRow {
+    id,
+    policy,
+    producers,
+    requests,
+    seconds,
+    requests_per_sec,
+    mean_flush,
+    largest_flush,
+});
+
+struct Report {
+    bench: String,
+    backend: String,
+    budget_ms: u64,
+    dynamic_over_batch1_speedup: f64,
+    dynamic_batching_wins: bool,
+    results: Vec<ModeRow>,
+}
+
+impl_to_json!(Report {
+    bench,
+    backend,
+    budget_ms,
+    dynamic_over_batch1_speedup,
+    dynamic_batching_wins,
+    results,
+});
+
+fn main() {
+    let engine = int_engine();
+    // Reuse the workspace-wide bench budget; each round gets two budgets
+    // so the window spans many flushes even in quick mode.
+    let duration = Duration::from_millis(criterion::budget_ms().max(10) * 2);
+
+    let dynamic_policy = BatchPolicy {
+        max_batch: PRODUCERS,
+        max_delay: Duration::from_micros(300),
+    };
+    let batch1_policy = BatchPolicy::immediate();
+
+    println!(
+        "serve_throughput: {PRODUCERS} closed-loop producers, {ROUNDS} interleaved rounds of \
+         {:.0} ms per mode",
+        duration.as_secs_f64() * 1e3
+    );
+    let mut dynamic = RunResult::default();
+    let mut batch1 = RunResult::default();
+    for _ in 0..ROUNDS {
+        dynamic.accumulate(&run_mode(&engine, dynamic_policy, duration));
+        batch1.accumulate(&run_mode(&engine, batch1_policy, duration));
+    }
+
+    let dynamic_rps = dynamic.requests as f64 / dynamic.seconds;
+    let batch1_rps = batch1.requests as f64 / batch1.seconds;
+    let speedup = dynamic_rps / batch1_rps.max(f64::MIN_POSITIVE);
+    println!(
+        "  dynamic : {:>8.1} req/s ({} requests, mean flush {:.2}, largest {})",
+        dynamic_rps,
+        dynamic.requests,
+        dynamic.mean_flush(),
+        dynamic.largest_flush
+    );
+    println!(
+        "  batch-1 : {:>8.1} req/s ({} requests, mean flush {:.2})",
+        batch1_rps,
+        batch1.requests,
+        batch1.mean_flush()
+    );
+    println!("  speedup : {speedup:.2}x");
+
+    let report = Report {
+        bench: "serve_throughput".to_string(),
+        backend: engine.backend().name().to_string(),
+        budget_ms: criterion::budget_ms(),
+        dynamic_over_batch1_speedup: speedup,
+        dynamic_batching_wins: dynamic_rps > batch1_rps,
+        results: vec![
+            ModeRow {
+                id: "dynamic".to_string(),
+                policy: format!(
+                    "max_batch={} max_delay_ms={}",
+                    dynamic_policy.max_batch,
+                    dynamic_policy.max_delay.as_secs_f64() * 1e3
+                ),
+                producers: PRODUCERS,
+                requests: dynamic.requests,
+                seconds: dynamic.seconds,
+                requests_per_sec: dynamic_rps,
+                mean_flush: dynamic.mean_flush(),
+                largest_flush: dynamic.largest_flush,
+            },
+            ModeRow {
+                id: "batch1".to_string(),
+                policy: "max_batch=1 max_delay_ms=0".to_string(),
+                producers: PRODUCERS,
+                requests: batch1.requests,
+                seconds: batch1.seconds,
+                requests_per_sec: batch1_rps,
+                mean_flush: batch1.mean_flush(),
+                largest_flush: batch1.largest_flush,
+            },
+        ],
+    };
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let path = fqbert_bench::save_json_in(&dir, "BENCH_serve_throughput", &report)
+        .expect("write BENCH_serve_throughput.json");
+    println!("wrote {}", path.display());
+}

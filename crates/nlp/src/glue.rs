@@ -28,6 +28,22 @@ impl TaskKind {
             TaskKind::MnliMismatched => "MNLI-m",
         }
     }
+
+    /// Human-readable label of class `index`, matching the generator's
+    /// label conventions (SST-2: `1` is positive; MNLI: the
+    /// [`crate::mnli::ENTAILMENT`]/[`crate::mnli::NEUTRAL`]/
+    /// [`crate::mnli::CONTRADICTION`] constants). Out-of-range indices
+    /// render as `unknown` rather than panicking, so serving paths can
+    /// label any model output.
+    pub fn class_name(self, index: usize) -> &'static str {
+        let names: &[&'static str] = match self {
+            TaskKind::Sst2 => &["negative", "positive"],
+            TaskKind::MnliMatched | TaskKind::MnliMismatched => {
+                &["entailment", "neutral", "contradiction"]
+            }
+        };
+        names.get(index).copied().unwrap_or("unknown")
+    }
 }
 
 impl std::fmt::Display for TaskKind {
@@ -127,6 +143,25 @@ mod tests {
         assert_eq!(TaskKind::MnliMismatched.num_classes(), 3);
         assert_eq!(TaskKind::Sst2.to_string(), "SST-2");
         assert_eq!(TaskKind::MnliMismatched.to_string(), "MNLI-m");
+    }
+
+    #[test]
+    fn class_names_cover_every_class_and_tolerate_bad_indices() {
+        assert_eq!(TaskKind::Sst2.class_name(0), "negative");
+        assert_eq!(TaskKind::Sst2.class_name(1), "positive");
+        assert_eq!(
+            TaskKind::MnliMatched.class_name(crate::mnli::ENTAILMENT),
+            "entailment"
+        );
+        assert_eq!(
+            TaskKind::MnliMatched.class_name(crate::mnli::NEUTRAL),
+            "neutral"
+        );
+        assert_eq!(
+            TaskKind::MnliMismatched.class_name(crate::mnli::CONTRADICTION),
+            "contradiction"
+        );
+        assert_eq!(TaskKind::Sst2.class_name(9), "unknown");
     }
 
     #[test]

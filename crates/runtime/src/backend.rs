@@ -53,7 +53,11 @@ pub struct CostModel {
 /// engine all classify the same [`EncodedBatch`] and return the same
 /// [`BatchOutput`], so callers can swap backends without touching their
 /// pipeline.
-pub trait InferenceBackend {
+///
+/// Backends are `Send + Sync`: inference is a pure function of the
+/// immutable model state, so one backend (or the [`crate::Engine`] wrapping
+/// it) is shared cheaply behind an `Arc` across server worker threads.
+pub trait InferenceBackend: Send + Sync {
     /// Classifies every sequence in the batch.
     ///
     /// # Errors
@@ -237,6 +241,7 @@ impl InferenceBackend for SimBackend {
         let mut total_cycles = 0u64;
         let mut latency_ms = 0.0f64;
         let mut cached: Vec<(usize, u64, f64)> = Vec::new();
+        let mut sequence_costs = Vec::with_capacity(batch.len());
         for seq_len in batch.seq_lens() {
             let (cycles, ms) = match cached.iter().find(|(s, _, _)| *s == seq_len) {
                 Some(&(_, cycles, ms)) => (cycles, ms),
@@ -246,6 +251,10 @@ impl InferenceBackend for SimBackend {
                     (report.total_cycles, report.latency_ms)
                 }
             };
+            sequence_costs.push(BatchCost {
+                total_cycles: cycles,
+                latency_ms: ms,
+            });
             total_cycles += cycles;
             latency_ms += ms;
         }
@@ -253,6 +262,7 @@ impl InferenceBackend for SimBackend {
             total_cycles,
             latency_ms,
         });
+        out.sequence_costs = Some(sequence_costs);
         Ok(out)
     }
 

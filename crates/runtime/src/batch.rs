@@ -98,8 +98,14 @@ pub struct BatchOutput {
     pub logits: Vec<Vec<f32>>,
     /// Per-sequence argmax predictions.
     pub predictions: Vec<usize>,
-    /// Simulated hardware cost, if the backend charges one.
+    /// Total simulated hardware cost of the batch, if the backend charges
+    /// one.
     pub cost: Option<BatchCost>,
+    /// Per-sequence simulated cost breakdown (same order as the logits),
+    /// if the backend charges one. Summing these gives [`BatchOutput::cost`];
+    /// a dynamic-batching server uses them to bill each request for exactly
+    /// its own sequences rather than a share of the merged batch.
+    pub sequence_costs: Option<Vec<BatchCost>>,
 }
 
 impl BatchOutput {
@@ -113,6 +119,7 @@ impl BatchOutput {
             logits,
             predictions,
             cost,
+            sequence_costs: None,
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::artifact::ModelArtifact;
 use crate::backend::{FloatBackend, InferenceBackend, IntBackend, SimBackend};
-use crate::batch::{BatchOutput, EncodedBatch};
+use crate::batch::{BatchCost, BatchOutput, EncodedBatch};
 use crate::{Result, RuntimeError};
 use fqbert_accel::AcceleratorConfig;
 use fqbert_autograd::Graph;
@@ -13,7 +13,7 @@ use fqbert_quant::QuantConfig;
 use std::path::Path;
 
 /// Which backend an [`EngineBuilder`] should construct.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BackendKind {
     /// The FP32 float baseline.
     Float,
@@ -25,6 +25,46 @@ pub enum BackendKind {
     Sim,
 }
 
+impl BackendKind {
+    /// All backend kinds, in declaration order.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Float, BackendKind::Int, BackendKind::Sim];
+
+    /// The canonical config/CLI spelling (`float`, `int`, `sim`) — the same
+    /// string the matching backend returns from
+    /// [`crate::InferenceBackend::name`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Float => "float",
+            BackendKind::Int => "int",
+            BackendKind::Sim => "sim",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = RuntimeError;
+
+    /// Parses the canonical spellings `float`, `int` and `sim`
+    /// (case-insensitively, ignoring surrounding whitespace), so registry
+    /// entries and CLI flags come from plain config strings.
+    fn from_str(s: &str) -> Result<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "float" => Ok(BackendKind::Float),
+            "int" => Ok(BackendKind::Int),
+            "sim" => Ok(BackendKind::Sim),
+            other => Err(RuntimeError::InvalidConfig(format!(
+                "unknown backend kind `{other}` (expected `float`, `int` or `sim`)"
+            ))),
+        }
+    }
+}
+
 /// Classification result for one input text.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Classification {
@@ -32,6 +72,48 @@ pub struct Classification {
     pub prediction: usize,
     /// Class logits.
     pub logits: Vec<f32>,
+}
+
+/// Request-level classification result for one sequence: the predicted
+/// class index *and* its task label name, raw logits, softmax scores, and
+/// (for the simulated backend) the cycle-model cost of exactly this
+/// sequence.
+///
+/// This is the unit a serving front-end returns per request, where the bare
+/// [`Classification`] (index + logits) is not enough to render a response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scored {
+    /// Predicted class index.
+    pub prediction: usize,
+    /// Human-readable label of the predicted class (e.g. `positive`).
+    pub label: &'static str,
+    /// Raw class logits.
+    pub logits: Vec<f32>,
+    /// Softmax of the logits (sums to 1).
+    pub scores: Vec<f32>,
+    /// Simulated accelerator cost of this sequence, if the backend charges
+    /// one.
+    pub cost: Option<BatchCost>,
+}
+
+/// Result of [`Engine::classify_scored`] over one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredOutput {
+    /// Per-sequence scored classifications, in input order.
+    pub results: Vec<Scored>,
+    /// Total simulated cost of the batch, if the backend charges one.
+    pub cost: Option<BatchCost>,
+}
+
+/// Numerically stable softmax over a logit slice.
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return vec![1.0 / logits.len().max(1) as f32; logits.len()];
+    }
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
 }
 
 /// Accuracy summary of an evaluation run.
@@ -49,8 +131,9 @@ pub struct EvalSummary {
 /// A task-aware serving engine: tokenizer + backend + batch size.
 ///
 /// Built by [`EngineBuilder`]; every workload (examples, experiment
-/// binaries, the future server) funnels through [`Engine::classify_texts`] /
-/// [`Engine::classify_batch`] regardless of which backend is loaded.
+/// binaries, the `fqbert-serve` server) funnels through
+/// [`Engine::classify_texts`] / [`Engine::classify_batch`] /
+/// [`Engine::classify_scored`] regardless of which backend is loaded.
 pub struct Engine {
     task: TaskKind,
     tokenizer: Tokenizer,
@@ -121,6 +204,43 @@ impl Engine {
     /// Propagates backend errors.
     pub fn classify_batch(&self, batch: &EncodedBatch) -> Result<BatchOutput> {
         self.backend.classify_batch(batch)
+    }
+
+    /// Classifies one pre-encoded batch and returns request-level results:
+    /// label names, softmax scores and per-sequence simulated costs on top
+    /// of the raw predictions and logits.
+    ///
+    /// The logits are exactly those of [`Engine::classify_batch`] — the
+    /// scored view adds derived data without touching the datapath, so
+    /// serving through this API stays bit-identical to calling the backend
+    /// directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn classify_scored(&self, batch: &EncodedBatch) -> Result<ScoredOutput> {
+        let out = self.backend.classify_batch(batch)?;
+        let mut sequence_costs = out
+            .sequence_costs
+            .map(|costs| costs.into_iter().map(Some).collect::<Vec<_>>())
+            .unwrap_or_else(|| vec![None; out.logits.len()]);
+        let results = out
+            .predictions
+            .into_iter()
+            .zip(out.logits)
+            .zip(sequence_costs.iter_mut())
+            .map(|((prediction, logits), cost)| Scored {
+                prediction,
+                label: self.task.class_name(prediction),
+                scores: softmax(&logits),
+                logits,
+                cost: cost.take(),
+            })
+            .collect();
+        Ok(ScoredOutput {
+            results,
+            cost: out.cost,
+        })
     }
 
     /// Evaluates accuracy over pre-encoded examples, batching internally.
@@ -392,5 +512,49 @@ impl EngineBuilder {
             backend,
             batch_size: self.batch_size,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_round_trips_through_strings() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.to_string().parse::<BackendKind>().unwrap(), kind);
+        }
+        assert_eq!("float".parse::<BackendKind>().unwrap(), BackendKind::Float);
+        assert_eq!("int".parse::<BackendKind>().unwrap(), BackendKind::Int);
+        assert_eq!("sim".parse::<BackendKind>().unwrap(), BackendKind::Sim);
+    }
+
+    #[test]
+    fn backend_kind_parsing_is_forgiving_about_case_and_whitespace() {
+        assert_eq!(
+            " Float ".parse::<BackendKind>().unwrap(),
+            BackendKind::Float
+        );
+        assert_eq!("INT".parse::<BackendKind>().unwrap(), BackendKind::Int);
+        assert_eq!("Sim\n".parse::<BackendKind>().unwrap(), BackendKind::Sim);
+    }
+
+    #[test]
+    fn backend_kind_rejects_unknown_spellings() {
+        for bad in ["", "fp32", "integer", "cpu", "f loat"] {
+            let err = bad.parse::<BackendKind>().expect_err("must reject");
+            assert!(err.to_string().contains("backend kind"), "{err}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_and_normalised() {
+        let scores = softmax(&[1.0, 2.0, 3.0]);
+        assert!((scores.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(scores[2] > scores[1] && scores[1] > scores[0]);
+        // Large logits must not overflow to NaN.
+        let big = softmax(&[1000.0, 1001.0]);
+        assert!(big.iter().all(|s| s.is_finite()));
+        assert!((big.iter().sum::<f32>() - 1.0).abs() < 1e-6);
     }
 }

@@ -78,7 +78,9 @@ pub mod error;
 pub use artifact::ModelArtifact;
 pub use backend::{CostModel, FloatBackend, InferenceBackend, IntBackend, Precision, SimBackend};
 pub use batch::{BatchCost, BatchOutput, EncodedBatch};
-pub use engine::{BackendKind, Classification, Engine, EngineBuilder, EvalSummary};
+pub use engine::{
+    BackendKind, Classification, Engine, EngineBuilder, EvalSummary, Scored, ScoredOutput,
+};
 pub use error::RuntimeError;
 
 /// Convenience result alias for runtime operations.

@@ -1,0 +1,114 @@
+//! `fqbert-serve` — serve saved FQ-BERT artifacts over the line-delimited
+//! JSON protocol.
+//!
+//! ```text
+//! fqbert-serve [--listen ADDR] [--max-batch N] [--max-delay-ms MS]
+//!              [--config FILE] [name=backend:path ...]
+//! ```
+//!
+//! Models come from `name=backend:path` specs (backend is `int` or `sim`)
+//! given as arguments and/or one per line in `--config FILE` (`#` comments
+//! allowed). The server runs until a client sends `{"cmd":"shutdown"}`.
+
+use fqbert_serve::{registry, BatchPolicy, ModelRegistry, ModelSpec, Server, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fqbert-serve [--listen ADDR] [--max-batch N] [--max-delay-ms MS] \
+         [--config FILE] [name=backend:path ...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:7878".to_string();
+    let mut policy = BatchPolicy::default();
+    let mut specs: Vec<ModelSpec> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut flag_value = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--listen" => listen = flag_value("--listen"),
+            "--max-batch" => {
+                policy.max_batch = flag_value("--max-batch").parse().unwrap_or_else(|_| {
+                    eprintln!("--max-batch must be a positive integer");
+                    usage()
+                })
+            }
+            "--max-delay-ms" => {
+                let ms: u64 = flag_value("--max-delay-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("--max-delay-ms must be an integer");
+                    usage()
+                });
+                policy.max_delay = Duration::from_millis(ms);
+            }
+            "--config" => {
+                let path = flag_value("--config");
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read config `{path}`: {e}");
+                    std::process::exit(1);
+                });
+                match registry::parse_config(&text) {
+                    Ok(parsed) => specs.extend(parsed),
+                    Err(e) => {
+                        eprintln!("bad config `{path}`: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            spec => match spec.parse::<ModelSpec>() {
+                Ok(parsed) => specs.push(parsed),
+                Err(e) => {
+                    eprintln!("bad model spec: {e}");
+                    usage();
+                }
+            },
+        }
+    }
+
+    if specs.is_empty() {
+        eprintln!("no models to serve");
+        usage();
+    }
+
+    let registry = ModelRegistry::load(&specs).unwrap_or_else(|e| {
+        eprintln!("failed to load models: {e}");
+        std::process::exit(1);
+    });
+    let infos = registry.infos();
+    let server = Server::spawn(
+        registry,
+        ServerConfig {
+            addr: listen,
+            policy,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("failed to start server: {e}");
+        std::process::exit(1);
+    });
+
+    println!("fqbert-serve listening on {}", server.local_addr());
+    println!(
+        "batching: up to {} sequences or {:.1} ms per flush",
+        policy.max_batch,
+        policy.max_delay.as_secs_f64() * 1e3
+    );
+    for info in infos {
+        println!(
+            "  model {:<16} task {:<7} backend {:<5} precision {}",
+            info.name, info.task, info.backend, info.precision
+        );
+    }
+    println!("send {{\"cmd\":\"shutdown\"}} to stop");
+    server.join();
+    println!("drained and stopped");
+}

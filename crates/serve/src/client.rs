@@ -1,0 +1,346 @@
+//! Blocking client for the line-delimited-JSON protocol.
+
+use crate::json::Json;
+use crate::{Result, ServeError};
+use fqbert_runtime::BatchCost;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One classified sequence as decoded from a response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientResult {
+    /// Predicted class index.
+    pub prediction: usize,
+    /// Label name of the predicted class.
+    pub label: String,
+    /// Softmax scores.
+    pub scores: Vec<f32>,
+    /// Raw logits.
+    pub logits: Vec<f32>,
+}
+
+/// One decoded classification response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientResponse {
+    /// Echoed request id.
+    pub id: String,
+    /// Model that served the request.
+    pub model: String,
+    /// Per-sequence results, in request order.
+    pub results: Vec<ClientResult>,
+    /// Server-side wall latency (frame receipt → response framing) in ms.
+    pub latency_ms: f64,
+    /// Sequences in the dynamic-batching flush that served this request.
+    pub flushed_batch: usize,
+    /// Time the request waited in the queue, in ms.
+    pub wait_ms: f64,
+    /// Simulated accelerator cost of this request, when served by the
+    /// `sim` backend.
+    pub sim: Option<BatchCost>,
+}
+
+/// A blocking protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    fn roundtrip(&mut self, frame: &Json) -> Result<Json> {
+        let mut payload = frame.render();
+        payload.push('\n');
+        self.writer.write_all(payload.as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let value = crate::json::parse(line.trim()).map_err(ServeError::Protocol)?;
+        if let Some(error) = value.get("error") {
+            return Err(decode_error(error));
+        }
+        Ok(value)
+    }
+
+    /// Classifies single sentences on `model`.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces server error frames (unknown model, engine errors) and
+    /// socket failures.
+    pub fn classify_texts(&mut self, model: &str, texts: &[&str]) -> Result<ClientResponse> {
+        let frame = Json::obj([
+            ("id", Json::str(self.fresh_id())),
+            ("model", Json::str(model)),
+            (
+                "texts",
+                Json::Arr(texts.iter().map(|t| Json::str(*t)).collect()),
+            ),
+        ]);
+        let value = self.roundtrip(&frame)?;
+        decode_response(&value)
+    }
+
+    /// Classifies (premise, hypothesis) pairs on `model`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::classify_texts`].
+    pub fn classify_pairs(
+        &mut self,
+        model: &str,
+        pairs: &[(&str, &str)],
+    ) -> Result<ClientResponse> {
+        let frame = Json::obj([
+            ("id", Json::str(self.fresh_id())),
+            ("model", Json::str(model)),
+            (
+                "pairs",
+                Json::Arr(
+                    pairs
+                        .iter()
+                        .map(|(a, b)| Json::Arr(vec![Json::str(*a), Json::str(*b)]))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let value = self.roundtrip(&frame)?;
+        decode_response(&value)
+    }
+
+    /// Lists the server's registered models as
+    /// `(name, task, backend, precision)` tuples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol errors.
+    pub fn list_models(&mut self) -> Result<Vec<(String, String, String, String)>> {
+        let value = self.roundtrip(&Json::obj([("cmd", Json::str("list_models"))]))?;
+        let models = value
+            .get("models")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ServeError::Protocol("response lacks `models`".to_string()))?;
+        models
+            .iter()
+            .map(|m| {
+                let field = |key: &str| -> Result<String> {
+                    m.get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| ServeError::Protocol(format!("model entry lacks `{key}`")))
+                };
+                Ok((
+                    field("name")?,
+                    field("task")?,
+                    field("backend")?,
+                    field("precision")?,
+                ))
+            })
+            .collect()
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol errors.
+    pub fn ping(&mut self) -> Result<()> {
+        let value = self.roundtrip(&Json::obj([("cmd", Json::str("ping"))]))?;
+        match value.get("pong") {
+            Some(Json::Bool(true)) => Ok(()),
+            _ => Err(ServeError::Protocol("expected pong".to_string())),
+        }
+    }
+
+    /// Asks the server to shut down gracefully; returns once the server
+    /// acknowledged (the drain happens after the ack).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol errors.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        let value = self.roundtrip(&Json::obj([("cmd", Json::str("shutdown"))]))?;
+        match value.get("shutting_down") {
+            Some(Json::Bool(true)) => Ok(()),
+            _ => Err(ServeError::Protocol("expected shutdown ack".to_string())),
+        }
+    }
+
+    fn fresh_id(&mut self) -> String {
+        self.next_id += 1;
+        format!("c{}", self.next_id)
+    }
+}
+
+fn decode_error(error: &Json) -> ServeError {
+    let kind = error.get("kind").and_then(Json::as_str).unwrap_or("");
+    let message = error
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap_or("server error")
+        .to_string();
+    match kind {
+        "unknown_model" => {
+            // The server renders `unknown model `name``; recover the bare
+            // name so the client-side variant carries (and displays) the
+            // model, not the whole sentence.
+            let name = message
+                .split('`')
+                .nth(1)
+                .unwrap_or(message.as_str())
+                .to_string();
+            ServeError::UnknownModel(name)
+        }
+        "shutting_down" => ServeError::ShuttingDown,
+        _ => ServeError::Protocol(format!("server reported `{kind}`: {message}")),
+    }
+}
+
+fn num_field(value: &Json, key: &str) -> Result<f64> {
+    value
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ServeError::Protocol(format!("response lacks numeric `{key}`")))
+}
+
+fn f32_array(value: &Json, key: &str) -> Result<Vec<f32>> {
+    let arr = value
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::Protocol(format!("result lacks `{key}` array")))?;
+    arr.iter()
+        .map(|x| {
+            x.as_f64()
+                .map(|v| v as f32)
+                .ok_or_else(|| ServeError::Protocol(format!("`{key}` entries must be numbers")))
+        })
+        .collect()
+}
+
+fn decode_response(value: &Json) -> Result<ClientResponse> {
+    let str_field = |key: &str| -> Result<String> {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ServeError::Protocol(format!("response lacks `{key}`")))
+    };
+    let results = value
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::Protocol("response lacks `results`".to_string()))?
+        .iter()
+        .map(|item| {
+            Ok(ClientResult {
+                prediction: num_field(item, "prediction")? as usize,
+                label: item
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                scores: f32_array(item, "scores")?,
+                logits: f32_array(item, "logits")?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let batch = value
+        .get("batch")
+        .ok_or_else(|| ServeError::Protocol("response lacks `batch`".to_string()))?;
+    let sim = match value.get("sim") {
+        Some(sim) => Some(BatchCost {
+            total_cycles: num_field(sim, "total_cycles")? as u64,
+            latency_ms: num_field(sim, "latency_ms")?,
+        }),
+        None => None,
+    };
+    Ok(ClientResponse {
+        id: str_field("id")?,
+        model: str_field("model")?,
+        results,
+        latency_ms: num_field(value, "latency_ms")?,
+        flushed_batch: num_field(batch, "flushed")? as usize,
+        wait_ms: num_field(batch, "wait_ms")?,
+        sim,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_a_response_frame() {
+        let line = concat!(
+            "{\"id\":\"c1\",\"model\":\"sst2\",",
+            "\"results\":[{\"prediction\":1,\"label\":\"positive\",",
+            "\"scores\":[0.25,0.75],\"logits\":[-1,1]}],",
+            "\"latency_ms\":1.5,",
+            "\"batch\":{\"flushed\":8,\"wait_ms\":0.4},",
+            "\"sim\":{\"total_cycles\":99,\"latency_ms\":0.2}}"
+        );
+        let response = decode_response(&crate::json::parse(line).unwrap()).unwrap();
+        assert_eq!(response.id, "c1");
+        assert_eq!(response.results.len(), 1);
+        assert_eq!(response.results[0].prediction, 1);
+        assert_eq!(response.results[0].label, "positive");
+        assert_eq!(response.results[0].scores, vec![0.25, 0.75]);
+        assert_eq!(response.flushed_batch, 8);
+        assert_eq!(response.sim.unwrap().total_cycles, 99);
+    }
+
+    #[test]
+    fn decodes_error_frames_by_kind() {
+        let frame = crate::json::parse("{\"kind\":\"unknown_model\",\"message\":\"m\"}").unwrap();
+        assert_eq!(decode_error(&frame).kind(), "unknown_model");
+        // The bare model name is recovered from the server's sentence, so
+        // Display does not double-wrap it.
+        let frame =
+            crate::json::parse("{\"kind\":\"unknown_model\",\"message\":\"unknown model `foo`\"}")
+                .unwrap();
+        let err = decode_error(&frame);
+        assert!(matches!(&err, ServeError::UnknownModel(name) if name == "foo"));
+        assert_eq!(err.to_string(), "unknown model `foo`");
+        let shutting = decode_error(
+            &crate::json::parse("{\"kind\":\"shutting_down\",\"message\":\"x\"}").unwrap(),
+        );
+        assert!(matches!(shutting, ServeError::ShuttingDown));
+        let other = decode_error(
+            &crate::json::parse("{\"kind\":\"runtime\",\"message\":\"boom\"}").unwrap(),
+        );
+        assert!(other.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn incomplete_responses_are_protocol_errors() {
+        for line in [
+            "{}",
+            "{\"id\":\"a\",\"model\":\"m\"}",
+            "{\"id\":\"a\",\"model\":\"m\",\"results\":[],\"latency_ms\":1}",
+        ] {
+            let value = crate::json::parse(line).unwrap();
+            assert!(decode_response(&value).is_err(), "{line}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type of the serving layer.
+
+use fqbert_runtime::RuntimeError;
+use std::fmt;
+
+/// Error returned by the registry, queues, server and client.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The underlying engine failed (construction, inference, artifact
+    /// I/O).
+    Runtime(RuntimeError),
+    /// A request named a model the registry does not hold.
+    UnknownModel(String),
+    /// A wire frame or config entry could not be parsed.
+    Protocol(String),
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// The server or queue is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// Short machine-readable error kind used in wire error frames.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Runtime(_) => "runtime",
+            ServeError::UnknownModel(_) => "unknown_model",
+            ServeError::Protocol(_) => "protocol",
+            ServeError::Io(_) => "io",
+            ServeError::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Runtime(e) => write!(f, "engine error: {e}"),
+            ServeError::UnknownModel(name) => write!(f, "unknown model `{name}`"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Io(e) => write!(f, "I/O error: {e}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Runtime(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for ServeError {
+    fn from(e: RuntimeError) -> Self {
+        ServeError::Runtime(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let errs = [
+            (
+                ServeError::Runtime(RuntimeError::InvalidConfig("x".into())),
+                "runtime",
+            ),
+            (ServeError::UnknownModel("m".into()), "unknown_model"),
+            (ServeError::Protocol("bad".into()), "protocol"),
+            (ServeError::Io(std::io::Error::other("io")), "io"),
+            (ServeError::ShuttingDown, "shutting_down"),
+        ];
+        for (err, kind) in errs {
+            assert_eq!(err.kind(), kind);
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

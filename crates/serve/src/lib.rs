@@ -1,0 +1,44 @@
+//! `fqbert-serve` — the multi-model serving layer over the
+//! [`fqbert_runtime`] engine.
+//!
+//! The runtime crate answers *how* to classify a batch on one backend; this
+//! crate answers how to serve *many concurrent requests against many
+//! models* from one process, in three layers:
+//!
+//! 1. [`ModelRegistry`] loads several [`fqbert_runtime::ModelArtifact`]s
+//!    (different tasks and/or bit-widths) into per-model engines and routes
+//!    requests by model name. Registry entries come from plain config
+//!    strings ([`ModelSpec`]: `name=backend:path`, with
+//!    `BackendKind: FromStr` parsing the backend).
+//! 2. [`BatchQueue`] implements dynamic batching: one worker thread per
+//!    model collects in-flight requests up to a max-batch/max-delay window
+//!    ([`BatchPolicy`]) and flushes them through a single
+//!    `classify_scored` call, returning results through per-request
+//!    response channels ([`Ticket`]). Queued results are bit-identical to
+//!    calling `classify_batch` directly on the same inputs.
+//! 3. [`Server`] speaks a hand-rolled line-delimited-JSON protocol over
+//!    TCP (the repository is offline — no HTTP dependencies): one JSON
+//!    object per line in each direction, with error frames, per-request
+//!    latency reporting and the simulated backend's cycle-model cost in
+//!    responses. [`Client`] is the matching blocking client.
+//!
+//! See `crates/serve/README.md` for the wire-protocol specification.
+
+pub mod client;
+pub mod error;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+pub use client::{Client, ClientResponse, ClientResult};
+pub use error::ServeError;
+pub use json::Json;
+pub use protocol::{Command, Request, RequestInputs};
+pub use queue::{BatchPolicy, BatchQueue, QueueStats, Ticket, TicketResponse};
+pub use registry::{ModelRegistry, ModelSpec};
+pub use server::{Server, ServerConfig};
+
+/// Convenience result alias for serving operations.
+pub type Result<T> = std::result::Result<T, ServeError>;

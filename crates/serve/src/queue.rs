@@ -1,0 +1,400 @@
+//! Dynamic batching: per-model request queues flushed through one
+//! `classify_scored` call.
+//!
+//! A [`BatchQueue`] owns one worker thread. Callers submit pre-encoded
+//! examples and get a [`Ticket`] back; the worker collects in-flight
+//! requests until either `max_batch` sequences are queued or the oldest
+//! request has waited `max_delay`, then merges them into a single
+//! [`EncodedBatch`] and runs one engine call for the whole window. Results
+//! are split back per request and delivered through each ticket's channel.
+//!
+//! Batched and one-at-a-time inference are bit-identical in every backend
+//! (a property the runtime crate tests), so dynamic batching changes
+//! throughput and latency but never a single logit bit.
+
+use crate::{Result, ServeError};
+use fqbert_nlp::Example;
+use fqbert_runtime::{BatchCost, EncodedBatch, Engine, Scored};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// When a queue flushes: after `max_batch` sequences are waiting, or once
+/// the oldest request has waited `max_delay`, whichever comes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many sequences are queued. A single request
+    /// larger than `max_batch` flushes alone (requests are never split).
+    pub max_batch: usize,
+    /// Flush once the oldest queued request has waited this long.
+    pub max_delay: Duration,
+}
+
+impl BatchPolicy {
+    /// Serve each request the moment it arrives (batch size 1) — the
+    /// no-batching baseline the throughput bench compares against.
+    pub fn immediate() -> Self {
+        Self {
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// What a [`Ticket`] resolves to: the request's scored classifications
+/// plus how the queue served it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TicketResponse {
+    /// Scored classification of each submitted sequence, in input order.
+    pub results: Vec<Scored>,
+    /// Simulated accelerator cost of exactly this request's sequences, if
+    /// the backend charges one.
+    pub cost: Option<BatchCost>,
+    /// Total sequences in the flush window this request was served in
+    /// (≥ the request's own size when batching kicked in).
+    pub flushed_batch: usize,
+    /// Time the request spent queued before its flush started.
+    pub wait: Duration,
+}
+
+/// Pending-response handle returned by [`BatchQueue::submit`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<TicketResponse>>,
+}
+
+impl Ticket {
+    /// Blocks until the request is served (or fails).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors for this request; returns
+    /// [`ServeError::ShuttingDown`] if the queue stopped before serving it.
+    pub fn wait(self) -> Result<TicketResponse> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Non-blocking poll; `None` while the request is still queued or
+    /// in flight.
+    pub fn try_wait(&self) -> Option<Result<TicketResponse>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
+}
+
+/// Counters describing how a queue has batched its traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests served (including failed ones).
+    pub requests: u64,
+    /// Sequences classified.
+    pub sequences: u64,
+    /// Engine flushes performed.
+    pub flushes: u64,
+    /// Largest number of sequences merged into one flush.
+    pub largest_flush: u64,
+}
+
+impl QueueStats {
+    /// Mean sequences per engine call — the batching win over serving each
+    /// request alone.
+    pub fn mean_flush(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.sequences as f64 / self.flushes as f64
+        }
+    }
+}
+
+struct PendingRequest {
+    examples: Vec<Example>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<TicketResponse>>,
+}
+
+struct QueueState {
+    pending: VecDeque<PendingRequest>,
+    queued_sequences: usize,
+    shutdown: bool,
+}
+
+struct QueueInner {
+    engine: Arc<Engine>,
+    policy: BatchPolicy,
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    requests: AtomicU64,
+    sequences: AtomicU64,
+    flushes: AtomicU64,
+    largest_flush: AtomicU64,
+}
+
+/// A dynamic batching queue over one engine, with one worker thread.
+pub struct BatchQueue {
+    inner: Arc<QueueInner>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl BatchQueue {
+    /// Starts the worker thread for `engine` under `policy`.
+    pub fn start(engine: Arc<Engine>, policy: BatchPolicy) -> Self {
+        let inner = Arc::new(QueueInner {
+            engine,
+            policy: BatchPolicy {
+                max_batch: policy.max_batch.max(1),
+                max_delay: policy.max_delay,
+            },
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                queued_sequences: 0,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            requests: AtomicU64::new(0),
+            sequences: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            largest_flush: AtomicU64::new(0),
+        });
+        let worker_inner = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name(format!("fqbert-queue-{}", inner.engine.backend().name()))
+            .spawn(move || worker_loop(&worker_inner))
+            .expect("spawn batch-queue worker");
+        Self {
+            inner,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// The engine this queue flushes into.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.inner.engine
+    }
+
+    /// The flush policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.inner.policy
+    }
+
+    /// Enqueues one request (any number of pre-encoded sequences) and
+    /// returns its [`Ticket`]. Requests submitted after
+    /// [`BatchQueue::shutdown`] resolve immediately to
+    /// [`ServeError::ShuttingDown`]; requests already queued at shutdown
+    /// are drained, not dropped.
+    pub fn submit(&self, examples: Vec<Example>) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        if examples.is_empty() {
+            let _ = tx.send(Ok(TicketResponse {
+                results: Vec::new(),
+                cost: None,
+                flushed_batch: 0,
+                wait: Duration::ZERO,
+            }));
+            return Ticket { rx };
+        }
+        let mut state = self.inner.state.lock().expect("queue lock");
+        if state.shutdown {
+            let _ = tx.send(Err(ServeError::ShuttingDown));
+            return Ticket { rx };
+        }
+        state.queued_sequences += examples.len();
+        state.pending.push_back(PendingRequest {
+            examples,
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        drop(state);
+        self.inner.cond.notify_all();
+        Ticket { rx }
+    }
+
+    /// Convenience wrapper: submit and block until served.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Ticket::wait`].
+    pub fn classify(&self, examples: Vec<Example>) -> Result<TicketResponse> {
+        self.submit(examples).wait()
+    }
+
+    /// Batching counters since start.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            requests: self.inner.requests.load(Ordering::Relaxed),
+            sequences: self.inner.sequences.load(Ordering::Relaxed),
+            flushes: self.inner.flushes.load(Ordering::Relaxed),
+            largest_flush: self.inner.largest_flush.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting new requests, drains everything already queued and
+    /// joins the worker. Idempotent; called automatically on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.inner.state.lock().expect("queue lock");
+            state.shutdown = true;
+        }
+        self.inner.cond.notify_all();
+        if let Some(worker) = self.worker.lock().expect("worker lock").take() {
+            worker.join().expect("batch-queue worker panicked");
+        }
+    }
+}
+
+impl Drop for BatchQueue {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for BatchQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchQueue")
+            .field("engine", &self.inner.engine.backend().name())
+            .field("policy", &self.inner.policy)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn worker_loop(inner: &QueueInner) {
+    loop {
+        let window = {
+            let mut state = inner.state.lock().expect("queue lock");
+            // Sleep until there is work (or shutdown).
+            while state.pending.is_empty() && !state.shutdown {
+                state = inner.cond.wait(state).expect("queue lock");
+            }
+            if state.pending.is_empty() {
+                // Shutdown with an empty queue: done.
+                return;
+            }
+            // A request is waiting: keep the window open until the batch
+            // fills, the oldest request's delay budget expires, or
+            // shutdown asks for an immediate drain.
+            let deadline =
+                state.pending.front().expect("non-empty").enqueued + inner.policy.max_delay;
+            while state.queued_sequences < inner.policy.max_batch && !state.shutdown {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, _timeout) = inner
+                    .cond
+                    .wait_timeout(state, deadline - now)
+                    .expect("queue lock");
+                state = next;
+            }
+            // Drain whole requests up to max_batch sequences; the first
+            // request always goes even if it alone exceeds the cap.
+            let mut window: Vec<PendingRequest> = Vec::new();
+            let mut sequences = 0usize;
+            while let Some(front) = state.pending.front() {
+                if !window.is_empty() && sequences + front.examples.len() > inner.policy.max_batch {
+                    break;
+                }
+                let request = state.pending.pop_front().expect("non-empty");
+                sequences += request.examples.len();
+                state.queued_sequences -= request.examples.len();
+                window.push(request);
+                if sequences >= inner.policy.max_batch {
+                    break;
+                }
+            }
+            window
+        };
+        flush_window(inner, window);
+    }
+}
+
+/// Runs one merged engine call for `window` and routes the split results
+/// back through each request's channel.
+fn flush_window(inner: &QueueInner, window: Vec<PendingRequest>) {
+    let flush_start = Instant::now();
+    let flushed_batch: usize = window.iter().map(|r| r.examples.len()).sum();
+    inner.flushes.fetch_add(1, Ordering::Relaxed);
+    inner
+        .requests
+        .fetch_add(window.len() as u64, Ordering::Relaxed);
+    inner
+        .sequences
+        .fetch_add(flushed_batch as u64, Ordering::Relaxed);
+    inner
+        .largest_flush
+        .fetch_max(flushed_batch as u64, Ordering::Relaxed);
+
+    let merged: Vec<Example> = window
+        .iter()
+        .flat_map(|r| r.examples.iter().cloned())
+        .collect();
+    match inner
+        .engine
+        .classify_scored(&EncodedBatch::from_examples(merged))
+    {
+        Ok(output) => {
+            let mut results = output.results.into_iter();
+            for request in window {
+                let own: Vec<Scored> = results.by_ref().take(request.examples.len()).collect();
+                let cost = sum_costs(&own);
+                let _ = request.reply.send(Ok(TicketResponse {
+                    results: own,
+                    cost,
+                    flushed_batch,
+                    wait: flush_start.duration_since(request.enqueued),
+                }));
+            }
+        }
+        Err(_) if window.len() > 1 => {
+            // One bad sequence (e.g. all-padding) must not poison the
+            // window: retry each request alone so only the offender fails.
+            for request in window {
+                let batch = EncodedBatch::from_examples(request.examples.clone());
+                let response = inner.engine.classify_scored(&batch).map(|output| {
+                    let cost = sum_costs(&output.results);
+                    TicketResponse {
+                        results: output.results,
+                        cost,
+                        flushed_batch: request.examples.len(),
+                        wait: flush_start.duration_since(request.enqueued),
+                    }
+                });
+                let _ = request.reply.send(response.map_err(ServeError::from));
+            }
+        }
+        Err(err) => {
+            let request = window.into_iter().next().expect("single request");
+            let _ = request.reply.send(Err(ServeError::from(err)));
+        }
+    }
+}
+
+/// Sums the per-sequence simulated costs of a request, if present.
+fn sum_costs(results: &[Scored]) -> Option<BatchCost> {
+    let mut total: Option<BatchCost> = None;
+    for scored in results {
+        if let Some(cost) = scored.cost {
+            let entry = total.get_or_insert(BatchCost {
+                total_cycles: 0,
+                latency_ms: 0.0,
+            });
+            entry.total_cycles += cost.total_cycles;
+            entry.latency_ms += cost.latency_ms;
+        }
+    }
+    total
+}

@@ -1,0 +1,257 @@
+//! Multi-model registry: named engines loaded from artifact specs.
+
+use crate::{Result, ServeError};
+use fqbert_runtime::{BackendKind, Engine, EngineBuilder};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// One registry entry parsed from plain config: `name=backend:path`.
+///
+/// `name` is the routing key requests address the model by; `backend` is a
+/// [`BackendKind`] spelling (`int` or `sim` — the float baseline cannot be
+/// loaded from a quantized artifact); `path` points at a saved
+/// [`fqbert_runtime::ModelArtifact`].
+///
+/// ```text
+/// sst2-w4=int:models/sst2_w4.fqbt
+/// sst2-w8=sim:models/sst2_w8.fqbt
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Routing name of the model.
+    pub name: String,
+    /// Backend the artifact is served on.
+    pub backend: BackendKind,
+    /// Path of the saved artifact.
+    pub path: PathBuf,
+}
+
+impl std::fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={}:{}", self.name, self.backend, self.path.display())
+    }
+}
+
+impl std::str::FromStr for ModelSpec {
+    type Err = ServeError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let (name, rest) = s.split_once('=').ok_or_else(|| {
+            ServeError::Protocol(format!(
+                "model spec `{s}` must look like `name=backend:path`"
+            ))
+        })?;
+        let (backend, path) = rest.split_once(':').ok_or_else(|| {
+            ServeError::Protocol(format!(
+                "model spec `{s}` must name a backend: `name=backend:path`"
+            ))
+        })?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(ServeError::Protocol(format!(
+                "model spec `{s}` has an empty model name"
+            )));
+        }
+        let path = path.trim();
+        if path.is_empty() {
+            return Err(ServeError::Protocol(format!(
+                "model spec `{s}` has an empty artifact path"
+            )));
+        }
+        Ok(ModelSpec {
+            name: name.to_string(),
+            backend: backend.parse::<BackendKind>()?,
+            path: PathBuf::from(path),
+        })
+    }
+}
+
+/// Parses a plain-text registry config: one [`ModelSpec`] per line, blank
+/// lines and `#` comments ignored.
+///
+/// # Errors
+///
+/// Returns the first malformed line as a [`ServeError::Protocol`].
+pub fn parse_config(text: &str) -> Result<Vec<ModelSpec>> {
+    text.lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(str::parse)
+        .collect()
+}
+
+/// Metadata describing one registered model without running it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfo {
+    /// Routing name.
+    pub name: String,
+    /// Task the engine serves (e.g. `SST-2`).
+    pub task: String,
+    /// Backend name (`float`, `int`, `sim`).
+    pub backend: String,
+    /// Numeric precision (e.g. `w4/a8`).
+    pub precision: String,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+/// A name → engine map serving several models (different tasks and/or
+/// bit-widths) from one process.
+///
+/// Engines are held behind `Arc` so the server's per-model worker threads
+/// and any in-process caller share them without copying model weights.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, Arc<Engine>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads every spec'd artifact into an engine and registers it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names, artifact I/O/validation errors, and specs
+    /// naming the float backend (artifacts hold quantized models only).
+    pub fn load(specs: &[ModelSpec]) -> Result<Self> {
+        let mut registry = Self::new();
+        for spec in specs {
+            let engine = EngineBuilder::new(fqbert_nlp::TaskKind::Sst2)
+                .backend(spec.backend)
+                .load(&spec.path)?;
+            registry.register(&spec.name, engine)?;
+        }
+        Ok(registry)
+    }
+
+    /// Registers an already-built engine under `name` (the in-process
+    /// path: QAT-calibrated or float engines that never touched disk).
+    /// Accepts a bare [`Engine`] or an `Arc<Engine>` already shared with
+    /// other callers.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `name` is already taken.
+    pub fn register(&mut self, name: &str, engine: impl Into<Arc<Engine>>) -> Result<()> {
+        if self.models.contains_key(name) {
+            return Err(ServeError::Protocol(format!(
+                "duplicate model name `{name}` in registry"
+            )));
+        }
+        self.models.insert(name.to_string(), engine.into());
+        Ok(())
+    }
+
+    /// The engine registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] when absent.
+    pub fn get(&self, name: &str) -> Result<Arc<Engine>> {
+        self.models
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.models.keys().cloned().collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Iterates over `(name, engine)` pairs, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Engine>)> {
+        self.models.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Metadata for every registered model, sorted by name.
+    pub fn infos(&self) -> Vec<ModelInfo> {
+        self.models
+            .iter()
+            .map(|(name, engine)| ModelInfo {
+                name: name.clone(),
+                task: engine.task().to_string(),
+                backend: engine.backend().name().to_string(),
+                precision: engine.backend().precision().to_string(),
+                num_classes: engine.task().num_classes(),
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("models", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_round_trip() {
+        let spec: ModelSpec = "sst2-w4=int:models/sst2_w4.fqbt".parse().unwrap();
+        assert_eq!(spec.name, "sst2-w4");
+        assert_eq!(spec.backend, BackendKind::Int);
+        assert_eq!(spec.path, PathBuf::from("models/sst2_w4.fqbt"));
+        assert_eq!(spec.to_string().parse::<ModelSpec>().unwrap(), spec);
+
+        // Paths may contain further colons (only the first separates).
+        let spec: ModelSpec = "m=sim:dir:with:colons/a.fqbt".parse().unwrap();
+        assert_eq!(spec.backend, BackendKind::Sim);
+        assert_eq!(spec.path, PathBuf::from("dir:with:colons/a.fqbt"));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_context() {
+        for bad in [
+            "no-equals",
+            "name=int",        // missing path separator
+            "=int:path",       // empty name
+            "name=turbo:path", // unknown backend
+            "name=int:",       // empty path
+            "name=int:   ",    // whitespace path
+        ] {
+            let err = bad.parse::<ModelSpec>().expect_err("must reject");
+            assert!(!err.to_string().is_empty(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn config_text_skips_comments_and_blanks() {
+        let specs =
+            parse_config("# registry\n\n  sst2-w4=int:a.fqbt  \n# another\nsst2-w8=sim:b.fqbt\n")
+                .unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "sst2-w4");
+        assert_eq!(specs[1].backend, BackendKind::Sim);
+        assert!(parse_config("good=int:a\nbad line\n").is_err());
+    }
+
+    #[test]
+    fn empty_registry_routes_nothing() {
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        assert_eq!(registry.len(), 0);
+        let err = registry.get("missing").expect_err("unknown model");
+        assert_eq!(err.kind(), "unknown_model");
+    }
+}

@@ -1,0 +1,345 @@
+//! The line-delimited-JSON TCP server: accept loop, per-connection
+//! handlers, per-model dynamic batching queues and graceful shutdown.
+
+use crate::protocol::{self, Command, RequestInputs};
+use crate::queue::{BatchPolicy, BatchQueue};
+use crate::registry::ModelRegistry;
+use crate::{Result, ServeError};
+use fqbert_runtime::EncodedBatch;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked socket operations re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server configuration: listen address plus the per-model flush policy.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port — query it with
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Dynamic batching policy applied to every model queue.
+    pub policy: BatchPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            policy: BatchPolicy::default(),
+        }
+    }
+}
+
+struct Shared {
+    registry: ModelRegistry,
+    queues: BTreeMap<String, BatchQueue>,
+    shutdown: AtomicBool,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running multi-model server.
+///
+/// Spawned with [`Server::spawn`]; stops when a client sends the
+/// `shutdown` command or the process calls [`Server::shutdown`]. Shutdown
+/// is graceful: the listener closes, connection handlers finish their
+/// in-flight request, and every queue drains what it already accepted
+/// before the workers exit.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    cleaned: Mutex<bool>,
+}
+
+impl Server {
+    /// Binds `config.addr`, starts one [`BatchQueue`] per registered model
+    /// and the accept loop, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] for an empty registry and I/O
+    /// errors from binding the listener.
+    pub fn spawn(registry: ModelRegistry, config: ServerConfig) -> Result<Server> {
+        if registry.is_empty() {
+            return Err(ServeError::Protocol(
+                "cannot serve an empty model registry".to_string(),
+            ));
+        }
+        let queues: BTreeMap<String, BatchQueue> = registry
+            .iter()
+            .map(|(name, engine)| {
+                (
+                    name.to_string(),
+                    BatchQueue::start(Arc::clone(engine), config.policy),
+                )
+            })
+            .collect();
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry,
+            queues,
+            shutdown: AtomicBool::new(false),
+            connections: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("fqbert-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept loop");
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Mutex::new(Some(accept)),
+            cleaned: Mutex::new(false),
+        })
+    }
+
+    /// The bound listen address (with the real port when `:0` was asked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Batching statistics per model queue.
+    pub fn queue_stats(&self) -> Vec<(String, crate::queue::QueueStats)> {
+        self.shared
+            .queues
+            .iter()
+            .map(|(name, queue)| (name.clone(), queue.stats()))
+            .collect()
+    }
+
+    /// Requests shutdown and blocks until the accept loop, every
+    /// connection handler and every queue worker have exited. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.cleanup();
+    }
+
+    /// Blocks until a shutdown is requested (e.g. by a client's `shutdown`
+    /// command), then performs the same cleanup as [`Server::shutdown`].
+    pub fn join(&self) {
+        while !self.is_shutting_down() {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        self.cleanup();
+    }
+
+    fn cleanup(&self) {
+        let mut cleaned = self.cleaned.lock().expect("cleanup lock");
+        if *cleaned {
+            return;
+        }
+        if let Some(accept) = self.accept.lock().expect("accept lock").take() {
+            accept.join().expect("accept loop panicked");
+        }
+        // Handlers finish their in-flight request against still-running
+        // queues, then observe the flag on their next read timeout.
+        let connections =
+            std::mem::take(&mut *self.shared.connections.lock().expect("connections lock"));
+        for handle in connections {
+            handle.join().expect("connection handler panicked");
+        }
+        // Only now drain and stop the queues.
+        for queue in self.shared.queues.values() {
+            queue.shutdown();
+        }
+        *cleaned = true;
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.local_addr)
+            .field("models", &self.shared.registry.names())
+            .field("shutting_down", &self.is_shutting_down())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("fqbert-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, &conn_shared))
+                    .expect("spawn connection handler");
+                let mut connections = shared.connections.lock().expect("connections lock");
+                // Reap exited handlers so a long-lived server's handle list
+                // tracks live connections, not every connection ever made.
+                let mut index = 0;
+                while index < connections.len() {
+                    if connections[index].is_finished() {
+                        let finished = connections.swap_remove(index);
+                        finished.join().expect("connection handler panicked");
+                    } else {
+                        index += 1;
+                    }
+                }
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Hard cap on one request frame. Far above any real batch of texts, and
+/// bounds the per-connection buffer against a client streaming bytes that
+/// never contain a newline.
+const MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// How long a response write may block before the connection is dropped: a
+/// client that stops reading must not pin a handler thread (and with it
+/// graceful shutdown) forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // Accepted sockets must block with a read timeout so the handler can
+    // re-check the shutdown flag without busy-waiting.
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
+        || stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // `read_until` keeps partially read bytes in `buf` across timeouts
+    // (unlike `read_line`, which truncates its String on error), so a
+    // frame split across poll intervals is reassembled, not dropped. The
+    // `Read::take` cap bounds how far `read_until` can run inside one call
+    // even against a sender that streams newline-free bytes full speed.
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let budget = (MAX_FRAME_BYTES + 1).saturating_sub(buf.len()) as u64;
+        match (&mut reader).take(budget).read_until(b'\n', &mut buf) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                if buf.len() > MAX_FRAME_BYTES {
+                    let err =
+                        ServeError::Protocol(format!("frame exceeds {MAX_FRAME_BYTES} bytes"));
+                    let mut payload = protocol::error_frame(None, &err).render();
+                    payload.push('\n');
+                    let _ = writer.write_all(payload.as_bytes());
+                    break;
+                }
+                if buf.last() != Some(&b'\n') {
+                    continue; // EOF mid-line surfaces as Ok(0) next turn
+                }
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                let stop = respond(&line, &mut writer, shared);
+                buf.clear();
+                if stop {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handles one frame; returns `true` when the connection should close.
+fn respond(line: &str, writer: &mut TcpStream, shared: &Arc<Shared>) -> bool {
+    let line = line.trim();
+    if line.is_empty() {
+        return false;
+    }
+    let received = Instant::now();
+    let (frame, stop) = match protocol::parse_command(line) {
+        Ok(Command::Classify(request)) => {
+            let response = serve_request(&request, shared, received);
+            (response, false)
+        }
+        Ok(Command::ListModels) => (protocol::models_frame(&shared.registry.infos()), false),
+        Ok(Command::Ping) => (protocol::pong_frame(), false),
+        Ok(Command::Shutdown) => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (protocol::shutdown_frame(), true)
+        }
+        Err(err) => (protocol::error_frame(None, &err), false),
+    };
+    let mut payload = frame.render();
+    payload.push('\n');
+    if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+        return true;
+    }
+    stop
+}
+
+fn serve_request(
+    request: &crate::protocol::Request,
+    shared: &Arc<Shared>,
+    received: Instant,
+) -> crate::json::Json {
+    let result = (|| -> Result<crate::json::Json> {
+        // One queue per registry entry (spawn builds them together), so the
+        // queue lookup is also the model-existence check.
+        let queue = shared
+            .queues
+            .get(&request.model)
+            .ok_or_else(|| ServeError::UnknownModel(request.model.clone()))?;
+        let engine = queue.engine();
+        let batch = match &request.inputs {
+            RequestInputs::Texts(texts) => {
+                let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+                EncodedBatch::from_texts(engine.tokenizer(), &refs)
+            }
+            RequestInputs::Pairs(pairs) => {
+                let refs: Vec<(&str, &str)> = pairs
+                    .iter()
+                    .map(|(a, b)| (a.as_str(), b.as_str()))
+                    .collect();
+                EncodedBatch::from_pairs(engine.tokenizer(), &refs)
+            }
+        };
+        let response = queue.submit(batch.examples().to_vec()).wait()?;
+        let latency_ms = received.elapsed().as_secs_f64() * 1e3;
+        Ok(protocol::response_frame(
+            &request.id,
+            &request.model,
+            &response,
+            latency_ms,
+        ))
+    })();
+    match result {
+        Ok(frame) => frame,
+        Err(err) => protocol::error_frame(Some(&request.id), &err),
+    }
+}

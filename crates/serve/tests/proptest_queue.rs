@@ -1,0 +1,73 @@
+//! Property test: results served through a dynamic-batching queue are
+//! bit-identical to calling `classify_batch` directly on the same inputs,
+//! for random request sizes, flush policies and submission orders.
+
+mod common;
+
+use common::{engine, example};
+use fqbert_runtime::{BackendKind, EncodedBatch, Engine};
+use fqbert_serve::{BatchPolicy, BatchQueue};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+fn shared_engine() -> Arc<Engine> {
+    static ENGINE: OnceLock<Arc<Engine>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| engine(BackendKind::Int)))
+}
+
+proptest! {
+    #[test]
+    fn queued_results_are_bit_identical_to_direct_classification(
+        request_sizes in proptest::collection::vec(1usize..5, 1..6),
+        max_batch in 1usize..12,
+        delay_ms in 0u64..3,
+        offset in 0usize..50,
+    ) {
+        let engine = shared_engine();
+        let queue = BatchQueue::start(
+            Arc::clone(&engine),
+            BatchPolicy {
+                max_batch,
+                max_delay: Duration::from_millis(delay_ms),
+            },
+        );
+        // Build every request's examples up front so the direct reference
+        // sees exactly the same inputs.
+        let requests: Vec<Vec<fqbert_nlp::Example>> = request_sizes
+            .iter()
+            .scan(offset, |next, &len| {
+                let start = *next;
+                *next += len;
+                Some((start..start + len).map(example).collect())
+            })
+            .collect();
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|examples| queue.submit(examples.clone()))
+            .collect();
+        for (examples, ticket) in requests.iter().zip(tickets) {
+            let served = ticket.wait().expect("served");
+            let direct = engine
+                .classify_batch(&EncodedBatch::from_examples(examples.clone()))
+                .expect("direct");
+            prop_assert_eq!(served.results.len(), direct.logits.len());
+            for (scored, (logits, prediction)) in served
+                .results
+                .iter()
+                .zip(direct.logits.iter().zip(&direct.predictions))
+            {
+                prop_assert_eq!(&scored.prediction, prediction);
+                prop_assert_eq!(scored.logits.len(), logits.len());
+                for (a, b) in scored.logits.iter().zip(logits) {
+                    prop_assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "queued logits diverge from direct classification"
+                    );
+                }
+            }
+        }
+        queue.shutdown();
+    }
+}

@@ -1,0 +1,175 @@
+//! `BatchQueue` flush-trigger tests: max-batch reached, max-delay expiry,
+//! shutdown drain, oversized requests, poison isolation and the simulated
+//! cost split.
+
+mod common;
+
+use common::{engine, example};
+use fqbert_runtime::BackendKind;
+use fqbert_serve::{BatchPolicy, BatchQueue, ServeError};
+use std::time::Duration;
+
+#[test]
+fn max_batch_reached_flushes_one_merged_window() {
+    let queue = BatchQueue::start(
+        engine(BackendKind::Int),
+        BatchPolicy {
+            max_batch: 4,
+            // A delay budget so large that only the max-batch trigger can
+            // explain a flush.
+            max_delay: Duration::from_secs(30),
+        },
+    );
+    let tickets: Vec<_> = (0..4).map(|i| queue.submit(vec![example(i)])).collect();
+    for ticket in tickets {
+        let response = ticket.wait().expect("served");
+        assert_eq!(response.results.len(), 1);
+        assert_eq!(
+            response.flushed_batch, 4,
+            "all four requests must ride one flush"
+        );
+        assert!(response.cost.is_none(), "int backend charges no cost");
+    }
+    let stats = queue.stats();
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.sequences, 4);
+    assert_eq!(stats.flushes, 1);
+    assert_eq!(stats.largest_flush, 4);
+    assert!((stats.mean_flush() - 4.0).abs() < f64::EPSILON);
+}
+
+#[test]
+fn max_delay_expiry_flushes_a_partial_window() {
+    let queue = BatchQueue::start(
+        engine(BackendKind::Int),
+        BatchPolicy {
+            max_batch: 1000,
+            max_delay: Duration::from_millis(30),
+        },
+    );
+    let first = queue.submit(vec![example(0)]);
+    let second = queue.submit(vec![example(1)]);
+    let first = first.wait().expect("served");
+    let second = second.wait().expect("served");
+    // The window could not have filled (max_batch 1000): only the delay
+    // expiry explains these flushes.
+    assert!(first.flushed_batch >= 1 && first.flushed_batch <= 2);
+    assert_eq!(first.results.len(), 1);
+    assert_eq!(second.results.len(), 1);
+    let stats = queue.stats();
+    assert_eq!(stats.sequences, 2);
+    assert!(stats.flushes >= 1 && stats.flushes <= 2);
+}
+
+#[test]
+fn shutdown_drains_queued_requests_and_rejects_new_ones() {
+    let queue = BatchQueue::start(
+        engine(BackendKind::Int),
+        BatchPolicy {
+            max_batch: 1000,
+            max_delay: Duration::from_secs(30),
+        },
+    );
+    // Far below max_batch and far before the deadline: these requests sit
+    // queued until shutdown drains them.
+    let tickets: Vec<_> = (0..3).map(|i| queue.submit(vec![example(i)])).collect();
+    queue.shutdown();
+    for ticket in tickets {
+        let response = ticket.wait().expect("drained, not dropped");
+        assert_eq!(response.results.len(), 1);
+    }
+    let late = queue.submit(vec![example(9)]).wait();
+    assert!(
+        matches!(late, Err(ServeError::ShuttingDown)),
+        "post-shutdown submits must be rejected: {late:?}"
+    );
+    // Idempotent.
+    queue.shutdown();
+}
+
+#[test]
+fn oversized_request_flushes_alone_and_empty_request_resolves_immediately() {
+    let queue = BatchQueue::start(
+        engine(BackendKind::Int),
+        BatchPolicy {
+            max_batch: 2,
+            max_delay: Duration::from_secs(30),
+        },
+    );
+    let big: Vec<_> = (0..5).map(example).collect();
+    let response = queue.classify(big).expect("served");
+    assert_eq!(response.results.len(), 5, "requests are never split");
+    assert_eq!(response.flushed_batch, 5);
+
+    let empty = queue.classify(Vec::new()).expect("empty request");
+    assert!(empty.results.is_empty());
+    assert_eq!(empty.flushed_batch, 0);
+}
+
+#[test]
+fn poisoned_window_fails_only_the_offending_request() {
+    let queue = BatchQueue::start(
+        engine(BackendKind::Int),
+        BatchPolicy {
+            max_batch: 4,
+            max_delay: Duration::from_secs(30),
+        },
+    );
+    let mut poison = example(1);
+    for m in poison.attention_mask.iter_mut() {
+        *m = 0;
+    }
+    let good = queue.submit(vec![example(0)]);
+    let bad = queue.submit(vec![poison]);
+    let filler_a = queue.submit(vec![example(2)]);
+    let filler_b = queue.submit(vec![example(3)]);
+
+    let good = good.wait().expect("valid request must survive the window");
+    assert_eq!(good.results.len(), 1);
+    let err = bad.wait().expect_err("all-padding request must fail");
+    assert!(matches!(err, ServeError::Runtime(_)), "{err}");
+    assert!(filler_a.wait().is_ok());
+    assert!(filler_b.wait().is_ok());
+}
+
+#[test]
+fn sim_queue_reports_per_request_costs_that_sum_to_the_flush() {
+    let queue = BatchQueue::start(
+        engine(BackendKind::Sim),
+        BatchPolicy {
+            max_batch: 3,
+            max_delay: Duration::from_secs(30),
+        },
+    );
+    let a = queue.submit(vec![example(0), example(1)]);
+    let b = queue.submit(vec![example(2)]);
+    let a = a.wait().expect("served");
+    let b = b.wait().expect("served");
+    assert_eq!(a.flushed_batch, 3);
+    let cost_a = a.cost.expect("sim cost for request a");
+    let cost_b = b.cost.expect("sim cost for request b");
+    assert!(cost_a.total_cycles > 0 && cost_b.total_cycles > 0);
+    // Each request is billed for exactly its own sequences; the engine run
+    // directly on the same inputs must charge the same.
+    let engine = queue.engine().clone();
+    let direct = engine
+        .classify_batch(&fqbert_runtime::EncodedBatch::from_examples(vec![
+            example(0),
+            example(1),
+        ]))
+        .expect("direct");
+    assert_eq!(
+        direct.cost.expect("direct cost").total_cycles,
+        cost_a.total_cycles
+    );
+    // Per-sequence costs from the scored API line up too.
+    let scored = engine
+        .classify_scored(&fqbert_runtime::EncodedBatch::from_examples(vec![example(
+            2,
+        )]))
+        .expect("scored");
+    assert_eq!(
+        scored.results[0].cost.expect("seq cost").total_cycles,
+        cost_b.total_cycles
+    );
+}

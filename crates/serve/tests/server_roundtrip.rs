@@ -1,0 +1,146 @@
+//! End-to-end server smoke test: spin up the TCP server with several
+//! models (two bit-widths of the same task plus a simulated-hardware
+//! variant), run concurrent client round trips, exercise the error frames
+//! and assert a clean graceful shutdown. This is the test the CI server
+//! smoke job runs.
+
+mod common;
+
+use common::{engine, engine_with_quant};
+use fqbert_quant::QuantConfig;
+use fqbert_runtime::BackendKind;
+use fqbert_serve::{BatchPolicy, Client, ModelRegistry, ServeError, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+
+fn test_server() -> Server {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("sst2-w4", engine(BackendKind::Int))
+        .expect("register w4");
+    registry
+        .register(
+            "sst2-w8",
+            engine_with_quant(BackendKind::Int, QuantConfig::w8a8()),
+        )
+        .expect("register w8");
+    registry
+        .register("sst2-sim", engine(BackendKind::Sim))
+        .expect("register sim");
+    Server::spawn(
+        registry,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_delay: Duration::from_millis(5),
+            },
+        },
+    )
+    .expect("spawn server")
+}
+
+#[test]
+fn server_round_trip_with_concurrent_clients_and_graceful_shutdown() {
+    let server = test_server();
+    let addr = server.local_addr();
+
+    // Liveness + model listing.
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    let models = client.list_models().expect("list_models");
+    let names: Vec<&str> = models.iter().map(|(n, _, _, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["sst2-sim", "sst2-w4", "sst2-w8"]);
+    let precisions: Vec<&str> = models.iter().map(|(_, _, _, p)| p.as_str()).collect();
+    assert!(precisions.contains(&"w4/a8") && precisions.contains(&"w8/a8"));
+
+    // Concurrent clients across the two bit-widths: every request must be
+    // answered on the model it addressed.
+    let texts = ["w1 w2 w3", "w4 w5", "w6 w7 w8 w9"];
+    let mut workers = Vec::new();
+    for worker in 0..4 {
+        let model = if worker % 2 == 0 {
+            "sst2-w4"
+        } else {
+            "sst2-w8"
+        };
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let mut responses = Vec::new();
+            for _ in 0..3 {
+                let response = client.classify_texts(model, &texts).expect("classify");
+                assert_eq!(response.model, model);
+                assert_eq!(response.results.len(), texts.len());
+                assert!(response.latency_ms >= 0.0);
+                responses.push(response);
+            }
+            responses
+        }));
+    }
+    let mut by_model: std::collections::BTreeMap<String, Vec<Vec<f32>>> = Default::default();
+    for worker in workers {
+        for response in worker.join().expect("worker") {
+            for result in &response.results {
+                assert_eq!(result.logits.len(), 2);
+                assert!((result.scores.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            }
+            by_model.entry(response.model.clone()).or_default().push(
+                response
+                    .results
+                    .iter()
+                    .flat_map(|r| r.logits.clone())
+                    .collect(),
+            );
+        }
+    }
+    // Same inputs on the same model always produce identical logits, and
+    // the two bit-widths produce different ones (they are different
+    // quantizations of the same weights).
+    for logits in by_model.values() {
+        assert!(logits.windows(2).all(|w| w[0] == w[1]));
+    }
+    assert_ne!(
+        by_model["sst2-w4"][0], by_model["sst2-w8"][0],
+        "w4 and w8 models must actually differ"
+    );
+
+    // The simulated model reports its cycle-model cost.
+    let sim_response = client
+        .classify_texts("sst2-sim", &["w1 w2 w3"])
+        .expect("sim classify");
+    let sim = sim_response.sim.expect("sim cost in response");
+    assert!(sim.total_cycles > 0 && sim.latency_ms > 0.0);
+    assert!(sim_response.flushed_batch >= 1);
+
+    // Error frames: unknown model, then a malformed line on a raw socket.
+    let err = client
+        .classify_texts("nope", &["w1"])
+        .expect_err("unknown model");
+    assert!(matches!(err, ServeError::UnknownModel(_)), "{err}");
+
+    let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    raw.write_all(b"this is not json\n").expect("write");
+    raw.flush().expect("flush");
+    let mut line = String::new();
+    BufReader::new(raw.try_clone().expect("clone"))
+        .read_line(&mut line)
+        .expect("error frame");
+    assert!(line.contains("\"error\""), "{line}");
+    assert!(line.contains("protocol"), "{line}");
+
+    // Graceful shutdown via the wire protocol.
+    client.shutdown_server().expect("shutdown ack");
+    server.join();
+    assert!(server.is_shutting_down());
+    // The queues saw the traffic: 12 three-text requests across the two
+    // int models plus the one sim request.
+    let total_sequences: u64 = server.queue_stats().iter().map(|(_, s)| s.sequences).sum();
+    assert_eq!(total_sequences, 12 * 3 + 1);
+    // The listener is gone: new connections are refused (allow a beat for
+    // the OS to tear the socket down).
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err(),
+        "listener must be closed after shutdown"
+    );
+}

@@ -1,118 +1,168 @@
-//! Batched serving across every backend behind the unified runtime API:
-//! build one quantized model, persist it as an artifact, reload it with no
-//! float model in sight, and classify batches through the float, integer and
-//! accelerator-simulated backends — with a latency/accuracy comparison.
+//! Multi-model serving through the full `fqbert-serve` stack: train once,
+//! quantize to two bit-widths, persist artifacts, load them back through a
+//! plain-text registry config, spin up the line-delimited-JSON TCP server
+//! in-process, hammer it with concurrent clients and print the comparison
+//! table — then shut down gracefully over the wire.
 //!
 //! Run with `cargo run -p fqbert-bench --example serve_batch --release`
 //! (set `FQBERT_QUICK=1` for a fast smoke run).
 
 use fqbert_bench::{markdown_table, ExperimentConfig};
 use fqbert_quant::QuantConfig;
-use fqbert_runtime::{BackendKind, EncodedBatch, EngineBuilder};
-use std::time::Instant;
+use fqbert_runtime::BackendKind;
+use fqbert_serve::{registry, BatchPolicy, Client, ModelRegistry, Server, ServerConfig};
+use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ExperimentConfig::from_env();
-    println!("== fqbert-runtime: one API, three backends, one artifact ==\n");
+    println!("== fqbert-serve: one process, many models, dynamic batching ==\n");
 
-    // Train + QAT-fine-tune once.
+    // Train + QAT-fine-tune once; quantize twice (w4 via the QAT hook, w8
+    // via post-training calibration).
     println!("training float baseline on synthetic SST-2 ...");
     let mut task = config.train_sst2();
     println!("quantization-aware fine-tuning (w4/a8) ...");
     let hook = config.qat_finetune(&mut task, QuantConfig::fq_bert());
-
-    // The same builder wiring produces all three backends.
-    let float_engine = task.engine_with_hook(BackendKind::Float, &hook)?;
-    let int_engine = task.engine_with_hook(BackendKind::Int, &hook)?;
-    let sim_engine = task.engine_with_hook(BackendKind::Sim, &hook)?;
-
-    // Quantize once → serve many: save the artifact, reload it cold.
-    let path = std::env::temp_dir().join("fqbert_serve_batch.fqbt");
-    int_engine.save(&path)?;
-    let served = EngineBuilder::new(task.dataset.task)
+    let w4_engine = task.engine_with_hook(BackendKind::Int, &hook)?;
+    let w8_engine = task
+        .engine_builder()
+        .quant(QuantConfig::w8a8())
         .backend(BackendKind::Int)
-        .batch_size(int_engine.batch_size())
-        .load(&path)?;
-    println!(
-        "saved + reloaded artifact: {} ({} KiB)\n",
-        path.display(),
-        std::fs::metadata(&path)?.len() / 1024
-    );
+        .build(&task.model)?;
 
-    // The reloaded engine must agree bit-for-bit with the in-memory one.
-    let probe =
-        EncodedBatch::from_examples(task.dataset.dev[..task.dataset.dev.len().min(32)].to_vec());
-    let in_memory = int_engine.classify_batch(&probe)?;
-    let reloaded = served.classify_batch(&probe)?;
-    assert_eq!(
-        in_memory.logits, reloaded.logits,
-        "artifact round trip must be bit-identical"
+    // Quantize once → serve many: artifacts on disk, registry from plain
+    // config text (exactly what the `fqbert-serve` binary consumes).
+    let dir = std::env::temp_dir();
+    let w4_path = dir.join("fqbert_serve_demo_w4.fqbt");
+    let w8_path = dir.join("fqbert_serve_demo_w8.fqbt");
+    w4_engine.save(&w4_path)?;
+    w8_engine.save(&w8_path)?;
+    let registry_config = format!(
+        "# task-and-bit-width routing table\n\
+         sst2-w4=int:{w4}\n\
+         sst2-w8=int:{w8}\n\
+         sst2-sim=sim:{w4}\n",
+        w4 = w4_path.display(),
+        w8 = w8_path.display()
     );
-    println!(
-        "reloaded engine reproduces the in-memory engine bit-for-bit on {} sequences\n",
-        probe.len()
-    );
+    println!("registry config:\n{registry_config}");
+    let registry = ModelRegistry::load(&registry::parse_config(&registry_config)?)?;
 
-    // Batched classification across every backend, with timings.
-    let dev = &task.dataset.dev;
-    let mut rows = Vec::new();
-    for (label, engine) in [
-        ("float (in memory)", &float_engine),
-        ("int (in memory)", &int_engine),
-        ("int (from artifact)", &served),
-        ("sim (in memory)", &sim_engine),
-    ] {
-        let start = Instant::now();
-        let summary = engine.evaluate(dev)?;
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        rows.push(vec![
-            label.to_string(),
-            engine.backend().name().to_string(),
-            engine.backend().precision().to_string(),
-            format!("{:.2}", summary.accuracy),
-            format!("{:.1}", wall_ms),
-            match summary.simulated_latency_ms {
-                Some(ms) => format!("{ms:.3}"),
-                None => "-".to_string(),
+    // The server owns one dynamic-batching queue per model.
+    let server = Server::spawn(
+        registry,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            policy: BatchPolicy {
+                max_batch: 16,
+                max_delay: Duration::from_millis(2),
             },
+        },
+    )?;
+    let addr = server.local_addr();
+    println!("server listening on {addr}\n");
+
+    let mut client = Client::connect(addr)?;
+    for (name, task_name, backend, precision) in client.list_models()? {
+        println!("  model {name:<10} task {task_name:<7} backend {backend:<5} {precision}");
+    }
+    println!();
+
+    // Concurrent clients: every worker opens its own connection and sends
+    // several requests to its model; the per-model queues merge overlapping
+    // requests into shared flushes.
+    let texts: &[&str] = &[
+        "pos0 pos1 filler2",
+        "neg0 filler1 neg3",
+        "pos2 neg0 pos4",
+        "neg1 neg2 filler0",
+    ];
+    let models = ["sst2-w4", "sst2-w8", "sst2-sim"];
+    const WORKERS_PER_MODEL: usize = 3;
+    const REQUESTS_PER_WORKER: usize = 4;
+    let mut workers = Vec::new();
+    for &model in &models {
+        for _ in 0..WORKERS_PER_MODEL {
+            workers.push(std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut latency_ms = 0.0f64;
+                let mut flushed = 0usize;
+                let mut sim_ms = 0.0f64;
+                let mut predictions = Vec::new();
+                for _ in 0..REQUESTS_PER_WORKER {
+                    let response = client.classify_texts(model, texts).expect("classify");
+                    latency_ms += response.latency_ms;
+                    flushed += response.flushed_batch;
+                    if let Some(sim) = response.sim {
+                        sim_ms += sim.latency_ms;
+                    }
+                    predictions = response.results.iter().map(|r| r.label.clone()).collect();
+                }
+                (model, latency_ms, flushed, sim_ms, predictions)
+            }));
+        }
+    }
+
+    let mut per_model: std::collections::BTreeMap<&str, (f64, usize, f64, Vec<String>)> =
+        Default::default();
+    for worker in workers {
+        let (model, latency_ms, flushed, sim_ms, predictions) =
+            worker.join().expect("client worker");
+        let entry = per_model.entry(model).or_default();
+        entry.0 += latency_ms;
+        entry.1 += flushed;
+        entry.2 += sim_ms;
+        entry.3 = predictions;
+    }
+
+    let requests_per_model = WORKERS_PER_MODEL * REQUESTS_PER_WORKER;
+    let mut rows = Vec::new();
+    for (model, (latency_ms, flushed, sim_ms, predictions)) in &per_model {
+        rows.push(vec![
+            model.to_string(),
+            format!("{:.2}", latency_ms / requests_per_model as f64),
+            format!("{:.1}", *flushed as f64 / requests_per_model as f64),
+            if *sim_ms > 0.0 {
+                format!("{sim_ms:.3}")
+            } else {
+                "-".to_string()
+            },
+            predictions.join(" "),
         ]);
     }
     println!(
         "{}",
         markdown_table(
             &[
-                "engine",
-                "backend",
-                "w/a",
-                "accuracy %",
-                "wall ms",
-                "sim ms"
+                "model",
+                "avg latency ms",
+                "avg flush size",
+                "sim ms",
+                "labels for the probe texts"
             ],
             &rows
         )
     );
-    let cost = sim_engine.backend().cost_model().expect("sim cost model");
-    println!(
-        "simulated platform: {} @ {:.0} MHz ({} PUs x {} PEs, M={})",
-        cost.platform,
-        cost.clock_mhz,
-        cost.processing_units,
-        cost.pes_per_pu,
-        cost.multipliers_per_bim
-    );
 
-    // Raw-text serving through the reloaded artifact.
-    let texts = ["pos0 pos1 filler2", "neg0 filler1 neg3", "pos2 neg0 pos4"];
-    let verdicts = served.classify_texts(&texts)?;
-    println!("\nraw-text serving through the artifact engine:");
-    for (text, c) in texts.iter().zip(&verdicts) {
+    println!("dynamic batching at work (per-model queue statistics):");
+    for (name, stats) in server.queue_stats() {
         println!(
-            "  {:>28} -> class {} (logits {:?})",
-            format!("{text:?}"),
-            c.prediction,
-            c.logits
+            "  {name:<10} {:>3} requests, {:>3} sequences, {:>2} flushes \
+             (mean {:.1} seq/flush, largest {})",
+            stats.requests,
+            stats.sequences,
+            stats.flushes,
+            stats.mean_flush(),
+            stats.largest_flush
         );
     }
-    std::fs::remove_file(&path).ok();
+
+    // Graceful shutdown over the wire: ack first, drain, then exit.
+    client.shutdown_server()?;
+    server.join();
+    println!("\nserver drained and stopped cleanly");
+
+    std::fs::remove_file(&w4_path).ok();
+    std::fs::remove_file(&w8_path).ok();
     Ok(())
 }

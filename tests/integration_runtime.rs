@@ -280,3 +280,78 @@ fn builder_rejects_inconsistent_configurations() {
         .expect_err("float-from-artifact must fail");
     assert!(!err.to_string().is_empty());
 }
+
+#[test]
+fn scored_classification_adds_labels_scores_and_costs_without_touching_logits() {
+    let (task, hook) = quick_task();
+    let dev = &task.dataset.dev[..12];
+    let sim_engine = std::sync::Arc::new(
+        task.engine_with_hook(BackendKind::Sim, &hook)
+            .expect("sim engine"),
+    );
+    let batch = EncodedBatch::from_examples(dev.to_vec());
+    let scored = sim_engine.classify_scored(&batch).expect("scored");
+    let plain = sim_engine.classify_batch(&batch).expect("plain");
+
+    assert_eq!(scored.results.len(), plain.logits.len());
+    let mut cost_sum = 0u64;
+    for (result, (logits, prediction)) in scored
+        .results
+        .iter()
+        .zip(plain.logits.iter().zip(&plain.predictions))
+    {
+        // The scored view decorates, never perturbs: identical bits.
+        assert_eq!(&result.prediction, prediction);
+        for (a, b) in result.logits.iter().zip(logits) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            result.label,
+            task.dataset.task.class_name(result.prediction)
+        );
+        assert!((result.scores.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert_eq!(
+            fqbert_tensor::ops::argmax_slice(&result.scores),
+            result.prediction
+        );
+        cost_sum += result.cost.expect("per-sequence sim cost").total_cycles;
+    }
+    // Per-sequence costs decompose the batch total exactly.
+    assert_eq!(cost_sum, plain.cost.expect("batch cost").total_cycles);
+    assert_eq!(
+        scored.cost.expect("scored total").total_cycles,
+        plain.cost.expect("batch cost").total_cycles
+    );
+
+    // One engine behind an Arc serves concurrent callers bit-identically.
+    let mut threads = Vec::new();
+    for _ in 0..4 {
+        let engine = std::sync::Arc::clone(&sim_engine);
+        let batch = batch.clone();
+        threads.push(std::thread::spawn(move || {
+            engine.classify_scored(&batch).expect("concurrent scored")
+        }));
+    }
+    for thread in threads {
+        let concurrent = thread.join().expect("thread");
+        for (a, b) in concurrent.results.iter().zip(&scored.results) {
+            assert_eq!(a.logits, b.logits);
+            assert_eq!(a.prediction, b.prediction);
+        }
+    }
+}
+
+#[test]
+fn backend_kind_strings_match_backend_names() {
+    // The FromStr/Display pair uses exactly the names the backends report,
+    // so config files, CLI flags and wire responses all agree.
+    let (task, hook) = quick_task();
+    for kind in BackendKind::ALL {
+        let engine = task.engine_with_hook(kind, &hook).expect("engine");
+        assert_eq!(engine.backend().name(), kind.to_string());
+        assert_eq!(
+            kind.to_string().parse::<BackendKind>().expect("parse"),
+            kind
+        );
+    }
+}

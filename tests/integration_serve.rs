@@ -1,0 +1,165 @@
+//! Integration tests of the multi-model serving stack on trained models:
+//! artifacts → plain-config registry → per-model dynamic batching queues →
+//! TCP server, with responses routed by model name proven bit-identical to
+//! driving `Engine::classify_batch` directly on the same backend.
+
+use fqbert_bench::ExperimentConfig;
+use fqbert_quant::QuantConfig;
+use fqbert_runtime::{BackendKind, EngineBuilder};
+use fqbert_serve::{registry, BatchPolicy, Client, ModelRegistry, Server, ServerConfig};
+use std::time::Duration;
+
+fn quick_task() -> (fqbert_bench::TrainedTask, fqbert_core::QatHook) {
+    let mut config = ExperimentConfig::quick();
+    config.sst2.train_size = 280;
+    config.sst2.dev_size = 80;
+    config.sst2.sentiment_words = 6;
+    config.sst2.neutral_words = 10;
+    config.sst2.min_words = 3;
+    config.sst2.max_words = 6;
+    config.sst2.negation_prob = 0.0;
+    config.sst2.label_noise = 0.0;
+    config.sst2.max_len = 12;
+    config.float_trainer.epochs = 4;
+    config.float_trainer.batch_size = 8;
+    config.float_trainer.learning_rate = 3e-3;
+    config.qat_trainer.epochs = 1;
+    let mut task = config.train_sst2();
+    let hook = config.qat_finetune(&mut task, QuantConfig::fq_bert());
+    (task, hook)
+}
+
+#[test]
+fn multi_model_server_routes_by_name_and_matches_direct_inference() {
+    let (task, hook) = quick_task();
+
+    // Two bit-widths of the same trained task: w4 from the QAT hook, w8
+    // from post-training calibration — genuinely different quantizations.
+    let w4_engine = task
+        .engine_with_hook(BackendKind::Int, &hook)
+        .expect("w4 engine");
+    let w8_engine = task
+        .engine_builder()
+        .quant(QuantConfig::w8a8())
+        .backend(BackendKind::Int)
+        .build(&task.model)
+        .expect("w8 engine");
+
+    // Quantize once → serve many: both models go to disk and come back
+    // through the plain-text registry config.
+    let dir = std::env::temp_dir();
+    let w4_path = dir.join("fqbert_serve_w4.fqbt");
+    let w8_path = dir.join("fqbert_serve_w8.fqbt");
+    w4_engine.save(&w4_path).expect("save w4");
+    w8_engine.save(&w8_path).expect("save w8");
+    let config_text = format!(
+        "# fqbert-serve registry\n\
+         sst2-w4=int:{}\n\
+         sst2-w8=int:{}\n\
+         sst2-sim=sim:{}\n",
+        w4_path.display(),
+        w8_path.display(),
+        w4_path.display()
+    );
+    let specs = registry::parse_config(&config_text).expect("config parses");
+    assert_eq!(specs.len(), 3);
+    let registry = ModelRegistry::load(&specs).expect("registry loads artifacts");
+    assert_eq!(registry.len(), 3);
+
+    // Reference engines loaded from the same artifacts, driven directly.
+    let w4_direct = EngineBuilder::new(task.dataset.task)
+        .backend(BackendKind::Int)
+        .load(&w4_path)
+        .expect("direct w4");
+    let w8_direct = EngineBuilder::new(task.dataset.task)
+        .backend(BackendKind::Int)
+        .load(&w8_path)
+        .expect("direct w8");
+
+    let server = Server::spawn(
+        registry,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            policy: BatchPolicy {
+                max_batch: 8,
+                max_delay: Duration::from_millis(3),
+            },
+        },
+    )
+    .expect("server");
+    let addr = server.local_addr();
+
+    // Concurrent clients hammer both bit-widths with overlapping traffic;
+    // every response must carry exactly the logits the direct engine
+    // produces for those texts.
+    let text_sets: [&[&str]; 3] = [
+        &["pos0 pos1 filler2", "neg0 filler1 neg3"],
+        &["pos2 neg0 pos4"],
+        &["neg1 neg2", "pos0 filler3", "pos1 pos2 pos3"],
+    ];
+    let mut workers = Vec::new();
+    for worker in 0..6 {
+        let model = if worker % 2 == 0 {
+            "sst2-w4"
+        } else {
+            "sst2-w8"
+        };
+        let texts: &[&str] = text_sets[worker % text_sets.len()];
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let response = client.classify_texts(model, texts).expect("classify");
+            (model, texts, response)
+        }));
+    }
+    for worker in workers {
+        let (model, texts, response) = worker.join().expect("client thread");
+        assert_eq!(response.model, model);
+        let direct = match model {
+            "sst2-w4" => w4_direct.classify_texts(texts).expect("direct"),
+            _ => w8_direct.classify_texts(texts).expect("direct"),
+        };
+        assert_eq!(response.results.len(), direct.len());
+        for (served, reference) in response.results.iter().zip(&direct) {
+            assert_eq!(served.prediction, reference.prediction);
+            assert_eq!(
+                served.label,
+                task.dataset.task.class_name(reference.prediction)
+            );
+            assert_eq!(served.logits.len(), reference.logits.len());
+            for (a, b) in served.logits.iter().zip(&reference.logits) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "served logits must be bit-identical to direct \
+                     classify_batch on {model}"
+                );
+            }
+        }
+    }
+
+    // The simulated variant serves the same w4 logits while exposing the
+    // accelerator cycle model in the response.
+    let mut client = Client::connect(addr).expect("connect");
+    let texts = text_sets[0];
+    let sim_response = client.classify_texts("sst2-sim", texts).expect("sim");
+    let w4_reference = w4_direct.classify_texts(texts).expect("direct");
+    for (served, reference) in sim_response.results.iter().zip(&w4_reference) {
+        for (a, b) in served.logits.iter().zip(&reference.logits) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    let sim = sim_response.sim.expect("cycle-model cost");
+    assert!(sim.total_cycles > 0 && sim.latency_ms > 0.0);
+
+    // Graceful in-process shutdown; queues drained every request.
+    server.shutdown();
+    let served_sequences: u64 = server.queue_stats().iter().map(|(_, s)| s.sequences).sum();
+    let expected: u64 = (0..6)
+        .map(|w| text_sets[w % text_sets.len()].len() as u64)
+        .sum::<u64>()
+        + texts.len() as u64;
+    assert_eq!(served_sequences, expected);
+
+    std::fs::remove_file(&w4_path).ok();
+    std::fs::remove_file(&w8_path).ok();
+}
