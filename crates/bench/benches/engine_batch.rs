@@ -4,19 +4,21 @@
 //! packed-weight GEMM kernel against the naive `matmul_i32` + scalar
 //! requantize path it replaced.
 //!
-//! Besides the console output, the run emits a machine-readable
-//! `results/BENCH_engine_batch.json` (via the fqbert-bench JSON emitter) so
-//! the integer-path perf trajectory is tracked across PRs; CI runs this in
-//! quick mode (`FQBERT_BENCH_MS`).
+//! Besides the console output, the run emits machine-readable
+//! `results/BENCH_engine_batch.json` (perf trajectory) and
+//! `results/BENCH_artifact_size.json` (w4 artifact bytes, v1 legacy format
+//! versus the nibble-packed v2 — tracking the on-disk halving, not just
+//! claiming it) via the fqbert-bench JSON emitter; CI runs this in quick
+//! mode (`FQBERT_BENCH_MS`).
 
 use criterion::{BenchmarkId, Criterion};
 use fqbert_autograd::Graph;
 use fqbert_bench::impl_to_json;
 use fqbert_bert::{BertConfig, BertModel};
-use fqbert_core::{IntLinear, QatHook};
-use fqbert_nlp::{Example, TaskKind, Vocab};
+use fqbert_core::{convert, IntLinear, QatHook};
+use fqbert_nlp::{Example, TaskKind, Tokenizer, Vocab};
 use fqbert_quant::QuantConfig;
-use fqbert_runtime::{BackendKind, EncodedBatch, Engine, EngineBuilder};
+use fqbert_runtime::{BackendKind, EncodedBatch, Engine, EngineBuilder, ModelArtifact};
 use fqbert_tensor::{GemmScratch, IntTensor, RngSource};
 use std::hint::black_box;
 use std::path::Path;
@@ -162,6 +164,89 @@ fn bench_blocked_vs_naive(c: &mut Criterion) {
     group.finish();
 }
 
+/// Builds a calibrated w4 artifact for an arbitrary architecture, the same
+/// convert path the serving engines use.
+fn w4_artifact(config: BertConfig, seed: u64) -> ModelArtifact {
+    let words: Vec<String> = (0..config.vocab_size - 4)
+        .map(|i| format!("w{i}"))
+        .collect();
+    let vocab = Vocab::from_tokens(&words);
+    let max_len = config.max_len;
+    let model = BertModel::new(config, seed);
+    let mut hook = QatHook::calibration_only(QuantConfig::fq_bert());
+    for i in 0..4 {
+        let mut graph = Graph::new();
+        let bound = model.bind(&mut graph);
+        bound
+            .forward(&mut graph, &example(i), &mut hook)
+            .expect("calibration");
+    }
+    let int_model = convert(&model, &hook).expect("conversion");
+    ModelArtifact::new(TaskKind::Sst2, int_model, Tokenizer::new(vocab, max_len))
+}
+
+struct ArtifactSizeRow {
+    id: String,
+    weight_bits: u64,
+    v1_bytes: u64,
+    v2_bytes: u64,
+    v2_over_v1: f64,
+}
+
+impl_to_json!(ArtifactSizeRow {
+    id,
+    weight_bits,
+    v1_bytes,
+    v2_bytes,
+    v2_over_v1
+});
+
+struct ArtifactSizeReport {
+    bench: String,
+    results: Vec<ArtifactSizeRow>,
+}
+
+impl_to_json!(ArtifactSizeReport { bench, results });
+
+/// Measures the on-disk size of w4 artifacts in the legacy v1 format versus
+/// the nibble-packed v2 format, for the tiny serving model of this bench
+/// and for an encoder-dominated architecture (the regime real checkpoints
+/// live in, where the packing should roughly halve the file).
+fn artifact_size_rows() -> Vec<ArtifactSizeRow> {
+    let shapes = [
+        ("tiny_serving", BertConfig::tiny(44, MAX_LEN, 2)),
+        (
+            "encoder_dominated",
+            BertConfig {
+                vocab_size: 44,
+                hidden: 128,
+                layers: 4,
+                heads: 4,
+                intermediate: 512,
+                max_len: MAX_LEN,
+                type_vocab_size: 2,
+                num_classes: 2,
+                layer_norm_eps: 1e-5,
+            },
+        ),
+    ];
+    shapes
+        .into_iter()
+        .map(|(id, config)| {
+            let artifact = w4_artifact(config, 5);
+            let v1 = artifact.to_bytes_v1().len() as u64;
+            let v2 = artifact.to_bytes().len() as u64;
+            ArtifactSizeRow {
+                id: id.to_string(),
+                weight_bits: u64::from(artifact.model.weight_bits()),
+                v1_bytes: v1,
+                v2_bytes: v2,
+                v2_over_v1: v2 as f64 / v1 as f64,
+            }
+        })
+        .collect()
+}
+
 struct BenchRow {
     group: String,
     id: String,
@@ -213,5 +298,23 @@ fn main() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     let path = fqbert_bench::save_json_in(&dir, "BENCH_engine_batch", &report)
         .expect("write BENCH_engine_batch.json");
+    println!("wrote {}", path.display());
+
+    let sizes = ArtifactSizeReport {
+        bench: "artifact_size".to_string(),
+        results: artifact_size_rows(),
+    };
+    for row in &sizes.results {
+        println!(
+            "artifact {} (w{}): v1 {} B → v2 {} B ({:.1}%)",
+            row.id,
+            row.weight_bits,
+            row.v1_bytes,
+            row.v2_bytes,
+            100.0 * row.v2_over_v1
+        );
+    }
+    let path = fqbert_bench::save_json_in(&dir, "BENCH_artifact_size", &sizes)
+        .expect("write BENCH_artifact_size.json");
     println!("wrote {}", path.display());
 }

@@ -32,8 +32,12 @@ pub enum SiteKind {
     ClassifierWeight,
     /// Activation entering an encoder layer.
     LayerInput,
-    /// Q/K/V projections (activation).
-    QkvActivation,
+    /// Query projection output (activation).
+    QActivation,
+    /// Key projection output (activation).
+    KActivation,
+    /// Value projection output (activation).
+    VActivation,
     /// Attention score matrix `QKᵀ/√d` before softmax.
     AttentionScores,
     /// Attention probabilities after softmax.

@@ -369,13 +369,13 @@ impl BoundBert {
 
         let q = graph.matmul(input, wq)?;
         let q = graph.add_bias(q, bq)?;
-        let q = hook.on_activation(graph, q, Site::layer(layer, SiteKind::QkvActivation));
+        let q = hook.on_activation(graph, q, Site::layer(layer, SiteKind::QActivation));
         let k = graph.matmul(input, wk)?;
         let k = graph.add_bias(k, bk)?;
-        let k = hook.on_activation(graph, k, Site::layer(layer, SiteKind::QkvActivation));
+        let k = hook.on_activation(graph, k, Site::layer(layer, SiteKind::KActivation));
         let v = graph.matmul(input, wv)?;
         let v = graph.add_bias(v, bv)?;
-        let v = hook.on_activation(graph, v, Site::layer(layer, SiteKind::QkvActivation));
+        let v = hook.on_activation(graph, v, Site::layer(layer, SiteKind::VActivation));
 
         // Scaled dot-product attention per head (Fig. 1, right panel).
         let mut head_contexts = Vec::with_capacity(cfg.heads);

@@ -39,7 +39,9 @@ pub fn convert(model: &BertModel, hook: &QatHook) -> Result<IntBertModel> {
         };
         let scales = LayerScales {
             input,
-            qkv: scale_at(Site::layer(l, SiteKind::QkvActivation))?,
+            q: scale_at(Site::layer(l, SiteKind::QActivation))?,
+            k: scale_at(Site::layer(l, SiteKind::KActivation))?,
+            v: scale_at(Site::layer(l, SiteKind::VActivation))?,
             scores: scale_at(Site::layer(l, SiteKind::AttentionScores))?,
             attn_output: scale_at(Site::layer(l, SiteKind::AttentionOutput))?,
             layer_norm: scale_at(Site::layer(l, SiteKind::LayerNormOutput))?,

@@ -74,7 +74,7 @@ mod tests {
             AutogradError::UnknownVariable(1).into(),
             QuantError::UnsupportedBitWidth(1).into(),
             TensorError::EmptyTensor("max").into(),
-            FqBertError::MissingCalibration("layer0/QkvActivation".into()),
+            FqBertError::MissingCalibration("layer0/QActivation".into()),
             FqBertError::InvalidArgument("bad".into()),
         ];
         for e in errs {

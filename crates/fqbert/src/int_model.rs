@@ -284,7 +284,9 @@ pub struct IntEncoderLayer {
     ffn_layer_norm: QuantizedLayerNorm,
     heads: usize,
     input_scale: f32,
-    qkv_scale: f32,
+    q_scale: f32,
+    k_scale: f32,
+    v_scale: f32,
     attn_out_scale: f32,
     ln_out_scale: f32,
     ffn_out_scale: f32,
@@ -296,8 +298,12 @@ pub struct IntEncoderLayer {
 pub struct LayerScales {
     /// Scale of the activations entering the layer.
     pub input: f32,
-    /// Shared scale of the Q/K/V projections.
-    pub qkv: f32,
+    /// Scale of the query projection output.
+    pub q: f32,
+    /// Scale of the key projection output.
+    pub k: f32,
+    /// Scale of the value projection output.
+    pub v: f32,
     /// Scale of the attention scores (`QKᵀ/√d`).
     pub scores: f32,
     /// Scale of the attention output projection.
@@ -341,7 +347,7 @@ impl IntEncoderLayer {
             weight_bits,
             clip(&layer.query.weight)?,
             scales.input,
-            scales.qkv,
+            scales.q,
         )?;
         let key = IntLinear::from_float(
             &layer.key.weight,
@@ -349,7 +355,7 @@ impl IntEncoderLayer {
             weight_bits,
             clip(&layer.key.weight)?,
             scales.input,
-            scales.qkv,
+            scales.k,
         )?;
         let value = IntLinear::from_float(
             &layer.value.weight,
@@ -357,7 +363,7 @@ impl IntEncoderLayer {
             weight_bits,
             clip(&layer.value.weight)?,
             scales.input,
-            scales.qkv,
+            scales.v,
         )?;
         // The attention context is a convex combination of V rows, so reusing
         // the V scale for the context keeps the code range sound.
@@ -366,7 +372,7 @@ impl IntEncoderLayer {
             &layer.attn_output.bias,
             weight_bits,
             clip(&layer.attn_output.weight)?,
-            scales.qkv,
+            scales.v,
             scales.attn_output,
         )?;
         let ffn1 = IntLinear::from_float(
@@ -387,12 +393,13 @@ impl IntEncoderLayer {
         )?;
         let gelu = IntGelu::new(scales.ffn_hidden, scales.ffn_hidden);
 
-        // Attention scores: real = acc / (s_qkv² · √d); codes at s_scores.
+        // Attention scores: real = acc / (s_q · s_k · √d); codes at s_scores.
         let score_effective = f64::from(scales.scores)
-            / (f64::from(scales.qkv) * f64::from(scales.qkv) * (head_dim as f64).sqrt());
+            / (f64::from(scales.q) * f64::from(scales.k) * (head_dim as f64).sqrt());
         let score_requant = Requantizer::from_scale(score_effective, 8)?;
         let softmax = SoftmaxLut::new(scales.scores, PROB_LEVELS)?;
-        // Attention context: real = acc / (PROB_LEVELS · s_qkv); codes at s_qkv.
+        // Attention context: real = acc / (PROB_LEVELS · s_v); codes at s_v,
+        // so the effective requantization scale is scale-free.
         let context_requant = Requantizer::from_scale(1.0 / f64::from(PROB_LEVELS), 8)?;
 
         let attn_layer_norm = QuantizedLayerNorm::from_float(
@@ -421,7 +428,9 @@ impl IntEncoderLayer {
             ffn_layer_norm,
             heads,
             input_scale: scales.input,
-            qkv_scale: scales.qkv,
+            q_scale: scales.q,
+            k_scale: scales.k,
+            v_scale: scales.v,
             attn_out_scale: scales.attn_output,
             ln_out_scale: scales.layer_norm,
             ffn_out_scale: scales.ffn_output,
@@ -460,7 +469,7 @@ impl IntEncoderLayer {
         }
         let gelu = IntGelu::new(scales.ffn_hidden, scales.ffn_hidden);
         let score_effective = f64::from(scales.scores)
-            / (f64::from(scales.qkv) * f64::from(scales.qkv) * (head_dim as f64).sqrt());
+            / (f64::from(scales.q) * f64::from(scales.k) * (head_dim as f64).sqrt());
         let score_requant = Requantizer::from_scale(score_effective, 8)?;
         let softmax = SoftmaxLut::new(scales.scores, PROB_LEVELS)?;
         let context_requant = Requantizer::from_scale(1.0 / f64::from(PROB_LEVELS), 8)?;
@@ -480,7 +489,9 @@ impl IntEncoderLayer {
             ffn_layer_norm,
             heads,
             input_scale: scales.input,
-            qkv_scale: scales.qkv,
+            q_scale: scales.q,
+            k_scale: scales.k,
+            v_scale: scales.v,
             attn_out_scale: scales.attn_output,
             ln_out_scale: scales.layer_norm,
             ffn_out_scale: scales.ffn_output,
@@ -491,7 +502,9 @@ impl IntEncoderLayer {
     pub fn scales(&self) -> LayerScales {
         LayerScales {
             input: self.input_scale,
-            qkv: self.qkv_scale,
+            q: self.q_scale,
+            k: self.k_scale,
+            v: self.v_scale,
             scores: self.score_scale,
             attn_output: self.attn_out_scale,
             layer_norm: self.ln_out_scale,
@@ -1086,7 +1099,9 @@ mod tests {
                 false,
                 &LayerScales {
                     input: 16.0,
-                    qkv: 16.0,
+                    q: 16.0,
+                    k: 16.0,
+                    v: 16.0,
                     scores: 8.0,
                     attn_output: 16.0,
                     layer_norm: 16.0,

@@ -10,20 +10,36 @@
 //! deterministic function of the stored scales and is rebuilt by the same
 //! constructors the converter uses.
 //!
-//! # Format
+//! # Format (version 2)
 //!
 //! Little-endian throughout:
 //!
 //! ```text
 //! magic      b"FQBT"
-//! version    u32              (currently 1)
+//! version    u32              (writer emits 2; loader accepts 1 and 2)
 //! payload    ...              (task, config, tensors, layers, vocab)
 //! checksum   u32              CRC-32 (IEEE) of the payload bytes
 //! ```
 //!
 //! Scalars are `u64`/`u32`/`f32-as-bits`; tensors are a rank-prefixed dim
 //! list followed by raw element data; strings are length-prefixed UTF-8.
-//! Any truncation, bit flip or version bump is rejected at load time
+//! Each encoder layer stores its head count, **nine** per-layer activation
+//! scales — `input`, `q`, `k`, `v` (one per attention projection), `scores`,
+//! `attn_output`, `layer_norm`, `ffn_hidden`, `ffn_output` — six quantized
+//! linears and two quantized layer norms. A linear is encoded as its weight
+//! bit-width, three scales (weight/input/output), the weight code tensor and
+//! the `i32` bias tensor; weight tensors of **at most 4 bits** store two
+//! codes per byte (low nibble first, see [`fqbert_tensor::pack4`]), halving
+//! w4 artifacts on disk, while wider weights stay one code per byte.
+//!
+//! Version-1 artifacts (seven per-layer scales — one scale shared by the
+//! Q/K/V projections — and unpacked weight codes in a different field
+//! order) remain loadable: the shared scale is widened into three equal
+//! per-projection scales, which reconstructs exactly the attention
+//! arithmetic the v1 engine used. The writer emits only version 2
+//! ([`ModelArtifact::to_bytes_v1`] keeps the legacy encoder for
+//! backward-compatibility tests and the artifact-size bench). Any
+//! truncation, bit flip or unsupported version is rejected at load time
 //! ([`RuntimeError::Artifact`]).
 
 use crate::{Result, RuntimeError};
@@ -37,8 +53,11 @@ use std::path::Path;
 
 /// Artifact magic bytes.
 pub const MAGIC: &[u8; 4] = b"FQBT";
-/// Current artifact format version.
-pub const VERSION: u32 = 1;
+/// Current artifact format version — what [`ModelArtifact::to_bytes`]
+/// emits.
+pub const VERSION: u32 = 2;
+/// Oldest artifact version the loader still accepts.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
 /// A deserialized model artifact: the quantized model plus everything needed
 /// to serve it.
@@ -84,8 +103,34 @@ impl ModelArtifact {
         Self::from_bytes(&std::fs::read(path)?)
     }
 
-    /// Serialises the artifact into a byte vector.
+    /// Serialises the artifact into a byte vector (format [`VERSION`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a linear declares a weight bit-width of at most 4 while
+    /// holding codes outside the signed-nibble range `[-8, 7]` — impossible
+    /// for any model produced by the converter or reloaded from an
+    /// artifact, both of which keep 4-bit codes within `±7`.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode(VERSION, write_layer)
+    }
+
+    /// Serialises the artifact in the **legacy version-1 format** (shared
+    /// Q/K/V activation scale, unpacked weight codes).
+    ///
+    /// Kept so the backward-compatibility tests and the artifact-size bench
+    /// can produce genuine v1 byte streams without pinning old binaries.
+    /// The encoding is lossy for a per-projection model: the three Q/K/V
+    /// scales collapse into their minimum — the scale a shared observer
+    /// over the union of the three ranges would have derived (scales count
+    /// levels per unit, so the widest range yields the smallest scale),
+    /// keeping every code range sound — exactly the coarsening the v1
+    /// engine imposed.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        self.encode(1, write_layer_v1)
+    }
+
+    fn encode(&self, version: u32, layer_codec: fn(&mut Writer, &IntEncoderLayer)) -> Vec<u8> {
         let mut payload = Writer::default();
         payload.u8(task_tag(self.task));
         write_config(&mut payload, self.model.config());
@@ -104,14 +149,14 @@ impl ModelArtifact {
         }
         payload.u64(self.model.layers.len() as u64);
         for layer in &self.model.layers {
-            write_layer(&mut payload, layer);
+            layer_codec(&mut payload, layer);
         }
         write_vocab(&mut payload, self.tokenizer.vocab());
         payload.u64(self.tokenizer.max_len() as u64);
 
         let mut out = Vec::with_capacity(payload.buf.len() + 12);
         out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&payload.buf);
         out.extend_from_slice(&crc32(&payload.buf).to_le_bytes());
         out
@@ -133,9 +178,10 @@ impl ModelArtifact {
             )));
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != VERSION {
+        if !(MIN_SUPPORTED_VERSION..=VERSION).contains(&version) {
             return Err(RuntimeError::Artifact(format!(
-                "unsupported artifact version {version} (this build reads {VERSION})"
+                "unsupported artifact version {version} \
+                 (this build reads {MIN_SUPPORTED_VERSION}..={VERSION})"
             )));
         }
         let payload = &bytes[8..bytes.len() - 4];
@@ -191,7 +237,7 @@ impl ModelArtifact {
         }
         let mut layers = Vec::with_capacity(num_layers);
         for _ in 0..num_layers {
-            layers.push(read_layer(&mut r, &config)?);
+            layers.push(read_layer(&mut r, &config, version)?);
         }
         let vocab = read_vocab(&mut r)?;
         let max_len = r.u64()? as usize;
@@ -365,9 +411,12 @@ fn write_tensor(w: &mut Writer, t: &Tensor) {
     }
 }
 
-/// Reads a rank-prefixed dim list and validates that `numel * elem_bytes`
-/// neither overflows nor exceeds the remaining payload.
-fn read_dims(r: &mut Reader<'_>, elem_bytes: usize) -> Result<(Vec<usize>, usize)> {
+/// Reads a rank-prefixed dim list and validates that the encoded byte count
+/// (`bytes_for(numel)`) neither overflows nor exceeds the remaining payload.
+fn read_dims_checked(
+    r: &mut Reader<'_>,
+    bytes_for: impl Fn(usize) -> Option<usize>,
+) -> Result<(Vec<usize>, usize)> {
     let rank = r.u32()? as usize;
     if rank > 8 {
         return Err(RuntimeError::Artifact(format!(
@@ -382,8 +431,7 @@ fn read_dims(r: &mut Reader<'_>, elem_bytes: usize) -> Result<(Vec<usize>, usize
         .iter()
         .try_fold(1usize, |acc, &d| acc.checked_mul(d))
         .ok_or_else(|| RuntimeError::Artifact(format!("tensor dims {dims:?} overflow usize")))?;
-    let bytes = numel
-        .checked_mul(elem_bytes)
+    let bytes = bytes_for(numel)
         .ok_or_else(|| RuntimeError::Artifact(format!("tensor dims {dims:?} overflow usize")))?;
     if bytes > r.buf.len() - r.pos {
         return Err(RuntimeError::Artifact(format!(
@@ -392,6 +440,11 @@ fn read_dims(r: &mut Reader<'_>, elem_bytes: usize) -> Result<(Vec<usize>, usize
         )));
     }
     Ok((dims, numel))
+}
+
+/// [`read_dims_checked`] for one-code-per-element encodings.
+fn read_dims(r: &mut Reader<'_>, elem_bytes: usize) -> Result<(Vec<usize>, usize)> {
+    read_dims_checked(r, |numel| numel.checked_mul(elem_bytes))
 }
 
 fn read_tensor(r: &mut Reader<'_>) -> Result<Tensor> {
@@ -441,22 +494,113 @@ fn read_i32_tensor(r: &mut Reader<'_>) -> Result<IntTensor<i32>> {
         .map_err(|e| RuntimeError::Artifact(format!("inconsistent int32 tensor: {e}")))
 }
 
+/// Writes one quantized linear in the v2 encoding: bit-width and scales
+/// first (so the reader knows how the weight codes are stored), then the
+/// weight tensor — nibble-packed for bit-widths of at most 4, raw `i8`
+/// otherwise — then the bias.
 fn write_linear(w: &mut Writer, l: &IntLinear) {
-    write_i8_tensor(w, l.weight_codes());
-    write_i32_tensor(w, l.bias_codes());
+    w.u32(l.weight_bits());
     w.f32(l.weight_scale());
     w.f32(l.input_scale());
     w.f32(l.output_scale());
-    w.u32(l.weight_bits());
+    let weight = l.weight_codes();
+    w.u32(weight.dims().len() as u32);
+    for &d in weight.dims() {
+        w.u64(d as u64);
+    }
+    if l.weight_bits() <= 4 {
+        let packed = fqbert_tensor::pack_i4(weight.as_slice())
+            .expect("4-bit weight codes fit a signed nibble");
+        w.buf.extend_from_slice(&packed);
+    } else {
+        let raw: Vec<u8> = weight.as_slice().iter().map(|&v| v as u8).collect();
+        w.buf.extend_from_slice(&raw);
+    }
+    write_i32_tensor(w, l.bias_codes());
 }
 
 fn read_linear(r: &mut Reader<'_>) -> Result<IntLinear> {
+    let weight_bits = r.u32()?;
+    let weight_scale = r.f32()?;
+    let input_scale = r.f32()?;
+    let output_scale = r.f32()?;
+    let packed = weight_bits <= 4;
+    let (dims, numel) = read_dims_checked(r, |numel| {
+        Some(if packed { numel.div_ceil(2) } else { numel })
+    })?;
+    let data: Vec<i8> = if packed {
+        let raw = r.take(numel.div_ceil(2))?;
+        fqbert_tensor::unpack_i4(raw, numel)
+            .map_err(|e| RuntimeError::Artifact(format!("invalid packed int4 weights: {e}")))?
+    } else {
+        r.take(numel)?.iter().map(|&b| b as i8).collect()
+    };
+    let weight = IntTensor::from_vec(data, &dims)
+        .map_err(|e| RuntimeError::Artifact(format!("inconsistent weight tensor: {e}")))?;
+    let bias = read_i32_tensor(r)?;
+    IntLinear::from_quantized(
+        weight,
+        bias,
+        weight_scale,
+        input_scale,
+        output_scale,
+        weight_bits,
+    )
+    .map_err(|e| RuntimeError::Artifact(format!("invalid quantized linear: {e}")))
+}
+
+/// Writes one quantized linear in the legacy v1 encoding (raw `i8` weight
+/// codes, scales trailing), with the activation scales overridden so a
+/// per-projection layer collapses consistently onto the v1 shared scale.
+/// Bias codes are quantized at `input_scale · weight_scale`, so a linear
+/// whose declared input scale moves must carry its bias codes along:
+/// `bias_rescale` is the ratio of the declared scale to the scale the
+/// stored codes were produced at (at most 1 here — the collapsed shared
+/// scale is the minimum — so the rescaled codes cannot overflow `i32`).
+fn write_linear_v1(
+    w: &mut Writer,
+    l: &IntLinear,
+    input_scale: f32,
+    output_scale: f32,
+    bias_rescale: f64,
+) {
+    write_i8_tensor(w, l.weight_codes());
+    if bias_rescale == 1.0 {
+        write_i32_tensor(w, l.bias_codes());
+    } else {
+        let bias = l.bias_codes();
+        w.u32(bias.dims().len() as u32);
+        for &d in bias.dims() {
+            w.u64(d as u64);
+        }
+        for &code in bias.as_slice() {
+            w.u32((f64::from(code) * bias_rescale).round() as i32 as u32);
+        }
+    }
+    w.f32(l.weight_scale());
+    w.f32(input_scale);
+    w.f32(output_scale);
+    w.u32(l.weight_bits());
+}
+
+/// Reads one quantized linear in the legacy v1 encoding. 4-bit codes from
+/// old artifacts always fit the nibble range (the quantizer clamps to
+/// `±(2^(k-1) - 1)`), so a v1 model re-saved at v2 packs losslessly; codes
+/// that do not are rejected here rather than poisoning a later save.
+fn read_linear_v1(r: &mut Reader<'_>) -> Result<IntLinear> {
     let weight = read_i8_tensor(r)?;
     let bias = read_i32_tensor(r)?;
     let weight_scale = r.f32()?;
     let input_scale = r.f32()?;
     let output_scale = r.f32()?;
     let weight_bits = r.u32()?;
+    if weight_bits <= 4 {
+        if let Some(&bad) = weight.as_slice().iter().find(|&&c| !(-8..=7).contains(&c)) {
+            return Err(RuntimeError::Artifact(format!(
+                "4-bit weight code {bad} outside the signed nibble range"
+            )));
+        }
+    }
     IntLinear::from_quantized(
         weight,
         bias,
@@ -489,7 +633,9 @@ fn write_layer(w: &mut Writer, layer: &IntEncoderLayer) {
     w.u64(layer.heads() as u64);
     for s in [
         scales.input,
-        scales.qkv,
+        scales.q,
+        scales.k,
+        scales.v,
         scales.scores,
         scales.attn_output,
         scales.layer_norm,
@@ -512,23 +658,96 @@ fn write_layer(w: &mut Writer, layer: &IntEncoderLayer) {
     write_layer_norm(w, layer.ffn_layer_norm());
 }
 
-fn read_layer(r: &mut Reader<'_>, cfg: &BertConfig) -> Result<IntEncoderLayer> {
+/// Writes one encoder layer in the legacy v1 encoding: seven scales with a
+/// single shared Q/K/V entry. Scales count levels per unit, so a shared
+/// observer over the union of the Q/K/V ranges would see the **widest**
+/// range and derive the **smallest** of the three per-projection scales —
+/// that minimum is what the collapsed entry records, keeping every
+/// projection's code range sound (no projection is clipped harder than its
+/// own calibration allowed). The projection linears (plus the attention
+/// output's input side, whose bias codes are rescaled from the V scale to
+/// the shared one) are written against it so the artifact is
+/// self-consistent, exactly as if calibration had observed one shared
+/// range.
+fn write_layer_v1(w: &mut Writer, layer: &IntEncoderLayer) {
+    let scales = layer.scales();
+    let qkv = scales.q.min(scales.k).min(scales.v);
+    w.u64(layer.heads() as u64);
+    for s in [
+        scales.input,
+        qkv,
+        scales.scores,
+        scales.attn_output,
+        scales.layer_norm,
+        scales.ffn_hidden,
+        scales.ffn_output,
+    ] {
+        w.f32(s);
+    }
+    write_linear_v1(w, &layer.query, scales.input, qkv, 1.0);
+    write_linear_v1(w, &layer.key, scales.input, qkv, 1.0);
+    write_linear_v1(w, &layer.value, scales.input, qkv, 1.0);
+    // attn_output's bias codes were quantized at its true input scale
+    // (s_v · s_w); re-declaring the input side at the shared scale means
+    // the codes must move with it.
+    write_linear_v1(
+        w,
+        &layer.attn_output,
+        qkv,
+        scales.attn_output,
+        f64::from(qkv) / f64::from(scales.v),
+    );
+    write_linear_v1(w, &layer.ffn1, scales.layer_norm, scales.ffn_hidden, 1.0);
+    write_linear_v1(w, &layer.ffn2, scales.ffn_hidden, scales.ffn_output, 1.0);
+    write_layer_norm(w, layer.attn_layer_norm());
+    write_layer_norm(w, layer.ffn_layer_norm());
+}
+
+fn read_layer(r: &mut Reader<'_>, cfg: &BertConfig, version: u32) -> Result<IntEncoderLayer> {
     let heads = r.u64()? as usize;
-    let scales = LayerScales {
-        input: r.f32()?,
-        qkv: r.f32()?,
-        scores: r.f32()?,
-        attn_output: r.f32()?,
-        layer_norm: r.f32()?,
-        ffn_hidden: r.f32()?,
-        ffn_output: r.f32()?,
+    let scales = if version == 1 {
+        // v1 shared one activation scale across Q, K and V; widening it
+        // into three equal scales reproduces the old attention arithmetic
+        // bit for bit (s_q·s_k = s_qkv², context at s_v = s_qkv).
+        let input = r.f32()?;
+        let qkv = r.f32()?;
+        LayerScales {
+            input,
+            q: qkv,
+            k: qkv,
+            v: qkv,
+            scores: r.f32()?,
+            attn_output: r.f32()?,
+            layer_norm: r.f32()?,
+            ffn_hidden: r.f32()?,
+            ffn_output: r.f32()?,
+        }
+    } else {
+        LayerScales {
+            input: r.f32()?,
+            q: r.f32()?,
+            k: r.f32()?,
+            v: r.f32()?,
+            scores: r.f32()?,
+            attn_output: r.f32()?,
+            layer_norm: r.f32()?,
+            ffn_hidden: r.f32()?,
+            ffn_output: r.f32()?,
+        }
     };
-    let query = read_linear(r)?;
-    let key = read_linear(r)?;
-    let value = read_linear(r)?;
-    let attn_output = read_linear(r)?;
-    let ffn1 = read_linear(r)?;
-    let ffn2 = read_linear(r)?;
+    let linear = |r: &mut Reader<'_>| {
+        if version == 1 {
+            read_linear_v1(r)
+        } else {
+            read_linear(r)
+        }
+    };
+    let query = linear(r)?;
+    let key = linear(r)?;
+    let value = linear(r)?;
+    let attn_output = linear(r)?;
+    let ffn1 = linear(r)?;
+    let ffn2 = linear(r)?;
     let attn_ln = read_layer_norm(r)?;
     let ffn_ln = read_layer_norm(r)?;
     if heads == 0 || !cfg.hidden.is_multiple_of(heads) {

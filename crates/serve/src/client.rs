@@ -91,15 +91,36 @@ impl Client {
     /// Surfaces server error frames (unknown model, engine errors) and
     /// socket failures.
     pub fn classify_texts(&mut self, model: &str, texts: &[&str]) -> Result<ClientResponse> {
-        let frame = Json::obj([
+        self.classify_texts_with_deadline(model, texts, None)
+    }
+
+    /// Classifies single sentences on `model` with an optional queue-wait
+    /// budget: if the request is still queued server-side when
+    /// `deadline_ms` elapses, the server answers
+    /// [`ServeError::DeadlineExceeded`] instead of serving it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::classify_texts`], plus
+    /// [`ServeError::DeadlineExceeded`] for an expired request.
+    pub fn classify_texts_with_deadline(
+        &mut self,
+        model: &str,
+        texts: &[&str],
+        deadline_ms: Option<u64>,
+    ) -> Result<ClientResponse> {
+        let mut fields = vec![
             ("id", Json::str(self.fresh_id())),
             ("model", Json::str(model)),
             (
                 "texts",
                 Json::Arr(texts.iter().map(|t| Json::str(*t)).collect()),
             ),
-        ]);
-        let value = self.roundtrip(&frame)?;
+        ];
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms", Json::Num(ms as f64)));
+        }
+        let value = self.roundtrip(&Json::obj(fields))?;
         decode_response(&value)
     }
 
@@ -214,6 +235,7 @@ fn decode_error(error: &Json) -> ServeError {
             ServeError::UnknownModel(name)
         }
         "shutting_down" => ServeError::ShuttingDown,
+        "deadline_exceeded" => ServeError::DeadlineExceeded,
         _ => ServeError::Protocol(format!("server reported `{kind}`: {message}")),
     }
 }

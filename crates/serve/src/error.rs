@@ -17,6 +17,8 @@ pub enum ServeError {
     Io(std::io::Error),
     /// The server or queue is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The request's deadline expired before a flush could serve it.
+    DeadlineExceeded,
 }
 
 impl ServeError {
@@ -28,6 +30,7 @@ impl ServeError {
             ServeError::Protocol(_) => "protocol",
             ServeError::Io(_) => "io",
             ServeError::ShuttingDown => "shutting_down",
+            ServeError::DeadlineExceeded => "deadline_exceeded",
         }
     }
 }
@@ -40,6 +43,9 @@ impl fmt::Display for ServeError {
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServeError::Io(e) => write!(f, "I/O error: {e}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline expired before it was served")
+            }
         }
     }
 }
@@ -81,6 +87,7 @@ mod tests {
             (ServeError::Protocol("bad".into()), "protocol"),
             (ServeError::Io(std::io::Error::other("io")), "io"),
             (ServeError::ShuttingDown, "shutting_down"),
+            (ServeError::DeadlineExceeded, "deadline_exceeded"),
         ];
         for (err, kind) in errs {
             assert_eq!(err.kind(), kind);

@@ -43,6 +43,10 @@ pub struct Request {
     pub model: String,
     /// The sequences to classify.
     pub inputs: RequestInputs,
+    /// Optional queue-wait budget in milliseconds: if the request is still
+    /// waiting in the batching queue when it elapses, the server answers
+    /// with a `deadline_exceeded` error frame instead of serving it.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Every frame a client may send.
@@ -89,6 +93,22 @@ pub fn parse_command(line: &str) -> Result<Command> {
         .and_then(Json::as_str)
         .ok_or_else(|| ServeError::Protocol("request needs a string `model` field".to_string()))?
         .to_string();
+    let deadline_ms = match value.get("deadline_ms") {
+        None => None,
+        Some(raw) => {
+            let ms = raw
+                .as_f64()
+                .filter(|ms| ms.is_finite() && *ms > 0.0)
+                .ok_or_else(|| {
+                    ServeError::Protocol(
+                        "`deadline_ms` must be a positive number of milliseconds".to_string(),
+                    )
+                })?;
+            // Ceil, not round: a fractional budget below 0.5 ms must stay a
+            // (1 ms) budget rather than collapse to an instantly-expired 0.
+            Some(ms.ceil() as u64)
+        }
+    };
     let inputs = match (value.get("texts"), value.get("pairs")) {
         (Some(_), Some(_)) => {
             return Err(ServeError::Protocol(
@@ -103,7 +123,12 @@ pub fn parse_command(line: &str) -> Result<Command> {
             ))
         }
     };
-    Ok(Command::Classify(Request { id, model, inputs }))
+    Ok(Command::Classify(Request {
+        id,
+        model,
+        inputs,
+        deadline_ms,
+    }))
 }
 
 fn parse_string_array(value: &Json, field: &str) -> Result<Vec<String>> {
@@ -265,6 +290,28 @@ mod tests {
                 );
             }
             other => panic!("expected classify, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_and_validates_deadlines() {
+        let cmd = parse_command(r#"{"model":"sst2","texts":["x"],"deadline_ms":150}"#).unwrap();
+        match cmd {
+            Command::Classify(req) => assert_eq!(req.deadline_ms, Some(150)),
+            other => panic!("expected classify, got {other:?}"),
+        }
+        let cmd = parse_command(r#"{"model":"sst2","texts":["x"]}"#).unwrap();
+        match cmd {
+            Command::Classify(req) => assert_eq!(req.deadline_ms, None),
+            other => panic!("expected classify, got {other:?}"),
+        }
+        for bad in [
+            r#"{"model":"m","texts":["x"],"deadline_ms":"soon"}"#,
+            r#"{"model":"m","texts":["x"],"deadline_ms":0}"#,
+            r#"{"model":"m","texts":["x"],"deadline_ms":-5}"#,
+        ] {
+            let err = parse_command(bad).expect_err(bad);
+            assert!(err.to_string().contains("deadline_ms"), "{err}");
         }
     }
 

@@ -7,6 +7,9 @@
 //! request has waited `max_delay`, then merges them into a single
 //! [`EncodedBatch`] and runs one engine call for the whole window. Results
 //! are split back per request and delivered through each ticket's channel.
+//! A request may carry a deadline ([`BatchQueue::submit_with_deadline`]):
+//! if it expires while the request is still queued, the request resolves to
+//! [`ServeError::DeadlineExceeded`] instead of occupying a flush slot.
 //!
 //! Batched and one-at-a-time inference are bit-identical in every backend
 //! (a property the runtime crate tests), so dynamic batching changes
@@ -107,6 +110,8 @@ pub struct QueueStats {
     pub flushes: u64,
     /// Largest number of sequences merged into one flush.
     pub largest_flush: u64,
+    /// Requests whose deadline expired before a flush could serve them.
+    pub expired: u64,
 }
 
 impl QueueStats {
@@ -124,7 +129,16 @@ impl QueueStats {
 struct PendingRequest {
     examples: Vec<Example>,
     enqueued: Instant,
+    /// Latest instant a flush may still start serving this request; past
+    /// it the request resolves to [`ServeError::DeadlineExceeded`].
+    deadline: Option<Instant>,
     reply: mpsc::Sender<Result<TicketResponse>>,
+}
+
+impl PendingRequest {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|deadline| now >= deadline)
+    }
 }
 
 struct QueueState {
@@ -142,6 +156,7 @@ struct QueueInner {
     sequences: AtomicU64,
     flushes: AtomicU64,
     largest_flush: AtomicU64,
+    expired: AtomicU64,
 }
 
 /// A dynamic batching queue over one engine, with one worker thread.
@@ -169,6 +184,7 @@ impl BatchQueue {
             sequences: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             largest_flush: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
         });
         let worker_inner = Arc::clone(&inner);
         let worker = std::thread::Builder::new()
@@ -197,6 +213,23 @@ impl BatchQueue {
     /// [`ServeError::ShuttingDown`]; requests already queued at shutdown
     /// are drained, not dropped.
     pub fn submit(&self, examples: Vec<Example>) -> Ticket {
+        self.submit_with_deadline(examples, None)
+    }
+
+    /// Enqueues one request with an optional deadline, counted from
+    /// submission. A request whose deadline passes before the worker starts
+    /// a flush over it resolves to [`ServeError::DeadlineExceeded`] without
+    /// occupying a slot in that flush window — and promptly while the
+    /// worker is waiting: it wakes at the earliest pending deadline, so
+    /// the error arrives at the deadline rather than at the next window
+    /// close (a worker busy inside an engine flush delivers it when that
+    /// flush returns). A flush that already started runs to completion
+    /// (the deadline bounds queue wait, not engine time).
+    pub fn submit_with_deadline(
+        &self,
+        examples: Vec<Example>,
+        deadline: Option<Duration>,
+    ) -> Ticket {
         let (tx, rx) = mpsc::channel();
         if examples.is_empty() {
             let _ = tx.send(Ok(TicketResponse {
@@ -212,10 +245,12 @@ impl BatchQueue {
             let _ = tx.send(Err(ServeError::ShuttingDown));
             return Ticket { rx };
         }
+        let enqueued = Instant::now();
         state.queued_sequences += examples.len();
         state.pending.push_back(PendingRequest {
             examples,
-            enqueued: Instant::now(),
+            enqueued,
+            deadline: deadline.map(|d| enqueued + d),
             reply: tx,
         });
         drop(state);
@@ -239,6 +274,7 @@ impl BatchQueue {
             sequences: self.inner.sequences.load(Ordering::Relaxed),
             flushes: self.inner.flushes.load(Ordering::Relaxed),
             largest_flush: self.inner.largest_flush.load(Ordering::Relaxed),
+            expired: self.inner.expired.load(Ordering::Relaxed),
         }
     }
 
@@ -272,6 +308,30 @@ impl std::fmt::Debug for BatchQueue {
     }
 }
 
+/// Fails one request that was removed from the queue because its deadline
+/// passed: undoes its sequence accounting, bumps the expiry counters and
+/// delivers [`ServeError::DeadlineExceeded`] through its ticket.
+fn fail_expired(inner: &QueueInner, state: &mut QueueState, request: PendingRequest) {
+    state.queued_sequences -= request.examples.len();
+    inner.expired.fetch_add(1, Ordering::Relaxed);
+    inner.requests.fetch_add(1, Ordering::Relaxed);
+    let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
+}
+
+/// Fails every pending request whose deadline has passed, anywhere in the
+/// queue — a request behind a large neighbour can expire first.
+fn expire_pending(inner: &QueueInner, state: &mut QueueState, now: Instant) {
+    let mut index = 0;
+    while index < state.pending.len() {
+        if state.pending[index].expired(now) {
+            let request = state.pending.remove(index).expect("index in range");
+            fail_expired(inner, state, request);
+        } else {
+            index += 1;
+        }
+    }
+}
+
 fn worker_loop(inner: &QueueInner) {
     loop {
         let window = {
@@ -286,25 +346,49 @@ fn worker_loop(inner: &QueueInner) {
             }
             // A request is waiting: keep the window open until the batch
             // fills, the oldest request's delay budget expires, or
-            // shutdown asks for an immediate drain.
-            let deadline =
-                state.pending.front().expect("non-empty").enqueued + inner.policy.max_delay;
-            while state.queued_sequences < inner.policy.max_batch && !state.shutdown {
+            // shutdown asks for an immediate drain. Waits are also cut
+            // short at the earliest per-request deadline, so an expiring
+            // request gets its error at its deadline — not whenever the
+            // window next closes.
+            loop {
                 let now = Instant::now();
-                if now >= deadline {
+                expire_pending(inner, &mut state, now);
+                let Some(front) = state.pending.front() else {
+                    // Everything queued expired while the window was open.
                     break;
+                };
+                let window_deadline = front.enqueued + inner.policy.max_delay;
+                if state.queued_sequences >= inner.policy.max_batch
+                    || state.shutdown
+                    || now >= window_deadline
+                {
+                    break;
+                }
+                let mut wake = window_deadline;
+                for request in &state.pending {
+                    if let Some(deadline) = request.deadline {
+                        wake = wake.min(deadline);
+                    }
                 }
                 let (next, _timeout) = inner
                     .cond
-                    .wait_timeout(state, deadline - now)
+                    .wait_timeout(state, wake.saturating_duration_since(now))
                     .expect("queue lock");
                 state = next;
             }
             // Drain whole requests up to max_batch sequences; the first
-            // request always goes even if it alone exceeds the cap.
+            // request always goes even if it alone exceeds the cap. A
+            // request whose deadline passed since the last expiry sweep is
+            // failed right here — it must not occupy a flush slot.
+            let now = Instant::now();
             let mut window: Vec<PendingRequest> = Vec::new();
             let mut sequences = 0usize;
             while let Some(front) = state.pending.front() {
+                if front.expired(now) {
+                    let request = state.pending.pop_front().expect("non-empty");
+                    fail_expired(inner, &mut state, request);
+                    continue;
+                }
                 if !window.is_empty() && sequences + front.examples.len() > inner.policy.max_batch {
                     break;
                 }
@@ -318,6 +402,10 @@ fn worker_loop(inner: &QueueInner) {
             }
             window
         };
+        if window.is_empty() {
+            // Every drained request had expired; nothing to flush.
+            continue;
+        }
         flush_window(inner, window);
     }
 }

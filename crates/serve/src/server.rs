@@ -329,7 +329,10 @@ fn serve_request(
                 EncodedBatch::from_pairs(engine.tokenizer(), &refs)
             }
         };
-        let response = queue.submit(batch.examples().to_vec()).wait()?;
+        let deadline = request.deadline_ms.map(Duration::from_millis);
+        let response = queue
+            .submit_with_deadline(batch.examples().to_vec(), deadline)
+            .wait()?;
         let latency_ms = received.elapsed().as_secs_f64() * 1e3;
         Ok(protocol::response_frame(
             &request.id,

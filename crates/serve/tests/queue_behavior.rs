@@ -133,6 +133,76 @@ fn poisoned_window_fails_only_the_offending_request() {
 }
 
 #[test]
+fn expired_deadline_fails_the_request_without_a_flush_slot() {
+    let queue = BatchQueue::start(
+        engine(BackendKind::Int),
+        BatchPolicy {
+            max_batch: 2,
+            // The window stays open long enough for a 1 ms deadline to
+            // expire before the flush drains the queue.
+            max_delay: Duration::from_millis(200),
+        },
+    );
+    let doomed = queue.submit_with_deadline(vec![example(0)], Some(Duration::from_millis(1)));
+    std::thread::sleep(Duration::from_millis(30));
+    // A window-filling request triggers the flush; the expired request in
+    // front of it must not take one of the two slots.
+    let filler = queue.submit(vec![example(1), example(2)]);
+    let err = doomed.wait().expect_err("expired request must fail");
+    assert!(matches!(err, ServeError::DeadlineExceeded), "{err}");
+    assert_eq!(err.kind(), "deadline_exceeded");
+    let filler = filler.wait().expect("served");
+    assert_eq!(filler.results.len(), 2);
+    assert_eq!(
+        filler.flushed_batch, 2,
+        "expired request must not occupy a flush slot"
+    );
+    let stats = queue.stats();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.sequences, 2, "expired sequences are never classified");
+}
+
+#[test]
+fn deadline_errors_arrive_at_the_deadline_not_at_window_close() {
+    let queue = BatchQueue::start(
+        engine(BackendKind::Int),
+        BatchPolicy {
+            max_batch: 1000,
+            // A 30 s window: only a deadline-driven wake-up explains the
+            // error arriving quickly.
+            max_delay: Duration::from_secs(30),
+        },
+    );
+    let start = std::time::Instant::now();
+    let err = queue
+        .submit_with_deadline(vec![example(0)], Some(Duration::from_millis(50)))
+        .wait()
+        .expect_err("lone short-deadline request must expire");
+    assert!(matches!(err, ServeError::DeadlineExceeded), "{err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "deadline error took {:?} — the worker slept through the deadline",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn generous_deadlines_do_not_change_serving() {
+    let queue = BatchQueue::start(
+        engine(BackendKind::Int),
+        BatchPolicy {
+            max_batch: 2,
+            max_delay: Duration::from_secs(30),
+        },
+    );
+    let a = queue.submit_with_deadline(vec![example(0)], Some(Duration::from_secs(60)));
+    let b = queue.submit_with_deadline(vec![example(1)], None);
+    assert_eq!(a.wait().expect("served").results.len(), 1);
+    assert_eq!(b.wait().expect("served").results.len(), 1);
+    assert_eq!(queue.stats().expired, 0);
+}
+
+#[test]
 fn sim_queue_reports_per_request_costs_that_sum_to_the_flush() {
     let queue = BatchQueue::start(
         engine(BackendKind::Sim),

@@ -39,6 +39,13 @@ pub enum TensorError {
     },
     /// The operation is undefined for an empty tensor.
     EmptyTensor(&'static str),
+    /// A value is outside the domain an encoding can represent.
+    ValueOutOfRange {
+        /// What the value was supposed to be.
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -60,6 +67,9 @@ impl fmt::Display for TensorError {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }
             TensorError::EmptyTensor(op) => write!(f, "{op} is undefined for an empty tensor"),
+            TensorError::ValueOutOfRange { what, value } => {
+                write!(f, "{value} is not a valid {what}")
+            }
         }
     }
 }
@@ -92,6 +102,10 @@ mod tests {
                 shape: vec![3],
             },
             TensorError::EmptyTensor("max"),
+            TensorError::ValueOutOfRange {
+                what: "int4 weight code",
+                value: 9,
+            },
         ];
         for e in errors {
             let msg = e.to_string();

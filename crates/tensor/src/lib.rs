@@ -33,6 +33,7 @@ pub mod gemm;
 pub mod init;
 pub mod itensor;
 pub mod ops;
+pub mod pack4;
 pub mod shape;
 pub mod tensor;
 
@@ -40,6 +41,7 @@ pub use error::TensorError;
 pub use gemm::{GemmScratch, PackedWeights};
 pub use init::{xavier_uniform, RngSource};
 pub use itensor::IntTensor;
+pub use pack4::{pack_i4, unpack_i4};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,0 +1,48 @@
+//! Property tests pinning the 4-bit nibble packing to the unpacked `i8`
+//! reference: `unpack(pack(x)) == x` for every code sequence in the signed
+//! nibble range, at exactly half the storage (rounded up), with corrupt
+//! byte counts rejected.
+
+use fqbert_tensor::{pack_i4, unpack_i4};
+use proptest::prelude::*;
+
+fn i4() -> impl Strategy<Value = i8> {
+    -8i8..=7
+}
+
+proptest! {
+    #[test]
+    fn pack_round_trips_against_the_unpacked_reference(
+        codes in proptest::collection::vec(i4(), 0..257),
+    ) {
+        let packed = pack_i4(&codes).expect("in-range codes pack");
+        prop_assert_eq!(packed.len(), codes.len().div_ceil(2));
+        let unpacked = unpack_i4(&packed, codes.len()).expect("unpack");
+        prop_assert_eq!(unpacked, codes);
+    }
+
+    #[test]
+    fn out_of_range_codes_never_pack(
+        prefix in proptest::collection::vec(i4(), 0..16),
+        magnitude in 8i8..=127,
+        negative in 0u8..=1,
+    ) {
+        // Covers both out-of-range sides: 8..=127 and -9..=-128.
+        let bad = if negative == 1 { -magnitude - 1 } else { magnitude };
+        let mut codes = prefix;
+        codes.push(bad);
+        prop_assert!(pack_i4(&codes).is_err());
+    }
+
+    #[test]
+    fn wrong_byte_counts_never_unpack(
+        codes in proptest::collection::vec(i4(), 2..64),
+    ) {
+        let packed = pack_i4(&codes).expect("pack");
+        // One byte short and one byte long are both structural errors.
+        prop_assert!(unpack_i4(&packed[..packed.len() - 1], codes.len()).is_err());
+        let mut long = packed.clone();
+        long.push(0);
+        prop_assert!(unpack_i4(&long, codes.len()).is_err());
+    }
+}
