@@ -5,10 +5,13 @@
 //! requantize path it replaced.
 //!
 //! Besides the console output, the run emits machine-readable
-//! `results/BENCH_engine_batch.json` (perf trajectory) and
+//! `results/BENCH_engine_batch.json` (perf trajectory),
 //! `results/BENCH_artifact_size.json` (w4 artifact bytes, v1 legacy format
 //! versus the nibble-packed v2 — tracking the on-disk halving, not just
-//! claiming it) via the fqbert-bench JSON emitter; CI runs this in quick
+//! claiming it) and `results/BENCH_thread_scaling.json` (sharded batch
+//! execution across worker-pool sizes, with speedups over the serial
+//! engine and the host's CPU count so a 1-core box's flat curve is
+//! interpretable) via the fqbert-bench JSON emitter; CI runs this in quick
 //! mode (`FQBERT_BENCH_MS`).
 
 use criterion::{BenchmarkId, Criterion};
@@ -164,6 +167,128 @@ fn bench_blocked_vs_naive(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread counts the scaling group sweeps (1 = the serial baseline).
+const SCALING_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Batch sizes the scaling group sweeps.
+const SCALING_BATCHES: [usize; 2] = [16, 32];
+
+/// Sharded batch classification on the int backend across worker-pool
+/// sizes, on an encoder-dominated model (enough integer GEMM work per
+/// sequence that sharding overhead is negligible). All engines load the
+/// same artifact, so every variant computes bit-identical logits — asserted
+/// before timing.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let config = BertConfig {
+        vocab_size: 44,
+        hidden: 128,
+        layers: 2,
+        heads: 4,
+        intermediate: 256,
+        max_len: MAX_LEN,
+        type_vocab_size: 2,
+        num_classes: 2,
+        layer_norm_eps: 1e-5,
+    };
+    let artifact = w4_artifact(config, 9);
+    let engine_for = |threads: usize| {
+        EngineBuilder::new(TaskKind::Sst2)
+            .backend(BackendKind::Int)
+            .batch_size(64)
+            .threads(threads)
+            .from_artifact(artifact.clone())
+            .expect("scaling engine")
+    };
+    let engines: Vec<(usize, Engine)> = SCALING_THREADS
+        .iter()
+        .map(|&t| (t, engine_for(t)))
+        .collect();
+
+    let mut group = c.benchmark_group("thread_scaling");
+    for &batch in &SCALING_BATCHES {
+        let encoded = EncodedBatch::from_examples((0..batch).map(example).collect());
+        let baseline = engines[0].1.classify_batch(&encoded).expect("serial");
+        for (threads, engine) in &engines {
+            assert_eq!(
+                engine.classify_batch(&encoded).expect("parallel").logits,
+                baseline.logits,
+                "sharded execution must stay bit-identical before it is timed"
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("int_t{threads}"), batch),
+                &batch,
+                |b, _| b.iter(|| engine.classify_batch(black_box(&encoded)).expect("batch")),
+            );
+        }
+    }
+    group.finish();
+}
+
+struct ThreadScalingRow {
+    id: String,
+    threads: u64,
+    batch: u64,
+    mean_ns: f64,
+    seq_per_s: f64,
+    speedup_vs_serial: f64,
+}
+
+impl_to_json!(ThreadScalingRow {
+    id,
+    threads,
+    batch,
+    mean_ns,
+    seq_per_s,
+    speedup_vs_serial
+});
+
+struct ThreadScalingReport {
+    bench: String,
+    budget_ms: u64,
+    host_cpus: u64,
+    results: Vec<ThreadScalingRow>,
+}
+
+impl_to_json!(ThreadScalingReport {
+    bench,
+    budget_ms,
+    host_cpus,
+    results
+});
+
+/// Derives the thread-scaling report (throughput and speedup over the
+/// serial engine per batch size) from the raw `thread_scaling` bench rows.
+fn thread_scaling_report(rows: &[criterion::BenchResult]) -> ThreadScalingReport {
+    let mean_of = |threads: usize, batch: usize| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.id == format!("int_t{threads}/{batch}"))
+            .map(|r| r.mean_ns)
+    };
+    let mut results = Vec::new();
+    for &batch in &SCALING_BATCHES {
+        let serial_ns = mean_of(1, batch);
+        for &threads in &SCALING_THREADS {
+            let Some(mean_ns) = mean_of(threads, batch) else {
+                continue;
+            };
+            results.push(ThreadScalingRow {
+                id: format!("int_t{threads}/{batch}"),
+                threads: threads as u64,
+                batch: batch as u64,
+                mean_ns,
+                seq_per_s: batch as f64 / (mean_ns / 1e9),
+                speedup_vs_serial: serial_ns.map_or(1.0, |s| s / mean_ns),
+            });
+        }
+    }
+    ThreadScalingReport {
+        bench: "thread_scaling".to_string(),
+        budget_ms: criterion::budget_ms(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        results,
+    }
+}
+
 /// Builds a calibrated w4 artifact for an arbitrary architecture, the same
 /// convert path the serving engines use.
 fn w4_artifact(config: BertConfig, seed: u64) -> ModelArtifact {
@@ -277,9 +402,15 @@ fn main() {
     let mut criterion = Criterion::default();
     bench_engine_batching(&mut criterion);
     bench_blocked_vs_naive(&mut criterion);
+    bench_thread_scaling(&mut criterion);
 
-    let results: Vec<BenchRow> = criterion
+    // The thread-scaling rows feed their own derived report; everything
+    // else stays in the engine_batch trajectory.
+    let (scaling_rows, other_rows): (Vec<_>, Vec<_>) = criterion
         .take_results()
+        .into_iter()
+        .partition(|r| r.group == "thread_scaling");
+    let results: Vec<BenchRow> = other_rows
         .into_iter()
         .map(|r| BenchRow {
             group: r.group,
@@ -316,5 +447,23 @@ fn main() {
     }
     let path = fqbert_bench::save_json_in(&dir, "BENCH_artifact_size", &sizes)
         .expect("write BENCH_artifact_size.json");
+    println!("wrote {}", path.display());
+
+    let scaling = thread_scaling_report(&scaling_rows);
+    for row in &scaling.results {
+        println!(
+            "thread_scaling {}: {:.2} ms/batch, {:.0} seq/s, {:.2}x vs serial",
+            row.id,
+            row.mean_ns / 1e6,
+            row.seq_per_s,
+            row.speedup_vs_serial
+        );
+    }
+    println!(
+        "(host exposes {} CPU(s) — speedups flatten at the core count)",
+        scaling.host_cpus
+    );
+    let path = fqbert_bench::save_json_in(&dir, "BENCH_thread_scaling", &scaling)
+        .expect("write BENCH_thread_scaling.json");
     println!("wrote {}", path.display());
 }

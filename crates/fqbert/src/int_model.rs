@@ -875,6 +875,24 @@ impl IntBertModel {
     /// attention mask is all padding — a zero-length sequence has no tokens
     /// to attend over (empty batch is fine and returns an empty vector).
     pub fn logits_batch(&self, examples: &[fqbert_nlp::Example]) -> Result<Vec<Vec<f32>>> {
+        self.logits_batch_with_scratch(examples, &mut GemmScratch::new())
+    }
+
+    /// As [`IntBertModel::logits_batch`], with a caller-owned GEMM scratch
+    /// buffer — the shard entry point of the parallel runtime, where each
+    /// worker thread keeps one scratch alive across every batch shard it
+    /// serves instead of allocating a fresh one per call. Bit-identical to
+    /// [`IntBertModel::logits_batch`] (the scratch holds no numeric state,
+    /// only packing capacity).
+    ///
+    /// # Errors
+    ///
+    /// As for [`IntBertModel::logits_batch`].
+    pub fn logits_batch_with_scratch(
+        &self,
+        examples: &[fqbert_nlp::Example],
+        scratch: &mut GemmScratch,
+    ) -> Result<Vec<Vec<f32>>> {
         if examples.is_empty() {
             return Ok(Vec::new());
         }
@@ -896,10 +914,8 @@ impl IntBertModel {
         let total: usize = seq_lens.iter().sum();
         let mut hidden_states = IntTensor::from_vec(packed, &[total, hidden])?;
         // One GEMM scratch serves all six projections of all encoder layers.
-        let mut scratch = GemmScratch::new();
         for layer in &self.layers {
-            hidden_states =
-                layer.forward_batch_with_scratch(&hidden_states, &seq_lens, &mut scratch)?;
+            hidden_states = layer.forward_batch_with_scratch(&hidden_states, &seq_lens, scratch)?;
         }
         let out_scale = self
             .layers

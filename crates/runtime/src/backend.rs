@@ -8,6 +8,7 @@ use fqbert_accel::{cycle_model, AcceleratorConfig};
 use fqbert_autograd::Graph;
 use fqbert_bert::{BertConfig, BertModel, NoopHook};
 use fqbert_core::IntBertModel;
+use fqbert_tensor::GemmScratch;
 
 /// Numeric precision a backend computes at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,26 @@ pub trait InferenceBackend: Send + Sync {
     /// Returns an error if a sequence is invalid for the underlying model
     /// (empty, overlong, out-of-vocabulary ids).
     fn classify_batch(&self, batch: &EncodedBatch) -> Result<BatchOutput>;
+
+    /// Classifies one shard of a larger batch using a caller-owned GEMM
+    /// scratch buffer — the entry point of the parallel engine, whose
+    /// worker threads each keep one scratch alive across every shard they
+    /// serve. Must be bit-identical to [`InferenceBackend::classify_batch`]
+    /// over the same sequences (the scratch holds packing capacity, never
+    /// numeric state); backends without an integer GEMM simply ignore the
+    /// scratch, which is what the default implementation does.
+    ///
+    /// # Errors
+    ///
+    /// As for [`InferenceBackend::classify_batch`].
+    fn classify_shard(
+        &self,
+        batch: &EncodedBatch,
+        scratch: &mut GemmScratch,
+    ) -> Result<BatchOutput> {
+        let _ = scratch;
+        self.classify_batch(batch)
+    }
 
     /// Short human-readable backend name (`float`, `int`, `sim`).
     fn name(&self) -> &str;
@@ -172,6 +193,17 @@ impl InferenceBackend for IntBackend {
         Ok(BatchOutput::from_logits(logits, None))
     }
 
+    fn classify_shard(
+        &self,
+        batch: &EncodedBatch,
+        scratch: &mut GemmScratch,
+    ) -> Result<BatchOutput> {
+        let logits = self
+            .model
+            .logits_batch_with_scratch(batch.examples(), scratch)?;
+        Ok(BatchOutput::from_logits(logits, None))
+    }
+
     fn name(&self) -> &str {
         "int"
     }
@@ -232,12 +264,15 @@ impl SimBackend {
         };
         cycle_model::estimate_latency(&self.accel, &shape, cfg.layers)
     }
-}
 
-impl InferenceBackend for SimBackend {
-    fn classify_batch(&self, batch: &EncodedBatch) -> Result<BatchOutput> {
-        let mut out = self.int.classify_batch(batch)?;
-        // Charge the cycle model once per distinct sequence length.
+    /// Attaches the cycle-model cost of every sequence in `batch` to `out`.
+    ///
+    /// The per-sequence cost is a pure function of the sequence length
+    /// (cached once per distinct length within the call), so a batch split
+    /// into shards charges exactly the same per-sequence costs as the
+    /// unsharded batch — the parallel engine relies on this when it
+    /// reassembles shard outputs.
+    fn charge_costs(&self, out: &mut BatchOutput, batch: &EncodedBatch) {
         let mut total_cycles = 0u64;
         let mut latency_ms = 0.0f64;
         let mut cached: Vec<(usize, u64, f64)> = Vec::new();
@@ -263,6 +298,23 @@ impl InferenceBackend for SimBackend {
             latency_ms,
         });
         out.sequence_costs = Some(sequence_costs);
+    }
+}
+
+impl InferenceBackend for SimBackend {
+    fn classify_batch(&self, batch: &EncodedBatch) -> Result<BatchOutput> {
+        let mut out = self.int.classify_batch(batch)?;
+        self.charge_costs(&mut out, batch);
+        Ok(out)
+    }
+
+    fn classify_shard(
+        &self,
+        batch: &EncodedBatch,
+        scratch: &mut GemmScratch,
+    ) -> Result<BatchOutput> {
+        let mut out = self.int.classify_shard(batch, scratch)?;
+        self.charge_costs(&mut out, batch);
         Ok(out)
     }
 

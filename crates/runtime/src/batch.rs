@@ -1,15 +1,33 @@
 //! Batched inputs and outputs of the inference engine.
 
 use fqbert_nlp::{Example, Tokenizer};
+use std::sync::Arc;
 
 /// A batch of encoded sequences ready for any [`crate::InferenceBackend`].
 ///
 /// Construction amortizes tokenization across the batch: texts are encoded
-/// once, padded to the tokenizer's fixed length, and reused across backends.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// once, padded to the tokenizer's fixed length, and reused across
+/// backends. The examples live behind an `Arc` with a range view, so
+/// [`EncodedBatch::shard`] (and `Clone`) share the encoded storage instead
+/// of copying it — the parallel engine hands each worker a view of its
+/// shard for free.
+#[derive(Debug, Clone)]
 pub struct EncodedBatch {
-    examples: Vec<Example>,
+    examples: Arc<Vec<Example>>,
+    start: usize,
+    end: usize,
 }
+
+/// Batches compare by the sequences they view, not by how the backing
+/// storage is shared (a shard equals an identically-encoded standalone
+/// batch).
+impl PartialEq for EncodedBatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.examples() == other.examples()
+    }
+}
+
+impl Eq for EncodedBatch {}
 
 impl EncodedBatch {
     /// Encodes a batch of single sentences.
@@ -26,7 +44,7 @@ impl EncodedBatch {
                 }
             })
             .collect();
-        Self { examples }
+        Self::from_examples(examples)
     }
 
     /// Encodes a batch of sentence pairs (premise, hypothesis).
@@ -43,37 +61,58 @@ impl EncodedBatch {
                 }
             })
             .collect();
-        Self { examples }
+        Self::from_examples(examples)
     }
 
     /// Wraps already-encoded examples (e.g. a dataset split).
     pub fn from_examples(examples: Vec<Example>) -> Self {
-        Self { examples }
+        let end = examples.len();
+        Self {
+            examples: Arc::new(examples),
+            start: 0,
+            end,
+        }
+    }
+
+    /// A view of the sequences at `range` (relative to this batch) sharing
+    /// this batch's encoded storage — no examples are copied. Used by the
+    /// parallel engine to hand each pool worker its shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the batch length.
+    pub fn shard(&self, range: std::ops::Range<usize>) -> Self {
+        assert!(range.end <= self.len(), "shard range out of bounds");
+        Self {
+            examples: Arc::clone(&self.examples),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
     }
 
     /// The encoded examples.
     pub fn examples(&self) -> &[Example] {
-        &self.examples
+        &self.examples[self.start..self.end]
     }
 
     /// Number of sequences in the batch.
     pub fn len(&self) -> usize {
-        self.examples.len()
+        self.end - self.start
     }
 
     /// Whether the batch is empty.
     pub fn is_empty(&self) -> bool {
-        self.examples.is_empty()
+        self.start == self.end
     }
 
     /// Gold labels of the batch (zero for text-constructed batches).
     pub fn labels(&self) -> Vec<usize> {
-        self.examples.iter().map(|e| e.label).collect()
+        self.examples().iter().map(|e| e.label).collect()
     }
 
     /// Non-padding token count of every sequence.
     pub fn seq_lens(&self) -> Vec<usize> {
-        self.examples
+        self.examples()
             .iter()
             .map(|e| e.attention_mask.iter().take_while(|&&m| m == 1).count())
             .collect()
@@ -146,6 +185,31 @@ mod tests {
     fn pair_batch_sets_segments() {
         let batch = EncodedBatch::from_pairs(&tokenizer(), &[("good", "bad movie")]);
         assert!(batch.examples()[0].segment_ids.contains(&1));
+    }
+
+    #[test]
+    fn shards_view_without_copying_and_compare_by_content() {
+        let batch = EncodedBatch::from_texts(&tokenizer(), &["good movie", "bad", "movie"]);
+        let shard = batch.shard(1..3);
+        assert_eq!(shard.len(), 2);
+        assert_eq!(shard.examples(), &batch.examples()[1..3]);
+        assert_eq!(shard.seq_lens(), batch.seq_lens()[1..3]);
+        // A sub-shard of a shard is relative to the shard's own view.
+        let inner = shard.shard(1..2);
+        assert_eq!(inner.examples(), &batch.examples()[2..3]);
+        // Equality is by viewed content, not by storage identity.
+        let standalone = EncodedBatch::from_examples(batch.examples()[1..3].to_vec());
+        assert_eq!(shard, standalone);
+        assert_ne!(shard, batch);
+        // Empty views are representable and report empty.
+        assert!(batch.shard(1..1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard range out of bounds")]
+    fn oversized_shard_ranges_panic() {
+        let batch = EncodedBatch::from_texts(&tokenizer(), &["good"]);
+        let _ = batch.shard(0..2);
     }
 
     #[test]

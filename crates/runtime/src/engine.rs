@@ -3,14 +3,17 @@
 use crate::artifact::ModelArtifact;
 use crate::backend::{FloatBackend, InferenceBackend, IntBackend, SimBackend};
 use crate::batch::{BatchCost, BatchOutput, EncodedBatch};
+use crate::pool::WorkerPool;
 use crate::{Result, RuntimeError};
 use fqbert_accel::AcceleratorConfig;
 use fqbert_autograd::Graph;
 use fqbert_bert::BertModel;
-use fqbert_core::{convert, QatHook};
+use fqbert_core::{convert, FqBertError, QatHook};
 use fqbert_nlp::{accuracy, Example, TaskKind, Tokenizer, Vocab};
 use fqbert_quant::QuantConfig;
+use fqbert_tensor::GemmScratch;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Which backend an [`EngineBuilder`] should construct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -65,6 +68,67 @@ impl std::str::FromStr for BackendKind {
     }
 }
 
+/// How an engine executes a batch: on the caller's thread (`threads == 1`,
+/// the default) or sharded across a fixed worker pool.
+///
+/// With `threads > 1` the engine splits every [`EncodedBatch`] into up to
+/// `threads` contiguous shards and classifies them concurrently, one shard
+/// per pool worker, each worker reusing its own
+/// [`fqbert_tensor::GemmScratch`]. Sequences never share accumulators
+/// across shards (every backend's per-sequence arithmetic is independent),
+/// so sharded execution is bit-identical to serial execution at every
+/// thread count — a property test pins this for all three backends.
+///
+/// `threads == 0` means "ask the OS" ([`std::thread::available_parallelism`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecPolicy {
+    /// Worker threads for batch execution: `1` = serial on the calling
+    /// thread, `0` = auto-detect from the host's available parallelism.
+    pub threads: usize,
+}
+
+impl ExecPolicy {
+    /// Serial execution on the calling thread (no pool).
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Sharded execution across `threads` pool workers (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// Reads the policy from the `FQBERT_THREADS` environment variable
+    /// (`0` = auto-detect), falling back to serial when unset or
+    /// unparsable. This is the builder default, so one environment variable
+    /// switches every engine in a process — tests, benches and the serving
+    /// stack — onto the worker pool.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("FQBERT_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        Self { threads }
+    }
+
+    /// The concrete worker count this policy resolves to on this host
+    /// (auto-detection applied, minimum 1).
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
 /// Classification result for one input text.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Classification {
@@ -105,6 +169,23 @@ pub struct ScoredOutput {
     pub cost: Option<BatchCost>,
 }
 
+/// Splits `len` items into up to `parts` contiguous, near-equal ranges
+/// (the first `len % parts` ranges get one extra item). Never returns an
+/// empty range: with fewer items than parts, each item gets its own shard.
+fn shard_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
 /// Numerically stable softmax over a logit slice.
 fn softmax(logits: &[f32]) -> Vec<f32> {
     let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -137,11 +218,40 @@ pub struct EvalSummary {
 pub struct Engine {
     task: TaskKind,
     tokenizer: Tokenizer,
-    backend: Box<dyn InferenceBackend>,
+    backend: Arc<dyn InferenceBackend>,
     batch_size: usize,
+    /// Present iff the execution policy resolved to more than one thread.
+    /// Each worker owns one GEMM scratch pre-sized for the model's deepest
+    /// projection, so the integer hot path neither contends on a shared
+    /// buffer nor reallocates per shard.
+    pool: Option<WorkerPool<GemmScratch>>,
 }
 
 impl Engine {
+    /// Assembles an engine, spinning up the worker pool when the policy
+    /// asks for more than one thread.
+    fn assemble(
+        task: TaskKind,
+        tokenizer: Tokenizer,
+        backend: Arc<dyn InferenceBackend>,
+        batch_size: usize,
+        exec: ExecPolicy,
+    ) -> Self {
+        let threads = exec.effective_threads();
+        let pool = (threads > 1).then(|| {
+            let cfg = backend.config();
+            let depth = cfg.hidden.max(cfg.intermediate);
+            WorkerPool::new(threads, move |_| GemmScratch::with_depth(depth))
+        });
+        Self {
+            task,
+            tokenizer,
+            backend,
+            batch_size,
+            pool,
+        }
+    }
+
     /// The task this engine serves.
     pub fn task(&self) -> TaskKind {
         self.task
@@ -162,6 +272,11 @@ impl Engine {
         self.batch_size
     }
 
+    /// Worker threads batches are sharded across (1 = serial execution).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::threads)
+    }
+
     /// Classifies raw texts, batching them `batch_size` at a time.
     ///
     /// # Errors
@@ -171,7 +286,7 @@ impl Engine {
         let mut out = Vec::with_capacity(texts.len());
         for chunk in texts.chunks(self.batch_size.max(1)) {
             let batch = EncodedBatch::from_texts(&self.tokenizer, chunk);
-            let result = self.backend.classify_batch(&batch)?;
+            let result = self.classify_batch(&batch)?;
             for (prediction, logits) in result.predictions.into_iter().zip(result.logits) {
                 out.push(Classification { prediction, logits });
             }
@@ -189,7 +304,7 @@ impl Engine {
         let mut out = Vec::with_capacity(pairs.len());
         for chunk in pairs.chunks(self.batch_size.max(1)) {
             let batch = EncodedBatch::from_pairs(&self.tokenizer, chunk);
-            let result = self.backend.classify_batch(&batch)?;
+            let result = self.classify_batch(&batch)?;
             for (prediction, logits) in result.predictions.into_iter().zip(result.logits) {
                 out.push(Classification { prediction, logits });
             }
@@ -197,13 +312,84 @@ impl Engine {
         Ok(out)
     }
 
-    /// Classifies one pre-encoded batch in a single backend call.
+    /// Classifies one pre-encoded batch: in a single backend call under the
+    /// serial policy, or sharded across the worker pool when the engine was
+    /// built with [`ExecPolicy`] threads > 1 (bit-identical either way —
+    /// shards never share accumulators).
     ///
     /// # Errors
     ///
-    /// Propagates backend errors.
+    /// Returns `InvalidArgument` for an empty batch (there is nothing to
+    /// classify, and backends differ in how they would handle it);
+    /// propagates backend errors and worker-pool failures otherwise.
     pub fn classify_batch(&self, batch: &EncodedBatch) -> Result<BatchOutput> {
-        self.backend.classify_batch(batch)
+        if batch.is_empty() {
+            return Err(RuntimeError::Core(FqBertError::InvalidArgument(
+                "empty batch: classify_batch needs at least one sequence".to_string(),
+            )));
+        }
+        match &self.pool {
+            Some(pool) if batch.len() > 1 => self.classify_sharded(pool, batch),
+            _ => self.backend.classify_batch(batch),
+        }
+    }
+
+    /// Splits `batch` into up to `pool.threads()` contiguous shards, runs
+    /// them concurrently (one per worker, each with its own scratch) and
+    /// reassembles the outputs in input order.
+    fn classify_sharded(
+        &self,
+        pool: &WorkerPool<GemmScratch>,
+        batch: &EncodedBatch,
+    ) -> Result<BatchOutput> {
+        let tasks: Vec<_> = shard_ranges(batch.len(), pool.threads())
+            .into_iter()
+            .map(|range| {
+                let backend = Arc::clone(&self.backend);
+                // A shard is a range view sharing the batch's storage — no
+                // examples are copied onto the workers.
+                let shard = batch.shard(range);
+                move |scratch: &mut GemmScratch| backend.classify_shard(&shard, scratch)
+            })
+            .collect();
+        let mut logits = Vec::with_capacity(batch.len());
+        let mut predictions = Vec::with_capacity(batch.len());
+        let mut sequence_costs: Vec<BatchCost> = Vec::new();
+        let mut costed_shards = 0usize;
+        let mut shards = 0usize;
+        for outcome in pool.run(tasks) {
+            let shard = outcome.map_err(|e| RuntimeError::Execution(e.to_string()))??;
+            shards += 1;
+            logits.extend(shard.logits);
+            predictions.extend(shard.predictions);
+            if let Some(costs) = shard.sequence_costs {
+                costed_shards += 1;
+                sequence_costs.extend(costs);
+            }
+        }
+        // Either every shard charges per-sequence costs (sim) or none does
+        // (float/int) — a single backend serves all shards.
+        debug_assert!(costed_shards == 0 || costed_shards == shards);
+        // Re-derive the batch total from the concatenated per-sequence
+        // costs in input order, exactly as the serial path folds them, so
+        // the f64 latency sum is bit-identical at every thread count.
+        let cost = (costed_shards > 0).then(|| {
+            let mut total = BatchCost {
+                total_cycles: 0,
+                latency_ms: 0.0,
+            };
+            for c in &sequence_costs {
+                total.total_cycles += c.total_cycles;
+                total.latency_ms += c.latency_ms;
+            }
+            total
+        });
+        Ok(BatchOutput {
+            logits,
+            predictions,
+            cost,
+            sequence_costs: (costed_shards > 0).then_some(sequence_costs),
+        })
     }
 
     /// Classifies one pre-encoded batch and returns request-level results:
@@ -219,7 +405,7 @@ impl Engine {
     ///
     /// Propagates backend errors.
     pub fn classify_scored(&self, batch: &EncodedBatch) -> Result<ScoredOutput> {
-        let out = self.backend.classify_batch(batch)?;
+        let out = self.classify_batch(batch)?;
         let mut sequence_costs = out
             .sequence_costs
             .map(|costs| costs.into_iter().map(Some).collect::<Vec<_>>())
@@ -260,7 +446,7 @@ impl Engine {
         let mut simulated_ms: Option<f64> = None;
         for chunk in examples.chunks(self.batch_size.max(1)) {
             let batch = EncodedBatch::from_examples(chunk.to_vec());
-            let result = self.backend.classify_batch(&batch)?;
+            let result = self.classify_batch(&batch)?;
             predictions.extend(result.predictions);
             if let Some(cost) = result.cost {
                 *simulated_ms.get_or_insert(0.0) += cost.latency_ms;
@@ -299,6 +485,7 @@ impl std::fmt::Debug for Engine {
             .field("backend", &self.backend.name())
             .field("precision", &self.backend.precision().to_string())
             .field("batch_size", &self.batch_size)
+            .field("threads", &self.threads())
             .finish()
     }
 }
@@ -318,6 +505,7 @@ pub struct EngineBuilder {
     quant: QuantConfig,
     calibration: Vec<Example>,
     accel: AcceleratorConfig,
+    exec: ExecPolicy,
 }
 
 /// Default sequences per backend call.
@@ -336,6 +524,7 @@ impl EngineBuilder {
             quant: QuantConfig::fq_bert(),
             calibration: Vec::new(),
             accel: AcceleratorConfig::zcu111_n16_m16(),
+            exec: ExecPolicy::default(),
         }
     }
 
@@ -383,6 +572,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the batch execution policy (serial or sharded across a worker
+    /// pool). The default comes from the `FQBERT_THREADS` environment
+    /// variable (serial when unset).
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Shorthand for [`EngineBuilder::exec`] with an explicit thread count
+    /// (`0` = auto-detect, `1` = serial).
+    pub fn threads(self, threads: usize) -> Self {
+        self.exec(ExecPolicy::with_threads(threads))
+    }
+
     fn take_tokenizer(&mut self) -> Result<Tokenizer> {
         self.tokenizer.take().ok_or_else(|| {
             RuntimeError::InvalidConfig("a tokenizer (or vocab + max_len) is required".to_string())
@@ -415,8 +618,8 @@ impl EngineBuilder {
     pub fn build(mut self, model: &BertModel) -> Result<Engine> {
         self.check_classes(model.config().num_classes)?;
         let tokenizer = self.take_tokenizer()?;
-        let backend: Box<dyn InferenceBackend> = match self.backend {
-            BackendKind::Float => Box::new(FloatBackend::new(model.clone())),
+        let backend: Arc<dyn InferenceBackend> = match self.backend {
+            BackendKind::Float => Arc::new(FloatBackend::new(model.clone())),
             BackendKind::Int | BackendKind::Sim => {
                 if self.calibration.is_empty() {
                     return Err(RuntimeError::InvalidConfig(
@@ -434,17 +637,18 @@ impl EngineBuilder {
                 }
                 let int_model = convert(model, &hook)?;
                 match self.backend {
-                    BackendKind::Sim => Box::new(SimBackend::new(int_model, self.accel.clone())?),
-                    _ => Box::new(IntBackend::new(int_model)),
+                    BackendKind::Sim => Arc::new(SimBackend::new(int_model, self.accel.clone())?),
+                    _ => Arc::new(IntBackend::new(int_model)),
                 }
             }
         };
-        Ok(Engine {
-            task: self.task,
+        Ok(Engine::assemble(
+            self.task,
             tokenizer,
             backend,
-            batch_size: self.batch_size,
-        })
+            self.batch_size,
+            self.exec,
+        ))
     }
 
     /// Builds the engine from a float model plus an already-calibrated QAT
@@ -458,19 +662,20 @@ impl EngineBuilder {
     pub fn build_with_hook(mut self, model: &BertModel, hook: &QatHook) -> Result<Engine> {
         self.check_classes(model.config().num_classes)?;
         let tokenizer = self.take_tokenizer()?;
-        let backend: Box<dyn InferenceBackend> = match self.backend {
-            BackendKind::Float => Box::new(FloatBackend::new(model.clone())),
-            BackendKind::Int => Box::new(IntBackend::new(convert(model, hook)?)),
+        let backend: Arc<dyn InferenceBackend> = match self.backend {
+            BackendKind::Float => Arc::new(FloatBackend::new(model.clone())),
+            BackendKind::Int => Arc::new(IntBackend::new(convert(model, hook)?)),
             BackendKind::Sim => {
-                Box::new(SimBackend::new(convert(model, hook)?, self.accel.clone())?)
+                Arc::new(SimBackend::new(convert(model, hook)?, self.accel.clone())?)
             }
         };
-        Ok(Engine {
-            task: self.task,
+        Ok(Engine::assemble(
+            self.task,
             tokenizer,
             backend,
-            batch_size: self.batch_size,
-        })
+            self.batch_size,
+            self.exec,
+        ))
     }
 
     /// Builds the engine by loading a saved artifact (`quantize once →
@@ -495,7 +700,7 @@ impl EngineBuilder {
     ///
     /// Returns [`RuntimeError::InvalidConfig`] for [`BackendKind::Float`].
     pub fn from_artifact(self, artifact: ModelArtifact) -> Result<Engine> {
-        let backend: Box<dyn InferenceBackend> = match self.backend {
+        let backend: Arc<dyn InferenceBackend> = match self.backend {
             BackendKind::Float => {
                 return Err(RuntimeError::InvalidConfig(
                     "artifacts store quantized models; the float backend \
@@ -503,15 +708,16 @@ impl EngineBuilder {
                         .to_string(),
                 ))
             }
-            BackendKind::Int => Box::new(IntBackend::new(artifact.model)),
-            BackendKind::Sim => Box::new(SimBackend::new(artifact.model, self.accel.clone())?),
+            BackendKind::Int => Arc::new(IntBackend::new(artifact.model)),
+            BackendKind::Sim => Arc::new(SimBackend::new(artifact.model, self.accel.clone())?),
         };
-        Ok(Engine {
-            task: artifact.task,
-            tokenizer: artifact.tokenizer,
+        Ok(Engine::assemble(
+            artifact.task,
+            artifact.tokenizer,
             backend,
-            batch_size: self.batch_size,
-        })
+            self.batch_size,
+            self.exec,
+        ))
     }
 }
 
@@ -545,6 +751,39 @@ mod tests {
             let err = bad.parse::<BackendKind>().expect_err("must reject");
             assert!(err.to_string().contains("backend kind"), "{err}");
         }
+    }
+
+    #[test]
+    fn shard_ranges_cover_everything_in_order() {
+        for &(len, parts) in &[
+            (1usize, 1usize),
+            (10, 1),
+            (10, 3),
+            (16, 4),
+            (3, 8), // more threads than sequences: one item per shard
+            (7, 7),
+        ] {
+            let ranges = shard_ranges(len, parts);
+            assert!(ranges.len() <= parts.max(1));
+            assert!(ranges.iter().all(|r| !r.is_empty()), "{len}/{parts}");
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "{len}/{parts}");
+                next = r.end;
+            }
+            assert_eq!(next, len, "{len}/{parts}");
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced shards {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn exec_policy_resolves_thread_counts() {
+        assert_eq!(ExecPolicy::serial().effective_threads(), 1);
+        assert_eq!(ExecPolicy::with_threads(3).effective_threads(), 3);
+        // Auto-detection always lands on at least one thread.
+        assert!(ExecPolicy::with_threads(0).effective_threads() >= 1);
     }
 
     #[test]

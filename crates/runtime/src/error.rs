@@ -25,6 +25,9 @@ pub enum RuntimeError {
     Artifact(String),
     /// The engine was configured inconsistently.
     InvalidConfig(String),
+    /// Parallel batch execution failed inside the worker pool (a shard
+    /// panicked or the pool shut down mid-run).
+    Execution(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -37,6 +40,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Io(e) => write!(f, "artifact I/O error: {e}"),
             RuntimeError::Artifact(msg) => write!(f, "invalid artifact: {msg}"),
             RuntimeError::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
+            RuntimeError::Execution(msg) => write!(f, "parallel execution error: {msg}"),
         }
     }
 }
@@ -98,6 +102,7 @@ mod tests {
             std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into(),
             RuntimeError::Artifact("bad magic".into()),
             RuntimeError::InvalidConfig("no tokenizer".into()),
+            RuntimeError::Execution("shard panicked".into()),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

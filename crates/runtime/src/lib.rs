@@ -36,6 +36,16 @@
 //! single integer GEMM (`IntEncoderLayer::forward_batch`). Batched and
 //! one-at-a-time execution are bit-identical.
 //!
+//! # Parallel execution
+//!
+//! An engine built with [`ExecPolicy`] threads > 1 (or with
+//! `FQBERT_THREADS` set in the environment) shards every batch across a
+//! fixed in-process [`WorkerPool`] — up to one contiguous shard per worker,
+//! each worker reusing its own GEMM scratch buffer. Per-sequence arithmetic
+//! is independent in every backend, so sharded execution is bit-identical
+//! to serial execution at every thread count (property-tested), including
+//! the simulated backend's per-sequence cycle costs.
+//!
 //! # Artifacts
 //!
 //! [`ModelArtifact`] persists the quantized model (weight/bias codes,
@@ -74,14 +84,17 @@ pub mod backend;
 pub mod batch;
 pub mod engine;
 pub mod error;
+pub mod pool;
 
 pub use artifact::ModelArtifact;
 pub use backend::{CostModel, FloatBackend, InferenceBackend, IntBackend, Precision, SimBackend};
 pub use batch::{BatchCost, BatchOutput, EncodedBatch};
 pub use engine::{
-    BackendKind, Classification, Engine, EngineBuilder, EvalSummary, Scored, ScoredOutput,
+    BackendKind, Classification, Engine, EngineBuilder, EvalSummary, ExecPolicy, Scored,
+    ScoredOutput,
 };
 pub use error::RuntimeError;
+pub use pool::{PoolError, WorkerPool};
 
 /// Convenience result alias for runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,329 @@
+//! A fixed-size worker pool with per-thread state and panic isolation.
+//!
+//! The repository builds fully offline, so instead of `rayon` the parallel
+//! runtime runs on this small pool: a fixed number of worker threads fed
+//! boxed closures over an `mpsc` channel. Each worker owns one instance of
+//! a caller-chosen state value `S` (the engine hands every worker its own
+//! `GemmScratch`, so the integer hot path never contends on — or
+//! reallocates — the activation packing buffer), and every job runs under
+//! `catch_unwind`, so one panicking shard surfaces as a
+//! [`PoolError::Panicked`] for its own task instead of tearing down the
+//! pool or poisoning its siblings.
+//!
+//! The pool is deliberately batch-oriented: [`WorkerPool::run`] submits a
+//! set of tasks, blocks until all of them finished, and returns their
+//! results in task order. That is exactly the shape of sharded batch
+//! classification (split, execute concurrently, merge in order) and keeps
+//! the API too small to misuse.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Why a pooled task failed to produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The task panicked; the payload's message is preserved. The worker
+    /// that ran it survives and keeps serving other tasks.
+    Panicked(String),
+    /// The pool shut down before the task could run to completion.
+    ShutDown,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Panicked(msg) => write!(f, "worker task panicked: {msg}"),
+            PoolError::ShutDown => write!(f, "worker pool shut down before the task ran"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Renders a `catch_unwind` payload as the panic message it carried.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+type Job<S> = Box<dyn FnOnce(&mut S) + Send + 'static>;
+
+/// A fixed-size pool of worker threads, each owning one `S`.
+///
+/// Workers are spawned once at construction and live until the pool is
+/// dropped; tasks are closures receiving `&mut S` (the worker's persistent
+/// state). See the module docs for the design rationale.
+pub struct WorkerPool<S: Send + 'static> {
+    sender: Mutex<Option<mpsc::Sender<Job<S>>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl<S: Send + 'static> WorkerPool<S> {
+    /// Spawns `threads` workers (at least one), building each worker's
+    /// state with `state(worker_index)` on its own thread.
+    pub fn new<F>(threads: usize, state: F) -> Self
+    where
+        F: Fn(usize) -> S + Send + Sync + 'static,
+    {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job<S>>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let state = Arc::new(state);
+        let workers = (0..threads)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("fqbert-pool-{index}"))
+                    .spawn(move || {
+                        let mut state = state(index);
+                        loop {
+                            // Hold the lock only while popping, never while
+                            // running a job, so idle workers can keep
+                            // draining the queue.
+                            let job = match receiver.lock().expect("pool queue lock").recv() {
+                                Ok(job) => job,
+                                Err(_) => return, // all senders gone: shutdown
+                            };
+                            job(&mut state);
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            sender: Mutex::new(Some(sender)),
+            workers: Mutex::new(workers),
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task on the pool and blocks until all of them finished,
+    /// returning their results in task order. Tasks run concurrently across
+    /// the workers; a task that panics yields [`PoolError::Panicked`] at
+    /// its own position without affecting the others, and tasks that could
+    /// not run (the pool shut down underneath the call) yield
+    /// [`PoolError::ShutDown`].
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<Result<T, PoolError>>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut S) -> T + Send + 'static,
+    {
+        let expected = tasks.len();
+        let (results_tx, results_rx) = mpsc::channel::<(usize, Result<T, PoolError>)>();
+        {
+            let sender = self.sender.lock().expect("pool sender lock");
+            for (index, task) in tasks.into_iter().enumerate() {
+                let results_tx = results_tx.clone();
+                let job: Job<S> = Box::new(move |state: &mut S| {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| task(state)))
+                        .map_err(|payload| PoolError::Panicked(panic_message(payload)));
+                    let _ = results_tx.send((index, outcome));
+                });
+                match sender.as_ref() {
+                    Some(sender) => {
+                        if sender.send(job).is_err() {
+                            break; // workers gone; unsent tasks report ShutDown
+                        }
+                    }
+                    None => break, // pool already shut down
+                }
+            }
+        }
+        drop(results_tx);
+        let mut results: Vec<Result<T, PoolError>> =
+            (0..expected).map(|_| Err(PoolError::ShutDown)).collect();
+        // Every dispatched job sends exactly once (even on panic), and
+        // dropped/undelivered jobs drop their sender, so this drains without
+        // deadlocking no matter how the tasks end.
+        while let Ok((index, outcome)) = results_rx.recv() {
+            results[index] = outcome;
+        }
+        results
+    }
+
+    /// Stops accepting work and joins every worker. Idempotent; called
+    /// automatically on drop.
+    pub fn shutdown(&self) {
+        // Dropping the sender disconnects the queue; workers exit on their
+        // next recv.
+        self.sender.lock().expect("pool sender lock").take();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("pool workers lock"));
+        for worker in workers {
+            // A worker can only die outside a job if its state builder
+            // panicked (jobs run under catch_unwind). Swallow the payload:
+            // shutdown runs from Drop, where a panic would escalate to a
+            // process abort if an unwind is already in progress; the dead
+            // worker has long since surfaced as ShutDown task errors.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<S: Send + 'static> Drop for WorkerPool<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<S: Send + 'static> std::fmt::Debug for WorkerPool<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_tasks_and_preserves_order() {
+        let pool = WorkerPool::new(4, |_| ());
+        let results = pool.run((0..32usize).map(|i| move |_: &mut ()| i * i).collect());
+        let values: Vec<usize> = results.into_iter().map(|r| r.expect("ok")).collect();
+        assert_eq!(values, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let pool = WorkerPool::new(0, |_| ());
+        assert_eq!(pool.threads(), 1);
+        let results = pool.run(vec![|_: &mut ()| 7usize]);
+        assert_eq!(results, vec![Ok(7)]);
+    }
+
+    #[test]
+    fn tasks_actually_spread_across_workers() {
+        // With more tasks than workers and each task parking briefly, every
+        // worker index must show up in the per-thread state.
+        let pool = WorkerPool::new(3, |index| index);
+        let results = pool.run(
+            (0..24)
+                .map(|_| {
+                    move |worker: &mut usize| {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        *worker
+                    }
+                })
+                .collect(),
+        );
+        let mut seen: Vec<usize> = results.into_iter().map(|r| r.expect("ok")).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn per_worker_state_persists_across_tasks() {
+        let pool = WorkerPool::new(2, |_| 0usize);
+        // Each task bumps its worker's counter; the grand total over two
+        // rounds must equal the number of tasks run.
+        let round = |n: usize| {
+            pool.run(
+                (0..n)
+                    .map(|_| {
+                        |count: &mut usize| {
+                            *count += 1;
+                            *count
+                        }
+                    })
+                    .collect(),
+            )
+        };
+        round(6).into_iter().for_each(|r| {
+            r.expect("ok");
+        });
+        let second: usize = round(6).into_iter().map(|r| r.expect("ok")).max().unwrap();
+        // At least one worker has served tasks from both rounds.
+        assert!(second > 1, "state reset between tasks: max count {second}");
+    }
+
+    #[test]
+    fn a_panicking_task_is_isolated() {
+        let pool = WorkerPool::new(2, |_| ());
+        let results = pool.run(
+            (0..6)
+                .map(|i| {
+                    move |_: &mut ()| {
+                        if i == 3 {
+                            panic!("shard {i} exploded");
+                        }
+                        i
+                    }
+                })
+                .collect(),
+        );
+        for (i, result) in results.iter().enumerate() {
+            match result {
+                Ok(v) => assert_eq!(*v, i),
+                Err(PoolError::Panicked(msg)) => {
+                    assert_eq!(i, 3);
+                    assert!(msg.contains("shard 3"), "{msg}");
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        // The pool survives the panic and keeps serving.
+        let again = pool.run(vec![|_: &mut ()| 42usize]);
+        assert_eq!(again, vec![Ok(42)]);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_rejects_later_runs() {
+        static DROPPED: AtomicUsize = AtomicUsize::new(0);
+        struct CountsDrop;
+        impl Drop for CountsDrop {
+            fn drop(&mut self) {
+                DROPPED.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let pool = WorkerPool::new(2, |_| CountsDrop);
+        pool.run(vec![|_: &mut CountsDrop| ()])
+            .into_iter()
+            .for_each(|r| r.expect("ok"));
+        pool.shutdown();
+        pool.shutdown();
+        assert_eq!(DROPPED.load(Ordering::SeqCst), 2, "worker state dropped");
+        let results = pool.run(vec![|_: &mut CountsDrop| 1usize]);
+        assert_eq!(results, vec![Err(PoolError::ShutDown)]);
+    }
+
+    #[test]
+    fn a_panicking_state_builder_degrades_without_aborting() {
+        // Worker 1's state builder panics at spawn; worker 0 still serves
+        // every task, and dropping the pool must not panic (shutdown runs
+        // from Drop, where a panic could abort the process).
+        let pool = WorkerPool::new(2, |index| {
+            if index == 1 {
+                panic!("state builder exploded");
+            }
+        });
+        let results = pool.run((0..8usize).map(|i| move |_: &mut ()| i).collect());
+        let values: Vec<usize> = results.into_iter().map(|r| r.expect("ok")).collect();
+        assert_eq!(values, (0..8).collect::<Vec<_>>());
+        pool.shutdown(); // must not panic despite the dead worker
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        assert!(PoolError::Panicked("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(!PoolError::ShutDown.to_string().is_empty());
+    }
+}

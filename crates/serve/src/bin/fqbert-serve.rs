@@ -3,12 +3,15 @@
 //!
 //! ```text
 //! fqbert-serve [--listen ADDR] [--max-batch N] [--max-delay-ms MS]
-//!              [--config FILE] [name=backend:path ...]
+//!              [--threads N] [--config FILE] [name=backend:path[#threads=N] ...]
 //! ```
 //!
-//! Models come from `name=backend:path` specs (backend is `int` or `sim`)
-//! given as arguments and/or one per line in `--config FILE` (`#` comments
-//! allowed). The server runs until a client sends `{"cmd":"shutdown"}`.
+//! Models come from `name=backend:path[#threads=N]` specs (backend is `int`
+//! or `sim`) given as arguments and/or one per line in `--config FILE`
+//! (`#` comments allowed). `--threads N` shards every model's batches
+//! across `N` worker threads (`0` = auto-detect); a per-spec `#threads=`
+//! suffix overrides it for that model. The server runs until a client
+//! sends `{"cmd":"shutdown"}`.
 
 use fqbert_serve::{registry, BatchPolicy, ModelRegistry, ModelSpec, Server, ServerConfig};
 use std::time::Duration;
@@ -16,7 +19,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: fqbert-serve [--listen ADDR] [--max-batch N] [--max-delay-ms MS] \
-         [--config FILE] [name=backend:path ...]"
+         [--threads N] [--config FILE] [name=backend:path[#threads=N] ...]"
     );
     std::process::exit(2);
 }
@@ -24,6 +27,7 @@ fn usage() -> ! {
 fn main() {
     let mut listen = "127.0.0.1:7878".to_string();
     let mut policy = BatchPolicy::default();
+    let mut default_threads: Option<usize> = None;
     let mut specs: Vec<ModelSpec> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -48,6 +52,13 @@ fn main() {
                     usage()
                 });
                 policy.max_delay = Duration::from_millis(ms);
+            }
+            "--threads" => {
+                let threads: usize = flag_value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads must be an integer (0 = auto-detect)");
+                    usage()
+                });
+                default_threads = Some(threads);
             }
             "--config" => {
                 let path = flag_value("--config");
@@ -79,6 +90,13 @@ fn main() {
         usage();
     }
 
+    // The --threads default applies to every spec without its own suffix.
+    if let Some(threads) = default_threads {
+        for spec in &mut specs {
+            spec.threads.get_or_insert(threads);
+        }
+    }
+
     let registry = ModelRegistry::load(&specs).unwrap_or_else(|e| {
         eprintln!("failed to load models: {e}");
         std::process::exit(1);
@@ -104,8 +122,8 @@ fn main() {
     );
     for info in infos {
         println!(
-            "  model {:<16} task {:<7} backend {:<5} precision {}",
-            info.name, info.task, info.backend, info.precision
+            "  model {:<16} task {:<7} backend {:<5} precision {:<6} threads {}",
+            info.name, info.task, info.backend, info.precision, info.threads
         );
     }
     println!("send {{\"cmd\":\"shutdown\"}} to stop");

@@ -1,8 +1,21 @@
 //! Blocking client for the line-delimited-JSON protocol.
+//!
+//! Two usage styles share one connection type:
+//!
+//! * **Round trips** — [`Client::classify_texts`] and friends write one
+//!   request and block for its response.
+//! * **Pipelining** — [`Client::submit`] writes a request *without*
+//!   waiting, so any number of requests are in flight on one connection;
+//!   [`Client::drain`] then collects the responses. The server answers
+//!   frames in order per connection, so responses pair with submissions
+//!   by position, and every request carries an id (client-supplied via
+//!   [`Client::submit_as`], else generated) that the server echoes back —
+//!   the drain verifies the echo to catch any desynchronization.
 
 use crate::json::Json;
 use crate::{Result, ServeError};
 use fqbert_runtime::BatchCost;
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -45,6 +58,9 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// Ids of pipelined requests whose responses have not been drained
+    /// yet, in submission (= response) order.
+    pending: VecDeque<String>,
 }
 
 impl Client {
@@ -61,14 +77,19 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
             next_id: 0,
+            pending: VecDeque::new(),
         })
     }
 
-    fn roundtrip(&mut self, frame: &Json) -> Result<Json> {
+    fn send_frame(&mut self, frame: &Json) -> Result<()> {
         let mut payload = frame.render();
         payload.push('\n');
         self.writer.write_all(payload.as_bytes())?;
         self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_frame(&mut self) -> Result<Json> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;
         if n == 0 {
@@ -77,7 +98,19 @@ impl Client {
                 "server closed the connection",
             )));
         }
-        let value = crate::json::parse(line.trim()).map_err(ServeError::Protocol)?;
+        crate::json::parse(line.trim()).map_err(ServeError::Protocol)
+    }
+
+    fn roundtrip(&mut self, frame: &Json) -> Result<Json> {
+        if !self.pending.is_empty() {
+            return Err(ServeError::Protocol(format!(
+                "{} pipelined request(s) in flight: drain() before issuing \
+                 a blocking round trip (responses arrive in order)",
+                self.pending.len()
+            )));
+        }
+        self.send_frame(frame)?;
+        let value = self.read_frame()?;
         if let Some(error) = value.get("error") {
             return Err(decode_error(error));
         }
@@ -149,6 +182,112 @@ impl Client {
         ]);
         let value = self.roundtrip(&frame)?;
         decode_response(&value)
+    }
+
+    /// Pipelines one single-sentence classification request: the frame is
+    /// written immediately with a generated id, no response is awaited, and
+    /// the id is returned so the caller can match it against
+    /// [`Client::drain`]'s results. Any number of submissions may be in
+    /// flight on one connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from writing the frame.
+    pub fn submit(&mut self, model: &str, texts: &[&str]) -> Result<String> {
+        let id = self.fresh_id();
+        self.submit_as(&id, model, texts)?;
+        Ok(id)
+    }
+
+    /// As [`Client::submit`], with a caller-chosen request id (echoed
+    /// verbatim in the response frame).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from writing the frame.
+    pub fn submit_as(&mut self, id: &str, model: &str, texts: &[&str]) -> Result<()> {
+        let frame = Json::obj([
+            ("id", Json::str(id)),
+            ("model", Json::str(model)),
+            (
+                "texts",
+                Json::Arr(texts.iter().map(|t| Json::str(*t)).collect()),
+            ),
+        ]);
+        self.send_frame(&frame)?;
+        self.pending.push_back(id.to_string());
+        Ok(())
+    }
+
+    /// Pipelines one sentence-pair classification request (see
+    /// [`Client::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from writing the frame.
+    pub fn submit_pairs(&mut self, model: &str, pairs: &[(&str, &str)]) -> Result<String> {
+        let id = self.fresh_id();
+        let frame = Json::obj([
+            ("id", Json::str(&id)),
+            ("model", Json::str(model)),
+            (
+                "pairs",
+                Json::Arr(
+                    pairs
+                        .iter()
+                        .map(|(a, b)| Json::Arr(vec![Json::str(*a), Json::str(*b)]))
+                        .collect(),
+                ),
+            ),
+        ]);
+        self.send_frame(&frame)?;
+        self.pending.push_back(id.clone());
+        Ok(id)
+    }
+
+    /// Number of pipelined requests whose responses are still unread.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Collects the responses of every pipelined request, in submission
+    /// order, as `(id, per-request result)` pairs. A request that failed
+    /// server-side (unknown model, engine error, expired deadline) yields
+    /// its error at its own position without aborting the drain.
+    ///
+    /// # Errors
+    ///
+    /// Fails wholesale only on transport problems (socket errors, a closed
+    /// connection, malformed frames) or if a response's echoed id does not
+    /// match the expected submission — both mean the connection state is no
+    /// longer trustworthy.
+    pub fn drain(&mut self) -> Result<Vec<(String, Result<ClientResponse>)>> {
+        let mut responses = Vec::with_capacity(self.pending.len());
+        while let Some(expected) = self.pending.pop_front() {
+            let value = match self.read_frame() {
+                Ok(value) => value,
+                Err(e) => {
+                    // The connection is broken; leave the id unpopped state
+                    // consistent (already popped — push back) and surface.
+                    self.pending.push_front(expected);
+                    return Err(e);
+                }
+            };
+            if let Some(echoed) = value.get("id").and_then(Json::as_str) {
+                if echoed != expected {
+                    return Err(ServeError::Protocol(format!(
+                        "pipelined response id `{echoed}` does not match the \
+                         expected submission `{expected}`"
+                    )));
+                }
+            }
+            let outcome = match value.get("error") {
+                Some(error) => Err(decode_error(error)),
+                None => decode_response(&value),
+            };
+            responses.push((expected, outcome));
+        }
+        Ok(responses)
     }
 
     /// Lists the server's registered models as

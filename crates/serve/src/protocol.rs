@@ -240,6 +240,7 @@ pub fn models_frame(infos: &[ModelInfo]) -> Json {
                         ("backend", Json::str(&info.backend)),
                         ("precision", Json::str(&info.precision)),
                         ("num_classes", Json::Num(info.num_classes as f64)),
+                        ("threads", Json::Num(info.threads as f64)),
                     ])
                 })
                 .collect(),

@@ -6,16 +6,21 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-/// One registry entry parsed from plain config: `name=backend:path`.
+/// One registry entry parsed from plain config:
+/// `name=backend:path[#threads=N]`.
 ///
 /// `name` is the routing key requests address the model by; `backend` is a
 /// [`BackendKind`] spelling (`int` or `sim` — the float baseline cannot be
 /// loaded from a quantized artifact); `path` points at a saved
-/// [`fqbert_runtime::ModelArtifact`].
+/// [`fqbert_runtime::ModelArtifact`]; the optional `#threads=N` suffix
+/// shards this model's batches across `N` worker threads (`0` =
+/// auto-detect the host's parallelism). Without the suffix the model uses
+/// the process default (the server's `--threads` flag, else
+/// `FQBERT_THREADS`, else serial).
 ///
 /// ```text
 /// sst2-w4=int:models/sst2_w4.fqbt
-/// sst2-w8=sim:models/sst2_w8.fqbt
+/// sst2-w8=sim:models/sst2_w8.fqbt#threads=4
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelSpec {
@@ -25,11 +30,18 @@ pub struct ModelSpec {
     pub backend: BackendKind,
     /// Path of the saved artifact.
     pub path: PathBuf,
+    /// Worker threads for this model's batch execution (`Some(0)` =
+    /// auto-detect); `None` defers to the process default.
+    pub threads: Option<usize>,
 }
 
 impl std::fmt::Display for ModelSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}={}:{}", self.name, self.backend, self.path.display())
+        write!(f, "{}={}:{}", self.name, self.backend, self.path.display())?;
+        if let Some(threads) = self.threads {
+            write!(f, "#threads={threads}")?;
+        }
+        Ok(())
     }
 }
 
@@ -39,12 +51,12 @@ impl std::str::FromStr for ModelSpec {
     fn from_str(s: &str) -> Result<Self> {
         let (name, rest) = s.split_once('=').ok_or_else(|| {
             ServeError::Protocol(format!(
-                "model spec `{s}` must look like `name=backend:path`"
+                "model spec `{s}` must look like `name=backend:path[#threads=N]`"
             ))
         })?;
         let (backend, path) = rest.split_once(':').ok_or_else(|| {
             ServeError::Protocol(format!(
-                "model spec `{s}` must name a backend: `name=backend:path`"
+                "model spec `{s}` must name a backend: `name=backend:path[#threads=N]`"
             ))
         })?;
         let name = name.trim();
@@ -53,6 +65,22 @@ impl std::str::FromStr for ModelSpec {
                 "model spec `{s}` has an empty model name"
             )));
         }
+        // An optional execution suffix after the last `#`; artifact paths
+        // containing a literal `#threads=` are not representable (rename
+        // the file).
+        let (path, threads) = match path.rsplit_once('#') {
+            Some((path, suffix)) if suffix.trim().starts_with("threads=") => {
+                let value = suffix.trim().trim_start_matches("threads=");
+                let threads = value.parse::<usize>().map_err(|_| {
+                    ServeError::Protocol(format!(
+                        "model spec `{s}` has a bad thread count `{value}` \
+                         (expected an integer, 0 = auto)"
+                    ))
+                })?;
+                (path, Some(threads))
+            }
+            _ => (path, None),
+        };
         let path = path.trim();
         if path.is_empty() {
             return Err(ServeError::Protocol(format!(
@@ -63,6 +91,7 @@ impl std::str::FromStr for ModelSpec {
             name: name.to_string(),
             backend: backend.parse::<BackendKind>()?,
             path: PathBuf::from(path),
+            threads,
         })
     }
 }
@@ -94,6 +123,8 @@ pub struct ModelInfo {
     pub precision: String,
     /// Number of output classes.
     pub num_classes: usize,
+    /// Worker threads the engine shards batches across (1 = serial).
+    pub threads: usize,
 }
 
 /// A name → engine map serving several models (different tasks and/or
@@ -112,7 +143,10 @@ impl ModelRegistry {
         Self::default()
     }
 
-    /// Loads every spec'd artifact into an engine and registers it.
+    /// Loads every spec'd artifact into an engine and registers it. A
+    /// spec's `threads` suffix selects that engine's execution policy;
+    /// without one the engine keeps the builder default (`FQBERT_THREADS`,
+    /// else serial).
     ///
     /// # Errors
     ///
@@ -121,9 +155,11 @@ impl ModelRegistry {
     pub fn load(specs: &[ModelSpec]) -> Result<Self> {
         let mut registry = Self::new();
         for spec in specs {
-            let engine = EngineBuilder::new(fqbert_nlp::TaskKind::Sst2)
-                .backend(spec.backend)
-                .load(&spec.path)?;
+            let mut builder = EngineBuilder::new(fqbert_nlp::TaskKind::Sst2).backend(spec.backend);
+            if let Some(threads) = spec.threads {
+                builder = builder.threads(threads);
+            }
+            let engine = builder.load(&spec.path)?;
             registry.register(&spec.name, engine)?;
         }
         Ok(registry)
@@ -189,6 +225,7 @@ impl ModelRegistry {
                 backend: engine.backend().name().to_string(),
                 precision: engine.backend().precision().to_string(),
                 num_classes: engine.task().num_classes(),
+                threads: engine.threads(),
             })
             .collect()
     }
@@ -212,6 +249,7 @@ mod tests {
         assert_eq!(spec.name, "sst2-w4");
         assert_eq!(spec.backend, BackendKind::Int);
         assert_eq!(spec.path, PathBuf::from("models/sst2_w4.fqbt"));
+        assert_eq!(spec.threads, None);
         assert_eq!(spec.to_string().parse::<ModelSpec>().unwrap(), spec);
 
         // Paths may contain further colons (only the first separates).
@@ -221,14 +259,35 @@ mod tests {
     }
 
     #[test]
+    fn specs_parse_thread_suffixes() {
+        let spec: ModelSpec = "sst2=int:models/a.fqbt#threads=4".parse().unwrap();
+        assert_eq!(spec.path, PathBuf::from("models/a.fqbt"));
+        assert_eq!(spec.threads, Some(4));
+        assert_eq!(spec.to_string(), "sst2=int:models/a.fqbt#threads=4");
+        assert_eq!(spec.to_string().parse::<ModelSpec>().unwrap(), spec);
+
+        // 0 = auto-detect; still round-trips.
+        let spec: ModelSpec = "sst2=sim:a.fqbt#threads=0".parse().unwrap();
+        assert_eq!(spec.threads, Some(0));
+
+        // A `#` without the threads key stays part of the path.
+        let spec: ModelSpec = "m=int:weird#name.fqbt".parse().unwrap();
+        assert_eq!(spec.path, PathBuf::from("weird#name.fqbt"));
+        assert_eq!(spec.threads, None);
+    }
+
+    #[test]
     fn malformed_specs_are_rejected_with_context() {
         for bad in [
             "no-equals",
-            "name=int",        // missing path separator
-            "=int:path",       // empty name
-            "name=turbo:path", // unknown backend
-            "name=int:",       // empty path
-            "name=int:   ",    // whitespace path
+            "name=int",               // missing path separator
+            "=int:path",              // empty name
+            "name=turbo:path",        // unknown backend
+            "name=int:",              // empty path
+            "name=int:   ",           // whitespace path
+            "name=int:a#threads=",    // empty thread count
+            "name=int:a#threads=two", // non-numeric thread count
+            "name=int:#threads=2",    // empty path before the suffix
         ] {
             let err = bad.parse::<ModelSpec>().expect_err("must reject");
             assert!(!err.to_string().is_empty(), "{bad}");

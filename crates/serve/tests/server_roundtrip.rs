@@ -112,6 +112,62 @@ fn server_round_trip_with_concurrent_clients_and_graceful_shutdown() {
     assert!(sim.total_cycles > 0 && sim.latency_ms > 0.0);
     assert!(sim_response.flushed_batch >= 1);
 
+    // Pipelining: many requests in flight on one connection, responses
+    // drained in submission order with ids echoed — including a
+    // client-supplied id and a mid-stream failure that must not poison its
+    // neighbours.
+    let mut pipelined = Client::connect(addr).expect("pipelined connect");
+    let first = pipelined.submit("sst2-w4", &texts).expect("submit 1");
+    pipelined
+        .submit_as("my-own-id", "sst2-w8", &["w1 w2"])
+        .expect("submit 2");
+    let doomed = pipelined
+        .submit("no-such-model", &["w3"])
+        .expect("submit 3");
+    let last = pipelined
+        .submit("sst2-w4", &["w4 w5 w6"])
+        .expect("submit 4");
+    assert_eq!(pipelined.pending(), 4);
+    let drained = pipelined.drain().expect("drain");
+    assert_eq!(pipelined.pending(), 0);
+    let ids: Vec<&str> = drained.iter().map(|(id, _)| id.as_str()).collect();
+    assert_eq!(
+        ids,
+        vec![first.as_str(), "my-own-id", doomed.as_str(), last.as_str()]
+    );
+    let ok_first = drained[0].1.as_ref().expect("first response");
+    assert_eq!(ok_first.id, first);
+    assert_eq!(ok_first.model, "sst2-w4");
+    assert_eq!(ok_first.results.len(), texts.len());
+    // Pipelined and round-trip classification agree bit for bit.
+    assert_eq!(
+        ok_first
+            .results
+            .iter()
+            .flat_map(|r| r.logits.clone())
+            .collect::<Vec<f32>>(),
+        by_model["sst2-w4"][0]
+    );
+    assert_eq!(
+        drained[1].1.as_ref().expect("own id response").id,
+        "my-own-id"
+    );
+    let failure = drained[2].1.as_ref().expect_err("unknown model mid-stream");
+    assert!(matches!(failure, ServeError::UnknownModel(_)), "{failure}");
+    assert!(
+        drained[3].1.is_ok(),
+        "request after the failure still served"
+    );
+    // A drained connection is immediately usable for round trips again.
+    pipelined.ping().expect("ping after drain");
+    // An undrained connection refuses blocking round trips.
+    pipelined.submit("sst2-w4", &["w1"]).expect("submit 5");
+    let err = pipelined.ping().expect_err("round trip with pending");
+    assert!(err.to_string().contains("drain"), "{err}");
+    let tail = pipelined.drain().expect("final drain");
+    assert_eq!(tail.len(), 1);
+    assert!(tail[0].1.is_ok());
+
     // Error frames: unknown model, then a malformed line on a raw socket.
     let err = client
         .classify_texts("nope", &["w1"])
@@ -133,9 +189,11 @@ fn server_round_trip_with_concurrent_clients_and_graceful_shutdown() {
     server.join();
     assert!(server.is_shutting_down());
     // The queues saw the traffic: 12 three-text requests across the two
-    // int models plus the one sim request.
+    // int models, the one sim request, and the pipelined section's
+    // 3 + 1 + 1 + 1 sequences (the unknown-model submission never reaches
+    // a queue).
     let total_sequences: u64 = server.queue_stats().iter().map(|(_, s)| s.sequences).sum();
-    assert_eq!(total_sequences, 12 * 3 + 1);
+    assert_eq!(total_sequences, 12 * 3 + 1 + 6);
     // The listener is gone: new connections are refused (allow a beat for
     // the OS to tear the socket down).
     std::thread::sleep(Duration::from_millis(50));

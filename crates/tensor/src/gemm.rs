@@ -133,6 +133,34 @@ impl GemmScratch {
         Self::default()
     }
 
+    /// Creates a scratch whose packing buffer is already sized for
+    /// reduction depths up to `k`, so the first GEMM through it allocates
+    /// nothing. Long-lived owners (e.g. a worker thread that keeps one
+    /// scratch across every batch it serves) size it once for the deepest
+    /// projection of their model.
+    pub fn with_depth(k: usize) -> Self {
+        let mut scratch = Self::default();
+        scratch.reserve_depth(k);
+        scratch
+    }
+
+    /// Grows the packing buffer to hold an activation block of reduction
+    /// depth `k` (no-op when already large enough). The buffer never
+    /// shrinks, so a scratch reused across layers settles at the deepest
+    /// projection and stays allocation-free from then on.
+    pub fn reserve_depth(&mut self, k: usize) {
+        let need = k * MR;
+        if self.a_block.capacity() < need {
+            self.a_block.reserve(need - self.a_block.len());
+        }
+    }
+
+    /// Largest reduction depth the current buffer can pack without
+    /// reallocating.
+    pub fn depth_capacity(&self) -> usize {
+        self.a_block.capacity() / MR
+    }
+
     /// Packs rows `r0 .. r0+rows` of `x` (row-major, `k` columns) into the
     /// interleaved `[kk][r]` layout, widening to the kernel's `i16` operand
     /// width and zero-padding missing rows up to [`MR`].
@@ -358,6 +386,22 @@ mod tests {
         let packed = PackedWeights::pack(&w).unwrap();
         assert!(gemm_i8_i32(&x, &packed, &mut GemmScratch::new()).is_err());
         assert!(PackedWeights::pack(&tensor_i8(vec![0; 3], &[3])).is_err());
+    }
+
+    #[test]
+    fn scratch_depth_reservation_is_sticky() {
+        let mut scratch = GemmScratch::with_depth(64);
+        assert!(scratch.depth_capacity() >= 64);
+        // Packing a shallower block must not shrink the buffer.
+        let x = tensor_i8((0..2 * 3).map(pseudo).collect(), &[2, 3]);
+        let w = tensor_i8((0..3 * 2).map(pseudo).collect(), &[3, 2]);
+        let packed = PackedWeights::pack(&w).unwrap();
+        gemm_i8_i32(&x, &packed, &mut scratch).unwrap();
+        assert!(scratch.depth_capacity() >= 64);
+        scratch.reserve_depth(16); // no-op below capacity
+        assert!(scratch.depth_capacity() >= 64);
+        scratch.reserve_depth(128);
+        assert!(scratch.depth_capacity() >= 128);
     }
 
     #[test]

@@ -125,6 +125,51 @@ fn batched_inference_is_bit_identical_to_one_at_a_time() {
 }
 
 #[test]
+fn sharded_execution_matches_serial_on_a_trained_model() {
+    // End-to-end version of the runtime's parallel property test, on a
+    // genuinely trained model: engines sharding across a worker pool return
+    // bit-identical logits and identical accuracy to the serial engine.
+    let (task, hook) = quick_task();
+    let dev = &task.dataset.dev;
+    for kind in BackendKind::ALL {
+        let serial = task
+            .engine_builder()
+            .backend(kind)
+            .threads(1)
+            .build_with_hook(&task.model, &hook)
+            .expect("serial engine");
+        let parallel = task
+            .engine_builder()
+            .backend(kind)
+            .threads(4)
+            .build_with_hook(&task.model, &hook)
+            .expect("parallel engine");
+        assert_eq!(serial.threads(), 1);
+        assert_eq!(parallel.threads(), 4);
+
+        let batch = EncodedBatch::from_examples(dev[..32.min(dev.len())].to_vec());
+        let a = serial.classify_batch(&batch).expect("serial batch");
+        let b = parallel.classify_batch(&batch).expect("parallel batch");
+        for (x, y) in a.logits.iter().flatten().zip(b.logits.iter().flatten()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{kind} logits diverge");
+        }
+        assert_eq!(a.predictions, b.predictions);
+        if kind == BackendKind::Sim {
+            assert_eq!(a.sequence_costs, b.sequence_costs, "sim costs diverge");
+            assert_eq!(
+                a.cost.expect("serial cost").total_cycles,
+                b.cost.expect("parallel cost").total_cycles
+            );
+        }
+
+        let sa = serial.evaluate(dev).expect("serial eval");
+        let sb = parallel.evaluate(dev).expect("parallel eval");
+        assert_eq!(sa.accuracy, sb.accuracy, "{kind} eval accuracy diverges");
+        assert_eq!(sa.simulated_latency_ms, sb.simulated_latency_ms);
+    }
+}
+
+#[test]
 fn all_padding_sequence_is_a_clean_error_not_a_panic() {
     let (task, hook) = quick_task();
     let int_engine = task
