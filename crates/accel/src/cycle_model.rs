@@ -9,6 +9,7 @@ use crate::config::AcceleratorConfig;
 use crate::dataflow::EncoderShape;
 use crate::memory::DdrModel;
 use crate::scheduler::{ScheduleTrace, Scheduler};
+use fqbert_quant::LayerBits;
 
 /// Per-component cycle breakdown of one inference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,8 +61,29 @@ pub fn estimate_latency(
     shape: &EncoderShape,
     layers: usize,
 ) -> LatencyReport {
+    let bits = vec![LayerBits::uniform(config.weight_bits); layers];
+    estimate_latency_mixed(config, shape, &bits)
+}
+
+/// Estimates the inference latency of an encoder stack whose layers carry
+/// their own per-site weight bit-widths (`layer_bits[l]` describes layer
+/// `l`; the stack depth is `layer_bits.len()`).
+///
+/// With every layer at the accelerator's uniform width this is exactly
+/// [`estimate_latency`]: each layer contributes its own steady-state PE
+/// period, the trailing softmax/LN work of the last layer is paid once, and
+/// the host I/O overhead is added on top.
+pub fn estimate_latency_mixed(
+    config: &AcceleratorConfig,
+    shape: &EncoderShape,
+    layer_bits: &[LayerBits],
+) -> LatencyReport {
     let scheduler = Scheduler::new(config.clone());
-    let trace = scheduler.schedule_layer(shape);
+    let layers = layer_bits.len();
+    let traces: Vec<ScheduleTrace> = layer_bits
+        .iter()
+        .map(|bits| scheduler.schedule_layer_mixed(shape, bits))
+        .collect();
     let ddr = DdrModel::from_config(config);
 
     // Host ↔ FPGA activation transfer: the embedding output goes in once and
@@ -70,31 +92,49 @@ pub fn estimate_latency(
     let host_io_cycles = 2 * ddr.transfer_cycles(act_bytes, 1);
 
     // In steady state consecutive layers overlap their trailing softmax/LN
-    // work with the next layer's matrix stages, so the per-layer period is
-    // the PE critical path; the trailing non-PE work is paid once at the end.
-    let cycles_per_layer = trace.pe_critical_cycles;
-    let trailing_cycles = trace.total_cycles - trace.pe_critical_cycles;
-    let total_cycles = cycles_per_layer * layers as u64 + trailing_cycles + host_io_cycles;
+    // work with the next layer's matrix stages, so each layer's period is
+    // its own PE critical path; the trailing non-PE work of the final layer
+    // is paid once at the end.
+    let pe_critical_sum: u64 = traces.iter().map(|t| t.pe_critical_cycles).sum();
+    let trailing_cycles = traces
+        .last()
+        .map(|t| t.total_cycles - t.pe_critical_cycles)
+        .unwrap_or(0);
+    let total_cycles = pe_critical_sum + trailing_cycles + host_io_cycles;
     let latency_ms = total_cycles as f64 / config.frequency_hz * 1e3;
 
     let macs_per_layer: u64 = crate::dataflow::layer_macs(shape);
     let effective_gmacs_per_sec =
         (macs_per_layer * layers as u64) as f64 / (latency_ms / 1e3) / 1e9;
 
+    let breakdown = LatencyBreakdown {
+        pe_cycles: traces.iter().map(|t| t.pe_busy_cycles).sum(),
+        softmax_cycles: traces.iter().map(|t| t.softmax_cycles).sum(),
+        ln_cycles: traces.iter().map(|t| t.ln_cycles).sum(),
+        dma_cycles: traces.iter().map(|t| t.dma_cycles).sum(),
+        dma_stall_cycles: traces.iter().map(|t| t.dma_stall_cycles).sum(),
+        host_io_cycles,
+    };
+    // Representative per-layer period and trace: the most expensive layer
+    // (for uniform stacks every layer is identical, preserving the uniform
+    // report exactly).
+    let layer_trace = traces
+        .iter()
+        .max_by_key(|t| t.pe_critical_cycles)
+        .cloned()
+        .unwrap_or_else(|| scheduler.schedule_layer(shape));
+
     LatencyReport {
         total_cycles,
         latency_ms,
-        cycles_per_layer,
-        layers,
-        breakdown: LatencyBreakdown {
-            pe_cycles: trace.pe_busy_cycles * layers as u64,
-            softmax_cycles: trace.softmax_cycles * layers as u64,
-            ln_cycles: trace.ln_cycles * layers as u64,
-            dma_cycles: trace.dma_cycles * layers as u64,
-            dma_stall_cycles: trace.dma_stall_cycles * layers as u64,
-            host_io_cycles,
+        cycles_per_layer: if layers == 0 {
+            0
+        } else {
+            pe_critical_sum / layers as u64
         },
-        layer_trace: trace,
+        layers,
+        breakdown,
+        layer_trace,
         effective_gmacs_per_sec,
     }
 }
@@ -165,6 +205,50 @@ mod tests {
         assert!(report.effective_gmacs_per_sec > 100.0);
         assert!(report.breakdown.pe_cycles <= report.total_cycles);
         assert_eq!(report.breakdown.dma_stall_cycles, 0);
+    }
+
+    #[test]
+    fn mixed_estimate_with_uniform_bits_matches_the_uniform_path() {
+        let shape = EncoderShape::bert_base();
+        for cfg in [
+            AcceleratorConfig::zcu102_n8_m16(),
+            AcceleratorConfig::zcu102_n16_m8(),
+            AcceleratorConfig::zcu111_n16_m16(),
+        ] {
+            let uniform = estimate_latency(&cfg, &shape, 12);
+            let bits = vec![LayerBits::uniform(cfg.weight_bits); 12];
+            let mixed = estimate_latency_mixed(&cfg, &shape, &bits);
+            assert_eq!(uniform, mixed);
+        }
+    }
+
+    #[test]
+    fn mixed_stacks_land_between_the_uniform_extremes() {
+        let cfg = AcceleratorConfig::zcu102_n8_m16();
+        let shape = EncoderShape::bert_base();
+        let w4 = estimate_latency_mixed(&cfg, &shape, &vec![LayerBits::uniform(4); 12]);
+        let w8 = estimate_latency_mixed(&cfg, &shape, &vec![LayerBits::uniform(8); 12]);
+        // Half the layers run their FFNs at 8 bits, the rest stay at 4.
+        let mut wide = LayerBits::uniform(4);
+        wide.ffn1 = 8;
+        wide.ffn2 = 8;
+        let mut bits = vec![LayerBits::uniform(4); 6];
+        bits.extend_from_slice(&[wide; 6]);
+        let mixed = estimate_latency_mixed(&cfg, &shape, &bits);
+        assert!(
+            w4.total_cycles < mixed.total_cycles && mixed.total_cycles < w8.total_cycles,
+            "w4 {} < mixed {} < w8 {} violated",
+            w4.total_cycles,
+            mixed.total_cycles,
+            w8.total_cycles
+        );
+        // The representative layer trace is the most expensive layer.
+        assert_eq!(
+            mixed.layer_trace.pe_critical_cycles,
+            Scheduler::new(cfg.clone())
+                .schedule_layer_mixed(&shape, &wide)
+                .pe_critical_cycles
+        );
     }
 
     #[test]

@@ -9,6 +9,16 @@
 //! Each stage is further divided into sub-stages so that only the weights of
 //! the next sub-stage have to be resident on chip — this is what makes the
 //! double-buffered weight streaming of the scheduler possible.
+//!
+//! The BIM's multipliers are natively 8b×4b (paper §III-B), so a weighted
+//! stage's execution mode follows its weight bit-width: weights of at most
+//! 4 bits run one MAC per multiplier, while wider weights are split into two
+//! nibbles and consume a multiplier pair per product — the same 8b×8b mode
+//! the activation×activation stages use, at half the MAC rate.
+//! [`encoder_layer_stages_mixed`] exposes this per site, which is what makes
+//! the cycle model sensitive to mixed-precision assignments.
+
+use fqbert_quant::LayerBits;
 
 /// Shape of the encoder layer being scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,23 +87,47 @@ impl EncoderStage {
     }
 }
 
+/// Execution mode of a weighted matrix stage at a given weight bit-width:
+/// up to 4-bit weights use the BIM's native 8b×4b multipliers; wider weights
+/// are nibble-split over a multiplier pair (the 8b×8b mode, half the rate).
+fn weighted_stage_kind(weight_bits: u32) -> StageKind {
+    if weight_bits <= 4 {
+        StageKind::MatmulAct8Weight4
+    } else {
+        StageKind::MatmulAct8Act8
+    }
+}
+
 /// Decomposes one encoder layer into the stages of Fig. 5.
 ///
 /// `weight_bits` is the storage width of the streamed weights (4 for
-/// FQ-BERT).
+/// FQ-BERT), applied uniformly to every weighted stage; see
+/// [`encoder_layer_stages_mixed`] for per-site widths.
 pub fn encoder_layer_stages(shape: &EncoderShape, weight_bits: u32) -> Vec<EncoderStage> {
+    encoder_layer_stages_mixed(shape, &LayerBits::uniform(weight_bits))
+}
+
+/// Decomposes one encoder layer into the stages of Fig. 5 with per-site
+/// weight bit-widths.
+///
+/// Each weighted stage streams its own `bits`-wide weights (fewer DMA bytes
+/// at lower widths) and runs in the BIM mode its width selects: ≤ 4-bit
+/// weights at the full 8b×4b MAC rate, wider weights nibble-split at the
+/// half-rate 8b×8b mode. The activation×activation stages (`Q·Kᵀ`,
+/// `Attn·V`) are unaffected by weight widths.
+pub fn encoder_layer_stages_mixed(shape: &EncoderShape, bits: &LayerBits) -> Vec<EncoderStage> {
     let s = shape.seq_len as u64;
     let h = shape.hidden as u64;
     let i = shape.intermediate as u64;
-    let wb = |params: u64| (params * u64::from(weight_bits)).div_ceil(8);
+    let wb = |params: u64, bits: u32| (params * u64::from(bits)).div_ceil(8);
 
     let mut stages = Vec::new();
-    for name in ["X·Wq", "X·Wk", "X·Wv"] {
+    for (name, bits) in [("X·Wq", bits.q), ("X·Wk", bits.k), ("X·Wv", bits.v)] {
         stages.push(EncoderStage::matmul(
             name,
-            StageKind::MatmulAct8Weight4,
+            weighted_stage_kind(bits),
             s * h * h,
-            wb(h * h),
+            wb(h * h, bits),
             s * h,
         ));
     }
@@ -120,9 +154,9 @@ pub fn encoder_layer_stages(shape: &EncoderShape, weight_bits: u32) -> Vec<Encod
     ));
     stages.push(EncoderStage::matmul(
         "O-proj",
-        StageKind::MatmulAct8Weight4,
+        weighted_stage_kind(bits.attn_output),
         s * h * h,
-        wb(h * h),
+        wb(h * h, bits.attn_output),
         s * h,
     ));
     stages.push(EncoderStage {
@@ -134,16 +168,16 @@ pub fn encoder_layer_stages(shape: &EncoderShape, weight_bits: u32) -> Vec<Encod
     });
     stages.push(EncoderStage::matmul(
         "FFN1",
-        StageKind::MatmulAct8Weight4,
+        weighted_stage_kind(bits.ffn1),
         s * h * i,
-        wb(h * i),
+        wb(h * i, bits.ffn1),
         s * i,
     ));
     stages.push(EncoderStage::matmul(
         "FFN2",
-        StageKind::MatmulAct8Weight4,
+        weighted_stage_kind(bits.ffn2),
         s * i * h,
-        wb(i * h),
+        wb(i * h, bits.ffn2),
         s * h,
     ));
     stages.push(EncoderStage {
@@ -224,6 +258,42 @@ mod tests {
                 _ => assert_eq!(stage.kind, StageKind::MatmulAct8Weight4),
             }
         }
+    }
+
+    #[test]
+    fn mixed_stages_with_uniform_bits_match_the_uniform_path() {
+        let shape = EncoderShape::bert_base();
+        for bits in [2u32, 4, 8] {
+            assert_eq!(
+                encoder_layer_stages_mixed(&shape, &LayerBits::uniform(bits)),
+                encoder_layer_stages(&shape, bits)
+            );
+        }
+    }
+
+    #[test]
+    fn wide_weights_run_in_the_half_rate_mode_and_stream_more_bytes() {
+        let shape = EncoderShape::bert_base();
+        let mut bits = LayerBits::uniform(4);
+        bits.ffn1 = 8;
+        bits.q = 2;
+        let stages = encoder_layer_stages_mixed(&shape, &bits);
+        let by_name = |name: &str| stages.iter().find(|s| s.name == name).unwrap();
+
+        // 8-bit FFN1 weights: nibble-split 8b×8b mode, twice the w4 bytes.
+        assert_eq!(by_name("FFN1").kind, StageKind::MatmulAct8Act8);
+        assert_eq!(
+            by_name("FFN1").weight_bytes,
+            (768 * 3072) as u64 // 8 bits per parameter
+        );
+        // 2-bit Q weights: still native 8b×4b mode, half the w4 bytes.
+        assert_eq!(by_name("X·Wq").kind, StageKind::MatmulAct8Weight4);
+        assert_eq!(by_name("X·Wq").weight_bytes, (768 * 768 / 4) as u64);
+        // Untouched sites keep the w4 profile.
+        assert_eq!(by_name("FFN2").kind, StageKind::MatmulAct8Weight4);
+        assert_eq!(by_name("FFN2").weight_bytes, (3072 * 768 / 2) as u64);
+        // MAC counts never depend on the weight width.
+        assert_eq!(by_name("FFN1").macs, (128u64) * 768 * 3072);
     }
 
     #[test]

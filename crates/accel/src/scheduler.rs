@@ -12,8 +12,9 @@
 //! critical path.
 
 use crate::config::AcceleratorConfig;
-use crate::dataflow::{encoder_layer_stages, EncoderShape, EncoderStage, StageKind};
+use crate::dataflow::{encoder_layer_stages_mixed, EncoderShape, EncoderStage, StageKind};
 use crate::memory::DdrModel;
+use fqbert_quant::LayerBits;
 
 /// Per-stage timing produced by the scheduler.
 #[derive(Debug, Clone, PartialEq)]
@@ -160,7 +161,15 @@ impl Scheduler {
     /// row by row, so the downstream matrix stage starts after a short
     /// pipeline latency rather than after the full vector completes.
     pub fn schedule_layer(&self, shape: &EncoderShape) -> ScheduleTrace {
-        let stages = encoder_layer_stages(shape, self.config.weight_bits);
+        self.schedule_layer_mixed(shape, &LayerBits::uniform(self.config.weight_bits))
+    }
+
+    /// Schedules one encoder layer whose six weighted sites carry their own
+    /// weight bit-widths (see
+    /// [`crate::dataflow::encoder_layer_stages_mixed`]). With uniform `bits`
+    /// this is exactly [`Scheduler::schedule_layer`] at that width.
+    pub fn schedule_layer_mixed(&self, shape: &EncoderShape, bits: &LayerBits) -> ScheduleTrace {
+        let stages = encoder_layer_stages_mixed(shape, bits);
         let mut timings = Vec::with_capacity(stages.len());
         let mut pe_free: u64 = 0;
         let mut load_free: u64 = 0;
@@ -318,6 +327,28 @@ mod tests {
         let trace = scheduler.schedule_layer(&EncoderShape::bert_base());
         assert!(trace.dma_stall_cycles > 0);
         assert!(trace.pe_utilization() < 0.9);
+    }
+
+    #[test]
+    fn wider_weights_cost_more_pe_cycles_per_layer() {
+        let scheduler = Scheduler::new(AcceleratorConfig::zcu111_n16_m16());
+        let shape = EncoderShape::bert_base();
+        let w4 = scheduler.schedule_layer_mixed(&shape, &LayerBits::uniform(4));
+        let w8 = scheduler.schedule_layer_mixed(&shape, &LayerBits::uniform(8));
+        let mut mixed_bits = LayerBits::uniform(4);
+        mixed_bits.ffn1 = 8;
+        mixed_bits.ffn2 = 8;
+        let mixed = scheduler.schedule_layer_mixed(&shape, &mixed_bits);
+        assert!(
+            w4.pe_critical_cycles < mixed.pe_critical_cycles
+                && mixed.pe_critical_cycles < w8.pe_critical_cycles,
+            "expected w4 {} < mixed {} < w8 {}",
+            w4.pe_critical_cycles,
+            mixed.pe_critical_cycles,
+            w8.pe_critical_cycles
+        );
+        // Uniform bits through the mixed path equal the uniform path.
+        assert_eq!(scheduler.schedule_layer(&shape), w4);
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Error type of the autotune crate.
+
+use std::fmt;
+
+/// Errors produced by bit-width search.
+#[derive(Debug)]
+pub enum AutotuneError {
+    /// A bit configuration is malformed (wrong arity, unsupported width,
+    /// unparsable text).
+    InvalidConfig(String),
+    /// The search cannot proceed (empty evaluation set, zero budget where
+    /// one is required, no feasible candidate).
+    Search(String),
+    /// An error from the integer model / conversion layer.
+    Core(fqbert_core::FqBertError),
+    /// An error from the runtime layer (artifact I/O, engine assembly).
+    Runtime(fqbert_runtime::RuntimeError),
+}
+
+impl fmt::Display for AutotuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid bit configuration: {msg}"),
+            Self::Search(msg) => write!(f, "search failed: {msg}"),
+            Self::Core(e) => write!(f, "model error: {e}"),
+            Self::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AutotuneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            Self::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fqbert_core::FqBertError> for AutotuneError {
+    fn from(e: fqbert_core::FqBertError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<fqbert_runtime::RuntimeError> for AutotuneError {
+    fn from(e: fqbert_runtime::RuntimeError) -> Self {
+        Self::Runtime(e)
+    }
+}
+
+/// Convenience result alias for autotune operations.
+pub type Result<T> = std::result::Result<T, AutotuneError>;

@@ -1,0 +1,281 @@
+//! The bit-width search loop.
+//!
+//! Two phases over the [`Autotuner`]'s oracles:
+//!
+//! 1. **Greedy descent from uniform w8** — sites are narrowed one at a time
+//!    in sensitivity order (least sensitive first, 8→4 then 4→2), keeping a
+//!    move only while accuracy stays at or above the floor. This is the
+//!    Q-BERT-style deterministic core.
+//! 2. **Evolutionary refinement** (optional) — a seeded hill climb that
+//!    mutates the incumbent at random sites and widths, escaping the greedy
+//!    order's local minimum while the evaluation budget lasts. All
+//!    randomness flows from the in-repo xoshiro generator, so a fixed seed
+//!    reproduces the search exactly.
+//!
+//! Every distinct evaluated configuration is recorded; the outcome carries
+//! the feasible optimum, the three uniform baselines, and the accuracy ×
+//! cycles Pareto front over everything the search looked at.
+
+use crate::config::BitConfig;
+use crate::error::{AutotuneError, Result};
+use crate::sensitivity::{profile, SensitivityReport};
+use crate::tuner::{Autotuner, Candidate, SEARCH_WIDTHS};
+use fqbert_quant::LAYER_SITES;
+use fqbert_tensor::RngSource;
+use std::collections::BTreeMap;
+
+/// Knobs of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchSettings {
+    /// Accuracy floor in percent. `None` derives it as the worse of the
+    /// uniform w4 and w8 accuracies — the tightest floor that is always
+    /// attainable, which guarantees the search beats uniform w8 cycles.
+    pub floor: Option<f64>,
+    /// Fresh candidate evaluations allowed in the greedy and refinement
+    /// phases combined (uniform baselines and sensitivity probes are billed
+    /// separately and re-used free of charge).
+    pub budget: usize,
+    /// Seed of the refinement RNG; the whole run is a pure function of
+    /// (model, calibration, eval set, settings).
+    pub seed: u64,
+    /// Whether to run the evolutionary refinement after the greedy descent.
+    pub refine: bool,
+}
+
+impl Default for SearchSettings {
+    fn default() -> Self {
+        Self {
+            floor: None,
+            budget: 48,
+            seed: 7,
+            refine: true,
+        }
+    }
+}
+
+/// Everything a search run produced.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Feasible configuration with the fewest simulated cycles (ties break
+    /// to higher accuracy, then fewer total weight bits).
+    pub best: Candidate,
+    /// The accuracy floor the search enforced (derived or user-set).
+    pub floor: f64,
+    /// Uniform baselines, one per [`SEARCH_WIDTHS`] entry (w2, w4, w8).
+    pub uniforms: Vec<Candidate>,
+    /// The per-site sensitivity profile that ordered the greedy descent.
+    pub sensitivity: SensitivityReport,
+    /// Every distinct configuration evaluated, in evaluation order.
+    pub evaluated: Vec<Candidate>,
+    /// Accuracy × cycles Pareto front over [`SearchOutcome::evaluated`],
+    /// sorted by ascending cycles.
+    pub front: Vec<Candidate>,
+}
+
+impl SearchOutcome {
+    /// The uniform baseline at `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not one of [`SEARCH_WIDTHS`].
+    pub fn uniform(&self, bits: u32) -> &Candidate {
+        let i = SEARCH_WIDTHS
+            .iter()
+            .position(|&w| w == bits)
+            .expect("bits must be a search width");
+        &self.uniforms[i]
+    }
+
+    /// Cycle speedup of the best configuration over uniform w8.
+    pub fn speedup_vs_w8(&self) -> f64 {
+        self.uniform(8).cycles as f64 / self.best.cycles as f64
+    }
+}
+
+/// Deduplicating evaluation cache: fresh evaluations are appended to
+/// `evaluated` and (beyond the seeded baselines) counted against the budget.
+struct Memo {
+    evaluated: Vec<Candidate>,
+    index: BTreeMap<String, usize>,
+    spent: usize,
+}
+
+impl Memo {
+    fn new() -> Self {
+        Self {
+            evaluated: Vec::new(),
+            index: BTreeMap::new(),
+            spent: 0,
+        }
+    }
+
+    fn seed(&mut self, candidate: Candidate) {
+        let key = candidate.config.to_string();
+        if !self.index.contains_key(&key) {
+            self.index.insert(key, self.evaluated.len());
+            self.evaluated.push(candidate);
+        }
+    }
+
+    fn contains(&self, config: &BitConfig) -> bool {
+        self.index.contains_key(&config.to_string())
+    }
+
+    fn eval(&mut self, tuner: &Autotuner, config: &BitConfig) -> Result<Candidate> {
+        let key = config.to_string();
+        if let Some(&i) = self.index.get(&key) {
+            return Ok(self.evaluated[i].clone());
+        }
+        let candidate = tuner.evaluate(config)?;
+        self.spent += 1;
+        self.index.insert(key, self.evaluated.len());
+        self.evaluated.push(candidate.clone());
+        Ok(candidate)
+    }
+}
+
+/// `a` strictly better than `b` for the feasible objective.
+fn better(a: &Candidate, b: &Candidate) -> bool {
+    (a.cycles, -a.accuracy, a.config.total_bits()) < (b.cycles, -b.accuracy, b.config.total_bits())
+}
+
+/// Non-dominated subset of `candidates`, sorted by ascending cycles.
+pub fn pareto_front(candidates: &[Candidate]) -> Vec<Candidate> {
+    let mut sorted: Vec<&Candidate> = candidates.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.cycles
+            .cmp(&b.cycles)
+            .then(b.accuracy.total_cmp(&a.accuracy))
+    });
+    let mut front: Vec<Candidate> = Vec::new();
+    let mut best_accuracy = f64::NEG_INFINITY;
+    for c in sorted {
+        if c.accuracy > best_accuracy {
+            best_accuracy = c.accuracy;
+            front.push(c.clone());
+        }
+    }
+    front
+}
+
+/// Runs the full search: uniform baselines → sensitivity profile → greedy
+/// descent → optional evolutionary refinement.
+///
+/// # Errors
+///
+/// Propagates evaluation errors, and returns [`AutotuneError::Search`] when
+/// no evaluated configuration reaches the accuracy floor (only possible with
+/// a user-supplied floor above every uniform baseline).
+pub fn search(tuner: &Autotuner, settings: &SearchSettings) -> Result<SearchOutcome> {
+    let layers = tuner.num_layers();
+    let mut memo = Memo::new();
+
+    let uniforms: Vec<Candidate> = SEARCH_WIDTHS
+        .iter()
+        .map(|&bits| memo.eval(tuner, &BitConfig::uniform(layers, bits)))
+        .collect::<Result<_>>()?;
+    let floor = settings.floor.unwrap_or_else(|| {
+        let w4 = &uniforms[1];
+        let w8 = &uniforms[2];
+        w4.accuracy.min(w8.accuracy)
+    });
+
+    // Sensitivity probes double as the greedy descent's first-step
+    // evaluations, so seed them into the cache (cycles are analytic and
+    // match what `Autotuner::evaluate` would report).
+    let sensitivity = profile(tuner, 8, 4)?;
+    for site in &sensitivity.sites {
+        let mut config = BitConfig::uniform(layers, 8);
+        config.set(site.layer * LAYER_SITES + site.site, 4);
+        let cycles = tuner.oracle().cycles(&config);
+        memo.seed(Candidate {
+            config,
+            accuracy: site.accuracy,
+            cycles,
+        });
+    }
+    memo.spent = 0; // the budget covers greedy + refinement only
+
+    // Greedy descent: narrow sites least-sensitive-first, 8→4 then 4→2,
+    // keeping every move that holds the floor.
+    let order = sensitivity.descent_order();
+    let mut current = BitConfig::uniform(layers, 8);
+    for narrow_to in [4u32, 2u32] {
+        for &site in &order {
+            if memo.spent >= settings.budget {
+                break;
+            }
+            if current.get(site) <= narrow_to {
+                continue;
+            }
+            let mut trial = current.clone();
+            trial.set(site, narrow_to);
+            if memo.eval(tuner, &trial)?.accuracy >= floor {
+                current = trial;
+            }
+        }
+    }
+
+    let best_of = |memo: &Memo| -> Option<Candidate> {
+        memo.evaluated.iter().filter(|c| c.accuracy >= floor).fold(
+            None,
+            |best: Option<Candidate>, c| match best {
+                Some(b) if !better(c, &b) => Some(b),
+                _ => Some(c.clone()),
+            },
+        )
+    };
+
+    // Evolutionary refinement: seeded hill climb around the incumbent,
+    // occasionally restarting from another feasible front member.
+    if settings.refine {
+        let mut rng = RngSource::seed_from_u64(settings.seed);
+        let mut parent = best_of(&memo)
+            .map(|c| c.config)
+            .unwrap_or_else(|| current.clone());
+        let mut misses = 0usize;
+        while memo.spent < settings.budget && misses < 4 * settings.budget {
+            let mut trial = parent.clone();
+            let mutations = 1 + (rng.next_u64() % 2) as usize;
+            for _ in 0..mutations {
+                let site = rng.usize_in(0, tuner.num_sites());
+                let width = SEARCH_WIDTHS[rng.usize_in(0, SEARCH_WIDTHS.len())];
+                trial.set(site, width);
+            }
+            if memo.contains(&trial) {
+                misses += 1;
+                continue;
+            }
+            let incumbent = best_of(&memo);
+            let candidate = memo.eval(tuner, &trial)?;
+            let improved = candidate.accuracy >= floor
+                && incumbent.as_ref().is_none_or(|b| better(&candidate, b));
+            if improved {
+                parent = candidate.config.clone();
+            } else if rng.bool_with(0.25) {
+                // Diversify: restart from a random feasible front member.
+                let front = pareto_front(&memo.evaluated);
+                let feasible: Vec<&Candidate> =
+                    front.iter().filter(|c| c.accuracy >= floor).collect();
+                if !feasible.is_empty() {
+                    parent = feasible[rng.usize_in(0, feasible.len())].config.clone();
+                }
+            }
+        }
+    }
+
+    let best = best_of(&memo).ok_or_else(|| {
+        AutotuneError::Search(format!(
+            "no evaluated configuration reaches the accuracy floor {floor:.2}%"
+        ))
+    })?;
+    let front = pareto_front(&memo.evaluated);
+    Ok(SearchOutcome {
+        best,
+        floor,
+        uniforms,
+        sensitivity,
+        evaluated: memo.evaluated,
+        front,
+    })
+}

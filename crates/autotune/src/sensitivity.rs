@@ -1,0 +1,90 @@
+//! Per-site sensitivity profiling.
+//!
+//! Q-BERT ranks layers by Hessian spectrum; without second-order machinery
+//! the standard stand-in (and what this profiler implements) is the measured
+//! accuracy degradation when a single site drops precision while everything
+//! else stays wide. The resulting ranking — least sensitive first — is the
+//! descent order of the greedy search: sites whose precision is free to cut
+//! are cut first.
+
+use crate::config::BitConfig;
+use crate::error::Result;
+use crate::tuner::Autotuner;
+use fqbert_quant::{LAYER_SITES, LAYER_SITE_NAMES};
+
+/// Accuracy impact of narrowing one site in isolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteSensitivity {
+    /// Encoder layer index.
+    pub layer: usize,
+    /// Site index within the layer ([`LAYER_SITE_NAMES`] order).
+    pub site: usize,
+    /// Human-readable site name, e.g. `ffn1`.
+    pub site_name: &'static str,
+    /// Accuracy (percent) with only this site narrowed.
+    pub accuracy: f64,
+    /// Baseline accuracy minus [`SiteSensitivity::accuracy`]; negative when
+    /// narrowing happened to help.
+    pub accuracy_drop: f64,
+}
+
+/// The full profile: one measurement per site, least sensitive first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityReport {
+    /// Accuracy (percent) of the all-wide reference configuration.
+    pub baseline_accuracy: f64,
+    /// Width every site was held at while one site was narrowed.
+    pub from_bits: u32,
+    /// Width the probed site was narrowed to.
+    pub probe_bits: u32,
+    /// Per-site measurements sorted by ascending accuracy drop (ties broken
+    /// by layer then site index, so the order is deterministic).
+    pub sites: Vec<SiteSensitivity>,
+}
+
+impl SensitivityReport {
+    /// Flat site indices in descent order (least sensitive first).
+    pub fn descent_order(&self) -> Vec<usize> {
+        self.sites
+            .iter()
+            .map(|s| s.layer * LAYER_SITES + s.site)
+            .collect()
+    }
+}
+
+/// Measures every site's isolated accuracy drop when narrowed from
+/// `from_bits` to `probe_bits`, starting from the uniform `from_bits`
+/// configuration. Costs `num_sites + 1` evaluations.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn profile(tuner: &Autotuner, from_bits: u32, probe_bits: u32) -> Result<SensitivityReport> {
+    let layers = tuner.num_layers();
+    let baseline = tuner.evaluate(&BitConfig::uniform(layers, from_bits))?;
+    let mut sites = Vec::with_capacity(tuner.num_sites());
+    for layer in 0..layers {
+        for (site, site_name) in LAYER_SITE_NAMES.iter().enumerate() {
+            let mut config = BitConfig::uniform(layers, from_bits);
+            config.set(layer * LAYER_SITES + site, probe_bits);
+            let candidate = tuner.evaluate(&config)?;
+            sites.push(SiteSensitivity {
+                layer,
+                site,
+                site_name,
+                accuracy: candidate.accuracy,
+                accuracy_drop: baseline.accuracy - candidate.accuracy,
+            });
+        }
+    }
+    // total_cmp gives a deterministic order even with equal drops; the
+    // (layer, site) construction order above is the tiebreaker because
+    // sort_by is stable.
+    sites.sort_by(|a, b| a.accuracy_drop.total_cmp(&b.accuracy_drop));
+    Ok(SensitivityReport {
+        baseline_accuracy: baseline.accuracy,
+        from_bits,
+        probe_bits,
+        sites,
+    })
+}

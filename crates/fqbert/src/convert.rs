@@ -11,6 +11,7 @@ use crate::int_model::{IntBertModel, IntEncoderLayer, LayerScales};
 use crate::qat::QatHook;
 use crate::{FqBertError, Result};
 use fqbert_bert::{BertModel, Site, SiteKind};
+use fqbert_quant::LayerBits;
 
 /// Converts a calibrated float model into the integer-only FQ-BERT model.
 ///
@@ -21,8 +22,33 @@ use fqbert_bert::{BertModel, Site, SiteKind};
 /// forward pass first), or a quantization error if a weight tensor is
 /// degenerate.
 pub fn convert(model: &BertModel, hook: &QatHook) -> Result<IntBertModel> {
+    let bits = vec![LayerBits::uniform(hook.config().weight_bits); model.config().layers];
+    convert_mixed(model, hook, &bits)
+}
+
+/// Converts a calibrated float model into an integer model whose layer `l`
+/// uses the per-site weight bit-widths `bits[l]` (the mixed-precision
+/// counterpart of [`convert`]). The model-level headline width is the widest
+/// site anywhere in the stack.
+///
+/// # Errors
+///
+/// As for [`convert`], plus [`FqBertError::InvalidArgument`] when `bits` does
+/// not have one entry per encoder layer or contains an unsupported width.
+pub fn convert_mixed(
+    model: &BertModel,
+    hook: &QatHook,
+    bits: &[LayerBits],
+) -> Result<IntBertModel> {
     let cfg = model.config().clone();
     let quant_cfg = hook.config();
+    if bits.len() != cfg.layers {
+        return Err(FqBertError::InvalidArgument(format!(
+            "bit assignment covers {} layers, model has {}",
+            bits.len(),
+            cfg.layers
+        )));
+    }
     let scale_at = |site: Site| -> Result<f32> {
         hook.activation_scale(site)
             .filter(|s| s.is_finite() && *s > 0.0)
@@ -31,7 +57,7 @@ pub fn convert(model: &BertModel, hook: &QatHook) -> Result<IntBertModel> {
 
     let embedding_out_scale = scale_at(Site::global(SiteKind::EmbeddingOutput))?;
     let mut layers = Vec::with_capacity(cfg.layers);
-    for l in 0..cfg.layers {
+    for (l, layer_bits) in bits.iter().enumerate() {
         let input = if l == 0 {
             embedding_out_scale
         } else {
@@ -48,17 +74,22 @@ pub fn convert(model: &BertModel, hook: &QatHook) -> Result<IntBertModel> {
             ffn_hidden: scale_at(Site::layer(l, SiteKind::FfnHidden))?,
             ffn_output: scale_at(Site::layer(l, SiteKind::FfnOutput))?,
         };
-        layers.push(IntEncoderLayer::from_float(
+        layers.push(IntEncoderLayer::from_float_mixed(
             &model.encoder_layers[l],
             cfg.heads,
             cfg.head_dim(),
-            quant_cfg.weight_bits,
+            layer_bits,
             quant_cfg.tune_weight_clip,
             &scales,
             cfg.layer_norm_eps,
         )?);
     }
 
+    let headline_bits = bits
+        .iter()
+        .map(LayerBits::max_bits)
+        .max()
+        .unwrap_or(quant_cfg.weight_bits);
     Ok(IntBertModel::from_parts(
         cfg,
         model.word_embeddings.clone(),
@@ -70,7 +101,7 @@ pub fn convert(model: &BertModel, hook: &QatHook) -> Result<IntBertModel> {
         model.classifier.bias.clone(),
         embedding_out_scale,
         layers,
-        quant_cfg.weight_bits,
+        headline_bits,
     ))
 }
 
@@ -165,6 +196,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn mixed_conversion_assigns_per_site_widths() {
+        let model = BertModel::new(BertConfig::tiny(30, 12, 2), 4);
+        let examples: Vec<Example> = (0..8)
+            .map(|i| example(&[2, 4 + i % 10, 5 + (i * 3) % 10, 7, 3]))
+            .collect();
+        let hook = calibrated(&model, QuantConfig::fq_bert(), &examples);
+
+        let mut wide = LayerBits::uniform(4);
+        wide.ffn1 = 8;
+        let bits = vec![wide, LayerBits::uniform(4)];
+        let int_model = convert_mixed(&model, &hook, &bits).expect("mixed conversion");
+
+        assert_eq!(int_model.layer_bit_widths(), bits);
+        assert_eq!(
+            int_model.weight_bits(),
+            8,
+            "headline width is the widest site"
+        );
+        assert_eq!(int_model.bit_summary(), "w4-8[0]/w4[1]");
+
+        let uniform = convert(&model, &hook).unwrap();
+        assert_eq!(uniform.bit_summary(), "w4");
+        assert_eq!(
+            convert_mixed(&model, &hook, &[LayerBits::uniform(4); 2]).unwrap(),
+            uniform,
+            "uniform assignment matches the uniform converter"
+        );
+
+        // Wrong layer count and out-of-range widths are rejected.
+        assert!(convert_mixed(&model, &hook, &[wide]).is_err());
+        let mut bad = LayerBits::uniform(4);
+        bad.k = 1;
+        assert!(convert_mixed(&model, &hook, &[bad, bad]).is_err());
     }
 
     #[test]

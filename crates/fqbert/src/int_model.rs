@@ -18,7 +18,9 @@
 
 use crate::{FqBertError, Result};
 use fqbert_bert::BertConfig;
-use fqbert_quant::{quantize_bias, QuantParams, QuantizedLayerNorm, Requantizer, SoftmaxLut};
+use fqbert_quant::{
+    quantize_bias, LayerBits, QuantParams, QuantizedLayerNorm, Requantizer, SoftmaxLut,
+};
 use fqbert_tensor::gemm::{gemm_i8_fused, GemmScratch, PackedWeights};
 use fqbert_tensor::ops::{argmax_slice, gelu_scalar};
 use fqbert_tensor::{IntTensor, Tensor};
@@ -332,7 +334,38 @@ impl IntEncoderLayer {
         scales: &LayerScales,
         layer_norm_eps: f32,
     ) -> Result<Self> {
-        let clip = |w: &Tensor| -> Result<Option<f32>> {
+        Self::from_float_mixed(
+            layer,
+            heads,
+            head_dim,
+            &LayerBits::uniform(weight_bits),
+            tune_clip,
+            scales,
+            layer_norm_eps,
+        )
+    }
+
+    /// Quantizes one float encoder layer with per-site weight bit-widths
+    /// (the mixed-precision counterpart of [`IntEncoderLayer::from_float`]).
+    /// Clip tuning, when enabled, is performed per site at that site's
+    /// width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any scale is invalid, a weight has no range, or
+    /// `bits` contains an unsupported width.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_float_mixed(
+        layer: &fqbert_bert::layers::EncoderLayerParams,
+        heads: usize,
+        head_dim: usize,
+        bits: &LayerBits,
+        tune_clip: bool,
+        scales: &LayerScales,
+        layer_norm_eps: f32,
+    ) -> Result<Self> {
+        bits.validate().map_err(FqBertError::InvalidArgument)?;
+        let clip = |w: &Tensor, weight_bits: u32| -> Result<Option<f32>> {
             if tune_clip {
                 Ok(Some(
                     fqbert_quant::tune_clip_threshold(w, weight_bits, 40)?.clip,
@@ -344,24 +377,24 @@ impl IntEncoderLayer {
         let query = IntLinear::from_float(
             &layer.query.weight,
             &layer.query.bias,
-            weight_bits,
-            clip(&layer.query.weight)?,
+            bits.q,
+            clip(&layer.query.weight, bits.q)?,
             scales.input,
             scales.q,
         )?;
         let key = IntLinear::from_float(
             &layer.key.weight,
             &layer.key.bias,
-            weight_bits,
-            clip(&layer.key.weight)?,
+            bits.k,
+            clip(&layer.key.weight, bits.k)?,
             scales.input,
             scales.k,
         )?;
         let value = IntLinear::from_float(
             &layer.value.weight,
             &layer.value.bias,
-            weight_bits,
-            clip(&layer.value.weight)?,
+            bits.v,
+            clip(&layer.value.weight, bits.v)?,
             scales.input,
             scales.v,
         )?;
@@ -370,24 +403,24 @@ impl IntEncoderLayer {
         let attn_output = IntLinear::from_float(
             &layer.attn_output.weight,
             &layer.attn_output.bias,
-            weight_bits,
-            clip(&layer.attn_output.weight)?,
+            bits.attn_output,
+            clip(&layer.attn_output.weight, bits.attn_output)?,
             scales.v,
             scales.attn_output,
         )?;
         let ffn1 = IntLinear::from_float(
             &layer.ffn1.weight,
             &layer.ffn1.bias,
-            weight_bits,
-            clip(&layer.ffn1.weight)?,
+            bits.ffn1,
+            clip(&layer.ffn1.weight, bits.ffn1)?,
             scales.layer_norm,
             scales.ffn_hidden,
         )?;
         let ffn2 = IntLinear::from_float(
             &layer.ffn2.weight,
             &layer.ffn2.bias,
-            weight_bits,
-            clip(&layer.ffn2.weight)?,
+            bits.ffn2,
+            clip(&layer.ffn2.weight, bits.ffn2)?,
             scales.ffn_hidden,
             scales.ffn_output,
         )?;
@@ -510,6 +543,18 @@ impl IntEncoderLayer {
             layer_norm: self.ln_out_scale,
             ffn_hidden: self.gelu.output_scale(),
             ffn_output: self.ffn_out_scale,
+        }
+    }
+
+    /// The weight bit-widths of the six matrix sites of this layer.
+    pub fn weight_bit_widths(&self) -> LayerBits {
+        LayerBits {
+            q: self.query.weight_bits(),
+            k: self.key.weight_bits(),
+            v: self.value.weight_bits(),
+            attn_output: self.attn_output.weight_bits(),
+            ffn1: self.ffn1.weight_bits(),
+            ffn2: self.ffn2.weight_bits(),
         }
     }
 
@@ -738,9 +783,58 @@ impl IntBertModel {
         &self.config
     }
 
-    /// Weight bit-width of the encoder matrices.
+    /// Weight bit-width of the encoder matrices. For a mixed-precision model
+    /// this is the widest site anywhere in the stack (the storage-format
+    /// headline width); see [`IntBertModel::layer_bit_widths`] for the
+    /// per-site truth.
     pub fn weight_bits(&self) -> u32 {
         self.weight_bits
+    }
+
+    /// Per-layer, per-site weight bit-widths of the encoder stack.
+    pub fn layer_bit_widths(&self) -> Vec<LayerBits> {
+        self.layers
+            .iter()
+            .map(IntEncoderLayer::weight_bit_widths)
+            .collect()
+    }
+
+    /// Compact human-readable summary of the weight bit-widths, e.g. `w4`
+    /// for a uniform model or `w4[0-5]/w8[6-11]` when runs of consecutive
+    /// layers differ. A layer whose sites are themselves mixed is labelled
+    /// with its width range (`w4-8`).
+    pub fn bit_summary(&self) -> String {
+        let labels: Vec<String> = self
+            .layers
+            .iter()
+            .map(|layer| {
+                let bits = layer.weight_bit_widths();
+                match bits.uniform_bits() {
+                    Some(b) => format!("w{b}"),
+                    None => format!("w{}-{}", bits.min_bits(), bits.max_bits()),
+                }
+            })
+            .collect();
+        if labels.is_empty() {
+            return format!("w{}", self.weight_bits);
+        }
+        if labels.iter().all(|l| l == &labels[0]) {
+            return labels[0].clone();
+        }
+        let mut groups: Vec<String> = Vec::new();
+        let mut start = 0;
+        for end in 1..=labels.len() {
+            if end == labels.len() || labels[end] != labels[start] {
+                let range = if end - start == 1 {
+                    format!("[{start}]")
+                } else {
+                    format!("[{start}-{}]", end - 1)
+                };
+                groups.push(format!("{}{range}", labels[start]));
+                start = end;
+            }
+        }
+        groups.join("/")
     }
 
     /// Scale at which the embedding output is handed to the encoder.

@@ -25,7 +25,7 @@ pub mod int_model;
 pub mod qat;
 
 pub use compression::CompressionReport;
-pub use convert::convert;
+pub use convert::{convert, convert_mixed};
 pub use error::FqBertError;
 pub use eval::{evaluate_int_model, evaluate_with_hook};
 pub use int_model::{IntBertModel, IntEncoderLayer, IntLinear};

@@ -145,6 +145,125 @@ impl Default for QuantConfig {
     }
 }
 
+/// Names of the six weight-bearing matrix sites of one encoder layer, in
+/// dataflow order (Fig. 5): the Q/K/V projections, the attention output
+/// projection, and the two FFN matrices. Indexes match
+/// [`LayerBits::as_array`].
+pub const LAYER_SITE_NAMES: [&str; LAYER_SITES] = ["q", "k", "v", "attn_output", "ffn1", "ffn2"];
+
+/// Number of weight-bearing matrix sites per encoder layer.
+pub const LAYER_SITES: usize = 6;
+
+/// Per-site weight bit-widths of one encoder layer — the unit of mixed
+/// precision. A uniform model assigns the same width everywhere; Q-BERT-style
+/// mixed precision (PAPERS.md) assigns each site its own width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerBits {
+    /// Query projection weight bits.
+    pub q: u32,
+    /// Key projection weight bits.
+    pub k: u32,
+    /// Value projection weight bits.
+    pub v: u32,
+    /// Attention output projection weight bits.
+    pub attn_output: u32,
+    /// First FFN projection weight bits.
+    pub ffn1: u32,
+    /// Second FFN projection weight bits.
+    pub ffn2: u32,
+}
+
+impl LayerBits {
+    /// Every site at the same width.
+    pub fn uniform(bits: u32) -> Self {
+        Self {
+            q: bits,
+            k: bits,
+            v: bits,
+            attn_output: bits,
+            ffn1: bits,
+            ffn2: bits,
+        }
+    }
+
+    /// The six widths in [`LAYER_SITE_NAMES`] order.
+    pub fn as_array(&self) -> [u32; LAYER_SITES] {
+        [
+            self.q,
+            self.k,
+            self.v,
+            self.attn_output,
+            self.ffn1,
+            self.ffn2,
+        ]
+    }
+
+    /// Builds from the six widths in [`LAYER_SITE_NAMES`] order.
+    pub fn from_array(bits: [u32; LAYER_SITES]) -> Self {
+        Self {
+            q: bits[0],
+            k: bits[1],
+            v: bits[2],
+            attn_output: bits[3],
+            ffn1: bits[4],
+            ffn2: bits[5],
+        }
+    }
+
+    /// The width of site `index` (in [`LAYER_SITE_NAMES`] order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= LAYER_SITES`.
+    pub fn get(&self, index: usize) -> u32 {
+        self.as_array()[index]
+    }
+
+    /// Sets the width of site `index` (in [`LAYER_SITE_NAMES`] order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= LAYER_SITES`.
+    pub fn set(&mut self, index: usize, bits: u32) {
+        let mut a = self.as_array();
+        a[index] = bits;
+        *self = Self::from_array(a);
+    }
+
+    /// Smallest width across the six sites.
+    pub fn min_bits(&self) -> u32 {
+        self.as_array().into_iter().min().unwrap_or(0)
+    }
+
+    /// Largest width across the six sites.
+    pub fn max_bits(&self) -> u32 {
+        self.as_array().into_iter().max().unwrap_or(0)
+    }
+
+    /// `Some(bits)` when every site shares one width, `None` when mixed.
+    pub fn uniform_bits(&self) -> Option<u32> {
+        let a = self.as_array();
+        a[1..].iter().all(|&b| b == a[0]).then_some(a[0])
+    }
+
+    /// Checks every site is in the representable weight range (2..=8 bits,
+    /// the same range [`QuantConfig`] and the accelerator accept).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range site.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, bits) in LAYER_SITE_NAMES.iter().zip(self.as_array()) {
+            if !(2..=8).contains(&bits) {
+                return Err(format!(
+                    "site `{name}` has weight bits {bits}, expected 2..=8"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +303,36 @@ mod tests {
         assert_eq!(cfg.bits(PartBits::Weights), 2);
         assert!(!cfg.tune_weight_clip);
         assert_eq!(cfg.raw_weight_compression(), 16.0);
+    }
+
+    #[test]
+    fn layer_bits_round_trip_and_uniformity() {
+        let uniform = LayerBits::uniform(4);
+        assert_eq!(uniform.uniform_bits(), Some(4));
+        assert_eq!(uniform.min_bits(), 4);
+        assert_eq!(uniform.max_bits(), 4);
+        assert!(uniform.validate().is_ok());
+
+        let mut mixed = uniform;
+        mixed.set(4, 8); // ffn1 → w8
+        assert_eq!(mixed.ffn1, 8);
+        assert_eq!(mixed.get(4), 8);
+        assert_eq!(mixed.uniform_bits(), None);
+        assert_eq!(mixed.min_bits(), 4);
+        assert_eq!(mixed.max_bits(), 8);
+        assert_eq!(LayerBits::from_array(mixed.as_array()), mixed);
+    }
+
+    #[test]
+    fn layer_bits_validation_rejects_out_of_range_sites() {
+        let mut bits = LayerBits::uniform(4);
+        bits.k = 1;
+        let err = bits
+            .validate()
+            .expect_err("1-bit weights are not supported");
+        assert!(err.contains("`k`"), "{err}");
+        bits.k = 16;
+        assert!(bits.validate().is_err());
     }
 
     #[test]

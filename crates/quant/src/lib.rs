@@ -49,7 +49,7 @@ pub mod scheme;
 pub mod softmax_lut;
 
 pub use bias::quantize_bias;
-pub use bitwidth::{PartBits, QuantConfig};
+pub use bitwidth::{LayerBits, PartBits, QuantConfig, LAYER_SITES, LAYER_SITE_NAMES};
 pub use clip::tune_clip_threshold;
 pub use error::QuantError;
 pub use fixedpoint::Fixed;

@@ -253,7 +253,9 @@ impl SimBackend {
         &self.accel
     }
 
-    /// Cycle-model latency of one sequence of `seq_len` tokens.
+    /// Cycle-model latency of one sequence of `seq_len` tokens, charged at
+    /// the per-layer, per-site weight bit-widths the wrapped model actually
+    /// carries (so mixed-precision artifacts are priced faithfully).
     pub fn latency_of(&self, seq_len: usize) -> cycle_model::LatencyReport {
         let cfg = self.int.config();
         let shape = EncoderShape {
@@ -262,7 +264,8 @@ impl SimBackend {
             intermediate: cfg.intermediate,
             heads: cfg.heads,
         };
-        cycle_model::estimate_latency(&self.accel, &shape, cfg.layers)
+        let bits = self.int.model.layer_bit_widths();
+        cycle_model::estimate_latency_mixed(&self.accel, &shape, &bits)
     }
 
     /// Attaches the cycle-model cost of every sequence in `batch` to `out`.

@@ -291,12 +291,14 @@ impl Client {
     }
 
     /// Lists the server's registered models as
-    /// `(name, task, backend, precision)` tuples.
+    /// `(name, task, backend, precision, bits)` tuples, where `bits` is the
+    /// per-layer weight bit-width summary (e.g. `w4[0-5]/w8[6-11]`).
     ///
     /// # Errors
     ///
     /// Propagates socket and protocol errors.
-    pub fn list_models(&mut self) -> Result<Vec<(String, String, String, String)>> {
+    #[allow(clippy::type_complexity)]
+    pub fn list_models(&mut self) -> Result<Vec<(String, String, String, String, String)>> {
         let value = self.roundtrip(&Json::obj([("cmd", Json::str("list_models"))]))?;
         let models = value
             .get("models")
@@ -316,6 +318,7 @@ impl Client {
                     field("task")?,
                     field("backend")?,
                     field("precision")?,
+                    field("bits")?,
                 ))
             })
             .collect()

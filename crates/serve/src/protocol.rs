@@ -239,6 +239,7 @@ pub fn models_frame(infos: &[ModelInfo]) -> Json {
                         ("task", Json::str(&info.task)),
                         ("backend", Json::str(&info.backend)),
                         ("precision", Json::str(&info.precision)),
+                        ("bits", Json::str(&info.bits)),
                         ("num_classes", Json::Num(info.num_classes as f64)),
                         ("threads", Json::Num(info.threads as f64)),
                     ])

@@ -121,6 +121,9 @@ pub struct ModelInfo {
     pub backend: String,
     /// Numeric precision (e.g. `w4/a8`).
     pub precision: String,
+    /// Per-layer weight bit-width summary (e.g. `w4[0-5]/w8[6-11]`, or a
+    /// bare `w4` when every layer matches); `fp32` for the float backend.
+    pub bits: String,
     /// Number of output classes.
     pub num_classes: usize,
     /// Worker threads the engine shards batches across (1 = serial).
@@ -224,6 +227,11 @@ impl ModelRegistry {
                 task: engine.task().to_string(),
                 backend: engine.backend().name().to_string(),
                 precision: engine.backend().precision().to_string(),
+                bits: engine
+                    .backend()
+                    .int_model()
+                    .map(|model| model.bit_summary())
+                    .unwrap_or_else(|| "fp32".to_string()),
                 num_classes: engine.task().num_classes(),
                 threads: engine.threads(),
             })

@@ -49,10 +49,14 @@ fn server_round_trip_with_concurrent_clients_and_graceful_shutdown() {
     let mut client = Client::connect(addr).expect("connect");
     client.ping().expect("ping");
     let models = client.list_models().expect("list_models");
-    let names: Vec<&str> = models.iter().map(|(n, _, _, _)| n.as_str()).collect();
+    let names: Vec<&str> = models.iter().map(|(n, _, _, _, _)| n.as_str()).collect();
     assert_eq!(names, vec!["sst2-sim", "sst2-w4", "sst2-w8"]);
-    let precisions: Vec<&str> = models.iter().map(|(_, _, _, p)| p.as_str()).collect();
+    let precisions: Vec<&str> = models.iter().map(|(_, _, _, p, _)| p.as_str()).collect();
     assert!(precisions.contains(&"w4/a8") && precisions.contains(&"w8/a8"));
+    // The per-layer bit summary collapses to a single label for uniform
+    // models; mixed-precision artifacts report runs like `w4[0-5]/w8[6-11]`.
+    let bits: Vec<&str> = models.iter().map(|(_, _, _, _, b)| b.as_str()).collect();
+    assert!(bits.contains(&"w4") && bits.contains(&"w8"));
 
     // Concurrent clients across the two bit-widths: every request must be
     // answered on the model it addressed.

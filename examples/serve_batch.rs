@@ -63,8 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("server listening on {addr}\n");
 
     let mut client = Client::connect(addr)?;
-    for (name, task_name, backend, precision) in client.list_models()? {
-        println!("  model {name:<10} task {task_name:<7} backend {backend:<5} {precision}");
+    for (name, task_name, backend, precision, bits) in client.list_models()? {
+        println!(
+            "  model {name:<10} task {task_name:<7} backend {backend:<5} {precision} bits {bits}"
+        );
     }
     println!();
 
