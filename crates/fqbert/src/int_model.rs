@@ -35,6 +35,8 @@ const PROB_LEVELS: u32 = 255;
 /// therefore also at artifact-load time), into the blocked panel layout of
 /// [`fqbert_tensor::gemm`], so every forward pass runs the cache-friendly
 /// kernel with the bias add and requantization fused into its epilogue.
+// fqlint::allow(float-escape): the stored scales are per-tensor calibration
+// metadata carried for conversion and inspection; `forward` is integer-only.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IntLinear {
     weight: IntTensor<i8>,
@@ -57,6 +59,8 @@ impl IntLinear {
     ///
     /// Returns an error if the weight tensor has no dynamic range or a scale
     /// is invalid.
+    // fqlint::allow(float-escape): conversion-time boundary — float weights
+    // enter here once and leave as integer codes plus a fixed-point requant.
     pub fn from_float(
         weight: &Tensor,
         bias: &Tensor,
@@ -92,6 +96,8 @@ impl IntLinear {
     /// # Errors
     ///
     /// Returns an error if the shapes are inconsistent or a scale is invalid.
+    // fqlint::allow(float-escape): load-time boundary — rebuilds the layer
+    // from stored codes and float scale metadata read from the artifact.
     pub fn from_quantized(
         weight: IntTensor<i8>,
         bias: IntTensor<i32>,
@@ -139,16 +145,22 @@ impl IntLinear {
     }
 
     /// Activation scale expected at the input.
+    // fqlint::allow(float-escape): scale-metadata accessor for conversion
+    // and artifact serialization; not on the forward path.
     pub fn input_scale(&self) -> f32 {
         self.input_scale
     }
 
     /// Activation scale produced at the output.
+    // fqlint::allow(float-escape): scale-metadata accessor for conversion
+    // and artifact serialization; not on the forward path.
     pub fn output_scale(&self) -> f32 {
         self.output_scale
     }
 
     /// Weight scale (levels per unit).
+    // fqlint::allow(float-escape): scale-metadata accessor for conversion
+    // and artifact serialization; not on the forward path.
     pub fn weight_scale(&self) -> f32 {
         self.weight_scale
     }
@@ -221,6 +233,8 @@ impl IntLinear {
 }
 
 /// 256-entry int8→int8 GELU lookup table.
+// fqlint::allow(float-escape): the stored scales are calibration metadata;
+// `apply` is a pure int8 table lookup.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IntGelu {
     table: Vec<i8>,
@@ -231,6 +245,8 @@ pub struct IntGelu {
 impl IntGelu {
     /// Builds a GELU table mapping int8 codes at `input_scale` to int8 codes
     /// at `output_scale`.
+    // fqlint::allow(float-escape): construction-time boundary — the table is
+    // built once from float GELU; inference only indexes it.
     pub fn new(input_scale: f32, output_scale: f32) -> Self {
         let table = (-128i32..=127)
             .map(|code| {
@@ -257,12 +273,16 @@ impl IntGelu {
     }
 
     /// Output activation scale.
+    // fqlint::allow(float-escape): scale-metadata accessor; not on the
+    // lookup path.
     pub fn output_scale(&self) -> f32 {
         self.output_scale
     }
 }
 
 /// One fully quantized encoder layer.
+// fqlint::allow(float-escape): the per-tensor scale fields are calibration
+// metadata carried for serialization and chaining; `forward` is integer-only.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IntEncoderLayer {
     /// Query projection (8×4-bit matrix–vector work on the accelerator).
@@ -296,6 +316,8 @@ pub struct IntEncoderLayer {
 
 /// Scales needed to build one integer encoder layer (taken from QAT
 /// calibration by the converter).
+// fqlint::allow(float-escape): pure calibration metadata — the float scales
+// QAT hands to the converter; never read during integer inference.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerScales {
     /// Scale of the activations entering the layer.
@@ -324,6 +346,8 @@ impl IntEncoderLayer {
     /// # Errors
     ///
     /// Returns an error if any scale is invalid or a weight has no range.
+    // fqlint::allow(float-escape): conversion-time boundary from float QAT
+    // parameters to the integer layer.
     #[allow(clippy::too_many_arguments)]
     pub fn from_float(
         layer: &fqbert_bert::layers::EncoderLayerParams,
@@ -354,6 +378,8 @@ impl IntEncoderLayer {
     ///
     /// Returns an error if any scale is invalid, a weight has no range, or
     /// `bits` contains an unsupported width.
+    // fqlint::allow(float-escape): conversion-time boundary — folds float
+    // scales into requantizers and LUTs; the built layer is integer-only.
     #[allow(clippy::too_many_arguments)]
     pub fn from_float_mixed(
         layer: &fqbert_bert::layers::EncoderLayerParams,
@@ -481,6 +507,8 @@ impl IntEncoderLayer {
     /// # Errors
     ///
     /// Returns an error if a scale is invalid.
+    // fqlint::allow(float-escape): load-time boundary — reassembles the
+    // layer from stored codes and float scale metadata.
     #[allow(clippy::too_many_arguments)]
     pub fn from_quantized_parts(
         query: IntLinear,
@@ -569,11 +597,15 @@ impl IntEncoderLayer {
     }
 
     /// Scale of the activations produced by this layer.
+    // fqlint::allow(float-escape): scale-metadata accessor used to chain
+    // layers at conversion time and dequantize the classifier input.
     pub fn output_scale(&self) -> f32 {
         self.ln_out_scale
     }
 
     /// Scale of the activations expected at the input of this layer.
+    // fqlint::allow(float-escape): scale-metadata accessor for conversion
+    // and artifact serialization.
     pub fn input_scale(&self) -> f32 {
         self.input_scale
     }
@@ -730,6 +762,9 @@ fn slice_block_i8(x: &IntTensor<i8>, r0: usize, r1: usize, c0: usize, c1: usize)
 
 /// The complete integer FQ-BERT model: float CPU-side embedding/classifier
 /// plus the integer encoder stack.
+// fqlint::allow(float-escape): the embedding output scale is the documented
+// float↔integer boundary of the paper's model (embeddings and classifier
+// stay float; the encoder stack is integer-only).
 #[derive(Debug, Clone, PartialEq)]
 pub struct IntBertModel {
     config: BertConfig,
@@ -749,6 +784,8 @@ pub struct IntBertModel {
 impl IntBertModel {
     /// Assembles an integer model from its parts (used by the converter and
     /// by artifact loading).
+    // fqlint::allow(float-escape): assembly boundary — accepts the float
+    // embedding tables, classifier and embedding scale.
     #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
         config: BertConfig,
@@ -838,6 +875,8 @@ impl IntBertModel {
     }
 
     /// Scale at which the embedding output is handed to the encoder.
+    // fqlint::allow(float-escape): scale-metadata accessor for artifact
+    // serialization.
     pub fn embedding_out_scale(&self) -> f32 {
         self.embedding_out_scale
     }
@@ -884,6 +923,8 @@ impl IntBertModel {
     ///
     /// Returns an error for empty or overlong sequences or out-of-vocabulary
     /// ids.
+    // fqlint::allow(float-escape): the float→int8 entry point — embeddings
+    // run in float per the paper, then quantize once for the encoder.
     pub fn embed(&self, token_ids: &[usize], segment_ids: &[usize]) -> Result<IntTensor<i8>> {
         if token_ids.is_empty() || token_ids.len() > self.config.max_len {
             return Err(FqBertError::InvalidArgument(format!(
@@ -931,6 +972,8 @@ impl IntBertModel {
     /// # Errors
     ///
     /// Returns an error for invalid inputs.
+    // fqlint::allow(float-escape): the int8→float exit point — dequantizes
+    // the [CLS] row once for the float classifier, per the paper.
     pub fn forward_logits(&self, token_ids: &[usize], segment_ids: &[usize]) -> Result<Vec<f32>> {
         let mut hidden = self.embed(token_ids, segment_ids)?;
         for layer in &self.layers {
@@ -968,6 +1011,8 @@ impl IntBertModel {
     /// Returns an error for invalid inputs, including examples whose
     /// attention mask is all padding — a zero-length sequence has no tokens
     /// to attend over (empty batch is fine and returns an empty vector).
+    // fqlint::allow(float-escape): returns float logits from the classifier
+    // exit point; the encoder pass underneath is integer-only.
     pub fn logits_batch(&self, examples: &[fqbert_nlp::Example]) -> Result<Vec<Vec<f32>>> {
         self.logits_batch_with_scratch(examples, &mut GemmScratch::new())
     }
@@ -982,6 +1027,8 @@ impl IntBertModel {
     /// # Errors
     ///
     /// As for [`IntBertModel::logits_batch`].
+    // fqlint::allow(float-escape): batched embedding entry and classifier
+    // exit — the same two float boundaries as the single-sequence path.
     pub fn logits_batch_with_scratch(
         &self,
         examples: &[fqbert_nlp::Example],

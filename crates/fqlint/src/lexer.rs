@@ -1,0 +1,458 @@
+//! A hand-rolled Rust lexer sufficient for token-stream lint rules.
+//!
+//! The lexer recognises every surface form that matters for *not
+//! misreading* Rust source — strings (plain, raw, byte, raw-byte), char and
+//! byte literals, lifetimes, nested block comments, numeric literals with
+//! suffixes — and deliberately does not build a syntax tree: the rule
+//! engine in [`crate::rules`] works on the flat token stream. Numeric
+//! literals are classified int vs float (and carry their value when it fits
+//! a `u128`) because the float-escape and narrowing-cast rules depend on
+//! exactly that distinction.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Integer literal, any base, with or without suffix.
+    Int,
+    /// Float literal (`1.0`, `1.`, `1e3`, `2f32`, ...).
+    Float,
+    /// String-ish literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`,
+    /// `br#"..."#`.
+    Str,
+    /// Char literal `'x'` (including escapes) or byte literal `b'x'`.
+    Char,
+    /// `// ...` comment (doc comments included).
+    LineComment,
+    /// `/* ... */` comment, nesting respected (doc comments included).
+    BlockComment,
+    /// Any single punctuation character (`.`, `(`, `[`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's integer value, when it is an integer literal whose value
+    /// fits `u128` (underscores stripped; hex/octal/binary handled).
+    pub fn int_value(&self) -> Option<u128> {
+        if self.kind != TokKind::Int {
+            return None;
+        }
+        let digits: String = self.text.chars().filter(|c| *c != '_').collect();
+        let (radix, body) =
+            if let Some(rest) = digits.strip_prefix("0x").or(digits.strip_prefix("0X")) {
+                (16, rest)
+            } else if let Some(rest) = digits.strip_prefix("0o").or(digits.strip_prefix("0O")) {
+                (8, rest)
+            } else if let Some(rest) = digits.strip_prefix("0b").or(digits.strip_prefix("0B")) {
+                (2, rest)
+            } else {
+                (10, digits.as_str())
+            };
+        // Strip a type suffix (`u8`, `i64`, `usize`, ...): the value part is
+        // the longest prefix of valid digits for the radix.
+        let value_len = body.chars().take_while(|c| c.is_digit(radix)).count();
+        if value_len == 0 {
+            return None;
+        }
+        u128::from_str_radix(&body[..value_len], radix).ok()
+    }
+}
+
+/// A lexing failure: the offending line and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the failure.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+/// Lexes `src` into a token stream (comments included).
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated strings/comments/chars or bytes
+/// that cannot start any Rust token. Every `.rs` file in this workspace
+/// must lex cleanly; a `LexError` is itself a reportable finding.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(token) = lx.next_token()? {
+        tokens.push(token);
+    }
+    Ok(tokens)
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.src.get(self.pos).copied();
+        if let Some(b) = byte {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        byte
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, LexError> {
+        // Skip whitespace.
+        while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+        let Some(byte) = self.peek(0) else {
+            return Ok(None);
+        };
+        let start = self.pos;
+        let line = self.line;
+        let token = |kind, text| Token { kind, text, line };
+
+        // Comments.
+        if byte == b'/' && self.peek(1) == Some(b'/') {
+            while self.peek(0).is_some_and(|b| b != b'\n') {
+                self.bump();
+            }
+            return Ok(Some(token(TokKind::LineComment, self.text_from(start))));
+        }
+        if byte == b'/' && self.peek(1) == Some(b'*') {
+            self.bump();
+            self.bump();
+            let mut depth = 1usize;
+            loop {
+                match (self.peek(0), self.peek(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        self.bump();
+                        self.bump();
+                        depth += 1;
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        self.bump();
+                        self.bump();
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (Some(_), _) => {
+                        self.bump();
+                    }
+                    (None, _) => return Err(self.error("unterminated block comment")),
+                }
+            }
+            return Ok(Some(token(TokKind::BlockComment, self.text_from(start))));
+        }
+
+        // Raw strings / raw identifiers / byte strings (r, b, br prefixes).
+        if byte == b'r' || byte == b'b' {
+            if let Some(tok) = self.maybe_prefixed_literal(start, line)? {
+                return Ok(Some(tok));
+            }
+        }
+
+        // Identifiers and keywords.
+        if byte.is_ascii_alphabetic() || byte == b'_' || byte >= 0x80 {
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80)
+            {
+                self.bump();
+            }
+            return Ok(Some(token(TokKind::Ident, self.text_from(start))));
+        }
+
+        // Numbers.
+        if byte.is_ascii_digit() {
+            let kind = self.lex_number()?;
+            return Ok(Some(token(kind, self.text_from(start))));
+        }
+
+        // Lifetimes and char literals.
+        if byte == b'\'' {
+            let kind = self.lex_quote()?;
+            return Ok(Some(token(kind, self.text_from(start))));
+        }
+
+        // Plain strings.
+        if byte == b'"' {
+            self.bump();
+            self.lex_string_body()?;
+            return Ok(Some(token(TokKind::Str, self.text_from(start))));
+        }
+
+        // Everything else: single punctuation characters.
+        if byte.is_ascii_punctuation() {
+            self.bump();
+            return Ok(Some(token(TokKind::Punct, self.text_from(start))));
+        }
+        Err(self.error(format!("unexpected byte 0x{byte:02x}")))
+    }
+
+    /// Handles `r`/`b`-prefixed literals: raw strings `r"…"`/`r#"…"#`, raw
+    /// identifiers `r#name`, byte strings `b"…"`, byte chars `b'x'`, and
+    /// raw byte strings `br#"…"#`. Returns `None` when the prefix is just
+    /// the start of an ordinary identifier.
+    fn maybe_prefixed_literal(
+        &mut self,
+        start: usize,
+        line: u32,
+    ) -> Result<Option<Token>, LexError> {
+        let first = self.peek(0);
+        let token = |kind, text| Token { kind, text, line };
+        let (raw_at, str_at): (usize, usize) = match (first, self.peek(1)) {
+            // r"..."  or  r#... (raw string or raw ident)
+            (Some(b'r'), Some(b'"')) => (usize::MAX, 1),
+            (Some(b'r'), Some(b'#')) => (1, usize::MAX),
+            // b"..."  b'...'  br"..."  br#"..."#
+            (Some(b'b'), Some(b'"')) => (usize::MAX, 1),
+            (Some(b'b'), Some(b'\'')) => {
+                self.bump(); // b
+                self.bump(); // '
+                self.lex_char_body()?;
+                return Ok(Some(token(TokKind::Char, self.text_from(start))));
+            }
+            (Some(b'b'), Some(b'r')) => match self.peek(2) {
+                Some(b'"') => (usize::MAX, 2),
+                Some(b'#') => (2, usize::MAX),
+                _ => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
+        if raw_at != usize::MAX {
+            // Count the hashes after the prefix; a quote must follow for
+            // this to be a raw string, otherwise it is a raw identifier.
+            let mut hashes = 0usize;
+            while self.peek(raw_at + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            match self.peek(raw_at + hashes) {
+                Some(b'"') => {
+                    for _ in 0..raw_at + hashes + 1 {
+                        self.bump();
+                    }
+                    self.lex_raw_string_body(hashes)?;
+                    return Ok(Some(token(TokKind::Str, self.text_from(start))));
+                }
+                _ if raw_at == 1 && hashes == 1 => {
+                    // r#ident: lex as an identifier.
+                    self.bump(); // r
+                    self.bump(); // #
+                    while self
+                        .peek(0)
+                        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                    {
+                        self.bump();
+                    }
+                    return Ok(Some(token(TokKind::Ident, self.text_from(start))));
+                }
+                _ => return Ok(None),
+            }
+        }
+        // Non-raw string at offset `str_at`.
+        for _ in 0..str_at + 1 {
+            self.bump();
+        }
+        self.lex_string_body()?;
+        Ok(Some(token(TokKind::Str, self.text_from(start))))
+    }
+
+    /// Consumes a raw string body after the opening quote, until a quote
+    /// followed by `hashes` hash characters.
+    fn lex_raw_string_body(&mut self, hashes: usize) -> Result<(), LexError> {
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.error("unterminated raw string")),
+            }
+        }
+    }
+
+    /// Consumes a plain string body after the opening quote.
+    fn lex_string_body(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => {
+                    // Any escape: skip the escaped character (covers \" \\
+                    // \n \u{...} and line continuations alike).
+                    self.bump();
+                }
+                Some(_) => {}
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    /// Consumes a char-literal body after the opening quote.
+    fn lex_char_body(&mut self) -> Result<(), LexError> {
+        match self.bump() {
+            Some(b'\\') => {
+                match self.bump() {
+                    Some(b'u') => {
+                        // \u{...}
+                        if self.peek(0) == Some(b'{') {
+                            while self.peek(0).is_some_and(|b| b != b'}') {
+                                self.bump();
+                            }
+                            self.bump();
+                        }
+                    }
+                    Some(_) => {}
+                    None => return Err(self.error("unterminated char literal")),
+                }
+            }
+            Some(_) => {}
+            None => return Err(self.error("unterminated char literal")),
+        }
+        match self.bump() {
+            Some(b'\'') => Ok(()),
+            _ => Err(self.error("unterminated char literal")),
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) and lexes either.
+    fn lex_quote(&mut self) -> Result<TokKind, LexError> {
+        self.bump(); // opening quote
+        let next = self.peek(0);
+        let after = self.peek(1);
+        let is_ident_char =
+            |b: Option<u8>| b.is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_');
+        if is_ident_char(next) && after != Some(b'\'') {
+            // Lifetime: 'a, 'static, '_ — no closing quote.
+            while is_ident_char(self.peek(0)) {
+                self.bump();
+            }
+            return Ok(TokKind::Lifetime);
+        }
+        self.lex_char_body()?;
+        Ok(TokKind::Char)
+    }
+
+    /// Lexes a numeric literal starting at an ASCII digit, classifying it
+    /// int vs float. Handles `0x/0o/0b` bases, underscores, exponents,
+    /// trailing-dot floats, and type suffixes.
+    fn lex_number(&mut self) -> Result<TokKind, LexError> {
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.bump();
+            }
+            return Ok(TokKind::Int);
+        }
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.bump();
+        }
+        let mut float = false;
+        // A dot makes it a float unless it starts a range (`1..n`) or a
+        // method/field access (`1.max(2)`).
+        if self.peek(0) == Some(b'.') {
+            let after = self.peek(1);
+            let starts_ident =
+                after.is_some_and(|b| b.is_ascii_alphabetic() || b == b'_' || b >= 0x80);
+            if after != Some(b'.') && !starts_ident {
+                float = true;
+                self.bump();
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                {
+                    self.bump();
+                }
+            }
+        }
+        // Exponent part (`1e5`, `2.5E-3`).
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let exp_digit = |b: Option<u8>| b.is_some_and(|b| b.is_ascii_digit());
+            if exp_digit(sign) || (matches!(sign, Some(b'+' | b'-')) && exp_digit(digit)) {
+                float = true;
+                self.bump();
+                self.bump();
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`u8`, `i64`, `f32`, `usize`, ...).
+        let suffix_start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.bump();
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+        Ok(if float { TokKind::Float } else { TokKind::Int })
+    }
+}

@@ -1,0 +1,111 @@
+//! The `fqlint` CLI: analyse the workspace, print findings, emit the JSON
+//! report, and (with `--deny`) gate CI on a clean run.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fqlint — static analysis for the fully-quantized + panic-free invariants
+
+USAGE:
+    fqlint [--root PATH] [--deny] [--json PATH] [--quiet]
+
+OPTIONS:
+    --root PATH   Workspace root to analyse (default: nearest ancestor
+                  with a [workspace] Cargo.toml)
+    --deny        Exit nonzero when any unsuppressed finding remains
+    --json PATH   Write the machine-readable findings report to PATH
+    --quiet       Suppress per-finding human output (summary only)
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    deny: bool,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        deny: false,
+        json: None,
+        quiet: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    iter.next().ok_or("--root needs a path argument")?,
+                ));
+            }
+            "--deny" => args.deny = true,
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    iter.next().ok_or("--json needs a path argument")?,
+                ));
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("fqlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| fqlint::find_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("fqlint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match fqlint::run(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("fqlint: failed to walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(json_path) = &args.json {
+        if let Some(parent) = json_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(err) = std::fs::write(json_path, report.render_json()) {
+            eprintln!("fqlint: cannot write {}: {err}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if args.quiet {
+        if let Some(summary) = report.render_human().lines().last() {
+            println!("{summary}");
+        }
+    } else {
+        print!("{}", report.render_human());
+    }
+    if !report.lex_errors.is_empty() {
+        // A file the lexer cannot read means the invariants are unchecked:
+        // always a hard failure, --deny or not.
+        return ExitCode::from(2);
+    }
+    if args.deny && !report.is_clean() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,164 @@
+//! Human and machine-readable rendering of an analysis run.
+//!
+//! The JSON writer is hand-rolled (the workspace builds fully offline, no
+//! serde); the format is stable and consumed by the CI artifact upload.
+
+use crate::rules::{Finding, RuleId, Suppressed};
+use std::collections::BTreeMap;
+
+/// Outcome of analysing the whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// Workspace-relative paths of every `.rs` file the lexer parsed.
+    pub files_scanned: usize,
+    /// Files each rule family actually ran on.
+    pub files_checked: usize,
+    /// Unsuppressed findings, ordered by (file, line).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by justified `fqlint::allow` comments.
+    pub suppressed: Vec<Suppressed>,
+    /// Files the lexer failed on, with the error message. Always a hard
+    /// failure: the tool must be able to read the whole workspace.
+    pub lex_errors: Vec<(String, String)>,
+}
+
+impl WorkspaceReport {
+    /// Whether the run found nothing wrong (no findings, no lexer errors).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.lex_errors.is_empty()
+    }
+
+    /// Finding counts per rule name, including zeroes for silent rules.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for rule in RuleId::ALL {
+            counts.insert(rule.name(), 0);
+        }
+        for finding in &self.findings {
+            *counts.entry(finding.rule.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for (file, err) in &self.lex_errors {
+            out.push_str(&format!("error[lexer]: {file}: {err}\n"));
+        }
+        for finding in &self.findings {
+            out.push_str(&format!(
+                "{}[{}]: {}:{}: {}\n",
+                finding.rule.severity().name(),
+                finding.rule.name(),
+                finding.file,
+                finding.line,
+                finding.message
+            ));
+        }
+        out.push_str(&format!(
+            "fqlint: {} file(s) scanned, {} checked by rules; {} finding(s), \
+             {} suppressed with justification, {} lexer error(s)\n",
+            self.files_scanned,
+            self.files_checked,
+            self.findings.len(),
+            self.suppressed.len(),
+            self.lex_errors.len()
+        ));
+        out
+    }
+
+    /// Renders the machine-readable JSON report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\": \"fqlint\",\n");
+        out.push_str("  \"format_version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
+        out.push_str("  \"summary\": {");
+        let counts = self.counts();
+        let entries: Vec<String> = counts
+            .iter()
+            .map(|(rule, count)| format!("\"{rule}\": {count}"))
+            .collect();
+        out.push_str(&entries.join(", "));
+        out.push_str("},\n");
+        out.push_str("  \"findings\": [\n");
+        let rows: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"severity\": {}, \
+                     \"message\": {}}}",
+                    json_str(&f.file),
+                    f.line,
+                    json_str(f.rule.name()),
+                    json_str(f.rule.severity().name()),
+                    json_str(&f.message)
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"suppressed\": [\n");
+        let rows: Vec<String> = self
+            .suppressed
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"justification\": {}}}",
+                    json_str(&s.finding.file),
+                    s.finding.line,
+                    json_str(s.finding.rule.name()),
+                    json_str(&s.justification)
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"lex_errors\": [\n");
+        let rows: Vec<String> = self
+            .lex_errors
+            .iter()
+            .map(|(file, err)| {
+                format!(
+                    "    {{\"file\": {}, \"error\": {}}}",
+                    json_str(file),
+                    json_str(err)
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

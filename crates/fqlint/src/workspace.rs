@@ -1,0 +1,146 @@
+//! Workspace walking and per-file rule scoping.
+//!
+//! Which rules run where is the lint *policy* of this repository:
+//!
+//! * **R1 `float-escape`** runs on the designated integer-datapath
+//!   modules — the int forward path, the integer GEMM and nibble packing,
+//!   and the requantize/softmax-LUT apply paths.
+//! * **R2 `narrowing-cast`** runs on all library code of the datapath
+//!   crates (`crates/tensor`, `crates/quant`).
+//! * **R3 `panic-path`** and **R4 `lock-hygiene`** run on all library code
+//!   of the serving stack (`crates/serve`, `crates/runtime`).
+//!
+//! Test targets (`tests/`, `benches/`, `examples/`, `src/bin/`,
+//! `build.rs`) are lexed — the whole workspace must parse — but exempt
+//! from the rules: panicking asserts are what tests are made of.
+
+use crate::report::WorkspaceReport;
+use crate::rules::{analyze_source, RuleSet};
+use std::path::{Path, PathBuf};
+
+/// Files R1 float-escape applies to (workspace-relative, `/`-separated).
+const FLOAT_ESCAPE_FILES: [&str; 5] = [
+    "crates/fqbert/src/int_model.rs",
+    "crates/tensor/src/gemm.rs",
+    "crates/tensor/src/pack4.rs",
+    "crates/quant/src/requant.rs",
+    "crates/quant/src/softmax_lut.rs",
+];
+
+/// Crate source trees R2 narrowing-cast applies to.
+const NARROWING_CAST_TREES: [&str; 2] = ["crates/tensor/src/", "crates/quant/src/"];
+
+/// Crate source trees R3/R4 (panic-free serving, lock hygiene) apply to.
+const SERVING_TREES: [&str; 2] = ["crates/serve/src/", "crates/runtime/src/"];
+
+/// Directories never walked: build output, VCS metadata, and fqlint's own
+/// known-bad rule fixtures.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+
+/// Path fragments that mark a file as a non-library target.
+const AUX_MARKERS: [&str; 4] = ["/tests/", "/benches/", "/examples/", "/src/bin/"];
+
+/// The rule families applicable to `rel` (a `/`-separated
+/// workspace-relative path).
+pub fn rules_for_path(rel: &str) -> RuleSet {
+    if is_aux_target(rel) {
+        return RuleSet::default();
+    }
+    RuleSet {
+        float_escape: FLOAT_ESCAPE_FILES.contains(&rel),
+        narrowing_cast: NARROWING_CAST_TREES.iter().any(|t| rel.starts_with(t)),
+        panic_path: SERVING_TREES.iter().any(|t| rel.starts_with(t)),
+        lock_hygiene: SERVING_TREES.iter().any(|t| rel.starts_with(t)),
+    }
+}
+
+/// Whether `rel` is a test/bench/example/bin/build target rather than
+/// library code.
+pub fn is_aux_target(rel: &str) -> bool {
+    let slashed = format!("/{rel}");
+    AUX_MARKERS.iter().any(|m| slashed.contains(m)) || rel.ends_with("build.rs")
+}
+
+/// Recursively collects every `.rs` file under `root`, skipping build
+/// output, VCS metadata and fqlint's own rule fixtures. Paths come back
+/// sorted for deterministic reports.
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                // fqlint's golden fixtures are deliberate rule violations.
+                if path.ends_with("crates/fqlint/tests/fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Runs the full analysis over the workspace at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O failures walking or reading files; lexer failures are
+/// collected into the report instead (they fail the run, with context).
+pub fn run(root: &Path) -> std::io::Result<WorkspaceReport> {
+    let mut report = WorkspaceReport::default();
+    for path in collect_rust_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        let rules = rules_for_path(&rel);
+        if rules.any() {
+            report.files_checked += 1;
+        }
+        match analyze_source(&rel, &src, rules) {
+            Ok(analysis) => {
+                report.findings.extend(analysis.findings);
+                report.suppressed.extend(analysis.suppressed);
+            }
+            Err(err) => report.lex_errors.push((rel, err.to_string())),
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` (inclusive)
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

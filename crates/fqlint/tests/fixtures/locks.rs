@@ -1,0 +1,30 @@
+use std::sync::{mpsc, Mutex};
+
+pub struct Queue {
+    state: Mutex<Vec<u32>>,
+}
+
+impl Queue {
+    pub fn poison_panic(&self) -> usize {
+        self.state.lock().unwrap().len()
+    }
+
+    pub fn send_under_lock(&self, tx: &mpsc::Sender<u32>) {
+        let state = self.state.lock();
+        let _ = tx.send(1);
+        drop(state);
+    }
+
+    pub fn send_after_drop(&self, tx: &mpsc::Sender<u32>) {
+        let state = self.state.lock();
+        drop(state);
+        let _ = tx.send(2);
+    }
+
+    pub fn send_outside_block(&self, tx: &mpsc::Sender<u32>) {
+        {
+            let _guard = self.state.lock();
+        }
+        let _ = tx.send(3);
+    }
+}

@@ -1,0 +1,35 @@
+pub fn bad(x: i64) -> i32 {
+    x as i32
+}
+
+pub fn literal_fits() -> i16 {
+    255 as i16
+}
+
+pub fn literal_overflows() -> i8 {
+    -200 as i8
+}
+
+pub fn guarded(x: i64) -> i16 {
+    x.clamp(-100, 100) as i16
+}
+
+pub fn chained_widening(x: i64) -> i32 {
+    x as u8 as i32
+}
+
+pub fn extreme_constants(x: i64) -> i32 {
+    x.clamp(i8::MIN as i32 as i64, i8::MAX as i32 as i64) as i32
+}
+
+pub fn annotated(x: usize) -> u32 {
+    x as u32 // fqlint::allow(narrowing-cast): callers pass tensor dims far below 2^32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_in_tests_are_exempt() {
+        let _ = 1_000_000i64 as i16;
+    }
+}

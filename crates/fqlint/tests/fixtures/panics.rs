@@ -1,0 +1,41 @@
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn bad_macros(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+    assert!(flag);
+}
+
+pub fn bad_index(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn not_flagged(x: Option<u32>) -> u32 {
+    let ys = vec![1, 2, 3];
+    let _arr: [u8; 2] = [0, 1];
+    let [_a, _b] = [4u32, 5];
+    debug_assert!(!ys.is_empty());
+    x.unwrap_or(0)
+}
+
+// fqlint::allow(panic-path): last element exists — the caller checked is_empty
+pub fn annotated(xs: &[u32]) -> u32 {
+    xs[xs.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        assert_eq!(Some(1).unwrap(), 1);
+        let xs = [1, 2];
+        assert!(xs[0] < xs[1]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Golden-fixture tests: each fixture under `tests/fixtures/` is a small
+//! known-bad source file, and the expected findings are the *exact*
+//! `(line, rule)` multiset — so a rule that stops firing, fires twice, or
+//! fires on the wrong line fails loudly, not quietly.
+//!
+//! The fixtures directory is excluded from the workspace walk in
+//! `workspace::collect_rust_files`, so these deliberately-bad files never
+//! show up in the real report.
+
+use fqlint::{analyze_source, RuleId, RuleSet};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+/// Analyzes a fixture with every rule enabled and asserts the exact
+/// sorted `(line, rule)` lists for findings and suppressions.
+fn check(name: &str, expect_findings: &[(u32, RuleId)], expect_suppressed: &[(u32, RuleId)]) {
+    let src = fixture(name);
+    let analysis =
+        analyze_source(name, &src, RuleSet::all()).unwrap_or_else(|e| panic!("{name}: {e}"));
+
+    let mut got: Vec<(u32, RuleId)> = analysis.findings.iter().map(|f| (f.line, f.rule)).collect();
+    got.sort();
+    let mut want = expect_findings.to_vec();
+    want.sort();
+    assert_eq!(got, want, "{name} findings: {:#?}", analysis.findings);
+
+    let mut got: Vec<(u32, RuleId)> = analysis
+        .suppressed
+        .iter()
+        .map(|s| (s.finding.line, s.finding.rule))
+        .collect();
+    got.sort();
+    let mut want = expect_suppressed.to_vec();
+    want.sort();
+    assert_eq!(got, want, "{name} suppressed: {:#?}", analysis.suppressed);
+
+    // Every suppression must carry a non-empty justification.
+    for s in &analysis.suppressed {
+        assert!(
+            !s.justification.is_empty(),
+            "{name}: empty justification survived at line {}",
+            s.finding.line
+        );
+    }
+}
+
+#[test]
+fn float_escape_fixture() {
+    use RuleId::{BadSuppression, FloatEscape};
+    check(
+        "float_escape.rs",
+        &[
+            (1, FloatEscape),     // param `f32`
+            (1, FloatEscape),     // return `f32`
+            (2, FloatEscape),     // literal `1.5`
+            (3, FloatEscape),     // `as f64`
+            (3, FloatEscape),     // `.sqrt()`
+            (4, FloatEscape),     // `as f32`
+            (12, FloatEscape),    // return type NOT covered by the line-13 trailing allow
+            (16, BadSuppression), // missing justification
+            (19, BadSuppression), // unknown rule name
+        ],
+        &[
+            (8, FloatEscape),  // item-level boundary: param `f32`
+            (8, FloatEscape),  // item-level boundary: return `f32`
+            (9, FloatEscape),  // item-level boundary: literal `0.5`
+            (13, FloatEscape), // trailing allow on the literal's own line
+        ],
+    );
+}
+
+#[test]
+fn narrowing_cast_fixture() {
+    use RuleId::NarrowingCast;
+    check(
+        "narrowing.rs",
+        &[
+            (2, NarrowingCast),  // i64 -> i32, unguarded
+            (10, NarrowingCast), // -200 does not fit i8
+            (18, NarrowingCast), // `x as u8` truncates; the chained `as i32` widens and passes
+        ],
+        &[(26, NarrowingCast)],
+    );
+    // Not expected above, i.e. proven safe: `255 as i16` (literal fits),
+    // `clamp(..) as i16` (range-guarded), `as i32` after `as u8` (chained
+    // widening), `i8::MIN as i32` (extreme of a smaller type), and the
+    // `#[cfg(test)]` module's cast (exempt).
+}
+
+#[test]
+fn panic_path_fixture() {
+    use RuleId::PanicPath;
+    check(
+        "panics.rs",
+        &[
+            (2, PanicPath),  // unwrap()
+            (6, PanicPath),  // expect()
+            (11, PanicPath), // panic!
+            (13, PanicPath), // assert!
+            (17, PanicPath), // xs[0]
+        ],
+        &[(30, PanicPath)], // annotated item: xs[xs.len() - 1]
+    );
+    // `vec![..]`, array literals/types, slice patterns, `debug_assert!`
+    // and `unwrap_or` must not flag, and the `#[cfg(test)]` module with
+    // unwrap + indexing is exempt.
+}
+
+#[test]
+fn lock_hygiene_fixture() {
+    use RuleId::{LockHygiene, PanicPath};
+    check(
+        "locks.rs",
+        &[
+            (9, LockHygiene),  // .lock().unwrap() poisons-panic the worker
+            (9, PanicPath),    // ...and is also a plain unwrap
+            (14, LockHygiene), // send while `state` guard is live
+        ],
+        &[],
+    );
+    // send-after-drop, and a send after the guard's block closed, are
+    // clean; the `drop(state)` / inner-block scoping is what's under test.
+}
+
+#[test]
+fn policy_matches_layout() {
+    // The workspace policy map: which rules run where.
+    let rs = fqlint::rules_for_path("crates/fqbert/src/int_model.rs");
+    assert!(rs.float_escape && !rs.panic_path);
+
+    let rs = fqlint::rules_for_path("crates/tensor/src/gemm.rs");
+    assert!(rs.float_escape && rs.narrowing_cast);
+
+    let rs = fqlint::rules_for_path("crates/tensor/src/shape.rs");
+    assert!(!rs.float_escape && rs.narrowing_cast);
+
+    let rs = fqlint::rules_for_path("crates/serve/src/queue.rs");
+    assert!(rs.panic_path && rs.lock_hygiene && !rs.float_escape);
+
+    let rs = fqlint::rules_for_path("crates/runtime/src/pool.rs");
+    assert!(rs.panic_path && rs.lock_hygiene);
+
+    // Aux targets are exempt from everything.
+    assert!(!fqlint::rules_for_path("crates/serve/tests/integration.rs").any());
+    assert!(!fqlint::rules_for_path("crates/serve/src/bin/serve.rs").any());
+    assert!(!fqlint::rules_for_path("crates/tensor/benches/gemm.rs").any());
+}

@@ -23,6 +23,8 @@ impl Fixed {
     /// Converts a real number, rounding to the nearest representable value
     /// and saturating at the `i32` raw range.
     pub fn from_f32(value: f32, frac_bits: u32) -> Self {
+        // fqlint::allow(narrowing-cast): `frac_bits` is a bit-shift
+        // amount, always < 32.
         let scaled = (value as f64 * f64::powi(2.0, frac_bits as i32)).round();
         let raw = scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32;
         Self { raw, frac_bits }
@@ -30,6 +32,8 @@ impl Fixed {
 
     /// Converts back to `f32`.
     pub fn to_f32(self) -> f32 {
+        // fqlint::allow(narrowing-cast): `frac_bits` is a bit-shift
+        // amount, always < 32.
         self.raw as f32 / f32::powi(2.0, self.frac_bits as i32)
     }
 
@@ -137,9 +141,12 @@ pub fn fixed_inv_sqrt(x: Fixed, iterations: u32) -> Fixed {
     // of the positive root. A truncating `e/2` guess overshoots for odd
     // positive e (e.g. x in [3,4) or [12,16)) and Newton then converges to
     // the *negative* root -1/sqrt(x), sign-flipping the caller's output.
+    // fqlint::allow(narrowing-cast): `leading_zeros()` is at most 32 and
+    // `frac_bits` is a bit-shift amount < 32 — both fit `i32`.
     let value_log2 = 31 - x.raw().leading_zeros() as i32 - x.frac_bits() as i32;
     let guess_log2 = -(value_log2 + 1).div_euclid(2);
     let frac = x.frac_bits();
+    // fqlint::allow(narrowing-cast): `frac` is a bit-shift amount < 32.
     let mut y = Fixed::from_raw(1i32 << (frac as i32 + guess_log2).clamp(0, 30), frac);
     let three_halves = Fixed::from_f32(1.5, frac);
     let half_x = Fixed::from_raw(x.raw() / 2, frac);

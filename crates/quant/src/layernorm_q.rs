@@ -46,6 +46,8 @@ impl QuantizedLayerNorm {
                 beta.len()
             )));
         }
+        // fqlint::allow(narrowing-cast): `PARAM_FRAC_BITS` is a bit-shift
+        // amount < 32.
         let quantize = |v: f32| -> i8 {
             (v * f32::powi(2.0, PARAM_FRAC_BITS as i32))
                 .round()
@@ -99,6 +101,8 @@ impl QuantizedLayerNorm {
 
     /// Dequantized gamma values (for comparison against the float reference).
     pub fn gamma_f32(&self) -> Vec<f32> {
+        // fqlint::allow(narrowing-cast): `PARAM_FRAC_BITS` is a bit-shift
+        // amount < 32.
         self.gamma
             .iter()
             .map(|&g| g as f32 / f32::powi(2.0, PARAM_FRAC_BITS as i32))
@@ -107,6 +111,8 @@ impl QuantizedLayerNorm {
 
     /// Dequantized beta values.
     pub fn beta_f32(&self) -> Vec<f32> {
+        // fqlint::allow(narrowing-cast): `PARAM_FRAC_BITS` is a bit-shift
+        // amount < 32.
         self.beta
             .iter()
             .map(|&b| b as f32 / f32::powi(2.0, PARAM_FRAC_BITS as i32))
@@ -164,6 +170,8 @@ impl QuantizedLayerNorm {
             total += i64::from(v.raw());
             summed.push(v);
         }
+        // fqlint::allow(narrowing-cast): the mean of `i32`-ranged raw
+        // values is itself in `i32` range.
         let mean = Fixed::from_raw((total / n) as i32, INTERNAL_FRAC_BITS);
 
         // Stage 2: subtract the mean and accumulate the variance.

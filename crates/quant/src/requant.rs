@@ -58,6 +58,9 @@ impl Requantizer {
     /// Returns [`QuantError::InvalidScale`] if `effective_scale` is not a
     /// positive finite number, or [`QuantError::UnsupportedBitWidth`] for an
     /// output width outside `2..=16`.
+    // fqlint::allow(float-escape): construction-time boundary — the float
+    // effective scale is folded into a fixed-point multiplier/shift pair
+    // exactly once; `apply` is integer-only.
     pub fn from_scale(effective_scale: f64, out_bits: u32) -> Result<Self> {
         if !(effective_scale.is_finite() && effective_scale > 0.0) {
             return Err(QuantError::InvalidScale(effective_scale as f32));
@@ -77,6 +80,8 @@ impl Requantizer {
             exp -= 1;
         }
         let mut multiplier = (scale * f64::from(1u32 << MULTIPLIER_FRAC_BITS)).round() as i64;
+        // fqlint::allow(narrowing-cast): `MULTIPLIER_FRAC_BITS` is a
+        // bit-shift amount < 32.
         let mut shift = MULTIPLIER_FRAC_BITS as i32 - exp;
         if shift > MAX_SHIFT {
             // Tiny scale: fold the unrepresentable part of the shift into
@@ -111,6 +116,8 @@ impl Requantizer {
     /// reported: huge scales read as `~2^29..2^30` (every non-zero
     /// accumulator saturates either way) and fully underflowed tiny scales
     /// read as `0` (every accumulator requantizes to zero).
+    // fqlint::allow(float-escape): inspection/debug accessor reporting the
+    // encoded scale; the requantization path never calls it.
     pub fn effective_scale(&self) -> f64 {
         self.multiplier as f64 / f64::powi(2.0, self.shift)
     }

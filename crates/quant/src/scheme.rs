@@ -107,6 +107,9 @@ impl QuantParams {
     pub fn quantize_value(&self, x: f32) -> i32 {
         let clip = self.clip();
         let clamped = x.clamp(-clip, clip);
+        // fqlint::allow(narrowing-cast): float-to-int `as` saturates in
+        // Rust, and `clamped * scale` is bounded by the code range the
+        // scheme was built for.
         (clamped * self.scale).round() as i32
     }
 

@@ -171,21 +171,21 @@ impl ModelArtifact {
         if bytes.len() < 12 {
             return Err(RuntimeError::Artifact("file too short".to_string()));
         }
-        if &bytes[..4] != MAGIC {
+        let magic = bytes.get(..4).unwrap_or_default();
+        if magic != MAGIC {
             return Err(RuntimeError::Artifact(format!(
-                "bad magic {:02x?} (expected {MAGIC:02x?})",
-                &bytes[..4]
+                "bad magic {magic:02x?} (expected {MAGIC:02x?})"
             )));
         }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let version = u32::from_le_bytes(fixed_bytes(bytes, 4)?);
         if !(MIN_SUPPORTED_VERSION..=VERSION).contains(&version) {
             return Err(RuntimeError::Artifact(format!(
                 "unsupported artifact version {version} \
                  (this build reads {MIN_SUPPORTED_VERSION}..={VERSION})"
             )));
         }
-        let payload = &bytes[8..bytes.len() - 4];
-        let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        let payload = bytes.get(8..bytes.len() - 4).unwrap_or_default();
+        let stored_crc = u32::from_le_bytes(fixed_bytes(bytes, bytes.len() - 4)?);
         let actual_crc = crc32(payload);
         if stored_crc != actual_crc {
             return Err(RuntimeError::Artifact(format!(
@@ -326,6 +326,17 @@ impl Writer {
     }
 }
 
+/// Reads the `N` bytes at `offset` as a fixed array, failing with an
+/// artifact error (never a panic) if the file is too short.
+fn fixed_bytes<const N: usize>(bytes: &[u8], offset: usize) -> Result<[u8; N]> {
+    bytes
+        .get(offset..offset.saturating_add(N))
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or_else(|| {
+            RuntimeError::Artifact(format!("file too short for {N} bytes at offset {offset}"))
+        })
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -342,18 +353,29 @@ impl<'a> Reader<'a> {
                 self.buf.len() - self.pos
             )));
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos + n;
+        let Some(s) = self.buf.get(self.pos..end) else {
+            return Err(RuntimeError::Artifact(format!(
+                "reader out of bounds at offset {}",
+                self.pos
+            )));
+        };
+        self.pos = end;
         Ok(s)
     }
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        <[u8; N]>::try_from(self.take(N)?)
+            .map_err(|_| RuntimeError::Artifact(format!("reader cannot take {N} bytes")))
+    }
     fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array::<1>()?;
+        Ok(b)
     }
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.array::<4>()?))
     }
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.array::<8>()?))
     }
     fn f32(&mut self) -> Result<f32> {
         Ok(f32::from_bits(self.u32()?))
@@ -509,6 +531,10 @@ fn write_linear(w: &mut Writer, l: &IntLinear) {
         w.u64(d as u64);
     }
     if l.weight_bits() <= 4 {
+        // fqlint::allow(panic-path): quantizer invariant — codes for
+        // bits <= 4 are clamped to a signed nibble at quantization time,
+        // and writing a corrupt artifact silently would be worse than
+        // failing loudly at save time.
         let packed = fqbert_tensor::pack_i4(weight.as_slice())
             .expect("4-bit weight codes fit a signed nibble");
         w.buf.extend_from_slice(&packed);
@@ -801,6 +827,9 @@ fn read_layer(r: &mut Reader<'_>, cfg: &BertConfig, version: u32) -> Result<IntE
 fn write_vocab(w: &mut Writer, vocab: &Vocab) {
     // Skip the four special tokens; `Vocab::from_tokens` re-inserts them
     // with the same ids.
+    // fqlint::allow(panic-path): `Vocab` keeps a dense id -> token table
+    // by construction; silently skipping an id would shift every later
+    // token id in the artifact, corrupting it undetectably.
     let words: Vec<&str> = (4..vocab.len())
         .map(|id| vocab.id_to_token(id).expect("dense vocabulary"))
         .collect();
@@ -848,6 +877,8 @@ pub fn crc32(data: &[u8]) -> u32 {
     });
     let mut crc = 0xffff_ffffu32;
     for &byte in data {
+        // fqlint::allow(panic-path): `& 0xff` masks the index into the
+        // 256-entry table.
         crc = (crc >> 8) ^ table[((crc ^ u32::from(byte)) & 0xff) as usize];
     }
     !crc

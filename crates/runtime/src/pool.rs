@@ -17,8 +17,16 @@
 //! the API too small to misuse.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+
+/// Locks a mutex, recovering from poisoning. Jobs run under
+/// `catch_unwind` outside the lock, so a poisoned pool mutex means a
+/// panic in glue code that left the guarded value structurally intact —
+/// propagating it would tear down the whole pool for one bad task.
+fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Why a pooled task failed to produce a result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,8 +84,8 @@ impl<S: Send + 'static> WorkerPool<S> {
         let (sender, receiver) = mpsc::channel::<Job<S>>();
         let receiver = Arc::new(Mutex::new(receiver));
         let state = Arc::new(state);
-        let workers = (0..threads)
-            .map(|index| {
+        let workers: Vec<JoinHandle<()>> = (0..threads)
+            .filter_map(|index| {
                 let receiver = Arc::clone(&receiver);
                 let state = Arc::clone(&state);
                 std::thread::Builder::new()
@@ -88,18 +96,26 @@ impl<S: Send + 'static> WorkerPool<S> {
                             // Hold the lock only while popping, never while
                             // running a job, so idle workers can keep
                             // draining the queue.
-                            let job = match receiver.lock().expect("pool queue lock").recv() {
+                            let job = match lock_clean(&receiver).recv() {
                                 Ok(job) => job,
                                 Err(_) => return, // all senders gone: shutdown
                             };
                             job(&mut state);
                         }
                     })
-                    .expect("spawn pool worker")
+                    .ok() // an OS thread the pool can't get is a smaller pool
             })
             .collect();
+        // If the OS refused every thread there is nobody to drain the
+        // queue: drop the sender now so tasks fail fast with `ShutDown`
+        // instead of blocking `run` forever.
+        let sender = if workers.is_empty() {
+            None
+        } else {
+            Some(sender)
+        };
         Self {
-            sender: Mutex::new(Some(sender)),
+            sender: Mutex::new(sender),
             workers: Mutex::new(workers),
             threads,
         }
@@ -123,8 +139,12 @@ impl<S: Send + 'static> WorkerPool<S> {
     {
         let expected = tasks.len();
         let (results_tx, results_rx) = mpsc::channel::<(usize, Result<T, PoolError>)>();
-        {
-            let sender = self.sender.lock().expect("pool sender lock");
+        // Clone the job sender out and release the lock before dispatch:
+        // sends happen on the clone, never under the pool mutex.
+        let sender_slot = lock_clean(&self.sender);
+        let sender = sender_slot.clone();
+        drop(sender_slot);
+        if let Some(sender) = sender {
             for (index, task) in tasks.into_iter().enumerate() {
                 let results_tx = results_tx.clone();
                 let job: Job<S> = Box::new(move |state: &mut S| {
@@ -132,13 +152,8 @@ impl<S: Send + 'static> WorkerPool<S> {
                         .map_err(|payload| PoolError::Panicked(panic_message(payload)));
                     let _ = results_tx.send((index, outcome));
                 });
-                match sender.as_ref() {
-                    Some(sender) => {
-                        if sender.send(job).is_err() {
-                            break; // workers gone; unsent tasks report ShutDown
-                        }
-                    }
-                    None => break, // pool already shut down
+                if sender.send(job).is_err() {
+                    break; // workers gone; unsent tasks report ShutDown
                 }
             }
         }
@@ -147,9 +162,12 @@ impl<S: Send + 'static> WorkerPool<S> {
             (0..expected).map(|_| Err(PoolError::ShutDown)).collect();
         // Every dispatched job sends exactly once (even on panic), and
         // dropped/undelivered jobs drop their sender, so this drains without
-        // deadlocking no matter how the tasks end.
+        // deadlocking no matter how the tasks end. Indexes come from
+        // `enumerate` above, so every slot lookup succeeds.
         while let Ok((index, outcome)) = results_rx.recv() {
-            results[index] = outcome;
+            if let Some(slot) = results.get_mut(index) {
+                *slot = outcome;
+            }
         }
         results
     }
@@ -159,8 +177,8 @@ impl<S: Send + 'static> WorkerPool<S> {
     pub fn shutdown(&self) {
         // Dropping the sender disconnects the queue; workers exit on their
         // next recv.
-        self.sender.lock().expect("pool sender lock").take();
-        let workers = std::mem::take(&mut *self.workers.lock().expect("pool workers lock"));
+        lock_clean(&self.sender).take();
+        let workers = std::mem::take(&mut *lock_clean(&self.workers));
         for worker in workers {
             // A worker can only die outside a job if its state builder
             // panicked (jobs run under catch_unwind). Swallow the payload:

@@ -378,6 +378,7 @@ fn decode_error(error: &Json) -> ServeError {
         }
         "shutting_down" => ServeError::ShuttingDown,
         "deadline_exceeded" => ServeError::DeadlineExceeded,
+        "internal_error" => ServeError::Internal(message),
         _ => ServeError::Protocol(format!("server reported `{kind}`: {message}")),
     }
 }

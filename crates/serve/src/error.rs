@@ -19,6 +19,10 @@ pub enum ServeError {
     ShuttingDown,
     /// The request's deadline expired before a flush could serve it.
     DeadlineExceeded,
+    /// The serving stack itself misbehaved (a worker panicked, an engine
+    /// call aborted mid-flush). The request failed but the worker survived;
+    /// the message is for the operator, not the client.
+    Internal(String),
 }
 
 impl ServeError {
@@ -31,6 +35,7 @@ impl ServeError {
             ServeError::Io(_) => "io",
             ServeError::ShuttingDown => "shutting_down",
             ServeError::DeadlineExceeded => "deadline_exceeded",
+            ServeError::Internal(_) => "internal_error",
         }
     }
 }
@@ -46,6 +51,7 @@ impl fmt::Display for ServeError {
             ServeError::DeadlineExceeded => {
                 write!(f, "request deadline expired before it was served")
             }
+            ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
         }
     }
 }
@@ -88,6 +94,10 @@ mod tests {
             (ServeError::Io(std::io::Error::other("io")), "io"),
             (ServeError::ShuttingDown, "shutting_down"),
             (ServeError::DeadlineExceeded, "deadline_exceeded"),
+            (
+                ServeError::Internal("worker panicked".into()),
+                "internal_error",
+            ),
         ];
         for (err, kind) in errs {
             assert_eq!(err.kind(), kind);

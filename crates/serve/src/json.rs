@@ -157,13 +157,13 @@ pub fn parse(input: &str) -> Result<Json, String> {
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
         *pos += 1;
     }
 }
 
 fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
-    if *pos < bytes.len() && bytes[*pos] == b {
+    if bytes.get(*pos) == Some(&b) {
         *pos += 1;
         Ok(())
     } else {
@@ -190,7 +190,10 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 }
 
 fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
+    if bytes
+        .get(*pos..)
+        .is_some_and(|rest| rest.starts_with(lit.as_bytes()))
+    {
         *pos += lit.len();
         Ok(value)
     } else {
@@ -200,12 +203,14 @@ fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Resul
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    ) {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    let digits = bytes.get(start..*pos).unwrap_or_default();
+    let text = std::str::from_utf8(digits).map_err(|e| e.to_string())?;
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| format!("invalid number `{text}` at byte {start}"))
@@ -253,7 +258,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar (the input is a &str, so the
                 // bytes are valid UTF-8).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let tail = bytes.get(*pos..).unwrap_or_default();
+                let rest = std::str::from_utf8(tail).map_err(|e| e.to_string())?;
                 let ch = rest.chars().next().ok_or("unterminated string")?;
                 out.push(ch);
                 *pos += ch.len_utf8();

@@ -42,3 +42,14 @@ pub use server::{Server, ServerConfig};
 
 /// Convenience result alias for serving operations.
 pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Locks a mutex, recovering from poisoning. A poisoned mutex means some
+/// thread panicked mid-update; the serving stack's contract is that a
+/// panic costs at most the request that triggered it, so the state — which
+/// every locked section leaves structurally valid — keeps serving rather
+/// than cascading the panic into every future request.
+pub(crate) fn lock_clean<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -155,7 +155,9 @@ fn parse_pair_array(value: &Json) -> Result<Vec<(String, String)>> {
             let pair = item.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
                 ServeError::Protocol("`pairs` entries must be two-element arrays".to_string())
             })?;
-            match (pair[0].as_str(), pair[1].as_str()) {
+            let first = pair.first().and_then(Json::as_str);
+            let second = pair.get(1).and_then(Json::as_str);
+            match (first, second) {
                 (Some(a), Some(b)) => Ok((a.to_string(), b.to_string())),
                 _ => Err(ServeError::Protocol(
                     "`pairs` entries must hold two strings".to_string(),

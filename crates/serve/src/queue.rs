@@ -15,12 +15,13 @@
 //! (a property the runtime crate tests), so dynamic batching changes
 //! throughput and latency but never a single logit bit.
 
-use crate::{Result, ServeError};
+use crate::{lock_clean, Result, ServeError};
 use fqbert_nlp::Example;
 use fqbert_runtime::{BatchCost, EncodedBatch, Engine, Scored};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -112,6 +113,8 @@ pub struct QueueStats {
     pub largest_flush: u64,
     /// Requests whose deadline expired before a flush could serve them.
     pub expired: u64,
+    /// Times the worker thread died and was respawned by a submitter.
+    pub restarts: u64,
 }
 
 impl QueueStats {
@@ -157,6 +160,7 @@ struct QueueInner {
     flushes: AtomicU64,
     largest_flush: AtomicU64,
     expired: AtomicU64,
+    restarts: AtomicU64,
 }
 
 /// A dynamic batching queue over one engine, with one worker thread.
@@ -185,15 +189,15 @@ impl BatchQueue {
             flushes: AtomicU64::new(0),
             largest_flush: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
         });
-        let worker_inner = Arc::clone(&inner);
-        let worker = std::thread::Builder::new()
-            .name(format!("fqbert-queue-{}", inner.engine.backend().name()))
-            .spawn(move || worker_loop(&worker_inner))
-            .expect("spawn batch-queue worker");
+        // If the OS refuses a thread the queue starts in degraded mode:
+        // submissions are served inline on the caller's thread (see
+        // `ensure_worker`) instead of failing construction.
+        let worker = spawn_worker(&inner).ok();
         Self {
             inner,
-            worker: Mutex::new(Some(worker)),
+            worker: Mutex::new(worker),
         }
     }
 
@@ -240,8 +244,9 @@ impl BatchQueue {
             }));
             return Ticket { rx };
         }
-        let mut state = self.inner.state.lock().expect("queue lock");
+        let mut state = lock_clean(&self.inner.state);
         if state.shutdown {
+            drop(state);
             let _ = tx.send(Err(ServeError::ShuttingDown));
             return Ticket { rx };
         }
@@ -255,7 +260,29 @@ impl BatchQueue {
         });
         drop(state);
         self.inner.cond.notify_all();
+        self.ensure_worker();
         Ticket { rx }
+    }
+
+    /// Respawns the worker thread if it died (a panic escaped the flush
+    /// path — engine panics are caught, so this is a last line of defence,
+    /// counted in [`QueueStats::restarts`]). If no thread can be spawned
+    /// at all, serves everything queued inline on this thread so the queue
+    /// degrades to slower, unbatched — but correct — service.
+    fn ensure_worker(&self) {
+        let mut worker = lock_clean(&self.worker);
+        if worker.as_ref().is_some_and(|handle| !handle.is_finished()) {
+            return;
+        }
+        if let Some(dead) = worker.take() {
+            let _ = dead.join();
+            self.inner.restarts.fetch_add(1, Ordering::Relaxed);
+        }
+        *worker = spawn_worker(&self.inner).ok();
+        if worker.is_none() {
+            drop(worker);
+            drain_inline(&self.inner);
+        }
     }
 
     /// Convenience wrapper: submit and block until served.
@@ -275,6 +302,7 @@ impl BatchQueue {
             flushes: self.inner.flushes.load(Ordering::Relaxed),
             largest_flush: self.inner.largest_flush.load(Ordering::Relaxed),
             expired: self.inner.expired.load(Ordering::Relaxed),
+            restarts: self.inner.restarts.load(Ordering::Relaxed),
         }
     }
 
@@ -282,12 +310,26 @@ impl BatchQueue {
     /// joins the worker. Idempotent; called automatically on drop.
     pub fn shutdown(&self) {
         {
-            let mut state = self.inner.state.lock().expect("queue lock");
+            let mut state = lock_clean(&self.inner.state);
             state.shutdown = true;
         }
         self.inner.cond.notify_all();
-        if let Some(worker) = self.worker.lock().expect("worker lock").take() {
-            worker.join().expect("batch-queue worker panicked");
+        let mut worker_slot = lock_clean(&self.worker);
+        let worker = worker_slot.take();
+        drop(worker_slot);
+        if let Some(worker) = worker {
+            let _ = worker.join();
+        }
+        // The worker drains the queue before exiting; if it died instead
+        // (join error above, or it could never be spawned) fail whatever
+        // it left behind so no ticket blocks forever.
+        let leftovers: Vec<PendingRequest> = {
+            let mut state = lock_clean(&self.inner.state);
+            state.queued_sequences = 0;
+            state.pending.drain(..).collect()
+        };
+        for request in leftovers {
+            let _ = request.reply.send(Err(ServeError::ShuttingDown));
         }
     }
 }
@@ -308,103 +350,177 @@ impl std::fmt::Debug for BatchQueue {
     }
 }
 
-/// Fails one request that was removed from the queue because its deadline
-/// passed: undoes its sequence accounting, bumps the expiry counters and
-/// delivers [`ServeError::DeadlineExceeded`] through its ticket.
-fn fail_expired(inner: &QueueInner, state: &mut QueueState, request: PendingRequest) {
+/// Spawns the queue's worker thread.
+fn spawn_worker(inner: &Arc<QueueInner>) -> std::io::Result<JoinHandle<()>> {
+    let worker_inner = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name(format!("fqbert-queue-{}", inner.engine.backend().name()))
+        .spawn(move || worker_loop(&worker_inner))
+}
+
+/// Removes one expired request's sequence accounting and bumps the expiry
+/// counters. The caller delivers [`ServeError::DeadlineExceeded`] through
+/// the request's ticket *after* releasing the state lock — a reply
+/// receiver must never rendezvous with a thread that holds queue state.
+fn retire_expired(inner: &QueueInner, state: &mut QueueState, request: &PendingRequest) {
     state.queued_sequences -= request.examples.len();
     inner.expired.fetch_add(1, Ordering::Relaxed);
     inner.requests.fetch_add(1, Ordering::Relaxed);
-    let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
 }
 
-/// Fails every pending request whose deadline has passed, anywhere in the
-/// queue — a request behind a large neighbour can expire first.
-fn expire_pending(inner: &QueueInner, state: &mut QueueState, now: Instant) {
+/// Removes every pending request whose deadline has passed — anywhere in
+/// the queue, since a request behind a large neighbour can expire first —
+/// and pushes them onto `expired` for delivery outside the lock.
+fn expire_pending(
+    inner: &QueueInner,
+    state: &mut QueueState,
+    now: Instant,
+    expired: &mut Vec<PendingRequest>,
+) {
     let mut index = 0;
-    while index < state.pending.len() {
-        if state.pending[index].expired(now) {
-            let request = state.pending.remove(index).expect("index in range");
-            fail_expired(inner, state, request);
+    while let Some(request) = state.pending.get(index) {
+        if request.expired(now) {
+            if let Some(request) = state.pending.remove(index) {
+                retire_expired(inner, state, &request);
+                expired.push(request);
+            }
         } else {
             index += 1;
         }
     }
 }
 
+/// Drains whole requests off the queue front up to `max_batch` sequences;
+/// the first request always goes even if it alone exceeds the cap
+/// (requests are never split).
+fn drain_window(inner: &QueueInner, state: &mut QueueState) -> Vec<PendingRequest> {
+    let mut window: Vec<PendingRequest> = Vec::new();
+    let mut sequences = 0usize;
+    while let Some(front) = state.pending.front() {
+        if !window.is_empty() && sequences + front.examples.len() > inner.policy.max_batch {
+            break;
+        }
+        let Some(request) = state.pending.pop_front() else {
+            break;
+        };
+        sequences += request.examples.len();
+        state.queued_sequences -= request.examples.len();
+        window.push(request);
+        if sequences >= inner.policy.max_batch {
+            break;
+        }
+    }
+    window
+}
+
+/// What one pass under the state lock decided: requests to fail with
+/// `DeadlineExceeded`, and either a window to flush or an exit signal.
+/// All channel sends happen after the lock is released.
+struct WorkerStep {
+    expired: Vec<PendingRequest>,
+    /// `None` means shutdown with an empty queue: the worker exits.
+    window: Option<Vec<PendingRequest>>,
+}
+
+/// Waits for the next flush window (or expiry batch) under the state lock.
+///
+/// The window stays open until the batch fills, the oldest request's delay
+/// budget expires, or shutdown asks for an immediate drain. Waits are cut
+/// short at the earliest per-request deadline; when requests expire the
+/// step returns at once with an empty window so the caller can deliver
+/// their errors promptly — at the deadline, not at the next window close —
+/// and then re-enter.
+fn next_step(inner: &QueueInner) -> WorkerStep {
+    let mut expired = Vec::new();
+    let mut state = lock_clean(&inner.state);
+    // Sleep until there is work (or shutdown).
+    while state.pending.is_empty() && !state.shutdown {
+        state = inner
+            .cond
+            .wait(state)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+    if state.pending.is_empty() {
+        return WorkerStep {
+            expired,
+            window: None,
+        };
+    }
+    loop {
+        let now = Instant::now();
+        expire_pending(inner, &mut state, now, &mut expired);
+        if !expired.is_empty() {
+            // Deliver the expiries first; the worker loops straight back.
+            return WorkerStep {
+                expired,
+                window: Some(Vec::new()),
+            };
+        }
+        let Some(front) = state.pending.front() else {
+            // Everything queued expired while the window was open.
+            return WorkerStep {
+                expired,
+                window: Some(Vec::new()),
+            };
+        };
+        let window_deadline = front.enqueued + inner.policy.max_delay;
+        if state.queued_sequences >= inner.policy.max_batch
+            || state.shutdown
+            || now >= window_deadline
+        {
+            return WorkerStep {
+                expired,
+                window: Some(drain_window(inner, &mut state)),
+            };
+        }
+        let mut wake = window_deadline;
+        for request in &state.pending {
+            if let Some(deadline) = request.deadline {
+                wake = wake.min(deadline);
+            }
+        }
+        let (next, _timeout) = inner
+            .cond
+            .wait_timeout(state, wake.saturating_duration_since(now))
+            .unwrap_or_else(PoisonError::into_inner);
+        state = next;
+    }
+}
+
 fn worker_loop(inner: &QueueInner) {
     loop {
-        let window = {
-            let mut state = inner.state.lock().expect("queue lock");
-            // Sleep until there is work (or shutdown).
-            while state.pending.is_empty() && !state.shutdown {
-                state = inner.cond.wait(state).expect("queue lock");
-            }
-            if state.pending.is_empty() {
-                // Shutdown with an empty queue: done.
-                return;
-            }
-            // A request is waiting: keep the window open until the batch
-            // fills, the oldest request's delay budget expires, or
-            // shutdown asks for an immediate drain. Waits are also cut
-            // short at the earliest per-request deadline, so an expiring
-            // request gets its error at its deadline — not whenever the
-            // window next closes.
-            loop {
-                let now = Instant::now();
-                expire_pending(inner, &mut state, now);
-                let Some(front) = state.pending.front() else {
-                    // Everything queued expired while the window was open.
-                    break;
-                };
-                let window_deadline = front.enqueued + inner.policy.max_delay;
-                if state.queued_sequences >= inner.policy.max_batch
-                    || state.shutdown
-                    || now >= window_deadline
-                {
-                    break;
-                }
-                let mut wake = window_deadline;
-                for request in &state.pending {
-                    if let Some(deadline) = request.deadline {
-                        wake = wake.min(deadline);
-                    }
-                }
-                let (next, _timeout) = inner
-                    .cond
-                    .wait_timeout(state, wake.saturating_duration_since(now))
-                    .expect("queue lock");
-                state = next;
-            }
-            // Drain whole requests up to max_batch sequences; the first
-            // request always goes even if it alone exceeds the cap. A
-            // request whose deadline passed since the last expiry sweep is
-            // failed right here — it must not occupy a flush slot.
-            let now = Instant::now();
-            let mut window: Vec<PendingRequest> = Vec::new();
-            let mut sequences = 0usize;
-            while let Some(front) = state.pending.front() {
-                if front.expired(now) {
-                    let request = state.pending.pop_front().expect("non-empty");
-                    fail_expired(inner, &mut state, request);
-                    continue;
-                }
-                if !window.is_empty() && sequences + front.examples.len() > inner.policy.max_batch {
-                    break;
-                }
-                let request = state.pending.pop_front().expect("non-empty");
-                sequences += request.examples.len();
-                state.queued_sequences -= request.examples.len();
-                window.push(request);
-                if sequences >= inner.policy.max_batch {
-                    break;
-                }
-            }
-            window
+        let step = next_step(inner);
+        for request in step.expired {
+            let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
+        }
+        let Some(window) = step.window else {
+            // Shutdown with an empty queue: done.
+            return;
         };
         if window.is_empty() {
-            // Every drained request had expired; nothing to flush.
+            // Expiries only; nothing to flush.
             continue;
+        }
+        flush_window(inner, window);
+    }
+}
+
+/// Degraded mode: no worker thread exists and none could be spawned.
+/// Serves everything queued right now on the calling thread — requests
+/// still resolve correctly, they just forfeit cross-request concurrency.
+fn drain_inline(inner: &QueueInner) {
+    loop {
+        let mut expired = Vec::new();
+        let window = {
+            let mut state = lock_clean(&inner.state);
+            expire_pending(inner, &mut state, Instant::now(), &mut expired);
+            drain_window(inner, &mut state)
+        };
+        for request in expired {
+            let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
+        }
+        if window.is_empty() {
+            return;
         }
         flush_window(inner, window);
     }
@@ -430,10 +546,26 @@ fn flush_window(inner: &QueueInner, window: Vec<PendingRequest>) {
         .iter()
         .flat_map(|r| r.examples.iter().cloned())
         .collect();
-    match inner
-        .engine
-        .classify_scored(&EncodedBatch::from_examples(merged))
-    {
+    // A panic inside the engine must cost exactly this window, not the
+    // worker thread: catch it and turn it into per-request
+    // `internal_error` responses.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        inner
+            .engine
+            .classify_scored(&EncodedBatch::from_examples(merged))
+    }));
+    let result = match outcome {
+        Ok(result) => result,
+        Err(_) => {
+            for request in window {
+                let _ = request.reply.send(Err(ServeError::Internal(
+                    "engine panicked during batch flush".into(),
+                )));
+            }
+            return;
+        }
+    };
+    match result {
         Ok(output) => {
             let mut results = output.results.into_iter();
             for request in window {
@@ -452,21 +584,28 @@ fn flush_window(inner: &QueueInner, window: Vec<PendingRequest>) {
             // window: retry each request alone so only the offender fails.
             for request in window {
                 let batch = EncodedBatch::from_examples(request.examples.clone());
-                let response = inner.engine.classify_scored(&batch).map(|output| {
-                    let cost = sum_costs(&output.results);
-                    TicketResponse {
-                        results: output.results,
-                        cost,
-                        flushed_batch: request.examples.len(),
-                        wait: flush_start.duration_since(request.enqueued),
-                    }
-                });
-                let _ = request.reply.send(response.map_err(ServeError::from));
+                let retry = catch_unwind(AssertUnwindSafe(|| inner.engine.classify_scored(&batch)));
+                let response = match retry {
+                    Ok(result) => result.map_err(ServeError::from).map(|output| {
+                        let cost = sum_costs(&output.results);
+                        TicketResponse {
+                            results: output.results,
+                            cost,
+                            flushed_batch: request.examples.len(),
+                            wait: flush_start.duration_since(request.enqueued),
+                        }
+                    }),
+                    Err(_) => Err(ServeError::Internal(
+                        "engine panicked during single-request retry".into(),
+                    )),
+                };
+                let _ = request.reply.send(response);
             }
         }
         Err(err) => {
-            let request = window.into_iter().next().expect("single request");
-            let _ = request.reply.send(Err(ServeError::from(err)));
+            if let Some(request) = window.into_iter().next() {
+                let _ = request.reply.send(Err(ServeError::from(err)));
+            }
         }
     }
 }

@@ -4,7 +4,7 @@
 use crate::protocol::{self, Command, RequestInputs};
 use crate::queue::{BatchPolicy, BatchQueue};
 use crate::registry::ModelRegistry;
-use crate::{Result, ServeError};
+use crate::{lock_clean, Result, ServeError};
 use fqbert_runtime::EncodedBatch;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -92,8 +92,7 @@ impl Server {
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("fqbert-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &accept_shared))
-            .expect("spawn accept loop");
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
         Ok(Server {
             shared,
             local_addr,
@@ -138,19 +137,21 @@ impl Server {
     }
 
     fn cleanup(&self) {
-        let mut cleaned = self.cleaned.lock().expect("cleanup lock");
+        let mut cleaned = lock_clean(&self.cleaned);
         if *cleaned {
             return;
         }
-        if let Some(accept) = self.accept.lock().expect("accept lock").take() {
-            accept.join().expect("accept loop panicked");
+        // Join errors mean a thread panicked; it is already gone, and
+        // shutdown must still run to completion for the threads that are
+        // not.
+        if let Some(accept) = lock_clean(&self.accept).take() {
+            let _ = accept.join();
         }
         // Handlers finish their in-flight request against still-running
         // queues, then observe the flag on their next read timeout.
-        let connections =
-            std::mem::take(&mut *self.shared.connections.lock().expect("connections lock"));
+        let connections = std::mem::take(&mut *lock_clean(&self.shared.connections));
         for handle in connections {
-            handle.join().expect("connection handler panicked");
+            let _ = handle.join();
         }
         // Only now drain and stop the queues.
         for queue in self.shared.queues.values() {
@@ -181,18 +182,25 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let conn_shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name("fqbert-serve-conn".to_string())
-                    .spawn(move || handle_connection(stream, &conn_shared))
-                    .expect("spawn connection handler");
-                let mut connections = shared.connections.lock().expect("connections lock");
+                    .spawn(move || handle_connection(stream, &conn_shared));
+                // If the OS refuses a thread, the dropped closure closes
+                // the stream — the client sees a hangup, the server keeps
+                // accepting.
+                let Ok(handle) = spawned else {
+                    continue;
+                };
+                let mut connections = lock_clean(&shared.connections);
                 // Reap exited handlers so a long-lived server's handle list
                 // tracks live connections, not every connection ever made.
                 let mut index = 0;
                 while index < connections.len() {
-                    if connections[index].is_finished() {
-                        let finished = connections.swap_remove(index);
-                        finished.join().expect("connection handler panicked");
+                    let finished = connections
+                        .get(index)
+                        .is_some_and(|handle| handle.is_finished());
+                    if finished {
+                        let _ = connections.swap_remove(index).join();
                     } else {
                         index += 1;
                     }

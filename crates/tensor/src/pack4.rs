@@ -74,11 +74,15 @@ fn nibble(code: i8) -> Result<u8> {
             value: i64::from(code),
         });
     }
+    // fqlint::allow(narrowing-cast): range-checked to [-8, 7] above; the
+    // cast is the two's-complement nibble encoding itself.
     Ok((code as u8) & 0x0f)
 }
 
 /// Sign-extends a two's-complement nibble back to `i8`.
 fn sign_extend(nibble: u8) -> i8 {
+    // fqlint::allow(narrowing-cast): same-width `u8 -> i8`
+    // reinterpretation — the shift pair is the sign extension.
     ((nibble << 4) as i8) >> 4
 }
 
