@@ -6,6 +6,12 @@
 //! Emits `results/BENCH_serve_throughput.json` with requests/second for
 //! both policies and the dynamic-over-batch1 speedup; CI runs it in quick
 //! mode (`FQBERT_BENCH_MS`) and uploads the artifact.
+//!
+//! A second phase overloads a *bounded* queue with ten times the producer
+//! count and measures what admission control buys: client-observed
+//! latency percentiles (p50/p95/p99, recorded into a telemetry
+//! [`Histogram`]) over the completed requests plus the shed rate. That
+//! phase emits `results/BENCH_serve_latency.json`.
 
 use fqbert_autograd::Graph;
 use fqbert_bench::impl_to_json;
@@ -14,7 +20,8 @@ use fqbert_core::QatHook;
 use fqbert_nlp::{Example, TaskKind, Vocab};
 use fqbert_quant::QuantConfig;
 use fqbert_runtime::{BackendKind, Engine, EngineBuilder};
-use fqbert_serve::{BatchPolicy, BatchQueue};
+use fqbert_serve::telemetry::Histogram;
+use fqbert_serve::{BatchPolicy, BatchQueue, ServeError};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -135,6 +142,122 @@ fn run_mode(engine: &Arc<Engine>, policy: BatchPolicy, duration: Duration) -> Ru
     }
 }
 
+/// Producer count for the overload phase: ~10× the throughput load, far
+/// beyond what the bounded queue admits, so shedding must engage.
+const OVERLOAD_PRODUCERS: usize = PRODUCERS * 10;
+
+struct LatencyRun {
+    completed: u64,
+    shed: u64,
+    seconds: f64,
+    latency: fqbert_serve::telemetry::HistogramSnapshot,
+    flushes: u64,
+    flushed_sequences: u64,
+    largest_flush: u64,
+}
+
+/// Overloads a bounded queue with `OVERLOAD_PRODUCERS` closed-loop clients
+/// and records client-observed latency for completed requests; shed
+/// requests (`server_overloaded`) are counted instead.
+fn run_overload(engine: &Arc<Engine>, policy: BatchPolicy, duration: Duration) -> LatencyRun {
+    let queue = Arc::new(BatchQueue::start(Arc::clone(engine), policy));
+    queue
+        .classify((0..4).map(example).collect())
+        .expect("warmup");
+    let latency = Arc::new(Histogram::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let mut producers = Vec::new();
+    for producer in 0..OVERLOAD_PRODUCERS {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        let latency = Arc::clone(&latency);
+        producers.push(std::thread::spawn(move || {
+            let mut completed = 0u64;
+            let mut shed = 0u64;
+            let mut i = producer;
+            while !stop.load(Ordering::Relaxed) {
+                let sent = Instant::now();
+                match queue.classify(vec![example(i)]) {
+                    Ok(_) => {
+                        latency.record_duration(sent.elapsed());
+                        completed += 1;
+                    }
+                    Err(ServeError::ServerOverloaded) => {
+                        shed += 1;
+                        // Honour the error's contract: back off before
+                        // retrying. Shed answers return immediately, so
+                        // without this the producers spin-starve the
+                        // flush worker on the queue mutex.
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => panic!("benchmark request failed: {e}"),
+                }
+                i += OVERLOAD_PRODUCERS;
+            }
+            (completed, shed)
+        }));
+    }
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let (mut completed, mut shed) = (0u64, 0u64);
+    for producer in producers {
+        let (c, s) = producer.join().expect("producer");
+        completed += c;
+        shed += s;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = queue.stats();
+    queue.shutdown();
+    LatencyRun {
+        completed,
+        shed,
+        seconds,
+        latency: latency.snapshot(),
+        flushes: stats.flushes,
+        flushed_sequences: stats.sequences,
+        largest_flush: stats.largest_flush,
+    }
+}
+
+struct LatencyReport {
+    bench: String,
+    backend: String,
+    budget_ms: u64,
+    producers: usize,
+    policy: String,
+    completed: u64,
+    shed: u64,
+    shed_rate: f64,
+    requests_per_sec: f64,
+    latency_p50_us: f64,
+    latency_p95_us: f64,
+    latency_p99_us: f64,
+    latency_mean_us: f64,
+    latency_max_us: u64,
+    mean_flush: f64,
+    largest_flush: u64,
+}
+
+impl_to_json!(LatencyReport {
+    bench,
+    backend,
+    budget_ms,
+    producers,
+    policy,
+    completed,
+    shed,
+    shed_rate,
+    requests_per_sec,
+    latency_p50_us,
+    latency_p95_us,
+    latency_p99_us,
+    latency_mean_us,
+    latency_max_us,
+    mean_flush,
+    largest_flush,
+});
+
 struct ModeRow {
     id: String,
     policy: String,
@@ -184,6 +307,7 @@ fn main() {
     let dynamic_policy = BatchPolicy {
         max_batch: PRODUCERS,
         max_delay: Duration::from_micros(300),
+        max_queue: usize::MAX,
     };
     let batch1_policy = BatchPolicy::immediate();
 
@@ -253,5 +377,68 @@ fn main() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     let path = fqbert_bench::save_json_in(&dir, "BENCH_serve_throughput", &report)
         .expect("write BENCH_serve_throughput.json");
+    println!("wrote {}", path.display());
+
+    // Overload phase: ten-fold producers against a bounded queue. The
+    // bound (two flush windows deep) keeps admitted-request latency flat
+    // while the excess is shed with `server_overloaded`.
+    let overload_policy = BatchPolicy {
+        max_batch: PRODUCERS,
+        max_delay: Duration::from_micros(300),
+        max_queue: PRODUCERS * 2,
+    };
+    println!(
+        "serve_latency: {OVERLOAD_PRODUCERS} closed-loop producers against a \
+         {}-sequence queue bound, {:.0} ms window",
+        overload_policy.max_queue,
+        duration.as_secs_f64() * 1e3
+    );
+    let overload = run_overload(&engine, overload_policy, duration);
+    let answered = overload.completed + overload.shed;
+    let shed_rate = overload.shed as f64 / (answered.max(1)) as f64;
+    println!(
+        "  completed: {} req ({:.1} req/s), shed: {} ({:.1}% of {} answered)",
+        overload.completed,
+        overload.completed as f64 / overload.seconds,
+        overload.shed,
+        shed_rate * 100.0,
+        answered
+    );
+    println!(
+        "  latency  : p50 {:.0} us, p95 {:.0} us, p99 {:.0} us, max {} us",
+        overload.latency.p50(),
+        overload.latency.p95(),
+        overload.latency.p99(),
+        overload.latency.max
+    );
+    let latency_report = LatencyReport {
+        bench: "serve_latency".to_string(),
+        backend: engine.backend().name().to_string(),
+        budget_ms: criterion::budget_ms(),
+        producers: OVERLOAD_PRODUCERS,
+        policy: format!(
+            "max_batch={} max_delay_ms={} max_queue={}",
+            overload_policy.max_batch,
+            overload_policy.max_delay.as_secs_f64() * 1e3,
+            overload_policy.max_queue
+        ),
+        completed: overload.completed,
+        shed: overload.shed,
+        shed_rate,
+        requests_per_sec: overload.completed as f64 / overload.seconds,
+        latency_p50_us: overload.latency.p50(),
+        latency_p95_us: overload.latency.p95(),
+        latency_p99_us: overload.latency.p99(),
+        latency_mean_us: overload.latency.mean(),
+        latency_max_us: overload.latency.max,
+        mean_flush: if overload.flushes == 0 {
+            0.0
+        } else {
+            overload.flushed_sequences as f64 / overload.flushes as f64
+        },
+        largest_flush: overload.largest_flush,
+    };
+    let path = fqbert_bench::save_json_in(&dir, "BENCH_serve_latency", &latency_report)
+        .expect("write BENCH_serve_latency.json");
     println!("wrote {}", path.display());
 }

@@ -8,7 +8,8 @@
 //! * **R2 `narrowing-cast`** runs on all library code of the datapath
 //!   crates (`crates/tensor`, `crates/quant`).
 //! * **R3 `panic-path`** and **R4 `lock-hygiene`** run on all library code
-//!   of the serving stack (`crates/serve`, `crates/runtime`).
+//!   of the serving stack (`crates/serve`, `crates/runtime`) and of the
+//!   telemetry crate (`crates/telemetry`) its hot paths record into.
 //!
 //! Test targets (`tests/`, `benches/`, `examples/`, `src/bin/`,
 //! `build.rs`) are lexed — the whole workspace must parse — but exempt
@@ -31,7 +32,11 @@ const FLOAT_ESCAPE_FILES: [&str; 5] = [
 const NARROWING_CAST_TREES: [&str; 2] = ["crates/tensor/src/", "crates/quant/src/"];
 
 /// Crate source trees R3/R4 (panic-free serving, lock hygiene) apply to.
-const SERVING_TREES: [&str; 2] = ["crates/serve/src/", "crates/runtime/src/"];
+const SERVING_TREES: [&str; 3] = [
+    "crates/serve/src/",
+    "crates/runtime/src/",
+    "crates/telemetry/src/",
+];
 
 /// Directories never walked: build output, VCS metadata, and fqlint's own
 /// known-bad rule fixtures.

@@ -146,6 +146,11 @@ fn policy_matches_layout() {
     let rs = fqlint::rules_for_path("crates/runtime/src/pool.rs");
     assert!(rs.panic_path && rs.lock_hygiene);
 
+    // Telemetry records on every hot serving path: same panic-free and
+    // lock-hygiene bar as the serving stack itself.
+    let rs = fqlint::rules_for_path("crates/telemetry/src/registry.rs");
+    assert!(rs.panic_path && rs.lock_hygiene && !rs.narrowing_cast);
+
     // Aux targets are exempt from everything.
     assert!(!fqlint::rules_for_path("crates/serve/tests/integration.rs").any());
     assert!(!fqlint::rules_for_path("crates/serve/src/bin/serve.rs").any());

@@ -11,6 +11,7 @@ use fqbert_bert::BertModel;
 use fqbert_core::{convert, FqBertError, QatHook};
 use fqbert_nlp::{accuracy, Example, TaskKind, Tokenizer, Vocab};
 use fqbert_quant::QuantConfig;
+use fqbert_telemetry::{Counter, Gauge, Histogram, Registry};
 use fqbert_tensor::GemmScratch;
 use std::path::Path;
 use std::sync::Arc;
@@ -209,12 +210,50 @@ pub struct EvalSummary {
     pub simulated_latency_ms: Option<f64>,
 }
 
+/// Cached handles to the engine's own metrics, all named under `engine.`
+/// in its telemetry registry. Handles are resolved once at assembly so the
+/// classify hot path never touches the registry lock — recording is a few
+/// relaxed atomic adds per batch.
+#[derive(Debug)]
+struct EngineMetrics {
+    /// Batches classified (`engine.calls`), including failed calls.
+    calls: Arc<Counter>,
+    /// Sequences classified (`engine.sequences`).
+    sequences: Arc<Counter>,
+    /// Wall-clock microseconds per `classify_batch` call
+    /// (`engine.classify_us`).
+    classify_us: Arc<Histogram>,
+    /// Wall-clock microseconds per pool shard (`engine.shard_us`); empty
+    /// under the serial policy.
+    shard_us: Arc<Histogram>,
+    /// Shards currently executing on pool workers
+    /// (`engine.inflight_shards`).
+    inflight_shards: Arc<Gauge>,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            calls: registry.counter("engine.calls"),
+            sequences: registry.counter("engine.sequences"),
+            classify_us: registry.histogram("engine.classify_us"),
+            shard_us: registry.histogram("engine.shard_us"),
+            inflight_shards: registry.gauge("engine.inflight_shards"),
+        }
+    }
+}
+
 /// A task-aware serving engine: tokenizer + backend + batch size.
 ///
 /// Built by [`EngineBuilder`]; every workload (examples, experiment
 /// binaries, the `fqbert-serve` server) funnels through
 /// [`Engine::classify_texts`] / [`Engine::classify_batch`] /
 /// [`Engine::classify_scored`] regardless of which backend is loaded.
+///
+/// Every engine carries a telemetry [`Registry`] (private by default,
+/// shareable via [`EngineBuilder::telemetry`]) recording call counts,
+/// classify latency and per-shard timings under `engine.*` — see
+/// [`Engine::telemetry`].
 pub struct Engine {
     task: TaskKind,
     tokenizer: Tokenizer,
@@ -225,6 +264,8 @@ pub struct Engine {
     /// projection, so the integer hot path neither contends on a shared
     /// buffer nor reallocates per shard.
     pool: Option<WorkerPool<GemmScratch>>,
+    telemetry: Arc<Registry>,
+    metrics: EngineMetrics,
 }
 
 impl Engine {
@@ -236,6 +277,7 @@ impl Engine {
         backend: Arc<dyn InferenceBackend>,
         batch_size: usize,
         exec: ExecPolicy,
+        telemetry: Option<Arc<Registry>>,
     ) -> Self {
         let threads = exec.effective_threads();
         let pool = (threads > 1).then(|| {
@@ -243,12 +285,16 @@ impl Engine {
             let depth = cfg.hidden.max(cfg.intermediate);
             WorkerPool::new(threads, move |_| GemmScratch::with_depth(depth))
         });
+        let telemetry = telemetry.unwrap_or_else(|| Arc::new(Registry::new()));
+        let metrics = EngineMetrics::new(&telemetry);
         Self {
             task,
             tokenizer,
             backend,
             batch_size,
             pool,
+            telemetry,
+            metrics,
         }
     }
 
@@ -275,6 +321,14 @@ impl Engine {
     /// Worker threads batches are sharded across (1 = serial execution).
     pub fn threads(&self) -> usize {
         self.pool.as_ref().map_or(1, WorkerPool::threads)
+    }
+
+    /// The engine's telemetry registry: `engine.calls` / `engine.sequences`
+    /// counters, `engine.classify_us` / `engine.shard_us` latency
+    /// histograms and the `engine.inflight_shards` gauge. Private to this
+    /// engine unless one was shared via [`EngineBuilder::telemetry`].
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// Classifies raw texts, batching them `batch_size` at a time.
@@ -328,10 +382,17 @@ impl Engine {
                 "empty batch: classify_batch needs at least one sequence".to_string(),
             )));
         }
-        match &self.pool {
+        self.metrics.calls.inc();
+        self.metrics.sequences.add(batch.len() as u64);
+        let timer = self.metrics.classify_us.start_timer();
+        let result = match &self.pool {
             Some(pool) if batch.len() > 1 => self.classify_sharded(pool, batch),
             _ => self.backend.classify_batch(batch),
-        }
+        };
+        // Failed calls are timed too: a backend that errors slowly is a
+        // latency problem the histogram should show.
+        timer.observe();
+        result
     }
 
     /// Splits `batch` into up to `pool.threads()` contiguous shards, runs
@@ -349,7 +410,16 @@ impl Engine {
                 // A shard is a range view sharing the batch's storage — no
                 // examples are copied onto the workers.
                 let shard = batch.shard(range);
-                move |scratch: &mut GemmScratch| backend.classify_shard(&shard, scratch)
+                let shard_us = Arc::clone(&self.metrics.shard_us);
+                let inflight = Arc::clone(&self.metrics.inflight_shards);
+                move |scratch: &mut GemmScratch| {
+                    inflight.inc();
+                    let timer = shard_us.start_timer();
+                    let out = backend.classify_shard(&shard, scratch);
+                    timer.observe();
+                    inflight.dec();
+                    out
+                }
             })
             .collect();
         let mut logits = Vec::with_capacity(batch.len());
@@ -506,6 +576,7 @@ pub struct EngineBuilder {
     calibration: Vec<Example>,
     accel: AcceleratorConfig,
     exec: ExecPolicy,
+    telemetry: Option<Arc<Registry>>,
 }
 
 /// Default sequences per backend call.
@@ -525,6 +596,7 @@ impl EngineBuilder {
             calibration: Vec::new(),
             accel: AcceleratorConfig::zcu111_n16_m16(),
             exec: ExecPolicy::default(),
+            telemetry: None,
         }
     }
 
@@ -584,6 +656,17 @@ impl EngineBuilder {
     /// (`0` = auto-detect, `1` = serial).
     pub fn threads(self, threads: usize) -> Self {
         self.exec(ExecPolicy::with_threads(threads))
+    }
+
+    /// Registers the engine's metrics in an existing telemetry registry
+    /// instead of a private one — how a server pools several engines'
+    /// metrics. Note the metric names are fixed (`engine.*`), so engines
+    /// sharing one registry share counters; give each engine its own
+    /// registry and merge snapshots with a prefix
+    /// ([`fqbert_telemetry::Snapshot::merge_prefixed`]) to keep them apart.
+    pub fn telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.telemetry = Some(registry);
+        self
     }
 
     fn take_tokenizer(&mut self) -> Result<Tokenizer> {
@@ -648,6 +731,7 @@ impl EngineBuilder {
             backend,
             self.batch_size,
             self.exec,
+            self.telemetry,
         ))
     }
 
@@ -675,6 +759,7 @@ impl EngineBuilder {
             backend,
             self.batch_size,
             self.exec,
+            self.telemetry,
         ))
     }
 
@@ -717,6 +802,7 @@ impl EngineBuilder {
             backend,
             self.batch_size,
             self.exec,
+            self.telemetry,
         ))
     }
 }

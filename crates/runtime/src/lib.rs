@@ -46,6 +46,15 @@
 //! to serial execution at every thread count (property-tested), including
 //! the simulated backend's per-sequence cycle costs.
 //!
+//! # Telemetry
+//!
+//! Every [`Engine`](engine::Engine) records into a
+//! [`fqbert_telemetry::Registry`] (re-exported as [`telemetry`]): batch and
+//! sequence counters, a `classify_us` latency histogram with
+//! p50/p95/p99 estimation, per-shard timings and an in-flight-shard gauge.
+//! The registry is private per engine by default; a serving layer shares or
+//! merges registries to expose per-model metrics over the wire.
+//!
 //! # Artifacts
 //!
 //! [`ModelArtifact`] persists the quantized model (weight/bias codes,
@@ -94,6 +103,7 @@ pub use engine::{
     ScoredOutput,
 };
 pub use error::RuntimeError;
+pub use fqbert_telemetry as telemetry;
 pub use pool::{PoolError, WorkerPool};
 
 /// Convenience result alias for runtime operations.

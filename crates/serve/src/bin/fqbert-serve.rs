@@ -3,30 +3,42 @@
 //!
 //! ```text
 //! fqbert-serve [--listen ADDR] [--max-batch N] [--max-delay-ms MS]
-//!              [--threads N] [--config FILE] [name=backend:path[#threads=N] ...]
+//!              [--max-queue N] [--stats-interval SECS] [--threads N]
+//!              [--config FILE] [name=backend:path[#threads=N] ...]
 //! ```
 //!
 //! Models come from `name=backend:path[#threads=N]` specs (backend is `int`
 //! or `sim`) given as arguments and/or one per line in `--config FILE`
 //! (`#` comments allowed). `--threads N` shards every model's batches
 //! across `N` worker threads (`0` = auto-detect); a per-spec `#threads=`
-//! suffix overrides it for that model. The server runs until a client
-//! sends `{"cmd":"shutdown"}`.
+//! suffix overrides it for that model. `--max-queue N` bounds each model's
+//! request queue to `N` sequences (default 1024, `0` = unbounded):
+//! submissions past the bound are answered with a `server_overloaded`
+//! error frame instead of growing the backlog. `--stats-interval SECS`
+//! prints a telemetry summary line per model every `SECS` seconds (`0`,
+//! the default, disables it); the same data is live over the wire via
+//! `{"cmd":"stats"}`. The server runs until a client sends
+//! `{"cmd":"shutdown"}`.
 
 use fqbert_serve::{registry, BatchPolicy, ModelRegistry, ModelSpec, Server, ServerConfig};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
         "usage: fqbert-serve [--listen ADDR] [--max-batch N] [--max-delay-ms MS] \
-         [--threads N] [--config FILE] [name=backend:path[#threads=N] ...]"
+         [--max-queue N] [--stats-interval SECS] [--threads N] [--config FILE] \
+         [name=backend:path[#threads=N] ...]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut listen = "127.0.0.1:7878".to_string();
-    let mut policy = BatchPolicy::default();
+    // Serving over a socket defaults to a bounded queue: an unreachable
+    // backlog helps nobody, and 1024 sequences is far beyond any flush
+    // window. Library users opt in via `BatchPolicy::max_queue` instead.
+    let mut policy = BatchPolicy::default().bounded(1024);
+    let mut stats_interval = Duration::ZERO;
     let mut default_threads: Option<usize> = None;
     let mut specs: Vec<ModelSpec> = Vec::new();
 
@@ -52,6 +64,20 @@ fn main() {
                     usage()
                 });
                 policy.max_delay = Duration::from_millis(ms);
+            }
+            "--max-queue" => {
+                let bound: usize = flag_value("--max-queue").parse().unwrap_or_else(|_| {
+                    eprintln!("--max-queue must be an integer (0 = unbounded)");
+                    usage()
+                });
+                policy.max_queue = if bound == 0 { usize::MAX } else { bound };
+            }
+            "--stats-interval" => {
+                let secs: u64 = flag_value("--stats-interval").parse().unwrap_or_else(|_| {
+                    eprintln!("--stats-interval must be an integer number of seconds (0 = off)");
+                    usage()
+                });
+                stats_interval = Duration::from_secs(secs);
             }
             "--threads" => {
                 let threads: usize = flag_value("--threads").parse().unwrap_or_else(|_| {
@@ -127,6 +153,62 @@ fn main() {
         );
     }
     println!("send {{\"cmd\":\"shutdown\"}} to stop");
-    server.join();
+    let names: Vec<String> = server
+        .queue_stats()
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    if stats_interval.is_zero() {
+        server.join();
+    } else {
+        let mut last = Instant::now();
+        while !server.is_shutting_down() {
+            std::thread::sleep(Duration::from_millis(100));
+            if last.elapsed() >= stats_interval {
+                last = Instant::now();
+                print_stats(&server, &names);
+            }
+        }
+        // Same graceful drain as `join`: shutdown is idempotent.
+        server.shutdown();
+    }
     println!("drained and stopped");
+}
+
+/// One periodic `--stats-interval` summary: server totals plus one line per
+/// model with queue counters and end-to-end latency percentiles.
+fn print_stats(server: &Server, names: &[String]) {
+    let snapshot = server.stats_snapshot();
+    println!(
+        "stats: {} frame(s) answered, {} error(s), {} connection(s) open",
+        snapshot.counter("server.requests").unwrap_or(0),
+        snapshot.counter("server.errors").unwrap_or(0),
+        snapshot.gauge("server.connections").unwrap_or(0),
+    );
+    for name in names {
+        let counter = |metric: &str| {
+            snapshot
+                .counter(&format!("model.{name}.queue.{metric}"))
+                .unwrap_or(0)
+        };
+        let latency = match snapshot.histogram(&format!("model.{name}.request_us")) {
+            Some(hist) if hist.count > 0 => format!(
+                "p50 {:.0} us, p95 {:.0} us, p99 {:.0} us",
+                hist.p50(),
+                hist.p95(),
+                hist.p99()
+            ),
+            _ => "no requests yet".to_string(),
+        };
+        println!(
+            "  {name}: {} req, {} flushes, depth {}, shed {}, expired {}, latency {latency}",
+            counter("requests"),
+            counter("flushes"),
+            snapshot
+                .gauge(&format!("model.{name}.queue.depth"))
+                .unwrap_or(0),
+            counter("shed"),
+            counter("expired"),
+        );
+    }
 }

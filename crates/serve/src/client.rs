@@ -15,7 +15,7 @@
 use crate::json::Json;
 use crate::{Result, ServeError};
 use fqbert_runtime::BatchCost;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -50,6 +50,42 @@ pub struct ClientResponse {
     /// Simulated accelerator cost of this request, when served by the
     /// `sim` backend.
     pub sim: Option<BatchCost>,
+}
+
+/// One histogram's summary as decoded from a `stats` frame. Values come
+/// from the server's log2-bucket histograms: `count`/`sum`/`min`/`max` are
+/// exact, the percentiles are bucket-interpolated estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramStats {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+/// A decoded `stats` snapshot: every metric by full name
+/// (`model.<name>.request_us`, `model.<name>.queue.shed`,
+/// `server.connections`, ...).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsReport {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Instantaneous gauges.
+    pub gauges: BTreeMap<String, i64>,
+    /// Latency/size distributions.
+    pub histograms: BTreeMap<String, HistogramStats>,
 }
 
 /// A blocking protocol client over one TCP connection.
@@ -337,6 +373,17 @@ impl Client {
         }
     }
 
+    /// Fetches the server's live telemetry snapshot: per-model latency
+    /// percentiles and queue metrics plus server-wide totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol errors.
+    pub fn stats(&mut self) -> Result<StatsReport> {
+        let value = self.roundtrip(&Json::obj([("cmd", Json::str("stats"))]))?;
+        decode_stats(&value)
+    }
+
     /// Asks the server to shut down gracefully; returns once the server
     /// acknowledged (the drain happens after the ack).
     ///
@@ -378,6 +425,7 @@ fn decode_error(error: &Json) -> ServeError {
         }
         "shutting_down" => ServeError::ShuttingDown,
         "deadline_exceeded" => ServeError::DeadlineExceeded,
+        "server_overloaded" => ServeError::ServerOverloaded,
         "internal_error" => ServeError::Internal(message),
         _ => ServeError::Protocol(format!("server reported `{kind}`: {message}")),
     }
@@ -451,6 +499,47 @@ fn decode_response(value: &Json) -> Result<ClientResponse> {
     })
 }
 
+fn decode_stats(value: &Json) -> Result<StatsReport> {
+    let stats = value
+        .get("stats")
+        .ok_or_else(|| ServeError::Protocol("response lacks `stats`".to_string()))?;
+    let mut report = StatsReport::default();
+    if let Some(counters) = stats.get("counters").and_then(Json::as_obj) {
+        for (name, raw) in counters {
+            let count = raw.as_f64().ok_or_else(|| {
+                ServeError::Protocol(format!("counter `{name}` must be a number"))
+            })?;
+            report.counters.insert(name.clone(), count as u64);
+        }
+    }
+    if let Some(gauges) = stats.get("gauges").and_then(Json::as_obj) {
+        for (name, raw) in gauges {
+            let level = raw
+                .as_f64()
+                .ok_or_else(|| ServeError::Protocol(format!("gauge `{name}` must be a number")))?;
+            report.gauges.insert(name.clone(), level as i64);
+        }
+    }
+    if let Some(histograms) = stats.get("histograms").and_then(Json::as_obj) {
+        for (name, hist) in histograms {
+            report.histograms.insert(
+                name.clone(),
+                HistogramStats {
+                    count: num_field(hist, "count")? as u64,
+                    sum: num_field(hist, "sum")? as u64,
+                    min: num_field(hist, "min")? as u64,
+                    max: num_field(hist, "max")? as u64,
+                    mean: num_field(hist, "mean")?,
+                    p50: num_field(hist, "p50")?,
+                    p95: num_field(hist, "p95")?,
+                    p99: num_field(hist, "p99")?,
+                },
+            );
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,6 +584,46 @@ mod tests {
             &crate::json::parse("{\"kind\":\"runtime\",\"message\":\"boom\"}").unwrap(),
         );
         assert!(other.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn decodes_a_stats_frame() {
+        let line = concat!(
+            "{\"ok\":true,\"stats\":{",
+            "\"counters\":{\"model.sst2.queue.shed\":4,\"server.requests\":9},",
+            "\"gauges\":{\"model.sst2.queue.depth\":0},",
+            "\"histograms\":{\"model.sst2.request_us\":{",
+            "\"count\":3,\"sum\":700,\"min\":100,\"max\":400,",
+            "\"mean\":233.3,\"p50\":200,\"p95\":380,\"p99\":400,",
+            "\"buckets\":[[64,127,1],[128,255,1],[256,511,1]]}}}}"
+        );
+        let report = decode_stats(&crate::json::parse(line).unwrap()).unwrap();
+        assert_eq!(report.counters.get("model.sst2.queue.shed"), Some(&4));
+        assert_eq!(report.counters.get("server.requests"), Some(&9));
+        assert_eq!(report.gauges.get("model.sst2.queue.depth"), Some(&0));
+        let hist = report.histograms.get("model.sst2.request_us").unwrap();
+        assert_eq!(hist.count, 3);
+        assert_eq!(hist.min, 100);
+        assert_eq!(hist.max, 400);
+        assert!(hist.p50 <= hist.p95 && hist.p95 <= hist.p99);
+        // An empty-section frame still decodes.
+        let empty = decode_stats(
+            &crate::json::parse(
+                "{\"ok\":true,\"stats\":{\"counters\":{},\"gauges\":{},\"histograms\":{}}}",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(empty.counters.is_empty() && empty.histograms.is_empty());
+    }
+
+    #[test]
+    fn decodes_overload_error_frames() {
+        let frame = crate::json::parse(
+            "{\"kind\":\"server_overloaded\",\"message\":\"server overloaded\"}",
+        )
+        .unwrap();
+        assert!(matches!(decode_error(&frame), ServeError::ServerOverloaded));
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub enum ServeError {
     ShuttingDown,
     /// The request's deadline expired before a flush could serve it.
     DeadlineExceeded,
+    /// The request was shed at admission: serving it would push the queue
+    /// past its [`crate::BatchPolicy::max_queue`] bound. The client should
+    /// back off and retry; nothing about the request itself was wrong.
+    ServerOverloaded,
     /// The serving stack itself misbehaved (a worker panicked, an engine
     /// call aborted mid-flush). The request failed but the worker survived;
     /// the message is for the operator, not the client.
@@ -35,6 +39,7 @@ impl ServeError {
             ServeError::Io(_) => "io",
             ServeError::ShuttingDown => "shutting_down",
             ServeError::DeadlineExceeded => "deadline_exceeded",
+            ServeError::ServerOverloaded => "server_overloaded",
             ServeError::Internal(_) => "internal_error",
         }
     }
@@ -50,6 +55,9 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::DeadlineExceeded => {
                 write!(f, "request deadline expired before it was served")
+            }
+            ServeError::ServerOverloaded => {
+                write!(f, "server overloaded: request queue is full, retry later")
             }
             ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
         }
@@ -94,6 +102,7 @@ mod tests {
             (ServeError::Io(std::io::Error::other("io")), "io"),
             (ServeError::ShuttingDown, "shutting_down"),
             (ServeError::DeadlineExceeded, "deadline_exceeded"),
+            (ServeError::ServerOverloaded, "server_overloaded"),
             (
                 ServeError::Internal("worker panicked".into()),
                 "internal_error",

@@ -76,6 +76,14 @@ impl Json {
         }
     }
 
+    /// The key/value map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
     /// Renders the value as compact single-line JSON.
     pub fn render(&self) -> String {
         let mut out = String::new();

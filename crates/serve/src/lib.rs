@@ -22,6 +22,16 @@
 //!    latency reporting and the simulated backend's cycle-model cost in
 //!    responses. [`Client`] is the matching blocking client.
 //!
+//! Every layer records telemetry ([`fqbert_telemetry`], re-exported as
+//! [`telemetry`]): queues count requests/flushes/sheds and time queue wait
+//! and flush latency, the server tracks connections and per-model
+//! end-to-end latency percentiles, and the whole merged snapshot is served
+//! live over the wire by the `{"cmd":"stats"}` command (decoded by
+//! [`Client::stats`] into a [`StatsReport`]). Admission control rides on
+//! the same machinery: [`BatchPolicy::max_queue`] bounds each queue, and
+//! submissions past the bound are shed with a `server_overloaded` error
+//! frame instead of growing the backlog.
+//!
 //! See `crates/serve/README.md` for the wire-protocol specification.
 
 pub mod client;
@@ -32,8 +42,9 @@ pub mod queue;
 pub mod registry;
 pub mod server;
 
-pub use client::{Client, ClientResponse, ClientResult};
+pub use client::{Client, ClientResponse, ClientResult, HistogramStats, StatsReport};
 pub use error::ServeError;
+pub use fqbert_telemetry as telemetry;
 pub use json::Json;
 pub use protocol::{Command, Request, RequestInputs};
 pub use queue::{BatchPolicy, BatchQueue, QueueStats, Ticket, TicketResponse};

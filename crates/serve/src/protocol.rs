@@ -9,6 +9,8 @@ use crate::json::Json;
 use crate::queue::TicketResponse;
 use crate::registry::ModelInfo;
 use crate::{Result, ServeError};
+use fqbert_telemetry::Snapshot;
+use std::collections::BTreeMap;
 
 /// Inputs of one classification request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +60,9 @@ pub enum Command {
     ListModels,
     /// Liveness check.
     Ping,
+    /// A live telemetry snapshot: per-model latency percentiles, queue
+    /// counters and histograms, server totals.
+    Stats,
     /// Ask the server to shut down gracefully (drain queues, then exit).
     Shutdown,
 }
@@ -74,9 +79,10 @@ pub fn parse_command(line: &str) -> Result<Command> {
         return match cmd.as_str() {
             Some("list_models") => Ok(Command::ListModels),
             Some("ping") => Ok(Command::Ping),
+            Some("stats") => Ok(Command::Stats),
             Some("shutdown") => Ok(Command::Shutdown),
             Some(other) => Err(ServeError::Protocol(format!(
-                "unknown command `{other}` (expected `list_models`, `ping` or `shutdown`)"
+                "unknown command `{other}` (expected `list_models`, `ping`, `stats` or `shutdown`)"
             ))),
             None => Err(ServeError::Protocol("`cmd` must be a string".to_string())),
         };
@@ -251,6 +257,78 @@ pub fn models_frame(infos: &[ModelInfo]) -> Json {
     )])
 }
 
+/// Renders the `stats` response: the merged telemetry snapshot as
+///
+/// ```json
+/// {"ok":true,"stats":{
+///   "counters":{"model.sst2.queue.requests":12,...},
+///   "gauges":{"model.sst2.queue.depth":0,...},
+///   "histograms":{"model.sst2.request_us":{
+///     "count":12,"sum":..., "min":..., "max":...,
+///     "mean":..., "p50":..., "p95":..., "p99":...,
+///     "buckets":[[lower,upper,count],...]},...}}}
+/// ```
+///
+/// Metric names are dynamic (they embed model names), so the maps are
+/// built as [`Json::Obj`] trees directly. Counter/gauge values ride as
+/// JSON numbers (`f64`): exact up to 2^53, plenty for live monitoring.
+pub fn stats_frame(snapshot: &Snapshot) -> Json {
+    let counters: BTreeMap<String, Json> = snapshot
+        .counters
+        .iter()
+        .map(|(name, value)| (name.clone(), Json::Num(*value as f64)))
+        .collect();
+    let gauges: BTreeMap<String, Json> = snapshot
+        .gauges
+        .iter()
+        .map(|(name, value)| (name.clone(), Json::Num(*value as f64)))
+        .collect();
+    let histograms: BTreeMap<String, Json> = snapshot
+        .histograms
+        .iter()
+        .map(|(name, view)| {
+            let buckets = view
+                .buckets
+                .iter()
+                .map(|bucket| {
+                    Json::Arr(vec![
+                        Json::Num(bucket.lower as f64),
+                        Json::Num(bucket.upper as f64),
+                        Json::Num(bucket.count as f64),
+                    ])
+                })
+                .collect();
+            let body = Json::obj([
+                ("count", Json::Num(view.count as f64)),
+                ("sum", Json::Num(view.sum as f64)),
+                ("min", Json::Num(view.min as f64)),
+                ("max", Json::Num(view.max as f64)),
+                ("mean", Json::Num(view.mean())),
+                ("p50", Json::Num(view.p50())),
+                ("p95", Json::Num(view.p95())),
+                ("p99", Json::Num(view.p99())),
+                ("buckets", Json::Arr(buckets)),
+            ]);
+            (name.clone(), body)
+        })
+        .collect();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        (
+            "stats",
+            Json::Obj(
+                [
+                    ("counters".to_string(), Json::Obj(counters)),
+                    ("gauges".to_string(), Json::Obj(gauges)),
+                    ("histograms".to_string(), Json::Obj(histograms)),
+                ]
+                .into_iter()
+                .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Renders the `ping` acknowledgement.
 pub fn pong_frame() -> Json {
     Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))])
@@ -326,10 +404,56 @@ mod tests {
             Command::ListModels
         );
         assert_eq!(parse_command(r#"{"cmd":"ping"}"#).unwrap(), Command::Ping);
+        assert_eq!(parse_command(r#"{"cmd":"stats"}"#).unwrap(), Command::Stats);
         assert_eq!(
             parse_command(r#"{"cmd":"shutdown"}"#).unwrap(),
             Command::Shutdown
         );
+    }
+
+    #[test]
+    fn stats_frames_render_and_reparse() {
+        let registry = fqbert_telemetry::Registry::new();
+        registry.counter("model.sst2.queue.requests").add(3);
+        registry.gauge("model.sst2.queue.depth").set(2);
+        for us in [100u64, 200, 400] {
+            registry.histogram("model.sst2.request_us").record(us);
+        }
+        let frame = stats_frame(&registry.snapshot());
+        let line = frame.render();
+        assert!(!line.contains('\n'), "stats frame must be one line");
+        let parsed = crate::json::parse(&line).expect("stats frame must re-parse");
+        assert_eq!(
+            parsed.get("ok").and_then(|v| match v {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }),
+            Some(true)
+        );
+        let stats = parsed.get("stats").expect("stats object");
+        assert_eq!(
+            stats
+                .get("counters")
+                .and_then(|c| c.get("model.sst2.queue.requests"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            stats
+                .get("gauges")
+                .and_then(|g| g.get("model.sst2.queue.depth"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        let hist = stats
+            .get("histograms")
+            .and_then(|h| h.get("model.sst2.request_us"))
+            .expect("request_us histogram");
+        assert_eq!(hist.get("count").and_then(Json::as_f64), Some(3.0));
+        let p50 = hist.get("p50").and_then(Json::as_f64).expect("p50");
+        let p99 = hist.get("p99").and_then(Json::as_f64).expect("p99");
+        assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+        assert!(hist.get("buckets").and_then(Json::as_arr).is_some());
     }
 
     #[test]

@@ -18,9 +18,9 @@
 use crate::{lock_clean, Result, ServeError};
 use fqbert_nlp::Example;
 use fqbert_runtime::{BatchCost, EncodedBatch, Engine, Scored};
+use fqbert_telemetry::{Counter, Gauge, Histogram, Registry, Scope};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -34,6 +34,15 @@ pub struct BatchPolicy {
     pub max_batch: usize,
     /// Flush once the oldest queued request has waited this long.
     pub max_delay: Duration,
+    /// Admission bound: a submission that would push the queue past this
+    /// many queued sequences is shed immediately with
+    /// [`ServeError::ServerOverloaded`] instead of growing the backlog
+    /// (counted in [`QueueStats::shed`]). `usize::MAX` (the default) means
+    /// unbounded. Requests are never split, so a bound below a request's
+    /// own size rejects that request even on an empty queue — keep
+    /// `max_queue` ≥ the largest request you accept (in practice a small
+    /// multiple of `max_batch`).
+    pub max_queue: usize,
 }
 
 impl BatchPolicy {
@@ -43,7 +52,14 @@ impl BatchPolicy {
         Self {
             max_batch: 1,
             max_delay: Duration::ZERO,
+            max_queue: usize::MAX,
         }
+    }
+
+    /// This policy with the admission bound set to `max_queue` sequences
+    /// (`usize::MAX` = unbounded).
+    pub fn bounded(self, max_queue: usize) -> Self {
+        Self { max_queue, ..self }
     }
 }
 
@@ -52,6 +68,7 @@ impl Default for BatchPolicy {
         Self {
             max_batch: 16,
             max_delay: Duration::from_millis(2),
+            max_queue: usize::MAX,
         }
     }
 }
@@ -113,6 +130,10 @@ pub struct QueueStats {
     pub largest_flush: u64,
     /// Requests whose deadline expired before a flush could serve them.
     pub expired: u64,
+    /// Requests shed at admission because the queue was at
+    /// [`BatchPolicy::max_queue`]. Shed requests never enter the queue and
+    /// are not counted in [`QueueStats::requests`].
+    pub shed: u64,
     /// Times the worker thread died and was respawned by a submitter.
     pub restarts: u64,
 }
@@ -150,17 +171,66 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Cached telemetry handles for one queue, named `<scope>.queue.*`.
+/// Resolved once at queue start so the submit/flush paths never touch the
+/// registry lock.
+struct QueueMetrics {
+    /// `queue.requests`: requests resolved by the worker (served, failed
+    /// or expired — not shed).
+    requests: Arc<Counter>,
+    /// `queue.sequences`: sequences classified.
+    sequences: Arc<Counter>,
+    /// `queue.flushes`: merged engine calls performed.
+    flushes: Arc<Counter>,
+    /// `queue.largest_flush`: high-water sequences in one flush.
+    largest_flush: Arc<Gauge>,
+    /// `queue.expired`: requests whose deadline passed while queued.
+    expired: Arc<Counter>,
+    /// `queue.shed`: requests rejected at admission (`max_queue`).
+    shed: Arc<Counter>,
+    /// `queue.restarts`: worker threads respawned after a death.
+    restarts: Arc<Counter>,
+    /// `queue.depth`: sequences currently queued.
+    depth: Arc<Gauge>,
+    /// `queue.wait_us`: time from submission to flush start, per request.
+    wait_us: Arc<Histogram>,
+    /// `queue.flush_size`: sequences merged per flush.
+    flush_size: Arc<Histogram>,
+    /// `queue.flush_occupancy_pct`: flush size as a percentage of
+    /// `max_batch` (can exceed 100 for an oversized single request).
+    flush_occupancy_pct: Arc<Histogram>,
+    /// `queue.flush_us`: wall-clock time of one whole flush, engine call
+    /// plus result routing (and any single-request retries).
+    flush_us: Arc<Histogram>,
+}
+
+impl QueueMetrics {
+    fn new(scope: &Scope) -> Self {
+        let queue = scope.child("queue");
+        Self {
+            requests: queue.counter("requests"),
+            sequences: queue.counter("sequences"),
+            flushes: queue.counter("flushes"),
+            largest_flush: queue.gauge("largest_flush"),
+            expired: queue.counter("expired"),
+            shed: queue.counter("shed"),
+            restarts: queue.counter("restarts"),
+            depth: queue.gauge("depth"),
+            wait_us: queue.histogram("wait_us"),
+            flush_size: queue.histogram("flush_size"),
+            flush_occupancy_pct: queue.histogram("flush_occupancy_pct"),
+            flush_us: queue.histogram("flush_us"),
+        }
+    }
+}
+
 struct QueueInner {
     engine: Arc<Engine>,
     policy: BatchPolicy,
     state: Mutex<QueueState>,
     cond: Condvar,
-    requests: AtomicU64,
-    sequences: AtomicU64,
-    flushes: AtomicU64,
-    largest_flush: AtomicU64,
-    expired: AtomicU64,
-    restarts: AtomicU64,
+    metrics: QueueMetrics,
+    telemetry: Arc<Registry>,
 }
 
 /// A dynamic batching queue over one engine, with one worker thread.
@@ -170,13 +240,22 @@ pub struct BatchQueue {
 }
 
 impl BatchQueue {
-    /// Starts the worker thread for `engine` under `policy`.
+    /// Starts the worker thread for `engine` under `policy`, recording
+    /// telemetry into a private registry (`queue.*`).
     pub fn start(engine: Arc<Engine>, policy: BatchPolicy) -> Self {
+        Self::start_scoped(engine, policy, &Scope::detached(""))
+    }
+
+    /// Starts the worker thread with telemetry registered under `scope`
+    /// (metric names become `<scope>.queue.*`) — how a server pools several
+    /// model queues into one registry.
+    pub fn start_scoped(engine: Arc<Engine>, policy: BatchPolicy, scope: &Scope) -> Self {
         let inner = Arc::new(QueueInner {
             engine,
             policy: BatchPolicy {
                 max_batch: policy.max_batch.max(1),
                 max_delay: policy.max_delay,
+                max_queue: policy.max_queue,
             },
             state: Mutex::new(QueueState {
                 pending: VecDeque::new(),
@@ -184,12 +263,8 @@ impl BatchQueue {
                 shutdown: false,
             }),
             cond: Condvar::new(),
-            requests: AtomicU64::new(0),
-            sequences: AtomicU64::new(0),
-            flushes: AtomicU64::new(0),
-            largest_flush: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            restarts: AtomicU64::new(0),
+            metrics: QueueMetrics::new(scope),
+            telemetry: Arc::clone(scope.registry()),
         });
         // If the OS refuses a thread the queue starts in degraded mode:
         // submissions are served inline on the caller's thread (see
@@ -209,6 +284,14 @@ impl BatchQueue {
     /// The flush policy.
     pub fn policy(&self) -> BatchPolicy {
         self.inner.policy
+    }
+
+    /// The telemetry registry this queue records into: counters mirrored by
+    /// [`BatchQueue::stats`] plus `queue.depth`, `queue.wait_us`,
+    /// `queue.flush_size`, `queue.flush_occupancy_pct` and `queue.flush_us`
+    /// distributions.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.inner.telemetry
     }
 
     /// Enqueues one request (any number of pre-encoded sequences) and
@@ -250,8 +333,18 @@ impl BatchQueue {
             let _ = tx.send(Err(ServeError::ShuttingDown));
             return Ticket { rx };
         }
+        // Admission control: a request that would push the backlog past
+        // `max_queue` sequences is shed now, while it is cheap — before
+        // encoding work, queue growth, or a doomed multi-window wait.
+        if state.queued_sequences.saturating_add(examples.len()) > self.inner.policy.max_queue {
+            drop(state);
+            self.inner.metrics.shed.inc();
+            let _ = tx.send(Err(ServeError::ServerOverloaded));
+            return Ticket { rx };
+        }
         let enqueued = Instant::now();
         state.queued_sequences += examples.len();
+        self.inner.metrics.depth.add(examples.len() as i64);
         state.pending.push_back(PendingRequest {
             examples,
             enqueued,
@@ -276,7 +369,7 @@ impl BatchQueue {
         }
         if let Some(dead) = worker.take() {
             let _ = dead.join();
-            self.inner.restarts.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.restarts.inc();
         }
         *worker = spawn_worker(&self.inner).ok();
         if worker.is_none() {
@@ -294,15 +387,17 @@ impl BatchQueue {
         self.submit(examples).wait()
     }
 
-    /// Batching counters since start.
+    /// Batching counters since start (a view over the queue's telemetry).
     pub fn stats(&self) -> QueueStats {
+        let metrics = &self.inner.metrics;
         QueueStats {
-            requests: self.inner.requests.load(Ordering::Relaxed),
-            sequences: self.inner.sequences.load(Ordering::Relaxed),
-            flushes: self.inner.flushes.load(Ordering::Relaxed),
-            largest_flush: self.inner.largest_flush.load(Ordering::Relaxed),
-            expired: self.inner.expired.load(Ordering::Relaxed),
-            restarts: self.inner.restarts.load(Ordering::Relaxed),
+            requests: metrics.requests.get(),
+            sequences: metrics.sequences.get(),
+            flushes: metrics.flushes.get(),
+            largest_flush: u64::try_from(metrics.largest_flush.get()).unwrap_or(0),
+            expired: metrics.expired.get(),
+            shed: metrics.shed.get(),
+            restarts: metrics.restarts.get(),
         }
     }
 
@@ -326,6 +421,7 @@ impl BatchQueue {
         let leftovers: Vec<PendingRequest> = {
             let mut state = lock_clean(&self.inner.state);
             state.queued_sequences = 0;
+            self.inner.metrics.depth.set(0);
             state.pending.drain(..).collect()
         };
         for request in leftovers {
@@ -364,8 +460,9 @@ fn spawn_worker(inner: &Arc<QueueInner>) -> std::io::Result<JoinHandle<()>> {
 /// receiver must never rendezvous with a thread that holds queue state.
 fn retire_expired(inner: &QueueInner, state: &mut QueueState, request: &PendingRequest) {
     state.queued_sequences -= request.examples.len();
-    inner.expired.fetch_add(1, Ordering::Relaxed);
-    inner.requests.fetch_add(1, Ordering::Relaxed);
+    inner.metrics.depth.add(-(request.examples.len() as i64));
+    inner.metrics.expired.inc();
+    inner.metrics.requests.inc();
 }
 
 /// Removes every pending request whose deadline has passed — anywhere in
@@ -405,6 +502,7 @@ fn drain_window(inner: &QueueInner, state: &mut QueueState) -> Vec<PendingReques
         };
         sequences += request.examples.len();
         state.queued_sequences -= request.examples.len();
+        inner.metrics.depth.add(-(request.examples.len() as i64));
         window.push(request);
         if sequences >= inner.policy.max_batch {
             break;
@@ -531,16 +629,23 @@ fn drain_inline(inner: &QueueInner) {
 fn flush_window(inner: &QueueInner, window: Vec<PendingRequest>) {
     let flush_start = Instant::now();
     let flushed_batch: usize = window.iter().map(|r| r.examples.len()).sum();
-    inner.flushes.fetch_add(1, Ordering::Relaxed);
-    inner
-        .requests
-        .fetch_add(window.len() as u64, Ordering::Relaxed);
-    inner
-        .sequences
-        .fetch_add(flushed_batch as u64, Ordering::Relaxed);
-    inner
-        .largest_flush
-        .fetch_max(flushed_batch as u64, Ordering::Relaxed);
+    let metrics = &inner.metrics;
+    metrics.flushes.inc();
+    metrics.requests.add(window.len() as u64);
+    metrics.sequences.add(flushed_batch as u64);
+    metrics.largest_flush.set_max(flushed_batch as i64);
+    metrics.flush_size.record(flushed_batch as u64);
+    metrics
+        .flush_occupancy_pct
+        .record((flushed_batch as u64).saturating_mul(100) / inner.policy.max_batch.max(1) as u64);
+    for request in &window {
+        metrics
+            .wait_us
+            .record_duration(flush_start.duration_since(request.enqueued));
+    }
+    // Records the whole flush — engine call, result routing and any
+    // single-request retries — when this function returns.
+    let _flush_span = metrics.flush_us.start_timer();
 
     let merged: Vec<Example> = window
         .iter()

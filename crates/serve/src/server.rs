@@ -6,6 +6,7 @@ use crate::queue::{BatchPolicy, BatchQueue};
 use crate::registry::ModelRegistry;
 use crate::{lock_clean, Result, ServeError};
 use fqbert_runtime::EncodedBatch;
+use fqbert_telemetry::{Counter, Gauge, Histogram, Registry, Scope, Snapshot};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -36,11 +37,30 @@ impl Default for ServerConfig {
     }
 }
 
+/// Server-wide telemetry handles (`server.*` in the server registry).
+struct ServerMetrics {
+    /// `server.connections`: client connections currently open.
+    connections: Arc<Gauge>,
+    /// `server.requests`: frames answered (all commands, all outcomes).
+    requests: Arc<Counter>,
+    /// `server.errors`: frames answered with an error frame.
+    errors: Arc<Counter>,
+}
+
 struct Shared {
     registry: ModelRegistry,
     queues: BTreeMap<String, BatchQueue>,
     shutdown: AtomicBool,
     connections: Mutex<Vec<JoinHandle<()>>>,
+    /// One registry pooling `server.*`, every queue's `model.<name>.queue.*`
+    /// and each model's `model.<name>.request_us` end-to-end histogram.
+    /// Engine-internal metrics live in each engine's own registry and are
+    /// merged in (prefixed) by [`stats_snapshot`].
+    telemetry: Arc<Registry>,
+    metrics: ServerMetrics,
+    /// End-to-end latency histogram per model (`model.<name>.request_us`):
+    /// frame receipt → response framed, including queue wait and flush.
+    request_us: BTreeMap<String, Arc<Histogram>>,
 }
 
 /// A running multi-model server.
@@ -71,15 +91,23 @@ impl Server {
                 "cannot serve an empty model registry".to_string(),
             ));
         }
-        let queues: BTreeMap<String, BatchQueue> = registry
-            .iter()
-            .map(|(name, engine)| {
-                (
-                    name.to_string(),
-                    BatchQueue::start(Arc::clone(engine), config.policy),
-                )
-            })
-            .collect();
+        let telemetry = Arc::new(Registry::new());
+        let mut queues: BTreeMap<String, BatchQueue> = BTreeMap::new();
+        let mut request_us: BTreeMap<String, Arc<Histogram>> = BTreeMap::new();
+        for (name, engine) in registry.iter() {
+            let scope = Scope::new(Arc::clone(&telemetry), format!("model.{name}"));
+            request_us.insert(name.to_string(), scope.histogram("request_us"));
+            queues.insert(
+                name.to_string(),
+                BatchQueue::start_scoped(Arc::clone(engine), config.policy, &scope),
+            );
+        }
+        let server_scope = Scope::new(Arc::clone(&telemetry), "server");
+        let metrics = ServerMetrics {
+            connections: server_scope.gauge("connections"),
+            requests: server_scope.counter("requests"),
+            errors: server_scope.counter("errors"),
+        };
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -88,6 +116,9 @@ impl Server {
             queues,
             shutdown: AtomicBool::new(false),
             connections: Mutex::new(Vec::new()),
+            telemetry,
+            metrics,
+            request_us,
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -118,6 +149,22 @@ impl Server {
             .iter()
             .map(|(name, queue)| (name.clone(), queue.stats()))
             .collect()
+    }
+
+    /// The server's pooled telemetry registry (`server.*`,
+    /// `model.<name>.queue.*`, `model.<name>.request_us`). Engine-internal
+    /// metrics are *not* in here — use [`Server::stats_snapshot`] for the
+    /// complete merged view.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.shared.telemetry
+    }
+
+    /// The complete telemetry snapshot the `stats` wire command returns:
+    /// the server registry plus every engine's private registry merged in
+    /// under `model.<name>.` (so `engine.classify_us` becomes
+    /// `model.<name>.engine.classify_us`).
+    pub fn stats_snapshot(&self) -> Snapshot {
+        stats_snapshot(&self.shared)
     }
 
     /// Requests shutdown and blocks until the accept loop, every
@@ -225,7 +272,26 @@ const MAX_FRAME_BYTES: usize = 4 << 20;
 /// graceful shutdown) forever.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// The merged snapshot served over the wire: server-wide metrics plus each
+/// engine's private registry prefixed with its model name.
+fn stats_snapshot(shared: &Shared) -> Snapshot {
+    let mut snapshot = shared.telemetry.snapshot();
+    for (name, queue) in &shared.queues {
+        snapshot.merge_prefixed(
+            &queue.engine().telemetry().snapshot(),
+            &format!("model.{name}"),
+        );
+    }
+    snapshot
+}
+
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    shared.metrics.connections.inc();
+    connection_loop(stream, shared);
+    shared.metrics.connections.dec();
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     // Accepted sockets must block with a read timeout so the handler can
     // re-check the shutdown flag without busy-waiting.
     if stream.set_nonblocking(false).is_err()
@@ -290,6 +356,7 @@ fn respond(line: &str, writer: &mut TcpStream, shared: &Arc<Shared>) -> bool {
         return false;
     }
     let received = Instant::now();
+    shared.metrics.requests.inc();
     let (frame, stop) = match protocol::parse_command(line) {
         Ok(Command::Classify(request)) => {
             let response = serve_request(&request, shared, received);
@@ -297,11 +364,15 @@ fn respond(line: &str, writer: &mut TcpStream, shared: &Arc<Shared>) -> bool {
         }
         Ok(Command::ListModels) => (protocol::models_frame(&shared.registry.infos()), false),
         Ok(Command::Ping) => (protocol::pong_frame(), false),
+        Ok(Command::Stats) => (protocol::stats_frame(&stats_snapshot(shared)), false),
         Ok(Command::Shutdown) => {
             shared.shutdown.store(true, Ordering::SeqCst);
             (protocol::shutdown_frame(), true)
         }
-        Err(err) => (protocol::error_frame(None, &err), false),
+        Err(err) => {
+            shared.metrics.errors.inc();
+            (protocol::error_frame(None, &err), false)
+        }
     };
     let mut payload = frame.render();
     payload.push('\n');
@@ -349,8 +420,23 @@ fn serve_request(
             latency_ms,
         ))
     })();
+    // End-to-end latency per model, recorded for every answered request —
+    // slow failures (deadline expiries, engine errors) shape the tail too.
+    // Shed requests are excluded: they fail in microseconds before any
+    // serving work, so under overload they would drag the percentiles to
+    // the fast-fail floor and mask the latency of requests actually
+    // served (`queue.shed` already counts them). Unknown models have no
+    // histogram and are skipped.
+    if !matches!(result, Err(ServeError::ServerOverloaded)) {
+        if let Some(histogram) = shared.request_us.get(&request.model) {
+            histogram.record_duration(received.elapsed());
+        }
+    }
     match result {
         Ok(frame) => frame,
-        Err(err) => protocol::error_frame(Some(&request.id), &err),
+        Err(err) => {
+            shared.metrics.errors.inc();
+            protocol::error_frame(Some(&request.id), &err)
+        }
     }
 }

@@ -30,6 +30,7 @@ proptest! {
             BatchPolicy {
                 max_batch,
                 max_delay: Duration::from_millis(delay_ms),
+            max_queue: usize::MAX,
             },
         );
         // Build every request's examples up front so the direct reference

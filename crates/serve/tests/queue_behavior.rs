@@ -18,6 +18,7 @@ fn max_batch_reached_flushes_one_merged_window() {
             // A delay budget so large that only the max-batch trigger can
             // explain a flush.
             max_delay: Duration::from_secs(30),
+            max_queue: usize::MAX,
         },
     );
     let tickets: Vec<_> = (0..4).map(|i| queue.submit(vec![example(i)])).collect();
@@ -45,6 +46,7 @@ fn max_delay_expiry_flushes_a_partial_window() {
         BatchPolicy {
             max_batch: 1000,
             max_delay: Duration::from_millis(30),
+            max_queue: usize::MAX,
         },
     );
     let first = queue.submit(vec![example(0)]);
@@ -68,6 +70,7 @@ fn shutdown_drains_queued_requests_and_rejects_new_ones() {
         BatchPolicy {
             max_batch: 1000,
             max_delay: Duration::from_secs(30),
+            max_queue: usize::MAX,
         },
     );
     // Far below max_batch and far before the deadline: these requests sit
@@ -94,6 +97,7 @@ fn oversized_request_flushes_alone_and_empty_request_resolves_immediately() {
         BatchPolicy {
             max_batch: 2,
             max_delay: Duration::from_secs(30),
+            max_queue: usize::MAX,
         },
     );
     let big: Vec<_> = (0..5).map(example).collect();
@@ -113,6 +117,7 @@ fn poisoned_window_fails_only_the_offending_request() {
         BatchPolicy {
             max_batch: 4,
             max_delay: Duration::from_secs(30),
+            max_queue: usize::MAX,
         },
     );
     let mut poison = example(1);
@@ -141,6 +146,7 @@ fn expired_deadline_fails_the_request_without_a_flush_slot() {
             // The window stays open long enough for a 1 ms deadline to
             // expire before the flush drains the queue.
             max_delay: Duration::from_millis(200),
+            max_queue: usize::MAX,
         },
     );
     let doomed = queue.submit_with_deadline(vec![example(0)], Some(Duration::from_millis(1)));
@@ -171,6 +177,7 @@ fn deadline_errors_arrive_at_the_deadline_not_at_window_close() {
             // A 30 s window: only a deadline-driven wake-up explains the
             // error arriving quickly.
             max_delay: Duration::from_secs(30),
+            max_queue: usize::MAX,
         },
     );
     let start = std::time::Instant::now();
@@ -193,6 +200,7 @@ fn generous_deadlines_do_not_change_serving() {
         BatchPolicy {
             max_batch: 2,
             max_delay: Duration::from_secs(30),
+            max_queue: usize::MAX,
         },
     );
     let a = queue.submit_with_deadline(vec![example(0)], Some(Duration::from_secs(60)));
@@ -203,12 +211,76 @@ fn generous_deadlines_do_not_change_serving() {
 }
 
 #[test]
+fn full_queue_sheds_new_requests_with_server_overloaded() {
+    let queue = BatchQueue::start(
+        engine(BackendKind::Int),
+        BatchPolicy {
+            // Nothing can trigger a flush before shutdown (the window needs
+            // 16 sequences and has a 30 s budget), so the queue fills to
+            // exactly the bound and holds there — deterministically.
+            max_batch: 16,
+            max_delay: Duration::from_secs(30),
+            max_queue: 8,
+        },
+    );
+    let queued: Vec<_> = (0..8).map(|i| queue.submit(vec![example(i)])).collect();
+    let shed: Vec<_> = (0..4).map(|i| queue.submit(vec![example(i)])).collect();
+    for ticket in shed {
+        let err = ticket.wait().expect_err("over-bound submit must be shed");
+        assert!(matches!(err, ServeError::ServerOverloaded), "{err}");
+        assert_eq!(err.kind(), "server_overloaded");
+    }
+    // Admitted requests are unaffected: shutdown drains all eight.
+    queue.shutdown();
+    for ticket in queued {
+        assert_eq!(ticket.wait().expect("drained").results.len(), 1);
+    }
+    let stats = queue.stats();
+    assert_eq!(stats.shed, 4);
+    assert_eq!(stats.sequences, 8, "shed sequences are never classified");
+    assert_eq!(
+        stats.largest_flush, 8,
+        "the queue held exactly the bound, never more"
+    );
+    assert_eq!(stats.expired, 0);
+    // The same counters are live in the queue's telemetry registry.
+    let snapshot = queue.telemetry().snapshot();
+    assert_eq!(snapshot.counter("queue.shed"), Some(4));
+    assert_eq!(snapshot.counter("queue.sequences"), Some(8));
+    assert_eq!(snapshot.gauge("queue.depth"), Some(0), "drained to empty");
+}
+
+#[test]
+fn requests_larger_than_the_bound_are_shed_even_on_an_empty_queue() {
+    let queue = BatchQueue::start(
+        engine(BackendKind::Int),
+        BatchPolicy {
+            max_batch: 4,
+            max_delay: Duration::from_secs(30),
+            max_queue: 2,
+        },
+    );
+    // Requests are never split, so a 3-sequence request can never fit a
+    // 2-sequence bound.
+    let err = queue
+        .classify((0..3).map(example).collect())
+        .expect_err("oversized request must be shed");
+    assert!(matches!(err, ServeError::ServerOverloaded), "{err}");
+    // A fitting request still rides normally afterwards.
+    let queued = queue.submit(vec![example(0), example(1)]);
+    queue.shutdown();
+    assert_eq!(queued.wait().expect("served").results.len(), 2);
+    assert_eq!(queue.stats().shed, 1);
+}
+
+#[test]
 fn sim_queue_reports_per_request_costs_that_sum_to_the_flush() {
     let queue = BatchQueue::start(
         engine(BackendKind::Sim),
         BatchPolicy {
             max_batch: 3,
             max_delay: Duration::from_secs(30),
+            max_queue: usize::MAX,
         },
     );
     let a = queue.submit(vec![example(0), example(1)]);

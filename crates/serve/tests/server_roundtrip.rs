@@ -34,6 +34,7 @@ fn test_server() -> Server {
             policy: BatchPolicy {
                 max_batch: 4,
                 max_delay: Duration::from_millis(5),
+                max_queue: usize::MAX,
             },
         },
     )
@@ -205,4 +206,103 @@ fn server_round_trip_with_concurrent_clients_and_graceful_shutdown() {
         std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err(),
         "listener must be closed after shutdown"
     );
+}
+
+#[test]
+fn stats_command_reports_live_per_model_telemetry() {
+    let server = test_server();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Drive known traffic: five single-text requests on w4, one on w8,
+    // none on sim. Queue counters are recorded before the response frame
+    // is written, so once `classify_texts` returns the stats are settled.
+    for _ in 0..5 {
+        client
+            .classify_texts("sst2-w4", &["w1 w2 w3"])
+            .expect("classify w4");
+    }
+    client
+        .classify_texts("sst2-w8", &["w1 w2"])
+        .expect("classify w8");
+
+    let stats = client.stats().expect("stats");
+
+    // Server totals: the six classify frames plus this stats frame itself.
+    assert!(
+        stats.counters.get("server.requests").copied().unwrap_or(0) >= 7,
+        "server.requests missing or too small: {:?}",
+        stats.counters.get("server.requests")
+    );
+    assert_eq!(stats.counters.get("server.errors"), Some(&0));
+    assert_eq!(stats.gauges.get("server.connections"), Some(&1));
+
+    // Per-model queue counters carry the exact traffic.
+    assert_eq!(stats.counters.get("model.sst2-w4.queue.requests"), Some(&5));
+    assert_eq!(
+        stats.counters.get("model.sst2-w4.queue.sequences"),
+        Some(&5)
+    );
+    assert_eq!(stats.counters.get("model.sst2-w8.queue.requests"), Some(&1));
+    assert_eq!(stats.counters.get("model.sst2-w4.queue.shed"), Some(&0));
+    assert_eq!(stats.counters.get("model.sst2-w4.queue.expired"), Some(&0));
+    assert_eq!(stats.gauges.get("model.sst2-w4.queue.depth"), Some(&0));
+
+    // End-to-end latency percentiles per model, ordered and bounded.
+    let latency = stats
+        .histograms
+        .get("model.sst2-w4.request_us")
+        .expect("w4 latency histogram");
+    assert_eq!(latency.count, 5);
+    assert!(latency.p50 <= latency.p95 && latency.p95 <= latency.p99);
+    assert!(latency.min <= latency.max);
+    assert!(latency.p99 <= latency.max as f64 + 1e-9);
+    assert_eq!(
+        stats
+            .histograms
+            .get("model.sst2-w8.request_us")
+            .expect("w8 latency histogram")
+            .count,
+        1
+    );
+
+    // Queue wait and flush-shape histograms exist and saw the flushes.
+    let wait = stats
+        .histograms
+        .get("model.sst2-w4.queue.wait_us")
+        .expect("wait histogram");
+    assert_eq!(wait.count, 5);
+    assert!(stats
+        .histograms
+        .contains_key("model.sst2-w4.queue.flush_size"));
+
+    // Engine-internal metrics are merged under the same model prefix.
+    assert!(
+        stats
+            .counters
+            .get("model.sst2-w4.engine.calls")
+            .copied()
+            .unwrap_or(0)
+            >= 1,
+        "engine metrics must merge into the model prefix"
+    );
+
+    // Untouched models still report, at zero — the registry registers
+    // every metric eagerly at spawn.
+    assert_eq!(
+        stats.counters.get("model.sst2-sim.queue.requests"),
+        Some(&0)
+    );
+
+    // Stats are live: a second snapshot reflects the frames in between.
+    let before = stats.counters["server.requests"];
+    client.ping().expect("ping");
+    let again = client.stats().expect("second stats");
+    assert!(
+        again.counters["server.requests"] >= before + 2,
+        "second snapshot must count the ping and itself"
+    );
+
+    client.shutdown_server().expect("shutdown ack");
+    server.join();
 }

@@ -1,0 +1,482 @@
+//! The metric primitives: [`Counter`], [`Gauge`], [`Histogram`] and the
+//! scoped [`Timer`].
+//!
+//! Everything here is lock-free: recording touches only relaxed atomics, so
+//! instrumentation costs a handful of uncontended fetch-adds per event and
+//! near zero when idle. Histograms use fixed log2 buckets (bucket 0 holds
+//! exactly the value 0; bucket *i* ≥ 1 holds `2^(i-1) ..= 2^i - 1`), which
+//! makes `record` branch-free and quantile estimation a cumulative walk
+//! with linear interpolation inside the landing bucket, clamped to the
+//! observed min/max — exact whenever all samples share one value.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, in-flight work,
+/// high-water marks via [`Gauge::set_max`]).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `delta` (which may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `value` if it is larger (a high-water mark).
+    pub fn set_max(&self, value: i64) {
+        self.value.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: one for zero plus one per bit of a `u64`, so
+/// every value has a bucket and `record` never branches on range.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket index `value` lands in: 0 for 0, else `floor(log2(v)) + 1`.
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive `(lower, upper)` value range of bucket `index`.
+/// Out-of-range indices clamp to the last bucket.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 0),
+        // upper = 2^i - 1, computed as 2^(i-1) + (2^(i-1) - 1) so the
+        // top bucket (i = 64) lands on u64::MAX without overflowing.
+        i if i < NUM_BUCKETS => (1u64 << (i - 1), (1u64 << (i - 1)) + ((1u64 << (i - 1)) - 1)),
+        _ => (1u64 << 63, u64::MAX),
+    }
+}
+
+/// A fixed log2-bucket histogram of `u64` samples (typically microseconds).
+///
+/// Recording is lock-free and allocation-free; [`Histogram::snapshot`]
+/// produces an immutable [`HistogramSnapshot`] for quantile estimation and
+/// export. Under concurrent recording a snapshot is a near-point-in-time
+/// view: each atomic is read once, so derived fields may disagree by the
+/// handful of events that landed mid-read — harmless for monitoring.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Smallest recorded value; `u64::MAX` until the first record.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        if let Some(bucket) = self.buckets.get(bucket_index(value)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole microseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts a scoped timer that records its elapsed microseconds into
+    /// this histogram when dropped (or explicitly observed).
+    pub fn start_timer(&self) -> Timer<'_> {
+        Timer {
+            histogram: self,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable view of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(index, bucket)| {
+                    let n = bucket.load(Ordering::Relaxed);
+                    (n > 0).then(|| {
+                        let (lower, upper) = bucket_bounds(index);
+                        BucketCount {
+                            lower,
+                            upper,
+                            count: n,
+                        }
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty histogram bucket in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Smallest value the bucket covers (inclusive).
+    pub lower: u64,
+    /// Largest value the bucket covers (inclusive).
+    pub upper: u64,
+    /// Samples that landed in the bucket.
+    pub count: u64,
+}
+
+/// An immutable histogram view: totals plus the non-empty buckets, with
+/// quantile estimation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping only after `u64::MAX` total).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// The non-empty buckets, in increasing value order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by walking the
+    /// cumulative bucket counts and interpolating linearly inside the
+    /// landing bucket, clamped to the observed `[min, max]`. Exact when
+    /// every sample shares one value; otherwise within the landing
+    /// bucket's width (< 2x) of the true order statistic.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The rank of the order statistic we estimate, in 1..=count.
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for bucket in &self.buckets {
+            if cumulative + bucket.count >= rank {
+                let into = (rank - cumulative) as f64 / bucket.count as f64;
+                let lower = bucket.lower as f64;
+                let upper = bucket.upper as f64;
+                let estimate = lower + into * (upper - lower);
+                return estimate.clamp(self.min as f64, self.max as f64);
+            }
+            cumulative += bucket.count;
+        }
+        self.max as f64
+    }
+
+    /// The median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// A scoped span: records the elapsed time into its histogram (as whole
+/// microseconds) when dropped, so early returns and error paths are timed
+/// exactly like successes. [`Timer::observe`] stops it explicitly and
+/// returns the elapsed duration; [`Timer::discard`] drops it unrecorded.
+#[derive(Debug)]
+pub struct Timer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl Timer<'_> {
+    /// Stops the timer, records the span and returns the elapsed time.
+    pub fn observe(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.histogram.record_duration(elapsed);
+        self.armed = false;
+        elapsed
+    }
+
+    /// Abandons the span without recording it.
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.histogram.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count_and_gauges_swing() {
+        let counter = Counter::new();
+        counter.inc();
+        counter.add(41);
+        assert_eq!(counter.get(), 42);
+
+        let gauge = Gauge::new();
+        gauge.inc();
+        gauge.inc();
+        gauge.dec();
+        assert_eq!(gauge.get(), 1);
+        gauge.set(-5);
+        assert_eq!(gauge.get(), -5);
+        gauge.set_max(3);
+        gauge.set_max(-100);
+        assert_eq!(gauge.get(), 3);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // value -> expected bucket index
+        for (value, index) in [
+            (0u64, 0usize),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (1023, 10),
+            (1024, 11),
+            (1025, 11),
+            (u64::MAX, 64),
+        ] {
+            assert_eq!(bucket_index(value), index, "value {value}");
+            let (lower, upper) = bucket_bounds(index);
+            assert!(
+                lower <= value && value <= upper,
+                "value {value} outside bucket {index} bounds [{lower}, {upper}]"
+            );
+        }
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(2), (2, 3));
+        assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+        // Adjacent buckets tile the value range without gaps or overlap.
+        for index in 0..NUM_BUCKETS - 1 {
+            let (_, upper) = bucket_bounds(index);
+            let (next_lower, _) = bucket_bounds(index + 1);
+            assert_eq!(next_lower, upper + 1, "gap after bucket {index}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_into_the_right_buckets() {
+        let hist = Histogram::new();
+        for value in [0u64, 1, 1, 2, 3, 900, 1024] {
+            hist.record(value);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, 1931);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 1024);
+        let by_lower: Vec<(u64, u64)> = snap.buckets.iter().map(|b| (b.lower, b.count)).collect();
+        assert_eq!(by_lower, vec![(0, 1), (1, 2), (2, 2), (512, 1), (1024, 1)]);
+    }
+
+    #[test]
+    fn quantiles_are_exact_for_constant_samples() {
+        let hist = Histogram::new();
+        for _ in 0..1000 {
+            hist.record(777);
+        }
+        let snap = hist.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), 777.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_uniform_data_within_a_bucket_width() {
+        // 1..=1000 uniformly: the true p50 is 500, p99 is 990. Log2 buckets
+        // bound the estimate to the landing bucket, so the estimate must be
+        // within a factor of two of truth and ordered.
+        let hist = Histogram::new();
+        for v in 1..=1000u64 {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let p50 = snap.p50();
+        let p95 = snap.p95();
+        let p99 = snap.p99();
+        assert!((250.0..=1000.0).contains(&p50), "p50={p50}");
+        assert!((475.0..=1000.0).contains(&p95), "p95={p95}");
+        assert!((495.0..=1000.0).contains(&p99), "p99={p99}");
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert_eq!(snap.quantile(0.0), 1.0);
+        assert_eq!(snap.quantile(1.0), 1000.0);
+        assert!((snap.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_are_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.p99(), 0.0);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let counter = Arc::new(Counter::new());
+        let hist = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let counter = Arc::clone(&counter);
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        counter.inc();
+                        hist.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().expect("recorder thread");
+        }
+        assert_eq!(counter.get(), 8000);
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 8000);
+        assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), 8000);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 7999);
+    }
+
+    #[test]
+    fn timers_record_on_drop_and_observe() {
+        let hist = Histogram::new();
+        {
+            let _span = hist.start_timer();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(hist.count(), 1);
+        let elapsed = {
+            let span = hist.start_timer();
+            std::thread::sleep(Duration::from_millis(2));
+            span.observe()
+        };
+        assert!(elapsed >= Duration::from_millis(2));
+        assert_eq!(hist.count(), 2);
+        hist.start_timer().discard();
+        assert_eq!(hist.count(), 2);
+        let snap = hist.snapshot();
+        assert!(snap.min >= 1000, "recorded microseconds, got {}", snap.min);
+    }
+}

@@ -56,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             policy: BatchPolicy {
                 max_batch: 16,
                 max_delay: Duration::from_millis(2),
+                max_queue: usize::MAX,
             },
         },
     )?;
@@ -157,6 +158,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.mean_flush(),
             stats.largest_flush
         );
+    }
+
+    // Live telemetry over the wire: the same data (and much more — queue
+    // wait, flush histograms, engine timings) via `{"cmd":"stats"}`.
+    println!("\nlive `stats` snapshot (per-model end-to-end latency):");
+    let stats = client.stats()?;
+    for &model in &models {
+        if let Some(hist) = stats.histograms.get(&format!("model.{model}.request_us")) {
+            println!(
+                "  {model:<10} {:>3} requests, p50 {:>6.0} us, p95 {:>6.0} us, p99 {:>6.0} us",
+                hist.count, hist.p50, hist.p95, hist.p99
+            );
+        }
     }
 
     // Graceful shutdown over the wire: ack first, drain, then exit.

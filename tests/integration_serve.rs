@@ -83,6 +83,7 @@ fn multi_model_server_routes_by_name_and_matches_direct_inference() {
             policy: BatchPolicy {
                 max_batch: 8,
                 max_delay: Duration::from_millis(3),
+                max_queue: usize::MAX,
             },
         },
     )
