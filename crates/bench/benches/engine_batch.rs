@@ -1,8 +1,10 @@
 //! Benchmark of the unified runtime's batched inference: one
 //! `classify_batch` call over N sequences versus N batch-of-one calls on
-//! the integer backend, the float backend for reference, and the blocked
+//! the integer backend, the float backend for reference, the blocked
 //! packed-weight GEMM kernel against the naive `matmul_i32` + scalar
-//! requantize path it replaced.
+//! requantize path it replaced, and every SIMD micro-kernel available on
+//! this host against the scalar reference (`kernel_comparison`, with
+//! derived speedups in the JSON report).
 //!
 //! Besides the console output, the run emits machine-readable
 //! `results/BENCH_engine_batch.json` (perf trajectory),
@@ -22,6 +24,7 @@ use fqbert_core::{convert, IntLinear, QatHook};
 use fqbert_nlp::{Example, TaskKind, Tokenizer, Vocab};
 use fqbert_quant::QuantConfig;
 use fqbert_runtime::{BackendKind, EncodedBatch, Engine, EngineBuilder, ModelArtifact};
+use fqbert_tensor::gemm::kernels;
 use fqbert_tensor::{GemmScratch, IntTensor, RngSource};
 use std::hint::black_box;
 use std::path::Path;
@@ -165,6 +168,129 @@ fn bench_blocked_vs_naive(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// Projection shapes the kernel comparison sweeps: rows are packed batch
+/// tokens, in/out features are hidden/intermediate sized.
+const KERNEL_SHAPES: [(usize, usize, usize); 2] = [(64, 128, 512), (128, 256, 256)];
+
+/// Every GEMM micro-kernel available on this host against the scalar
+/// reference, on int8 (wide-panel) and int4 (nibble-panel) projections.
+/// Outputs are asserted bit-identical across kernels before timing; the
+/// derived `kernel_comparison` section of `BENCH_engine_batch.json` adds
+/// speedups over scalar.
+fn bench_kernel_comparison(c: &mut Criterion) {
+    let mut rng = RngSource::seed_from_u64(7);
+    let mut group = c.benchmark_group("kernel_comparison");
+    for &(rows, inf, outf) in &KERNEL_SHAPES {
+        let bias = rng.normal_tensor(&[outf], 0.0, 0.1);
+        let layers = [
+            (
+                "w8",
+                IntLinear::from_float(
+                    &rng.normal_tensor(&[inf, outf], 0.0, 0.3),
+                    &bias,
+                    8,
+                    None,
+                    16.0,
+                    16.0,
+                )
+                .expect("w8 layer"),
+            ),
+            (
+                "w4",
+                IntLinear::from_float(
+                    &rng.normal_tensor(&[inf, outf], 0.0, 0.3),
+                    &bias,
+                    4,
+                    None,
+                    16.0,
+                    16.0,
+                )
+                .expect("w4 layer"),
+            ),
+        ];
+        let x = IntTensor::<i8>::from_vec(
+            (0..rows * inf)
+                .map(|i| ((i * 37 + 5) % 255) as i8)
+                .collect(),
+            &[rows, inf],
+        )
+        .expect("activations");
+        let shape = format!("{rows}x{inf}x{outf}");
+        let mut scratch = GemmScratch::new();
+        for (panel, layer) in &layers {
+            assert_eq!(kernels::force(kernels::KernelKind::Scalar).name(), "scalar");
+            let reference = layer.forward(&x).expect("scalar reference");
+            for kind in kernels::available() {
+                kernels::force(kind);
+                assert_eq!(
+                    layer.forward(&x).expect("forward"),
+                    reference,
+                    "{panel} outputs must stay bit-identical on {}",
+                    kind.name()
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{panel}_{}", kind.name()), &shape),
+                    &rows,
+                    |b, _| {
+                        b.iter(|| {
+                            layer
+                                .forward_with_scratch(black_box(&x), &mut scratch)
+                                .expect("forward")
+                        })
+                    },
+                );
+            }
+        }
+        kernels::force(kernels::best_available());
+    }
+    group.finish();
+}
+
+struct KernelComparisonRow {
+    id: String,
+    kernel: String,
+    panel: String,
+    shape: String,
+    mean_ns: f64,
+    speedup_vs_scalar: f64,
+}
+
+impl_to_json!(KernelComparisonRow {
+    id,
+    kernel,
+    panel,
+    shape,
+    mean_ns,
+    speedup_vs_scalar
+});
+
+/// Derives per-kernel speedups over the scalar reference from the raw
+/// `kernel_comparison` bench rows (ids look like `w4_avx2/64x128x512`).
+fn kernel_comparison_report(rows: &[criterion::BenchResult]) -> Vec<KernelComparisonRow> {
+    let mut results = Vec::new();
+    for row in rows {
+        let Some((bench, shape)) = row.id.split_once('/') else {
+            continue;
+        };
+        let Some((panel, kernel)) = bench.split_once('_') else {
+            continue;
+        };
+        let scalar_ns = rows
+            .iter()
+            .find(|r| r.id == format!("{panel}_scalar/{shape}"))
+            .map(|r| r.mean_ns);
+        results.push(KernelComparisonRow {
+            id: row.id.clone(),
+            kernel: kernel.to_string(),
+            panel: panel.to_string(),
+            shape: shape.to_string(),
+            mean_ns: row.mean_ns,
+            speedup_vs_scalar: scalar_ns.map_or(1.0, |s| s / row.mean_ns),
+        });
+    }
+    results
 }
 
 /// Thread counts the scaling group sweeps (1 = the serial baseline).
@@ -389,27 +515,35 @@ impl_to_json!(BenchRow {
 struct BenchReport {
     bench: String,
     budget_ms: u64,
+    kernel: String,
     results: Vec<BenchRow>,
+    kernel_comparison: Vec<KernelComparisonRow>,
 }
 
 impl_to_json!(BenchReport {
     bench,
     budget_ms,
-    results
+    kernel,
+    results,
+    kernel_comparison
 });
 
 fn main() {
     let mut criterion = Criterion::default();
     bench_engine_batching(&mut criterion);
     bench_blocked_vs_naive(&mut criterion);
+    bench_kernel_comparison(&mut criterion);
     bench_thread_scaling(&mut criterion);
 
-    // The thread-scaling rows feed their own derived report; everything
-    // else stays in the engine_batch trajectory.
+    // The thread-scaling and kernel-comparison rows feed their own derived
+    // reports; everything else stays in the engine_batch trajectory.
     let (scaling_rows, other_rows): (Vec<_>, Vec<_>) = criterion
         .take_results()
         .into_iter()
         .partition(|r| r.group == "thread_scaling");
+    let (kernel_rows, other_rows): (Vec<_>, Vec<_>) = other_rows
+        .into_iter()
+        .partition(|r| r.group == "kernel_comparison");
     let results: Vec<BenchRow> = other_rows
         .into_iter()
         .map(|r| BenchRow {
@@ -419,10 +553,21 @@ fn main() {
             iterations: r.iterations,
         })
         .collect();
+    let kernel_comparison = kernel_comparison_report(&kernel_rows);
+    for row in &kernel_comparison {
+        println!(
+            "kernel_comparison {}: {:.3} ms, {:.2}x vs scalar",
+            row.id,
+            row.mean_ns / 1e6,
+            row.speedup_vs_scalar
+        );
+    }
     let report = BenchReport {
         bench: "engine_batch".to_string(),
         budget_ms: criterion::budget_ms(),
+        kernel: kernels::selected().name.to_string(),
         results,
+        kernel_comparison,
     };
     // Benches run with the package directory as CWD; aim at the workspace
     // results/ directory so the perf trajectory lives next to the tables.

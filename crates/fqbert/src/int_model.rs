@@ -35,6 +35,9 @@ const PROB_LEVELS: u32 = 255;
 /// therefore also at artifact-load time), into the blocked panel layout of
 /// [`fqbert_tensor::gemm`], so every forward pass runs the cache-friendly
 /// kernel with the bias add and requantization fused into its epilogue.
+/// Low-bit layers (`weight_bits ≤ 4`, i.e. w4/w2 configs) pack into nibble
+/// panels that the SIMD kernels decode in-register — a quarter of the
+/// resident panel bytes, with no unpack-to-i16 copy.
 // fqlint::allow(float-escape): the stored scales are per-tensor calibration
 // metadata carried for conversion and inspection; `forward` is integer-only.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +50,21 @@ pub struct IntLinear {
     output_scale: f32,
     weight_bits: u32,
     requant: Requantizer,
+}
+
+/// Builds the GEMM panels for `weight`: direct-compute nibble panels for
+/// low-bit codes (`weight_bits ≤ 4` — a quarter of the wide panels'
+/// resident bytes, decoded in-register by the int4 kernel path) and wide
+/// `i16` panels otherwise. A low-bit layer whose codes unexpectedly exceed
+/// the nibble range (e.g. a hand-edited artifact) still loads, on the wide
+/// path.
+fn pack_panels(weight: &IntTensor<i8>, weight_bits: u32) -> Result<PackedWeights> {
+    if weight_bits <= 4 {
+        if let Ok(packed) = PackedWeights::pack_nibble(weight) {
+            return Ok(packed);
+        }
+    }
+    Ok(PackedWeights::pack(weight)?)
 }
 
 impl IntLinear {
@@ -75,7 +93,7 @@ impl IntLinear {
         let bias_q = quantize_bias(bias, &ap, &wp)?;
         let effective = f64::from(output_scale) / (f64::from(input_scale) * f64::from(wp.scale()));
         let requant = Requantizer::from_scale(effective, 8)?;
-        let packed = PackedWeights::pack(&weight_q)?;
+        let packed = pack_panels(&weight_q, weight_bits)?;
         Ok(Self {
             weight: weight_q,
             packed,
@@ -116,7 +134,7 @@ impl IntLinear {
         let effective =
             f64::from(output_scale) / (f64::from(input_scale) * f64::from(weight_scale));
         let requant = Requantizer::from_scale(effective, 8)?;
-        let packed = PackedWeights::pack(&weight)?;
+        let packed = pack_panels(&weight, weight_bits)?;
         Ok(Self {
             weight,
             packed,

@@ -10,6 +10,10 @@
 //! * **R4 `lock-hygiene`** — `.lock().unwrap()`/`.lock().expect(...)`
 //!   (a poisoned mutex panics the whole worker) and channel sends issued
 //!   while a lock guard is live.
+//! * **R5 `unsafe-outside-kernels`** — any `unsafe` keyword. Outside the
+//!   designated SIMD kernel modules it is a hard violation; inside them
+//!   every occurrence must still carry a justified allow comment, so the
+//!   audit trail of soundness arguments stays complete.
 //!
 //! Findings are suppressed by `// fqlint::allow(rule): justification`
 //! comments (justification mandatory). A trailing comment suppresses its
@@ -34,6 +38,9 @@ pub enum RuleId {
     PanicPath,
     /// R4: lock poisoning panic or a send under a held lock.
     LockHygiene,
+    /// R5: `unsafe` code outside the designated kernel modules, or
+    /// unjustified `unsafe` inside them.
+    UnsafeOutsideKernels,
     /// A malformed `fqlint::allow` comment (unknown rule or missing
     /// justification). Not suppressible.
     BadSuppression,
@@ -41,11 +48,12 @@ pub enum RuleId {
 
 impl RuleId {
     /// All suppressible rules, in severity order.
-    pub const ALL: [RuleId; 4] = [
+    pub const ALL: [RuleId; 5] = [
         RuleId::FloatEscape,
         RuleId::NarrowingCast,
         RuleId::PanicPath,
         RuleId::LockHygiene,
+        RuleId::UnsafeOutsideKernels,
     ];
 
     /// The spelling used in reports and `fqlint::allow(...)` comments.
@@ -55,6 +63,7 @@ impl RuleId {
             RuleId::NarrowingCast => "narrowing-cast",
             RuleId::PanicPath => "panic-path",
             RuleId::LockHygiene => "lock-hygiene",
+            RuleId::UnsafeOutsideKernels => "unsafe-outside-kernels",
             RuleId::BadSuppression => "bad-suppression",
         }
     }
@@ -67,7 +76,10 @@ impl RuleId {
     /// Report severity of this rule's findings.
     pub fn severity(self) -> Severity {
         match self {
-            RuleId::FloatEscape | RuleId::PanicPath | RuleId::BadSuppression => Severity::Error,
+            RuleId::FloatEscape
+            | RuleId::PanicPath
+            | RuleId::UnsafeOutsideKernels
+            | RuleId::BadSuppression => Severity::Error,
             RuleId::NarrowingCast | RuleId::LockHygiene => Severity::Warning,
         }
     }
@@ -136,6 +148,12 @@ pub struct RuleSet {
     pub panic_path: bool,
     /// Run R4 lock-hygiene.
     pub lock_hygiene: bool,
+    /// Run R5 unsafe-outside-kernels.
+    pub unsafe_outside_kernels: bool,
+    /// Whether the file under analysis is inside a designated kernel
+    /// module tree, where justified `unsafe` is legitimate (R5 then
+    /// demands the justification rather than forbidding `unsafe`).
+    pub in_kernel_module: bool,
 }
 
 impl RuleSet {
@@ -146,12 +164,18 @@ impl RuleSet {
             narrowing_cast: true,
             panic_path: true,
             lock_hygiene: true,
+            unsafe_outside_kernels: true,
+            in_kernel_module: false,
         }
     }
 
     /// Whether any rule is enabled.
     pub fn any(self) -> bool {
-        self.float_escape || self.narrowing_cast || self.panic_path || self.lock_hygiene
+        self.float_escape
+            || self.narrowing_cast
+            || self.panic_path
+            || self.lock_hygiene
+            || self.unsafe_outside_kernels
     }
 }
 
@@ -268,6 +292,9 @@ pub fn analyze_source(path: &str, src: &str, rules: RuleSet) -> Result<FileAnaly
     if rules.lock_hygiene {
         scan_lock_hygiene(&code, &mut emit);
     }
+    if rules.unsafe_outside_kernels {
+        scan_unsafe(&code, rules.in_kernel_module, &mut emit);
+    }
 
     for finding in raw {
         let allow = allows
@@ -323,7 +350,7 @@ fn collect_allows(
         let Some(rule) = RuleId::parse(rule_name) else {
             bad(&format!(
                 "fqlint::allow names unknown rule `{rule_name}` (known: float-escape, \
-                 narrowing-cast, panic-path, lock-hygiene)"
+                 narrowing-cast, panic-path, lock-hygiene, unsafe-outside-kernels)"
             ));
             continue;
         };
@@ -422,17 +449,22 @@ fn statement_end_line(code: &[&Token], start: usize) -> u32 {
 }
 
 /// Last line of the item starting at `code[start]`: the matching `}` of
-/// the first item-level brace block, or the first `;` if one comes first.
+/// the first item-level brace block, or the first item-level `;` if one
+/// comes first. `;` inside parentheses or brackets — array types like
+/// `[i16; 8]` in a signature — does not end the item.
 fn item_end_line(code: &[&Token], start: usize) -> u32 {
-    let mut depth = 0usize;
+    let mut brace_depth = 0usize;
+    let mut group_depth: i64 = 0;
     let mut i = start;
     while i < code.len() {
         match code[i].text.as_str() {
-            ";" if depth == 0 => return code[i].line,
-            "{" => depth += 1,
+            ";" if brace_depth == 0 && group_depth == 0 => return code[i].line,
+            "(" | "[" => group_depth += 1,
+            ")" | "]" => group_depth -= 1,
+            "{" => brace_depth += 1,
             "}" => {
-                depth -= 1;
-                if depth == 0 {
+                brace_depth -= 1;
+                if brace_depth == 0 {
                     return code[i].line;
                 }
             }
@@ -728,6 +760,34 @@ fn is_keyword_before_bracket(text: &str) -> bool {
             | "move"
             | "ref"
     )
+}
+
+/// R5: every `unsafe` keyword. Outside the designated kernel module trees
+/// `unsafe` is forbidden outright (serving code stays safe Rust); inside
+/// them each occurrence must still be annotated with a justified
+/// `fqlint::allow(unsafe-outside-kernels)` comment — the finding fires
+/// unconditionally and the suppression machinery turns a justified one
+/// into an auditable `Suppressed` entry.
+fn scan_unsafe(
+    code: &[&Token],
+    in_kernel_module: bool,
+    emit: &mut impl FnMut(u32, RuleId, String),
+) {
+    for tok in code {
+        if tok.kind != TokKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        let message = if in_kernel_module {
+            "`unsafe` in a kernel module must carry a \
+             `// fqlint::allow(unsafe-outside-kernels): <soundness argument>` justification"
+                .to_string()
+        } else {
+            "`unsafe` outside the designated GEMM kernel modules — keep serving code safe \
+             Rust, or move the kernel under the kernels tree"
+                .to_string()
+        };
+        emit(tok.line, RuleId::UnsafeOutsideKernels, message);
+    }
 }
 
 /// R4: `.lock().unwrap()`-style poison panics, and channel `send` calls

@@ -10,6 +10,9 @@
 //! * **R3 `panic-path`** and **R4 `lock-hygiene`** run on all library code
 //!   of the serving stack (`crates/serve`, `crates/runtime`) and of the
 //!   telemetry crate (`crates/telemetry`) its hot paths record into.
+//! * **R5 `unsafe-outside-kernels`** runs on *all* library code: `unsafe`
+//!   is forbidden everywhere except the designated SIMD kernel modules,
+//!   where each occurrence must carry a justified allow comment.
 //!
 //! Test targets (`tests/`, `benches/`, `examples/`, `src/bin/`,
 //! `build.rs`) are lexed — the whole workspace must parse — but exempt
@@ -20,13 +23,21 @@ use crate::rules::{analyze_source, RuleSet};
 use std::path::{Path, PathBuf};
 
 /// Files R1 float-escape applies to (workspace-relative, `/`-separated).
+/// The SIMD kernel modules under `gemm/kernels/` are included: they are
+/// the innermost integer datapath and must never touch a float.
 const FLOAT_ESCAPE_FILES: [&str; 5] = [
     "crates/fqbert/src/int_model.rs",
-    "crates/tensor/src/gemm.rs",
+    "crates/tensor/src/gemm/mod.rs",
     "crates/tensor/src/pack4.rs",
     "crates/quant/src/requant.rs",
     "crates/quant/src/softmax_lut.rs",
 ];
+
+/// Module trees where `unsafe` is legitimate — the SIMD micro-kernels,
+/// whose intrinsics are inherently unsafe. R5 still demands a justified
+/// allow comment on every occurrence inside these trees; everywhere else
+/// `unsafe` is a violation outright.
+const KERNEL_MODULE_TREES: [&str; 1] = ["crates/tensor/src/gemm/kernels/"];
 
 /// Crate source trees R2 narrowing-cast applies to.
 const NARROWING_CAST_TREES: [&str; 2] = ["crates/tensor/src/", "crates/quant/src/"];
@@ -51,11 +62,21 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
     if is_aux_target(rel) {
         return RuleSet::default();
     }
+    // fqlint's own sources are exempt: its docs and diagnostics spell out
+    // deliberately malformed `fqlint::allow` examples, which the directive
+    // parser would report as bad suppressions.
+    if rel.starts_with("crates/fqlint/") {
+        return RuleSet::default();
+    }
+    let in_kernel_module = KERNEL_MODULE_TREES.iter().any(|t| rel.starts_with(t));
     RuleSet {
-        float_escape: FLOAT_ESCAPE_FILES.contains(&rel),
+        float_escape: FLOAT_ESCAPE_FILES.contains(&rel)
+            || (in_kernel_module && rel.ends_with(".rs")),
         narrowing_cast: NARROWING_CAST_TREES.iter().any(|t| rel.starts_with(t)),
         panic_path: SERVING_TREES.iter().any(|t| rel.starts_with(t)),
         lock_hygiene: SERVING_TREES.iter().any(|t| rel.starts_with(t)),
+        unsafe_outside_kernels: true,
+        in_kernel_module,
     }
 }
 

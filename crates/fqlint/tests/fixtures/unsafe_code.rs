@@ -1,0 +1,26 @@
+fn read_first(xs: &[i32]) -> i32 {
+    unsafe { *xs.as_ptr() }
+}
+
+unsafe fn raw_add(p: *mut i32) {
+    *p += 1;
+}
+
+// fqlint::allow(unsafe-outside-kernels): load is in-bounds by the caller's
+// length contract; this fixture models a justified kernel-style access.
+fn justified_block(xs: &[i32]) -> i32 {
+    unsafe { *xs.as_ptr().add(1) }
+}
+
+fn trailing_allow(xs: &[i32]) -> i32 {
+    unsafe { *xs.as_ptr() } // fqlint::allow(unsafe-outside-kernels): in-bounds: slice is non-empty
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let x = 0i32;
+        let _ = unsafe { *(&x as *const i32) };
+    }
+}

@@ -129,13 +129,67 @@ fn lock_hygiene_fixture() {
 }
 
 #[test]
+fn unsafe_fixture() {
+    use RuleId::UnsafeOutsideKernels;
+    check(
+        "unsafe_code.rs",
+        &[
+            (2, UnsafeOutsideKernels), // unsafe block, no justification
+            (5, UnsafeOutsideKernels), // unsafe fn, no justification
+        ],
+        &[
+            (12, UnsafeOutsideKernels), // item-level boundary comment
+            (16, UnsafeOutsideKernels), // trailing allow on the line
+        ],
+    );
+    // The `#[cfg(test)]` module's unsafe block is exempt.
+}
+
+#[test]
+fn unsafe_rule_distinguishes_kernel_modules() {
+    // Inside a designated kernel module the same `unsafe` tokens fire with
+    // a must-justify message rather than a forbidden-outright one, and the
+    // justified occurrences suppress identically.
+    let src = fixture("unsafe_code.rs");
+    let in_kernels = RuleSet {
+        in_kernel_module: true,
+        ..RuleSet::all()
+    };
+    let analysis = analyze_source("unsafe_code.rs", &src, in_kernels).expect("analyze");
+    let lines: Vec<u32> = analysis.findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![2, 5]);
+    for f in &analysis.findings {
+        assert!(
+            f.message.contains("must carry"),
+            "kernel-module message should demand justification: {}",
+            f.message
+        );
+    }
+    let outside = analyze_source("unsafe_code.rs", &src, RuleSet::all()).expect("analyze");
+    for f in &outside.findings {
+        assert!(
+            f.message.contains("outside the designated"),
+            "non-kernel message should forbid unsafe outright: {}",
+            f.message
+        );
+    }
+    assert_eq!(analysis.suppressed.len(), 2);
+}
+
+#[test]
 fn policy_matches_layout() {
     // The workspace policy map: which rules run where.
     let rs = fqlint::rules_for_path("crates/fqbert/src/int_model.rs");
     assert!(rs.float_escape && !rs.panic_path);
 
-    let rs = fqlint::rules_for_path("crates/tensor/src/gemm.rs");
+    let rs = fqlint::rules_for_path("crates/tensor/src/gemm/mod.rs");
     assert!(rs.float_escape && rs.narrowing_cast);
+
+    // The SIMD kernel modules: innermost integer datapath (R1 applies),
+    // and the only place justified `unsafe` is legitimate.
+    let rs = fqlint::rules_for_path("crates/tensor/src/gemm/kernels/x86.rs");
+    assert!(rs.float_escape && rs.narrowing_cast);
+    assert!(rs.unsafe_outside_kernels && rs.in_kernel_module);
 
     let rs = fqlint::rules_for_path("crates/tensor/src/shape.rs");
     assert!(!rs.float_escape && rs.narrowing_cast);
@@ -150,6 +204,11 @@ fn policy_matches_layout() {
     // lock-hygiene bar as the serving stack itself.
     let rs = fqlint::rules_for_path("crates/telemetry/src/registry.rs");
     assert!(rs.panic_path && rs.lock_hygiene && !rs.narrowing_cast);
+
+    // R5 covers every library file; only kernel modules get the
+    // must-justify variant.
+    let rs = fqlint::rules_for_path("crates/serve/src/server.rs");
+    assert!(rs.unsafe_outside_kernels && !rs.in_kernel_module);
 
     // Aux targets are exempt from everything.
     assert!(!fqlint::rules_for_path("crates/serve/tests/integration.rs").any());

@@ -12,6 +12,7 @@ use fqbert_core::{convert, FqBertError, QatHook};
 use fqbert_nlp::{accuracy, Example, TaskKind, Tokenizer, Vocab};
 use fqbert_quant::QuantConfig;
 use fqbert_telemetry::{Counter, Gauge, Histogram, Registry};
+use fqbert_tensor::gemm::kernels as gemm_kernels;
 use fqbert_tensor::GemmScratch;
 use std::path::Path;
 use std::sync::Arc;
@@ -287,6 +288,12 @@ impl Engine {
         });
         let telemetry = telemetry.unwrap_or_else(|| Arc::new(Registry::new()));
         let metrics = EngineMetrics::new(&telemetry);
+        // Resolve the GEMM kernel dispatch now (first call latches the
+        // FQBERT_KERNEL / feature-detection choice) and record it so every
+        // snapshot of this engine says which micro-kernel served it.
+        telemetry
+            .label("engine.kernel")
+            .set(gemm_kernels::selected().name);
         Self {
             task,
             tokenizer,
@@ -321,6 +328,13 @@ impl Engine {
     /// Worker threads batches are sharded across (1 = serial execution).
     pub fn threads(&self) -> usize {
         self.pool.as_ref().map_or(1, WorkerPool::threads)
+    }
+
+    /// Name of the GEMM micro-kernel serving this process: `avx2`, `sse2`,
+    /// `neon` or `scalar` — whatever the runtime dispatch selected (or
+    /// `FQBERT_KERNEL` forced) at first use.
+    pub fn kernel(&self) -> &'static str {
+        gemm_kernels::selected().name
     }
 
     /// The engine's telemetry registry: `engine.calls` / `engine.sequences`

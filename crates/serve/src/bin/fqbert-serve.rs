@@ -148,8 +148,8 @@ fn main() {
     );
     for info in infos {
         println!(
-            "  model {:<16} task {:<7} backend {:<5} precision {:<6} bits {:<12} threads {}",
-            info.name, info.task, info.backend, info.precision, info.bits, info.threads
+            "  model {:<16} task {:<7} backend {:<5} precision {:<6} bits {:<12} threads {} kernel {}",
+            info.name, info.task, info.backend, info.precision, info.bits, info.threads, info.kernel
         );
     }
     println!("send {{\"cmd\":\"shutdown\"}} to stop");

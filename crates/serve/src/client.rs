@@ -86,6 +86,8 @@ pub struct StatsReport {
     pub gauges: BTreeMap<String, i64>,
     /// Latency/size distributions.
     pub histograms: BTreeMap<String, HistogramStats>,
+    /// String-valued annotations (e.g. `model.<name>.engine.kernel`).
+    pub labels: BTreeMap<String, String>,
 }
 
 /// A blocking protocol client over one TCP connection.
@@ -327,14 +329,16 @@ impl Client {
     }
 
     /// Lists the server's registered models as
-    /// `(name, task, backend, precision, bits)` tuples, where `bits` is the
-    /// per-layer weight bit-width summary (e.g. `w4[0-5]/w8[6-11]`).
+    /// `(name, task, backend, precision, bits, kernel)` tuples, where
+    /// `bits` is the per-layer weight bit-width summary (e.g.
+    /// `w4[0-5]/w8[6-11]`) and `kernel` is the GEMM micro-kernel serving
+    /// the engine (`avx2`, `sse2`, `neon`, `scalar`).
     ///
     /// # Errors
     ///
     /// Propagates socket and protocol errors.
     #[allow(clippy::type_complexity)]
-    pub fn list_models(&mut self) -> Result<Vec<(String, String, String, String, String)>> {
+    pub fn list_models(&mut self) -> Result<Vec<(String, String, String, String, String, String)>> {
         let value = self.roundtrip(&Json::obj([("cmd", Json::str("list_models"))]))?;
         let models = value
             .get("models")
@@ -355,6 +359,7 @@ impl Client {
                     field("backend")?,
                     field("precision")?,
                     field("bits")?,
+                    field("kernel")?,
                 ))
             })
             .collect()
@@ -537,6 +542,15 @@ fn decode_stats(value: &Json) -> Result<StatsReport> {
             );
         }
     }
+    // Absent on frames from servers predating the labels section.
+    if let Some(labels) = stats.get("labels").and_then(Json::as_obj) {
+        for (name, raw) in labels {
+            let text = raw
+                .as_str()
+                .ok_or_else(|| ServeError::Protocol(format!("label `{name}` must be a string")))?;
+            report.labels.insert(name.clone(), text.to_string());
+        }
+    }
     Ok(report)
 }
 
@@ -595,7 +609,8 @@ mod tests {
             "\"histograms\":{\"model.sst2.request_us\":{",
             "\"count\":3,\"sum\":700,\"min\":100,\"max\":400,",
             "\"mean\":233.3,\"p50\":200,\"p95\":380,\"p99\":400,",
-            "\"buckets\":[[64,127,1],[128,255,1],[256,511,1]]}}}}"
+            "\"buckets\":[[64,127,1],[128,255,1],[256,511,1]]}},",
+            "\"labels\":{\"model.sst2.engine.kernel\":\"avx2\"}}}"
         );
         let report = decode_stats(&crate::json::parse(line).unwrap()).unwrap();
         assert_eq!(report.counters.get("model.sst2.queue.shed"), Some(&4));
@@ -606,7 +621,15 @@ mod tests {
         assert_eq!(hist.min, 100);
         assert_eq!(hist.max, 400);
         assert!(hist.p50 <= hist.p95 && hist.p95 <= hist.p99);
-        // An empty-section frame still decodes.
+        assert_eq!(
+            report
+                .labels
+                .get("model.sst2.engine.kernel")
+                .map(String::as_str),
+            Some("avx2")
+        );
+        // An empty-section frame still decodes — including frames from
+        // servers predating the `labels` section.
         let empty = decode_stats(
             &crate::json::parse(
                 "{\"ok\":true,\"stats\":{\"counters\":{},\"gauges\":{},\"histograms\":{}}}",

@@ -250,6 +250,7 @@ pub fn models_frame(infos: &[ModelInfo]) -> Json {
                         ("bits", Json::str(&info.bits)),
                         ("num_classes", Json::Num(info.num_classes as f64)),
                         ("threads", Json::Num(info.threads as f64)),
+                        ("kernel", Json::str(&info.kernel)),
                     ])
                 })
                 .collect(),
@@ -266,7 +267,8 @@ pub fn models_frame(infos: &[ModelInfo]) -> Json {
 ///   "histograms":{"model.sst2.request_us":{
 ///     "count":12,"sum":..., "min":..., "max":...,
 ///     "mean":..., "p50":..., "p95":..., "p99":...,
-///     "buckets":[[lower,upper,count],...]},...}}}
+///     "buckets":[[lower,upper,count],...]},...},
+///   "labels":{"model.sst2.engine.kernel":"avx2",...}}}
 /// ```
 ///
 /// Metric names are dynamic (they embed model names), so the maps are
@@ -312,6 +314,11 @@ pub fn stats_frame(snapshot: &Snapshot) -> Json {
             (name.clone(), body)
         })
         .collect();
+    let labels: BTreeMap<String, Json> = snapshot
+        .labels
+        .iter()
+        .map(|(name, text)| (name.clone(), Json::str(text)))
+        .collect();
     Json::obj([
         ("ok", Json::Bool(true)),
         (
@@ -321,6 +328,7 @@ pub fn stats_frame(snapshot: &Snapshot) -> Json {
                     ("counters".to_string(), Json::Obj(counters)),
                     ("gauges".to_string(), Json::Obj(gauges)),
                     ("histograms".to_string(), Json::Obj(histograms)),
+                    ("labels".to_string(), Json::Obj(labels)),
                 ]
                 .into_iter()
                 .collect(),
@@ -419,6 +427,7 @@ mod tests {
         for us in [100u64, 200, 400] {
             registry.histogram("model.sst2.request_us").record(us);
         }
+        registry.label("model.sst2.engine.kernel").set("avx2");
         let frame = stats_frame(&registry.snapshot());
         let line = frame.render();
         assert!(!line.contains('\n'), "stats frame must be one line");
@@ -454,6 +463,13 @@ mod tests {
         let p99 = hist.get("p99").and_then(Json::as_f64).expect("p99");
         assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
         assert!(hist.get("buckets").and_then(Json::as_arr).is_some());
+        assert_eq!(
+            stats
+                .get("labels")
+                .and_then(|l| l.get("model.sst2.engine.kernel"))
+                .and_then(Json::as_str),
+            Some("avx2")
+        );
     }
 
     #[test]

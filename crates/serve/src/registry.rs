@@ -128,6 +128,10 @@ pub struct ModelInfo {
     pub num_classes: usize,
     /// Worker threads the engine shards batches across (1 = serial).
     pub threads: usize,
+    /// GEMM micro-kernel serving the engine (`avx2`, `sse2`, `neon`,
+    /// `scalar`) — the runtime-dispatch choice, or the `FQBERT_KERNEL`
+    /// override.
+    pub kernel: String,
 }
 
 /// A name → engine map serving several models (different tasks and/or
@@ -234,6 +238,7 @@ impl ModelRegistry {
                     .unwrap_or_else(|| "fp32".to_string()),
                 num_classes: engine.task().num_classes(),
                 threads: engine.threads(),
+                kernel: engine.kernel().to_string(),
             })
             .collect()
     }

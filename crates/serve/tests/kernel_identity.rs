@@ -1,0 +1,81 @@
+//! Cross-kernel serving identity: the logits a client receives must be
+//! bit-identical no matter which GEMM micro-kernel the dispatch selects.
+//! This is the end-to-end counterpart of the tensor crate's per-tile
+//! proptests — it drives real requests through the TCP server and batch
+//! queues while flipping the process-global kernel between responses.
+//!
+//! (The `FQBERT_KERNEL` environment variable feeds the same
+//! [`kernels::force`] path through `kernels::resolve`, covered by the
+//! tensor crate's unit tests; CI additionally runs the whole quick tier
+//! under `FQBERT_KERNEL=scalar`.)
+
+mod common;
+
+use common::{engine, engine_with_quant};
+use fqbert_quant::QuantConfig;
+use fqbert_runtime::BackendKind;
+use fqbert_serve::{BatchPolicy, Client, ModelRegistry, Server, ServerConfig};
+use fqbert_tensor::gemm::kernels::{self, KernelKind};
+use std::time::Duration;
+
+#[test]
+fn served_logits_are_bit_identical_across_kernels() {
+    // Two bit-widths so both panel formats are exercised end to end:
+    // fq_bert's low-bit weights ride the nibble direct-compute path,
+    // w8/a8 the wide `i16`-pair path.
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("sst2-w4", engine(BackendKind::Int))
+        .expect("register w4");
+    registry
+        .register(
+            "sst2-w8",
+            engine_with_quant(BackendKind::Int, QuantConfig::w8a8()),
+        )
+        .expect("register w8");
+    let server = Server::spawn(
+        registry,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_delay: Duration::from_millis(2),
+                max_queue: usize::MAX,
+            },
+        },
+    )
+    .expect("spawn server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let texts: &[&str] = &["w1 w2 w3", "w4 w5", "w6 w7 w8 w9 w10"];
+    let logits_for = |client: &mut Client, kind: KernelKind| -> Vec<(String, Vec<Vec<f32>>)> {
+        assert_eq!(kernels::force(kind), kind, "kernel must install");
+        ["sst2-w4", "sst2-w8"]
+            .iter()
+            .map(|model| {
+                let response = client.classify_texts(model, texts).expect("classify");
+                let logits = response
+                    .results
+                    .iter()
+                    .map(|result| result.logits.clone())
+                    .collect();
+                (model.to_string(), logits)
+            })
+            .collect()
+    };
+
+    let reference = logits_for(&mut client, KernelKind::Scalar);
+    for kind in kernels::available() {
+        let got = logits_for(&mut client, kind);
+        assert_eq!(
+            got,
+            reference,
+            "served logits must be bit-identical on the {} kernel",
+            kind.name()
+        );
+    }
+    kernels::force(kernels::best_available());
+
+    client.shutdown_server().expect("shutdown ack");
+    server.join();
+}

@@ -10,6 +10,7 @@ use common::{engine, engine_with_quant};
 use fqbert_quant::QuantConfig;
 use fqbert_runtime::BackendKind;
 use fqbert_serve::{BatchPolicy, Client, ModelRegistry, ServeError, Server, ServerConfig};
+use fqbert_tensor::gemm::kernels;
 use std::io::{BufRead, BufReader, Write};
 use std::time::Duration;
 
@@ -50,14 +51,19 @@ fn server_round_trip_with_concurrent_clients_and_graceful_shutdown() {
     let mut client = Client::connect(addr).expect("connect");
     client.ping().expect("ping");
     let models = client.list_models().expect("list_models");
-    let names: Vec<&str> = models.iter().map(|(n, _, _, _, _)| n.as_str()).collect();
+    let names: Vec<&str> = models.iter().map(|(n, _, _, _, _, _)| n.as_str()).collect();
     assert_eq!(names, vec!["sst2-sim", "sst2-w4", "sst2-w8"]);
-    let precisions: Vec<&str> = models.iter().map(|(_, _, _, p, _)| p.as_str()).collect();
+    let precisions: Vec<&str> = models.iter().map(|(_, _, _, p, _, _)| p.as_str()).collect();
     assert!(precisions.contains(&"w4/a8") && precisions.contains(&"w8/a8"));
     // The per-layer bit summary collapses to a single label for uniform
     // models; mixed-precision artifacts report runs like `w4[0-5]/w8[6-11]`.
-    let bits: Vec<&str> = models.iter().map(|(_, _, _, _, b)| b.as_str()).collect();
+    let bits: Vec<&str> = models.iter().map(|(_, _, _, _, b, _)| b.as_str()).collect();
     assert!(bits.contains(&"w4") && bits.contains(&"w8"));
+    // Every model reports the process-wide GEMM kernel the dispatch chose.
+    let expected_kernel = kernels::selected().name;
+    for (_, _, _, _, _, kernel) in &models {
+        assert_eq!(kernel, expected_kernel);
+    }
 
     // Concurrent clients across the two bit-widths: every request must be
     // answered on the model it addressed.
@@ -285,6 +291,16 @@ fn stats_command_reports_live_per_model_telemetry() {
             .unwrap_or(0)
             >= 1,
         "engine metrics must merge into the model prefix"
+    );
+
+    // The selected GEMM kernel rides along as a label under each model's
+    // prefix, matching the in-process dispatch.
+    assert_eq!(
+        stats
+            .labels
+            .get("model.sst2-w4.engine.kernel")
+            .map(String::as_str),
+        Some(kernels::selected().name)
     );
 
     // Untouched models still report, at zero — the registry registers

@@ -1,6 +1,6 @@
 //! Offline, dependency-free process metrics for the fqbert serving stack.
 //!
-//! The crate provides four primitives and a registry:
+//! The crate provides five primitives and a registry:
 //!
 //! - [`Counter`] — monotonically increasing `u64` (requests, errors, sheds);
 //! - [`Gauge`] — signed instantaneous level (queue depth, in-flight shards);
@@ -9,6 +9,8 @@
 //!   any `u64` stream's count/sum/min/max;
 //! - [`Timer`] — a scoped span that records its elapsed microseconds into a
 //!   histogram on drop (or explicitly via [`Timer::observe`]);
+//! - [`Label`] — a string-valued annotation (selected GEMM kernel, build
+//!   id), set rarely and exported verbatim;
 //! - [`Registry`] — a named get-or-create map of the above, exported as a
 //!   consistent [`Snapshot`] renderable to one line of JSON.
 //!
@@ -29,7 +31,7 @@ mod metrics;
 mod registry;
 
 pub use metrics::{
-    bucket_bounds, bucket_index, BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, Timer,
-    NUM_BUCKETS,
+    bucket_bounds, bucket_index, BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, Label,
+    Timer, NUM_BUCKETS,
 };
 pub use registry::{Registry, Scope, Snapshot};

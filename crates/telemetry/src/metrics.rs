@@ -10,6 +10,7 @@
 //! observed min/max — exact whenever all samples share one value.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A monotonically increasing event count.
@@ -81,6 +82,36 @@ impl Gauge {
     /// The current value.
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A string-valued annotation exported alongside the numeric metrics:
+/// which GEMM kernel the engine selected, a build identifier, an active
+/// config name. Set-once-or-rarely, never on a per-request path, so a
+/// short mutex (poison-recovering, consistent with the crate's panic-free
+/// bar) is the right tool rather than atomics.
+#[derive(Debug, Default)]
+pub struct Label {
+    value: Mutex<String>,
+}
+
+impl Label {
+    /// An empty label.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the label text.
+    pub fn set(&self, value: impl Into<String>) {
+        *self.value.lock().unwrap_or_else(PoisonError::into_inner) = value.into();
+    }
+
+    /// The current label text (empty until first `set`).
+    pub fn get(&self) -> String {
+        self.value
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 

@@ -7,7 +7,7 @@
 //! back in deterministic (sorted-name) order, so two snapshots of the same
 //! quiescent registry render byte-identical JSON.
 
-use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Label};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -24,6 +24,7 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    Label(Arc<Label>),
 }
 
 /// A name → metric map shared by everything that instruments one process
@@ -84,6 +85,18 @@ impl Registry {
         }
     }
 
+    /// The label registered under `name`, created on first use.
+    pub fn label(&self, name: &str) -> Arc<Label> {
+        let mut metrics = lock_clean(&self.metrics);
+        let entry = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Label(Arc::new(Label::new())));
+        match entry {
+            Metric::Label(label) => Arc::clone(label),
+            _ => Arc::new(Label::new()),
+        }
+    }
+
     /// Registered metric names, sorted.
     pub fn names(&self) -> Vec<String> {
         lock_clean(&self.metrics).keys().cloned().collect()
@@ -104,6 +117,7 @@ impl Registry {
                 Metric::Histogram(histogram) => {
                     snapshot.histograms.push((name, histogram.snapshot()));
                 }
+                Metric::Label(label) => snapshot.labels.push((name, label.get())),
             }
         }
         snapshot
@@ -170,6 +184,11 @@ impl Scope {
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         self.registry.histogram(&self.scoped(name))
     }
+
+    /// The label `prefix.name`, created on first use.
+    pub fn label(&self, name: &str) -> Arc<Label> {
+        self.registry.label(&self.scoped(name))
+    }
 }
 
 /// A point-in-time export of a registry: every metric by name, sorted, with
@@ -182,6 +201,8 @@ pub struct Snapshot {
     pub gauges: Vec<(String, i64)>,
     /// `(name, view)` for every histogram.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(name, text)` for every string-valued label.
+    pub labels: Vec<(String, String)>,
 }
 
 impl Snapshot {
@@ -206,6 +227,14 @@ impl Snapshot {
             .map(|(_, v)| v)
     }
 
+    /// The label named `name`, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Folds `other`'s metrics in with every name prefixed by
     /// `prefix.` — how a server merges per-engine private registries into
     /// one wire snapshot. Re-sorts so rendering stays deterministic.
@@ -226,9 +255,13 @@ impl Snapshot {
         for (name, view) in &other.histograms {
             self.histograms.push((scoped(name), view.clone()));
         }
+        for (name, text) in &other.labels {
+            self.labels.push((scoped(name), text.clone()));
+        }
         self.counters.sort_by(|a, b| a.0.cmp(&b.0));
         self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
         self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        self.labels.sort_by(|a, b| a.0.cmp(&b.0));
     }
 
     /// Renders the snapshot as one line of JSON:
@@ -237,7 +270,7 @@ impl Snapshot {
     /// {"counters":{"name":1},"gauges":{"name":-2},
     ///  "histograms":{"name":{"count":3,"sum":30,"min":9,"max":11,
     ///    "mean":10.0,"p50":10.0,"p95":11.0,"p99":11.0,
-    ///    "buckets":[[8,15,3]]}}}
+    ///    "buckets":[[8,15,3]]}},"labels":{"name":"text"}}
     /// ```
     ///
     /// Buckets are `[lower, upper, count]` triples of the non-empty log2
@@ -288,6 +321,14 @@ impl Snapshot {
             }
             out.push_str("]}");
         }
+        out.push_str("},\"labels\":{");
+        for (i, (name, text)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_key(name, &mut out);
+            render_string(text, &mut out);
+        }
         out.push_str("}}");
         out
     }
@@ -306,8 +347,18 @@ fn finite(value: f64) -> f64 {
 /// Renders `"name":` with minimal string escaping (metric names are
 /// code-chosen identifiers, but a stray quote must not corrupt the frame).
 fn render_key(name: &str, out: &mut String) {
+    escape_into(name, out);
+    out.push(':');
+}
+
+/// Renders a label value as a JSON string with the same minimal escaping.
+fn render_string(text: &str, out: &mut String) {
+    escape_into(text, out);
+}
+
+fn escape_into(text: &str, out: &mut String) {
     out.push('"');
-    for ch in name.chars() {
+    for ch in text.chars() {
         match ch {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
@@ -317,7 +368,7 @@ fn render_key(name: &str, out: &mut String) {
             c => out.push(c),
         }
     }
-    out.push_str("\":");
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -334,9 +385,16 @@ mod tests {
         assert_eq!(registry.gauge("depth").get(), 9);
         registry.histogram("wait_us").record(5);
         assert_eq!(registry.histogram("wait_us").count(), 1);
+        registry.label("kernel").set("avx2");
+        assert_eq!(registry.label("kernel").get(), "avx2");
         assert_eq!(
             registry.names(),
-            vec!["depth".to_string(), "requests".into(), "wait_us".into()]
+            vec![
+                "depth".to_string(),
+                "kernel".into(),
+                "requests".into(),
+                "wait_us".into()
+            ]
         );
     }
 
@@ -347,10 +405,12 @@ mod tests {
         // Asking for `x` as a gauge must not panic or corrupt the counter.
         registry.gauge("x").set(99);
         registry.histogram("x").record(1);
+        registry.label("x").set("detached");
         let snapshot = registry.snapshot();
         assert_eq!(snapshot.counter("x"), Some(1));
         assert_eq!(snapshot.gauge("x"), None);
         assert!(snapshot.histogram("x").is_none());
+        assert_eq!(snapshot.label("x"), None);
     }
 
     #[test]
@@ -379,10 +439,12 @@ mod tests {
         let engine = Registry::new();
         engine.histogram("engine.classify_us").record(100);
         engine.counter("engine.calls").inc();
+        engine.label("engine.kernel").set("avx2");
         let mut merged = server.snapshot();
         merged.merge_prefixed(&engine.snapshot(), "model.sst2");
         assert_eq!(merged.counter("server.requests"), Some(5));
         assert_eq!(merged.counter("model.sst2.engine.calls"), Some(1));
+        assert_eq!(merged.label("model.sst2.engine.kernel"), Some("avx2"));
         assert_eq!(
             merged
                 .histogram("model.sst2.engine.classify_us")
@@ -405,6 +467,7 @@ mod tests {
         for v in [9u64, 10, 11] {
             hist.record(v);
         }
+        registry.label("kernel").set("avx2");
         let json = registry.snapshot().to_json();
         assert!(!json.contains('\n'));
         assert_eq!(json, registry.snapshot().to_json());
@@ -413,13 +476,24 @@ mod tests {
         assert!(json.contains("\"depth\":-3"));
         assert!(json.contains("\"count\":3"));
         assert!(json.contains("\"buckets\":[[8,15,3]]"));
-        // Counters render before gauges before histograms.
-        let (ci, gi, hi) = (
+        assert!(json.contains("\"kernel\":\"avx2\""));
+        // Counters render before gauges before histograms before labels.
+        let (ci, gi, hi, li) = (
             json.find("counters").expect("counters"),
             json.find("gauges").expect("gauges"),
             json.find("histograms").expect("histograms"),
+            json.find("labels").expect("labels"),
         );
-        assert!(ci < gi && gi < hi);
+        assert!(ci < gi && gi < hi && hi < li);
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_json() {
+        let registry = Registry::new();
+        registry.label("build").set("a\"b\\c\nd");
+        let json = registry.snapshot().to_json();
+        assert!(json.contains("\"build\":\"a\\\"b\\\\c\\u000ad\""));
+        assert!(!json.contains('\n'));
     }
 
     #[test]

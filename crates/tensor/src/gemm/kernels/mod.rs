@@ -1,0 +1,298 @@
+//! Micro-kernel dispatch: one process-wide selection of the SIMD tile
+//! kernels the blocked GEMM runs on.
+//!
+//! Every kernel computes the same `MR × NR` accumulator tile update from a
+//! k-pair-interleaved activation block and weight panel (see the `gemm`
+//! module docs for the layouts) and is **bit-identical** to the scalar
+//! reference: absent `i32` overflow — excluded by the `MAX_K` pack bound —
+//! integer accumulation is exact in any order, so lane-parallel SIMD sums
+//! equal the sequential reduction bit for bit. The cross-kernel property
+//! tests in `tests/proptest_gemm.rs` pin this for every kernel the host can
+//! run.
+//!
+//! # Selection
+//!
+//! [`selected`] resolves once per process (lock-free, one relaxed atomic
+//! load on the hot path afterwards):
+//!
+//! 1. If `FQBERT_KERNEL=scalar|sse2|avx2|neon` is set, that kernel is used
+//!    when available on this CPU; an unavailable or unrecognised request
+//!    falls back to `scalar` (never an error — serving must come up), which
+//!    is visible in telemetry/`list_models` since the kernel name is
+//!    surfaced everywhere.
+//! 2. Otherwise the best available kernel wins: `avx2` > `sse2` on x86_64
+//!    (via `is_x86_feature_detected!`), `neon` on aarch64, else `scalar`.
+//!
+//! Tests and benches switch kernels in-process with [`force`].
+//!
+//! # Adding a kernel
+//!
+//! Implement the two tile functions (`wide` for `i16` panels, `nibble` for
+//! int4 nibble panels) in a new submodule, add a [`KernelKind`] variant,
+//! its availability check, and its [`KernelDispatch`] row — then the
+//! cross-kernel proptests automatically cover it. `unsafe` is allowed only
+//! inside `gemm/kernels/*` (fqlint R5 `unsafe-outside-kernels`), and every
+//! unsafe item there must carry a justified allow annotation.
+
+pub mod scalar;
+
+#[cfg(target_arch = "aarch64")]
+pub mod neon;
+#[cfg(target_arch = "x86_64")]
+pub mod x86;
+
+use super::{AccTile, WIDE_A, WIDE_B};
+use crate::gemm::NR;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tile kernel over wide (`i16`-pair) weight panels.
+pub type WideKernel = fn(&[[i16; WIDE_A]], &[[i16; WIDE_B]], &mut AccTile);
+
+/// Tile kernel over nibble-packed (int4) weight panels.
+pub type NibbleKernel = fn(&[[i16; WIDE_A]], &[[u8; NR]], &mut AccTile);
+
+/// The instruction-set families a micro-kernel can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Portable scalar reference kernel (always available).
+    Scalar,
+    /// x86_64 128-bit `pmaddwd` path.
+    Sse2,
+    /// x86_64 256-bit `vpmaddwd` path.
+    Avx2,
+    /// aarch64 128-bit `smlal` path.
+    Neon,
+}
+
+impl KernelKind {
+    /// Every kind, in ascending preference order.
+    pub const ALL: [KernelKind; 4] = [
+        KernelKind::Scalar,
+        KernelKind::Sse2,
+        KernelKind::Avx2,
+        KernelKind::Neon,
+    ];
+
+    /// The spelling used by `FQBERT_KERNEL` and surfaced in telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Sse2 => "sse2",
+            KernelKind::Avx2 => "avx2",
+            KernelKind::Neon => "neon",
+        }
+    }
+
+    /// Parses a `FQBERT_KERNEL` value (ASCII case-insensitive).
+    pub fn parse(name: &str) -> Option<KernelKind> {
+        KernelKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name.trim()))
+    }
+
+    /// Whether this kernel can run on the current process' CPU.
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelKind::Scalar => true,
+            KernelKind::Sse2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    std::arch::is_x86_feature_detected!("sse2")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            KernelKind::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            KernelKind::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+}
+
+/// One selectable micro-kernel pair plus its identity.
+#[derive(Debug)]
+pub struct KernelDispatch {
+    /// Which instruction-set family this is.
+    pub kind: KernelKind,
+    /// Stable name surfaced in telemetry, wire frames and logs.
+    pub name: &'static str,
+    /// Tile kernel for wide (`i16`) weight panels.
+    pub wide: WideKernel,
+    /// Tile kernel for nibble-packed (int4) weight panels.
+    pub nibble: NibbleKernel,
+}
+
+static SCALAR: KernelDispatch = KernelDispatch {
+    kind: KernelKind::Scalar,
+    name: "scalar",
+    wide: scalar::tile_wide,
+    nibble: scalar::tile_nibble,
+};
+
+#[cfg(target_arch = "x86_64")]
+static SSE2: KernelDispatch = KernelDispatch {
+    kind: KernelKind::Sse2,
+    name: "sse2",
+    wide: x86::tile_wide_sse2,
+    nibble: x86::tile_nibble_sse2,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: KernelDispatch = KernelDispatch {
+    kind: KernelKind::Avx2,
+    name: "avx2",
+    wide: x86::tile_wide_avx2,
+    nibble: x86::tile_nibble_avx2,
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON: KernelDispatch = KernelDispatch {
+    kind: KernelKind::Neon,
+    name: "neon",
+    wide: neon::tile_wide,
+    nibble: neon::tile_nibble,
+};
+
+/// The dispatch table row for `kind`. Kinds not compiled for this target
+/// resolve to the scalar row.
+pub fn dispatch_for(kind: KernelKind) -> &'static KernelDispatch {
+    match kind {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Sse2 => &SSE2,
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 => &AVX2,
+        #[cfg(target_arch = "aarch64")]
+        KernelKind::Neon => &NEON,
+        _ => &SCALAR,
+    }
+}
+
+/// Process-wide selection: 0 = not yet resolved, otherwise a `KernelKind`
+/// discriminant + 1. Relaxed ordering suffices — every possible stored
+/// value is valid and re-resolution is idempotent.
+static SELECTED: AtomicUsize = AtomicUsize::new(0);
+
+fn kind_from_index(index: usize) -> KernelKind {
+    KernelKind::ALL
+        .get(index)
+        .copied()
+        .unwrap_or(KernelKind::Scalar)
+}
+
+/// Pure selection policy, unit-testable: the kernel to use given the
+/// `FQBERT_KERNEL` override (if any) and this CPU's capabilities.
+pub fn resolve(requested: Option<&str>) -> KernelKind {
+    if let Some(name) = requested {
+        return match KernelKind::parse(name) {
+            Some(kind) if kind.is_available() => kind,
+            // Unavailable or unrecognised: serve on scalar rather than
+            // fail — the choice is visible wherever the name is surfaced.
+            _ => KernelKind::Scalar,
+        };
+    }
+    best_available()
+}
+
+/// The fastest kernel this CPU can run.
+pub fn best_available() -> KernelKind {
+    [KernelKind::Avx2, KernelKind::Neon, KernelKind::Sse2]
+        .into_iter()
+        .find(|k| k.is_available())
+        .unwrap_or(KernelKind::Scalar)
+}
+
+/// Every kernel the current process can actually run, scalar first.
+pub fn available() -> Vec<KernelKind> {
+    KernelKind::ALL
+        .into_iter()
+        .filter(|k| k.is_available())
+        .collect()
+}
+
+/// The process-selected micro-kernel pair. First call resolves from
+/// `FQBERT_KERNEL` / CPU detection; afterwards this is one relaxed atomic
+/// load.
+pub fn selected() -> &'static KernelDispatch {
+    let stored = SELECTED.load(Ordering::Relaxed);
+    if stored != 0 {
+        return dispatch_for(kind_from_index(stored - 1));
+    }
+    let kind = resolve(std::env::var("FQBERT_KERNEL").ok().as_deref());
+    SELECTED.store(kind as usize + 1, Ordering::Relaxed);
+    dispatch_for(kind)
+}
+
+/// Forces the process-wide kernel selection (tests, benches, A/B lanes).
+/// An unavailable `kind` falls back to scalar; returns what was installed.
+pub fn force(kind: KernelKind) -> KernelKind {
+    let actual = if kind.is_available() {
+        kind
+    } else {
+        KernelKind::Scalar
+    };
+    SELECTED.store(actual as usize + 1, Ordering::Relaxed);
+    actual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for kind in KernelKind::ALL {
+            assert_eq!(KernelKind::parse(kind.name()), Some(kind));
+            assert_eq!(KernelKind::parse(&kind.name().to_uppercase()), Some(kind));
+        }
+        assert_eq!(KernelKind::parse(" avx2 "), Some(KernelKind::Avx2));
+        assert_eq!(KernelKind::parse("avx512"), None);
+    }
+
+    #[test]
+    fn resolve_honours_requests_and_falls_back_to_scalar() {
+        // Scalar is always honoured.
+        assert_eq!(resolve(Some("scalar")), KernelKind::Scalar);
+        // Garbage falls back to scalar, never errors.
+        assert_eq!(resolve(Some("gpu")), KernelKind::Scalar);
+        assert_eq!(resolve(Some("")), KernelKind::Scalar);
+        // No request: the best available kernel, which must be available.
+        assert!(resolve(None).is_available());
+        // An explicit request for an available kernel is honoured.
+        for kind in available() {
+            assert_eq!(resolve(Some(kind.name())), kind);
+        }
+    }
+
+    #[test]
+    fn scalar_is_always_available_and_dispatchable() {
+        assert!(KernelKind::Scalar.is_available());
+        assert!(available().contains(&KernelKind::Scalar));
+        assert_eq!(dispatch_for(KernelKind::Scalar).name, "scalar");
+    }
+
+    #[test]
+    fn force_installs_available_kernels_and_rejects_missing_ones() {
+        for kind in KernelKind::ALL {
+            let installed = force(kind);
+            if kind.is_available() {
+                assert_eq!(installed, kind);
+            } else {
+                assert_eq!(installed, KernelKind::Scalar);
+            }
+            assert_eq!(selected().kind, installed);
+            assert_eq!(selected().name, installed.name());
+        }
+        // Leave the default selection behind for other tests in-process.
+        force(best_available());
+    }
+}

@@ -1,0 +1,117 @@
+//! aarch64 NEON micro-kernels: `smlal`-shaped widening multiply-accumulate
+//! over the k-pair-interleaved panels.
+//!
+//! Unlike the x86 `pmaddwd` path, NEON de-interleaves the stored weight
+//! pairs (`vld2q_s16`) back into a `b0` and a `b1` vector per eight columns
+//! and issues two `vmlal_n_s16` per accumulator: `acc += b0·a0` then
+//! `acc += b1·a1`. The association differs from the scalar reference's
+//! `(a0·b0 + a1·b1)` pair sum, but absent `i32` overflow — excluded by the
+//! `MAX_K` pack bound — integer addition is exact and associative, so the
+//! result is bit-identical. The int4 path sign-extends nibble panels
+//! in-register with an arithmetic `s8` shift pair (`vshl`/`vshr`) before
+//! widening.
+//!
+//! # Safety
+//!
+//! This module is one of the designated unsafe-kernel modules (fqlint R5
+//! `unsafe-outside-kernels`): the only unsafety is calling
+//! `#[target_feature(enable = "neon")]` functions — NEON is part of the
+//! aarch64 baseline this module is compile-gated to — and SIMD
+//! loads/stores through pointers into fixed-size arrays, in-bounds by
+//! construction.
+
+use crate::gemm::{AccTile, NR, WIDE_A, WIDE_B};
+use core::arch::aarch64::{
+    vdupq_n_s32, vget_high_s16, vget_high_s8, vget_low_s16, vget_low_s8, vld1q_s32, vld1q_s8,
+    vld2q_s16, vmlal_n_s16, vmovl_s8, vshlq_n_s8, vshrq_n_s8, vst1q_s32,
+};
+
+/// NEON tile kernel over wide (`i16`-pair) panels. NEON is baseline on
+/// aarch64, so this is always sound to install on this target.
+// fqlint::allow(unsafe-outside-kernels): designated kernel module; NEON is
+// baseline on aarch64 and the loads/stores are in-bounds by the fixed
+// array types.
+pub fn tile_wide(a: &[[i16; WIDE_A]], b: &[[i16; WIDE_B]], acc: &mut AccTile) {
+    unsafe { wide_neon(a, b, acc) }
+}
+
+/// NEON tile kernel over nibble-packed (int4) panels.
+// fqlint::allow(unsafe-outside-kernels): designated kernel module; NEON is
+// baseline on aarch64 and the loads/stores are in-bounds by the fixed
+// array types.
+pub fn tile_nibble(a: &[[i16; WIDE_A]], b: &[[u8; NR]], acc: &mut AccTile) {
+    unsafe { nibble_neon(a, b, acc) }
+}
+
+/// One accumulator row stays resident in eight 128-bit registers while the
+/// reduction streams past; `vld2q_s16` de-interleaves each eight-column
+/// pair group into `b0`/`b1` vectors for the two widening accumulates.
+// fqlint::allow(unsafe-outside-kernels): loads/stores bounded by the fixed
+// array types; NEON is baseline on aarch64.
+#[target_feature(enable = "neon")]
+unsafe fn wide_neon(a: &[[i16; WIDE_A]], b: &[[i16; WIDE_B]], acc: &mut AccTile) {
+    for (r, out) in acc.iter_mut().enumerate() {
+        let p = out.as_mut_ptr();
+        let mut v = [vdupq_n_s32(0); 8];
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = vld1q_s32(p.add(4 * i));
+        }
+        for (ap, bp) in a.iter().zip(b) {
+            let a0 = ap[2 * r];
+            let a1 = ap[2 * r + 1];
+            let bq = bp.as_ptr();
+            for i in 0..4 {
+                let d = vld2q_s16(bq.add(16 * i));
+                v[2 * i] = vmlal_n_s16(v[2 * i], vget_low_s16(d.0), a0);
+                v[2 * i] = vmlal_n_s16(v[2 * i], vget_low_s16(d.1), a1);
+                v[2 * i + 1] = vmlal_n_s16(v[2 * i + 1], vget_high_s16(d.0), a0);
+                v[2 * i + 1] = vmlal_n_s16(v[2 * i + 1], vget_high_s16(d.1), a1);
+            }
+        }
+        for (i, slot) in v.iter().enumerate() {
+            vst1q_s32(p.add(4 * i), *slot);
+        }
+    }
+}
+
+/// The int4 direct-compute NEON kernel: 16 nibble-pair bytes per load,
+/// low nibbles sign-extended by the `vshl`/`vshr` pair, high nibbles by a
+/// single arithmetic right shift, then widened and accumulated like the
+/// wide path.
+// fqlint::allow(unsafe-outside-kernels): loads/stores bounded by the fixed
+// array types; NEON is baseline on aarch64.
+#[target_feature(enable = "neon")]
+unsafe fn nibble_neon(a: &[[i16; WIDE_A]], b: &[[u8; NR]], acc: &mut AccTile) {
+    for (r, out) in acc.iter_mut().enumerate() {
+        let p = out.as_mut_ptr();
+        let mut v = [vdupq_n_s32(0); 8];
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = vld1q_s32(p.add(4 * i));
+        }
+        for (ap, bp) in a.iter().zip(b) {
+            let a0 = ap[2 * r];
+            let a1 = ap[2 * r + 1];
+            for half in 0..2 {
+                let bytes = vld1q_s8(bp.as_ptr().add(16 * half).cast());
+                let lo = vshrq_n_s8::<4>(vshlq_n_s8::<4>(bytes));
+                let hi = vshrq_n_s8::<4>(bytes);
+                let lo_a = vmovl_s8(vget_low_s8(lo));
+                let lo_b = vmovl_s8(vget_high_s8(lo));
+                let hi_a = vmovl_s8(vget_low_s8(hi));
+                let hi_b = vmovl_s8(vget_high_s8(hi));
+                let base = 4 * half;
+                v[base] = vmlal_n_s16(v[base], vget_low_s16(lo_a), a0);
+                v[base] = vmlal_n_s16(v[base], vget_low_s16(hi_a), a1);
+                v[base + 1] = vmlal_n_s16(v[base + 1], vget_high_s16(lo_a), a0);
+                v[base + 1] = vmlal_n_s16(v[base + 1], vget_high_s16(hi_a), a1);
+                v[base + 2] = vmlal_n_s16(v[base + 2], vget_low_s16(lo_b), a0);
+                v[base + 2] = vmlal_n_s16(v[base + 2], vget_low_s16(hi_b), a1);
+                v[base + 3] = vmlal_n_s16(v[base + 3], vget_high_s16(lo_b), a0);
+                v[base + 3] = vmlal_n_s16(v[base + 3], vget_high_s16(hi_b), a1);
+            }
+        }
+        for (i, slot) in v.iter().enumerate() {
+            vst1q_s32(p.add(4 * i), *slot);
+        }
+    }
+}

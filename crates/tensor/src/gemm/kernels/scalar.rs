@@ -1,0 +1,44 @@
+//! Portable scalar micro-kernels — the bit-exactness reference every SIMD
+//! path is property-tested against, and the fallback when no SIMD kernel is
+//! available (or `FQBERT_KERNEL=scalar` forces it).
+//!
+//! The loops keep the pmaddwd shape: two k-steps at a time, `i16 × i16`
+//! products (|i8·i8| ≤ 128² fits `i16`) summed pairwise into the `i32`
+//! accumulator — exactly what one `_mm256_madd_epi16` / `smlal` lane
+//! computes — so the auto-vectorizer can profitably lower even this
+//! reference kernel on the baseline target. All panel rows are fixed-size
+//! arrays and `as_chunks` splits them into compile-time-sized pairs, so
+//! the hot loop contains no fallible chunking and no panic paths.
+
+use crate::gemm::{AccTile, NR, WIDE_A, WIDE_B};
+use crate::pack4::sign_extend;
+
+/// Accumulates one tile from wide (`i16`-pair) panels.
+pub fn tile_wide(a: &[[i16; WIDE_A]], b: &[[i16; WIDE_B]], acc: &mut AccTile) {
+    for (ap, bp) in a.iter().zip(b) {
+        let (a_pairs, _) = ap.as_chunks::<2>();
+        let (b_pairs, _) = bp.as_chunks::<2>();
+        for (pair, row) in a_pairs.iter().zip(acc.iter_mut()) {
+            let (a0, a1) = (pair[0], pair[1]);
+            for (dst, bw) in row.iter_mut().zip(b_pairs) {
+                *dst += i32::from(a0 * bw[0]) + i32::from(a1 * bw[1]);
+            }
+        }
+    }
+}
+
+/// Accumulates one tile from nibble-packed (int4) panels, sign-extending
+/// each weight nibble on the fly instead of reading pre-widened `i16`s.
+pub fn tile_nibble(a: &[[i16; WIDE_A]], b: &[[u8; NR]], acc: &mut AccTile) {
+    for (ap, bp) in a.iter().zip(b) {
+        let (a_pairs, _) = ap.as_chunks::<2>();
+        for (pair, row) in a_pairs.iter().zip(acc.iter_mut()) {
+            let (a0, a1) = (pair[0], pair[1]);
+            for (dst, &byte) in row.iter_mut().zip(bp.iter()) {
+                let b0 = i16::from(sign_extend(byte & 0x0f));
+                let b1 = i16::from(sign_extend(byte >> 4));
+                *dst += i32::from(a0 * b0) + i32::from(a1 * b1);
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! x86_64 micro-kernels: AVX2 (`_mm256_madd_epi16`) and SSE2 (`pmaddwd`)
+//! accumulator tiles over the k-pair-interleaved panels.
+//!
+//! Both paths broadcast one activation pair `(a0, a1)` into every 32-bit
+//! lane and `madd` it against the panel's interleaved weight pairs: lane
+//! `j` computes `a0·W[2pp][c+j] + a1·W[2pp+1][c+j]` with exact 32-bit
+//! intermediate products — the identical value the scalar reference sums
+//! for that column, so accumulation is bit-identical (no overflow by the
+//! `MAX_K` pack bound). The int4 path loads raw nibble panels and
+//! sign-extends in-register with an arithmetic shift pair instead of
+//! reading pre-widened `i16`s.
+//!
+//! # Safety
+//!
+//! This module is one of the designated unsafe-kernel modules (fqlint R5
+//! `unsafe-outside-kernels`): the only unsafety is (a) calling
+//! `#[target_feature]` functions, sound because the dispatch table installs
+//! them only after `is_x86_feature_detected!` confirms the feature, and
+//! (b) unaligned SIMD loads/stores through raw pointers derived from
+//! fixed-size array references, in-bounds by construction.
+
+use crate::gemm::{AccTile, MR, NR, WIDE_A, WIDE_B};
+use core::arch::x86_64::{
+    __m128i, __m256i, _mm256_add_epi32, _mm256_castsi256_si128, _mm256_cvtepu8_epi16,
+    _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_permute2x128_si256,
+    _mm256_set1_epi32, _mm256_setzero_si256, _mm256_slli_epi16, _mm256_srai_epi16,
+    _mm256_storeu_si256, _mm256_unpackhi_epi16, _mm256_unpacklo_epi16, _mm_add_epi32,
+    _mm_loadu_si128, _mm_madd_epi16, _mm_set1_epi32, _mm_setzero_si128, _mm_slli_epi16,
+    _mm_srai_epi16, _mm_storeu_si128, _mm_unpackhi_epi16, _mm_unpackhi_epi8, _mm_unpacklo_epi16,
+    _mm_unpacklo_epi8,
+};
+
+/// Row `r`'s activation pair `(a0, a1)` packed into one `i32` lane image:
+/// `a0` in bits 0..16, `a1` in bits 16..32 — broadcast by `set1_epi32`,
+/// consumed 16 bits at a time by `madd_epi16` (little-endian lane order).
+#[inline(always)]
+fn pair_lanes(ap: &[i16; WIDE_A], r: usize) -> i32 {
+    (i32::from(ap[2 * r + 1]) << 16) | (i32::from(ap[2 * r]) & 0xFFFF)
+}
+
+/// AVX2 tile kernel over wide (`i16`-pair) panels.
+///
+/// Must only be installed in the dispatch table when
+/// `is_x86_feature_detected!("avx2")` holds — [`super::dispatch_for`] and
+/// [`super::force`] guarantee that.
+// fqlint::allow(unsafe-outside-kernels): designated kernel module; the
+// target-feature call is guarded by runtime AVX2 detection at dispatch
+// installation.
+pub fn tile_wide_avx2(a: &[[i16; WIDE_A]], b: &[[i16; WIDE_B]], acc: &mut AccTile) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    unsafe { wide_avx2(a, b, acc) }
+}
+
+/// AVX2 tile kernel over nibble-packed (int4) panels.
+///
+/// Same installation contract as [`tile_wide_avx2`].
+// fqlint::allow(unsafe-outside-kernels): designated kernel module; the
+// target-feature call is guarded by runtime AVX2 detection at dispatch
+// installation.
+pub fn tile_nibble_avx2(a: &[[i16; WIDE_A]], b: &[[u8; NR]], acc: &mut AccTile) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    unsafe { nibble_avx2(a, b, acc) }
+}
+
+/// SSE2 tile kernel over wide (`i16`-pair) panels. SSE2 is part of the
+/// x86_64 baseline, so this is always sound to install on this target.
+// fqlint::allow(unsafe-outside-kernels): designated kernel module; SSE2 is
+// baseline on x86_64 and the loads/stores are in-bounds by the fixed array
+// types.
+pub fn tile_wide_sse2(a: &[[i16; WIDE_A]], b: &[[i16; WIDE_B]], acc: &mut AccTile) {
+    unsafe { wide_sse2(a, b, acc) }
+}
+
+/// SSE2 tile kernel over nibble-packed (int4) panels.
+// fqlint::allow(unsafe-outside-kernels): designated kernel module; SSE2 is
+// baseline on x86_64 and the loads/stores are in-bounds by the fixed array
+// types.
+pub fn tile_nibble_sse2(a: &[[i16; WIDE_A]], b: &[[u8; NR]], acc: &mut AccTile) {
+    unsafe { nibble_sse2(a, b, acc) }
+}
+
+/// One row of the accumulator tile stays resident in four 256-bit
+/// registers while the whole reduction streams past it; the weight panel
+/// re-streams once per row (`MR` passes over L1-resident panel bytes).
+// fqlint::allow(unsafe-outside-kernels): loads/stores read and write
+// `[i16; WIDE_B]` / `[i32; NR]` array interiors at constant offsets that
+// the types bound; `target_feature` is guaranteed by the safe wrapper's
+// installation contract.
+#[target_feature(enable = "avx2")]
+unsafe fn wide_avx2(a: &[[i16; WIDE_A]], b: &[[i16; WIDE_B]], acc: &mut AccTile) {
+    for (r, out) in acc.iter_mut().enumerate() {
+        let p = out.as_mut_ptr();
+        let mut v0 = _mm256_loadu_si256(p.cast());
+        let mut v1 = _mm256_loadu_si256(p.add(8).cast());
+        let mut v2 = _mm256_loadu_si256(p.add(16).cast());
+        let mut v3 = _mm256_loadu_si256(p.add(24).cast());
+        for (ap, bp) in a.iter().zip(b) {
+            let pair = _mm256_set1_epi32(pair_lanes(ap, r));
+            let bq = bp.as_ptr();
+            v0 = _mm256_add_epi32(v0, _mm256_madd_epi16(pair, _mm256_loadu_si256(bq.cast())));
+            v1 = _mm256_add_epi32(
+                v1,
+                _mm256_madd_epi16(pair, _mm256_loadu_si256(bq.add(16).cast())),
+            );
+            v2 = _mm256_add_epi32(
+                v2,
+                _mm256_madd_epi16(pair, _mm256_loadu_si256(bq.add(32).cast())),
+            );
+            v3 = _mm256_add_epi32(
+                v3,
+                _mm256_madd_epi16(pair, _mm256_loadu_si256(bq.add(48).cast())),
+            );
+        }
+        _mm256_storeu_si256(p.cast(), v0);
+        _mm256_storeu_si256(p.add(8).cast(), v1);
+        _mm256_storeu_si256(p.add(16).cast(), v2);
+        _mm256_storeu_si256(p.add(24).cast(), v3);
+    }
+}
+
+/// Sign-extends 16 nibble-pair bytes (columns `c..c+16`) into two vectors
+/// of interleaved `i16` weight pairs: columns `c..c+8` and `c+8..c+16`.
+///
+/// The zero-extended byte sits in bits 0..8 of each 16-bit lane; shifting
+/// left by 12 (resp. 8) parks the low (resp. high) nibble in the top four
+/// bits and an arithmetic right shift by 12 sign-extends it. The 256-bit
+/// `unpack[lo|hi]_epi16` interleave works per 128-bit half, so a cross-lane
+/// permute restores ascending column order.
+// fqlint::allow(unsafe-outside-kernels): register-only decode; inherits
+// the wrapper-installation contract for AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn decode_half_avx2(bytes: __m128i) -> (__m256i, __m256i) {
+    let w = _mm256_cvtepu8_epi16(bytes);
+    let lo = _mm256_srai_epi16::<12>(_mm256_slli_epi16::<12>(w));
+    let hi = _mm256_srai_epi16::<12>(_mm256_slli_epi16::<8>(w));
+    let even = _mm256_unpacklo_epi16(lo, hi);
+    let odd = _mm256_unpackhi_epi16(lo, hi);
+    (
+        _mm256_permute2x128_si256::<0x20>(even, odd),
+        _mm256_permute2x128_si256::<0x31>(even, odd),
+    )
+}
+
+/// The int4 direct-compute AVX2 kernel: one 32-byte load per k-pair covers
+/// all `NR` columns, the decode runs once and feeds all `MR` rows.
+// fqlint::allow(unsafe-outside-kernels): loads/stores bounded by the
+// `[u8; NR]` / `[i32; NR]` array types; AVX2 guaranteed by the wrapper's
+// installation contract.
+#[target_feature(enable = "avx2")]
+unsafe fn nibble_avx2(a: &[[i16; WIDE_A]], b: &[[u8; NR]], acc: &mut AccTile) {
+    let mut v = [[_mm256_setzero_si256(); 4]; MR];
+    for (row, out) in v.iter_mut().zip(acc.iter()) {
+        for (i, slot) in row.iter_mut().enumerate() {
+            *slot = _mm256_loadu_si256(out.as_ptr().add(8 * i).cast());
+        }
+    }
+    for (ap, bp) in a.iter().zip(b) {
+        let bytes = _mm256_loadu_si256(bp.as_ptr().cast());
+        let (b0, b1) = decode_half_avx2(_mm256_castsi256_si128(bytes));
+        let (b2, b3) = decode_half_avx2(_mm256_extracti128_si256::<1>(bytes));
+        for (r, row) in v.iter_mut().enumerate() {
+            let pair = _mm256_set1_epi32(pair_lanes(ap, r));
+            row[0] = _mm256_add_epi32(row[0], _mm256_madd_epi16(pair, b0));
+            row[1] = _mm256_add_epi32(row[1], _mm256_madd_epi16(pair, b1));
+            row[2] = _mm256_add_epi32(row[2], _mm256_madd_epi16(pair, b2));
+            row[3] = _mm256_add_epi32(row[3], _mm256_madd_epi16(pair, b3));
+        }
+    }
+    for (row, out) in v.iter().zip(acc.iter_mut()) {
+        for (i, slot) in row.iter().enumerate() {
+            _mm256_storeu_si256(out.as_mut_ptr().add(8 * i).cast(), *slot);
+        }
+    }
+}
+
+/// 128-bit variant of [`wide_avx2`]: eight `pmaddwd` lanes per row.
+// fqlint::allow(unsafe-outside-kernels): loads/stores bounded by the fixed
+// array types; SSE2 is baseline on x86_64.
+#[target_feature(enable = "sse2")]
+unsafe fn wide_sse2(a: &[[i16; WIDE_A]], b: &[[i16; WIDE_B]], acc: &mut AccTile) {
+    for (r, out) in acc.iter_mut().enumerate() {
+        let p = out.as_mut_ptr();
+        let mut v = [_mm_setzero_si128(); 8];
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = _mm_loadu_si128(p.add(4 * i).cast());
+        }
+        for (ap, bp) in a.iter().zip(b) {
+            let pair = _mm_set1_epi32(pair_lanes(ap, r));
+            let bq = bp.as_ptr();
+            for (i, slot) in v.iter_mut().enumerate() {
+                *slot = _mm_add_epi32(
+                    *slot,
+                    _mm_madd_epi16(pair, _mm_loadu_si128(bq.add(8 * i).cast())),
+                );
+            }
+        }
+        for (i, slot) in v.iter().enumerate() {
+            _mm_storeu_si128(p.add(4 * i).cast(), *slot);
+        }
+    }
+}
+
+/// SSE2 version of the nibble decode for 16 bytes (columns `c..c+16`):
+/// four vectors of four interleaved column pairs each, in ascending column
+/// order (128-bit unpacks need no cross-lane fixup).
+// fqlint::allow(unsafe-outside-kernels): register-only decode; SSE2 is
+// baseline on x86_64.
+#[target_feature(enable = "sse2")]
+unsafe fn decode_half_sse2(bytes: __m128i) -> [__m128i; 4] {
+    let zero = _mm_setzero_si128();
+    let w0 = _mm_unpacklo_epi8(bytes, zero);
+    let w1 = _mm_unpackhi_epi8(bytes, zero);
+    let lo0 = _mm_srai_epi16::<12>(_mm_slli_epi16::<12>(w0));
+    let hi0 = _mm_srai_epi16::<12>(_mm_slli_epi16::<8>(w0));
+    let lo1 = _mm_srai_epi16::<12>(_mm_slli_epi16::<12>(w1));
+    let hi1 = _mm_srai_epi16::<12>(_mm_slli_epi16::<8>(w1));
+    [
+        _mm_unpacklo_epi16(lo0, hi0),
+        _mm_unpackhi_epi16(lo0, hi0),
+        _mm_unpacklo_epi16(lo1, hi1),
+        _mm_unpackhi_epi16(lo1, hi1),
+    ]
+}
+
+/// The int4 direct-compute SSE2 kernel.
+// fqlint::allow(unsafe-outside-kernels): loads/stores bounded by the fixed
+// array types; SSE2 is baseline on x86_64.
+#[target_feature(enable = "sse2")]
+unsafe fn nibble_sse2(a: &[[i16; WIDE_A]], b: &[[u8; NR]], acc: &mut AccTile) {
+    let mut v = [[_mm_setzero_si128(); 8]; MR];
+    for (row, out) in v.iter_mut().zip(acc.iter()) {
+        for (i, slot) in row.iter_mut().enumerate() {
+            *slot = _mm_loadu_si128(out.as_ptr().add(4 * i).cast());
+        }
+    }
+    for (ap, bp) in a.iter().zip(b) {
+        let d0 = decode_half_sse2(_mm_loadu_si128(bp.as_ptr().cast()));
+        let d1 = decode_half_sse2(_mm_loadu_si128(bp.as_ptr().add(16).cast()));
+        for (r, row) in v.iter_mut().enumerate() {
+            let pair = _mm_set1_epi32(pair_lanes(ap, r));
+            for (slot, bvec) in row.iter_mut().zip(d0.iter().chain(d1.iter())) {
+                *slot = _mm_add_epi32(*slot, _mm_madd_epi16(pair, *bvec));
+            }
+        }
+    }
+    for (row, out) in v.iter().zip(acc.iter_mut()) {
+        for (i, slot) in row.iter().enumerate() {
+            _mm_storeu_si128(out.as_mut_ptr().add(4 * i).cast(), *slot);
+        }
+    }
+}

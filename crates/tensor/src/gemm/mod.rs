@@ -1,0 +1,550 @@
+//! Blocked, cache-friendly int8 GEMM with packed weights, a fused epilogue
+//! and runtime-dispatched SIMD micro-kernels — the software hot path behind
+//! every integer linear projection (Q/K/V, attention output, FFN1/FFN2).
+//!
+//! # Packed layout
+//!
+//! A weight matrix `W` of shape `[k, n]` (row-major `[in, out]`, as stored by
+//! `IntLinear`) is packed **once**, at layer construction or artifact-load
+//! time, into column panels of width [`NR`]. Within a panel the reduction
+//! dimension is walked **two steps at a time** and the two weights of each
+//! column's k-pair sit adjacent in memory:
+//!
+//! ```text
+//! panel p, k-pair pp  (columns p·NR .. p·NR+NR, zero-padded past n and
+//! for the odd-k tail):
+//!     wide[p·k_pairs + pp][2j + t] = W[2pp + t][p·NR + j]      (t = 0, 1)
+//! ```
+//!
+//! where `k_pairs = ceil(k / 2)`. One `[i16; 2·NR]` row of the panel is
+//! exactly what one dispatch step of the micro-kernel consumes: the pair
+//! `(W[2pp][c], W[2pp+1][c])` forms the 32-bit lane that x86 `pmaddwd`
+//! (`_mm256_madd_epi16`) multiplies against a broadcast activation pair.
+//! Weights are stored pre-widened to `i16` — the kernels' multiply operand
+//! width — so no sign-extension happens in the hot loop.
+//!
+//! Low-bit weights (4-bit and 2-bit codes, `[-8, 7]`) can instead be packed
+//! with [`PackedWeights::pack_nibble`] into **nibble panels** that the int4
+//! kernels consume directly, sign-extending in-register and skipping the
+//! unpack-to-i16 copy entirely:
+//!
+//! ```text
+//!     nib[p·k_pairs + pp][j] = nibble(W[2pp][c]) | nibble(W[2pp+1][c]) << 4
+//! ```
+//!
+//! — one byte per column per k-pair, a quarter of the wide panel's resident
+//! bytes.
+//!
+//! Activations are packed per call into row blocks of height [`MR`] with the
+//! same k-pair interleave (`a[pp][2r + t] = X[r0 + r][2pp + t]`), inside a
+//! caller-provided [`GemmScratch`] that is reused across layers instead of
+//! re-allocated per projection. Because every panel row is a fixed-size
+//! array and odd-`k` tails are zero-padded at pack time, the micro-kernels
+//! iterate full tiles only — no partial-panel or remainder special cases,
+//! and no fallible slice chunking in the hot loop.
+//!
+//! # Kernel dispatch
+//!
+//! The per-tile micro-kernel is selected once per process by the
+//! [`kernels`] module: an AVX2 path (`_mm256_madd_epi16` accumulator tiles)
+//! and an SSE2 fallback on x86_64, a NEON (`smlal`-shaped) path on aarch64,
+//! and a portable scalar kernel that doubles as the property-test reference.
+//! Selection uses `is_x86_feature_detected!` / compile-target gating and can
+//! be overridden with `FQBERT_KERNEL=scalar|sse2|avx2|neon`; see
+//! [`kernels::selected`].
+//!
+//! # Bit-exactness contract
+//!
+//! For every output element the reduction runs over `kk = 0, 1, …, k-1` in
+//! ascending order, exactly like the naive [`IntTensor::matmul_i32`] triple
+//! loop. The naive loop saturates the `i32` accumulator after every partial
+//! product while these kernels accumulate without saturation; for `i8`
+//! operands the two are nevertheless bit-identical because `|a·w| ≤ 128²`
+//! bounds every partial sum by `k · 128²`, which stays inside `i32` for all
+//! `k ≤` [`MAX_K`] — packing rejects larger `k`. Absent overflow, integer
+//! addition is exact and associative, so the SIMD kernels' lane-parallel
+//! accumulation produces the same bits as the sequential reduction. The
+//! property tests in `tests/proptest_gemm.rs` pin every available kernel to
+//! the naive loop across random shapes (including empty matrices,
+//! non-multiple-of-block dimensions and int4/int2 nibble panels).
+
+pub mod kernels;
+
+use crate::{IntTensor, Result, TensorError};
+
+/// Width (output columns) of one packed weight panel and of the micro-kernel
+/// accumulator tile.
+pub const NR: usize = 32;
+
+/// Height (input rows) of one packed activation block and of the
+/// micro-kernel accumulator tile.
+pub const MR: usize = 4;
+
+/// Length of one k-pair row of a wide weight panel: an interleaved
+/// `(W[2pp][c], W[2pp+1][c])` pair per column.
+pub const WIDE_B: usize = 2 * NR;
+
+/// Length of one k-pair row of a packed activation block: an interleaved
+/// `(X[r][2pp], X[r][2pp+1])` pair per row.
+pub const WIDE_A: usize = 2 * MR;
+
+/// The `MR × NR` accumulator tile every micro-kernel updates in place.
+pub type AccTile = [[i32; NR]; MR];
+
+/// Largest reduction depth for which unsaturated `i32` accumulation of
+/// int8×int8 products cannot overflow (`k · 128² ≤ 2³¹ - 1`, using the
+/// worst-case product `(-128)·(-128)`), and therefore the largest `k`
+/// [`PackedWeights::pack`] accepts.
+pub const MAX_K: usize = i32::MAX as usize / (128 * 128);
+
+/// Panel storage of a packed weight matrix: pre-widened `i16` pairs, or raw
+/// two's-complement nibbles for low-bit weights (decoded in-register by the
+/// int4 kernel path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PanelStore {
+    /// `panels · k_pairs` rows of interleaved `i16` pairs.
+    Wide(Vec<[i16; WIDE_B]>),
+    /// `panels · k_pairs` rows of one nibble-pair byte per column.
+    Nibble(Vec<[u8; NR]>),
+}
+
+/// An int8 weight matrix re-laid-out into [`NR`]-wide, k-pair-interleaved
+/// column panels (see the module docs). Built once per layer; read-only
+/// afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedWeights {
+    store: PanelStore,
+    k: usize,
+    n: usize,
+}
+
+impl PackedWeights {
+    /// Packs a `[k, n]` row-major weight matrix into wide (`i16`) column
+    /// panels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `weight` is not rank 2 and
+    /// [`TensorError::ShapeMismatch`] if `k` exceeds [`MAX_K`] (the depth
+    /// beyond which unsaturated `i32` accumulation could overflow and the
+    /// bit-exactness contract with `matmul_i32` would break).
+    pub fn pack(weight: &IntTensor<i8>) -> Result<Self> {
+        let (k, n) = Self::checked_dims(weight)?;
+        let panels = n.div_ceil(NR);
+        let k_pairs = k.div_ceil(2);
+        let mut data = vec![[0i16; WIDE_B]; panels * k_pairs];
+        let src = weight.as_slice();
+        for p in 0..panels {
+            let c0 = p * NR;
+            let width = NR.min(n - c0);
+            for (pp, dst) in data[p * k_pairs..(p + 1) * k_pairs].iter_mut().enumerate() {
+                for t in 0..2 {
+                    let kk = 2 * pp + t;
+                    if kk >= k {
+                        break;
+                    }
+                    let row = &src[kk * n + c0..kk * n + c0 + width];
+                    for (j, &s) in row.iter().enumerate() {
+                        dst[2 * j + t] = i16::from(s);
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            store: PanelStore::Wide(data),
+            k,
+            n,
+        })
+    }
+
+    /// Packs a `[k, n]` weight matrix of low-bit codes (each in `[-8, 7]`,
+    /// i.e. 4-bit or 2-bit quantized weights) into nibble panels consumed
+    /// directly by the int4 kernel path — one byte per column per k-pair,
+    /// a quarter of the resident bytes of [`PackedWeights::pack`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ValueOutOfRange`] if any code does not fit a
+    /// signed nibble, plus the same rank/depth errors as
+    /// [`PackedWeights::pack`].
+    pub fn pack_nibble(weight: &IntTensor<i8>) -> Result<Self> {
+        let (k, n) = Self::checked_dims(weight)?;
+        let panels = n.div_ceil(NR);
+        let k_pairs = k.div_ceil(2);
+        let mut data = vec![[0u8; NR]; panels * k_pairs];
+        let src = weight.as_slice();
+        for p in 0..panels {
+            let c0 = p * NR;
+            let width = NR.min(n - c0);
+            for (pp, dst) in data[p * k_pairs..(p + 1) * k_pairs].iter_mut().enumerate() {
+                for (j, d) in dst.iter_mut().enumerate().take(width) {
+                    let lo = crate::pack4::nibble(src[2 * pp * n + c0 + j])?;
+                    let hi = if 2 * pp + 1 < k {
+                        crate::pack4::nibble(src[(2 * pp + 1) * n + c0 + j])?
+                    } else {
+                        0
+                    };
+                    *d = lo | (hi << 4);
+                }
+            }
+        }
+        Ok(Self {
+            store: PanelStore::Nibble(data),
+            k,
+            n,
+        })
+    }
+
+    /// Shared rank / depth validation for both packers.
+    fn checked_dims(weight: &IntTensor<i8>) -> Result<(usize, usize)> {
+        let (k, n) = weight.as_matrix_dims()?;
+        if k > MAX_K {
+            return Err(TensorError::ShapeMismatch {
+                op: "gemm_pack (k exceeds MAX_K)",
+                lhs: weight.dims().to_vec(),
+                rhs: vec![MAX_K, n],
+            });
+        }
+        Ok((k, n))
+    }
+
+    /// Reduction depth (input features) of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output columns of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the panels hold raw nibbles (int4 compute path) rather than
+    /// pre-widened `i16` pairs.
+    pub fn is_nibble(&self) -> bool {
+        matches!(self.store, PanelStore::Nibble(_))
+    }
+
+    /// Bytes resident in the packed panel storage.
+    pub fn resident_bytes(&self) -> usize {
+        match &self.store {
+            PanelStore::Wide(data) => data.len() * WIDE_B * std::mem::size_of::<i16>(),
+            PanelStore::Nibble(data) => data.len() * NR,
+        }
+    }
+}
+
+/// Reusable packing buffer for the activation side of the GEMM.
+///
+/// One scratch serves every projection of every encoder layer in a forward
+/// pass; reusing it avoids an allocation per GEMM (12 layers × 6 projections
+/// per batch).
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    /// One `[i16; 2·MR]` row per k-pair: `a_block[pp][2r + t] = X[r0+r][2pp+t]`.
+    a_block: Vec<[i16; WIDE_A]>,
+}
+
+impl GemmScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch whose packing buffer is already sized for
+    /// reduction depths up to `k`, so the first GEMM through it allocates
+    /// nothing. Long-lived owners (e.g. a worker thread that keeps one
+    /// scratch across every batch it serves) size it once for the deepest
+    /// projection of their model.
+    pub fn with_depth(k: usize) -> Self {
+        let mut scratch = Self::default();
+        scratch.reserve_depth(k);
+        scratch
+    }
+
+    /// Grows the packing buffer to hold an activation block of reduction
+    /// depth `k` (no-op when already large enough). The buffer never
+    /// shrinks, so a scratch reused across layers settles at the deepest
+    /// projection and stays allocation-free from then on.
+    pub fn reserve_depth(&mut self, k: usize) {
+        let need = k.div_ceil(2);
+        if self.a_block.capacity() < need {
+            self.a_block.reserve(need - self.a_block.len());
+        }
+    }
+
+    /// Largest reduction depth the current buffer can pack without
+    /// reallocating.
+    pub fn depth_capacity(&self) -> usize {
+        self.a_block.capacity() * 2
+    }
+
+    /// Packs rows `r0 .. r0+rows` of `x` (row-major, `k` columns) into the
+    /// k-pair-interleaved `[pp][2r + t]` layout, widening to the kernels'
+    /// `i16` operand width and zero-padding missing rows up to [`MR`] and
+    /// the odd-`k` tail.
+    fn pack_rows(&mut self, x: &[i8], k: usize, r0: usize, rows: usize) -> &[[i16; WIDE_A]] {
+        let k_pairs = k.div_ceil(2);
+        self.a_block.clear();
+        self.a_block.resize(k_pairs, [0i16; WIDE_A]);
+        for r in 0..rows {
+            let src = &x[(r0 + r) * k..(r0 + r + 1) * k];
+            for (pair, dst) in src.chunks(2).zip(self.a_block.iter_mut()) {
+                dst[2 * r] = i16::from(pair[0]);
+                if let Some(&v) = pair.get(1) {
+                    dst[2 * r + 1] = i16::from(v);
+                }
+            }
+        }
+        &self.a_block
+    }
+}
+
+/// Drives the blocked GEMM `x (m×k) · W (k×n)` and feeds every finished
+/// accumulator to `sink(row, col, acc)` in row-block/panel order, through
+/// the process-selected micro-kernel.
+fn gemm_drive<F: FnMut(usize, usize, i32)>(
+    x: &IntTensor<i8>,
+    weights: &PackedWeights,
+    scratch: &mut GemmScratch,
+    mut sink: F,
+) -> Result<(usize, usize)> {
+    let (m, k) = x.as_matrix_dims()?;
+    if k != weights.k {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_i8",
+            lhs: x.dims().to_vec(),
+            rhs: vec![weights.k, weights.n],
+        });
+    }
+    let n = weights.n;
+    let panels = n.div_ceil(NR);
+    let k_pairs = k.div_ceil(2);
+    let kernel = kernels::selected();
+    let xs = x.as_slice();
+    for r0 in (0..m).step_by(MR) {
+        let rows = MR.min(m - r0);
+        scratch.pack_rows(xs, k, r0, rows);
+        for p in 0..panels {
+            let c0 = p * NR;
+            let cols = NR.min(n - c0);
+            let mut acc = [[0i32; NR]; MR];
+            match &weights.store {
+                PanelStore::Wide(data) => {
+                    (kernel.wide)(
+                        &scratch.a_block,
+                        &data[p * k_pairs..(p + 1) * k_pairs],
+                        &mut acc,
+                    );
+                }
+                PanelStore::Nibble(data) => {
+                    (kernel.nibble)(
+                        &scratch.a_block,
+                        &data[p * k_pairs..(p + 1) * k_pairs],
+                        &mut acc,
+                    );
+                }
+            }
+            for (r, row) in acc.iter().enumerate().take(rows) {
+                for (j, &v) in row.iter().enumerate().take(cols) {
+                    sink(r0 + r, c0 + j, v);
+                }
+            }
+        }
+    }
+    Ok((m, n))
+}
+
+/// Blocked GEMM returning the raw `i32` accumulators,
+/// bit-identical to [`IntTensor::matmul_i32`] (see the module docs for the
+/// contract). Mostly useful for tests and diagnostics — the engine uses the
+/// fused [`gemm_i8_fused`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x`'s width differs from the
+/// packed `k`, or a rank error for non-matrix inputs.
+pub fn gemm_i8_i32(
+    x: &IntTensor<i8>,
+    weights: &PackedWeights,
+    scratch: &mut GemmScratch,
+) -> Result<IntTensor<i32>> {
+    let mut out = IntTensor::<i32>::zeros(&[x.as_matrix_dims()?.0, weights.n]);
+    let n = weights.n;
+    {
+        let slice = out.as_mut_slice();
+        gemm_drive(x, weights, scratch, |r, c, acc| slice[r * n + c] = acc)?;
+    }
+    Ok(out)
+}
+
+/// Blocked GEMM with a fused epilogue: every `i32` accumulator is mapped to
+/// an output `i8` code by `epilogue(acc, col)` — typically bias add plus
+/// fixed-point requantization — without materialising an intermediate `i32`
+/// tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x`'s width differs from the
+/// packed `k`, or a rank error for non-matrix inputs.
+pub fn gemm_i8_fused<F: Fn(i32, usize) -> i8>(
+    x: &IntTensor<i8>,
+    weights: &PackedWeights,
+    scratch: &mut GemmScratch,
+    epilogue: F,
+) -> Result<IntTensor<i8>> {
+    let mut out = IntTensor::<i8>::zeros(&[x.as_matrix_dims()?.0, weights.n]);
+    let n = weights.n;
+    {
+        let slice = out.as_mut_slice();
+        gemm_drive(x, weights, scratch, |r, c, acc| {
+            slice[r * n + c] = epilogue(acc, c);
+        })?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_i8(data: Vec<i8>, dims: &[usize]) -> IntTensor<i8> {
+        IntTensor::from_vec(data, dims).expect("shape")
+    }
+
+    fn pseudo(i: usize) -> i8 {
+        (((i as i64 * 2654435761) >> 7) % 255 - 127) as i8
+    }
+
+    fn pseudo4(i: usize) -> i8 {
+        (((i as i64 * 2654435761) >> 9) % 16 - 8) as i8
+    }
+
+    #[test]
+    fn matches_naive_matmul_on_non_block_multiple_shapes() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 16, 16),
+            (9, 33, 21),
+        ] {
+            let x = tensor_i8((0..m * k).map(pseudo).collect(), &[m, k]);
+            let w = tensor_i8((0..k * n).map(|i| pseudo(i + 99)).collect(), &[k, n]);
+            let packed = PackedWeights::pack(&w).unwrap();
+            let mut scratch = GemmScratch::new();
+            let blocked = gemm_i8_i32(&x, &packed, &mut scratch).unwrap();
+            let naive = x.matmul_i32(&w).unwrap();
+            assert_eq!(blocked, naive, "mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn nibble_panels_match_naive_matmul() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 16, 16),
+            (9, 33, 21),
+            (2, 63, 40),
+        ] {
+            let x = tensor_i8((0..m * k).map(pseudo).collect(), &[m, k]);
+            let w = tensor_i8((0..k * n).map(|i| pseudo4(i + 99)).collect(), &[k, n]);
+            let packed = PackedWeights::pack_nibble(&w).unwrap();
+            assert!(packed.is_nibble());
+            let mut scratch = GemmScratch::new();
+            let blocked = gemm_i8_i32(&x, &packed, &mut scratch).unwrap();
+            let naive = x.matmul_i32(&w).unwrap();
+            assert_eq!(blocked, naive, "mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn nibble_packing_rejects_wide_codes() {
+        let w = tensor_i8(vec![8, 0, 0, 0], &[2, 2]);
+        assert!(PackedWeights::pack_nibble(&w).is_err());
+        let w = tensor_i8(vec![0, -9, 0, 0], &[2, 2]);
+        assert!(PackedWeights::pack_nibble(&w).is_err());
+    }
+
+    #[test]
+    fn nibble_panels_quarter_resident_bytes() {
+        let w = tensor_i8((0..64 * 64).map(pseudo4).collect(), &[64, 64]);
+        let wide = PackedWeights::pack(&w).unwrap();
+        let nib = PackedWeights::pack_nibble(&w).unwrap();
+        assert_eq!(nib.resident_bytes() * 4, wide.resident_bytes());
+    }
+
+    #[test]
+    fn empty_matrices_produce_empty_outputs() {
+        let mut scratch = GemmScratch::new();
+        for &(m, k, n) in &[(0usize, 4usize, 4usize), (4, 0, 4), (4, 4, 0), (0, 0, 0)] {
+            let x = tensor_i8(vec![0; m * k], &[m, k]);
+            let w = tensor_i8(vec![0; k * n], &[k, n]);
+            let packed = PackedWeights::pack(&w).unwrap();
+            let blocked = gemm_i8_i32(&x, &packed, &mut scratch).unwrap();
+            assert_eq!(blocked, x.matmul_i32(&w).unwrap(), "({m},{k},{n})");
+            assert_eq!(blocked.dims(), &[m, n]);
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_sees_column_indices() {
+        let x = tensor_i8(vec![1, 2, 3, 4], &[2, 2]);
+        let w = tensor_i8(vec![1, 0, 0, 0, 1, 0], &[2, 3]);
+        let packed = PackedWeights::pack(&w).unwrap();
+        let mut scratch = GemmScratch::new();
+        let out = gemm_i8_fused(&x, &packed, &mut scratch, |acc, c| {
+            (acc + c as i32).clamp(-128, 127) as i8
+        })
+        .unwrap();
+        // x·w = [[1,2,0],[3,4,0]]; epilogue adds the column index.
+        assert_eq!(out.as_slice(), &[1, 3, 2, 3, 5, 2]);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_shapes() {
+        let mut scratch = GemmScratch::new();
+        for &(m, k, n) in &[(5usize, 40usize, 12usize), (2, 3, 2), (7, 19, 31)] {
+            let x = tensor_i8((0..m * k).map(pseudo).collect(), &[m, k]);
+            let w = tensor_i8((0..k * n).map(|i| pseudo(i + 7)).collect(), &[k, n]);
+            let packed = PackedWeights::pack(&w).unwrap();
+            assert_eq!(
+                gemm_i8_i32(&x, &packed, &mut scratch).unwrap(),
+                x.matmul_i32(&w).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_k_and_oversized_k() {
+        let x = tensor_i8(vec![0; 6], &[2, 3]);
+        let w = tensor_i8(vec![0; 8], &[4, 2]);
+        let packed = PackedWeights::pack(&w).unwrap();
+        assert!(gemm_i8_i32(&x, &packed, &mut GemmScratch::new()).is_err());
+        assert!(PackedWeights::pack(&tensor_i8(vec![0; 3], &[3])).is_err());
+    }
+
+    #[test]
+    fn scratch_depth_reservation_is_sticky() {
+        let mut scratch = GemmScratch::with_depth(64);
+        assert!(scratch.depth_capacity() >= 64);
+        // Packing a shallower block must not shrink the buffer.
+        let x = tensor_i8((0..2 * 3).map(pseudo).collect(), &[2, 3]);
+        let w = tensor_i8((0..3 * 2).map(pseudo).collect(), &[3, 2]);
+        let packed = PackedWeights::pack(&w).unwrap();
+        gemm_i8_i32(&x, &packed, &mut scratch).unwrap();
+        assert!(scratch.depth_capacity() >= 64);
+        scratch.reserve_depth(16); // no-op below capacity
+        assert!(scratch.depth_capacity() >= 64);
+        scratch.reserve_depth(128);
+        assert!(scratch.depth_capacity() >= 128);
+    }
+
+    #[test]
+    fn packed_accessors_report_shape() {
+        let w = tensor_i8((0..6).map(|i| i as i8).collect(), &[2, 3]);
+        let packed = PackedWeights::pack(&w).unwrap();
+        assert_eq!(packed.k(), 2);
+        assert_eq!(packed.n(), 3);
+        assert!(!packed.is_nibble());
+    }
+}

@@ -8,13 +8,16 @@
 //! * [`IntTensor`] — a dense integer tensor generic over the element type,
 //!   used by the integer-only inference engine and the accelerator simulator.
 //!
-//! The implementation is deliberately simple (no SIMD, no views with strides
-//! beyond row-major contiguity) so that the numerical behaviour is easy to
-//! audit; the accelerator simulator depends on bit-exact integer arithmetic
-//! rather than on raw speed. The one performance-tuned exception is the
-//! [`gemm`] module: a blocked int8 GEMM with packed weights and a fused
-//! requantize epilogue that is proven bit-identical to the naive
-//! [`IntTensor::matmul_i32`] reduction order.
+//! The implementation is deliberately simple (no views with strides beyond
+//! row-major contiguity) so that the numerical behaviour is easy to audit;
+//! the accelerator simulator depends on bit-exact integer arithmetic rather
+//! than on raw speed. The one performance-tuned exception is the [`gemm`]
+//! module: a blocked int8 GEMM with packed weights, a fused requantize
+//! epilogue, and runtime-dispatched SIMD micro-kernels
+//! (AVX2/SSE2/NEON/scalar, selectable via `FQBERT_KERNEL` — see
+//! [`gemm::kernels`]) — every path proven bit-identical to the naive
+//! [`IntTensor::matmul_i32`] reduction order. See `README.md` in this crate
+//! for the panel layouts and how to add a kernel.
 //!
 //! # Examples
 //!

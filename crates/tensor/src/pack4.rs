@@ -9,10 +9,13 @@
 //!
 //! This is a **storage** layout: the v2 model-artifact format packs 4-bit
 //! weight tensors with [`pack_i4`] on save and widens them back to plain
-//! `i8` codes with [`unpack_i4`] on load, after which the GEMM packs them
-//! into its own panel layout exactly as for 8-bit weights. The property
-//! tests in `tests/proptest_pack4.rs` pin `unpack(pack(x)) == x` over the
-//! whole nibble range.
+//! `i8` codes with [`unpack_i4`] on load. At layer construction the GEMM
+//! either re-packs the widened codes into its `i16` panel layout exactly as
+//! for 8-bit weights, or — for `weight_bits ≤ 4` — builds nibble panels
+//! (`PackedWeights::pack_nibble`) with this same two's-complement encoding
+//! that the SIMD kernels consume directly, sign-extending in-register. The
+//! property tests in `tests/proptest_pack4.rs` pin `unpack(pack(x)) == x`
+//! over the whole nibble range.
 
 use crate::{Result, TensorError};
 
@@ -67,7 +70,10 @@ pub fn unpack_i4(bytes: &[u8], len: usize) -> Result<Vec<i8>> {
 }
 
 /// The two's-complement nibble of a code in `[-8, 7]`.
-fn nibble(code: i8) -> Result<u8> {
+///
+/// Shared with `gemm::PackedWeights::pack_nibble`, which builds the
+/// direct-compute nibble panels with the same encoding.
+pub(crate) fn nibble(code: i8) -> Result<u8> {
     if !(-8..=7).contains(&code) {
         return Err(TensorError::ValueOutOfRange {
             what: "int4 weight code",
@@ -80,7 +86,10 @@ fn nibble(code: i8) -> Result<u8> {
 }
 
 /// Sign-extends a two's-complement nibble back to `i8`.
-fn sign_extend(nibble: u8) -> i8 {
+///
+/// Also the scalar reference for the in-register nibble decode in the
+/// `gemm::kernels` int4 compute path.
+pub(crate) fn sign_extend(nibble: u8) -> i8 {
     // fqlint::allow(narrowing-cast): same-width `u8 -> i8`
     // reinterpretation — the shift pair is the sign extension.
     ((nibble << 4) as i8) >> 4

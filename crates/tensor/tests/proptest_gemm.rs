@@ -1,11 +1,28 @@
 //! Property tests pinning the blocked int8 GEMM kernel to the naive
 //! `matmul_i32` + scalar epilogue path: same shapes, same accumulators, same
 //! fused outputs, across random shapes including non-multiple-of-block
-//! dimensions, empty matrices and int4-range weights.
+//! dimensions, empty matrices and int4-range weights — and, since the SIMD
+//! dispatch landed, across **every kernel available on this host**
+//! (scalar/sse2/avx2/neon × wide/int4-nibble panels).
+//!
+//! Kernel selection is process-global, so tests that force a kernel
+//! serialise on [`kernel_lock`] and restore the auto-detected default
+//! before releasing it. (Even a mid-test switch would be benign — every
+//! kernel is bit-identical — but serialising keeps each run's coverage
+//! deterministic.)
 
+use fqbert_tensor::gemm::kernels::{self, KernelKind};
 use fqbert_tensor::gemm::{gemm_i8_fused, gemm_i8_i32, GemmScratch, PackedWeights, MR, NR};
 use fqbert_tensor::IntTensor;
 use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+fn kernel_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
 
 fn i8_full() -> impl Strategy<Value = i8> {
     -128i8..=127
@@ -13,6 +30,10 @@ fn i8_full() -> impl Strategy<Value = i8> {
 
 fn i4() -> impl Strategy<Value = i8> {
     -8i8..=7
+}
+
+fn i2() -> impl Strategy<Value = i8> {
+    -2i8..=1
 }
 
 fn build(seed: &[i8], rows: usize, cols: usize) -> IntTensor<i8> {
@@ -63,6 +84,76 @@ proptest! {
         prop_assert_eq!(blocked, naive);
     }
 
+    // The tentpole property: every kernel available on this host produces
+    // accumulators bit-identical to the naive reduction, over both wide
+    // `i16` panels (int8 weights) and direct-compute nibble panels (int4
+    // and int2 weight codes), across shapes with odd-k remainders and
+    // partial row/column tiles.
+    #[test]
+    fn every_available_kernel_is_bit_identical_to_naive(
+        m in 0usize..18,
+        k in 0usize..80,
+        n in 0usize..70,
+        seed_x in proptest::collection::vec(i8_full(), 1..64),
+        seed_w8 in proptest::collection::vec(i8_full(), 1..64),
+        seed_w4 in proptest::collection::vec(i4(), 1..64),
+        seed_w2 in proptest::collection::vec(i2(), 1..64),
+    ) {
+        let _guard = kernel_lock();
+        let x = build(&seed_x, m, k);
+        let w8 = build(&seed_w8, k, n);
+        let w4 = build(&seed_w4, k, n);
+        let w2 = build(&seed_w2, k, n);
+        let wide = PackedWeights::pack(&w8).expect("pack wide");
+        let nib4 = PackedWeights::pack_nibble(&w4).expect("pack nibble w4");
+        let nib2 = PackedWeights::pack_nibble(&w2).expect("pack nibble w2");
+        let naive8 = x.matmul_i32(&w8).expect("naive w8");
+        let naive4 = x.matmul_i32(&w4).expect("naive w4");
+        let naive2 = x.matmul_i32(&w2).expect("naive w2");
+        let mut scratch = GemmScratch::new();
+        for kind in kernels::available() {
+            prop_assert_eq!(kernels::force(kind), kind);
+            let name = kind.name();
+            let got8 = gemm_i8_i32(&x, &wide, &mut scratch).expect("wide gemm");
+            prop_assert_eq!(&got8, &naive8, "wide panels diverge on {}", name);
+            let got4 = gemm_i8_i32(&x, &nib4, &mut scratch).expect("nibble w4 gemm");
+            prop_assert_eq!(&got4, &naive4, "int4 nibble panels diverge on {}", name);
+            let got2 = gemm_i8_i32(&x, &nib2, &mut scratch).expect("nibble w2 gemm");
+            prop_assert_eq!(&got2, &naive2, "int2 nibble panels diverge on {}", name);
+        }
+        kernels::force(kernels::best_available());
+    }
+
+    // The fused epilogue sees identical accumulators on every kernel, so
+    // requantized int8 outputs are identical too.
+    #[test]
+    fn fused_outputs_are_identical_across_kernels(
+        m in 1usize..10,
+        k in 1usize..50,
+        n in 1usize..40,
+        seed_x in proptest::collection::vec(i8_full(), 1..64),
+        seed_w in proptest::collection::vec(i8_full(), 1..64),
+        seed_b in proptest::collection::vec(-20_000i32..20_000, 1..64),
+    ) {
+        let _guard = kernel_lock();
+        let x = build(&seed_x, m, k);
+        let w = build(&seed_w, k, n);
+        let bias: Vec<i32> = (0..n).map(|i| seed_b[i % seed_b.len()]).collect();
+        let packed = PackedWeights::pack(&w).expect("pack");
+        let epilogue = |acc: i32, c: usize| -> i8 {
+            ((i64::from(acc) + i64::from(bias[c])) / 37).clamp(-127, 127) as i8
+        };
+        let mut scratch = GemmScratch::new();
+        kernels::force(KernelKind::Scalar);
+        let reference = gemm_i8_fused(&x, &packed, &mut scratch, epilogue).expect("scalar fused");
+        for kind in kernels::available() {
+            kernels::force(kind);
+            let got = gemm_i8_fused(&x, &packed, &mut scratch, epilogue).expect("fused");
+            prop_assert_eq!(&got, &reference, "fused outputs diverge on {}", kind.name());
+        }
+        kernels::force(kernels::best_available());
+    }
+
     #[test]
     fn fused_epilogue_matches_scalar_postprocessing(
         m in 1usize..16,
@@ -101,11 +192,83 @@ proptest! {
         let (m, k, n) = (mb * MR, kb * 32, nb * NR);
         let x = build(&seed, m, k);
         let w = build(&seed, k, n);
-        let packed = PackedWeights::pack(&w).expect("pack");
+        let packed = PackedWeights::pack(&w).unwrap();
         let mut scratch = GemmScratch::new();
         prop_assert_eq!(
             gemm_i8_i32(&x, &packed, &mut scratch).expect("blocked"),
             x.matmul_i32(&w).expect("naive")
         );
+    }
+}
+
+/// Deterministic cross-kernel edge cases: empty shapes in every dimension,
+/// odd-k remainders with single rows/columns, and all-padding (all-zero)
+/// activation blocks such as fully-masked sequence tails.
+#[test]
+fn cross_kernel_edge_shapes_and_all_padding_blocks() {
+    let _guard = kernel_lock();
+    let shapes = [
+        (0usize, 0usize, 0usize),
+        (0, 4, 4),
+        (4, 0, 4),
+        (4, 4, 0),
+        (1, 1, 1),
+        (1, 7, 1),
+        (MR, 9, NR),
+        (MR + 1, 31, NR + 1),
+        (2 * MR, 64, 2 * NR),
+        (3, 33, 65),
+    ];
+    for &(m, k, n) in &shapes {
+        let x = IntTensor::from_vec(
+            (0..m * k).map(|i| ((i % 251) as i64 - 125) as i8).collect(),
+            &[m, k],
+        )
+        .expect("x");
+        // All-padding activations: a fully masked row block must still be
+        // bit-identical (and produce all-zero accumulators).
+        let zeros = IntTensor::<i8>::zeros(&[m, k]);
+        let w8 = IntTensor::from_vec(
+            (0..k * n).map(|i| ((i % 255) as i64 - 127) as i8).collect(),
+            &[k, n],
+        )
+        .expect("w8");
+        let w4 = IntTensor::from_vec(
+            (0..k * n).map(|i| ((i % 16) as i64 - 8) as i8).collect(),
+            &[k, n],
+        )
+        .expect("w4");
+        let wide = PackedWeights::pack(&w8).expect("pack");
+        let nib = PackedWeights::pack_nibble(&w4).expect("pack nibble");
+        let mut scratch = GemmScratch::new();
+        for kind in kernels::available() {
+            kernels::force(kind);
+            for x in [&x, &zeros] {
+                assert_eq!(
+                    gemm_i8_i32(x, &wide, &mut scratch).expect("wide"),
+                    x.matmul_i32(&w8).expect("naive"),
+                    "wide ({m},{k},{n}) on {}",
+                    kind.name()
+                );
+                assert_eq!(
+                    gemm_i8_i32(x, &nib, &mut scratch).expect("nibble"),
+                    x.matmul_i32(&w4).expect("naive"),
+                    "nibble ({m},{k},{n}) on {}",
+                    kind.name()
+                );
+            }
+        }
+    }
+    kernels::force(kernels::best_available());
+}
+
+/// This container/CI lane must actually exercise what it claims: scalar is
+/// always present, and on x86_64 the SSE2 baseline path must be available.
+#[test]
+fn expected_kernels_are_available() {
+    let available = kernels::available();
+    assert!(available.contains(&KernelKind::Scalar));
+    if cfg!(target_arch = "x86_64") {
+        assert!(available.contains(&KernelKind::Sse2));
     }
 }

@@ -64,9 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("server listening on {addr}\n");
 
     let mut client = Client::connect(addr)?;
-    for (name, task_name, backend, precision, bits) in client.list_models()? {
+    for (name, task_name, backend, precision, bits, kernel) in client.list_models()? {
         println!(
-            "  model {name:<10} task {task_name:<7} backend {backend:<5} {precision} bits {bits}"
+            "  model {name:<10} task {task_name:<7} backend {backend:<5} {precision} bits {bits} kernel {kernel}"
         );
     }
     println!();
