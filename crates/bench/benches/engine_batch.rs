@@ -24,7 +24,7 @@ use fqbert_core::{convert, IntLinear, QatHook};
 use fqbert_nlp::{Example, TaskKind, Tokenizer, Vocab};
 use fqbert_quant::QuantConfig;
 use fqbert_runtime::{BackendKind, EncodedBatch, Engine, EngineBuilder, ModelArtifact};
-use fqbert_tensor::gemm::kernels;
+use fqbert_tensor::gemm::{kernels, RequantParams};
 use fqbert_tensor::{GemmScratch, IntTensor, RngSource};
 use std::hint::black_box;
 use std::path::Path;
@@ -175,10 +175,13 @@ fn bench_blocked_vs_naive(c: &mut Criterion) {
 const KERNEL_SHAPES: [(usize, usize, usize); 2] = [(64, 128, 512), (128, 256, 256)];
 
 /// Every GEMM micro-kernel available on this host against the scalar
-/// reference, on int8 (wide-panel) and int4 (nibble-panel) projections.
-/// Outputs are asserted bit-identical across kernels before timing; the
-/// derived `kernel_comparison` section of `BENCH_engine_batch.json` adds
-/// speedups over scalar.
+/// reference, on int8 (wide-panel) and int4 (nibble-panel) projections,
+/// plus each dispatch row's requantize epilogue on its own
+/// (`requant_<kernel>` rows — the SSE2/AVX2 epilogues serve parameter sets
+/// inside [`RequantParams::simd_exact`]). Outputs are asserted
+/// bit-identical across kernels before timing; the derived
+/// `kernel_comparison` section of `BENCH_engine_batch.json` adds speedups
+/// over scalar.
 fn bench_kernel_comparison(c: &mut Criterion) {
     let mut rng = RngSource::seed_from_u64(7);
     let mut group = c.benchmark_group("kernel_comparison");
@@ -244,6 +247,64 @@ fn bench_kernel_comparison(c: &mut Criterion) {
             }
         }
         kernels::force(kernels::best_available());
+
+        // The requantize epilogue in isolation: every dispatch row's
+        // kernel over the same accumulator block, checked against the
+        // scalar row before timing. Parameters sit inside the SIMD-exact
+        // envelope, the regime `gemm_i8_requant` routes to these kernels.
+        let acc: Vec<i32> = (0..rows * outf)
+            .map(|i| ((i as i64 * 2654435761 + 12345) % 200_000 - 100_000) as i32)
+            .collect();
+        let requant_bias: Vec<i32> = (0..outf).map(|i| (i as i32 * 977) % 3000 - 1500).collect();
+        let params = RequantParams {
+            multiplier: (1 << 30) / 3,
+            shift: 38,
+            clamp: 127,
+        };
+        assert!(params.simd_exact());
+        let mut reference = vec![0i8; rows * outf];
+        for (row, out) in reference.chunks_exact_mut(outf).enumerate() {
+            (kernels::dispatch_for(kernels::KernelKind::Scalar).requant)(
+                &acc[row * outf..(row + 1) * outf],
+                &requant_bias,
+                params,
+                out,
+            );
+        }
+        for kind in kernels::available() {
+            let requant = kernels::dispatch_for(kind).requant;
+            let mut out = vec![0i8; rows * outf];
+            for (row, chunk) in out.chunks_exact_mut(outf).enumerate() {
+                requant(
+                    &acc[row * outf..(row + 1) * outf],
+                    &requant_bias,
+                    params,
+                    chunk,
+                );
+            }
+            assert_eq!(
+                out,
+                reference,
+                "requant epilogue must stay bit-identical on {}",
+                kind.name()
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("requant_{}", kind.name()), &shape),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        for (row, chunk) in out.chunks_exact_mut(outf).enumerate() {
+                            requant(
+                                black_box(&acc[row * outf..(row + 1) * outf]),
+                                &requant_bias,
+                                params,
+                                chunk,
+                            );
+                        }
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

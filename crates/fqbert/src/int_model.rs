@@ -21,35 +21,88 @@ use fqbert_bert::BertConfig;
 use fqbert_quant::{
     quantize_bias, LayerBits, QuantParams, QuantizedLayerNorm, Requantizer, SoftmaxLut,
 };
-use fqbert_tensor::gemm::{gemm_i8_fused, GemmScratch, PackedWeights};
+use fqbert_tensor::gemm::{gemm_i8_requant, GemmScratch, PackedWeights, RequantParams, MAX_K};
 use fqbert_tensor::ops::{argmax_slice, gelu_scalar};
-use fqbert_tensor::{IntTensor, Tensor};
+use fqbert_tensor::{unpack_i4, IntTensor, Tensor};
+use std::sync::{Arc, OnceLock};
 
 /// Output levels used for quantized attention probabilities.
 const PROB_LEVELS: u32 = 255;
 
+/// Where a layer's weight codes come from.
+///
+/// Eager layers (quantized from float or reassembled from parts) own their
+/// codes outright. Zero-copy layers instead hold a shared reference into the
+/// raw artifact byte buffer — the v2 on-disk encoding — and materialize GEMM
+/// panels (and, only if asked, unpacked codes) on first use, straight from
+/// the encoded bytes.
+#[derive(Debug, Clone)]
+enum WeightSource {
+    /// Codes supplied at construction; both caches are pre-filled.
+    Eager,
+    /// Nibble-packed v2 bytes (`weight_bits ≤ 4`): two codes per byte,
+    /// row-major, low nibble first, at `offset` in the shared buffer.
+    V2Nibble { bytes: Arc<[u8]>, offset: usize },
+    /// Raw `i8`-as-`u8` v2 bytes (`weight_bits > 4`), row-major, at
+    /// `offset` in the shared buffer.
+    V2Wide { bytes: Arc<[u8]>, offset: usize },
+}
+
 /// A fully quantized dense layer: int8 weight codes, int32 bias, fixed-point
 /// requantization to int8 outputs.
 ///
-/// The weight matrix is additionally packed once, at construction (and
-/// therefore also at artifact-load time), into the blocked panel layout of
+/// The weight matrix is packed into the blocked panel layout of
 /// [`fqbert_tensor::gemm`], so every forward pass runs the cache-friendly
 /// kernel with the bias add and requantization fused into its epilogue.
 /// Low-bit layers (`weight_bits ≤ 4`, i.e. w4/w2 configs) pack into nibble
 /// panels that the SIMD kernels decode in-register — a quarter of the
 /// resident panel bytes, with no unpack-to-i16 copy.
+///
+/// Layers built eagerly ([`IntLinear::from_float`],
+/// [`IntLinear::from_quantized`]) pack at construction. Layers built from a
+/// shared artifact buffer ([`IntLinear::from_v2_bytes`]) defer both the
+/// panels and the unpacked codes until first use; all inputs are validated
+/// at construction so deferred materialization cannot fail. Clones share the
+/// lazily materialized state, so cloning a loaded model does not duplicate
+/// panel storage.
 // fqlint::allow(float-escape): the stored scales are per-tensor calibration
 // metadata carried for conversion and inspection; `forward` is integer-only.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct IntLinear {
-    weight: IntTensor<i8>,
-    packed: PackedWeights,
+    source: WeightSource,
+    /// `[in_features, out_features]`, known without materialization.
+    dims: [usize; 2],
+    weight: Arc<OnceLock<IntTensor<i8>>>,
+    packed: Arc<OnceLock<PackedWeights>>,
     bias: IntTensor<i32>,
     weight_scale: f32,
     input_scale: f32,
     output_scale: f32,
     weight_bits: u32,
     requant: Requantizer,
+}
+
+/// Layer equality compares the logical layer — codes, bias, scales and
+/// bit-width — not the lazy-cache state, so a zero-copy load compares equal
+/// to the eager load of the same artifact. Comparing codes forces
+/// materialization on both sides.
+impl PartialEq for IntLinear {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims == other.dims
+            && self.weight_bits == other.weight_bits
+            && self.weight_scale == other.weight_scale
+            && self.input_scale == other.input_scale
+            && self.output_scale == other.output_scale
+            && self.bias == other.bias
+            && self.weight_codes() == other.weight_codes()
+    }
+}
+
+/// Pre-fills a lazy cache slot for eagerly constructed layers.
+fn once_filled<T>(value: T) -> Arc<OnceLock<T>> {
+    let cell = OnceLock::new();
+    let _ = cell.set(value);
+    Arc::new(cell)
 }
 
 /// Builds the GEMM panels for `weight`: direct-compute nibble panels for
@@ -95,8 +148,10 @@ impl IntLinear {
         let requant = Requantizer::from_scale(effective, 8)?;
         let packed = pack_panels(&weight_q, weight_bits)?;
         Ok(Self {
-            weight: weight_q,
-            packed,
+            source: WeightSource::Eager,
+            dims: [weight_q.dims()[0], weight_q.dims()[1]],
+            weight: once_filled(weight_q),
+            packed: once_filled(packed),
             bias: bias_q,
             weight_scale: wp.scale(),
             input_scale,
@@ -136,8 +191,10 @@ impl IntLinear {
         let requant = Requantizer::from_scale(effective, 8)?;
         let packed = pack_panels(&weight, weight_bits)?;
         Ok(Self {
-            weight,
-            packed,
+            source: WeightSource::Eager,
+            dims: [weight.dims()[0], weight.dims()[1]],
+            weight: once_filled(weight),
+            packed: once_filled(packed),
             bias,
             weight_scale,
             input_scale,
@@ -147,9 +204,152 @@ impl IntLinear {
         })
     }
 
-    /// Weight codes (row-major `[in, out]`).
+    /// Builds a layer over the raw v2 artifact encoding of its weight
+    /// matrix, without unpacking or copying it: `bytes` is the shared
+    /// artifact buffer and `offset` the start of this tensor's weight
+    /// bytes — nibble-packed (two codes per byte, row-major, low nibble
+    /// first) when `weight_bits ≤ 4`, raw `i8`-as-`u8` codes otherwise.
+    ///
+    /// GEMM panels are materialized from the encoded bytes on first forward
+    /// pass (a pure nibble shuffle for low-bit layers — the codes never
+    /// round-trip through `i16`); the unpacked code tensor is materialized
+    /// only if [`IntLinear::weight_codes`] is called. Everything is
+    /// validated here so deferred materialization cannot fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the encoded region falls outside `bytes`, an
+    /// odd-element nibble encoding has a nonzero trailing high nibble,
+    /// `in_features` exceeds the GEMM depth bound, the bias length does not
+    /// match `out_features`, or a scale is invalid.
+    // fqlint::allow(float-escape): load-time boundary — rebuilds the layer
+    // from encoded bytes and float scale metadata read from the artifact.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_v2_bytes(
+        bytes: Arc<[u8]>,
+        offset: usize,
+        in_features: usize,
+        out_features: usize,
+        bias: IntTensor<i32>,
+        weight_scale: f32,
+        input_scale: f32,
+        output_scale: f32,
+        weight_bits: u32,
+    ) -> Result<Self> {
+        if bias.numel() != out_features {
+            return Err(FqBertError::InvalidArgument(format!(
+                "bias has {} entries for {} output features",
+                bias.numel(),
+                out_features
+            )));
+        }
+        if in_features > MAX_K {
+            return Err(FqBertError::InvalidArgument(format!(
+                "in_features {in_features} exceeds the GEMM depth bound {MAX_K}"
+            )));
+        }
+        let numel = in_features.checked_mul(out_features).ok_or_else(|| {
+            FqBertError::InvalidArgument(format!(
+                "weight element count {in_features}×{out_features} overflows"
+            ))
+        })?;
+        let nibble = weight_bits <= 4;
+        let encoded_len = if nibble { numel.div_ceil(2) } else { numel };
+        let end = offset
+            .checked_add(encoded_len)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| {
+                FqBertError::InvalidArgument(format!(
+                    "weight bytes {offset}..{offset}+{encoded_len} exceed the \
+                     {}-byte artifact buffer",
+                    bytes.len()
+                ))
+            })?;
+        if nibble && numel % 2 == 1 && bytes[end - 1] & 0xf0 != 0 {
+            return Err(FqBertError::InvalidArgument(
+                "odd-element nibble encoding has a nonzero trailing high nibble".to_string(),
+            ));
+        }
+        let effective =
+            f64::from(output_scale) / (f64::from(input_scale) * f64::from(weight_scale));
+        let requant = Requantizer::from_scale(effective, 8)?;
+        let source = if nibble {
+            WeightSource::V2Nibble { bytes, offset }
+        } else {
+            WeightSource::V2Wide { bytes, offset }
+        };
+        Ok(Self {
+            source,
+            dims: [in_features, out_features],
+            weight: Arc::new(OnceLock::new()),
+            packed: Arc::new(OnceLock::new()),
+            bias,
+            weight_scale,
+            input_scale,
+            output_scale,
+            weight_bits,
+            requant,
+        })
+    }
+
+    /// The GEMM panels, materializing them from the artifact bytes on first
+    /// use for zero-copy layers.
+    fn packed_panels(&self) -> &PackedWeights {
+        self.packed.get_or_init(|| {
+            let [k, n] = self.dims;
+            match &self.source {
+                WeightSource::Eager => unreachable!("eager layers pre-fill their panels"),
+                WeightSource::V2Nibble { bytes, offset } => {
+                    let enc = &bytes[*offset..*offset + (k * n).div_ceil(2)];
+                    PackedWeights::from_v2_nibble_bytes(enc, k, n)
+                        .expect("validated at construction")
+                }
+                WeightSource::V2Wide { bytes, offset } => {
+                    let enc = &bytes[*offset..*offset + k * n];
+                    PackedWeights::pack_wide_from_bytes(enc, k, n)
+                        .expect("validated at construction")
+                }
+            }
+        })
+    }
+
+    /// Weight codes (row-major `[in, out]`), materializing them from the
+    /// artifact bytes on first use for zero-copy layers. The forward path
+    /// never calls this — it runs on the packed panels; prefer
+    /// [`IntLinear::weight_dims`] for shape checks.
     pub fn weight_codes(&self) -> &IntTensor<i8> {
-        &self.weight
+        self.weight.get_or_init(|| {
+            let [k, n] = self.dims;
+            let codes = match &self.source {
+                WeightSource::Eager => unreachable!("eager layers pre-fill their codes"),
+                WeightSource::V2Nibble { bytes, offset } => {
+                    let enc = &bytes[*offset..*offset + (k * n).div_ceil(2)];
+                    unpack_i4(enc, k * n).expect("validated at construction")
+                }
+                WeightSource::V2Wide { bytes, offset } => bytes[*offset..*offset + k * n]
+                    .iter()
+                    .map(|&b| b as i8)
+                    .collect(),
+            };
+            IntTensor::from_vec(codes, &[k, n]).expect("validated at construction")
+        })
+    }
+
+    /// Weight matrix shape `[in_features, out_features]`, available without
+    /// materializing the codes.
+    pub fn weight_dims(&self) -> [usize; 2] {
+        self.dims
+    }
+
+    /// Bytes of private weight storage currently resident for this layer:
+    /// materialized GEMM panels, materialized code tensors and the int32
+    /// bias. The shared artifact byte buffer zero-copy layers borrow from is
+    /// deliberately excluded — it is counted once per model at the
+    /// engine/registry level, not once per layer.
+    pub fn resident_bytes(&self) -> usize {
+        let panels = self.packed.get().map_or(0, PackedWeights::resident_bytes);
+        let codes = self.weight.get().map_or(0, IntTensor::numel);
+        panels + codes + self.bias.numel() * std::mem::size_of::<i32>()
     }
 
     /// Bias codes.
@@ -185,12 +385,12 @@ impl IntLinear {
 
     /// Input feature count.
     pub fn in_features(&self) -> usize {
-        self.weight.dims()[0]
+        self.dims[0]
     }
 
     /// Output feature count.
     pub fn out_features(&self) -> usize {
-        self.weight.dims()[1]
+        self.dims[1]
     }
 
     /// Integer forward pass: `requant(x · W + b)`, via the blocked kernel
@@ -206,10 +406,11 @@ impl IntLinear {
     }
 
     /// Integer forward pass through the blocked GEMM kernel: the packed
-    /// weight panels built at construction, activations packed into
-    /// `scratch`, and the bias add + fixed-point requantization fused into
-    /// the kernel epilogue. Bit-identical to [`IntLinear::forward_naive`]
-    /// (the property tests pin this).
+    /// weight panels (built at construction for eager layers, materialized
+    /// from the artifact bytes on first use for zero-copy layers),
+    /// activations packed into `scratch`, and the bias add + fixed-point
+    /// requantization fused into the kernel's SIMD epilogue. Bit-identical
+    /// to [`IntLinear::forward_naive`] (the property tests pin this).
     ///
     /// # Errors
     ///
@@ -219,11 +420,18 @@ impl IntLinear {
         x: &IntTensor<i8>,
         scratch: &mut GemmScratch,
     ) -> Result<IntTensor<i8>> {
-        let bias = self.bias.as_slice();
-        let out = gemm_i8_fused(x, &self.packed, scratch, |acc, c| {
-            let with_bias = i64::from(acc) + i64::from(bias[c]);
-            self.requant.apply(with_bias).clamp(-127, 127) as i8
-        })?;
+        let params = RequantParams {
+            multiplier: self.requant.multiplier(),
+            shift: self.requant.shift(),
+            clamp: self.requant.out_max().min(127),
+        };
+        let out = gemm_i8_requant(
+            x,
+            self.packed_panels(),
+            self.bias.as_slice(),
+            params,
+            scratch,
+        )?;
         Ok(out)
     }
 
@@ -236,7 +444,7 @@ impl IntLinear {
     ///
     /// Returns an error if the input width does not match the layer.
     pub fn forward_naive(&self, x: &IntTensor<i8>) -> Result<IntTensor<i8>> {
-        let acc = x.matmul_i32(&self.weight)?;
+        let acc = x.matmul_i32(self.weight_codes())?;
         let (rows, cols) = acc.as_matrix_dims()?;
         let mut out = IntTensor::<i8>::zeros(&[rows, cols]);
         for r in 0..rows {
@@ -604,6 +812,22 @@ impl IntEncoderLayer {
         }
     }
 
+    /// Bytes of private weight storage currently resident across this
+    /// layer's six projections (see [`IntLinear::resident_bytes`]).
+    pub fn resident_bytes(&self) -> usize {
+        [
+            &self.query,
+            &self.key,
+            &self.value,
+            &self.attn_output,
+            &self.ffn1,
+            &self.ffn2,
+        ]
+        .iter()
+        .map(|l| l.resident_bytes())
+        .sum()
+    }
+
     /// The `Add & LN` parameters of the attention residual.
     pub fn attn_layer_norm(&self) -> &QuantizedLayerNorm {
         &self.attn_layer_norm
@@ -780,19 +1004,26 @@ fn slice_block_i8(x: &IntTensor<i8>, r0: usize, r1: usize, c0: usize, c1: usize)
 
 /// The complete integer FQ-BERT model: float CPU-side embedding/classifier
 /// plus the integer encoder stack.
+///
+/// The float tensors (embedding tables, layer-norm parameters, classifier)
+/// are held behind [`Arc`] so identical tensors can be shared across models
+/// — w4 and w8 variants of one task reuse one copy of the embeddings via
+/// the loader's content-hash dedup — and so cloning a model never copies
+/// them. Equality still compares tensor contents ([`Arc<T>: PartialEq`]
+/// compares the pointees).
 // fqlint::allow(float-escape): the embedding output scale is the documented
 // float↔integer boundary of the paper's model (embeddings and classifier
 // stay float; the encoder stack is integer-only).
 #[derive(Debug, Clone, PartialEq)]
 pub struct IntBertModel {
     config: BertConfig,
-    word_embeddings: Tensor,
-    position_embeddings: Tensor,
-    segment_embeddings: Tensor,
-    embedding_gamma: Tensor,
-    embedding_beta: Tensor,
-    classifier_weight: Tensor,
-    classifier_bias: Tensor,
+    word_embeddings: Arc<Tensor>,
+    position_embeddings: Arc<Tensor>,
+    segment_embeddings: Arc<Tensor>,
+    embedding_gamma: Arc<Tensor>,
+    embedding_beta: Arc<Tensor>,
+    classifier_weight: Arc<Tensor>,
+    classifier_bias: Arc<Tensor>,
     embedding_out_scale: f32,
     /// Quantized encoder layers.
     pub layers: Vec<IntEncoderLayer>,
@@ -818,6 +1049,41 @@ impl IntBertModel {
         layers: Vec<IntEncoderLayer>,
         weight_bits: u32,
     ) -> Self {
+        Self::from_shared_parts(
+            config,
+            Arc::new(word_embeddings),
+            Arc::new(position_embeddings),
+            Arc::new(segment_embeddings),
+            Arc::new(embedding_gamma),
+            Arc::new(embedding_beta),
+            Arc::new(classifier_weight),
+            Arc::new(classifier_bias),
+            embedding_out_scale,
+            layers,
+            weight_bits,
+        )
+    }
+
+    /// As [`IntBertModel::from_parts`], but accepting already-shared float
+    /// tensors — the loader's content-hash dedup path, where identical
+    /// tensors (embedding tables, classifier heads) across model variants
+    /// resolve to one shared allocation.
+    // fqlint::allow(float-escape): assembly boundary — accepts the float
+    // embedding tables, classifier and embedding scale.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_shared_parts(
+        config: BertConfig,
+        word_embeddings: Arc<Tensor>,
+        position_embeddings: Arc<Tensor>,
+        segment_embeddings: Arc<Tensor>,
+        embedding_gamma: Arc<Tensor>,
+        embedding_beta: Arc<Tensor>,
+        classifier_weight: Arc<Tensor>,
+        classifier_bias: Arc<Tensor>,
+        embedding_out_scale: f32,
+        layers: Vec<IntEncoderLayer>,
+        weight_bits: u32,
+    ) -> Self {
         Self {
             config,
             word_embeddings,
@@ -831,6 +1097,43 @@ impl IntBertModel {
             layers,
             weight_bits,
         }
+    }
+
+    /// The model's seven float tensors (embedding tables, embedding
+    /// layer-norm parameters, classifier weight and bias), as shared
+    /// handles in a fixed order. Used by loaders for content-hash dedup
+    /// accounting.
+    pub fn shared_float_tensors(&self) -> [&Arc<Tensor>; 7] {
+        [
+            &self.word_embeddings,
+            &self.position_embeddings,
+            &self.segment_embeddings,
+            &self.embedding_gamma,
+            &self.embedding_beta,
+            &self.classifier_weight,
+            &self.classifier_bias,
+        ]
+    }
+
+    /// Bytes of weight storage currently resident for this model: the seven
+    /// float tensors (each counted once per model, even when the `Arc` is
+    /// shared with another model — cross-model sharing is accounted at the
+    /// registry level via [`IntBertModel::shared_float_tensors`]) plus the
+    /// materialized integer storage of every encoder layer. Zero-copy
+    /// loaded layers contribute nothing until their panels materialize on
+    /// first use.
+    pub fn resident_bytes(&self) -> usize {
+        let floats: usize = self
+            .shared_float_tensors()
+            .iter()
+            .map(|t| std::mem::size_of_val(t.as_slice()))
+            .sum();
+        floats
+            + self
+                .layers
+                .iter()
+                .map(IntEncoderLayer::resident_bytes)
+                .sum::<usize>()
     }
 
     /// The architecture configuration.

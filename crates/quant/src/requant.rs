@@ -155,6 +155,21 @@ impl Requantizer {
     pub fn out_max(&self) -> i32 {
         self.out_max
     }
+
+    /// The fixed-point multiplier (Q1.30-normalised, always in
+    /// `[0, 2^30]` — denormal folding for tiny scales only shrinks it).
+    /// Together with [`Requantizer::shift`] this exposes the encoded
+    /// datapath so a fused GEMM epilogue (e.g.
+    /// `fqbert_tensor::gemm::gemm_i8_requant`) can reproduce
+    /// [`Requantizer::apply`] bit-exactly without holding a `Requantizer`.
+    pub fn multiplier(&self) -> i64 {
+        self.multiplier
+    }
+
+    /// The post-multiply right shift, always in `0..=62`.
+    pub fn shift(&self) -> i32 {
+        self.shift
+    }
 }
 
 #[cfg(test)]

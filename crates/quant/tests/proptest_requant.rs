@@ -80,4 +80,51 @@ proptest! {
         let out = rq.apply(acc);
         prop_assert!((-32767..=32767).contains(&out));
     }
+
+    // Every requantizer's encoded (multiplier, shift) pair sits inside the
+    // SIMD epilogue's exact-in-i64 envelope, and the GEMM requant kernels
+    // driven with those parameters are bit-identical to
+    // `apply(acc + bias).clamp(-127, 127)` — the contract that lets
+    // `IntLinear` fuse the epilogue into the GEMM.
+    #[test]
+    fn gemm_requant_kernels_are_bit_identical_to_apply(
+        accs in proptest::collection::vec(proptest::num::i32::ANY, 1..80),
+        biases in proptest::collection::vec(proptest::num::i32::ANY, 1..80),
+        scale_exp in -70i32..34,
+        mantissa in 0.5f64..1.0,
+        out_bits in 2u32..=8,
+    ) {
+        use fqbert_tensor::gemm::kernels;
+        use fqbert_tensor::gemm::RequantParams;
+
+        let scale = mantissa * 2.0f64.powi(scale_exp);
+        prop_assume!(scale.is_finite() && scale > 0.0);
+        let rq = Requantizer::from_scale(scale, out_bits).expect("valid scale");
+        let params = RequantParams {
+            multiplier: rq.multiplier(),
+            shift: rq.shift(),
+            clamp: rq.out_max().min(127),
+        };
+        prop_assert!(params.simd_exact(), "out of envelope: {:?}", params);
+        let len = accs.len();
+        let bias: Vec<i32> = (0..len).map(|i| biases[i % biases.len()]).collect();
+        // Splice in the corners that maximise |acc + bias|.
+        let mut accs = accs;
+        accs[0] = i32::MIN;
+        if let Some(slot) = accs.get_mut(1) {
+            *slot = i32::MAX;
+        }
+        let expected: Vec<i8> = accs
+            .iter()
+            .zip(&bias)
+            .map(|(&a, &b)| {
+                rq.apply(i64::from(a) + i64::from(b)).clamp(-127, 127) as i8
+            })
+            .collect();
+        for kind in kernels::available() {
+            let mut got = vec![0i8; len];
+            (kernels::dispatch_for(kind).requant)(&accs, &bias, params, &mut got);
+            prop_assert_eq!(&got, &expected, "requant diverges on {}", kind.name());
+        }
+    }
 }

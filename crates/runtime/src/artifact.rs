@@ -42,6 +42,7 @@
 //! truncation, bit flip or unsupported version is rejected at load time
 //! ([`RuntimeError::Artifact`]).
 
+use crate::tensor_cache::{LoadStats, TensorCache};
 use crate::{Result, RuntimeError};
 use fqbert_bert::BertConfig;
 use fqbert_core::int_model::LayerScales;
@@ -50,9 +51,12 @@ use fqbert_nlp::{TaskKind, Tokenizer, Vocab};
 use fqbert_quant::QuantizedLayerNorm;
 use fqbert_tensor::{IntTensor, Tensor};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Artifact magic bytes.
 pub const MAGIC: &[u8; 4] = b"FQBT";
+/// Byte offset of the payload inside the artifact (magic + version).
+const PAYLOAD_OFFSET: usize = 8;
 /// Current artifact format version — what [`ModelArtifact::to_bytes`]
 /// emits.
 pub const VERSION: u32 = 2;
@@ -101,6 +105,45 @@ impl ModelArtifact {
     /// error if the file cannot be read.
     pub fn load(path: &Path) -> Result<Self> {
         Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Loads an artifact from `path` on the zero-copy path: the file is
+    /// read once into a shared buffer, v2 weight tensors stay in their
+    /// on-disk encoding behind that buffer (GEMM panels materialize
+    /// per-tensor on first use), and the float tensors are interned in a
+    /// fresh private [`TensorCache`]. Use
+    /// [`ModelArtifact::from_shared_bytes`] with a longer-lived cache to
+    /// dedup tensors *across* artifacts. Bit-identical to
+    /// [`ModelArtifact::load`] (property-tested).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelArtifact::load`].
+    pub fn load_zero_copy(path: &Path) -> Result<(Self, LoadStats)> {
+        let bytes: Arc<[u8]> = std::fs::read(path)?.into();
+        let mut cache = TensorCache::new();
+        Self::from_shared_bytes(&bytes, &mut cache)
+    }
+
+    /// Deserialises an artifact from a shared byte buffer without copying
+    /// or unpacking v2 weight tensors: each encoder linear holds
+    /// `(buffer, offset)` into `bytes` and materializes its GEMM panels
+    /// straight from the encoded nibbles/codes on first forward pass.
+    /// Float tensors (embedding tables, classifier head) are interned
+    /// through `cache`, so identical tensors across artifacts loaded with
+    /// the same cache share one allocation; the returned [`LoadStats`] says
+    /// how much was shared. Version-1 artifacts parse eagerly (their field
+    /// order predates the zero-copy encoding) but still dedup float
+    /// tensors.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelArtifact::from_bytes`].
+    pub fn from_shared_bytes(
+        bytes: &Arc<[u8]>,
+        cache: &mut TensorCache,
+    ) -> Result<(Self, LoadStats)> {
+        Self::parse(bytes, Some(bytes), Some(cache))
     }
 
     /// Serialises the artifact into a byte vector (format [`VERSION`]).
@@ -162,12 +205,26 @@ impl ModelArtifact {
         out
     }
 
-    /// Deserialises an artifact from bytes.
+    /// Deserialises an artifact from bytes (the eager path: weight codes
+    /// are unpacked and panel-packed immediately; nothing borrows the input
+    /// buffer). Kept as the bit-identity oracle for the zero-copy path.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Artifact`] on any structural problem.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        Ok(Self::parse(bytes, None, None)?.0)
+    }
+
+    /// The one decoder behind both load paths. `shared` (the same
+    /// allocation as `bytes`, when present) switches v2 weight tensors to
+    /// zero-copy references into it; `cache` interns float tensors for
+    /// cross-artifact dedup.
+    fn parse(
+        bytes: &[u8],
+        shared: Option<&Arc<[u8]>>,
+        cache: Option<&mut TensorCache>,
+    ) -> Result<(Self, LoadStats)> {
         if bytes.len() < 12 {
             return Err(RuntimeError::Artifact("file too short".to_string()));
         }
@@ -228,6 +285,23 @@ impl ModelArtifact {
                 )));
             }
         }
+        // Intern the CPU-side float tensors through the dedup cache (when
+        // one was supplied): identical tensors across artifacts — the
+        // embedding tables and classifier heads of w4/w8 variants of one
+        // task — collapse onto one shared allocation.
+        let mut stats = LoadStats::default();
+        let [word, pos, seg, gamma, beta, cls_w, cls_b] = match cache {
+            Some(cache) => [word, pos, seg, gamma, beta, cls_w, cls_b].map(|t| {
+                let nbytes = std::mem::size_of_val(t.as_slice());
+                let (arc, shared) = cache.intern(t);
+                if shared {
+                    stats.shared_tensors += 1;
+                    stats.shared_bytes += nbytes;
+                }
+                arc
+            }),
+            None => [word, pos, seg, gamma, beta, cls_w, cls_b].map(Arc::new),
+        };
         let num_layers = r.u64()? as usize;
         if num_layers != config.layers {
             return Err(RuntimeError::Artifact(format!(
@@ -237,7 +311,7 @@ impl ModelArtifact {
         }
         let mut layers = Vec::with_capacity(num_layers);
         for _ in 0..num_layers {
-            layers.push(read_layer(&mut r, &config, version)?);
+            layers.push(read_layer(&mut r, &config, version, shared)?);
         }
         let vocab = read_vocab(&mut r)?;
         let max_len = r.u64()? as usize;
@@ -261,7 +335,7 @@ impl ModelArtifact {
             )));
         }
 
-        let model = IntBertModel::from_parts(
+        let model = IntBertModel::from_shared_parts(
             config,
             word,
             pos,
@@ -275,11 +349,14 @@ impl ModelArtifact {
             weight_bits,
         );
         let tokenizer = Tokenizer::new(vocab, max_len);
-        Ok(Self {
-            task,
-            model,
-            tokenizer,
-        })
+        Ok((
+            Self {
+                task,
+                model,
+                tokenizer,
+            },
+            stats,
+        ))
     }
 }
 
@@ -545,7 +622,13 @@ fn write_linear(w: &mut Writer, l: &IntLinear) {
     write_i32_tensor(w, l.bias_codes());
 }
 
-fn read_linear(r: &mut Reader<'_>) -> Result<IntLinear> {
+/// Reads one quantized linear in the v2 encoding. With `shared` set (the
+/// artifact buffer this reader's payload slice came from), the weight
+/// tensor is **not** decoded: the layer keeps a `(buffer, offset)`
+/// reference to the encoded bytes and materializes its GEMM panels from
+/// them on first use — nibble-packed low-bit weights never round-trip
+/// through unpacked `i8` codes, let alone `i16` panels.
+fn read_linear(r: &mut Reader<'_>, shared: Option<&Arc<[u8]>>) -> Result<IntLinear> {
     let weight_bits = r.u32()?;
     let weight_scale = r.f32()?;
     let input_scale = r.f32()?;
@@ -554,6 +637,35 @@ fn read_linear(r: &mut Reader<'_>) -> Result<IntLinear> {
     let (dims, numel) = read_dims_checked(r, |numel| {
         Some(if packed { numel.div_ceil(2) } else { numel })
     })?;
+    if let Some(buf) = shared {
+        let (rows, cols) = match dims.as_slice() {
+            &[rows, cols] => (rows, cols),
+            _ => {
+                return Err(RuntimeError::Artifact(format!(
+                    "weight tensor rank {} (expected a matrix)",
+                    dims.len()
+                )))
+            }
+        };
+        // The payload slice starts PAYLOAD_OFFSET bytes into the artifact
+        // buffer, so the reader position maps to an absolute offset there.
+        let offset = PAYLOAD_OFFSET + r.pos;
+        let encoded_len = if packed { numel.div_ceil(2) } else { numel };
+        r.take(encoded_len)?;
+        let bias = read_i32_tensor(r)?;
+        return IntLinear::from_v2_bytes(
+            Arc::clone(buf),
+            offset,
+            rows,
+            cols,
+            bias,
+            weight_scale,
+            input_scale,
+            output_scale,
+            weight_bits,
+        )
+        .map_err(|e| RuntimeError::Artifact(format!("invalid quantized linear: {e}")));
+    }
     let data: Vec<i8> = if packed {
         let raw = r.take(numel.div_ceil(2))?;
         fqbert_tensor::unpack_i4(raw, numel)
@@ -729,7 +841,12 @@ fn write_layer_v1(w: &mut Writer, layer: &IntEncoderLayer) {
     write_layer_norm(w, layer.ffn_layer_norm());
 }
 
-fn read_layer(r: &mut Reader<'_>, cfg: &BertConfig, version: u32) -> Result<IntEncoderLayer> {
+fn read_layer(
+    r: &mut Reader<'_>,
+    cfg: &BertConfig,
+    version: u32,
+    shared: Option<&Arc<[u8]>>,
+) -> Result<IntEncoderLayer> {
     let heads = r.u64()? as usize;
     let scales = if version == 1 {
         // v1 shared one activation scale across Q, K and V; widening it
@@ -763,9 +880,10 @@ fn read_layer(r: &mut Reader<'_>, cfg: &BertConfig, version: u32) -> Result<IntE
     };
     let linear = |r: &mut Reader<'_>| {
         if version == 1 {
+            // v1 predates the zero-copy encoding; it always parses eagerly.
             read_linear_v1(r)
         } else {
-            read_linear(r)
+            read_linear(r, shared)
         }
     };
     let query = linear(r)?;
@@ -793,10 +911,12 @@ fn read_layer(r: &mut Reader<'_>, cfg: &BertConfig, version: u32) -> Result<IntE
         ("ffn1", &ffn1, [h, i]),
         ("ffn2", &ffn2, [i, h]),
     ] {
-        if linear.weight_codes().dims() != expected {
+        // `weight_dims` avoids materializing lazily loaded weight codes
+        // just to shape-check them.
+        if linear.weight_dims() != expected {
             return Err(RuntimeError::Artifact(format!(
                 "{name} weight shape {:?} disagrees with config (expected {expected:?})",
-                linear.weight_codes().dims()
+                linear.weight_dims()
             )));
         }
     }

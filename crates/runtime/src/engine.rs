@@ -4,6 +4,7 @@ use crate::artifact::ModelArtifact;
 use crate::backend::{FloatBackend, InferenceBackend, IntBackend, SimBackend};
 use crate::batch::{BatchCost, BatchOutput, EncodedBatch};
 use crate::pool::WorkerPool;
+use crate::tensor_cache::{LoadStats, TensorCache};
 use crate::{Result, RuntimeError};
 use fqbert_accel::AcceleratorConfig;
 use fqbert_autograd::Graph;
@@ -267,6 +268,9 @@ pub struct Engine {
     pool: Option<WorkerPool<GemmScratch>>,
     telemetry: Arc<Registry>,
     metrics: EngineMetrics,
+    /// Dedup statistics of the artifact load that produced this engine
+    /// (all-zero for engines built from in-memory models or eager loads).
+    load_stats: LoadStats,
 }
 
 impl Engine {
@@ -302,6 +306,7 @@ impl Engine {
             pool,
             telemetry,
             metrics,
+            load_stats: LoadStats::default(),
         }
     }
 
@@ -335,6 +340,24 @@ impl Engine {
     /// `FQBERT_KERNEL` forced) at first use.
     pub fn kernel(&self) -> &'static str {
         gemm_kernels::selected().name
+    }
+
+    /// Bytes of model weight storage currently resident for this engine's
+    /// quantized model (0 for the float backend): the seven float tensors
+    /// plus every layer's materialized panel/code/bias storage. Grows as
+    /// zero-copy loaded layers materialize their GEMM panels on first use.
+    pub fn resident_bytes(&self) -> usize {
+        self.backend
+            .int_model()
+            .map_or(0, fqbert_core::IntBertModel::resident_bytes)
+    }
+
+    /// Dedup statistics of the artifact load that produced this engine:
+    /// how many tensors (and bytes) were shared with previously loaded
+    /// models instead of being loaded privately. All-zero for engines
+    /// built from in-memory models or via the eager load path.
+    pub fn load_stats(&self) -> LoadStats {
+        self.load_stats
     }
 
     /// The engine's telemetry registry: `engine.calls` / `engine.sequences`
@@ -780,6 +803,14 @@ impl EngineBuilder {
     /// Builds the engine by loading a saved artifact (`quantize once →
     /// serve many`): no float model, no retraining, no recalibration.
     ///
+    /// Loads on the zero-copy path: v2 weight tensors stay in their
+    /// on-disk encoding behind one shared buffer and materialize GEMM
+    /// panels on first use, so cold start does not pay for unpacking every
+    /// layer up front. Bit-identical to the eager
+    /// [`EngineBuilder::load_eager`] path (property-tested). Use
+    /// [`EngineBuilder::load_with_cache`] to dedup float tensors across
+    /// several loaded models.
+    ///
     /// The artifact supplies the task and tokenizer; the builder's task is
     /// overridden by the artifact's. The float backend cannot be built from
     /// an artifact.
@@ -789,6 +820,49 @@ impl EngineBuilder {
     /// Propagates artifact I/O and validation errors; returns
     /// [`RuntimeError::InvalidConfig`] for [`BackendKind::Float`].
     pub fn load(self, path: &Path) -> Result<Engine> {
+        let mut cache = TensorCache::new();
+        self.load_with_cache(path, &mut cache)
+    }
+
+    /// As [`EngineBuilder::load`], interning float tensors through a
+    /// caller-owned [`TensorCache`] so identical tensors across models
+    /// loaded with the same cache (embedding tables and classifier heads
+    /// of w4/w8 variants of one task) share one allocation. The engine's
+    /// [`Engine::load_stats`] reports what was shared.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EngineBuilder::load`].
+    pub fn load_with_cache(self, path: &Path, cache: &mut TensorCache) -> Result<Engine> {
+        let bytes: Arc<[u8]> = std::fs::read(path)?.into();
+        self.load_shared_bytes(&bytes, cache)
+    }
+
+    /// As [`EngineBuilder::load_with_cache`], from an already-loaded
+    /// artifact byte buffer — so several registry entries pointing at the
+    /// same artifact file share one read and one backing buffer instead of
+    /// loading it per entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates artifact validation errors; returns
+    /// [`RuntimeError::InvalidConfig`] for [`BackendKind::Float`].
+    pub fn load_shared_bytes(self, bytes: &Arc<[u8]>, cache: &mut TensorCache) -> Result<Engine> {
+        let (artifact, stats) = ModelArtifact::from_shared_bytes(bytes, cache)?;
+        let mut engine = self.from_artifact(artifact)?;
+        engine.load_stats = stats;
+        Ok(engine)
+    }
+
+    /// Builds the engine by loading a saved artifact on the **eager** path:
+    /// every weight tensor is unpacked and panel-packed at load time.
+    /// Kept as the bit-identity oracle and cold-start baseline for the
+    /// zero-copy [`EngineBuilder::load`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`EngineBuilder::load`].
+    pub fn load_eager(self, path: &Path) -> Result<Engine> {
         let artifact = ModelArtifact::load(path)?;
         self.from_artifact(artifact)
     }

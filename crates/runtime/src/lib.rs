@@ -94,6 +94,7 @@ pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod pool;
+pub mod tensor_cache;
 
 pub use artifact::ModelArtifact;
 pub use backend::{CostModel, FloatBackend, InferenceBackend, IntBackend, Precision, SimBackend};
@@ -105,6 +106,7 @@ pub use engine::{
 pub use error::RuntimeError;
 pub use fqbert_telemetry as telemetry;
 pub use pool::{PoolError, WorkerPool};
+pub use tensor_cache::{LoadStats, TensorCache};
 
 /// Convenience result alias for runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

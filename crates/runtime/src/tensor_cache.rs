@@ -1,0 +1,151 @@
+//! Content-hash interning of float model tensors: load once, share
+//! everywhere.
+//!
+//! Dense multi-model serving loads several variants of one task — w4 and w8
+//! encoders over the *same* embedding tables, layer-norm parameters and
+//! classifier head. A [`TensorCache`] deduplicates those tensors at load
+//! time: each candidate is hashed over its exact bit content (FNV-1a over
+//! dims and element bit patterns), and a hash hit is confirmed by full
+//! bitwise comparison before the existing [`Arc`] is handed out — a hash
+//! collision can never alias two different tensors. The cache holds strong
+//! references, so interned tensors stay live for the cache's lifetime; a
+//! registry keeps one cache per process and drops it with the registry.
+
+use fqbert_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Dedup statistics of one artifact load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Tensors that resolved to an already-interned copy.
+    pub shared_tensors: usize,
+    /// Bytes those shared tensors would have occupied if loaded privately.
+    pub shared_bytes: usize,
+}
+
+impl LoadStats {
+    /// Accumulates another load's statistics into this one.
+    pub fn absorb(&mut self, other: LoadStats) {
+        self.shared_tensors += other.shared_tensors;
+        self.shared_bytes += other.shared_bytes;
+    }
+}
+
+/// Content-addressed intern table for float tensors.
+#[derive(Debug, Default)]
+pub struct TensorCache {
+    buckets: HashMap<u64, Vec<Arc<Tensor>>>,
+}
+
+impl TensorCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `tensor`: returns the already-cached [`Arc`] when a
+    /// bit-identical tensor was interned before (second return `true`),
+    /// otherwise caches this one and returns it (second return `false`).
+    pub fn intern(&mut self, tensor: Tensor) -> (Arc<Tensor>, bool) {
+        let hash = content_hash(&tensor);
+        let bucket = self.buckets.entry(hash).or_default();
+        if let Some(existing) = bucket.iter().find(|t| bitwise_eq(t, &tensor)) {
+            return (Arc::clone(existing), true);
+        }
+        let fresh = Arc::new(tensor);
+        bucket.push(Arc::clone(&fresh));
+        (fresh, false)
+    }
+
+    /// Number of distinct tensors interned.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// FNV-1a (64-bit) over the tensor's shape and exact element bit patterns.
+fn content_hash(t: &Tensor) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    };
+    for &d in t.dims() {
+        for byte in (d as u64).to_le_bytes() {
+            eat(byte);
+        }
+    }
+    for &v in t.as_slice() {
+        for byte in v.to_bits().to_le_bytes() {
+            eat(byte);
+        }
+    }
+    hash
+}
+
+/// Exact bit equality — unlike float `==`, distinguishes `-0.0` from `0.0`
+/// and treats identical NaN patterns as equal, so interning never changes
+/// what a model computes.
+fn bitwise_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.dims() == b.dims()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).expect("valid tensor")
+    }
+
+    #[test]
+    fn identical_tensors_share_one_allocation() {
+        let mut cache = TensorCache::new();
+        let (a, shared_a) = cache.intern(tensor(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let (b, shared_b) = cache.intern(tensor(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        assert!(!shared_a);
+        assert!(shared_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_content_or_shape_stays_distinct() {
+        let mut cache = TensorCache::new();
+        let (a, _) = cache.intern(tensor(&[1.0, 2.0], &[2]));
+        let (b, shared_b) = cache.intern(tensor(&[1.0, 2.5], &[2]));
+        let (c, shared_c) = cache.intern(tensor(&[1.0, 2.0], &[2, 1]));
+        assert!(!shared_b);
+        assert!(!shared_c);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn bit_patterns_matter_not_float_equality() {
+        let mut cache = TensorCache::new();
+        let (_, _) = cache.intern(tensor(&[0.0], &[1]));
+        // -0.0 == 0.0 under float comparison, but its bit pattern differs:
+        // it must intern as a distinct tensor.
+        let (_, shared) = cache.intern(tensor(&[-0.0], &[1]));
+        assert!(!shared);
+        // The same NaN bit pattern is NaN != NaN under float comparison,
+        // but bitwise-identical: it must share.
+        let (_, _) = cache.intern(tensor(&[f32::NAN], &[1]));
+        let (_, shared_nan) = cache.intern(tensor(&[f32::NAN], &[1]));
+        assert!(shared_nan);
+    }
+}

@@ -1,0 +1,218 @@
+//! Property tests of the zero-copy artifact load path: lazily materialized
+//! models must be bit-identical to eagerly loaded ones at every weight
+//! bit-width, dedup must actually share float tensors across variants, and
+//! residency must stay below the eager path until panels materialize.
+
+use fqbert_autograd::Graph;
+use fqbert_bert::{BertConfig, BertModel};
+use fqbert_core::{convert_mixed, QatHook};
+use fqbert_nlp::{Example, TaskKind, Tokenizer, Vocab};
+use fqbert_quant::{LayerBits, QuantConfig};
+use fqbert_runtime::{ModelArtifact, TensorCache};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+const MAX_LEN: usize = 12;
+
+/// Builds a calibrated quantized artifact with per-layer bit-widths from
+/// one shared float model, so every variant carries identical float tensors
+/// (embedding tables, classifier head) — exactly the multi-variant serving
+/// scenario the dedup cache exists for.
+fn build_artifact(bits: &[LayerBits]) -> ModelArtifact {
+    let config = BertConfig::tiny(28, MAX_LEN, 2);
+    let words: Vec<String> = (0..config.vocab_size - 4)
+        .map(|i| format!("w{i}"))
+        .collect();
+    let vocab = Vocab::from_tokens(&words);
+    let model = BertModel::new(config, 23);
+    let mut hook = QatHook::calibration_only(QuantConfig::fq_bert());
+    for i in 0..8usize {
+        let tokens = vec![2, 4 + i, 9 + (i * 3) % 12, 6, 3];
+        let example = Example {
+            segment_ids: vec![0; tokens.len()],
+            attention_mask: vec![1; tokens.len()],
+            token_ids: tokens,
+            label: 0,
+        };
+        let mut graph = Graph::new();
+        let bound = model.bind(&mut graph);
+        bound
+            .forward(&mut graph, &example, &mut hook)
+            .expect("calibration forward");
+    }
+    let int_model = convert_mixed(&model, &hook, bits).expect("conversion");
+    ModelArtifact::new(TaskKind::Sst2, int_model, Tokenizer::new(vocab, MAX_LEN))
+}
+
+/// Artifact byte streams for w2, w4, w8 and a mixed-precision stack, built
+/// once from one float model and shared across cases.
+fn artifact_bytes() -> &'static Vec<(&'static str, Vec<u8>)> {
+    static CELL: OnceLock<Vec<(&'static str, Vec<u8>)>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let layers = BertConfig::tiny(28, MAX_LEN, 2).layers;
+        let mut mixed = vec![LayerBits::uniform(4); layers];
+        mixed[0] = LayerBits {
+            q: 8,
+            k: 2,
+            v: 4,
+            attn_output: 8,
+            ffn1: 2,
+            ffn2: 8,
+        };
+        [
+            ("w2", vec![LayerBits::uniform(2); layers]),
+            ("w4", vec![LayerBits::uniform(4); layers]),
+            ("w8", vec![LayerBits::uniform(8); layers]),
+            ("mixed", mixed),
+        ]
+        .into_iter()
+        .map(|(name, bits)| (name, build_artifact(&bits).to_bytes()))
+        .collect()
+    })
+}
+
+/// A random batch of encoded examples valid for the test model.
+fn batch_strategy() -> impl Strategy<Value = Vec<Example>> {
+    proptest::collection::vec(
+        (1usize..=MAX_LEN - 2, 0u64..u64::MAX).prop_map(|(len, seed)| {
+            let mut ids = vec![2usize]; // [CLS]
+            let mut s = seed;
+            for _ in 0..len {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ids.push(4 + (s >> 33) as usize % 24);
+            }
+            ids.push(3); // [SEP]
+            Example {
+                segment_ids: vec![0; ids.len()],
+                attention_mask: vec![1; ids.len()],
+                token_ids: ids,
+                label: 0,
+            }
+        }),
+        1..5,
+    )
+}
+
+proptest! {
+    // The heart of the zero-copy contract: logits from a lazily
+    // materialized model equal the eager load bit for bit, at every
+    // supported bit-width and for a mixed-precision stack.
+    #[test]
+    fn zero_copy_load_is_bit_identical_to_eager(examples in batch_strategy()) {
+        for (name, bytes) in artifact_bytes() {
+            let eager = ModelArtifact::from_bytes(bytes).expect("eager load");
+            let shared: Arc<[u8]> = bytes.clone().into();
+            let mut cache = TensorCache::new();
+            let (lazy, stats) =
+                ModelArtifact::from_shared_bytes(&shared, &mut cache).expect("zero-copy load");
+            prop_assert_eq!(stats.shared_tensors, 0, "first load shares nothing");
+            let a = eager.model.logits_batch(&examples).expect("eager logits");
+            let b = lazy.model.logits_batch(&examples).expect("lazy logits");
+            prop_assert_eq!(a.len(), b.len());
+            for (la, lb) in a.iter().zip(b.iter()) {
+                for (x, y) in la.iter().zip(lb.iter()) {
+                    prop_assert_eq!(
+                        x.to_bits(), y.to_bits(),
+                        "{} zero-copy logits diverge from eager", name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn variants_of_one_task_share_their_float_tensors() {
+    let bytes = artifact_bytes();
+    let w4: Arc<[u8]> = bytes[1].1.clone().into();
+    let w8: Arc<[u8]> = bytes[2].1.clone().into();
+    let mut cache = TensorCache::new();
+    let (first, stats_first) = ModelArtifact::from_shared_bytes(&w4, &mut cache).expect("w4");
+    assert_eq!(stats_first.shared_tensors, 0);
+    let (second, stats_second) = ModelArtifact::from_shared_bytes(&w8, &mut cache).expect("w8");
+    // Both variants came from one float model: all seven CPU-side tensors
+    // (embeddings, layer-norm parameters, classifier) dedup onto the copies
+    // the w4 load interned.
+    assert_eq!(stats_second.shared_tensors, 7);
+    assert!(stats_second.shared_bytes > 0);
+    for (a, b) in first
+        .model
+        .shared_float_tensors()
+        .iter()
+        .zip(second.model.shared_float_tensors())
+    {
+        assert!(Arc::ptr_eq(a, b), "variants must share one allocation");
+    }
+}
+
+#[test]
+fn residency_stays_lazy_until_first_forward() {
+    let (_, bytes) = &artifact_bytes()[1]; // w4
+    let eager = ModelArtifact::from_bytes(bytes).expect("eager load");
+    let shared: Arc<[u8]> = bytes.clone().into();
+    let mut cache = TensorCache::new();
+    let (lazy, _) = ModelArtifact::from_shared_bytes(&shared, &mut cache).expect("lazy load");
+    let before = lazy.model.resident_bytes();
+    let full = eager.model.resident_bytes();
+    assert!(
+        before < full,
+        "unused zero-copy model resides {before} bytes, eager {full}"
+    );
+    let examples = vec![Example {
+        token_ids: vec![2, 7, 11, 3],
+        segment_ids: vec![0; 4],
+        attention_mask: vec![1; 4],
+        label: 0,
+    }];
+    lazy.model.logits_batch(&examples).expect("first forward");
+    // The forward pass materializes every layer's panels but never the
+    // unpacked code tensors, so the lazy model converges to the panel+bias
+    // portion of the eager residency without the code copies.
+    let after = lazy.model.resident_bytes();
+    assert!(after > before, "first forward must materialize panels");
+    assert!(
+        after < full,
+        "lazy model must skip the unpacked code copies"
+    );
+}
+
+#[test]
+fn zero_copy_loaded_model_saves_identical_bytes() {
+    // `save` walks `weight_codes()`, which zero-copy layers materialize on
+    // demand from the artifact buffer: re-encoding must reproduce the
+    // original byte stream exactly.
+    let (_, bytes) = &artifact_bytes()[3]; // mixed
+    let shared: Arc<[u8]> = bytes.clone().into();
+    let mut cache = TensorCache::new();
+    let (lazy, _) = ModelArtifact::from_shared_bytes(&shared, &mut cache).expect("lazy load");
+    assert_eq!(&lazy.to_bytes(), bytes);
+}
+
+#[test]
+fn load_zero_copy_reads_files_and_clones_share_state() {
+    let (_, bytes) = &artifact_bytes()[0]; // w2
+    let dir = std::env::temp_dir().join("fqbert_lazy_load_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("w2.fqbt");
+    std::fs::write(&path, bytes).expect("write artifact");
+    let (artifact, stats) = ModelArtifact::load_zero_copy(&path).expect("load");
+    assert_eq!(stats.shared_tensors, 0);
+    // Clones share the lazily materialized panels: a clone taken before
+    // the first forward still sees the original's materialization.
+    let clone = artifact.model.clone();
+    let examples = vec![Example {
+        token_ids: vec![2, 5, 3],
+        segment_ids: vec![0; 3],
+        attention_mask: vec![1; 3],
+        label: 0,
+    }];
+    artifact.model.logits_batch(&examples).expect("forward");
+    assert_eq!(
+        clone.resident_bytes(),
+        artifact.model.resident_bytes(),
+        "clones must share materialized panel storage"
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! fqbert-serve [--listen ADDR] [--max-batch N] [--max-delay-ms MS]
-//!              [--max-queue N] [--stats-interval SECS] [--threads N]
-//!              [--config FILE] [name=backend:path[#threads=N] ...]
+//!              [--max-queue N] [--cache N] [--stats-interval SECS]
+//!              [--threads N] [--config FILE]
+//!              [name=backend:path[#threads=N] ...]
 //! ```
 //!
 //! Models come from `name=backend:path[#threads=N]` specs (backend is `int`
@@ -17,7 +18,9 @@
 //! error frame instead of growing the backlog. `--stats-interval SECS`
 //! prints a telemetry summary line per model every `SECS` seconds (`0`,
 //! the default, disables it); the same data is live over the wire via
-//! `{"cmd":"stats"}`. The server runs until a client sends
+//! `{"cmd":"stats"}`. `--cache N` sizes the idempotent response cache
+//! (default 128 responses, `0` turns replay off; identical in-flight
+//! requests still coalesce). The server runs until a client sends
 //! `{"cmd":"shutdown"}`.
 
 use fqbert_serve::{registry, BatchPolicy, ModelRegistry, ModelSpec, Server, ServerConfig};
@@ -26,8 +29,8 @@ use std::time::{Duration, Instant};
 fn usage() -> ! {
     eprintln!(
         "usage: fqbert-serve [--listen ADDR] [--max-batch N] [--max-delay-ms MS] \
-         [--max-queue N] [--stats-interval SECS] [--threads N] [--config FILE] \
-         [name=backend:path[#threads=N] ...]"
+         [--max-queue N] [--cache N] [--stats-interval SECS] [--threads N] \
+         [--config FILE] [name=backend:path[#threads=N] ...]"
     );
     std::process::exit(2);
 }
@@ -40,6 +43,7 @@ fn main() {
     let mut policy = BatchPolicy::default().bounded(1024);
     let mut stats_interval = Duration::ZERO;
     let mut default_threads: Option<usize> = None;
+    let mut cache_capacity = ServerConfig::default().cache_capacity;
     let mut specs: Vec<ModelSpec> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -71,6 +75,12 @@ fn main() {
                     usage()
                 });
                 policy.max_queue = if bound == 0 { usize::MAX } else { bound };
+            }
+            "--cache" => {
+                cache_capacity = flag_value("--cache").parse().unwrap_or_else(|_| {
+                    eprintln!("--cache must be an integer (0 = replay off)");
+                    usage()
+                });
             }
             "--stats-interval" => {
                 let secs: u64 = flag_value("--stats-interval").parse().unwrap_or_else(|_| {
@@ -133,6 +143,7 @@ fn main() {
         ServerConfig {
             addr: listen,
             policy,
+            cache_capacity,
         },
     )
     .unwrap_or_else(|e| {
@@ -148,8 +159,17 @@ fn main() {
     );
     for info in infos {
         println!(
-            "  model {:<16} task {:<7} backend {:<5} precision {:<6} bits {:<12} threads {} kernel {}",
-            info.name, info.task, info.backend, info.precision, info.bits, info.threads, info.kernel
+            "  model {:<16} task {:<7} backend {:<5} precision {:<6} bits {:<12} threads {} \
+             kernel {} resident {:.1} KiB ({} shared tensor(s))",
+            info.name,
+            info.task,
+            info.backend,
+            info.precision,
+            info.bits,
+            info.threads,
+            info.kernel,
+            info.resident_bytes as f64 / 1024.0,
+            info.shared_tensors,
         );
     }
     println!("send {{\"cmd\":\"shutdown\"}} to stop");
@@ -180,10 +200,14 @@ fn main() {
 fn print_stats(server: &Server, names: &[String]) {
     let snapshot = server.stats_snapshot();
     println!(
-        "stats: {} frame(s) answered, {} error(s), {} connection(s) open",
+        "stats: {} frame(s) answered, {} error(s), {} connection(s) open, \
+         cache {} hit(s) / {} miss(es) / {} coalesced",
         snapshot.counter("server.requests").unwrap_or(0),
         snapshot.counter("server.errors").unwrap_or(0),
         snapshot.gauge("server.connections").unwrap_or(0),
+        snapshot.counter("cache.hits").unwrap_or(0),
+        snapshot.counter("cache.misses").unwrap_or(0),
+        snapshot.counter("cache.coalesced").unwrap_or(0),
     );
     for name in names {
         let counter = |metric: &str| {

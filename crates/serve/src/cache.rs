@@ -1,0 +1,575 @@
+//! The idempotent response cache in front of the batching queues.
+//!
+//! Classification is a pure function of `(model, inputs)` — the engines are
+//! deterministic and bit-identical across batch compositions — so identical
+//! requests need not reach the engine twice. The cache exploits that in two
+//! ways:
+//!
+//! * **Replay**: a bounded LRU of recent successful responses answers
+//!   repeat requests without touching the queue. Replayed results are the
+//!   exact [`TicketResponse`] the engine produced (bit-identical logits),
+//!   re-flagged with [`TicketResponse::cached`] and zero queue wait.
+//! * **Coalescing**: identical requests *in flight at the same time*
+//!   collapse onto one engine submission. The first becomes the **leader**
+//!   and runs the real serve path; the rest become **followers** that block
+//!   on a channel and receive the leader's outcome. A follower waits at
+//!   most its *own* deadline — joining a leader never extends the leader's
+//!   deadline, and a follower whose budget expires first resolves to
+//!   [`ServeError::DeadlineExceeded`] on its own clock.
+//!
+//! Failure semantics are explicit: only successes are cached (an engine
+//! hiccup or a shed never poisons future requests), and a leader's error is
+//! broadcast to its followers with its wire kind preserved where possible
+//! ([`ServeError::clone_for_broadcast`]) — in particular `deadline_exceeded`
+//! and `server_overloaded` reach followers under their own kinds. A leader
+//! that dies without resolving (panic unwinding through the serve closure)
+//! releases its followers with an `internal_error` via a drop guard rather
+//! than leaving them blocked forever.
+//!
+//! Requests can opt out per frame (`"no_cache": true` — see the wire
+//! protocol): the server then bypasses this module entirely, which is the
+//! escape hatch for load testing and for callers that want a fresh engine
+//! measurement.
+//!
+//! Locking: one mutex guards the LRU and the in-flight table. Every channel
+//! send happens strictly after the guard is dropped, so a follower never
+//! rendezvouses with a thread that holds cache state.
+
+use crate::queue::TicketResponse;
+use crate::{lock_clean, Result, ServeError};
+use fqbert_telemetry::{Counter, Scope};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// What a cached response is keyed on: the routing name plus the exact
+/// request payload. Tokenization is deterministic, so keying on the raw
+/// inputs (rather than token ids) lets cache hits skip encoding entirely.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Routing name of the target model.
+    pub model: String,
+    /// The request's inputs, exactly as submitted.
+    pub inputs: crate::protocol::RequestInputs,
+}
+
+/// Cache totals, mirrored into telemetry counters (`cache.hits`,
+/// `cache.misses`, `cache.coalesced`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the LRU without engine work.
+    pub hits: u64,
+    /// Requests that ran the real serve path (as coalescing leaders).
+    pub misses: u64,
+    /// Requests that rode another identical in-flight request's engine
+    /// call as coalescing followers.
+    pub coalesced: u64,
+}
+
+struct CacheState {
+    /// Completed successful responses by key.
+    entries: HashMap<CacheKey, TicketResponse>,
+    /// Recency order over `entries` keys; front = most recently used.
+    recency: VecDeque<CacheKey>,
+    /// Keys currently being served by a leader, with the channels of every
+    /// follower waiting on that leader's outcome.
+    inflight: HashMap<CacheKey, Vec<mpsc::Sender<Result<TicketResponse>>>>,
+}
+
+impl CacheState {
+    /// Looks a key up in the LRU, refreshing its recency on a hit.
+    fn lookup(&mut self, key: &CacheKey) -> Option<TicketResponse> {
+        let found = self.entries.get(key).cloned()?;
+        if let Some(at) = self.recency.iter().position(|k| k == key) {
+            if let Some(k) = self.recency.remove(at) {
+                self.recency.push_front(k);
+            }
+        }
+        Some(found)
+    }
+
+    /// Inserts a successful response, evicting the least recently used
+    /// entry when the cache is at capacity.
+    fn store(&mut self, key: CacheKey, response: TicketResponse, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        if self.entries.insert(key.clone(), response).is_none() {
+            self.recency.push_front(key);
+            while self.entries.len() > capacity {
+                if let Some(evicted) = self.recency.pop_back() {
+                    self.entries.remove(&evicted);
+                } else {
+                    break;
+                }
+            }
+        } else if let Some(at) = self.recency.iter().position(|k| k == &key) {
+            if let Some(k) = self.recency.remove(at) {
+                self.recency.push_front(k);
+            }
+        }
+    }
+}
+
+/// An idempotent response cache: LRU replay of recent answers plus
+/// in-flight coalescing of identical concurrent requests.
+pub struct ResponseCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    coalesced: Arc<Counter>,
+}
+
+impl ResponseCache {
+    /// A cache holding up to `capacity` recent responses, recording
+    /// `cache.hits` / `cache.misses` / `cache.coalesced` under `scope`.
+    /// Capacity `0` disables replay but still coalesces identical
+    /// in-flight requests.
+    pub fn new(capacity: usize, scope: &Scope) -> Self {
+        let cache = scope.child("cache");
+        Self {
+            capacity,
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                recency: VecDeque::new(),
+                inflight: HashMap::new(),
+            }),
+            hits: cache.counter("hits"),
+            misses: cache.counter("misses"),
+            coalesced: cache.counter("coalesced"),
+        }
+    }
+
+    /// Maximum number of responses the LRU retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of responses currently cached.
+    pub fn len(&self) -> usize {
+        lock_clean(&self.state).entries.len()
+    }
+
+    /// Whether no responses are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter totals since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            coalesced: self.coalesced.get(),
+        }
+    }
+
+    /// Serves one request through the cache. Exactly one of three things
+    /// happens:
+    ///
+    /// * **Hit** — a cached response for `key` is replayed immediately,
+    ///   with [`TicketResponse::cached`] set and zero wait. `serve` is not
+    ///   called.
+    /// * **Leader** — no cached response and no identical request in
+    ///   flight: `serve` runs (encode, submit, block on the queue ticket),
+    ///   its success is stored, and its outcome — success or failure — is
+    ///   broadcast to any followers that joined meanwhile.
+    /// * **Follower** — an identical request is already in flight: this
+    ///   call blocks for the leader's outcome instead of submitting its
+    ///   own, for at most `deadline` (counted from now, so a follower's
+    ///   budget never extends the leader's).
+    ///
+    /// # Errors
+    ///
+    /// A leader propagates `serve`'s error verbatim. A follower receives
+    /// the leader's outcome re-keyed through
+    /// [`ServeError::clone_for_broadcast`], resolves to
+    /// [`ServeError::DeadlineExceeded`] if its own deadline passes first,
+    /// and to [`ServeError::Internal`] if the leader died without
+    /// resolving.
+    pub fn get_or_serve<F>(
+        &self,
+        key: CacheKey,
+        deadline: Option<Duration>,
+        serve: F,
+    ) -> Result<TicketResponse>
+    where
+        F: FnOnce() -> Result<TicketResponse>,
+    {
+        enum Role {
+            Hit(TicketResponse),
+            Leader,
+            Follower(mpsc::Receiver<Result<TicketResponse>>),
+        }
+        let role = {
+            let mut state = lock_clean(&self.state);
+            if let Some(found) = state.lookup(&key) {
+                Role::Hit(found)
+            } else if let Some(waiters) = state.inflight.get_mut(&key) {
+                let (tx, rx) = mpsc::channel();
+                waiters.push(tx);
+                Role::Follower(rx)
+            } else {
+                state.inflight.insert(key.clone(), Vec::new());
+                Role::Leader
+            }
+        };
+        match role {
+            Role::Hit(mut response) => {
+                self.hits.inc();
+                response.cached = true;
+                response.wait = Duration::ZERO;
+                Ok(response)
+            }
+            Role::Follower(rx) => {
+                self.coalesced.inc();
+                let vanished = || {
+                    Err(ServeError::Internal(
+                        "response-cache leader died before resolving".to_string(),
+                    ))
+                };
+                match deadline {
+                    Some(budget) => match rx.recv_timeout(budget) {
+                        Ok(outcome) => outcome,
+                        Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+                        Err(mpsc::RecvTimeoutError::Disconnected) => vanished(),
+                    },
+                    None => rx.recv().unwrap_or_else(|_| vanished()),
+                }
+            }
+            Role::Leader => {
+                self.misses.inc();
+                let guard = LeaderGuard {
+                    cache: self,
+                    key: Some(key),
+                };
+                let result = serve();
+                guard.resolve(result)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ResponseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Owns a leader's in-flight entry. `resolve` consumes it on the normal
+/// path; `Drop` fires only when the serve closure unwound, and releases
+/// the followers with an error instead of leaving them blocked.
+struct LeaderGuard<'a> {
+    cache: &'a ResponseCache,
+    key: Option<CacheKey>,
+}
+
+impl LeaderGuard<'_> {
+    fn resolve(mut self, result: Result<TicketResponse>) -> Result<TicketResponse> {
+        let Some(key) = self.key.take() else {
+            return result;
+        };
+        let followers = {
+            let mut state = lock_clean(&self.cache.state);
+            let followers = state.inflight.remove(&key).unwrap_or_default();
+            if let Ok(response) = &result {
+                state.store(key, response.clone(), self.cache.capacity);
+            }
+            followers
+        };
+        for follower in followers {
+            let outcome = match &result {
+                Ok(response) => Ok(response.clone()),
+                Err(err) => Err(err.clone_for_broadcast()),
+            };
+            let _ = follower.send(outcome);
+        }
+        result
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        let Some(key) = self.key.take() else {
+            return;
+        };
+        let followers = {
+            let mut state = lock_clean(&self.cache.state);
+            state.inflight.remove(&key).unwrap_or_default()
+        };
+        for follower in followers {
+            let _ = follower.send(Err(ServeError::Internal(
+                "response-cache leader aborted mid-serve".to_string(),
+            )));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::RequestInputs;
+    use fqbert_runtime::Scored;
+
+    fn key(model: &str, text: &str) -> CacheKey {
+        CacheKey {
+            model: model.to_string(),
+            inputs: RequestInputs::Texts(vec![text.to_string()]),
+        }
+    }
+
+    fn response(tag: f32) -> TicketResponse {
+        TicketResponse {
+            results: vec![Scored {
+                prediction: 0,
+                label: "negative",
+                scores: vec![tag, 1.0 - tag],
+                logits: vec![tag, -tag],
+                cost: None,
+            }],
+            cost: None,
+            flushed_batch: 1,
+            wait: Duration::from_micros(250),
+            cached: false,
+        }
+    }
+
+    fn scope() -> Scope {
+        Scope::detached("")
+    }
+
+    #[test]
+    fn replays_recent_answers_without_serving() {
+        let cache = ResponseCache::new(4, &scope());
+        let first = cache
+            .get_or_serve(key("m", "a"), None, || Ok(response(0.25)))
+            .expect("leader");
+        assert!(!first.cached);
+        let second = cache
+            .get_or_serve(key("m", "a"), None, || {
+                panic!("hit must not reach the engine")
+            })
+            .expect("hit");
+        assert!(second.cached);
+        assert_eq!(second.wait, Duration::ZERO);
+        assert_eq!(second.results, first.results);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                coalesced: 0
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let cache = ResponseCache::new(4, &scope());
+        let a = cache
+            .get_or_serve(key("m", "a"), None, || Ok(response(0.25)))
+            .expect("a");
+        let b = cache
+            .get_or_serve(key("m", "b"), None, || Ok(response(0.75)))
+            .expect("b");
+        let other_model = cache
+            .get_or_serve(key("n", "a"), None, || Ok(response(0.5)))
+            .expect("other model");
+        assert_ne!(a.results, b.results);
+        assert_ne!(a.results, other_model.results);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let cache = ResponseCache::new(2, &scope());
+        for (text, tag) in [("a", 0.1), ("b", 0.2)] {
+            cache
+                .get_or_serve(key("m", text), None, || Ok(response(tag)))
+                .expect("fill");
+        }
+        // Touch `a` so `b` is the eviction victim.
+        cache
+            .get_or_serve(key("m", "a"), None, || unreachable!("hit"))
+            .expect("refresh");
+        cache
+            .get_or_serve(key("m", "c"), None, || Ok(response(0.3)))
+            .expect("evicting insert");
+        assert_eq!(cache.len(), 2);
+        // `a` survived, `b` was evicted and must be served again.
+        cache
+            .get_or_serve(key("m", "a"), None, || unreachable!("still cached"))
+            .expect("a cached");
+        let stats_before = cache.stats();
+        cache
+            .get_or_serve(key("m", "b"), None, || Ok(response(0.2)))
+            .expect("b re-served");
+        assert_eq!(cache.stats().misses, stats_before.misses + 1);
+    }
+
+    #[test]
+    fn errors_are_never_cached() {
+        let cache = ResponseCache::new(4, &scope());
+        let err = cache
+            .get_or_serve(key("m", "a"), None, || Err(ServeError::ServerOverloaded))
+            .expect_err("shed");
+        assert_eq!(err.kind(), "server_overloaded");
+        assert!(cache.is_empty());
+        // The next identical request runs the serve path again.
+        cache
+            .get_or_serve(key("m", "a"), None, || Ok(response(0.5)))
+            .expect("served after shed");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn capacity_zero_disables_replay() {
+        let cache = ResponseCache::new(0, &scope());
+        cache
+            .get_or_serve(key("m", "a"), None, || Ok(response(0.5)))
+            .expect("first");
+        cache
+            .get_or_serve(key("m", "a"), None, || Ok(response(0.5)))
+            .expect("second");
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn followers_receive_the_leaders_outcome() {
+        let cache = Arc::new(ResponseCache::new(4, &scope()));
+        let (enter_tx, enter_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let leader_cache = Arc::clone(&cache);
+        let leader = std::thread::spawn(move || {
+            leader_cache.get_or_serve(key("m", "a"), None, move || {
+                enter_tx.send(()).expect("signal entry");
+                release_rx.recv().expect("await release");
+                Ok(response(0.25))
+            })
+        });
+        enter_rx.recv().expect("leader entered serve");
+        let follower_cache = Arc::clone(&cache);
+        let follower = std::thread::spawn(move || {
+            follower_cache.get_or_serve(key("m", "a"), None, || panic!("follower must not serve"))
+        });
+        // Wait until the follower has actually registered.
+        while cache.stats().coalesced == 0 {
+            std::thread::yield_now();
+        }
+        release_tx.send(()).expect("release leader");
+        let led = leader.join().expect("leader thread").expect("leader ok");
+        let followed = follower
+            .join()
+            .expect("follower thread")
+            .expect("follower ok");
+        assert_eq!(led.results, followed.results);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                coalesced: 1
+            }
+        );
+    }
+
+    #[test]
+    fn follower_deadline_cannot_outwait_its_own_budget() {
+        let cache = Arc::new(ResponseCache::new(4, &scope()));
+        let (enter_tx, enter_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let leader_cache = Arc::clone(&cache);
+        let leader = std::thread::spawn(move || {
+            leader_cache.get_or_serve(key("m", "a"), None, move || {
+                enter_tx.send(()).expect("signal entry");
+                release_rx.recv().expect("await release");
+                Ok(response(0.25))
+            })
+        });
+        enter_rx.recv().expect("leader entered serve");
+        // The follower's 5 ms budget expires while the leader is still
+        // blocked: it must fail on its own clock, not wait for the leader.
+        let err = cache
+            .get_or_serve(key("m", "a"), Some(Duration::from_millis(5)), || {
+                panic!("follower must not serve")
+            })
+            .expect_err("follower deadline");
+        assert_eq!(err.kind(), "deadline_exceeded");
+        release_tx.send(()).expect("release leader");
+        leader.join().expect("leader thread").expect("leader ok");
+    }
+
+    #[test]
+    fn leader_errors_broadcast_with_kind_preserved() {
+        let cache = Arc::new(ResponseCache::new(4, &scope()));
+        let (enter_tx, enter_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let leader_cache = Arc::clone(&cache);
+        let leader = std::thread::spawn(move || {
+            leader_cache.get_or_serve(key("m", "a"), None, move || {
+                enter_tx.send(()).expect("signal entry");
+                release_rx.recv().expect("await release");
+                Err(ServeError::ServerOverloaded)
+            })
+        });
+        enter_rx.recv().expect("leader entered serve");
+        let follower_cache = Arc::clone(&cache);
+        let follower = std::thread::spawn(move || {
+            follower_cache.get_or_serve(key("m", "a"), None, || panic!("follower must not serve"))
+        });
+        while cache.stats().coalesced == 0 {
+            std::thread::yield_now();
+        }
+        release_tx.send(()).expect("release leader");
+        let led = leader.join().expect("leader thread");
+        let followed = follower.join().expect("follower thread");
+        assert_eq!(led.expect_err("leader shed").kind(), "server_overloaded");
+        assert_eq!(
+            followed.expect_err("follower shed").kind(),
+            "server_overloaded"
+        );
+        assert!(cache.is_empty(), "failures must never be cached");
+    }
+
+    #[test]
+    fn a_panicking_leader_releases_its_followers() {
+        let cache = Arc::new(ResponseCache::new(4, &scope()));
+        let (enter_tx, enter_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let leader_cache = Arc::clone(&cache);
+        let leader = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                leader_cache.get_or_serve(key("m", "a"), None, move || {
+                    enter_tx.send(()).expect("signal entry");
+                    release_rx.recv().expect("await release");
+                    panic!("engine blew up")
+                })
+            }));
+        });
+        enter_rx.recv().expect("leader entered serve");
+        let follower_cache = Arc::clone(&cache);
+        let follower = std::thread::spawn(move || {
+            follower_cache.get_or_serve(key("m", "a"), None, || panic!("follower must not serve"))
+        });
+        while cache.stats().coalesced == 0 {
+            std::thread::yield_now();
+        }
+        release_tx.send(()).expect("release leader");
+        leader.join().expect("leader thread");
+        let err = follower
+            .join()
+            .expect("follower thread")
+            .expect_err("follower must be released");
+        assert_eq!(err.kind(), "internal_error");
+        // The key is free again: a fresh request becomes a new leader.
+        cache
+            .get_or_serve(key("m", "a"), None, || Ok(response(0.5)))
+            .expect("fresh leader after abort");
+    }
+}

@@ -50,6 +50,38 @@ pub struct ClientResponse {
     /// Simulated accelerator cost of this request, when served by the
     /// `sim` backend.
     pub sim: Option<BatchCost>,
+    /// Whether the response was replayed from the server's idempotent
+    /// response cache instead of running the engine. Defaults to `false`
+    /// on frames from servers predating the cache.
+    pub cached: bool,
+}
+
+/// One registered model as decoded from a `list_models` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientModelInfo {
+    /// Registry name the model is addressed by.
+    pub name: String,
+    /// Task the model was trained for (e.g. `sst2`).
+    pub task: String,
+    /// Backend kind serving the model (`int` or `sim`).
+    pub backend: String,
+    /// Precision summary (e.g. `w4/a8`).
+    pub precision: String,
+    /// Per-layer weight bit-width summary (e.g. `w4[0-5]/w8[6-11]`).
+    pub bits: String,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Worker threads serving the model's batches.
+    pub threads: usize,
+    /// GEMM micro-kernel serving the engine (`avx2`, `sse2`, `neon`,
+    /// `scalar`).
+    pub kernel: String,
+    /// Bytes of materialized weight panels plus shared float tensors
+    /// resident for this model.
+    pub resident_bytes: usize,
+    /// Float tensors this model shares with previously loaded models via
+    /// the registry's content-hash dedup cache.
+    pub shared_tensors: usize,
 }
 
 /// One histogram's summary as decoded from a `stats` frame. Values come
@@ -180,6 +212,31 @@ impl Client {
         texts: &[&str],
         deadline_ms: Option<u64>,
     ) -> Result<ClientResponse> {
+        self.classify_texts_request(model, texts, deadline_ms, false)
+    }
+
+    /// As [`Client::classify_texts`], with `no_cache: true` set on the
+    /// request frame so the server bypasses its response cache entirely —
+    /// no replay, no coalescing with identical in-flight requests.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::classify_texts`].
+    pub fn classify_texts_uncached(
+        &mut self,
+        model: &str,
+        texts: &[&str],
+    ) -> Result<ClientResponse> {
+        self.classify_texts_request(model, texts, None, true)
+    }
+
+    fn classify_texts_request(
+        &mut self,
+        model: &str,
+        texts: &[&str],
+        deadline_ms: Option<u64>,
+        no_cache: bool,
+    ) -> Result<ClientResponse> {
         let mut fields = vec![
             ("id", Json::str(self.fresh_id())),
             ("model", Json::str(model)),
@@ -190,6 +247,9 @@ impl Client {
         ];
         if let Some(ms) = deadline_ms {
             fields.push(("deadline_ms", Json::Num(ms as f64)));
+        }
+        if no_cache {
+            fields.push(("no_cache", Json::Bool(true)));
         }
         let value = self.roundtrip(&Json::obj(fields))?;
         decode_response(&value)
@@ -328,17 +388,13 @@ impl Client {
         Ok(responses)
     }
 
-    /// Lists the server's registered models as
-    /// `(name, task, backend, precision, bits, kernel)` tuples, where
-    /// `bits` is the per-layer weight bit-width summary (e.g.
-    /// `w4[0-5]/w8[6-11]`) and `kernel` is the GEMM micro-kernel serving
-    /// the engine (`avx2`, `sse2`, `neon`, `scalar`).
+    /// Lists the server's registered models, one [`ClientModelInfo`] per
+    /// registry entry.
     ///
     /// # Errors
     ///
     /// Propagates socket and protocol errors.
-    #[allow(clippy::type_complexity)]
-    pub fn list_models(&mut self) -> Result<Vec<(String, String, String, String, String, String)>> {
+    pub fn list_models(&mut self) -> Result<Vec<ClientModelInfo>> {
         let value = self.roundtrip(&Json::obj([("cmd", Json::str("list_models"))]))?;
         let models = value
             .get("models")
@@ -353,14 +409,18 @@ impl Client {
                         .map(str::to_string)
                         .ok_or_else(|| ServeError::Protocol(format!("model entry lacks `{key}`")))
                 };
-                Ok((
-                    field("name")?,
-                    field("task")?,
-                    field("backend")?,
-                    field("precision")?,
-                    field("bits")?,
-                    field("kernel")?,
-                ))
+                Ok(ClientModelInfo {
+                    name: field("name")?,
+                    task: field("task")?,
+                    backend: field("backend")?,
+                    precision: field("precision")?,
+                    bits: field("bits")?,
+                    num_classes: num_field(m, "num_classes")? as usize,
+                    threads: num_field(m, "threads")? as usize,
+                    kernel: field("kernel")?,
+                    resident_bytes: num_field(m, "resident_bytes")? as usize,
+                    shared_tensors: num_field(m, "shared_tensors")? as usize,
+                })
             })
             .collect()
     }
@@ -501,6 +561,7 @@ fn decode_response(value: &Json) -> Result<ClientResponse> {
         flushed_batch: num_field(batch, "flushed")? as usize,
         wait_ms: num_field(batch, "wait_ms")?,
         sim,
+        cached: matches!(value.get("cached"), Some(Json::Bool(true))),
     })
 }
 
@@ -576,6 +637,11 @@ mod tests {
         assert_eq!(response.results[0].scores, vec![0.25, 0.75]);
         assert_eq!(response.flushed_batch, 8);
         assert_eq!(response.sim.unwrap().total_cycles, 99);
+        // A frame without `cached` (pre-cache server) defaults to false.
+        assert!(!response.cached);
+        let cached = line.replace("\"latency_ms\":1.5,", "\"latency_ms\":1.5,\"cached\":true,");
+        let response = decode_response(&crate::json::parse(&cached).unwrap()).unwrap();
+        assert!(response.cached);
     }
 
     #[test]

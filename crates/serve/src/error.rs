@@ -30,6 +30,27 @@ pub enum ServeError {
 }
 
 impl ServeError {
+    /// A duplicate of this error for delivery to a second waiter — the
+    /// response cache broadcasts one leader's outcome to every coalesced
+    /// follower. `ServeError` cannot derive `Clone` because the
+    /// [`RuntimeError`] and [`std::io::Error`] payloads are not cloneable;
+    /// those two variants are flattened into [`ServeError::Internal`] with
+    /// the rendered message, while every other variant — including the
+    /// `deadline_exceeded` / `server_overloaded` kinds whose wire semantics
+    /// must survive coalescing — keeps its kind exactly.
+    pub fn clone_for_broadcast(&self) -> ServeError {
+        match self {
+            ServeError::Runtime(e) => ServeError::Internal(format!("engine error: {e}")),
+            ServeError::Io(e) => ServeError::Internal(format!("I/O error: {e}")),
+            ServeError::UnknownModel(name) => ServeError::UnknownModel(name.clone()),
+            ServeError::Protocol(msg) => ServeError::Protocol(msg.clone()),
+            ServeError::ShuttingDown => ServeError::ShuttingDown,
+            ServeError::DeadlineExceeded => ServeError::DeadlineExceeded,
+            ServeError::ServerOverloaded => ServeError::ServerOverloaded,
+            ServeError::Internal(msg) => ServeError::Internal(msg.clone()),
+        }
+    }
+
     /// Short machine-readable error kind used in wire error frames.
     pub fn kind(&self) -> &'static str {
         match self {

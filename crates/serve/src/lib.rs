@@ -3,7 +3,7 @@
 //!
 //! The runtime crate answers *how* to classify a batch on one backend; this
 //! crate answers how to serve *many concurrent requests against many
-//! models* from one process, in three layers:
+//! models* from one process, in four layers:
 //!
 //! 1. [`ModelRegistry`] loads several [`fqbert_runtime::ModelArtifact`]s
 //!    (different tasks and/or bit-widths) into per-model engines and routes
@@ -16,7 +16,13 @@
 //!    `classify_scored` call, returning results through per-request
 //!    response channels ([`Ticket`]). Queued results are bit-identical to
 //!    calling `classify_batch` directly on the same inputs.
-//! 3. [`Server`] speaks a hand-rolled line-delimited-JSON protocol over
+//! 3. [`ResponseCache`] sits in front of each queue and makes identical
+//!    requests idempotent: repeats of a recently answered `(model,
+//!    inputs)` pair replay the stored response (bit-identical, flagged
+//!    `"cached":true`), and identical requests *in flight at the same
+//!    time* coalesce onto one engine call. Requests can opt out with
+//!    `"no_cache":true`.
+//! 4. [`Server`] speaks a hand-rolled line-delimited-JSON protocol over
 //!    TCP (the repository is offline — no HTTP dependencies): one JSON
 //!    object per line in each direction, with error frames, per-request
 //!    latency reporting and the simulated backend's cycle-model cost in
@@ -34,6 +40,7 @@
 //!
 //! See `crates/serve/README.md` for the wire-protocol specification.
 
+pub mod cache;
 pub mod client;
 pub mod error;
 pub mod json;
@@ -42,13 +49,16 @@ pub mod queue;
 pub mod registry;
 pub mod server;
 
-pub use client::{Client, ClientResponse, ClientResult, HistogramStats, StatsReport};
+pub use cache::{CacheKey, CacheStats, ResponseCache};
+pub use client::{
+    Client, ClientModelInfo, ClientResponse, ClientResult, HistogramStats, StatsReport,
+};
 pub use error::ServeError;
 pub use fqbert_telemetry as telemetry;
 pub use json::Json;
 pub use protocol::{Command, Request, RequestInputs};
 pub use queue::{BatchPolicy, BatchQueue, QueueStats, Ticket, TicketResponse};
-pub use registry::{ModelRegistry, ModelSpec};
+pub use registry::{ModelInfo, ModelRegistry, ModelSpec};
 pub use server::{Server, ServerConfig};
 
 /// Convenience result alias for serving operations.

@@ -13,7 +13,10 @@ use fqbert_telemetry::Snapshot;
 use std::collections::BTreeMap;
 
 /// Inputs of one classification request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash` + `Eq` let the response cache key directly on the submitted
+/// payload ([`crate::cache::CacheKey`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum RequestInputs {
     /// Single sentences (e.g. SST-2).
     Texts(Vec<String>),
@@ -49,6 +52,11 @@ pub struct Request {
     /// waiting in the batching queue when it elapses, the server answers
     /// with a `deadline_exceeded` error frame instead of serving it.
     pub deadline_ms: Option<u64>,
+    /// `true` bypasses the server's response cache entirely: the request
+    /// neither replays a cached answer nor coalesces with identical
+    /// in-flight requests, and its response is not stored. Defaults to
+    /// `false`.
+    pub no_cache: bool,
 }
 
 /// Every frame a client may send.
@@ -115,6 +123,15 @@ pub fn parse_command(line: &str) -> Result<Command> {
             Some(ms.ceil() as u64)
         }
     };
+    let no_cache = match value.get("no_cache") {
+        None => false,
+        Some(Json::Bool(flag)) => *flag,
+        Some(_) => {
+            return Err(ServeError::Protocol(
+                "`no_cache` must be a boolean".to_string(),
+            ))
+        }
+    };
     let inputs = match (value.get("texts"), value.get("pairs")) {
         (Some(_), Some(_)) => {
             return Err(ServeError::Protocol(
@@ -134,6 +151,7 @@ pub fn parse_command(line: &str) -> Result<Command> {
         model,
         inputs,
         deadline_ms,
+        no_cache,
     }))
 }
 
@@ -197,6 +215,7 @@ pub fn response_frame(id: &str, model: &str, response: &TicketResponse, latency_
         ("model", Json::str(model)),
         ("results", Json::Arr(results)),
         ("latency_ms", Json::Num(latency_ms)),
+        ("cached", Json::Bool(response.cached)),
         (
             "batch",
             Json::obj([
@@ -251,6 +270,8 @@ pub fn models_frame(infos: &[ModelInfo]) -> Json {
                         ("num_classes", Json::Num(info.num_classes as f64)),
                         ("threads", Json::Num(info.threads as f64)),
                         ("kernel", Json::str(&info.kernel)),
+                        ("resident_bytes", Json::Num(info.resident_bytes as f64)),
+                        ("shared_tensors", Json::Num(info.shared_tensors as f64)),
                     ])
                 })
                 .collect(),
@@ -406,6 +427,33 @@ mod tests {
     }
 
     #[test]
+    fn parses_and_validates_no_cache() {
+        let cmd = parse_command(r#"{"model":"sst2","texts":["x"],"no_cache":true}"#).unwrap();
+        match cmd {
+            Command::Classify(req) => assert!(req.no_cache),
+            other => panic!("expected classify, got {other:?}"),
+        }
+        let cmd = parse_command(r#"{"model":"sst2","texts":["x"],"no_cache":false}"#).unwrap();
+        match cmd {
+            Command::Classify(req) => assert!(!req.no_cache),
+            other => panic!("expected classify, got {other:?}"),
+        }
+        // Absent defaults to false.
+        let cmd = parse_command(r#"{"model":"sst2","texts":["x"]}"#).unwrap();
+        match cmd {
+            Command::Classify(req) => assert!(!req.no_cache),
+            other => panic!("expected classify, got {other:?}"),
+        }
+        for bad in [
+            r#"{"model":"m","texts":["x"],"no_cache":"yes"}"#,
+            r#"{"model":"m","texts":["x"],"no_cache":1}"#,
+        ] {
+            let err = parse_command(bad).expect_err(bad);
+            assert!(err.to_string().contains("no_cache"), "{err}");
+        }
+    }
+
+    #[test]
     fn parses_control_commands() {
         assert_eq!(
             parse_command(r#"{"cmd":"list_models"}"#).unwrap(),
@@ -502,6 +550,7 @@ mod tests {
             }),
             flushed_batch: 4,
             wait: std::time::Duration::from_micros(250),
+            cached: false,
         };
         for frame in [
             response_frame("r1", "sst2", &response, 1.25),
@@ -519,5 +568,13 @@ mod tests {
         assert!(rendered.contains("\"sim\""));
         assert!(rendered.contains("\"total_cycles\":42"));
         assert!(rendered.contains("\"flushed\":4"));
+        assert!(rendered.contains("\"cached\":false"));
+        let cached = TicketResponse {
+            cached: true,
+            ..response
+        };
+        assert!(response_frame("r1", "sst2", &cached, 0.01)
+            .render()
+            .contains("\"cached\":true"));
     }
 }

@@ -87,6 +87,11 @@ pub struct TicketResponse {
     pub flushed_batch: usize,
     /// Time the request spent queued before its flush started.
     pub wait: Duration,
+    /// Whether this response was replayed from the serving layer's
+    /// response cache instead of an engine flush. Always `false` on
+    /// responses produced by the queue itself; the
+    /// [`crate::ResponseCache`] sets it on LRU hits.
+    pub cached: bool,
 }
 
 /// Pending-response handle returned by [`BatchQueue::submit`].
@@ -324,6 +329,7 @@ impl BatchQueue {
                 cost: None,
                 flushed_batch: 0,
                 wait: Duration::ZERO,
+                cached: false,
             }));
             return Ticket { rx };
         }
@@ -681,6 +687,7 @@ fn flush_window(inner: &QueueInner, window: Vec<PendingRequest>) {
                     cost,
                     flushed_batch,
                     wait: flush_start.duration_since(request.enqueued),
+                    cached: false,
                 }));
             }
         }
@@ -698,6 +705,7 @@ fn flush_window(inner: &QueueInner, window: Vec<PendingRequest>) {
                             cost,
                             flushed_batch: request.examples.len(),
                             wait: flush_start.duration_since(request.enqueued),
+                            cached: false,
                         }
                     }),
                     Err(_) => Err(ServeError::Internal(

@@ -1,8 +1,8 @@
 //! Multi-model registry: named engines loaded from artifact specs.
 
 use crate::{Result, ServeError};
-use fqbert_runtime::{BackendKind, Engine, EngineBuilder};
-use std::collections::BTreeMap;
+use fqbert_runtime::{BackendKind, Engine, EngineBuilder, TensorCache};
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -132,6 +132,15 @@ pub struct ModelInfo {
     /// `scalar`) — the runtime-dispatch choice, or the `FQBERT_KERNEL`
     /// override.
     pub kernel: String,
+    /// Bytes of model state currently resident for this engine: float
+    /// tensors (counted once per model even when deduped) plus every
+    /// weight panel and bias materialized so far. Grows as lazily loaded
+    /// layers run their first forward.
+    pub resident_bytes: usize,
+    /// Tensors this model shares with previously loaded ones through the
+    /// registry's content-hash dedup (0 for the first variant of a task
+    /// and for engines registered in-process).
+    pub shared_tensors: usize,
 }
 
 /// A name → engine map serving several models (different tasks and/or
@@ -155,18 +164,41 @@ impl ModelRegistry {
     /// without one the engine keeps the builder default (`FQBERT_THREADS`,
     /// else serial).
     ///
+    /// Artifact bytes are loaded **once per file**: paths are canonicalized
+    /// so two specs naming the same artifact (even through different
+    /// spellings or symlinks) share one read and one backing buffer. On top
+    /// of that, all specs load through one registry-wide [`TensorCache`],
+    /// so bit-identical float tensors *across different* artifacts (the
+    /// embedding tables and classifier heads of w4/w8 variants of one task)
+    /// dedup onto a single allocation — each engine's
+    /// [`Engine::load_stats`] records what it shared.
+    ///
     /// # Errors
     ///
     /// Fails on duplicate names, artifact I/O/validation errors, and specs
     /// naming the float backend (artifacts hold quantized models only).
     pub fn load(specs: &[ModelSpec]) -> Result<Self> {
         let mut registry = Self::new();
+        let mut cache = TensorCache::new();
+        let mut buffers: HashMap<PathBuf, Arc<[u8]>> = HashMap::new();
         for spec in specs {
+            // Canonicalization requires the file to exist; a missing file
+            // falls through to the read below, which reports the real
+            // I/O error with the spec's own spelling.
+            let canonical = std::fs::canonicalize(&spec.path).unwrap_or_else(|_| spec.path.clone());
+            let bytes = match buffers.get(&canonical) {
+                Some(bytes) => Arc::clone(bytes),
+                None => {
+                    let bytes: Arc<[u8]> = std::fs::read(&spec.path)?.into();
+                    buffers.insert(canonical, Arc::clone(&bytes));
+                    bytes
+                }
+            };
             let mut builder = EngineBuilder::new(fqbert_nlp::TaskKind::Sst2).backend(spec.backend);
             if let Some(threads) = spec.threads {
                 builder = builder.threads(threads);
             }
-            let engine = builder.load(&spec.path)?;
+            let engine = builder.load_shared_bytes(&bytes, &mut cache)?;
             registry.register(&spec.name, engine)?;
         }
         Ok(registry)
@@ -239,6 +271,8 @@ impl ModelRegistry {
                 num_classes: engine.task().num_classes(),
                 threads: engine.threads(),
                 kernel: engine.kernel().to_string(),
+                resident_bytes: engine.resident_bytes(),
+                shared_tensors: engine.load_stats().shared_tensors,
             })
             .collect()
     }

@@ -1,8 +1,9 @@
 //! The line-delimited-JSON TCP server: accept loop, per-connection
 //! handlers, per-model dynamic batching queues and graceful shutdown.
 
+use crate::cache::{CacheKey, ResponseCache};
 use crate::protocol::{self, Command, RequestInputs};
-use crate::queue::{BatchPolicy, BatchQueue};
+use crate::queue::{BatchPolicy, BatchQueue, TicketResponse};
 use crate::registry::ModelRegistry;
 use crate::{lock_clean, Result, ServeError};
 use fqbert_runtime::EncodedBatch;
@@ -26,6 +27,13 @@ pub struct ServerConfig {
     pub addr: String,
     /// Dynamic batching policy applied to every model queue.
     pub policy: BatchPolicy,
+    /// Responses retained by the idempotent response cache
+    /// ([`ResponseCache`]): repeats of a recent `(model, inputs)` request
+    /// replay the stored answer (bit-identical) without touching the
+    /// engine, and identical in-flight requests coalesce onto one engine
+    /// call. `0` disables replay (coalescing still applies); requests can
+    /// opt out individually with `"no_cache": true`.
+    pub cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -33,6 +41,7 @@ impl Default for ServerConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             policy: BatchPolicy::default(),
+            cache_capacity: 128,
         }
     }
 }
@@ -61,6 +70,13 @@ struct Shared {
     /// End-to-end latency histogram per model (`model.<name>.request_us`):
     /// frame receipt → response framed, including queue wait and flush.
     request_us: BTreeMap<String, Arc<Histogram>>,
+    /// The idempotent response cache in front of every queue (`cache.*`
+    /// counters in the pooled registry).
+    cache: ResponseCache,
+    /// `model.<name>.resident_bytes` gauge per model — refreshed on every
+    /// stats snapshot, since lazily loaded models grow as panels
+    /// materialize.
+    resident_bytes: BTreeMap<String, Arc<Gauge>>,
 }
 
 /// A running multi-model server.
@@ -94,14 +110,22 @@ impl Server {
         let telemetry = Arc::new(Registry::new());
         let mut queues: BTreeMap<String, BatchQueue> = BTreeMap::new();
         let mut request_us: BTreeMap<String, Arc<Histogram>> = BTreeMap::new();
+        let mut resident_bytes: BTreeMap<String, Arc<Gauge>> = BTreeMap::new();
         for (name, engine) in registry.iter() {
             let scope = Scope::new(Arc::clone(&telemetry), format!("model.{name}"));
             request_us.insert(name.to_string(), scope.histogram("request_us"));
+            let resident = scope.gauge("resident_bytes");
+            resident.set(engine.resident_bytes() as i64);
+            resident_bytes.insert(name.to_string(), resident);
             queues.insert(
                 name.to_string(),
                 BatchQueue::start_scoped(Arc::clone(engine), config.policy, &scope),
             );
         }
+        let cache = ResponseCache::new(
+            config.cache_capacity,
+            &Scope::new(Arc::clone(&telemetry), ""),
+        );
         let server_scope = Scope::new(Arc::clone(&telemetry), "server");
         let metrics = ServerMetrics {
             connections: server_scope.gauge("connections"),
@@ -119,6 +143,8 @@ impl Server {
             telemetry,
             metrics,
             request_us,
+            cache,
+            resident_bytes,
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -165,6 +191,12 @@ impl Server {
     /// `model.<name>.engine.classify_us`).
     pub fn stats_snapshot(&self) -> Snapshot {
         stats_snapshot(&self.shared)
+    }
+
+    /// The idempotent response cache fronting every model queue
+    /// (hit/miss/coalesce totals via [`ResponseCache::stats`]).
+    pub fn response_cache(&self) -> &ResponseCache {
+        &self.shared.cache
     }
 
     /// Requests shutdown and blocks until the accept loop, every
@@ -275,6 +307,14 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 /// The merged snapshot served over the wire: server-wide metrics plus each
 /// engine's private registry prefixed with its model name.
 fn stats_snapshot(shared: &Shared) -> Snapshot {
+    // Lazily loaded models materialize weight panels on first use, so the
+    // residency gauges are refreshed at snapshot time rather than frozen
+    // at spawn.
+    for (name, gauge) in &shared.resident_bytes {
+        if let Some(queue) = shared.queues.get(name) {
+            gauge.set(queue.engine().resident_bytes() as i64);
+        }
+    }
     let mut snapshot = shared.telemetry.snapshot();
     for (name, queue) in &shared.queues {
         snapshot.merge_prefixed(
@@ -394,24 +434,22 @@ fn serve_request(
             .queues
             .get(&request.model)
             .ok_or_else(|| ServeError::UnknownModel(request.model.clone()))?;
-        let engine = queue.engine();
-        let batch = match &request.inputs {
-            RequestInputs::Texts(texts) => {
-                let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-                EncodedBatch::from_texts(engine.tokenizer(), &refs)
-            }
-            RequestInputs::Pairs(pairs) => {
-                let refs: Vec<(&str, &str)> = pairs
-                    .iter()
-                    .map(|(a, b)| (a.as_str(), b.as_str()))
-                    .collect();
-                EncodedBatch::from_pairs(engine.tokenizer(), &refs)
-            }
-        };
         let deadline = request.deadline_ms.map(Duration::from_millis);
-        let response = queue
-            .submit_with_deadline(batch.examples().to_vec(), deadline)
-            .wait()?;
+        let response = if request.no_cache {
+            classify_on_queue(queue, &request.inputs, deadline)?
+        } else {
+            // A cache hit replays the stored (bit-identical) response
+            // without tokenizing; identical in-flight requests coalesce
+            // onto one queue submission. The leader submits with its own
+            // deadline; a follower bounds its wait by its own.
+            let key = CacheKey {
+                model: request.model.clone(),
+                inputs: request.inputs.clone(),
+            };
+            shared.cache.get_or_serve(key, deadline, || {
+                classify_on_queue(queue, &request.inputs, deadline)
+            })?
+        };
         let latency_ms = received.elapsed().as_secs_f64() * 1e3;
         Ok(protocol::response_frame(
             &request.id,
@@ -439,4 +477,31 @@ fn serve_request(
             protocol::error_frame(Some(&request.id), &err)
         }
     }
+}
+
+/// The real serve path behind the response cache: tokenize the inputs on
+/// the queue's engine, submit with the request's deadline and block for
+/// the ticket.
+fn classify_on_queue(
+    queue: &BatchQueue,
+    inputs: &RequestInputs,
+    deadline: Option<Duration>,
+) -> Result<TicketResponse> {
+    let engine = queue.engine();
+    let batch = match inputs {
+        RequestInputs::Texts(texts) => {
+            let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+            EncodedBatch::from_texts(engine.tokenizer(), &refs)
+        }
+        RequestInputs::Pairs(pairs) => {
+            let refs: Vec<(&str, &str)> = pairs
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            EncodedBatch::from_pairs(engine.tokenizer(), &refs)
+        }
+    };
+    queue
+        .submit_with_deadline(batch.examples().to_vec(), deadline)
+        .wait()
 }

@@ -42,6 +42,7 @@ fn served_logits_are_bit_identical_across_kernels() {
                 max_delay: Duration::from_millis(2),
                 max_queue: usize::MAX,
             },
+            ..ServerConfig::default()
         },
     )
     .expect("spawn server");

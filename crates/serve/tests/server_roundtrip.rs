@@ -37,6 +37,7 @@ fn test_server() -> Server {
                 max_delay: Duration::from_millis(5),
                 max_queue: usize::MAX,
             },
+            ..ServerConfig::default()
         },
     )
     .expect("spawn server")
@@ -51,17 +52,24 @@ fn server_round_trip_with_concurrent_clients_and_graceful_shutdown() {
     let mut client = Client::connect(addr).expect("connect");
     client.ping().expect("ping");
     let models = client.list_models().expect("list_models");
-    let names: Vec<&str> = models.iter().map(|(n, _, _, _, _, _)| n.as_str()).collect();
+    let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
     assert_eq!(names, vec!["sst2-sim", "sst2-w4", "sst2-w8"]);
-    let precisions: Vec<&str> = models.iter().map(|(_, _, _, p, _, _)| p.as_str()).collect();
+    let precisions: Vec<&str> = models.iter().map(|m| m.precision.as_str()).collect();
     assert!(precisions.contains(&"w4/a8") && precisions.contains(&"w8/a8"));
     // The per-layer bit summary collapses to a single label for uniform
     // models; mixed-precision artifacts report runs like `w4[0-5]/w8[6-11]`.
-    let bits: Vec<&str> = models.iter().map(|(_, _, _, _, b, _)| b.as_str()).collect();
+    let bits: Vec<&str> = models.iter().map(|m| m.bits.as_str()).collect();
     assert!(bits.contains(&"w4") && bits.contains(&"w8"));
-    // Every model reports the process-wide GEMM kernel the dispatch chose.
+    // Every model reports the process-wide GEMM kernel the dispatch chose,
+    // and every engine holds some resident weight bytes.
     let expected_kernel = kernels::selected().name;
-    for (_, _, _, _, _, kernel) in &models {
+    for model in &models {
+        assert!(
+            model.resident_bytes > 0,
+            "{} has no resident bytes",
+            model.name
+        );
+        let kernel = &model.kernel;
         assert_eq!(kernel, expected_kernel);
     }
 
@@ -150,6 +158,9 @@ fn server_round_trip_with_concurrent_clients_and_graceful_shutdown() {
     assert_eq!(ok_first.id, first);
     assert_eq!(ok_first.model, "sst2-w4");
     assert_eq!(ok_first.results.len(), texts.len());
+    // These exact inputs were served during the concurrency section, so
+    // the response cache replays them without another engine call.
+    assert!(ok_first.cached, "repeat inputs must replay from the cache");
     // Pipelined and round-trip classification agree bit for bit.
     assert_eq!(
         ok_first
@@ -199,12 +210,14 @@ fn server_round_trip_with_concurrent_clients_and_graceful_shutdown() {
     client.shutdown_server().expect("shutdown ack");
     server.join();
     assert!(server.is_shutting_down());
-    // The queues saw the traffic: 12 three-text requests across the two
-    // int models, the one sim request, and the pipelined section's
-    // 3 + 1 + 1 + 1 sequences (the unknown-model submission never reaches
-    // a queue).
+    // The queues saw exactly one engine call per distinct (model, inputs)
+    // pair — every repeat either coalesced onto the in-flight leader or
+    // replayed from the cache. Distinct work: the three-text batch once on
+    // each int model (3 + 3), the sim request (1), and the pipelined
+    // section's novel inputs `w1 w2` on w8 (1) plus `w4 w5 w6` and `w1` on
+    // w4 (1 + 1); the unknown-model submission never reaches a queue.
     let total_sequences: u64 = server.queue_stats().iter().map(|(_, s)| s.sequences).sum();
-    assert_eq!(total_sequences, 12 * 3 + 1 + 6);
+    assert_eq!(total_sequences, 3 + 3 + 1 + 1 + 1 + 1);
     // The listener is gone: new connections are refused (allow a beat for
     // the OS to tear the socket down).
     std::thread::sleep(Duration::from_millis(50));
@@ -220,12 +233,13 @@ fn stats_command_reports_live_per_model_telemetry() {
     let addr = server.local_addr();
     let mut client = Client::connect(addr).expect("connect");
 
-    // Drive known traffic: five single-text requests on w4, one on w8,
-    // none on sim. Queue counters are recorded before the response frame
-    // is written, so once `classify_texts` returns the stats are settled.
-    for _ in 0..5 {
+    // Drive known traffic: five distinct single-text requests on w4 (so
+    // none of them alias in the response cache), one on w8, none on sim.
+    // Queue counters are recorded before the response frame is written, so
+    // once `classify_texts` returns the stats are settled.
+    for text in ["w1 w2 w3", "w2 w3 w4", "w3 w4 w5", "w4 w5 w6", "w5 w6 w7"] {
         client
-            .classify_texts("sst2-w4", &["w1 w2 w3"])
+            .classify_texts("sst2-w4", &[text])
             .expect("classify w4");
     }
     client
@@ -308,6 +322,67 @@ fn stats_command_reports_live_per_model_telemetry() {
     assert_eq!(
         stats.counters.get("model.sst2-sim.queue.requests"),
         Some(&0)
+    );
+
+    // All six classify frames carried distinct inputs: six cache misses,
+    // no hits, nothing coalesced.
+    assert_eq!(stats.counters.get("cache.hits"), Some(&0));
+    assert_eq!(stats.counters.get("cache.misses"), Some(&6));
+    assert_eq!(stats.counters.get("cache.coalesced"), Some(&0));
+
+    // Resident weight bytes ride as a per-model gauge in the same frame.
+    for model in ["sst2-w4", "sst2-w8", "sst2-sim"] {
+        assert!(
+            stats
+                .gauges
+                .get(&format!("model.{model}.resident_bytes"))
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "{model} must report resident bytes"
+        );
+    }
+
+    // A repeat of already-served inputs replays from the cache: the frame
+    // is flagged, the hit counter moves, and the queue never sees it.
+    let repeat = client
+        .classify_texts("sst2-w4", &["w1 w2 w3"])
+        .expect("repeat w4");
+    assert!(repeat.cached, "repeat inputs must be served from the cache");
+    let after = client.stats().expect("stats after repeat");
+    assert_eq!(after.counters.get("cache.hits"), Some(&1));
+    assert_eq!(after.counters.get("model.sst2-w4.queue.requests"), Some(&5));
+
+    // Opting out with no_cache forces a fresh engine round trip that is
+    // still bit-identical to the cached replay.
+    let fresh = client
+        .classify_texts_uncached("sst2-w4", &["w1 w2 w3"])
+        .expect("uncached w4");
+    assert!(!fresh.cached, "no_cache must bypass the response cache");
+    let repeat_logits: Vec<u32> = repeat
+        .results
+        .iter()
+        .flat_map(|r| r.logits.iter().map(|x| x.to_bits()))
+        .collect();
+    let fresh_logits: Vec<u32> = fresh
+        .results
+        .iter()
+        .flat_map(|r| r.logits.iter().map(|x| x.to_bits()))
+        .collect();
+    assert_eq!(
+        repeat_logits, fresh_logits,
+        "cached replay must be bit-identical to a fresh engine call"
+    );
+    let uncached_stats = client.stats().expect("stats after no_cache");
+    assert_eq!(
+        uncached_stats.counters.get("model.sst2-w4.queue.requests"),
+        Some(&6),
+        "no_cache requests must reach the queue"
+    );
+    assert_eq!(
+        uncached_stats.counters.get("cache.hits"),
+        Some(&1),
+        "no_cache requests must not touch cache counters"
     );
 
     // Stats are live: a second snapshot reflects the frames in between.

@@ -41,7 +41,7 @@ pub mod neon;
 #[cfg(target_arch = "x86_64")]
 pub mod x86;
 
-use super::{AccTile, WIDE_A, WIDE_B};
+use super::{AccTile, RequantParams, WIDE_A, WIDE_B};
 use crate::gemm::NR;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -50,6 +50,14 @@ pub type WideKernel = fn(&[[i16; WIDE_A]], &[[i16; WIDE_B]], &mut AccTile);
 
 /// Tile kernel over nibble-packed (int4) weight panels.
 pub type NibbleKernel = fn(&[[i16; WIDE_A]], &[[u8; NR]], &mut AccTile);
+
+/// Requantize epilogue over one accumulator row segment:
+/// `out[j] = clamp(round((acc[j] + bias[j]) · multiplier / 2^shift), ±clamp)`
+/// with round-half-away-from-zero. SIMD implementations are bit-identical
+/// to [`scalar::requant_row`] for parameter sets inside
+/// [`RequantParams::simd_exact`]; `gemm_i8_requant` routes anything outside
+/// that envelope to the scalar reference.
+pub type RequantKernel = fn(&[i32], &[i32], RequantParams, &mut [i8]);
 
 /// The instruction-set families a micro-kernel can target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -130,6 +138,8 @@ pub struct KernelDispatch {
     pub wide: WideKernel,
     /// Tile kernel for nibble-packed (int4) weight panels.
     pub nibble: NibbleKernel,
+    /// Requantize epilogue kernel for accumulator row segments.
+    pub requant: RequantKernel,
 }
 
 static SCALAR: KernelDispatch = KernelDispatch {
@@ -137,6 +147,7 @@ static SCALAR: KernelDispatch = KernelDispatch {
     name: "scalar",
     wide: scalar::tile_wide,
     nibble: scalar::tile_nibble,
+    requant: scalar::requant_row,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -145,6 +156,7 @@ static SSE2: KernelDispatch = KernelDispatch {
     name: "sse2",
     wide: x86::tile_wide_sse2,
     nibble: x86::tile_nibble_sse2,
+    requant: x86::requant_row_sse2,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -153,14 +165,19 @@ static AVX2: KernelDispatch = KernelDispatch {
     name: "avx2",
     wide: x86::tile_wide_avx2,
     nibble: x86::tile_nibble_avx2,
+    requant: x86::requant_row_avx2,
 };
 
+// The NEON row reuses the scalar requant epilogue: the epilogue is a small
+// fraction of GEMM time and the aarch64 SIMD variant has not been written
+// yet.
 #[cfg(target_arch = "aarch64")]
 static NEON: KernelDispatch = KernelDispatch {
     kind: KernelKind::Neon,
     name: "neon",
     wide: neon::tile_wide,
     nibble: neon::tile_nibble,
+    requant: scalar::requant_row,
 };
 
 /// The dispatch table row for `kind`. Kinds not compiled for this target

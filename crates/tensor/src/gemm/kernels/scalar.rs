@@ -10,7 +10,7 @@
 //! arrays and `as_chunks` splits them into compile-time-sized pairs, so
 //! the hot loop contains no fallible chunking and no panic paths.
 
-use crate::gemm::{AccTile, NR, WIDE_A, WIDE_B};
+use crate::gemm::{AccTile, RequantParams, NR, WIDE_A, WIDE_B};
 use crate::pack4::sign_extend;
 
 /// Accumulates one tile from wide (`i16`-pair) panels.
@@ -24,6 +24,37 @@ pub fn tile_wide(a: &[[i16; WIDE_A]], b: &[[i16; WIDE_B]], acc: &mut AccTile) {
                 *dst += i32::from(a0 * bw[0]) + i32::from(a1 * bw[1]);
             }
         }
+    }
+}
+
+/// Requantizes one accumulator row segment: per element,
+/// `out = clamp(round((acc + bias) · multiplier / 2^shift), ±min(clamp, 127))`
+/// with round-half-away-from-zero, the product formed in 128-bit arithmetic
+/// exactly like `fqbert_quant::Requantizer::apply` — this is the
+/// bit-exactness reference the SIMD requant kernels are property-tested
+/// against, and the fallback for parameters outside the `i64` SIMD envelope
+/// (`RequantParams::simd_exact`).
+pub fn requant_row(acc: &[i32], bias: &[i32], params: RequantParams, out: &mut [i8]) {
+    let bound = i128::from(params.clamp.clamp(0, i32::from(i8::MAX)));
+    // A shift of 126 already maps every representable product to 0, so
+    // clamping keeps the `1 << (shift - 1)` rounding term in range without
+    // changing any output for out-of-envelope parameter sets.
+    let shift = params.shift.clamp(0, 126);
+    for ((&a, &b), o) in acc.iter().zip(bias).zip(out.iter_mut()) {
+        let sum = i64::from(a) + i64::from(b);
+        let product = i128::from(sum) * i128::from(params.multiplier);
+        let rounded = if shift > 0 {
+            let half = 1i128 << (shift - 1);
+            if product >= 0 {
+                (product + half) >> shift
+            } else {
+                -((-product + half) >> shift)
+            }
+        } else {
+            product
+        };
+        // fqlint::allow(narrowing-cast): clamped to ±127 just above.
+        *o = rounded.clamp(-bound, bound) as i8;
     }
 }
 

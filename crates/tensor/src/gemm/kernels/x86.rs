@@ -19,15 +19,23 @@
 //! (b) unaligned SIMD loads/stores through raw pointers derived from
 //! fixed-size array references, in-bounds by construction.
 
-use crate::gemm::{AccTile, MR, NR, WIDE_A, WIDE_B};
+use super::scalar;
+use crate::gemm::{AccTile, RequantParams, MR, NR, WIDE_A, WIDE_B};
 use core::arch::x86_64::{
-    __m128i, __m256i, _mm256_add_epi32, _mm256_castsi256_si128, _mm256_cvtepu8_epi16,
-    _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_permute2x128_si256,
-    _mm256_set1_epi32, _mm256_setzero_si256, _mm256_slli_epi16, _mm256_srai_epi16,
-    _mm256_storeu_si256, _mm256_unpackhi_epi16, _mm256_unpacklo_epi16, _mm_add_epi32,
-    _mm_loadu_si128, _mm_madd_epi16, _mm_set1_epi32, _mm_setzero_si128, _mm_slli_epi16,
-    _mm_srai_epi16, _mm_storeu_si128, _mm_unpackhi_epi16, _mm_unpackhi_epi8, _mm_unpacklo_epi16,
-    _mm_unpacklo_epi8,
+    __m128i, __m256i, _mm256_add_epi32, _mm256_add_epi64, _mm256_and_si256, _mm256_andnot_si256,
+    _mm256_castsi256_si128, _mm256_cmpgt_epi32, _mm256_cvtepi32_epi64, _mm256_cvtepu8_epi16,
+    _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_mul_epu32,
+    _mm256_or_si256, _mm256_permute2x128_si256, _mm256_permute4x64_epi64, _mm256_set1_epi32,
+    _mm256_set1_epi64x, _mm256_setzero_si256, _mm256_shuffle_epi32, _mm256_slli_epi16,
+    _mm256_slli_epi64, _mm256_srai_epi16, _mm256_srai_epi32, _mm256_srl_epi64, _mm256_srli_epi64,
+    _mm256_storeu_si256, _mm256_sub_epi64, _mm256_unpackhi_epi16, _mm256_unpacklo_epi16,
+    _mm256_xor_si256, _mm_add_epi32, _mm_add_epi64, _mm_and_si128, _mm_andnot_si128,
+    _mm_cmpgt_epi32, _mm_cvtsi128_si32, _mm_cvtsi32_si128, _mm_loadu_si128, _mm_madd_epi16,
+    _mm_mul_epu32, _mm_or_si128, _mm_packs_epi16, _mm_packs_epi32, _mm_set1_epi32, _mm_set1_epi64x,
+    _mm_setzero_si128, _mm_shuffle_epi32, _mm_slli_epi16, _mm_slli_epi64, _mm_srai_epi16,
+    _mm_srai_epi32, _mm_srl_epi64, _mm_srli_epi64, _mm_storel_epi64, _mm_storeu_si128,
+    _mm_sub_epi64, _mm_unpackhi_epi16, _mm_unpackhi_epi32, _mm_unpackhi_epi8, _mm_unpacklo_epi16,
+    _mm_unpacklo_epi32, _mm_unpacklo_epi64, _mm_unpacklo_epi8, _mm_xor_si128,
 };
 
 /// Row `r`'s activation pair `(a0, a1)` packed into one `i32` lane image:
@@ -220,6 +228,191 @@ unsafe fn decode_half_sse2(bytes: __m128i) -> [__m128i; 4] {
         _mm_unpacklo_epi16(lo1, hi1),
         _mm_unpackhi_epi16(lo1, hi1),
     ]
+}
+
+/// SSE2 requantize epilogue over one accumulator row segment.
+///
+/// Bit-identical to [`scalar::requant_row`] for parameter sets inside
+/// [`RequantParams::simd_exact`] (the caller's contract — `gemm_i8_requant`
+/// routes anything else to the scalar reference): with
+/// `multiplier ∈ [0, 2^30]` the 64-bit product of `|acc + bias| ≤ 2^32`
+/// never exceeds `2^62`, so adding the rounding half (`≤ 2^61`) stays below
+/// `2^63` and `i64` arithmetic is exact.
+// fqlint::allow(unsafe-outside-kernels): designated kernel module; SSE2 is
+// baseline on x86_64 and all loads/stores are bounded by the slice lengths.
+pub fn requant_row_sse2(acc: &[i32], bias: &[i32], params: RequantParams, out: &mut [i8]) {
+    debug_assert!(params.simd_exact());
+    unsafe { requant_sse2(acc, bias, params, out) }
+}
+
+/// AVX2 requantize epilogue over one accumulator row segment.
+///
+/// Same exactness contract as [`requant_row_sse2`]; must only be installed
+/// when `is_x86_feature_detected!("avx2")` holds.
+// fqlint::allow(unsafe-outside-kernels): designated kernel module; the
+// target-feature call is guarded by runtime AVX2 detection at dispatch
+// installation.
+pub fn requant_row_avx2(acc: &[i32], bias: &[i32], params: RequantParams, out: &mut [i8]) {
+    debug_assert!(params.simd_exact());
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    unsafe { requant_avx2(acc, bias, params, out) }
+}
+
+/// Requantizes one vector of two non-negative-envelope `i64` sums:
+/// multiply by the Q1.30 multiplier on the absolute value (32×32 unsigned
+/// partial products — the high dword of `|sum| ≤ 2^32` is 0 or 1), add the
+/// rounding half, logical-shift right, clamp against the output bound and
+/// re-apply the sign. All lane selects are and/andnot/or masks, so only
+/// SSE2 instructions are used (no SSE4.x compares or blends).
+// fqlint::allow(unsafe-outside-kernels): register-only arithmetic; SSE2 is
+// baseline on x86_64.
+#[target_feature(enable = "sse2")]
+unsafe fn requant2_sse2(
+    sum: __m128i,
+    mult: __m128i,
+    half: __m128i,
+    count: __m128i,
+    bound64: __m128i,
+    bound_x: __m128i,
+    xormin: __m128i,
+) -> __m128i {
+    // Per-i64-lane sign mask: replicate each lane's high dword, then
+    // arithmetic-shift every dword down to its sign.
+    let sgn = _mm_srai_epi32::<31>(_mm_shuffle_epi32::<0xF5>(sum));
+    let abs = _mm_sub_epi64(_mm_xor_si128(sum, sgn), sgn);
+    let prod_lo = _mm_mul_epu32(abs, mult);
+    let prod_hi = _mm_mul_epu32(_mm_srli_epi64::<32>(abs), mult);
+    let prod = _mm_add_epi64(prod_lo, _mm_slli_epi64::<32>(prod_hi));
+    // Round half away from zero on the non-negative product; the logical
+    // shift equals the arithmetic one here.
+    let rounded = _mm_srl_epi64(_mm_add_epi64(prod, half), count);
+    // rounded > bound, as an unsigned per-dword compare against the
+    // [bound, 0] dword image of each i64 lane: the high dwords test
+    // `hi != 0`, the low dwords `lo >u bound`; OR-ing a dword-swapped copy
+    // widens the verdict to the full lane.
+    let gt = _mm_cmpgt_epi32(_mm_xor_si128(rounded, xormin), bound_x);
+    let over = _mm_or_si128(gt, _mm_shuffle_epi32::<0xB1>(gt));
+    let clamped = _mm_or_si128(
+        _mm_and_si128(over, bound64),
+        _mm_andnot_si128(over, rounded),
+    );
+    _mm_sub_epi64(_mm_xor_si128(clamped, sgn), sgn)
+}
+
+/// SSE2 requantize loop: four accumulators per iteration, scalar tail.
+// fqlint::allow(unsafe-outside-kernels): loads/stores stay inside
+// `acc`/`bias`/`out` by the `i + 4 <= len` guard; SSE2 is baseline.
+#[target_feature(enable = "sse2")]
+unsafe fn requant_sse2(acc: &[i32], bias: &[i32], params: RequantParams, out: &mut [i8]) {
+    let len = acc.len().min(bias.len()).min(out.len());
+    let mult = _mm_set1_epi64x(params.multiplier);
+    let half = _mm_set1_epi64x(if params.shift > 0 {
+        1i64 << (params.shift - 1)
+    } else {
+        0
+    });
+    let count = _mm_cvtsi32_si128(params.shift);
+    let bound64 = _mm_set1_epi64x(i64::from(params.clamp));
+    let xormin = _mm_set1_epi32(i32::MIN);
+    let bound_x = _mm_xor_si128(bound64, xormin);
+    let mut i = 0;
+    while i + 4 <= len {
+        let v = _mm_loadu_si128(acc.as_ptr().add(i).cast());
+        let bv = _mm_loadu_si128(bias.as_ptr().add(i).cast());
+        // Sign-extend both i32 quads to i64 pairs and add.
+        let vs = _mm_srai_epi32::<31>(v);
+        let bs = _mm_srai_epi32::<31>(bv);
+        let sum_lo = _mm_add_epi64(_mm_unpacklo_epi32(v, vs), _mm_unpacklo_epi32(bv, bs));
+        let sum_hi = _mm_add_epi64(_mm_unpackhi_epi32(v, vs), _mm_unpackhi_epi32(bv, bs));
+        let r_lo = requant2_sse2(sum_lo, mult, half, count, bound64, bound_x, xormin);
+        let r_hi = requant2_sse2(sum_hi, mult, half, count, bound64, bound_x, xormin);
+        // Narrow the four i64 results (each in [-127, 127]) back to i32,
+        // then saturating-pack to i8 — exact for this range.
+        let lo32 = _mm_shuffle_epi32::<0x88>(r_lo);
+        let hi32 = _mm_shuffle_epi32::<0x88>(r_hi);
+        let res = _mm_unpacklo_epi64(lo32, hi32);
+        let packed = _mm_packs_epi16(_mm_packs_epi32(res, res), _mm_setzero_si128());
+        out.as_mut_ptr()
+            .add(i)
+            .cast::<i32>()
+            .write_unaligned(_mm_cvtsi128_si32(packed));
+        i += 4;
+    }
+    scalar::requant_row(&acc[i..len], &bias[i..len], params, &mut out[i..len]);
+}
+
+/// 256-bit variant of [`requant2_sse2`]: four i64 lanes per call.
+// fqlint::allow(unsafe-outside-kernels): register-only arithmetic;
+// inherits the wrapper-installation contract for AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn requant4_avx2(
+    sum: __m256i,
+    mult: __m256i,
+    half: __m256i,
+    count: __m128i,
+    bound64: __m256i,
+    bound_x: __m256i,
+    xormin: __m256i,
+) -> __m256i {
+    let sgn = _mm256_srai_epi32::<31>(_mm256_shuffle_epi32::<0xF5>(sum));
+    let abs = _mm256_sub_epi64(_mm256_xor_si256(sum, sgn), sgn);
+    let prod_lo = _mm256_mul_epu32(abs, mult);
+    let prod_hi = _mm256_mul_epu32(_mm256_srli_epi64::<32>(abs), mult);
+    let prod = _mm256_add_epi64(prod_lo, _mm256_slli_epi64::<32>(prod_hi));
+    let rounded = _mm256_srl_epi64(_mm256_add_epi64(prod, half), count);
+    let gt = _mm256_cmpgt_epi32(_mm256_xor_si256(rounded, xormin), bound_x);
+    let over = _mm256_or_si256(gt, _mm256_shuffle_epi32::<0xB1>(gt));
+    let clamped = _mm256_or_si256(
+        _mm256_and_si256(over, bound64),
+        _mm256_andnot_si256(over, rounded),
+    );
+    _mm256_sub_epi64(_mm256_xor_si256(clamped, sgn), sgn)
+}
+
+/// AVX2 requantize loop: eight accumulators per iteration, scalar tail.
+// fqlint::allow(unsafe-outside-kernels): loads/stores stay inside
+// `acc`/`bias`/`out` by the `i + 8 <= len` guard; AVX2 guaranteed by the
+// wrapper's installation contract.
+#[target_feature(enable = "avx2")]
+unsafe fn requant_avx2(acc: &[i32], bias: &[i32], params: RequantParams, out: &mut [i8]) {
+    let len = acc.len().min(bias.len()).min(out.len());
+    let mult = _mm256_set1_epi64x(params.multiplier);
+    let half = _mm256_set1_epi64x(if params.shift > 0 {
+        1i64 << (params.shift - 1)
+    } else {
+        0
+    });
+    let count = _mm_cvtsi32_si128(params.shift);
+    let bound64 = _mm256_set1_epi64x(i64::from(params.clamp));
+    let xormin = _mm256_set1_epi32(i32::MIN);
+    let bound_x = _mm256_xor_si256(bound64, xormin);
+    let mut i = 0;
+    while i + 8 <= len {
+        let v = _mm256_loadu_si256(acc.as_ptr().add(i).cast());
+        let bv = _mm256_loadu_si256(bias.as_ptr().add(i).cast());
+        let sum_lo = _mm256_add_epi64(
+            _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v)),
+            _mm256_cvtepi32_epi64(_mm256_castsi256_si128(bv)),
+        );
+        let sum_hi = _mm256_add_epi64(
+            _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(v)),
+            _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(bv)),
+        );
+        let r_lo = requant4_avx2(sum_lo, mult, half, count, bound64, bound_x, xormin);
+        let r_hi = requant4_avx2(sum_hi, mult, half, count, bound64, bound_x, xormin);
+        // Per-lane dword gather of the low halves, cross-lane permute to
+        // drop them into the bottom 128 bits in ascending element order.
+        let lo32 = _mm256_castsi256_si128(_mm256_permute4x64_epi64::<0x08>(
+            _mm256_shuffle_epi32::<0x88>(r_lo),
+        ));
+        let hi32 = _mm256_castsi256_si128(_mm256_permute4x64_epi64::<0x08>(
+            _mm256_shuffle_epi32::<0x88>(r_hi),
+        ));
+        let packed = _mm_packs_epi16(_mm_packs_epi32(lo32, hi32), _mm_setzero_si128());
+        _mm_storel_epi64(out.as_mut_ptr().add(i).cast(), packed);
+        i += 8;
+    }
+    scalar::requant_row(&acc[i..len], &bias[i..len], params, &mut out[i..len]);
 }
 
 /// The int4 direct-compute SSE2 kernel.

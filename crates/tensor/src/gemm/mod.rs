@@ -35,6 +35,16 @@
 //! — one byte per column per k-pair, a quarter of the wide panel's resident
 //! bytes.
 //!
+//! Both layouts can also be built **directly from the v2 artifact byte
+//! stream** without materialising an intermediate `IntTensor`:
+//! [`PackedWeights::from_v2_nibble_bytes`] gathers nibble panels straight
+//! from the `pack_i4` encoding (element `e = kk·n + c` lives in nibble
+//! `e % 2` of byte `e / 2`), and [`PackedWeights::pack_wide_from_bytes`]
+//! widens raw two's-complement `i8` code bytes in place. This is the
+//! zero-copy load path: w4 weights go from artifact bytes to compute-ready
+//! panels without ever round-tripping through unpacked `i8` codes or `i16`
+//! widening.
+//!
 //! Activations are packed per call into row blocks of height [`MR`] with the
 //! same k-pair interleave (`a[pp][2r + t] = X[r0 + r][2pp + t]`), inside a
 //! caller-provided [`GemmScratch`] that is reused across layers instead of
@@ -195,17 +205,131 @@ impl PackedWeights {
         })
     }
 
+    /// Packs wide (`i16`) column panels directly from a `[k, n]` row-major
+    /// stream of two's-complement `i8` code bytes — the v2 artifact
+    /// encoding of 8-bit weights — without materialising an intermediate
+    /// `IntTensor`. Produces panels bit-identical to
+    /// [`PackedWeights::pack`] over the same codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `bytes` is not exactly
+    /// `k · n` bytes or `k` exceeds [`MAX_K`].
+    pub fn pack_wide_from_bytes(bytes: &[u8], k: usize, n: usize) -> Result<Self> {
+        Self::checked_depth(k, n)?;
+        if bytes.len() != k * n {
+            return Err(TensorError::ShapeMismatch {
+                op: "gemm_pack_wide_from_bytes (byte count)",
+                lhs: vec![bytes.len()],
+                rhs: vec![k * n],
+            });
+        }
+        let panels = n.div_ceil(NR);
+        let k_pairs = k.div_ceil(2);
+        let mut data = vec![[0i16; WIDE_B]; panels * k_pairs];
+        for p in 0..panels {
+            let c0 = p * NR;
+            let width = NR.min(n - c0);
+            for (pp, dst) in data[p * k_pairs..(p + 1) * k_pairs].iter_mut().enumerate() {
+                for t in 0..2 {
+                    let kk = 2 * pp + t;
+                    if kk >= k {
+                        break;
+                    }
+                    let row = &bytes[kk * n + c0..kk * n + c0 + width];
+                    for (j, &s) in row.iter().enumerate() {
+                        // fqlint::allow(narrowing-cast): same-width
+                        // `u8 -> i8` reinterpretation — the byte stream
+                        // stores two's-complement codes.
+                        dst[2 * j + t] = i16::from(s as i8);
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            store: PanelStore::Wide(data),
+            k,
+            n,
+        })
+    }
+
+    /// Builds nibble panels directly from the v2 artifact's `pack_i4` byte
+    /// stream for a `[k, n]` weight matrix: flat element `e = kk·n + c`
+    /// occupies nibble `e % 2` of byte `e / 2` (low nibble first). The
+    /// panel gather pairs the nibbles of rows `2pp` and `2pp + 1` of each
+    /// column — a pure nibble shuffle with no widening, producing panels
+    /// bit-identical to [`PackedWeights::pack_nibble`] over the unpacked
+    /// codes. Every nibble is a valid two's-complement code, so unlike the
+    /// unpack path no per-element range check is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `bytes` is not exactly
+    /// `ceil(k·n / 2)` bytes or `k` exceeds [`MAX_K`], and
+    /// [`TensorError::ValueOutOfRange`] if an odd `k·n` leaves a non-zero
+    /// final high nibble (corrupt encoding — the packer zeroes it).
+    pub fn from_v2_nibble_bytes(bytes: &[u8], k: usize, n: usize) -> Result<Self> {
+        Self::checked_depth(k, n)?;
+        let numel = k * n;
+        if bytes.len() != numel.div_ceil(2) {
+            return Err(TensorError::ShapeMismatch {
+                op: "gemm_from_v2_nibble_bytes (byte count)",
+                lhs: vec![bytes.len()],
+                rhs: vec![numel.div_ceil(2)],
+            });
+        }
+        if numel % 2 == 1 {
+            let last = bytes[bytes.len() - 1];
+            if last >> 4 != 0 {
+                return Err(TensorError::ValueOutOfRange {
+                    what: "trailing int4 high nibble (must be zero padding)",
+                    value: i64::from(last >> 4),
+                });
+            }
+        }
+        let nib_at = |e: usize| (bytes[e / 2] >> (4 * (e % 2))) & 0x0f;
+        let panels = n.div_ceil(NR);
+        let k_pairs = k.div_ceil(2);
+        let mut data = vec![[0u8; NR]; panels * k_pairs];
+        for p in 0..panels {
+            let c0 = p * NR;
+            let width = NR.min(n - c0);
+            for (pp, dst) in data[p * k_pairs..(p + 1) * k_pairs].iter_mut().enumerate() {
+                for (j, d) in dst.iter_mut().enumerate().take(width) {
+                    let lo = nib_at(2 * pp * n + c0 + j);
+                    let hi = if 2 * pp + 1 < k {
+                        nib_at((2 * pp + 1) * n + c0 + j)
+                    } else {
+                        0
+                    };
+                    *d = lo | (hi << 4);
+                }
+            }
+        }
+        Ok(Self {
+            store: PanelStore::Nibble(data),
+            k,
+            n,
+        })
+    }
+
     /// Shared rank / depth validation for both packers.
     fn checked_dims(weight: &IntTensor<i8>) -> Result<(usize, usize)> {
         let (k, n) = weight.as_matrix_dims()?;
+        Self::checked_depth(k, n)?;
+        Ok((k, n))
+    }
+
+    /// Depth validation shared with the from-bytes constructors.
+    fn checked_depth(k: usize, n: usize) -> Result<()> {
         if k > MAX_K {
             return Err(TensorError::ShapeMismatch {
                 op: "gemm_pack (k exceeds MAX_K)",
-                lhs: weight.dims().to_vec(),
+                lhs: vec![k, n],
                 rhs: vec![MAX_K, n],
             });
         }
-        Ok((k, n))
+        Ok(())
     }
 
     /// Reduction depth (input features) of the packed matrix.
@@ -300,9 +424,12 @@ impl GemmScratch {
 }
 
 /// Drives the blocked GEMM `x (m×k) · W (k×n)` and feeds every finished
-/// accumulator to `sink(row, col, acc)` in row-block/panel order, through
-/// the process-selected micro-kernel.
-fn gemm_drive<F: FnMut(usize, usize, i32)>(
+/// accumulator row segment to `sink(row, c0, accs)` in row-block/panel
+/// order (`accs[j]` is the accumulator for column `c0 + j`), through the
+/// process-selected micro-kernel. Handing the epilogue a contiguous
+/// segment instead of one element at a time is what lets
+/// [`gemm_i8_requant`] run a SIMD fixup over it.
+fn gemm_drive<F: FnMut(usize, usize, &[i32])>(
     x: &IntTensor<i8>,
     weights: &PackedWeights,
     scratch: &mut GemmScratch,
@@ -345,9 +472,7 @@ fn gemm_drive<F: FnMut(usize, usize, i32)>(
                 }
             }
             for (r, row) in acc.iter().enumerate().take(rows) {
-                for (j, &v) in row.iter().enumerate().take(cols) {
-                    sink(r0 + r, c0 + j, v);
-                }
+                sink(r0 + r, c0, &row[..cols]);
             }
         }
     }
@@ -372,7 +497,9 @@ pub fn gemm_i8_i32(
     let n = weights.n;
     {
         let slice = out.as_mut_slice();
-        gemm_drive(x, weights, scratch, |r, c, acc| slice[r * n + c] = acc)?;
+        gemm_drive(x, weights, scratch, |r, c0, accs| {
+            slice[r * n + c0..r * n + c0 + accs.len()].copy_from_slice(accs);
+        })?;
     }
     Ok(out)
 }
@@ -396,8 +523,96 @@ pub fn gemm_i8_fused<F: Fn(i32, usize) -> i8>(
     let n = weights.n;
     {
         let slice = out.as_mut_slice();
-        gemm_drive(x, weights, scratch, |r, c, acc| {
-            slice[r * n + c] = epilogue(acc, c);
+        gemm_drive(x, weights, scratch, |r, c0, accs| {
+            for (j, &acc) in accs.iter().enumerate() {
+                slice[r * n + c0 + j] = epilogue(acc, c0 + j);
+            }
+        })?;
+    }
+    Ok(out)
+}
+
+/// Fixed-point requantization parameters for the fused GEMM epilogue:
+/// `out = clamp(round(  (acc + bias) · multiplier / 2^shift ), ±clamp)`
+/// with round-half-away-from-zero — exactly
+/// `fqbert_quant::Requantizer::apply` followed by the `i8` clamp, expressed
+/// as plain fields so the tensor crate needs no quant dependency.
+///
+/// The effective output bound is `min(clamp, 127)`: the epilogue produces
+/// `i8` codes, so wider bounds are meaningless and are capped rather than
+/// wrapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequantParams {
+    /// Fixed-point multiplier (Q1.30-normalised by `Requantizer`, but any
+    /// `i64` is accepted — out-of-envelope values take the exact scalar
+    /// path).
+    pub multiplier: i64,
+    /// Right shift applied after the multiply; values `<= 0` mean no shift.
+    pub shift: i32,
+    /// Symmetric output saturation bound (capped at 127).
+    pub clamp: i32,
+}
+
+impl RequantParams {
+    /// Whether the SIMD requantize kernels compute this parameter set
+    /// exactly in `i64` arithmetic: `multiplier ∈ [0, 2^30]` (the Q1.30
+    /// normalised-mantissa range, denormal folding included), `shift ∈
+    /// [0, 62]` and `clamp ∈ [0, 127]`. Every `Requantizer` produces
+    /// parameters inside this envelope; anything outside falls back to the
+    /// 128-bit scalar reference.
+    ///
+    /// Inside the envelope `|acc + bias| ≤ 2^32`, so `|product| ≤ 2^62` and
+    /// `product + half ≤ 2^62 + 2^61 < 2^63` — `i64` arithmetic is exact
+    /// and the SIMD path is bit-identical to the `i128` reference.
+    pub fn simd_exact(&self) -> bool {
+        (0..=1i64 << 30).contains(&self.multiplier)
+            && (0..=62).contains(&self.shift)
+            && (0..=i32::from(i8::MAX)).contains(&self.clamp)
+    }
+}
+
+/// Blocked GEMM with the requantization epilogue fused and SIMD-accelerated:
+/// every accumulator row segment gets `+ bias[col]`, the fixed-point
+/// multiply/shift/round and the symmetric clamp applied by the
+/// process-selected requantize kernel — bit-identical to applying
+/// `Requantizer::apply(acc + bias).clamp(-127, 127)` per element (the
+/// cross-kernel property tests pin this).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `bias` is not one entry per
+/// output column or `x`'s width differs from the packed `k`, or a rank
+/// error for non-matrix inputs.
+pub fn gemm_i8_requant(
+    x: &IntTensor<i8>,
+    weights: &PackedWeights,
+    bias: &[i32],
+    params: RequantParams,
+    scratch: &mut GemmScratch,
+) -> Result<IntTensor<i8>> {
+    if bias.len() != weights.n {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_i8_requant (bias length)",
+            lhs: vec![bias.len()],
+            rhs: vec![weights.n],
+        });
+    }
+    let kernel: kernels::RequantKernel = if params.simd_exact() {
+        kernels::selected().requant
+    } else {
+        kernels::scalar::requant_row
+    };
+    let mut out = IntTensor::<i8>::zeros(&[x.as_matrix_dims()?.0, weights.n]);
+    let n = weights.n;
+    {
+        let slice = out.as_mut_slice();
+        gemm_drive(x, weights, scratch, |r, c0, accs| {
+            kernel(
+                accs,
+                &bias[c0..c0 + accs.len()],
+                params,
+                &mut slice[r * n + c0..r * n + c0 + accs.len()],
+            );
         })?;
     }
     Ok(out)
@@ -537,6 +752,99 @@ mod tests {
         assert!(scratch.depth_capacity() >= 64);
         scratch.reserve_depth(128);
         assert!(scratch.depth_capacity() >= 128);
+    }
+
+    #[test]
+    fn nibble_panels_from_v2_bytes_match_pack_nibble() {
+        for &(k, n) in &[(1usize, 1usize), (3, 5), (16, 16), (33, 21), (63, 40)] {
+            let codes: Vec<i8> = (0..k * n).map(pseudo4).collect();
+            let w = tensor_i8(codes.clone(), &[k, n]);
+            let bytes = crate::pack4::pack_i4(&codes).unwrap();
+            let from_bytes = PackedWeights::from_v2_nibble_bytes(&bytes, k, n).unwrap();
+            assert_eq!(
+                from_bytes,
+                PackedWeights::pack_nibble(&w).unwrap(),
+                "({k},{n})"
+            );
+            assert!(from_bytes.is_nibble());
+        }
+    }
+
+    #[test]
+    fn wide_panels_from_bytes_match_pack() {
+        for &(k, n) in &[(1usize, 1usize), (3, 5), (16, 16), (33, 21)] {
+            let codes: Vec<i8> = (0..k * n).map(pseudo).collect();
+            let w = tensor_i8(codes.clone(), &[k, n]);
+            // fqlint::allow(narrowing-cast): same-width i8 -> u8 test setup.
+            let bytes: Vec<u8> = codes.iter().map(|&c| c as u8).collect();
+            let from_bytes = PackedWeights::pack_wide_from_bytes(&bytes, k, n).unwrap();
+            assert_eq!(from_bytes, PackedWeights::pack(&w).unwrap(), "({k},{n})");
+        }
+    }
+
+    #[test]
+    fn from_bytes_constructors_reject_bad_encodings() {
+        // Wrong byte counts.
+        assert!(PackedWeights::from_v2_nibble_bytes(&[0u8; 3], 2, 2).is_err());
+        assert!(PackedWeights::pack_wide_from_bytes(&[0u8; 3], 2, 2).is_err());
+        // Odd element count with dirty trailing high nibble.
+        assert!(PackedWeights::from_v2_nibble_bytes(&[0x00, 0x10], 1, 3).is_err());
+        assert!(PackedWeights::from_v2_nibble_bytes(&[0x00, 0x01], 1, 3).is_ok());
+        // Depth beyond MAX_K.
+        assert!(PackedWeights::from_v2_nibble_bytes(&vec![0u8; MAX_K + 1], MAX_K + 1, 2).is_err());
+    }
+
+    #[test]
+    fn requant_epilogue_matches_reference_per_element() {
+        let params = RequantParams {
+            multiplier: 715_827_883, // ~ 2/3 in Q1.30
+            shift: 31,
+            clamp: 127,
+        };
+        assert!(params.simd_exact());
+        let reference = |acc: i32, bias: i32| -> i8 {
+            let sum = i64::from(acc) + i64::from(bias);
+            let product = i128::from(sum) * i128::from(params.multiplier);
+            let half = 1i128 << (params.shift - 1);
+            let rounded = if product >= 0 {
+                (product + half) >> params.shift
+            } else {
+                -((-product + half) >> params.shift)
+            };
+            rounded.clamp(-127, 127) as i8
+        };
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 7), (9, 33, 21)] {
+            let x = tensor_i8((0..m * k).map(pseudo).collect(), &[m, k]);
+            let w = tensor_i8((0..k * n).map(|i| pseudo(i + 99)).collect(), &[k, n]);
+            let bias: Vec<i32> = (0..n).map(|c| (c as i32 - 3) * 1000).collect();
+            let packed = PackedWeights::pack(&w).unwrap();
+            let mut scratch = GemmScratch::new();
+            let fused = gemm_i8_requant(&x, &packed, &bias, params, &mut scratch).unwrap();
+            let raw = gemm_i8_i32(&x, &packed, &mut scratch).unwrap();
+            for r in 0..m {
+                for (c, &b) in bias.iter().enumerate() {
+                    assert_eq!(
+                        fused.as_slice()[r * n + c],
+                        reference(raw.as_slice()[r * n + c], b),
+                        "({m},{k},{n}) at ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn requant_rejects_mismatched_bias() {
+        let x = tensor_i8(vec![1, 2], &[1, 2]);
+        let w = tensor_i8(vec![1, 0, 0, 1], &[2, 2]);
+        let packed = PackedWeights::pack(&w).unwrap();
+        let params = RequantParams {
+            multiplier: 1 << 30,
+            shift: 30,
+            clamp: 127,
+        };
+        let err = gemm_i8_requant(&x, &packed, &[0], params, &mut GemmScratch::new());
+        assert!(err.is_err());
     }
 
     #[test]

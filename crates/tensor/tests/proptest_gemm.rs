@@ -12,8 +12,10 @@
 //! deterministic.)
 
 use fqbert_tensor::gemm::kernels::{self, KernelKind};
-use fqbert_tensor::gemm::{gemm_i8_fused, gemm_i8_i32, GemmScratch, PackedWeights, MR, NR};
-use fqbert_tensor::IntTensor;
+use fqbert_tensor::gemm::{
+    gemm_i8_fused, gemm_i8_i32, gemm_i8_requant, GemmScratch, PackedWeights, RequantParams, MR, NR,
+};
+use fqbert_tensor::{pack4, IntTensor};
 use proptest::prelude::*;
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
@@ -179,6 +181,102 @@ proptest! {
                 prop_assert_eq!(fused.row(r)[c], epilogue(naive.row(r)[c], c));
             }
         }
+    }
+
+    // Nibble panels gathered straight from the v2 `pack_i4` byte stream
+    // must equal the unpack-then-pack panels bit for bit (the zero-copy
+    // load path's correctness contract), and compute the same GEMM.
+    #[test]
+    fn panels_from_v2_bytes_match_unpacked_packing(
+        m in 1usize..10,
+        k in 1usize..70,
+        n in 1usize..40,
+        seed_x in proptest::collection::vec(i8_full(), 1..64),
+        seed_w in proptest::collection::vec(i4(), 1..64),
+    ) {
+        let x = build(&seed_x, m, k);
+        let w = build(&seed_w, k, n);
+        let bytes = pack4::pack_i4(w.as_slice()).expect("pack_i4");
+        let from_bytes = PackedWeights::from_v2_nibble_bytes(&bytes, k, n).expect("from bytes");
+        prop_assert_eq!(&from_bytes, &PackedWeights::pack_nibble(&w).expect("pack_nibble"));
+        let wide_bytes: Vec<u8> = w.as_slice().iter().map(|&c| c as u8).collect();
+        let wide = PackedWeights::pack_wide_from_bytes(&wide_bytes, k, n).expect("wide bytes");
+        prop_assert_eq!(&wide, &PackedWeights::pack(&w).expect("pack"));
+        let mut scratch = GemmScratch::new();
+        let naive = x.matmul_i32(&w).expect("naive");
+        prop_assert_eq!(&gemm_i8_i32(&x, &from_bytes, &mut scratch).expect("gemm"), &naive);
+        prop_assert_eq!(&gemm_i8_i32(&x, &wide, &mut scratch).expect("gemm wide"), &naive);
+    }
+
+    // Every host kernel's requantize epilogue is bit-identical to the
+    // 128-bit scalar reference over the whole SIMD-exact envelope
+    // (Q1.30 multipliers, shifts 0..=62, clamps 0..=127), including the
+    // extreme accumulator/bias corners where the i64 product peaks.
+    #[test]
+    fn requant_kernels_match_scalar_reference(
+        accs in proptest::collection::vec(proptest::num::i32::ANY, 0..70),
+        biases in proptest::collection::vec(proptest::num::i32::ANY, 1..70),
+        multiplier in 0i64..=(1i64 << 30),
+        shift in 0i32..=62,
+        clamp in 0i32..=127,
+    ) {
+        let params = RequantParams { multiplier, shift, clamp };
+        prop_assert!(params.simd_exact());
+        let len = accs.len();
+        let bias: Vec<i32> = (0..len).map(|i| biases[i % biases.len()]).collect();
+        // Splice in the worst-case corners so every run stresses them.
+        let mut accs = accs;
+        for (i, v) in [i32::MIN, i32::MAX, 0].into_iter().enumerate() {
+            if let Some(slot) = accs.get_mut(i) {
+                *slot = v;
+            }
+        }
+        let mut reference = vec![0i8; len];
+        kernels::scalar::requant_row(&accs, &bias, params, &mut reference);
+        for kind in kernels::available() {
+            let mut got = vec![0i8; len];
+            (kernels::dispatch_for(kind).requant)(&accs, &bias, params, &mut got);
+            prop_assert_eq!(&got, &reference, "requant diverges on {}", kind.name());
+        }
+    }
+
+    // The fused requant GEMM equals applying the scalar reference to the
+    // raw accumulators, on every kernel.
+    #[test]
+    fn fused_requant_gemm_matches_reference_across_kernels(
+        m in 1usize..8,
+        k in 1usize..50,
+        n in 1usize..40,
+        seed_x in proptest::collection::vec(i8_full(), 1..64),
+        seed_w in proptest::collection::vec(i8_full(), 1..64),
+        seed_b in proptest::collection::vec(-100_000i32..100_000, 1..64),
+        multiplier in 0i64..=(1i64 << 30),
+        shift in 0i32..=62,
+        clamp in 1i32..=127,
+    ) {
+        let _guard = kernel_lock();
+        let params = RequantParams { multiplier, shift, clamp };
+        let x = build(&seed_x, m, k);
+        let w = build(&seed_w, k, n);
+        let bias: Vec<i32> = (0..n).map(|i| seed_b[i % seed_b.len()]).collect();
+        let packed = PackedWeights::pack(&w).expect("pack");
+        let mut scratch = GemmScratch::new();
+        let raw = gemm_i8_i32(&x, &packed, &mut scratch).expect("raw");
+        let mut expected = vec![0i8; m * n];
+        for r in 0..m {
+            kernels::scalar::requant_row(
+                raw.row(r),
+                &bias,
+                params,
+                &mut expected[r * n..(r + 1) * n],
+            );
+        }
+        for kind in kernels::available() {
+            kernels::force(kind);
+            let got = gemm_i8_requant(&x, &packed, &bias, params, &mut scratch).expect("fused");
+            prop_assert_eq!(got.as_slice(), expected.as_slice(), "diverges on {}", kind.name());
+        }
+        kernels::force(kernels::best_available());
     }
 
     #[test]

@@ -58,15 +58,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 max_delay: Duration::from_millis(2),
                 max_queue: usize::MAX,
             },
+            ..ServerConfig::default()
         },
     )?;
     let addr = server.local_addr();
     println!("server listening on {addr}\n");
 
     let mut client = Client::connect(addr)?;
-    for (name, task_name, backend, precision, bits, kernel) in client.list_models()? {
+    for m in client.list_models()? {
         println!(
-            "  model {name:<10} task {task_name:<7} backend {backend:<5} {precision} bits {bits} kernel {kernel}"
+            "  model {name:<10} task {task:<7} backend {backend:<5} {precision} bits {bits} \
+             kernel {kernel} resident {resident:.1} KiB",
+            name = m.name,
+            task = m.task,
+            backend = m.backend,
+            precision = m.precision,
+            bits = m.bits,
+            kernel = m.kernel,
+            resident = m.resident_bytes as f64 / 1024.0,
         );
     }
     println!();

@@ -85,6 +85,7 @@ fn multi_model_server_routes_by_name_and_matches_direct_inference() {
                 max_delay: Duration::from_millis(3),
                 max_queue: usize::MAX,
             },
+            ..ServerConfig::default()
         },
     )
     .expect("server");
